@@ -1,0 +1,76 @@
+//===--- bench_figures_sample.cpp - Figures 1-4 reproduction ------------------===//
+//
+// Part of memlint. See DESIGN.md (experiments F1-F4).
+//
+// Regenerates the paper's Figures 1-4 outputs: the four sample.c variants
+// and the anomalies each produces, plus checking throughput on the
+// smallest programs the paper shows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "corpus/Corpus.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace memlint;
+using namespace memlint::corpus;
+
+namespace {
+
+void printReproduction() {
+  printf("=======================================================\n");
+  printf(" Experiment F1-F4: sample.c (paper Figures 1-4)\n");
+  printf("=======================================================\n");
+  struct Row {
+    int Version;
+    const char *What;
+    unsigned PaperAnomalies;
+  };
+  const Row Rows[] = {
+      {1, "no annotations", 0},
+      {2, "null on pname", 1},
+      {3, "truenull guard", 0},
+      {4, "only gname + temp pname", 2},
+  };
+  printf("%-3s %-28s %-8s %-8s %s\n", "fig", "variant", "paper", "ours",
+         "match");
+  bool AllMatch = true;
+  for (const Row &R : Rows) {
+    Program P = sampleFigure(R.Version);
+    CheckResult Res = Checker::checkFiles(P.Files, P.MainFiles);
+    bool Match = Res.anomalyCount() == R.PaperAnomalies;
+    AllMatch = AllMatch && Match;
+    printf("%-3d %-28s %-8u %-8u %s\n", R.Version, R.What, R.PaperAnomalies,
+           Res.anomalyCount(), Match ? "yes" : "NO");
+  }
+  printf("\nFigure 2 message (paper output, regenerated):\n");
+  printf("%s", Checker::checkFiles(sampleFigure(2).Files, {"sample.c"})
+                   .render()
+                   .c_str());
+  printf("\nFigure 4 messages (paper output, regenerated):\n");
+  printf("%s", Checker::checkFiles(sampleFigure(4).Files, {"sample.c"})
+                   .render()
+                   .c_str());
+  printf("\noverall: %s\n\n", AllMatch ? "REPRODUCED" : "MISMATCH");
+}
+
+void BM_CheckSampleVariant(benchmark::State &State) {
+  Program P = sampleFigure(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    CheckResult R = Checker::checkFiles(P.Files, P.MainFiles);
+    benchmark::DoNotOptimize(R.Diagnostics.size());
+  }
+}
+BENCHMARK(BM_CheckSampleVariant)->DenseRange(1, 4);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

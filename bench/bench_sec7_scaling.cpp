@@ -1,0 +1,111 @@
+//===--- bench_sec7_scaling.cpp - Section 7 performance reproduction -----------===//
+//
+// Part of memlint. See DESIGN.md (experiment T2).
+//
+// The paper: "it is essential that the checking be efficient and scale
+// approximately linearly with the size of the program" (Section 2); "It
+// takes less than four minutes (on a DEC 3000/500) to check the entire
+// [100k-line] program ... a representative 5000 line module is checked in
+// under 10 seconds" (Section 7).
+//
+// We regenerate the series on synthetic programs from ~500 to ~100k lines
+// and verify the two shape claims: time grows linearly with LOC, and a
+// single module checks much faster than the whole program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "corpus/Corpus.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+using namespace memlint;
+using namespace memlint::corpus;
+
+namespace {
+
+double checkMillis(const Program &P) {
+  auto T0 = std::chrono::steady_clock::now();
+  CheckResult R = Checker::checkFiles(P.Files, P.MainFiles);
+  auto T1 = std::chrono::steady_clock::now();
+  if (R.anomalyCount() != 0)
+    printf("  !! unexpected anomalies: %u\n", R.anomalyCount());
+  return std::chrono::duration<double, std::milli>(T1 - T0).count();
+}
+
+void printReproduction() {
+  printf("=============================================================\n");
+  printf(" Experiment T2: checking-time scaling (paper Section 2/7)\n");
+  printf(" paper: ~linear; 100 kLOC < 4 min, 5 kLOC module < 10 s\n");
+  printf("         (DEC 3000/500, 1996)\n");
+  printf("=============================================================\n");
+  printf("%-8s %-10s %-12s %s\n", "modules", "lines", "time(ms)",
+         "ms per kLOC");
+
+  double FirstPerKloc = 0, LastPerKloc = 0;
+  unsigned Sizes[] = {2, 8, 20, 60, 160, 400};
+  for (unsigned M : Sizes) {
+    GenOptions O;
+    O.Modules = M;
+    O.FunctionsPerModule = 25;
+    Program P = syntheticProgram(O);
+    unsigned Lines = totalLines(P);
+    double Ms = checkMillis(P);
+    double PerKloc = Ms * 1000.0 / Lines;
+    if (FirstPerKloc == 0)
+      FirstPerKloc = PerKloc;
+    LastPerKloc = PerKloc;
+    printf("%-8u %-10u %-12.1f %.2f\n", M, Lines, Ms, PerKloc);
+  }
+  double Ratio = LastPerKloc / FirstPerKloc;
+  printf("\nlinearity: ms/kLOC ratio largest/smallest = %.2f "
+         "(1.0 = perfectly linear; paper claims ~linear)\n",
+         Ratio);
+  printf("shape %s\n\n", Ratio < 3.0 ? "REPRODUCED" : "MISMATCH");
+
+  // Whole program vs one module (the paper's modular-checking datum).
+  GenOptions Whole;
+  Whole.Modules = 20;
+  Whole.FunctionsPerModule = 25;
+  Program WholeP = syntheticProgram(Whole);
+  GenOptions Module;
+  Module.Modules = 1;
+  Module.FunctionsPerModule = 25;
+  Program ModuleP = syntheticProgram(Module);
+  double WholeMs = checkMillis(WholeP);
+  double ModuleMs = checkMillis(ModuleP);
+  printf("whole program (%u lines): %.1f ms; one module (%u lines): %.1f "
+         "ms; speedup %.1fx\n",
+         totalLines(WholeP), WholeMs, totalLines(ModuleP), ModuleMs,
+         WholeMs / (ModuleMs > 0 ? ModuleMs : 1));
+  printf("(paper: 4 min whole program vs <10 s per 5k module => ~24x)\n\n");
+}
+
+void BM_CheckSynthetic(benchmark::State &State) {
+  GenOptions O;
+  O.Modules = static_cast<unsigned>(State.range(0));
+  O.FunctionsPerModule = 25;
+  Program P = syntheticProgram(O);
+  unsigned Lines = totalLines(P);
+  for (auto _ : State) {
+    CheckResult R = Checker::checkFiles(P.Files, P.MainFiles);
+    benchmark::DoNotOptimize(R.Diagnostics.size());
+  }
+  State.counters["lines"] = Lines;
+  State.counters["lines/s"] = benchmark::Counter(
+      static_cast<double>(Lines) * State.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CheckSynthetic)->Arg(2)->Arg(8)->Arg(20)->Arg(60);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,136 @@
+//===--- bench_sec7_static_vs_runtime.cpp - Section 7 experience ---------------===//
+//
+// Part of memlint. See DESIGN.md (experiment T3).
+//
+// Regenerates the experience-section comparison: which defect classes the
+// static checker catches without running tests, which the run-time
+// baseline catches when the buggy path executes, and the classes the 1996
+// tool is documented to have missed (offset-pointer frees, static frees,
+// global-reachable storage unfreed at exit) — plus the effect of the
+// later "illegalfree" improvement the paper's footnote 8 mentions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "checker/Frontend.h"
+#include "corpus/Corpus.h"
+#include "interp/Interpreter.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace memlint;
+using namespace memlint::corpus;
+
+namespace {
+
+bool staticDetects(const Program &P, const CheckOptions &Options) {
+  return Checker::checkFiles(P.Files, P.MainFiles, Options).anomalyCount() >
+         0;
+}
+
+bool runtimeDetects(const Program &P) {
+  Frontend FE;
+  TranslationUnit *TU = FE.parseProgram(P.Files, P.MainFiles);
+  Interpreter I(*TU);
+  return !I.run().Errors.empty();
+}
+
+void printReproduction() {
+  printf("==============================================================="
+         "===\n");
+  printf(" Experiment T3: static checker vs run-time baseline by bug "
+         "class\n");
+  printf(" (paper Section 7 experience; runtime = dmalloc/Purify "
+         "substitute)\n");
+  printf("==============================================================="
+         "===\n");
+  printf("%-22s %-8s %-8s %-9s %-9s %s\n", "bug class", "static", "runtime",
+         "paper-st", "paper-rt", "match");
+
+  CheckOptions Default;
+  bool AllMatch = true;
+  for (BugKind Kind : allBugKinds()) {
+    Program P = seededBug(Kind);
+    bool Static = staticDetects(P, Default);
+    bool Runtime = runtimeDetects(P);
+    bool PaperStatic = staticallyDetectable(Kind);
+    bool PaperRuntime = dynamicallyDetectable(Kind);
+    bool Match = Static == PaperStatic && Runtime == PaperRuntime;
+    AllMatch = AllMatch && Match;
+    printf("%-22s %-8s %-8s %-9s %-9s %s\n", bugKindName(Kind),
+           Static ? "yes" : "no", Runtime ? "yes" : "no",
+           PaperStatic ? "yes" : "no", PaperRuntime ? "yes" : "no",
+           Match ? "yes" : "NO");
+  }
+  printf("\nshape %s\n", AllMatch ? "REPRODUCED" : "MISMATCH");
+
+  // Footnote 8: "LCLint has since been improved to detect freeing offset
+  // pointers and static storage."
+  CheckOptions Later;
+  Later.Flags.set("illegalfree", true);
+  printf("\nwith +illegalfree (the later improvement):\n");
+  for (BugKind Kind : {BugKind::OffsetFree, BugKind::StaticFree})
+    printf("  %-20s static: %s\n", bugKindName(Kind),
+           staticDetects(seededBug(Kind), Later) ? "yes" : "no");
+
+  // The database epilogue: run-time tools find the global-reachable
+  // storage the static tool cannot.
+  Program Db = employeeDb(DbVersion::Fixed);
+  Frontend FE;
+  TranslationUnit *TU = FE.parseProgram(Db.Files, Db.MainFiles);
+  Interpreter I(*TU);
+  RunResult R = I.run();
+  unsigned GlobalLeaks = 0;
+  for (const RuntimeError &E : R.Errors)
+    if (E.K == RuntimeError::Kind::LeakAtExit)
+      ++GlobalLeaks;
+  printf("\nstatically-clean database under the run-time baseline:\n");
+  printf("  leaks reachable from statics at exit: %u (paper: \"several "
+         "were detected,\n  relating to storage reachable from global and "
+         "static variables\")\n\n",
+         GlobalLeaks);
+}
+
+void BM_StaticCheckSeededBug(benchmark::State &State) {
+  Program P = seededBug(allBugKinds()[State.range(0)]);
+  for (auto _ : State) {
+    CheckResult R = Checker::checkFiles(P.Files, P.MainFiles);
+    benchmark::DoNotOptimize(R.Diagnostics.size());
+  }
+}
+BENCHMARK(BM_StaticCheckSeededBug)->DenseRange(0, 7);
+
+void BM_RuntimeExecuteSeededBug(benchmark::State &State) {
+  Program P = seededBug(allBugKinds()[State.range(0)]);
+  Frontend FE;
+  TranslationUnit *TU = FE.parseProgram(P.Files, P.MainFiles);
+  for (auto _ : State) {
+    Interpreter I(*TU);
+    RunResult R = I.run();
+    benchmark::DoNotOptimize(R.Errors.size());
+  }
+}
+BENCHMARK(BM_RuntimeExecuteSeededBug)->DenseRange(0, 7);
+
+void BM_RuntimeExecuteDatabase(benchmark::State &State) {
+  Program P = employeeDb(DbVersion::Fixed);
+  Frontend FE;
+  TranslationUnit *TU = FE.parseProgram(P.Files, P.MainFiles);
+  for (auto _ : State) {
+    Interpreter I(*TU);
+    RunResult R = I.run();
+    benchmark::DoNotOptimize(R.Steps);
+  }
+}
+BENCHMARK(BM_RuntimeExecuteDatabase);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+//===--- annotate_iteratively.cpp - The Section 6 workflow -------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+// Walks the paper's Section 6 process on the reconstructed employee
+// database: start with no annotations, run the checker, add the
+// annotations the anomalies call for, repeat. "Adding annotations is an
+// iterative process. With each iteration, LCLint detects some anomalies,
+// annotations are added or discovered bugs are fixed, and LCLint is run
+// again to propagate the new annotations up the call chain."
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "corpus/Corpus.h"
+
+#include <cstdio>
+
+using namespace memlint;
+using namespace memlint::corpus;
+
+static void stage(const char *Title, const char *Commentary, DbVersion V) {
+  Program P = employeeDb(V);
+  CheckResult R = Checker::checkFiles(P.Files, P.MainFiles);
+  printf("== %s ==\n", Title);
+  printf("   %s\n", Commentary);
+  printf("   %u lines, %u annotations, %u anomalies (%u suppressed)\n",
+         totalLines(P), countAnnotations(P), R.anomalyCount(),
+         R.SuppressedCount);
+  unsigned Shown = 0;
+  for (const Diagnostic &D : R.Diagnostics) {
+    printf("   | %s\n", D.str().c_str());
+    if (++Shown == 8 && R.Diagnostics.size() > 9) {
+      printf("   | ... and %zu more\n", R.Diagnostics.size() - Shown);
+      break;
+    }
+  }
+  printf("\n");
+}
+
+int main() {
+  printf("The Section 6 annotation process on the employee database\n");
+  printf("=========================================================\n\n");
+
+  stage("iteration 0: no annotations",
+        "the starting program; only implicit interpretations apply",
+        DbVersion::Unannotated);
+
+  stage("iteration 1: the null-pointer pass",
+        "a null annotation on erc's vals field plus defensive assertions "
+        "resolve the null anomalies; allocation anomalies remain",
+        DbVersion::NullAdded);
+
+  stage("iteration 2: the allocation pass",
+        "13 only annotations and one out annotation propagate through the "
+        "call chain; what remains are six real leaks in the test driver",
+        DbVersion::OnlyAdded);
+
+  stage("iteration 3: the bugs fixed",
+        "six free calls added in drive.c; the program now checks cleanly "
+        "(a few spurious messages are suppressed with control comments, as "
+        "the paper describes doing 75 times on LCLint itself)",
+        DbVersion::Fixed);
+
+  // The paper's summary: "A total of 15 annotations were needed ... one
+  // null annotation on a structure field, one out annotation on a
+  // parameter ..., and 13 only annotations."
+  Program Bare = employeeDb(DbVersion::Unannotated);
+  Program Fixed = employeeDb(DbVersion::Fixed);
+  printf("annotations added overall: %u (paper: 15 + aliasing uniques)\n",
+         countAnnotations(Fixed) - countAnnotations(Bare));
+  return 0;
+}

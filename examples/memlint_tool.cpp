@@ -1,0 +1,105 @@
+//===--- memlint_tool.cpp - Command-line checker -----------------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+// An LCLint-style command-line driver:
+//
+//   memlint [+flag|-flag]... file.c [file2.c ...]
+//   memlint --cfg file.c        print each function's control-flow graph
+//                               (the paper's Figure 6 view)
+//   memlint --run file.c        execute with the run-time checking baseline
+//   memlint --flags             list the known flags
+//
+// Multiple files are checked as one program; exit status is the number of
+// anomalies (capped at 125), mirroring lint conventions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CFG.h"
+#include "checker/Checker.h"
+#include "checker/Frontend.h"
+#include "interp/Interpreter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace memlint;
+
+int main(int argc, char **argv) {
+  CheckOptions Options;
+  std::vector<std::string> Files;
+  bool PrintCfg = false;
+  bool RunProgram = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--flags") {
+      for (const std::string &Name : Options.Flags.knownFlags())
+        printf("%c%s\n", Options.Flags.get(Name) ? '+' : '-', Name.c_str());
+      return 0;
+    }
+    if (Arg == "--cfg") {
+      PrintCfg = true;
+      continue;
+    }
+    if (Arg == "--run") {
+      RunProgram = true;
+      continue;
+    }
+    if (!Arg.empty() && (Arg[0] == '+' || Arg[0] == '-')) {
+      if (!Options.Flags.parse(Arg)) {
+        fprintf(stderr, "memlint: unknown flag '%s' (try --flags)\n",
+                Arg.c_str());
+        return 126;
+      }
+      continue;
+    }
+    Files.push_back(Arg);
+  }
+
+  if (Files.empty()) {
+    fprintf(stderr,
+            "usage: memlint [+flag|-flag]... [--cfg] [--run] file.c...\n");
+    return 126;
+  }
+
+  VFS Vfs;
+  for (const std::string &File : Files) {
+    if (!Vfs.addFromDisk(File)) {
+      fprintf(stderr, "memlint: cannot read '%s'\n", File.c_str());
+      return 126;
+    }
+  }
+
+  if (PrintCfg || RunProgram) {
+    Frontend FE;
+    TranslationUnit *TU = FE.parseProgram(Vfs, Files);
+    if (!FE.diags().empty())
+      printf("%s", FE.diags().str().c_str());
+    if (PrintCfg) {
+      for (const FunctionDecl *FD : TU->definedFunctions())
+        if (auto G = CFG::build(FD))
+          printf("%s\n", G->print().c_str());
+    }
+    if (RunProgram) {
+      Interpreter Interp(*TU);
+      RunResult R = Interp.run();
+      printf("%s", R.Output.c_str());
+      printf("-- run %s, exit code %ld, %lu steps\n",
+             R.Completed ? "completed" : "aborted", R.ExitCode, R.Steps);
+      for (const RuntimeError &E : R.Errors)
+        printf("%s\n", E.str().c_str());
+      return R.Errors.empty() ? 0 : 1;
+    }
+    return 0;
+  }
+
+  CheckResult R = Checker::checkFiles(Vfs, Files, Options);
+  printf("%s", R.render().c_str());
+  printf("-- %u anomaly(ies), %u suppressed\n", R.anomalyCount(),
+         R.SuppressedCount);
+  unsigned Count = R.anomalyCount();
+  return Count > 125 ? 125 : static_cast<int>(Count);
+}

@@ -1,0 +1,70 @@
+//===--- static_vs_runtime.cpp - Section 7's two worlds ----------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+// Demonstrates the paper's experience-section comparison: the static
+// checker finds annotation-visible bugs without running a single test,
+// while the run-time baseline (our stand-in for dmalloc/Purify) catches
+// the classes the 1996 checker missed — freeing offset pointers, freeing
+// static storage, and global-reachable storage never released before exit
+// — but only when the right path executes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "checker/Frontend.h"
+#include "corpus/Corpus.h"
+#include "interp/Interpreter.h"
+
+#include <cstdio>
+
+using namespace memlint;
+using namespace memlint::corpus;
+
+int main() {
+  printf("%-22s | %-16s | %-16s\n", "seeded bug class", "static checker",
+         "run-time baseline");
+  printf("%-22s-+-%-16s-+-%-16s\n", "----------------------",
+         "----------------", "-----------------");
+
+  for (BugKind Kind : allBugKinds()) {
+    Program P = seededBug(Kind);
+
+    // Static: check without executing.
+    CheckResult Static = Checker::checkFiles(P.Files, P.MainFiles);
+
+    // Dynamic: parse and execute under the tracking interpreter.
+    Frontend FE;
+    TranslationUnit *TU = FE.parseProgram(P.Files, P.MainFiles);
+    Interpreter Interp(*TU);
+    RunResult Run = Interp.run();
+
+    printf("%-22s | %-16s | %-16s\n", bugKindName(Kind),
+           Static.anomalyCount() ? "DETECTED" : "missed",
+           Run.Errors.empty() ? "missed" : "DETECTED");
+  }
+
+  printf("\nWith the later 'illegalfree' improvement the static checker "
+         "catches two more classes:\n");
+  CheckOptions Later;
+  Later.Flags.set("illegalfree", true);
+  for (BugKind Kind : {BugKind::OffsetFree, BugKind::StaticFree}) {
+    Program P = seededBug(Kind);
+    CheckResult R = Checker::checkFiles(P.Files, P.MainFiles, Later);
+    printf("  %-20s -> %s\n", bugKindName(Kind),
+           R.anomalyCount() ? "DETECTED" : "missed");
+  }
+
+  printf("\nAnd the full employee database runs cleanly under the baseline "
+         "except for the\npool storage reachable from statics — the exact "
+         "class the paper says run-time\ntools found after static checking "
+         "was done:\n");
+  Program Db = employeeDb(DbVersion::Fixed);
+  Frontend FE;
+  TranslationUnit *TU = FE.parseProgram(Db.Files, Db.MainFiles);
+  Interpreter Interp(*TU);
+  RunResult Run = Interp.run();
+  for (const RuntimeError &E : Run.Errors)
+    printf("  %s\n", E.str().c_str());
+  return 0;
+}

@@ -1,0 +1,186 @@
+//===--- Env.cpp - Dataflow environment with may-alias sets ----------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Env.h"
+
+using namespace memlint;
+
+const SVal *Env::find(const RefPath &Ref) const {
+  auto It = Values.find(Ref);
+  return It == Values.end() ? nullptr : &It->second;
+}
+
+SVal Env::lookup(const RefPath &Ref, const DefaultFn &Default) const {
+  if (const SVal *V = find(Ref))
+    return *V;
+  return Default(Ref);
+}
+
+void Env::eraseDescendants(const RefPath &Ref) {
+  for (auto It = Values.begin(); It != Values.end();) {
+    if (It->first != Ref && It->first.hasPrefix(Ref))
+      It = Values.erase(It);
+    else
+      ++It;
+  }
+}
+
+void Env::forget(const RefPath &Ref) {
+  for (auto It = Values.begin(); It != Values.end();) {
+    if (It->first.hasPrefix(Ref))
+      It = Values.erase(It);
+    else
+      ++It;
+  }
+  for (auto It = Aliases.begin(); It != Aliases.end();) {
+    if (It->first.hasPrefix(Ref)) {
+      It = Aliases.erase(It);
+      continue;
+    }
+    for (auto SIt = It->second.begin(); SIt != It->second.end();) {
+      if (SIt->hasPrefix(Ref))
+        SIt = It->second.erase(SIt);
+      else
+        ++SIt;
+    }
+    if (It->second.empty())
+      It = Aliases.erase(It);
+    else
+      ++It;
+  }
+}
+
+void Env::clearAliases(const RefPath &Ref) {
+  auto It = Aliases.find(Ref);
+  if (It == Aliases.end())
+    return;
+  for (const RefPath &Other : It->second) {
+    auto OtherIt = Aliases.find(Other);
+    if (OtherIt != Aliases.end()) {
+      OtherIt->second.erase(Ref);
+      if (OtherIt->second.empty())
+        Aliases.erase(OtherIt);
+    }
+  }
+  Aliases.erase(It);
+}
+
+void Env::addAlias(const RefPath &A, const RefPath &B) {
+  if (A == B)
+    return;
+  Aliases[A].insert(B);
+  Aliases[B].insert(A);
+}
+
+std::set<RefPath> Env::aliasesOf(const RefPath &Ref) const {
+  auto It = Aliases.find(Ref);
+  if (It == Aliases.end())
+    return {};
+  return It->second;
+}
+
+std::vector<RefPath> Env::expansions(const RefPath &Ref,
+                                     size_t MaxDepth) const {
+  std::set<RefPath> Seen;
+  Seen.insert(Ref);
+  // Substitute each aliased prefix once. One substitution round suffices for
+  // the paper's model (aliases are discovered within a single loop
+  // "iteration"); deeper chains are cut off by MaxDepth anyway.
+  RefPath Prefix(Ref.rootKind(), Ref.root());
+  std::vector<RefPath> Prefixes;
+  Prefixes.push_back(Prefix);
+  for (const PathElem &E : Ref.elems()) {
+    Prefix = Prefix.child(E);
+    Prefixes.push_back(Prefix);
+  }
+  for (const RefPath &P : Prefixes) {
+    auto It = Aliases.find(P);
+    if (It == Aliases.end())
+      continue;
+    for (const RefPath &Alias : It->second) {
+      RefPath Rewritten = Ref.withPrefixReplaced(P, Alias);
+      if (Rewritten.depth() <= MaxDepth)
+        Seen.insert(std::move(Rewritten));
+    }
+  }
+  return std::vector<RefPath>(Seen.begin(), Seen.end());
+}
+
+std::vector<Env::Conflict> Env::mergeFrom(const Env &Other,
+                                          const DefaultFn &Default) {
+  std::vector<Conflict> Conflicts;
+  if (Other.Unreachable)
+    return Conflicts; // nothing flows in from an unreachable branch
+  if (Unreachable) {
+    *this = Other;
+    return Conflicts;
+  }
+
+  // Union of keys.
+  std::set<RefPath> Keys;
+  for (const auto &KV : Values)
+    Keys.insert(KV.first);
+  for (const auto &KV : Other.Values)
+    Keys.insert(KV.first);
+
+  for (const RefPath &Ref : Keys) {
+    SVal Ours = lookup(Ref, Default);
+    SVal Theirs = Other.lookup(Ref, Default);
+
+    // A definitely-null pointer denotes no storage: it cannot disagree
+    // about release obligations or deadness (the "if (p != NULL) free(p)"
+    // idiom merges cleanly).
+    AllocState OursAlloc = Ours.Alloc;
+    AllocState TheirsAlloc = Theirs.Alloc;
+    DefState OursDef = Ours.Def;
+    DefState TheirsDef = Theirs.Def;
+    if (Ours.Null == NullState::DefinitelyNull) {
+      OursAlloc = AllocState::Null;
+      if (TheirsDef == DefState::Dead)
+        OursDef = DefState::Dead;
+    }
+    if (Theirs.Null == NullState::DefinitelyNull) {
+      TheirsAlloc = AllocState::Null;
+      if (OursDef == DefState::Dead)
+        TheirsDef = DefState::Dead;
+    }
+
+    bool DefConflict = false, AllocConflict = false;
+    SVal Merged;
+    Merged.Def = mergeDef(OursDef, TheirsDef, DefConflict);
+    Merged.Null = mergeNull(Ours.Null, Theirs.Null);
+    Merged.Alloc = mergeAlloc(OursAlloc, TheirsAlloc, AllocConflict);
+
+    // Keep the provenance from whichever side carries the interesting state.
+    Merged.NullLoc =
+        Ours.mayBeNull() ? Ours.NullLoc
+                         : (Theirs.mayBeNull() ? Theirs.NullLoc : Ours.NullLoc);
+    Merged.AllocLoc =
+        Ours.AllocLoc.isValid() ? Ours.AllocLoc : Theirs.AllocLoc;
+    Merged.FreeLoc = Ours.FreeLoc.isValid() ? Ours.FreeLoc : Theirs.FreeLoc;
+    Merged.DefLoc =
+        Ours.Def != DefState::Defined ? Ours.DefLoc : Theirs.DefLoc;
+
+    if (DefConflict || AllocConflict) {
+      Conflict C;
+      C.Ref = Ref;
+      C.DefConflict = DefConflict;
+      C.AllocConflict = AllocConflict;
+      C.Ours = Ours;
+      C.Theirs = Theirs;
+      Conflicts.push_back(std::move(C));
+    }
+    Values[Ref] = std::move(Merged);
+  }
+
+  // "The possible aliases at confluence points is the union of the possible
+  // aliases on each branch."
+  for (const auto &KV : Other.Aliases)
+    for (const RefPath &Alias : KV.second)
+      Aliases[KV.first].insert(Alias);
+
+  return Conflicts;
+}

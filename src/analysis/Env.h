@@ -1,0 +1,98 @@
+//===--- Env.h - Dataflow environment with may-alias sets -------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-program-point environment: a finite map from tracked references
+/// to abstract values (SVal), plus a symmetric may-alias relation. "The
+/// possible aliases at confluence points is the union of the possible
+/// aliases on each branch" (§5); values merge per the storage model's rules
+/// with conflicts surfaced to the caller for reporting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_ANALYSIS_ENV_H
+#define MEMLINT_ANALYSIS_ENV_H
+
+#include "analysis/RefPath.h"
+#include "analysis/StorageModel.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace memlint {
+
+/// The abstract state at one program point.
+class Env {
+public:
+  /// Supplies the entry/default value of a reference that has not been
+  /// written yet (computed from declarations and annotations).
+  using DefaultFn = std::function<SVal(const RefPath &)>;
+
+  /// True when this point cannot be reached (after return / exit()).
+  bool isUnreachable() const { return Unreachable; }
+  void setUnreachable(bool V = true) { Unreachable = V; }
+
+  /// \returns the tracked value, or null if untracked.
+  const SVal *find(const RefPath &Ref) const;
+
+  /// Looks up a value, materializing the default when untracked.
+  SVal lookup(const RefPath &Ref, const DefaultFn &Default) const;
+
+  /// Strong update of one reference.
+  void set(const RefPath &Ref, SVal Val) { Values[Ref] = std::move(Val); }
+
+  /// Removes tracked entries that are strict descendants of \p Ref (used
+  /// when the reference is bound to new storage).
+  void eraseDescendants(const RefPath &Ref);
+
+  /// Removes every trace of \p Ref: its value, its descendants, and all
+  /// alias links involving them. Used when a local leaves scope so later
+  /// merges do not see phantom states for dead names.
+  void forget(const RefPath &Ref);
+
+  /// Removes every alias link of exactly \p Ref (not its descendants).
+  void clearAliases(const RefPath &Ref);
+
+  /// Records that \p A and \p B may denote the same storage.
+  void addAlias(const RefPath &A, const RefPath &B);
+
+  /// Direct may-aliases of \p Ref.
+  std::set<RefPath> aliasesOf(const RefPath &Ref) const;
+
+  /// All rewrites of \p Ref obtained by substituting an aliased prefix
+  /// (always includes \p Ref itself). Bounded by \p MaxDepth path length.
+  std::vector<RefPath> expansions(const RefPath &Ref,
+                                  size_t MaxDepth = 6) const;
+
+  /// All currently tracked references (sorted by RefPath ordering).
+  const std::map<RefPath, SVal> &values() const { return Values; }
+  std::map<RefPath, SVal> &values() { return Values; }
+
+  /// A merge conflict the caller should report as a confluence anomaly.
+  struct Conflict {
+    RefPath Ref;
+    bool DefConflict = false;   ///< released on one path only
+    bool AllocConflict = false; ///< obligation disagreement
+    SVal Ours;
+    SVal Theirs;
+  };
+
+  /// Merges \p Other into this environment (confluence point). \p Default
+  /// supplies values for references tracked on only one side.
+  /// \returns the conflicts discovered.
+  std::vector<Conflict> mergeFrom(const Env &Other, const DefaultFn &Default);
+
+private:
+  std::map<RefPath, SVal> Values;
+  std::map<RefPath, std::set<RefPath>> Aliases;
+  bool Unreachable = false;
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_ANALYSIS_ENV_H

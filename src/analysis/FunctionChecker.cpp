@@ -1,0 +1,2148 @@
+//===--- FunctionChecker.cpp - The paper's intraprocedural analysis --------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FunctionChecker.h"
+
+#include "ast/ASTPrinter.h"
+
+#include <cassert>
+
+using namespace memlint;
+
+//===----------------------------------------------------------------------===//
+// Defaults and derivation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// True if the expression is a null pointer constant: 0, possibly wrapped in
+/// parens and/or casts ("((void *) 0)", the NULL macro).
+bool isNullConstant(const Expr *E) {
+  while (true) {
+    E = E->ignoreParens();
+    if (const auto *CE = dyn_cast<CastExpr>(E)) {
+      E = CE->sub();
+      continue;
+    }
+    break;
+  }
+  const auto *IL = dyn_cast<IntegerLiteralExpr>(E);
+  return IL && IL->value() == 0;
+}
+
+/// True if a proper prefix of \p Ref is itself tracked as undefined; the
+/// completeness checks report only the shallowest undefined reference.
+bool hasUndefinedAncestor(const memlint::Env &S, const memlint::RefPath &Ref) {
+  memlint::RefPath Cur = Ref;
+  while (!Cur.isRoot()) {
+    Cur = Cur.parent();
+    if (const memlint::SVal *V = S.find(Cur))
+      if (V->Def == memlint::DefState::Undefined ||
+          V->Def == memlint::DefState::Allocated)
+        return true;
+  }
+  return false;
+}
+
+} // namespace
+
+Annotations FunctionChecker::annotationsFor(const RefPath &Ref) const {
+  if (Ref.isRoot())
+    return Ref.root()->effectiveAnnotations();
+  const PathElem &Last = Ref.elems().back();
+  if (Last.Field)
+    return Last.Field->effectiveAnnotations();
+  return Annotations();
+}
+
+SVal FunctionChecker::deriveChild(const SVal &Parent,
+                                  const PathElem &Elem) const {
+  SVal Out;
+  Annotations FA =
+      Elem.Field ? Elem.Field->effectiveAnnotations() : Annotations();
+
+  // Definition state: dead and undefined parents dominate.
+  if (Parent.Def == DefState::Dead) {
+    Out.Def = DefState::Dead;
+    Out.FreeLoc = Parent.FreeLoc;
+  } else if (Parent.Def == DefState::Undefined ||
+             Parent.Def == DefState::Allocated) {
+    Out.Def = DefState::Undefined;
+    Out.DefLoc = Parent.DefLoc;
+  } else {
+    switch (FA.Def) {
+    case DefAnn::Out:
+      Out.Def = DefState::Allocated;
+      break;
+    default:
+      Out.Def = DefState::Defined;
+      break;
+    }
+  }
+
+  // Null state from the field's annotations.
+  bool IsPointer = Elem.Field && Elem.Field->type().isPointer();
+  switch (FA.Null) {
+  case NullAnn::Null:
+    Out.Null = NullState::PossiblyNull;
+    if (Elem.Field)
+      Out.NullLoc = Elem.Field->loc();
+    break;
+  case NullAnn::RelNull:
+    Out.Null = NullState::RelNull;
+    break;
+  case NullAnn::NotNull:
+    Out.Null = NullState::NotNull;
+    break;
+  case NullAnn::Unspecified:
+    Out.Null = IsPointer ? NullState::NotNull : NullState::Unknown;
+    break;
+  }
+
+  // Allocation state from the field's annotations (+ implicit-only flag).
+  switch (FA.Alloc) {
+  case AllocAnn::Only:
+    Out.Alloc = AllocState::Only;
+    break;
+  case AllocAnn::Owned:
+    Out.Alloc = AllocState::Owned;
+    break;
+  case AllocAnn::Dependent:
+    Out.Alloc = AllocState::Dependent;
+    break;
+  case AllocAnn::Shared:
+    Out.Alloc = AllocState::Shared;
+    break;
+  case AllocAnn::Keep:
+  case AllocAnn::Temp:
+    Out.Alloc = AllocState::Temp;
+    break;
+  case AllocAnn::Unspecified:
+    Out.Alloc = (IsPointer && Flags.get("implicitonlyfield"))
+                    ? AllocState::Only
+                    : AllocState::Unqualified;
+    break;
+  }
+  if (Out.Alloc != AllocState::Unqualified && Elem.Field)
+    Out.AllocLoc = Elem.Field->loc();
+  return Out;
+}
+
+SVal FunctionChecker::defaultFor(const RefPath &Ref) const {
+  const VarDecl *Root = Ref.root();
+  SVal Val;
+  Annotations RA = Root->effectiveAnnotations();
+  bool IsPointer = Root->type().isPointer();
+
+  if (Ref.rootKind() == RefPath::RootKind::Arg || isa<ParmVarDecl>(Root)) {
+    // Parameter defaults (paper §6): completely defined, not null, temp.
+    switch (RA.Def) {
+    case DefAnn::Out:
+      Val.Def = DefState::Allocated;
+      break;
+    case DefAnn::Partial:
+      Val.Def = DefState::Defined; // relaxed: no errors on fields
+      break;
+    default:
+      Val.Def = DefState::Defined;
+      break;
+    }
+    switch (RA.Null) {
+    case NullAnn::Null:
+      Val.Null = NullState::PossiblyNull;
+      Val.NullLoc = Root->loc();
+      break;
+    case NullAnn::RelNull:
+      Val.Null = NullState::RelNull;
+      break;
+    default:
+      Val.Null = IsPointer ? NullState::NotNull : NullState::Unknown;
+      break;
+    }
+    switch (RA.Alloc) {
+    case AllocAnn::Only:
+      Val.Alloc = AllocState::Only;
+      break;
+    case AllocAnn::Keep:
+      Val.Alloc = AllocState::Keep;
+      break;
+    case AllocAnn::Owned:
+      Val.Alloc = AllocState::Owned;
+      break;
+    case AllocAnn::Dependent:
+      Val.Alloc = AllocState::Dependent;
+      break;
+    case AllocAnn::Shared:
+      Val.Alloc = AllocState::Shared;
+      break;
+    case AllocAnn::Temp:
+      Val.Alloc = AllocState::Temp;
+      break;
+    case AllocAnn::Unspecified:
+      Val.Alloc = (IsPointer && Flags.get("impliedtempparams"))
+                      ? AllocState::Temp
+                      : AllocState::Unqualified;
+      break;
+    }
+    if (RA.Exposure == ExposureAnn::Observer)
+      Val.Alloc = AllocState::Observer;
+    Val.AllocLoc = Root->loc();
+    Val.DefLoc = Root->loc();
+  } else if (Root->isGlobal() || Root->isStaticLocal()) {
+    Val.Def = RA.Undef ? DefState::Undefined : DefState::Defined;
+    switch (RA.Null) {
+    case NullAnn::Null:
+      Val.Null = NullState::PossiblyNull;
+      Val.NullLoc = Root->loc();
+      break;
+    case NullAnn::RelNull:
+      Val.Null = NullState::RelNull;
+      break;
+    default:
+      Val.Null = IsPointer ? NullState::NotNull : NullState::Unknown;
+      break;
+    }
+    switch (RA.Alloc) {
+    case AllocAnn::Only:
+      Val.Alloc = AllocState::Only;
+      break;
+    case AllocAnn::Owned:
+      Val.Alloc = AllocState::Owned;
+      break;
+    case AllocAnn::Dependent:
+      Val.Alloc = AllocState::Dependent;
+      break;
+    case AllocAnn::Shared:
+      Val.Alloc = AllocState::Shared;
+      break;
+    default:
+      Val.Alloc = (IsPointer && Flags.get("implicitonlyglob"))
+                      ? AllocState::Only
+                      : AllocState::Unqualified;
+      break;
+    }
+    Val.AllocLoc = Root->loc();
+    Val.DefLoc = Root->loc();
+  } else {
+    // Local variable before any assignment.
+    Val.Def = DefState::Undefined;
+    Val.Null = NullState::Unknown;
+    Val.Alloc = AllocState::Unqualified;
+    Val.DefLoc = Root->loc();
+  }
+
+  for (const PathElem &E : Ref.elems())
+    Val = deriveChild(Val, E);
+  return Val;
+}
+
+SVal FunctionChecker::lookupRef(const Env &S, const RefPath &Ref) {
+  if (Ref.root()->isGlobal())
+    GlobalsUsed.insert(Ref.root());
+  if (const SVal *V = S.find(Ref))
+    return *V;
+  // Derive from the nearest tracked ancestor.
+  RefPath Cur = Ref;
+  std::vector<PathElem> Pending;
+  while (!Cur.isRoot()) {
+    Pending.push_back(Cur.elems().back());
+    Cur = Cur.parent();
+    if (const SVal *V = S.find(Cur)) {
+      SVal Val = *V;
+      for (auto It = Pending.rbegin(); It != Pending.rend(); ++It)
+        Val = deriveChild(Val, *It);
+      return Val;
+    }
+  }
+  return defaultFor(Ref);
+}
+
+void FunctionChecker::writeRef(Env &S, const RefPath &Ref, const SVal &Val,
+                               bool Strong) {
+  if (Strong)
+    S.eraseDescendants(Ref);
+  for (const RefPath &Target : S.expansions(Ref))
+    S.set(Target, Val);
+
+  // Definition-state propagation to base references (paper §5): assigning
+  // incompletely defined storage into l->next makes l partially defined,
+  // and defining one field of allocated storage makes its holder partially
+  // (no longer merely allocated) defined.
+  bool WeakensParent = Val.Def == DefState::Undefined ||
+                       Val.Def == DefState::Allocated ||
+                       Val.Def == DefState::PartiallyDefined;
+  bool StrengthensParent = Val.Def == DefState::Defined;
+  if (WeakensParent || StrengthensParent) {
+    for (const RefPath &Target : S.expansions(Ref)) {
+      RefPath Ancestor = Target;
+      while (!Ancestor.isRoot()) {
+        Ancestor = Ancestor.parent();
+        SVal AV = lookupRef(S, Ancestor);
+        if (WeakensParent && AV.Def == DefState::Defined) {
+          AV.Def = DefState::PartiallyDefined;
+          AV.DefLoc = Val.DefLoc;
+          S.set(Ancestor, AV);
+        } else if (StrengthensParent && AV.Def == DefState::Allocated) {
+          AV.Def = DefState::PartiallyDefined;
+          S.set(Ancestor, AV);
+        }
+      }
+    }
+  }
+}
+
+void FunctionChecker::setNullState(Env &S, const RefPath &Ref, NullState NS,
+                                   const SourceLocation &Loc) {
+  for (const RefPath &Target : S.expansions(Ref)) {
+    SVal Val = lookupRef(S, Target);
+    if (Val.Null == NullState::RelNull && NS == NullState::PossiblyNull)
+      continue; // relnull never degrades to an error-producing state
+    Val.Null = NS;
+    if (NS == NullState::PossiblyNull || NS == NullState::DefinitelyNull)
+      Val.NullLoc = Loc;
+    S.set(Target, Val);
+  }
+}
+
+void FunctionChecker::materializeChildren(Env &S, const RefPath &Ref,
+                                          QualType PtrTy,
+                                          const SourceLocation &Loc) {
+  if (Ref.depth() >= 8 || PtrTy.isNull())
+    return;
+  if (!PtrTy.isPointer() && !PtrTy.isArray())
+    return;
+  QualType Pointee = PtrTy.pointee().canonical();
+  const auto *RT = dyn_cast_or_null<RecordType>(Pointee.type());
+  if (!RT || !RT->decl()->isComplete())
+    return;
+  SVal Parent;
+  Parent.Def = DefState::Allocated;
+  Parent.DefLoc = Loc;
+  PathElem DerefElem;
+  DerefElem.K = PathElem::Kind::Deref;
+  RefPath PointeeRef = Ref.child(DerefElem);
+  for (FieldDecl *F : RT->decl()->fields()) {
+    PathElem Elem;
+    Elem.K = PathElem::Kind::Dot;
+    Elem.Field = F;
+    Elem.FieldName = F->name();
+    SVal Child = deriveChild(Parent, Elem);
+    Child.DefLoc = Loc;
+    writeRef(S, PointeeRef.child(Elem), Child, /*Strong=*/false);
+  }
+}
+
+void FunctionChecker::consumeObligation(Env &S, const RefPath &Ref,
+                                        bool MakeDead,
+                                        const SourceLocation &Loc) {
+  for (const RefPath &Target : S.expansions(Ref)) {
+    SVal Val = lookupRef(S, Target);
+    Val.Alloc = AllocState::Kept;
+    if (MakeDead) {
+      Val.Def = DefState::Dead;
+      Val.FreeLoc = Loc;
+    }
+    S.set(Target, Val);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+void FunctionChecker::checkAll() {
+  for (const FunctionDecl *FD : TU.definedFunctions())
+    checkFunction(FD);
+}
+
+void FunctionChecker::checkFunction(const FunctionDecl *FD) {
+  if (!FD->body())
+    return;
+  CurFn = FD;
+  GlobalsUsed.clear();
+  LocalScopes.clear();
+  Loops.clear();
+  DefaultFn_ = [this](const RefPath &Ref) { return defaultFor(Ref); };
+
+  Env S;
+  // Parameters: annotations assumed true at entry; pointer parameters get a
+  // caller-visible mirror the local initially aliases (the paper's argl).
+  for (const ParmVarDecl *P : FD->params()) {
+    if (P->name().empty())
+      continue;
+    RefPath Local = RefPath::var(P);
+    SVal Entry = defaultFor(Local);
+    S.set(Local, Entry);
+    if (P->type().isPointer()) {
+      RefPath Mirror = RefPath::arg(P);
+      S.set(Mirror, Entry);
+      S.addAlias(Local, Mirror);
+      // An out parameter's reachable storage is undefined at entry; track
+      // its fields so the must-define-before-return check is precise.
+      if (Entry.Def == DefState::Allocated)
+        materializeChildren(S, Local, P->type(), P->loc());
+    }
+  }
+
+  execCompound(FD->body(), S);
+
+  // Fall-off-the-end exit point.
+  if (!S.isUnreachable())
+    checkExitPoint(S, FD->body()->endLoc());
+  CurFn = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void FunctionChecker::execStmt(const Stmt *St, Env &S) {
+  if (!St || S.isUnreachable())
+    return;
+  switch (St->kind()) {
+  case Stmt::StmtKind::Compound:
+    execCompound(cast<CompoundStmt>(St), S);
+    return;
+  case Stmt::StmtKind::Null:
+    return;
+  case Stmt::StmtKind::Decl: {
+    for (const VarDecl *VD : cast<DeclStmt>(St)->decls())
+      execDecl(VD, S, St->loc());
+    return;
+  }
+  case Stmt::StmtKind::Expr:
+    evalExpr(cast<ExprStmt>(St)->expr(), S, /*AsRValue=*/false);
+    return;
+  case Stmt::StmtKind::If:
+    execIf(cast<IfStmt>(St), S);
+    return;
+  case Stmt::StmtKind::While:
+    execWhile(cast<WhileStmt>(St), S);
+    return;
+  case Stmt::StmtKind::Do:
+    execDo(cast<DoStmt>(St), S);
+    return;
+  case Stmt::StmtKind::For:
+    execFor(cast<ForStmt>(St), S);
+    return;
+  case Stmt::StmtKind::Switch:
+    execSwitch(cast<SwitchStmt>(St), S);
+    return;
+  case Stmt::StmtKind::Return:
+    execReturn(cast<ReturnStmt>(St), S);
+    return;
+  case Stmt::StmtKind::Break: {
+    if (!Loops.empty())
+      Loops.back()->Breaks.push_back(S);
+    S.setUnreachable();
+    return;
+  }
+  case Stmt::StmtKind::Continue: {
+    // Find the innermost loop (continue skips switch contexts).
+    for (auto It = Loops.rbegin(); It != Loops.rend(); ++It) {
+      if (!(*It)->IsSwitch) {
+        (*It)->Continues.push_back(S);
+        break;
+      }
+    }
+    S.setUnreachable();
+    return;
+  }
+  }
+}
+
+void FunctionChecker::execCompound(const CompoundStmt *CS, Env &S) {
+  LocalScopes.emplace_back();
+  for (const Stmt *Sub : CS->body())
+    execStmt(Sub, S);
+  std::vector<const VarDecl *> Locals = std::move(LocalScopes.back());
+  LocalScopes.pop_back();
+  if (!S.isUnreachable())
+    checkScopeExit(S, Locals, CS->endLoc());
+  // Out-of-scope names must not contribute phantom states to later merges.
+  for (const VarDecl *VD : Locals)
+    if (!VD->isStaticLocal())
+      S.forget(RefPath::var(VD));
+}
+
+void FunctionChecker::execDecl(const VarDecl *VD, Env &S,
+                               const SourceLocation &Loc) {
+  if (!LocalScopes.empty())
+    LocalScopes.back().push_back(VD);
+
+  RefPath Ref = RefPath::var(VD);
+  if (VD->isStaticLocal()) {
+    // Static locals persist; zero-initialized, treated like annotated
+    // globals with a defined initial value.
+    SVal Val = defaultFor(Ref);
+    Val.Def = DefState::Defined;
+    S.set(Ref, Val);
+    if (VD->init()) {
+      EvalResult R = evalExpr(VD->init(), S, /*AsRValue=*/true);
+      assignTo(Ref, VD->effectiveAnnotations(), VD->type(), R, S, VD->loc(),
+               VD->name() + " = " + exprToString(VD->init()),
+               /*IsInitialization=*/true);
+    }
+    return;
+  }
+
+  if (const Expr *Init = VD->init()) {
+    if (isa<InitListExpr>(Init)) {
+      // Aggregate initializer: evaluate elements as rvalue uses, then the
+      // whole is defined.
+      for (const Expr *E : cast<InitListExpr>(Init)->inits()) {
+        EvalResult R = evalExpr(E, S, /*AsRValue=*/true);
+        (void)R;
+      }
+      SVal Val;
+      Val.Def = DefState::Defined;
+      Val.Null = NullState::Unknown;
+      Val.DefLoc = VD->loc();
+      S.set(Ref, Val);
+      return;
+    }
+    EvalResult R = evalExpr(VD->init(), S, /*AsRValue=*/true);
+    assignTo(Ref, VD->effectiveAnnotations(), VD->type(), R, S, VD->loc(),
+             VD->name() + " = " + exprToString(VD->init()),
+             /*IsInitialization=*/true);
+    return;
+  }
+
+  // Uninitialized local. Scalars are undefined; arrays and records have
+  // valid storage whose contents are undefined (their address is usable),
+  // which is exactly the Allocated state.
+  SVal Val;
+  QualType Canon = VD->type().canonical();
+  bool HasStorage = VD->type().isArray() || VD->type().isRecord();
+  Val.Def = HasStorage ? DefState::Allocated : DefState::Undefined;
+  Val.Null = NullState::Unknown;
+  Val.Alloc = AllocState::Unqualified;
+  Val.DefLoc = VD->loc();
+  (void)Canon;
+  // An /*@out@*/ local (unusual but legal) starts allocated.
+  if (VD->effectiveAnnotations().Def == DefAnn::Out)
+    Val.Def = DefState::Allocated;
+  S.set(Ref, Val);
+}
+
+void FunctionChecker::reportConflicts(
+    const std::vector<Env::Conflict> &Conflicts, const SourceLocation &Loc) {
+  for (const Env::Conflict &C : Conflicts) {
+    if (C.AllocConflict && checkEnabled(CheckId::BranchState)) {
+      Diags
+          .report(CheckId::BranchState, Loc,
+                  "Storage " + C.Ref.str() + " is " +
+                      allocStateName(C.Ours.Alloc) + " on one branch, " +
+                      allocStateName(C.Theirs.Alloc) +
+                      " on the other (inconsistent obligations at branch "
+                      "merge)")
+          .note(C.Ours.AllocLoc.isValid() ? C.Ours.AllocLoc
+                                          : C.Theirs.AllocLoc,
+                "Storage " + C.Ref.str() + " becomes " +
+                    allocStateName(holdsObligation(C.Ours.Alloc)
+                                       ? C.Theirs.Alloc
+                                       : C.Ours.Alloc));
+    } else if (C.DefConflict && checkEnabled(CheckId::BranchState)) {
+      SourceLocation FreeLoc =
+          C.Ours.FreeLoc.isValid() ? C.Ours.FreeLoc : C.Theirs.FreeLoc;
+      Diags
+          .report(CheckId::BranchState, Loc,
+                  "Storage " + C.Ref.str() +
+                      " is released on one path but live on the other")
+          .note(FreeLoc, "Storage " + C.Ref.str() + " released");
+    }
+  }
+}
+
+void FunctionChecker::execIf(const IfStmt *IS, Env &S) {
+  evalExpr(IS->cond(), S, /*AsRValue=*/true);
+
+  Env TrueEnv = S;
+  refine(TrueEnv, IS->cond(), true);
+  Env FalseEnv = S;
+  refine(FalseEnv, IS->cond(), false);
+
+  execStmt(IS->thenStmt(), TrueEnv);
+  if (IS->elseStmt())
+    execStmt(IS->elseStmt(), FalseEnv);
+
+  std::vector<Env::Conflict> Conflicts =
+      TrueEnv.mergeFrom(FalseEnv, DefaultFn_);
+  reportConflicts(Conflicts, IS->loc());
+  S = std::move(TrueEnv);
+}
+
+void FunctionChecker::execWhile(const WhileStmt *WS, Env &S) {
+  evalExpr(WS->cond(), S, /*AsRValue=*/true);
+
+  // Zero executions: condition false.
+  Env SkipEnv = S;
+  refine(SkipEnv, WS->cond(), false);
+
+  // One execution: condition true, then the body (no back edge).
+  Env BodyEnv = S;
+  refine(BodyEnv, WS->cond(), true);
+
+  LoopContext Ctx;
+  Loops.push_back(&Ctx);
+  execStmt(WS->body(), BodyEnv);
+  Loops.pop_back();
+
+  for (Env &C : Ctx.Continues)
+    reportConflicts(BodyEnv.mergeFrom(C, DefaultFn_), WS->loc());
+  reportConflicts(BodyEnv.mergeFrom(SkipEnv, DefaultFn_), WS->loc());
+  for (Env &B : Ctx.Breaks)
+    reportConflicts(BodyEnv.mergeFrom(B, DefaultFn_), WS->loc());
+  S = std::move(BodyEnv);
+}
+
+void FunctionChecker::execDo(const DoStmt *DS, Env &S) {
+  // The body runs exactly once under the paper's model.
+  LoopContext Ctx;
+  Loops.push_back(&Ctx);
+  execStmt(DS->body(), S);
+  Loops.pop_back();
+
+  if (!S.isUnreachable())
+    evalExpr(DS->cond(), S, /*AsRValue=*/true);
+  for (Env &C : Ctx.Continues)
+    reportConflicts(S.mergeFrom(C, DefaultFn_), DS->loc());
+  for (Env &B : Ctx.Breaks)
+    reportConflicts(S.mergeFrom(B, DefaultFn_), DS->loc());
+}
+
+void FunctionChecker::execFor(const ForStmt *FS, Env &S) {
+  LocalScopes.emplace_back();
+  execStmt(FS->init(), S);
+
+  if (FS->cond())
+    evalExpr(FS->cond(), S, /*AsRValue=*/true);
+
+  Env SkipEnv = S;
+  if (FS->cond())
+    refine(SkipEnv, FS->cond(), false);
+
+  Env BodyEnv = S;
+  if (FS->cond())
+    refine(BodyEnv, FS->cond(), true);
+
+  LoopContext Ctx;
+  Loops.push_back(&Ctx);
+  execStmt(FS->body(), BodyEnv);
+  Loops.pop_back();
+
+  for (Env &C : Ctx.Continues)
+    reportConflicts(BodyEnv.mergeFrom(C, DefaultFn_), FS->loc());
+  if (!BodyEnv.isUnreachable() && FS->inc())
+    evalExpr(FS->inc(), BodyEnv, /*AsRValue=*/false);
+  reportConflicts(BodyEnv.mergeFrom(SkipEnv, DefaultFn_), FS->loc());
+  for (Env &B : Ctx.Breaks)
+    reportConflicts(BodyEnv.mergeFrom(B, DefaultFn_), FS->loc());
+
+  std::vector<const VarDecl *> Locals = std::move(LocalScopes.back());
+  LocalScopes.pop_back();
+  if (!BodyEnv.isUnreachable())
+    checkScopeExit(BodyEnv, Locals, FS->loc());
+  for (const VarDecl *VD : Locals)
+    if (!VD->isStaticLocal())
+      BodyEnv.forget(RefPath::var(VD));
+  S = std::move(BodyEnv);
+}
+
+void FunctionChecker::execSwitch(const SwitchStmt *SS, Env &S) {
+  evalExpr(SS->cond(), S, /*AsRValue=*/true);
+
+  Env Base = S;
+  Env Result;
+  Result.setUnreachable();
+
+  LoopContext Ctx;
+  Ctx.IsSwitch = true;
+  Loops.push_back(&Ctx);
+
+  Env Fallthrough;
+  Fallthrough.setUnreachable();
+  for (const SwitchStmt::CaseSection &Section : SS->sections()) {
+    Env SectionEnv = Base;
+    reportConflicts(SectionEnv.mergeFrom(Fallthrough, DefaultFn_),
+                    Section.Loc);
+    for (const Stmt *Sub : Section.Body)
+      execStmt(Sub, SectionEnv);
+    Fallthrough = std::move(SectionEnv);
+  }
+  Loops.pop_back();
+
+  reportConflicts(Result.mergeFrom(Fallthrough, DefaultFn_), SS->loc());
+  for (Env &B : Ctx.Breaks)
+    reportConflicts(Result.mergeFrom(B, DefaultFn_), SS->loc());
+  if (!SS->hasDefault())
+    reportConflicts(Result.mergeFrom(Base, DefaultFn_), SS->loc());
+  S = std::move(Result);
+}
+
+void FunctionChecker::execReturn(const ReturnStmt *RS, Env &S) {
+  Annotations RA = CurFn->effectiveReturnAnnotations();
+  bool ReturnsPointer = CurFn->returnType().isPointer();
+
+  if (const Expr *Value = RS->value()) {
+    EvalResult R = evalExpr(Value, S, /*AsRValue=*/true);
+    std::string ValueText = exprToString(Value);
+
+    // Null state of the returned value.
+    if (ReturnsPointer && RA.Null == NullAnn::Unspecified &&
+        !R.IsNullConst && R.Val.mayBeNull() &&
+        checkEnabled(CheckId::NullReturn)) {
+      Diags
+          .report(CheckId::NullReturn, RS->loc(),
+                  "Possibly null storage returned as non-null: return " +
+                      ValueText)
+          .note(R.Val.NullLoc,
+                "Storage " + (R.Ref ? R.Ref->str() : ValueText) +
+                    " may become null");
+    }
+    if (ReturnsPointer && RA.Null == NullAnn::Unspecified && R.IsNullConst &&
+        checkEnabled(CheckId::NullReturn)) {
+      Diags.report(CheckId::NullReturn, RS->loc(),
+                   "Null value returned as non-null: return " + ValueText);
+    }
+
+    // Null storage derivable from the returned reference (Figure 7).
+    if (R.Ref && checkEnabled(CheckId::NullReturn)) {
+      for (const auto &KV : S.values()) {
+        const RefPath &Tracked = KV.first;
+        if (Tracked == *R.Ref || !Tracked.hasPrefix(*R.Ref))
+          continue;
+        if (!KV.second.mayBeNull())
+          continue;
+        Annotations ChildAnnots = annotationsFor(Tracked);
+        if (ChildAnnots.Null != NullAnn::Unspecified)
+          continue; // annotated null/relnull: allowed to be null
+        Diags
+            .report(CheckId::NullReturn, RS->loc(),
+                    "Null storage " + Tracked.str() +
+                        " derivable from return value: " + ValueText)
+            .note(KV.second.NullLoc,
+                  "Storage " + Tracked.str() + " becomes null");
+      }
+    }
+
+    // Completeness of the returned storage.
+    if (R.Ref && RA.Def != DefAnn::Out && RA.Def != DefAnn::Partial &&
+        RA.Def != DefAnn::RelDef && checkEnabled(CheckId::CompleteDefine)) {
+      for (const auto &KV : S.values()) {
+        const RefPath &Tracked = KV.first;
+        if (Tracked == *R.Ref || !Tracked.hasPrefix(*R.Ref))
+          continue;
+        if (KV.second.Def != DefState::Undefined &&
+            KV.second.Def != DefState::Allocated)
+          continue;
+        if (hasUndefinedAncestor(S, Tracked))
+          continue;
+        Annotations ChildAnnots = annotationsFor(Tracked);
+        if (ChildAnnots.Def == DefAnn::Out ||
+            ChildAnnots.Def == DefAnn::Partial ||
+            ChildAnnots.Def == DefAnn::RelDef)
+          continue;
+        Diags.report(CheckId::CompleteDefine, RS->loc(),
+                     "Returned storage not completely defined: " +
+                         Tracked.str() + " is undefined");
+      }
+    }
+
+    // Allocation-state transfer through the return value.
+    bool GCMode = Flags.get("gcmode");
+    if (RA.Alloc == AllocAnn::Only || RA.Alloc == AllocAnn::Owned) {
+      switch (R.Val.Alloc) {
+      case AllocState::Temp:
+        if (checkEnabled(CheckId::AliasTransfer))
+          Diags
+              .report(CheckId::AliasTransfer, RS->loc(),
+                      "Temp storage " + ValueText +
+                          " returned as only: return " + ValueText)
+              .note(R.Val.AllocLoc,
+                    "Storage " + (R.Ref ? R.Ref->str() : ValueText) +
+                        " becomes temp");
+        break;
+      case AllocState::Dependent:
+      case AllocState::Shared:
+      case AllocState::Observer:
+      case AllocState::Kept:
+        if (checkEnabled(CheckId::AliasTransfer))
+          Diags.report(CheckId::AliasTransfer, RS->loc(),
+                       std::string(allocStateName(R.Val.Alloc)) +
+                           " storage returned as only: return " + ValueText);
+        break;
+      default:
+        break;
+      }
+      if (R.Ref)
+        consumeObligation(S, *R.Ref, /*MakeDead=*/false, RS->loc());
+    } else if (ReturnsPointer && !GCMode &&
+               holdsObligation(R.Val.Alloc) &&
+               !(R.Ref && R.Ref->isRoot() && R.Ref->root()->isGlobal()) &&
+               RA.Exposure != ExposureAnn::Observer &&
+               checkEnabled(CheckId::MustFree) && !Flags.get("implicitonlyret")) {
+      // (Returning an only global is excluded above: the global remains the
+      // owner and the result is merely an alias of it.)
+      // Newly allocated storage escapes without an only annotation: the
+      // obligation to release is not transferred (paper §6, -allimponly).
+      Diags
+          .report(CheckId::MustFree, RS->loc(),
+                  "Fresh storage returned without only annotation (memory "
+                  "leak): return " +
+                      ValueText)
+          .note(R.Val.AllocLoc,
+                "Storage " + (R.Ref ? R.Ref->str() : ValueText) +
+                    " becomes " + allocStateName(R.Val.Alloc));
+      if (R.Ref)
+        consumeObligation(S, *R.Ref, /*MakeDead=*/false, RS->loc());
+    } else if (ReturnsPointer && holdsObligation(R.Val.Alloc) && R.Ref) {
+      // Implicit-only return or GC mode: the caller takes the obligation.
+      consumeObligation(S, *R.Ref, /*MakeDead=*/false, RS->loc());
+    }
+  }
+
+  checkExitPoint(S, RS->loc());
+  S.setUnreachable();
+}
+
+//===----------------------------------------------------------------------===//
+// Interface checks at exit
+//===----------------------------------------------------------------------===//
+
+void FunctionChecker::checkExitPoint(Env &S, const SourceLocation &Loc) {
+  bool GCMode = Flags.get("gcmode");
+
+  // Globals used by this function.
+  for (const VarDecl *G : GlobalsUsed) {
+    RefPath Ref = RefPath::var(G);
+    SVal Val = lookupRef(S, Ref);
+    Annotations GA = G->effectiveAnnotations();
+
+    if (G->type().isPointer() && GA.Null == NullAnn::Unspecified &&
+        Val.mayBeNull() && checkEnabled(CheckId::NullReturn)) {
+      Diags
+          .report(CheckId::NullReturn, Loc,
+                  "Function returns with non-null global " + G->name() +
+                      " referencing null storage")
+          .note(Val.NullLoc, "Storage " + G->name() + " may become null");
+      setNullState(S, Ref, NullState::NotNull, Loc); // avoid cascades
+    }
+
+    if (Val.Def == DefState::Dead && checkEnabled(CheckId::GlobalState)) {
+      Diags
+          .report(CheckId::GlobalState, Loc,
+                  "Function returns with global " + G->name() +
+                      " referencing released storage")
+          .note(Val.FreeLoc, "Storage " + G->name() + " released");
+      SVal Poison = Val;
+      Poison.Def = DefState::Error;
+      S.set(Ref, Poison);
+    }
+
+    if ((Val.Def == DefState::Undefined || Val.Def == DefState::Allocated) &&
+        !GA.Undef && GA.Def != DefAnn::Out && GA.Def != DefAnn::Partial &&
+        checkEnabled(CheckId::GlobalState)) {
+      Diags.report(CheckId::GlobalState, Loc,
+                   "Function returns with global " + G->name() +
+                       " not completely defined");
+      SVal Poison = Val;
+      Poison.Def = DefState::Error;
+      S.set(Ref, Poison);
+    }
+
+    // Tracked undefined/null children of annotated-complete globals.
+    for (const auto &KV : S.values()) {
+      const RefPath &Tracked = KV.first;
+      if (Tracked == Ref || !Tracked.hasPrefix(Ref))
+        continue;
+      const SVal &TV = KV.second;
+      Annotations ChildAnnots = annotationsFor(Tracked);
+      if ((TV.Def == DefState::Undefined || TV.Def == DefState::Allocated) &&
+          !hasUndefinedAncestor(S, Tracked) &&
+          ChildAnnots.Def == DefAnn::Unspecified &&
+          Val.Def != DefState::Dead && Val.Def != DefState::Error &&
+          checkEnabled(CheckId::CompleteDefine)) {
+        Diags.report(CheckId::CompleteDefine, Loc,
+                     "Function returns with global " + G->name() +
+                         " referencing incompletely-defined storage (" +
+                         Tracked.str() + " is undefined)");
+      }
+    }
+  }
+
+  // Parameters: the caller's view.
+  for (const ParmVarDecl *P : CurFn->params()) {
+    if (P->name().empty() || !P->type().isPointer())
+      continue;
+    Annotations PA = P->effectiveAnnotations();
+    RefPath Mirror = RefPath::arg(P);
+    SVal MirrorVal = lookupRef(S, Mirror);
+
+    // Completeness: an out parameter must be completely defined before
+    // return; any parameter's reachable storage must be defined.
+    bool DefRelaxed = PA.Def == DefAnn::Partial || PA.Def == DefAnn::RelDef;
+    if (!DefRelaxed && checkEnabled(PA.Def == DefAnn::Out
+                                        ? CheckId::InterfaceDefine
+                                        : CheckId::CompleteDefine)) {
+      if (PA.Def == DefAnn::Out &&
+          (MirrorVal.Def == DefState::Allocated ||
+           MirrorVal.Def == DefState::Undefined)) {
+        Diags.report(CheckId::InterfaceDefine, Loc,
+                     "Out parameter " + P->name() +
+                         " not defined before return");
+      }
+      if (MirrorVal.Def != DefState::Dead &&
+          MirrorVal.Def != DefState::Error) {
+        for (const auto &KV : S.values()) {
+          const RefPath &Tracked = KV.first;
+          if (Tracked == Mirror || !Tracked.hasPrefix(Mirror))
+            continue;
+          const SVal &TV = KV.second;
+          if (TV.Def != DefState::Undefined &&
+              TV.Def != DefState::Allocated)
+            continue;
+          if (hasUndefinedAncestor(S, Tracked))
+            continue;
+          Annotations ChildAnnots = annotationsFor(Tracked);
+          if (ChildAnnots.Def != DefAnn::Unspecified)
+            continue;
+          // Print through the parameter's source name.
+          RefPath Printable =
+              Tracked.withPrefixReplaced(Mirror, RefPath::var(P));
+          CheckId Id = PA.Def == DefAnn::Out ? CheckId::InterfaceDefine
+                                             : CheckId::CompleteDefine;
+          Diags
+              .report(Id, Loc,
+                      "Function returns with parameter " + P->name() +
+                          " referencing incompletely-defined storage (" +
+                          Printable.str() + " is undefined)")
+              .note(TV.DefLoc,
+                    "Storage " + Printable.str() + " allocated here");
+        }
+      }
+    }
+
+    // Obligation of only/keep parameters must be satisfied.
+    if (!GCMode && (PA.Alloc == AllocAnn::Only) &&
+        checkEnabled(CheckId::MustFree)) {
+      RefPath Local = RefPath::var(P);
+      SVal LocalVal = lookupRef(S, Local);
+      if (LocalVal.Alloc == AllocState::Only &&
+          LocalVal.Def != DefState::Dead &&
+          LocalVal.Null != NullState::DefinitelyNull) {
+        Diags
+            .report(CheckId::MustFree, Loc,
+                    "Only storage " + P->name() +
+                        " not released before return")
+            .note(P->loc(), "Storage " + P->name() + " becomes only");
+        consumeObligation(S, Local, /*MakeDead=*/false, Loc);
+      }
+    }
+
+    // A temp or keep parameter must still be usable by the caller.
+    if ((PA.Alloc == AllocAnn::Temp || PA.Alloc == AllocAnn::Keep ||
+         PA.Alloc == AllocAnn::Unspecified) &&
+        MirrorVal.Def == DefState::Dead &&
+        checkEnabled(CheckId::UseReleased)) {
+      Diags
+          .report(CheckId::UseReleased, Loc,
+                  "Function returns with temp parameter " + P->name() +
+                      " referencing released storage")
+          .note(MirrorVal.FreeLoc, "Storage " + P->name() + " released");
+      SVal Poison = MirrorVal;
+      Poison.Def = DefState::Error;
+      S.set(Mirror, Poison);
+    }
+  }
+
+  // Locals still in scope holding an obligation.
+  if (!GCMode && checkEnabled(CheckId::MustFree)) {
+    for (const auto &Scope : LocalScopes) {
+      for (const VarDecl *VD : Scope) {
+        RefPath Ref = RefPath::var(VD);
+        SVal Val = lookupRef(S, Ref);
+        if (!holdsObligation(Val.Alloc) || Val.Def == DefState::Dead)
+          continue;
+        if (Val.Null == NullState::DefinitelyNull)
+          continue; // a null pointer holds no storage
+        // If an external reference (global, arg mirror, or parameter)
+        // aliases it, the obligation has an owner that outlives this
+        // reference.
+        bool Escapes = false;
+        for (const RefPath &Alias : S.aliasesOf(Ref))
+          if (Alias.rootKind() == RefPath::RootKind::Arg ||
+              Alias.root()->isGlobal() || isa<ParmVarDecl>(Alias.root()))
+            Escapes = true;
+        if (Escapes)
+          continue;
+        if (Val.Alloc == AllocState::RefCounted)
+          Diags
+              .report(CheckId::MustFree, Loc,
+                      "New reference " + VD->name() +
+                          " not released before return (missing killref)")
+              .note(Val.AllocLoc,
+                    "Reference " + VD->name() + " created");
+        else
+          Diags
+              .report(CheckId::MustFree, Loc,
+                      "Fresh storage " + VD->name() +
+                          " not released before return (memory leak)")
+              .note(Val.AllocLoc, "Storage " + VD->name() + " allocated");
+        consumeObligation(S, Ref, /*MakeDead=*/false, Loc);
+      }
+    }
+  }
+}
+
+void FunctionChecker::checkScopeExit(Env &S,
+                                     const std::vector<const VarDecl *> &Locals,
+                                     const SourceLocation &Loc) {
+  if (Flags.get("gcmode") || !checkEnabled(CheckId::MustFree))
+    return;
+  for (const VarDecl *VD : Locals) {
+    if (VD->isStaticLocal())
+      continue;
+    RefPath Ref = RefPath::var(VD);
+    SVal Val = lookupRef(S, Ref);
+    if (!holdsObligation(Val.Alloc) || Val.Def == DefState::Dead)
+      continue;
+    if (Val.Null == NullState::DefinitelyNull)
+      continue; // a null pointer holds no storage
+    bool Escapes = false;
+    for (const RefPath &Alias : S.aliasesOf(Ref))
+      if (Alias.rootKind() == RefPath::RootKind::Arg ||
+          Alias.root()->isGlobal() || isa<ParmVarDecl>(Alias.root()))
+        Escapes = true;
+    if (Escapes)
+      continue;
+    Diags
+        .report(CheckId::MustFree, Loc,
+                "Fresh storage " + VD->name() +
+                    " not released before scope exit (memory leak)")
+        .note(Val.AllocLoc, "Storage " + VD->name() + " allocated");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expression evaluation
+//===----------------------------------------------------------------------===//
+
+void FunctionChecker::checkRValueUse(Env &S, EvalResult &R, const Expr *E) {
+  if (!R.Ref)
+    return;
+  SVal Val = lookupRef(S, *R.Ref);
+  if (Val.Def == DefState::Dead && checkEnabled(CheckId::UseReleased)) {
+    Diags
+        .report(CheckId::UseReleased, E->loc(),
+                "Dead storage " + R.Ref->str() + " used: " + exprToString(E))
+        .note(Val.FreeLoc, "Storage " + R.Ref->str() + " released");
+    Val.Def = DefState::Error; // poison to avoid cascades
+    writeRef(S, *R.Ref, Val, /*Strong=*/false);
+    R.Val = Val;
+    return;
+  }
+  if (Val.Def == DefState::Undefined) {
+    Annotations RA = annotationsFor(*R.Ref);
+    bool Relaxed = RA.Def == DefAnn::RelDef || RA.Def == DefAnn::Partial;
+    if (!Relaxed && checkEnabled(CheckId::UseUndefined)) {
+      Diags
+          .report(CheckId::UseUndefined, E->loc(),
+                  "Storage " + R.Ref->str() +
+                      " used before definition: " + exprToString(E))
+          .note(Val.DefLoc, "Storage " + R.Ref->str() + " allocated here");
+    }
+    Val.Def = DefState::Defined; // poison either way
+    writeRef(S, *R.Ref, Val, /*Strong=*/false);
+    R.Val = Val;
+  }
+}
+
+bool FunctionChecker::checkDeref(Env &S, EvalResult &Base, const Expr *Whole,
+                                 const char *AccessKind) {
+  if (Base.IsNullConst) {
+    if (checkEnabled(CheckId::NullDeref))
+      Diags.report(CheckId::NullDeref, Whole->loc(),
+                   std::string(AccessKind) +
+                       " access of null constant: " + exprToString(Whole));
+    return true;
+  }
+  if (!Base.Val.mayBeNull())
+    return false;
+  if (!checkEnabled(CheckId::NullDeref))
+    return false;
+  std::string BaseText =
+      Base.Ref ? Base.Ref->str() : exprToString(Whole);
+  Diags
+      .report(CheckId::NullDeref, Whole->loc(),
+              std::string(AccessKind) + " access from possibly null pointer " +
+                  BaseText + ": " + exprToString(Whole))
+      .note(Base.Val.NullLoc, "Storage " + BaseText + " may become null");
+  // Poison: assume non-null afterwards so one bug is one message.
+  if (Base.Ref)
+    setNullState(S, *Base.Ref, NullState::NotNull, Whole->loc());
+  Base.Val.Null = NullState::NotNull;
+  return true;
+}
+
+FunctionChecker::EvalResult FunctionChecker::evalExpr(const Expr *E, Env &S,
+                                                      bool AsRValue) {
+  EvalResult R;
+  if (!E)
+    return R;
+  switch (E->kind()) {
+  case Expr::ExprKind::Paren:
+    return evalExpr(cast<ParenExpr>(E)->sub(), S, AsRValue);
+
+  case Expr::ExprKind::IntegerLiteral: {
+    R.IsNullConst = cast<IntegerLiteralExpr>(E)->value() == 0;
+    R.Val.Def = DefState::Defined;
+    R.Val.Null = NullState::Unknown;
+    return R;
+  }
+  case Expr::ExprKind::FloatLiteral:
+  case Expr::ExprKind::CharLiteral:
+    R.Val.Def = DefState::Defined;
+    R.Val.Null = NullState::Unknown;
+    return R;
+
+  case Expr::ExprKind::StringLiteral:
+    R.Val.Def = DefState::Defined;
+    R.Val.Null = NullState::NotNull;
+    R.Val.Alloc = AllocState::Static;
+    R.Val.AllocLoc = E->loc();
+    return R;
+
+  case Expr::ExprKind::DeclRef: {
+    const auto *DRE = cast<DeclRefExpr>(E);
+    if (const auto *VD = dyn_cast_or_null<VarDecl>(DRE->decl())) {
+      R.Ref = RefPath::var(VD);
+      R.Val = lookupRef(S, *R.Ref);
+      if (AsRValue && !VD->type().isArray())
+        checkRValueUse(S, R, E);
+      return R;
+    }
+    // Function designators and enum constants are always defined values.
+    R.Val.Def = DefState::Defined;
+    R.Val.Null = NullState::NotNull;
+    R.Val.Alloc = AllocState::Static;
+    return R;
+  }
+
+  case Expr::ExprKind::Member: {
+    const auto *ME = cast<MemberExpr>(E);
+    // A dot access uses the base as an lvalue; only the arrow form reads
+    // the base pointer's value.
+    EvalResult Base = evalExpr(ME->base(), S, /*AsRValue=*/ME->isArrow());
+    PathElem DerefElem;
+    DerefElem.K = PathElem::Kind::Deref;
+    PathElem FieldElem;
+    FieldElem.K = PathElem::Kind::Dot;
+    FieldElem.Field = ME->field();
+    FieldElem.FieldName = ME->member();
+    if (ME->isArrow())
+      checkDeref(S, Base, E, "Arrow");
+    if (Base.Ref && Base.Ref->depth() < 10) {
+      R.Ref = ME->isArrow() ? Base.Ref->child(DerefElem).child(FieldElem)
+                            : Base.Ref->child(FieldElem);
+      R.Val = lookupRef(S, *R.Ref);
+      if (AsRValue)
+        checkRValueUse(S, R, E);
+    } else {
+      SVal Mid = ME->isArrow() ? deriveChild(Base.Val, DerefElem) : Base.Val;
+      R.Val = deriveChild(Mid, FieldElem);
+    }
+    return R;
+  }
+
+  case Expr::ExprKind::ArraySubscript: {
+    const auto *AE = cast<ArraySubscriptExpr>(E);
+    EvalResult Base = evalExpr(AE->base(), S, /*AsRValue=*/true);
+    EvalResult Index = evalExpr(AE->index(), S, /*AsRValue=*/true);
+    (void)Index;
+    checkDeref(S, Base, E, "Index");
+    // Under strictindexalias every compile-time-unknown index denotes the
+    // same element (§2): p[i] is tracked as *p.
+    PathElem Elem;
+    Elem.K = PathElem::Kind::Deref;
+    if (Base.Ref && Base.Ref->depth() < 10 && Flags.get("strictindexalias")) {
+      R.Ref = Base.Ref->child(Elem);
+      R.Val = lookupRef(S, *R.Ref);
+      if (AsRValue)
+        checkRValueUse(S, R, E);
+    } else {
+      R.Val = deriveChild(Base.Val, Elem);
+    }
+    return R;
+  }
+
+  case Expr::ExprKind::Unary: {
+    const auto *UE = cast<UnaryExpr>(E);
+    switch (UE->op()) {
+    case UnaryOp::Deref: {
+      EvalResult Base = evalExpr(UE->sub(), S, /*AsRValue=*/true);
+      checkDeref(S, Base, E, "Dereference");
+      PathElem Elem;
+      Elem.K = PathElem::Kind::Deref;
+      if (Base.Ref && Base.Ref->depth() < 10) {
+        R.Ref = Base.Ref->child(Elem);
+        R.Val = lookupRef(S, *R.Ref);
+        if (AsRValue)
+          checkRValueUse(S, R, E);
+      } else {
+        R.Val = deriveChild(Base.Val, Elem);
+      }
+      return R;
+    }
+    case UnaryOp::AddrOf: {
+      // &x: location used, not the value; no rvalue checks on the operand.
+      EvalResult Sub = evalExpr(UE->sub(), S, /*AsRValue=*/false);
+      R.Val.Def = DefState::Defined;
+      R.Val.Null = NullState::NotNull;
+      if (Sub.Ref && Sub.Ref->isRoot()) {
+        const VarDecl *VD = Sub.Ref->root();
+        R.Val.Alloc = (VD->isGlobal() || VD->isStaticLocal())
+                          ? AllocState::Static
+                          : AllocState::Stack;
+      } else {
+        R.Val.Alloc = AllocState::Offset; // interior pointer
+      }
+      R.Val.AllocLoc = E->loc();
+      // The operand's location is now exposed; assume it becomes defined
+      // through the pointer (likely-case assumption).
+      if (Sub.Ref) {
+        SVal Val = lookupRef(S, *Sub.Ref);
+        if (Val.Def == DefState::Undefined) {
+          Val.Def = DefState::Defined;
+          writeRef(S, *Sub.Ref, Val, /*Strong=*/false);
+        }
+      }
+      return R;
+    }
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostInc:
+    case UnaryOp::PostDec: {
+      EvalResult Sub = evalExpr(UE->sub(), S, /*AsRValue=*/true);
+      if (Sub.Ref && UE->sub()->type().isPointer()) {
+        // Pointer arithmetic makes an offset pointer (not freeable).
+        SVal Val = lookupRef(S, *Sub.Ref);
+        Val.Alloc = AllocState::Offset;
+        Val.AllocLoc = E->loc();
+        writeRef(S, *Sub.Ref, Val, /*Strong=*/false);
+        R.Val = Val;
+      } else if (Sub.Ref) {
+        SVal Val = lookupRef(S, *Sub.Ref);
+        Val.Def = DefState::Defined;
+        writeRef(S, *Sub.Ref, Val, /*Strong=*/false);
+        R.Val = Val;
+      }
+      return R;
+    }
+    case UnaryOp::Not:
+    case UnaryOp::BitNot:
+    case UnaryOp::Plus:
+    case UnaryOp::Minus: {
+      evalExpr(UE->sub(), S, /*AsRValue=*/true);
+      R.Val.Def = DefState::Defined;
+      R.Val.Null = NullState::Unknown;
+      return R;
+    }
+    }
+    return R;
+  }
+
+  case Expr::ExprKind::Binary: {
+    const auto *BE = cast<BinaryExpr>(E);
+    if (isAssignmentOp(BE->op()))
+      return evalAssign(BE, S);
+    switch (BE->op()) {
+    case BinaryOp::LAnd: {
+      evalExpr(BE->lhs(), S, /*AsRValue=*/true);
+      // The right operand only evaluates when the left is true.
+      Env RhsEnv = S;
+      refine(RhsEnv, BE->lhs(), true);
+      evalExpr(BE->rhs(), RhsEnv, /*AsRValue=*/true);
+      reportConflicts(S.mergeFrom(RhsEnv, DefaultFn_), E->loc());
+      R.Val.Def = DefState::Defined;
+      return R;
+    }
+    case BinaryOp::LOr: {
+      evalExpr(BE->lhs(), S, /*AsRValue=*/true);
+      Env RhsEnv = S;
+      refine(RhsEnv, BE->lhs(), false);
+      evalExpr(BE->rhs(), RhsEnv, /*AsRValue=*/true);
+      reportConflicts(S.mergeFrom(RhsEnv, DefaultFn_), E->loc());
+      R.Val.Def = DefState::Defined;
+      return R;
+    }
+    case BinaryOp::Comma: {
+      evalExpr(BE->lhs(), S, /*AsRValue=*/false);
+      return evalExpr(BE->rhs(), S, AsRValue);
+    }
+    case BinaryOp::Add:
+    case BinaryOp::Sub: {
+      EvalResult L = evalExpr(BE->lhs(), S, /*AsRValue=*/true);
+      EvalResult Rt = evalExpr(BE->rhs(), S, /*AsRValue=*/true);
+      if (BE->lhs()->type().isPointer() || BE->lhs()->type().isArray() ||
+          BE->rhs()->type().isPointer() || BE->rhs()->type().isArray()) {
+        // Pointer arithmetic: an offset pointer into the same block.
+        const EvalResult &Ptr =
+            (BE->lhs()->type().isPointer() || BE->lhs()->type().isArray())
+                ? L
+                : Rt;
+        R.Val = Ptr.Val;
+        R.Val.Alloc = AllocState::Offset;
+        R.Val.AllocLoc = E->loc();
+        return R;
+      }
+      R.Val.Def = DefState::Defined;
+      return R;
+    }
+    default: {
+      evalExpr(BE->lhs(), S, /*AsRValue=*/true);
+      evalExpr(BE->rhs(), S, /*AsRValue=*/true);
+      R.Val.Def = DefState::Defined;
+      R.Val.Null = NullState::Unknown;
+      return R;
+    }
+    }
+  }
+
+  case Expr::ExprKind::Call:
+    return evalCall(cast<CallExpr>(E), S);
+
+  case Expr::ExprKind::Cast: {
+    const auto *CE = cast<CastExpr>(E);
+    EvalResult Sub = evalExpr(CE->sub(), S, AsRValue);
+    Sub.IsNullConst = Sub.IsNullConst || isNullConstant(E);
+    return Sub;
+  }
+
+  case Expr::ExprKind::Sizeof:
+    // "Except sizeof, which does not need the value of its argument" — the
+    // operand is not evaluated and undefined storage may appear in it.
+    R.Val.Def = DefState::Defined;
+    return R;
+
+  case Expr::ExprKind::Conditional: {
+    const auto *CE = cast<ConditionalExpr>(E);
+    evalExpr(CE->cond(), S, /*AsRValue=*/true);
+    Env TrueEnv = S;
+    refine(TrueEnv, CE->cond(), true);
+    Env FalseEnv = S;
+    refine(FalseEnv, CE->cond(), false);
+    EvalResult TR = evalExpr(CE->trueExpr(), TrueEnv, /*AsRValue=*/true);
+    EvalResult FR = evalExpr(CE->falseExpr(), FalseEnv, /*AsRValue=*/true);
+    reportConflicts(TrueEnv.mergeFrom(FalseEnv, DefaultFn_), E->loc());
+    S = std::move(TrueEnv);
+    bool Unused1 = false, Unused2 = false;
+    R.Val.Def = mergeDef(TR.Val.Def, FR.Val.Def, Unused1);
+    R.Val.Null = mergeNull(TR.Val.Null, FR.Val.Null);
+    R.Val.Alloc = mergeAlloc(TR.Val.Alloc, FR.Val.Alloc, Unused2);
+    R.Val.NullLoc = TR.Val.mayBeNull() ? TR.Val.NullLoc : FR.Val.NullLoc;
+    if (TR.IsNullConst || FR.IsNullConst) {
+      R.Val.Null = NullState::PossiblyNull;
+      R.Val.NullLoc = E->loc();
+    }
+    return R;
+  }
+
+  case Expr::ExprKind::InitList: {
+    for (const Expr *I : cast<InitListExpr>(E)->inits())
+      evalExpr(I, S, /*AsRValue=*/true);
+    R.Val.Def = DefState::Defined;
+    return R;
+  }
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Assignment
+//===----------------------------------------------------------------------===//
+
+FunctionChecker::EvalResult FunctionChecker::evalAssign(const BinaryExpr *BE,
+                                                        Env &S) {
+  EvalResult R;
+  // Compound assignments read the left side too.
+  bool Compound = BE->op() != BinaryOp::Assign;
+
+  EvalResult RHS = evalExpr(BE->rhs(), S, /*AsRValue=*/true);
+  EvalResult LHS = evalExpr(BE->lhs(), S, /*AsRValue=*/Compound);
+
+  if (!LHS.Ref) {
+    R.Val = RHS.Val;
+    return R;
+  }
+
+  if (Compound) {
+    // x += e: numeric or pointer arithmetic; the reference stays bound to
+    // the same storage (possibly offset).
+    SVal Val = lookupRef(S, *LHS.Ref);
+    Val.Def = DefState::Defined;
+    if (BE->lhs()->type().isPointer())
+      Val.Alloc = AllocState::Offset;
+    writeRef(S, *LHS.Ref, Val, /*Strong=*/false);
+    R.Ref = LHS.Ref;
+    R.Val = Val;
+    return R;
+  }
+
+  assignTo(*LHS.Ref, annotationsFor(*LHS.Ref), BE->lhs()->type(), RHS, S,
+           BE->loc(),
+           exprToString(BE->lhs()) + " = " + exprToString(BE->rhs()),
+           /*IsInitialization=*/false);
+  R.Ref = LHS.Ref;
+  R.Val = lookupRef(S, *LHS.Ref);
+  return R;
+}
+
+void FunctionChecker::assignTo(const RefPath &LHS,
+                               const Annotations &LHSAnnots, QualType LHSTy,
+                               EvalResult &RHS, Env &S,
+                               const SourceLocation &Loc,
+                               const std::string &StmtText,
+                               bool IsInitialization) {
+  bool IsPointerAssign = LHSTy.isPointer() || LHSTy.isNull();
+  bool GCMode = Flags.get("gcmode");
+
+  // Observer storage may not be modified through any base reference.
+  if (checkEnabled(CheckId::Observer)) {
+    RefPath Prefix(LHS.rootKind(), LHS.root());
+    std::vector<RefPath> Prefixes{Prefix};
+    for (const PathElem &El : LHS.elems()) {
+      Prefix = Prefix.child(El);
+      Prefixes.push_back(Prefix);
+    }
+    Prefixes.pop_back(); // the written ref itself may be reassigned freely
+                         // only if it is not itself observer storage
+    for (const RefPath &P : Prefixes) {
+      SVal PV = lookupRef(S, P);
+      if (PV.Alloc == AllocState::Observer) {
+        Diags
+            .report(CheckId::Observer, Loc,
+                    "Observer storage " + P.str() + " modified: " + StmtText)
+            .note(PV.AllocLoc, "Storage " + P.str() + " becomes observer");
+        break;
+      }
+    }
+  }
+
+  // Losing the last reference to unreleased storage is a leak (paper §3:
+  // the owners set becomes empty).
+  if (!IsInitialization && !GCMode && checkEnabled(CheckId::MustFree)) {
+    SVal Old = lookupRef(S, LHS);
+    // Likely-case assumption (paper Â§2): a possibly-null only reference is
+    // probably null here (the common "null until first node" pattern), so
+    // only definitely-live storage triggers the lost-obligation message.
+    if (holdsObligation(Old.Alloc) && Old.Def != DefState::Dead &&
+        Old.Def != DefState::Error && Old.Def != DefState::Undefined &&
+        Old.Def != DefState::Allocated && !Old.mayBeNull()) {
+      bool HasOtherHolder = false;
+      for (const RefPath &Alias : S.aliasesOf(LHS))
+        if (Alias != LHS)
+          HasOtherHolder = true;
+      if (!HasOtherHolder) {
+        const char *Word = Old.Alloc == AllocState::Fresh ? "Fresh"
+                           : Old.Alloc == AllocState::RefCounted
+                               ? "Refcounted"
+                               : "Only";
+        Diags
+            .report(CheckId::MustFree, Loc,
+                    std::string(Word) + " storage " + LHS.str() +
+                        " not released before assignment: " + StmtText)
+            .note(Old.AllocLoc, "Storage " + LHS.str() + " becomes " +
+                                    allocStateName(Old.Alloc));
+      }
+    }
+  }
+
+  // Compute the new value.
+  SVal New;
+  if (RHS.IsNullConst && IsPointerAssign) {
+    New.Def = DefState::Defined;
+    New.Null = NullState::DefinitelyNull;
+    New.NullLoc = Loc;
+    New.Alloc = AllocState::Null;
+  } else {
+    New = RHS.Val;
+    if (New.Def == DefState::Undefined)
+      New.Def = DefState::Defined; // rvalue check already reported
+    if (!IsPointerAssign) {
+      New.Null = NullState::Unknown;
+      New.Alloc = AllocState::Unqualified;
+    }
+    // The target "becomes null" at the assignment site (Figure 2's note
+    // points at the assignment, not the source declaration).
+    if (New.mayBeNull())
+      New.NullLoc = Loc;
+  }
+  New.DefLoc = New.DefLoc.isValid() ? New.DefLoc : Loc;
+
+  // Allocation-state transfer per the left side's annotations.
+  bool LHSIsExternal = LHS.root()->isGlobal() ||
+                       LHS.rootKind() == RefPath::RootKind::Arg ||
+                       !LHS.isRoot();
+  AllocAnn TargetAlloc = LHSAnnots.Alloc;
+  if (TargetAlloc == AllocAnn::Unspecified && IsPointerAssign) {
+    if (LHS.isRoot() && LHS.root()->isGlobal() &&
+        Flags.get("implicitonlyglob"))
+      TargetAlloc = AllocAnn::Only;
+    else if (!LHS.isRoot() && LHS.elems().back().Field &&
+             Flags.get("implicitonlyfield"))
+      TargetAlloc = AllocAnn::Only;
+  }
+
+  if (IsPointerAssign && !RHS.IsNullConst) {
+    switch (TargetAlloc) {
+    case AllocAnn::Only:
+    case AllocAnn::Owned: {
+      const char *TargetWord =
+          TargetAlloc == AllocAnn::Only ? "only" : "owned";
+      switch (RHS.Val.Alloc) {
+      case AllocState::Temp: {
+        if (checkEnabled(CheckId::AliasTransfer)) {
+          std::string RhsText = RHS.Ref ? RHS.Ref->str() : StmtText;
+          Diags
+              .report(CheckId::AliasTransfer, Loc,
+                      "Temp storage " + RhsText + " assigned to " +
+                          TargetWord + ": " + StmtText)
+              .note(RHS.Val.AllocLoc,
+                    "Storage " + RhsText + " becomes temp");
+        }
+        break;
+      }
+      case AllocState::Dependent:
+      case AllocState::Shared:
+      case AllocState::Observer:
+      case AllocState::Kept:
+      case AllocState::Static:
+      case AllocState::Stack:
+      case AllocState::Offset:
+        if (checkEnabled(CheckId::AliasTransfer)) {
+          std::string RhsText = RHS.Ref ? RHS.Ref->str() : StmtText;
+          Diags.report(CheckId::AliasTransfer, Loc,
+                       std::string(allocStateName(RHS.Val.Alloc)) +
+                           " storage " + RhsText + " assigned to " +
+                           TargetWord + ": " + StmtText);
+        }
+        break;
+      case AllocState::Only:
+      case AllocState::Fresh:
+      case AllocState::Owned:
+      case AllocState::Keep:
+        // Obligation transfers to the external only reference; the source
+        // reference may no longer be used to release it.
+        if (RHS.Ref)
+          consumeObligation(S, *RHS.Ref, /*MakeDead=*/false, Loc);
+        break;
+      default:
+        break;
+      }
+      New.Alloc =
+          TargetAlloc == AllocAnn::Only ? AllocState::Only : AllocState::Owned;
+      New.AllocLoc = LHS.root()->loc();
+      break;
+    }
+    case AllocAnn::Dependent:
+      New.Alloc = AllocState::Dependent;
+      New.AllocLoc = LHS.root()->loc();
+      break;
+    case AllocAnn::Shared:
+      New.Alloc = AllocState::Shared;
+      New.AllocLoc = LHS.root()->loc();
+      break;
+    default: {
+      // Unannotated target. The release obligation moves with the value
+      // only when the source reference has no independent home: a pure
+      // rvalue (allocator result) keeps its Fresh state, and assignment
+      // between plain locals transfers (the old local keeps a usable,
+      // obligation-free view). A derived reference (an only field) or a
+      // parameter keeps its own obligation; the target is just an alias.
+      if (holdsObligation(RHS.Val.Alloc) && RHS.Ref) {
+        bool RhsIsPlainLocal = RHS.Ref->isRoot() &&
+                               !RHS.Ref->root()->isGlobal() &&
+                               !isa<ParmVarDecl>(RHS.Ref->root());
+        if (RhsIsPlainLocal) {
+          consumeObligation(S, *RHS.Ref, /*MakeDead=*/false, Loc);
+          New.Alloc = RHS.Val.Alloc;
+        } else if (RHS.Ref->isRoot()) {
+          New.Alloc = RHS.Val.Alloc; // aliased parameter/global view
+        } else {
+          New.Alloc = AllocState::Dependent; // alias of owned field storage
+          New.AllocLoc = Loc;
+        }
+      }
+      // Newly allocated storage stored into an unqualified external
+      // reference: the release obligation is not recorded anywhere visible
+      // to callers, so a leak is suspected (the paper's four eref_pool
+      // messages, fixed by adding only annotations to the fields).
+      if (holdsObligation(New.Alloc) && LHSIsExternal && !GCMode &&
+          checkEnabled(CheckId::MustFree)) {
+        bool RootIsExternal = LHS.root()->isGlobal() ||
+                              LHS.rootKind() == RefPath::RootKind::Arg ||
+                              isa<ParmVarDecl>(LHS.root());
+        if (RootIsExternal)
+          Diags
+              .report(CheckId::MustFree, Loc,
+                      "Fresh storage assigned to unqualified external "
+                      "reference (obligation not transferred): " +
+                          StmtText)
+              .note(New.AllocLoc, "Storage becomes " +
+                                      std::string(allocStateName(New.Alloc)));
+      }
+      break;
+    }
+    }
+  }
+  if (RHS.IsNullConst && holdsObligation(lookupRef(S, LHS).Alloc)) {
+    // handled by the leak check above; the new value is the null pointer
+  }
+
+  // New aliases must be expressed in terms of references that stay stable
+  // across the rebinding: expand the source through the *pre-assignment*
+  // alias relation and drop rewrites that pass through the target itself
+  // (after "l = l->next", l aliases argl->next, not the new l->next).
+  std::vector<RefPath> NewAliases;
+  if (IsPointerAssign && RHS.Ref && !RHS.IsNullConst) {
+    for (const RefPath &Candidate : S.expansions(*RHS.Ref))
+      if (!Candidate.hasPrefix(LHS))
+        NewAliases.push_back(Candidate);
+  }
+  for (const RefPath &Alias : RHS.ResultAliases)
+    if (!Alias.hasPrefix(LHS))
+      NewAliases.push_back(Alias);
+
+  // Bind: strong update of the primary reference.
+  S.clearAliases(LHS);
+  writeRef(S, LHS, New, /*Strong=*/true);
+  for (const RefPath &Alias : NewAliases)
+    S.addAlias(LHS, Alias);
+
+  // Newly allocated record storage: materialize its fields as tracked
+  // undefined references so completeness checking can enumerate what the
+  // body never defines (the paper's l->next->next at point 11).
+  if (New.Def == DefState::Allocated)
+    materializeChildren(S, LHS, LHSTy, New.DefLoc);
+}
+
+//===----------------------------------------------------------------------===//
+// Calls
+//===----------------------------------------------------------------------===//
+
+void FunctionChecker::checkCallArg(Env &S, EvalResult &Arg,
+                                   const Expr *ArgExpr,
+                                   const ParmVarDecl *Parm,
+                                   const FunctionDecl *Callee, unsigned Index,
+                                   const CallExpr *CE) {
+  Annotations PA = Parm->effectiveAnnotations();
+  std::string CallText = exprToString(CE);
+  std::string ArgText = Arg.Ref ? Arg.Ref->str() : exprToString(ArgExpr);
+  bool ParmIsPointer = Parm->type().isPointer();
+  bool GCMode = Flags.get("gcmode");
+
+  // Null checking: a possibly-null value may only be passed where a null
+  // parameter is expected.
+  if (ParmIsPointer && PA.Null == NullAnn::Unspecified &&
+      checkEnabled(CheckId::NullPass)) {
+    if (Arg.IsNullConst) {
+      Diags.report(CheckId::NullPass, ArgExpr->loc(),
+                   "Null value passed as non-null param " +
+                       std::to_string(Index + 1) + " of " + Callee->name() +
+                       ": " + CallText);
+    } else if (Arg.Val.mayBeNull()) {
+      Diags
+          .report(CheckId::NullPass, ArgExpr->loc(),
+                  "Possibly null storage " + ArgText +
+                      " passed as non-null param " +
+                      std::to_string(Index + 1) + " of " + Callee->name() +
+                      ": " + CallText)
+          .note(Arg.Val.NullLoc, "Storage " + ArgText + " may become null");
+      if (Arg.Ref)
+        setNullState(S, *Arg.Ref, NullState::NotNull, ArgExpr->loc());
+    }
+  }
+
+  // Definition checking: actuals must be completely defined, except that an
+  // out parameter only requires allocated storage.
+  if (PA.Def != DefAnn::Out && PA.Def != DefAnn::Partial &&
+      PA.Def != DefAnn::RelDef && checkEnabled(CheckId::CompleteDefine) &&
+      !Arg.IsNullConst) {
+    if (Arg.Val.Def == DefState::Allocated) {
+      Diags
+          .report(CheckId::CompleteDefine, ArgExpr->loc(),
+                  "Allocated storage " + ArgText +
+                      " passed as completely-defined param " +
+                      std::to_string(Index + 1) + " of " + Callee->name() +
+                      ": " + CallText)
+          .note(Arg.Val.DefLoc, "Storage " + ArgText + " allocated here");
+      if (Arg.Ref) {
+        SVal Val = lookupRef(S, *Arg.Ref);
+        Val.Def = DefState::Defined;
+        writeRef(S, *Arg.Ref, Val, /*Strong=*/false);
+      }
+    } else if (Arg.Ref && Arg.Val.Def == DefState::PartiallyDefined) {
+      for (const auto &KV : S.values()) {
+        const RefPath &Tracked = KV.first;
+        if (Tracked == *Arg.Ref || !Tracked.hasPrefix(*Arg.Ref))
+          continue;
+        if (KV.second.Def != DefState::Undefined &&
+            KV.second.Def != DefState::Allocated)
+          continue;
+        if (hasUndefinedAncestor(S, Tracked))
+          continue;
+        Annotations ChildAnnots = annotationsFor(Tracked);
+        if (ChildAnnots.Def != DefAnn::Unspecified)
+          continue;
+        Diags.report(CheckId::CompleteDefine, ArgExpr->loc(),
+                     "Storage " + Tracked.str() +
+                         " reachable from param " +
+                         std::to_string(Index + 1) + " of " +
+                         Callee->name() + " is undefined: " + CallText);
+      }
+    }
+  }
+
+  // Reference counting: a killref parameter releases one reference; the
+  // argument stays usable (other references keep the storage alive).
+  if (PA.KillRef) {
+    if (!Arg.IsNullConst && Arg.Val.Alloc != AllocState::RefCounted &&
+        Arg.Val.Alloc != AllocState::Unqualified &&
+        Arg.Val.Alloc != AllocState::Kept &&
+        checkEnabled(CheckId::AliasTransfer)) {
+      Diags.report(CheckId::AliasTransfer, ArgExpr->loc(),
+                   std::string(allocStateName(Arg.Val.Alloc)) + " storage " +
+                       ArgText + " passed as killref param: " + CallText);
+    }
+    if (Arg.Ref)
+      consumeObligation(S, *Arg.Ref, /*MakeDead=*/false, ArgExpr->loc());
+    return;
+  }
+  if (PA.TempRef)
+    return; // uses the reference without retaining or releasing it
+
+  // Allocation-state transfer.
+  switch (PA.Alloc) {
+  case AllocAnn::Only:
+  case AllocAnn::Keep: {
+    bool IsKeep = PA.Alloc == AllocAnn::Keep;
+    if (Arg.IsNullConst)
+      break; // free(NULL) is explicitly allowed by the spec used
+    switch (Arg.Val.Alloc) {
+    case AllocState::Temp: {
+      if (!GCMode && checkEnabled(CheckId::AliasTransfer)) {
+        // Distinguish explicit temp from the implied-temp default.
+        bool Implicit = true;
+        if (Arg.Ref) {
+          Annotations AA = annotationsFor(*Arg.Ref);
+          Implicit = AA.Alloc == AllocAnn::Unspecified;
+        }
+        Diags
+            .report(CheckId::AliasTransfer, ArgExpr->loc(),
+                    std::string(Implicit ? "Implicitly temp" : "Temp") +
+                        " storage " + ArgText + " passed as only param: " +
+                        CallText)
+            .note(Arg.Val.AllocLoc,
+                  "Storage " + ArgText + " becomes temp");
+      }
+      break;
+    }
+    case AllocState::Kept:
+      if (!GCMode && checkEnabled(CheckId::AliasTransfer))
+        Diags.report(CheckId::AliasTransfer, ArgExpr->loc(),
+                     "Kept storage " + ArgText +
+                         " passed as only param (obligation already "
+                         "transferred): " +
+                         CallText);
+      break;
+    case AllocState::Dependent:
+    case AllocState::Shared:
+    case AllocState::Observer:
+    case AllocState::Exposed:
+    case AllocState::RefCounted:
+      // Refcounted storage is released through killref, never free.
+      if (checkEnabled(CheckId::AliasTransfer))
+        Diags.report(CheckId::AliasTransfer, ArgExpr->loc(),
+                     std::string(allocStateName(Arg.Val.Alloc)) +
+                         " storage " + ArgText +
+                         " passed as only param: " + CallText);
+      break;
+    case AllocState::Static:
+    case AllocState::Stack:
+    case AllocState::Offset:
+      // The 1996 tool missed freeing offset pointers and static storage
+      // (§7); the check exists behind a flag, off by default, to reproduce
+      // both the paper's misses and the later improvement.
+      if (Flags.get("illegalfree") && checkEnabled(CheckId::DoubleFree))
+        Diags.report(CheckId::DoubleFree, ArgExpr->loc(),
+                     std::string(allocStateName(Arg.Val.Alloc)) +
+                         " storage " + ArgText +
+                         " passed as only param (not allocated storage): " +
+                         CallText);
+      break;
+    default:
+      break;
+    }
+    if (Arg.Val.Def == DefState::Dead &&
+        checkEnabled(CheckId::DoubleFree)) {
+      Diags
+          .report(CheckId::DoubleFree, ArgExpr->loc(),
+                  "Dead storage " + ArgText +
+                      " passed as only param (may be released twice): " +
+                      CallText)
+          .note(Arg.Val.FreeLoc, "Storage " + ArgText + " released");
+    }
+    // Compound destruction (paper footnote): an out only void* parameter
+    // releases the object; live unshared storage reachable from it leaks.
+    if (!GCMode && Arg.Ref && PA.Def == DefAnn::Out &&
+        Parm->type().isPointer() && Parm->type().pointee().isVoid() &&
+        checkEnabled(CheckId::MustFree)) {
+      for (const auto &KV : S.values()) {
+        const RefPath &Tracked = KV.first;
+        if (Tracked == *Arg.Ref || !Tracked.hasPrefix(*Arg.Ref))
+          continue;
+        if (!holdsObligation(KV.second.Alloc) ||
+            KV.second.Def == DefState::Dead)
+          continue;
+        Diags.report(CheckId::MustFree, ArgExpr->loc(),
+                     "Only storage " + Tracked.str() +
+                         " derivable from " + ArgText +
+                         " not released before " + Callee->name() + ": " +
+                         CallText);
+      }
+    }
+    // After the call: obligation satisfied. For only, the reference is
+    // dead; for keep, the caller may still use it.
+    if (Arg.Ref)
+      consumeObligation(S, *Arg.Ref, /*MakeDead=*/!IsKeep, ArgExpr->loc());
+    break;
+  }
+  case AllocAnn::Owned: {
+    // Transfer of ownership; the caller's reference becomes dependent.
+    if (Arg.Ref) {
+      for (const RefPath &Target : S.expansions(*Arg.Ref)) {
+        SVal Val = lookupRef(S, Target);
+        Val.Alloc = AllocState::Dependent;
+        S.set(Target, Val);
+      }
+    }
+    break;
+  }
+  case AllocAnn::Temp:
+  case AllocAnn::Dependent:
+  case AllocAnn::Shared:
+  case AllocAnn::Unspecified:
+    // No transfer; aliases unchanged ("at a call site where a reference is
+    // passed as a temp parameter, the aliases ... are the same before and
+    // after the call").
+    break;
+  }
+
+  // After-call definition state: storage passed as out is assumed
+  // completely defined afterwards.
+  if (PA.Def == DefAnn::Out && Arg.Ref && PA.Alloc != AllocAnn::Only &&
+      PA.Alloc != AllocAnn::Keep) {
+    S.eraseDescendants(*Arg.Ref);
+    SVal Val = lookupRef(S, *Arg.Ref);
+    Val.Def = DefState::Defined;
+    Val.DefLoc = ArgExpr->loc();
+    writeRef(S, *Arg.Ref, Val, /*Strong=*/false);
+  }
+}
+
+void FunctionChecker::checkUniqueParams(Env &S, const FunctionDecl *Callee,
+                                        const std::vector<EvalResult> &Args,
+                                        const CallExpr *CE) {
+  if (!checkEnabled(CheckId::UniqueAlias))
+    return;
+  const auto &Params = Callee->params();
+
+  // The paper's rule (Figure 8): storage reachable from distinct external
+  // references (unconstrained parameters, globals) MAY be shared unless
+  // something proves otherwise â the same root diverging on different
+  // fields, a unique annotation in the current function, or locally
+  // allocated unshared storage.
+  auto isExternalRoot = [&](const RefPath &Ref) {
+    const VarDecl *Root = Ref.root();
+    if (Root->isGlobal())
+      return true;
+    if (Ref.rootKind() == RefPath::RootKind::Arg || isa<ParmVarDecl>(Root))
+      return !Root->effectiveAnnotations().Unique;
+    return false;
+  };
+  auto mayAliasExternally = [&](const RefPath &A, const RefPath &B) {
+    // Explicit may-alias information first.
+    for (const RefPath &EA : S.expansions(A))
+      for (const RefPath &EB : S.expansions(B))
+        if (EA == EB || EA.hasPrefix(EB) || EB.hasPrefix(EA))
+          return true;
+    if (A.root() == B.root())
+      return false; // same root, diverging paths: provably distinct
+    if (!isExternalRoot(A) || !isExternalRoot(B))
+      return false; // local/unique storage cannot be externally shared
+    SVal AV = lookupRef(S, A);
+    SVal BV = lookupRef(S, B);
+    if (AV.Alloc == AllocState::Fresh || BV.Alloc == AllocState::Fresh)
+      return false; // freshly allocated storage is unshared
+    return true;
+  };
+
+  for (size_t I = 0; I < Params.size() && I < Args.size(); ++I) {
+    if (!Params[I]->effectiveAnnotations().Unique || !Args[I].Ref)
+      continue;
+    for (size_t J = 0; J < Args.size(); ++J) {
+      if (J == I || !Args[J].Ref)
+        continue;
+      if (mayAliasExternally(*Args[I].Ref, *Args[J].Ref)) {
+        Diags.report(CheckId::UniqueAlias, CE->loc(),
+                     "Parameter " + std::to_string(I + 1) + " (" +
+                         Args[I].Ref->str() + ") to function " +
+                         Callee->name() +
+                         " is declared unique but may be aliased externally "
+                         "by parameter " +
+                         std::to_string(J + 1) + " (" + Args[J].Ref->str() +
+                         ")");
+      }
+    }
+    for (const VarDecl *G : GlobalsUsed) {
+      if (!G->type().isPointer() && !G->type().isArray() &&
+          !G->type().isRecord())
+        continue;
+      RefPath GRef = RefPath::var(G);
+      if (mayAliasExternally(*Args[I].Ref, GRef))
+        Diags.report(CheckId::UniqueAlias, CE->loc(),
+                     "Parameter " + std::to_string(I + 1) + " (" +
+                         Args[I].Ref->str() + ") to function " +
+                         Callee->name() +
+                         " is declared unique but may be aliased by global " +
+                         G->name());
+    }
+  }
+}
+
+FunctionChecker::EvalResult FunctionChecker::evalCall(const CallExpr *CE,
+                                                      Env &S) {
+  EvalResult R;
+  const FunctionDecl *Callee = CE->directCallee();
+
+  if (!Callee) {
+    // Indirect call: evaluate operands as rvalue uses; unknown result.
+    evalExpr(CE->callee(), S, /*AsRValue=*/true);
+    for (const Expr *A : CE->args())
+      evalExpr(A, S, /*AsRValue=*/true);
+    R.Val.Def = DefState::Defined;
+    return R;
+  }
+
+  // assert(cond): evaluate, then refine as if the condition held.
+  if (Callee->name() == "assert" && CE->args().size() == 1) {
+    evalExpr(CE->args()[0], S, /*AsRValue=*/true);
+    refine(S, CE->args()[0], true);
+    R.Val.Def = DefState::Defined;
+    return R;
+  }
+
+  std::vector<EvalResult> Args;
+  Args.reserve(CE->args().size());
+  for (const Expr *A : CE->args())
+    Args.push_back(evalExpr(A, S, /*AsRValue=*/true));
+
+  const auto &Params = Callee->params();
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I < Params.size())
+      checkCallArg(S, Args[I], CE->args()[I], Params[I], Callee,
+                   static_cast<unsigned>(I), CE);
+  }
+  checkUniqueParams(S, Callee, Args, CE);
+
+  Annotations RA = Callee->effectiveReturnAnnotations();
+
+  // Functions that never return terminate the path (exit, abort).
+  if (RA.Exits) {
+    S.setUnreachable();
+    R.Val.Def = DefState::Defined;
+    return R;
+  }
+
+  // The result's state from the return annotations.
+  bool ReturnsPointer = Callee->returnType().isPointer();
+  R.Val.Def = DefState::Defined;
+  if (ReturnsPointer) {
+    switch (RA.Null) {
+    case NullAnn::Null:
+      R.Val.Null = NullState::PossiblyNull;
+      R.Val.NullLoc = CE->loc();
+      break;
+    case NullAnn::RelNull:
+      R.Val.Null = NullState::RelNull;
+      break;
+    default:
+      R.Val.Null = NullState::NotNull;
+      break;
+    }
+    if (RA.Def == DefAnn::Out) {
+      R.Val.Def = DefState::Allocated;
+      R.Val.DefLoc = CE->loc();
+    }
+    if (RA.NewRef) {
+      // A new reference to reference-counted storage: must be released
+      // with a killref before the last reference is lost.
+      R.Val.Alloc = AllocState::RefCounted;
+      R.Val.AllocLoc = CE->loc();
+      return R;
+    }
+    switch (RA.Alloc) {
+    case AllocAnn::Only:
+      R.Val.Alloc = AllocState::Fresh;
+      R.Val.AllocLoc = CE->loc();
+      break;
+    case AllocAnn::Shared:
+      R.Val.Alloc = AllocState::Shared;
+      break;
+    case AllocAnn::Dependent:
+      R.Val.Alloc = AllocState::Dependent;
+      break;
+    default:
+      if (RA.Exposure == ExposureAnn::Observer) {
+        R.Val.Alloc = AllocState::Observer;
+        R.Val.AllocLoc = CE->loc();
+      } else if (RA.Exposure == ExposureAnn::Exposed) {
+        R.Val.Alloc = AllocState::Exposed;
+        R.Val.AllocLoc = CE->loc();
+      } else if (Flags.get("implicitonlyret")) {
+        R.Val.Alloc = AllocState::Fresh;
+        R.Val.AllocLoc = CE->loc();
+      }
+      break;
+    }
+  }
+
+  // returned parameters: the result may alias those arguments.
+  for (size_t I = 0; I < Params.size() && I < Args.size(); ++I) {
+    if (Params[I]->effectiveAnnotations().Returned && Args[I].Ref)
+      R.ResultAliases.push_back(*Args[I].Ref);
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Branch refinement
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// If \p E denotes a pointer-valued reference usable for refinement, return
+/// it via evaluation-free syntactic matching (no checks, no state changes).
+const Expr *stripRefinementWrappers(const Expr *E) {
+  while (true) {
+    E = E->ignoreParens();
+    if (const auto *CE = dyn_cast<CastExpr>(E)) {
+      E = CE->sub();
+      continue;
+    }
+    return E;
+  }
+}
+
+} // namespace
+
+void FunctionChecker::refine(Env &S, const Expr *Cond, bool Value) {
+  if (!Cond || S.isUnreachable())
+    return;
+  const Expr *E = stripRefinementWrappers(Cond);
+
+  // !e
+  if (const auto *UE = dyn_cast<UnaryExpr>(E)) {
+    if (UE->op() == UnaryOp::Not)
+      refine(S, UE->sub(), !Value);
+    return;
+  }
+
+  if (const auto *BE = dyn_cast<BinaryExpr>(E)) {
+    // e1 && e2: when true, both are true. e1 || e2: when false, both false.
+    if (BE->op() == BinaryOp::LAnd && Value) {
+      refine(S, BE->lhs(), true);
+      refine(S, BE->rhs(), true);
+      return;
+    }
+    if (BE->op() == BinaryOp::LOr && !Value) {
+      refine(S, BE->lhs(), false);
+      refine(S, BE->rhs(), false);
+      return;
+    }
+    // e == NULL / e != NULL (either side).
+    if (isEqualityOp(BE->op())) {
+      const Expr *Tested = nullptr;
+      if (isNullConstant(BE->rhs()))
+        Tested = BE->lhs();
+      else if (isNullConstant(BE->lhs()))
+        Tested = BE->rhs();
+      if (!Tested)
+        return;
+      bool IsNullWhen = (BE->op() == BinaryOp::EQ) ? Value : !Value;
+      // Locate the reference without side effects: a refinement-only eval.
+      Env Scratch = S;
+      EvalResult R = evalExpr(Tested, Scratch, /*AsRValue=*/false);
+      if (R.Ref)
+        setNullState(S, *R.Ref,
+                     IsNullWhen ? NullState::DefinitelyNull
+                                : NullState::NotNull,
+                     Cond->loc());
+      return;
+    }
+    // p = e used as a condition: refine p.
+    if (BE->op() == BinaryOp::Assign) {
+      Env Scratch = S;
+      EvalResult R = evalExpr(BE->lhs(), Scratch, /*AsRValue=*/false);
+      if (R.Ref && BE->lhs()->type().isPointer())
+        setNullState(S, *R.Ref,
+                     Value ? NullState::NotNull : NullState::DefinitelyNull,
+                     Cond->loc());
+      return;
+    }
+    return;
+  }
+
+  // truenull/falsenull test functions: isNull(p).
+  if (const auto *CE = dyn_cast<CallExpr>(E)) {
+    const FunctionDecl *Callee = CE->directCallee();
+    if (!Callee || CE->args().empty())
+      return;
+    bool TrueNull = Callee->isTrueNull();
+    bool FalseNull = Callee->isFalseNull();
+    if (!TrueNull && !FalseNull)
+      return;
+    // The tested pointer is the first pointer-typed argument.
+    const Expr *Tested = nullptr;
+    for (const Expr *A : CE->args())
+      if (A->type().isPointer()) {
+        Tested = A;
+        break;
+      }
+    if (!Tested)
+      return;
+    Env Scratch = S;
+    EvalResult R = evalExpr(Tested, Scratch, /*AsRValue=*/false);
+    if (!R.Ref)
+      return;
+    bool IsNull = TrueNull ? Value : !Value;
+    setNullState(S, *R.Ref,
+                 IsNull ? NullState::DefinitelyNull : NullState::NotNull,
+                 Cond->loc());
+    return;
+  }
+
+  // A bare pointer used as the condition: if (p) / while (p->next).
+  {
+    Env Scratch = S;
+    EvalResult R = evalExpr(E, Scratch, /*AsRValue=*/false);
+    if (R.Ref && E->type().isPointer())
+      setNullState(S, *R.Ref,
+                   Value ? NullState::NotNull : NullState::DefinitelyNull,
+                   Cond->loc());
+  }
+}

@@ -1,0 +1,159 @@
+//===--- FunctionChecker.h - The paper's intraprocedural analysis *- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The core of the paper: each procedure is checked independently using the
+/// interface information in annotations (§2, §5).
+///
+/// - At entry, parameter and global annotations are assumed. Each pointer
+///   parameter gets a caller-visible "arg" mirror (the paper's `argl`) that
+///   the local parameter initially aliases, so state changes made through
+///   derived references propagate to the interface view.
+/// - Expressions are evaluated abstractly; every rvalue use, dereference,
+///   assignment, and call is checked against the storage model.
+/// - Control flow follows the paper's simplifications: any predicate may be
+///   true or false, loops execute zero or one time (no back edges), and
+///   branch conditions refine null states (including truenull/falsenull
+///   test functions and assert()).
+/// - At every return point and at the fall-off exit, interface constraints
+///   on the return value, parameters, and used globals are verified;
+///   unreleased obligations are reported as leaks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_ANALYSIS_FUNCTIONCHECKER_H
+#define MEMLINT_ANALYSIS_FUNCTIONCHECKER_H
+
+#include "analysis/Env.h"
+#include "ast/AST.h"
+#include "support/Diagnostics.h"
+#include "support/Flags.h"
+
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace memlint {
+
+/// Checks function bodies against their interface annotations.
+class FunctionChecker {
+public:
+  FunctionChecker(const TranslationUnit &TU, const FlagSet &Flags,
+                  DiagnosticEngine &Diags)
+      : TU(TU), Flags(Flags), Diags(Diags) {}
+
+  /// Checks one function definition.
+  void checkFunction(const FunctionDecl *FD);
+
+  /// Checks every function definition in the translation unit.
+  void checkAll();
+
+private:
+  /// The abstract result of evaluating an expression.
+  struct EvalResult {
+    std::optional<RefPath> Ref; ///< reference the expression denotes, if any
+    SVal Val;                   ///< abstract value
+    bool IsNullConst = false;   ///< a null pointer constant
+    std::vector<RefPath> ResultAliases; ///< call results: refs the value may
+                                        ///< alias (returned parameters)
+  };
+
+  //===--- evaluation ------------------------------------------------------===//
+  EvalResult evalExpr(const Expr *E, Env &S, bool AsRValue);
+  EvalResult evalCall(const CallExpr *CE, Env &S);
+  EvalResult evalAssign(const BinaryExpr *BE, Env &S);
+  /// Shared by assignments and initialized declarations.
+  void assignTo(const RefPath &LHS, const Annotations &LHSAnnots,
+                QualType LHSTy, EvalResult &RHS, Env &S,
+                const SourceLocation &Loc, const std::string &StmtText,
+                bool IsInitialization);
+
+  //===--- statements ------------------------------------------------------===//
+  void execStmt(const Stmt *S, Env &Env_);
+  void execCompound(const CompoundStmt *CS, Env &S);
+  void execIf(const IfStmt *IS, Env &S);
+  void execWhile(const WhileStmt *WS, Env &S);
+  void execDo(const DoStmt *DS, Env &S);
+  void execFor(const ForStmt *FS, Env &S);
+  void execSwitch(const SwitchStmt *SS, Env &S);
+  void execReturn(const ReturnStmt *RS, Env &S);
+  void execDecl(const VarDecl *VD, Env &S, const SourceLocation &Loc);
+
+  //===--- refinement ------------------------------------------------------===//
+  /// Refines null states assuming \p Cond evaluated to \p Value.
+  void refine(Env &S, const Expr *Cond, bool Value);
+  void setNullState(Env &S, const RefPath &Ref, NullState NS,
+                    const SourceLocation &Loc);
+
+  //===--- state helpers ---------------------------------------------------===//
+  /// Entry/default value of a reference from declarations alone.
+  SVal defaultFor(const RefPath &Ref) const;
+  /// Value of a reference in \p S, deriving through the nearest tracked
+  /// ancestor when untracked.
+  SVal lookupRef(const Env &S, const RefPath &Ref);
+  /// Child value derivation (field annotations + parent definition state).
+  SVal deriveChild(const SVal &Parent, const PathElem &Elem) const;
+  /// Writes \p Val to \p Ref and all alias expansions; propagates partial
+  /// definition to ancestors; \p Strong erases stale descendants of the
+  /// primary reference.
+  void writeRef(Env &S, const RefPath &Ref, const SVal &Val, bool Strong);
+  /// Effective annotations governing a reference (root decl or last field).
+  Annotations annotationsFor(const RefPath &Ref) const;
+  /// Marks an obligation as consumed on a reference and its expansions.
+  void consumeObligation(Env &S, const RefPath &Ref, bool MakeDead,
+                         const SourceLocation &Loc);
+  /// After \p Ref is bound to allocated-but-undefined record storage, track
+  /// each field as explicitly undefined so completeness checks can
+  /// enumerate what the body never defines.
+  void materializeChildren(Env &S, const RefPath &Ref, QualType PtrTy,
+                           const SourceLocation &Loc);
+
+  //===--- checks ----------------------------------------------------------===//
+  void checkRValueUse(Env &S, EvalResult &R, const Expr *E);
+  /// Checks a dereference (arrow/star/index) of \p Base; returns true if a
+  /// null-deref anomaly was reported (state is then poisoned).
+  bool checkDeref(Env &S, EvalResult &Base, const Expr *Whole,
+                  const char *AccessKind);
+  void checkCallArg(Env &S, EvalResult &Arg, const Expr *ArgExpr,
+                    const ParmVarDecl *Parm, const FunctionDecl *Callee,
+                    unsigned Index, const CallExpr *CE);
+  void checkUniqueParams(Env &S, const FunctionDecl *Callee,
+                         const std::vector<EvalResult> &Args,
+                         const CallExpr *CE);
+  /// Interface checks at a return point or the fall-off exit.
+  void checkExitPoint(Env &S, const SourceLocation &Loc);
+  /// Leak checks for locals leaving scope.
+  void checkScopeExit(Env &S, const std::vector<const VarDecl *> &Locals,
+                      const SourceLocation &Loc);
+  void reportConflicts(const std::vector<Env::Conflict> &Conflicts,
+                       const SourceLocation &Loc);
+
+  bool checkEnabled(CheckId Id) const {
+    return Flags.get(checkIdFlagName(Id));
+  }
+
+  //===--- loop / scope bookkeeping ----------------------------------------===//
+  struct LoopContext {
+    std::vector<Env> Breaks;
+    std::vector<Env> Continues;
+    bool IsSwitch = false;
+  };
+
+  const TranslationUnit &TU;
+  const FlagSet &Flags;
+  DiagnosticEngine &Diags;
+
+  // Per-function state.
+  const FunctionDecl *CurFn = nullptr;
+  std::set<const VarDecl *> GlobalsUsed;
+  std::vector<std::vector<const VarDecl *>> LocalScopes;
+  std::vector<LoopContext *> Loops;
+  Env::DefaultFn DefaultFn_;
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_ANALYSIS_FUNCTIONCHECKER_H

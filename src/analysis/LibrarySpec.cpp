@@ -1,0 +1,74 @@
+//===--- LibrarySpec.cpp - Annotated standard library ----------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LibrarySpec.h"
+
+using namespace memlint;
+
+const char *memlint::libraryPreludeName() { return "<stdlib>"; }
+
+const std::string &memlint::libraryPreludeSource() {
+  static const std::string Prelude = R"c(
+#define NULL ((void *) 0)
+#define EXIT_FAILURE 1
+#define EXIT_SUCCESS 0
+#define TRUE 1
+#define FALSE 0
+typedef unsigned long size_t;
+typedef int bool;
+
+/* Allocation: the paper's specifications, verbatim in annotation form. */
+extern /*@null@*/ /*@out@*/ /*@only@*/ void *malloc(size_t size);
+extern /*@null@*/ /*@out@*/ /*@only@*/ void *calloc(size_t nmemb,
+                                                    size_t size);
+extern /*@null@*/ /*@only@*/ void *realloc(/*@null@*/ /*@only@*/ void *ptr,
+                                           size_t size);
+extern void free(/*@null@*/ /*@out@*/ /*@only@*/ void *ptr);
+
+/* String functions. strcpy's first parameter must be unique storage:
+   "char *strcpy (out returned unique char *s1, char *s2)". */
+extern char *strcpy(/*@out@*/ /*@returned@*/ /*@unique@*/ char *s1,
+                    /*@temp@*/ char *s2);
+extern char *strncpy(/*@returned@*/ /*@unique@*/ char *s1,
+                     /*@temp@*/ char *s2, size_t n);
+extern char *strcat(/*@returned@*/ /*@unique@*/ char *s1,
+                    /*@temp@*/ char *s2);
+extern int strcmp(/*@temp@*/ char *s1, /*@temp@*/ char *s2);
+extern int strncmp(/*@temp@*/ char *s1, /*@temp@*/ char *s2, size_t n);
+extern size_t strlen(/*@temp@*/ char *s);
+extern /*@null@*/ /*@only@*/ char *strdup(/*@temp@*/ char *s);
+
+/* Memory block functions. */
+extern void *memcpy(/*@returned@*/ void *dst, /*@temp@*/ void *src,
+                    size_t n);
+extern void *memset(/*@returned@*/ void *s, int c, size_t n);
+extern int memcmp(/*@temp@*/ void *s1, /*@temp@*/ void *s2, size_t n);
+
+/* stdio (formatted output is variadic; the format string is read-only). */
+extern int printf(/*@temp@*/ char *format, ...);
+extern int sprintf(char *s, /*@temp@*/ char *format, ...);
+extern int puts(/*@temp@*/ char *s);
+extern int putchar(int c);
+extern int getchar(void);
+
+/* Process control. exits marks functions that never return, so checking
+   does not continue past error handlers (erc_create, Figure 7). */
+extern /*@exits@*/ void exit(int status);
+extern /*@exits@*/ void abort(void);
+
+/* assert is handled specially by the analysis: the asserted condition
+   refines the state on the fall-through path. */
+extern void assert(int expression);
+
+/* ctype */
+extern int isalpha(int c);
+extern int isdigit(int c);
+extern int isspace(int c);
+extern int toupper(int c);
+extern int tolower(int c);
+)c";
+  return Prelude;
+}

@@ -1,0 +1,40 @@
+//===--- LibrarySpec.h - Annotated standard library -------------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The annotated standard library. The paper specifies the allocator and
+/// deallocator entirely with the provided annotations:
+///
+///   null out only void *malloc (size_t size);
+///   void free (null out only void *ptr);
+///   char *strcpy (out returned unique char *s1, char *s2);
+///
+/// "There is nothing special about malloc and free; their behavior can be
+/// described entirely in terms of the provided annotations." We express the
+/// specs as a prelude of C declarations with /*@...@*/ annotations that is
+/// preprocessed and parsed ahead of user code, so library knowledge flows
+/// through exactly the same interface-annotation machinery as user
+/// annotations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_ANALYSIS_LIBRARYSPEC_H
+#define MEMLINT_ANALYSIS_LIBRARYSPEC_H
+
+#include <string>
+
+namespace memlint {
+
+/// \returns the annotated standard-library prelude source. Parsed under the
+/// file name given by libraryPreludeName().
+const std::string &libraryPreludeSource();
+
+/// \returns the virtual file name of the prelude ("<stdlib>").
+const char *libraryPreludeName();
+
+} // namespace memlint
+
+#endif // MEMLINT_ANALYSIS_LIBRARYSPEC_H

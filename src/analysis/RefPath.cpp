@@ -1,0 +1,57 @@
+//===--- RefPath.cpp - References: variables and derived storage -----------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RefPath.h"
+
+#include <cassert>
+
+using namespace memlint;
+
+bool RefPath::hasPrefix(const RefPath &Prefix) const {
+  if (RK != Prefix.RK || Root != Prefix.Root)
+    return false;
+  if (Prefix.Elems.size() > Elems.size())
+    return false;
+  for (size_t I = 0; I < Prefix.Elems.size(); ++I)
+    if (!(Elems[I] == Prefix.Elems[I]))
+      return false;
+  return true;
+}
+
+RefPath RefPath::withPrefixReplaced(const RefPath &Prefix,
+                                    const RefPath &Replacement) const {
+  assert(hasPrefix(Prefix) && "not a prefix");
+  RefPath Out = Replacement;
+  for (size_t I = Prefix.Elems.size(); I < Elems.size(); ++I)
+    Out.Elems.push_back(Elems[I]);
+  return Out;
+}
+
+std::string RefPath::str() const {
+  std::string Out = Root ? Root->name() : std::string("<none>");
+  // A Deref immediately followed by a Dot renders as an arrow access;
+  // leading bare derefs render as prefix stars; others as element access.
+  unsigned LeadingStars = 0;
+  std::string Suffix;
+  for (size_t I = 0; I < Elems.size(); ++I) {
+    const PathElem &E = Elems[I];
+    if (E.K == PathElem::Kind::Deref) {
+      if (I + 1 < Elems.size() && Elems[I + 1].K == PathElem::Kind::Dot) {
+        Suffix += "->" + Elems[I + 1].FieldName;
+        ++I;
+        continue;
+      }
+      if (Suffix.empty())
+        ++LeadingStars;
+      else
+        Suffix += "[]";
+      continue;
+    }
+    Suffix += "." + E.FieldName;
+  }
+  Out += Suffix;
+  return std::string(LeadingStars, '*') + Out;
+}

@@ -1,0 +1,132 @@
+//===--- RefPath.h - References: variables and derived storage --*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "A reference is a variable or a location derived from a variable (e.g.,
+/// a field of a structure)." (§3) A RefPath is a root plus a bounded chain
+/// of derivations: `l->next->this` is root l with two Arrow elements.
+///
+/// Roots distinguish the local view of a parameter from the caller-visible
+/// actual (the paper's `l` vs `argl`): each pointer parameter gets an Arg
+/// mirror root that the local initially aliases; interface checks at
+/// function exit run against the Arg roots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_ANALYSIS_REFPATH_H
+#define MEMLINT_ANALYSIS_REFPATH_H
+
+#include "ast/AST.h"
+
+#include <string>
+#include <vector>
+
+namespace memlint {
+
+/// One derivation step from a base reference.
+struct PathElem {
+  enum class Kind {
+    Deref, ///< *p — also models p[i]: all compile-time-unknown indexes
+           ///< denote the same element under strictindexalias (§2), so
+           ///< p->f, (*p).f and p[i].f are one reference (Deref then Dot).
+    Dot,   ///< .field
+  };
+
+  Kind K = Kind::Deref;
+  const FieldDecl *Field = nullptr; ///< for Dot
+  std::string FieldName;            ///< printable even if unresolved
+
+  friend bool operator==(const PathElem &A, const PathElem &B) {
+    return A.K == B.K && A.FieldName == B.FieldName;
+  }
+  friend bool operator<(const PathElem &A, const PathElem &B) {
+    if (A.K != B.K)
+      return A.K < B.K;
+    return A.FieldName < B.FieldName;
+  }
+};
+
+/// A tracked reference.
+class RefPath {
+public:
+  enum class RootKind {
+    Var, ///< a local, parameter or global VarDecl
+    Arg, ///< the caller-visible mirror of a parameter ("argl")
+  };
+
+  RefPath() = default;
+  RefPath(RootKind RK, const VarDecl *Root) : RK(RK), Root(Root) {}
+
+  static RefPath var(const VarDecl *VD) { return RefPath(RootKind::Var, VD); }
+  static RefPath arg(const ParmVarDecl *PD) {
+    return RefPath(RootKind::Arg, PD);
+  }
+
+  bool isValid() const { return Root != nullptr; }
+  RootKind rootKind() const { return RK; }
+  const VarDecl *root() const { return Root; }
+  const std::vector<PathElem> &elems() const { return Elems; }
+  bool isRoot() const { return Elems.empty(); }
+  size_t depth() const { return Elems.size(); }
+
+  /// \returns this path extended by one derivation.
+  RefPath child(PathElem E) const {
+    RefPath Out = *this;
+    Out.Elems.push_back(std::move(E));
+    return Out;
+  }
+
+  /// \returns the path without its last element. Asserts !isRoot().
+  RefPath parent() const {
+    RefPath Out = *this;
+    Out.Elems.pop_back();
+    return Out;
+  }
+
+  /// The declaration (field or root variable) that carries the annotations
+  /// governing this reference.
+  const FieldDecl *lastField() const {
+    for (auto It = Elems.rbegin(); It != Elems.rend(); ++It)
+      if (It->Field)
+        return It->Field;
+    return nullptr;
+  }
+
+  /// True if \p Prefix is a proper or improper prefix of this path.
+  bool hasPrefix(const RefPath &Prefix) const;
+
+  /// Replaces the prefix \p Prefix of this path with \p Replacement.
+  /// Asserts hasPrefix(Prefix).
+  RefPath withPrefixReplaced(const RefPath &Prefix,
+                             const RefPath &Replacement) const;
+
+  /// Renders like "l->next->this" (Arg roots render with the parameter's
+  /// source name, matching the messages a user sees).
+  std::string str() const;
+
+  friend bool operator==(const RefPath &A, const RefPath &B) {
+    return A.RK == B.RK && A.Root == B.Root && A.Elems == B.Elems;
+  }
+  friend bool operator!=(const RefPath &A, const RefPath &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const RefPath &A, const RefPath &B) {
+    if (A.RK != B.RK)
+      return A.RK < B.RK;
+    if (A.Root != B.Root)
+      return A.Root < B.Root;
+    return A.Elems < B.Elems;
+  }
+
+private:
+  RootKind RK = RootKind::Var;
+  const VarDecl *Root = nullptr;
+  std::vector<PathElem> Elems;
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_ANALYSIS_REFPATH_H

@@ -1,0 +1,144 @@
+//===--- StorageModel.cpp - The paper's storage state model ----------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StorageModel.h"
+
+#include <cassert>
+
+using namespace memlint;
+
+const char *memlint::defStateName(DefState S) {
+  switch (S) {
+  case DefState::Undefined: return "undefined";
+  case DefState::Allocated: return "allocated";
+  case DefState::PartiallyDefined: return "partially defined";
+  case DefState::Defined: return "defined";
+  case DefState::Dead: return "dead";
+  case DefState::Error: return "error";
+  }
+  return "?";
+}
+
+const char *memlint::nullStateName(NullState S) {
+  switch (S) {
+  case NullState::NotNull: return "not null";
+  case NullState::PossiblyNull: return "possibly null";
+  case NullState::DefinitelyNull: return "null";
+  case NullState::RelNull: return "relnull";
+  case NullState::Unknown: return "unknown";
+  case NullState::Error: return "error";
+  }
+  return "?";
+}
+
+const char *memlint::allocStateName(AllocState S) {
+  switch (S) {
+  case AllocState::Unqualified: return "unqualified";
+  case AllocState::Only: return "only";
+  case AllocState::Fresh: return "fresh";
+  case AllocState::Keep: return "keep";
+  case AllocState::Kept: return "kept";
+  case AllocState::Temp: return "temp";
+  case AllocState::Owned: return "owned";
+  case AllocState::Dependent: return "dependent";
+  case AllocState::Shared: return "shared";
+  case AllocState::Observer: return "observer";
+  case AllocState::Exposed: return "exposed";
+  case AllocState::Static: return "static";
+  case AllocState::Stack: return "stack";
+  case AllocState::Offset: return "offset";
+  case AllocState::Null: return "null";
+  case AllocState::RefCounted: return "refcounted";
+  case AllocState::Error: return "error";
+  }
+  return "?";
+}
+
+DefState memlint::mergeDef(DefState A, DefState B, bool &Conflict) {
+  if (A == B)
+    return A;
+  if (A == DefState::Error || B == DefState::Error)
+    return DefState::Error;
+  // Released on one path, live on the other: "if storage is deallocated on
+  // only one of the paths through an if statement" an error is reported.
+  if (A == DefState::Dead || B == DefState::Dead) {
+    Conflict = true;
+    return DefState::Error;
+  }
+  auto rank = [](DefState S) {
+    switch (S) {
+    case DefState::Undefined: return 0;
+    case DefState::Allocated: return 1;
+    case DefState::PartiallyDefined: return 2;
+    case DefState::Defined: return 3;
+    default: return 3;
+    }
+  };
+  // The weakest assumption wins outright ("at point 10 ... l->next->next is
+  // undefined" even though the other branch had it defined).
+  return rank(A) < rank(B) ? A : B;
+}
+
+NullState memlint::mergeNull(NullState A, NullState B) {
+  if (A == B)
+    return A;
+  if (A == NullState::Error || B == NullState::Error)
+    return NullState::Error;
+  if (A == NullState::Unknown)
+    return B;
+  if (B == NullState::Unknown)
+    return A;
+  if (A == NullState::RelNull || B == NullState::RelNull)
+    return NullState::RelNull;
+  // NotNull/DefinitelyNull/PossiblyNull disagreements: may be null.
+  return NullState::PossiblyNull;
+}
+
+AllocState memlint::mergeAlloc(AllocState A, AllocState B, bool &Conflict) {
+  if (A == B)
+    return A;
+  if (A == AllocState::Error || B == AllocState::Error)
+    return AllocState::Error;
+  if (A == AllocState::Unqualified)
+    return B;
+  if (B == AllocState::Unqualified)
+    return A;
+  if (A == AllocState::Null)
+    return B;
+  if (B == AllocState::Null)
+    return A;
+
+  // Same obligation class merges to the more general member.
+  if (holdsObligation(A) && holdsObligation(B)) {
+    if (A == AllocState::RefCounted || B == AllocState::RefCounted)
+      return AllocState::RefCounted;
+    return AllocState::Only;
+  }
+  bool ANoObligation = !holdsObligation(A);
+  bool BNoObligation = !holdsObligation(B);
+  if (ANoObligation && BNoObligation) {
+    // Both lack an obligation; pick the more restrictive view conservatively.
+    if (A == AllocState::Observer || B == AllocState::Observer)
+      return AllocState::Observer;
+    if (A == AllocState::Temp || B == AllocState::Temp)
+      return AllocState::Temp;
+    return A;
+  }
+  // One branch holds the release obligation, the other does not: there is no
+  // sensible combination ("one means the storage must be released, and the
+  // other means it must not be released", §5).
+  Conflict = true;
+  return AllocState::Error;
+}
+
+std::string SVal::str() const {
+  std::string Out = defStateName(Def);
+  Out += "/";
+  Out += nullStateName(Null);
+  Out += "/";
+  Out += allocStateName(Alloc);
+  return Out;
+}

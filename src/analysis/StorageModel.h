@@ -1,0 +1,130 @@
+//===--- StorageModel.h - The paper's storage state model -------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "Three values are associated with each reference: the definition state
+/// (defined, partially defined, allocated, etc.), the null state (definitely
+/// null, possibly null, not null, etc.), and the allocation state
+/// (corresponding to the allocation annotation, e.g., only, temp)." (§5)
+///
+/// Merge rules at confluence points (§5): definition states combine using
+/// the weakest assumption; null states combine to the most uncertain;
+/// allocation states that disagree about the release obligation are a
+/// confluence anomaly and poison the value with Error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_ANALYSIS_STORAGEMODEL_H
+#define MEMLINT_ANALYSIS_STORAGEMODEL_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+
+namespace memlint {
+
+/// Definition state of the storage a reference denotes. For a pointer this
+/// covers the storage *reachable* from it ("completely defined").
+enum class DefState {
+  Undefined,        ///< No value assigned.
+  Allocated,        ///< Allocated but contents undefined (out storage).
+  PartiallyDefined, ///< Some reachable storage is undefined.
+  Defined,          ///< Completely defined.
+  Dead,             ///< Released; may not be used.
+  Error,            ///< Poisoned after a reported anomaly.
+};
+
+/// Null state of a pointer value.
+enum class NullState {
+  NotNull,        ///< Known non-null.
+  PossiblyNull,   ///< May be NULL.
+  DefinitelyNull, ///< Known NULL (after a guard or assignment).
+  RelNull,        ///< relnull: may be NULL but used without checks.
+  Unknown,        ///< Not a tracked pointer.
+  Error,          ///< Poisoned after a reported anomaly.
+};
+
+/// Allocation (obligation/sharing) state, derived from the allocation
+/// annotations plus transient states the analysis introduces.
+enum class AllocState {
+  Unqualified, ///< No constraint known.
+  Only,        ///< Holds the obligation to release; unshared.
+  Fresh,       ///< Newly allocated in this function; holds the obligation.
+  Keep,        ///< Formal view of a keep parameter (obligation, caller keeps
+               ///< use).
+  Kept,        ///< Obligation has been transferred; still safely usable.
+  Temp,        ///< May not be released or given new external aliases.
+  Owned,       ///< Holds the obligation; dependents may share.
+  Dependent,   ///< Shares owned storage; may not release.
+  Shared,      ///< Arbitrarily shared; never released.
+  Observer,    ///< Read-only view; may not be modified or released.
+  Exposed,     ///< Exposed internal storage; may be modified, not released.
+  Static,      ///< Immortal storage (string literals, &global); not freeable.
+  Stack,       ///< Address of a local; not freeable.
+  Offset,      ///< Pointer into the middle of a block; not freeable.
+  Null,        ///< The null pointer itself; no obligation.
+  RefCounted,  ///< A live reference to reference-counted storage; must be
+               ///< released with a killref, never with free.
+  Error,       ///< Poisoned after a reported anomaly.
+};
+
+const char *defStateName(DefState S);
+const char *nullStateName(NullState S);
+const char *allocStateName(AllocState S);
+
+/// \returns true if storage in this allocation state carries an unmet
+/// obligation to release.
+inline bool holdsObligation(AllocState S) {
+  return S == AllocState::Only || S == AllocState::Fresh ||
+         S == AllocState::Owned || S == AllocState::Keep ||
+         S == AllocState::RefCounted;
+}
+
+/// \returns true if releasing storage in this state is an error.
+inline bool isUnreleasable(AllocState S) {
+  return S == AllocState::Temp || S == AllocState::Dependent ||
+         S == AllocState::Shared || S == AllocState::Observer ||
+         S == AllocState::Exposed || S == AllocState::Static ||
+         S == AllocState::Stack || S == AllocState::Offset ||
+         S == AllocState::Kept;
+}
+
+/// Merges definition states with the weakest assumption. Sets \p Conflict
+/// when one branch released the storage and the other did not (a confluence
+/// anomaly per §5 / §2: "storage is deallocated on only one of the paths").
+DefState mergeDef(DefState A, DefState B, bool &Conflict);
+
+/// Merges null states to the most uncertain.
+NullState mergeNull(NullState A, NullState B);
+
+/// Merges allocation states. Sets \p Conflict when the two states disagree
+/// about the release obligation (e.g. kept vs only at the Figure 5 merge).
+AllocState mergeAlloc(AllocState A, AllocState B, bool &Conflict);
+
+/// The abstract value of one reference: the three state dimensions plus
+/// provenance locations used to attach the paper-style indented notes.
+struct SVal {
+  DefState Def = DefState::Defined;
+  NullState Null = NullState::Unknown;
+  AllocState Alloc = AllocState::Unqualified;
+
+  SourceLocation NullLoc;  ///< where the value may have become null
+  SourceLocation AllocLoc; ///< where the allocation state was established
+  SourceLocation FreeLoc;  ///< where the storage was released
+  SourceLocation DefLoc;   ///< where the definition state was established
+
+  bool isDead() const { return Def == DefState::Dead; }
+  bool mayBeNull() const {
+    return Null == NullState::PossiblyNull ||
+           Null == NullState::DefinitelyNull;
+  }
+
+  std::string str() const;
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_ANALYSIS_STORAGEMODEL_H

@@ -1,0 +1,112 @@
+//===--- AST.cpp - Declarations, statements and expressions ----------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/AST.h"
+
+using namespace memlint;
+
+const Expr *Expr::ignoreParens() const {
+  const Expr *E = this;
+  while (const auto *PE = dyn_cast<ParenExpr>(E))
+    E = PE->sub();
+  return E;
+}
+
+FunctionDecl *CallExpr::directCallee() const {
+  const Expr *C = Callee->ignoreParens();
+  if (const auto *DRE = dyn_cast<DeclRefExpr>(C))
+    return dyn_cast_or_null<FunctionDecl>(DRE->decl());
+  return nullptr;
+}
+
+ASTContext::ASTContext() {
+  VoidTy = builtin(BuiltinType::Kind::Void);
+  CharTy = builtin(BuiltinType::Kind::Char);
+  IntTy = builtin(BuiltinType::Kind::Int);
+  UnsignedTy = builtin(BuiltinType::Kind::UnsignedInt);
+  LongTy = builtin(BuiltinType::Kind::Long);
+  UnsignedLongTy = builtin(BuiltinType::Kind::UnsignedLong);
+  DoubleTy = builtin(BuiltinType::Kind::Double);
+  FloatTy = builtin(BuiltinType::Kind::Float);
+  ShortTy = builtin(BuiltinType::Kind::Short);
+}
+
+QualType ASTContext::builtin(BuiltinType::Kind K) {
+  // Builtins are small; linear search over already-created types keeps them
+  // canonical without a separate cache.
+  for (const auto &T : OwnedTypes)
+    if (const auto *BT = dyn_cast<BuiltinType>(T.get()))
+      if (BT->builtinKind() == K)
+        return QualType(BT);
+  return QualType(createType<BuiltinType>(K));
+}
+
+QualType ASTContext::pointerTo(QualType Pointee) {
+  // Unique only on unqualified pointees; qualified pointees are rare enough
+  // that duplicates are harmless (types compare structurally via canonical()
+  // where it matters).
+  if (!Pointee.isConst() && !Pointee.isVolatile()) {
+    for (const auto &KV : PointerCache)
+      if (KV.first == Pointee.type())
+        return QualType(KV.second);
+  }
+  const auto *PT = createType<PointerType>(Pointee);
+  if (!Pointee.isConst() && !Pointee.isVolatile())
+    PointerCache.push_back({Pointee.type(), PT});
+  return QualType(PT);
+}
+
+QualType ASTContext::arrayOf(QualType Element, std::optional<long> Size) {
+  return QualType(createType<ArrayType>(Element, Size));
+}
+
+QualType ASTContext::functionTy(QualType Result, std::vector<QualType> Params,
+                                bool Variadic) {
+  return QualType(createType<FunctionType>(Result, std::move(Params),
+                                           Variadic));
+}
+
+QualType ASTContext::recordTy(RecordDecl *D) {
+  return QualType(createType<RecordType>(D));
+}
+
+QualType ASTContext::enumTy(EnumDecl *D) {
+  return QualType(createType<EnumType>(D));
+}
+
+QualType ASTContext::typedefTy(TypedefDecl *D) {
+  return QualType(createType<TypedefType>(D));
+}
+
+std::vector<FunctionDecl *> TranslationUnit::definedFunctions() const {
+  std::vector<FunctionDecl *> Out;
+  for (Decl *D : Decls)
+    if (auto *FD = dyn_cast<FunctionDecl>(D))
+      if (FD->isDefinition())
+        Out.push_back(FD);
+  return Out;
+}
+
+std::vector<VarDecl *> TranslationUnit::globals() const {
+  std::vector<VarDecl *> Out;
+  for (Decl *D : Decls)
+    if (auto *VD = dyn_cast<VarDecl>(D))
+      if (VD->isGlobal())
+        Out.push_back(VD);
+  return Out;
+}
+
+FunctionDecl *TranslationUnit::findFunction(const std::string &Name) const {
+  FunctionDecl *Found = nullptr;
+  for (Decl *D : Decls)
+    if (auto *FD = dyn_cast<FunctionDecl>(D))
+      if (FD->name() == Name) {
+        if (FD->isDefinition())
+          return FD;
+        Found = FD;
+      }
+  return Found;
+}

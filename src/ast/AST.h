@@ -1,0 +1,949 @@
+//===--- AST.h - Declarations, statements and expressions -------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract syntax tree for the checked C subset. Nodes are immutable
+/// after construction (except for late-bound fields filled in by sema, such
+/// as resolved declarations) and are owned by the ASTContext arena.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_AST_AST_H
+#define MEMLINT_AST_AST_H
+
+#include "ast/Annotations.h"
+#include "ast/Type.h"
+#include "support/SourceLocation.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace memlint {
+
+class ASTContext;
+class CompoundStmt;
+class Expr;
+class FunctionDecl;
+class Stmt;
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// Base class for all declarations.
+class Decl {
+public:
+  enum class DeclKind {
+    Var,
+    Parm,
+    Function,
+    Typedef,
+    Record,
+    Field,
+    Enum,
+    EnumConstant,
+  };
+
+  DeclKind kind() const { return Kind; }
+  const std::string &name() const { return Name; }
+  const SourceLocation &loc() const { return Loc; }
+
+  virtual ~Decl() = default;
+
+protected:
+  Decl(DeclKind Kind, std::string Name, SourceLocation Loc)
+      : Kind(Kind), Name(std::move(Name)), Loc(std::move(Loc)) {}
+
+private:
+  const DeclKind Kind;
+  std::string Name;
+  SourceLocation Loc;
+};
+
+/// Storage class of a variable or function.
+enum class StorageClass { None, Extern, Static };
+
+/// A variable: global, local, or (via the ParmVarDecl subclass) parameter.
+class VarDecl : public Decl {
+public:
+  VarDecl(std::string Name, SourceLocation Loc, QualType Ty,
+          Annotations Annots, StorageClass SC, bool Global)
+      : Decl(DeclKind::Var, std::move(Name), std::move(Loc)), Ty(Ty),
+        Annots(Annots), SC(SC), Global(Global) {}
+
+  QualType type() const { return Ty; }
+
+  /// Annotations written directly on this declaration.
+  const Annotations &declAnnotations() const { return Annots; }
+
+  /// Declaration annotations combined with the typedef chain's (declaration
+  /// wins per category).
+  Annotations effectiveAnnotations() const {
+    return Annotations::overrideWith(typeAnnotations(Ty), Annots);
+  }
+
+  StorageClass storageClass() const { return SC; }
+  bool isGlobal() const { return Global; }
+  bool isStaticLocal() const { return !Global && SC == StorageClass::Static; }
+
+  /// Merges annotations from a redeclaration (e.g. an annotated extern
+  /// declaration in a header merged into the defining declaration).
+  void mergeAnnotations(const Annotations &Other) {
+    Annots = Annotations::overrideWith(Annots, Other);
+  }
+
+  Expr *init() const { return Init; }
+  void setInit(Expr *E) { Init = E; }
+
+  static bool classof(const Decl *D) {
+    return D->kind() == DeclKind::Var || D->kind() == DeclKind::Parm;
+  }
+
+protected:
+  VarDecl(DeclKind Kind, std::string Name, SourceLocation Loc, QualType Ty,
+          Annotations Annots)
+      : Decl(Kind, std::move(Name), std::move(Loc)), Ty(Ty), Annots(Annots),
+        SC(StorageClass::None), Global(false) {}
+
+private:
+  QualType Ty;
+  Annotations Annots;
+  StorageClass SC;
+  bool Global;
+  Expr *Init = nullptr;
+};
+
+/// A function parameter.
+class ParmVarDecl : public VarDecl {
+public:
+  ParmVarDecl(std::string Name, SourceLocation Loc, QualType Ty,
+              Annotations Annots, unsigned Index)
+      : VarDecl(DeclKind::Parm, std::move(Name), std::move(Loc), Ty, Annots),
+        Index(Index) {}
+
+  unsigned index() const { return Index; }
+
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::Parm; }
+
+private:
+  unsigned Index;
+};
+
+/// A function declaration or definition.
+class FunctionDecl : public Decl {
+public:
+  FunctionDecl(std::string Name, SourceLocation Loc, QualType ReturnTy,
+               Annotations ReturnAnnots, std::vector<ParmVarDecl *> Params,
+               bool Variadic, StorageClass SC)
+      : Decl(DeclKind::Function, std::move(Name), std::move(Loc)),
+        ReturnTy(ReturnTy), ReturnAnnots(ReturnAnnots),
+        Params(std::move(Params)), Variadic(Variadic), SC(SC) {}
+
+  QualType returnType() const { return ReturnTy; }
+
+  /// Annotations on the return value (written in the declaration specifiers).
+  const Annotations &returnAnnotations() const { return ReturnAnnots; }
+  Annotations effectiveReturnAnnotations() const {
+    return Annotations::overrideWith(typeAnnotations(ReturnTy), ReturnAnnots);
+  }
+
+  const std::vector<ParmVarDecl *> &params() const { return Params; }
+  bool isVariadic() const { return Variadic; }
+  StorageClass storageClass() const { return SC; }
+
+  CompoundStmt *body() const { return Body; }
+  void setBody(CompoundStmt *B) { Body = B; }
+  bool isDefinition() const { return Body != nullptr; }
+
+  /// Redeclaration support: the first declaration is canonical; later
+  /// declarations merge their annotations in and (for the definition)
+  /// replace the parameter list so body references resolve to the decls in
+  /// scope.
+  void setParams(std::vector<ParmVarDecl *> Ps) { Params = std::move(Ps); }
+  void mergeReturnAnnotations(const Annotations &Other) {
+    ReturnAnnots = Annotations::overrideWith(ReturnAnnots, Other);
+  }
+
+  /// True for a null-test function (paper: truenull/falsenull).
+  bool isTrueNull() const { return ReturnAnnots.TrueNull; }
+  bool isFalseNull() const { return ReturnAnnots.FalseNull; }
+
+  static bool classof(const Decl *D) {
+    return D->kind() == DeclKind::Function;
+  }
+
+private:
+  QualType ReturnTy;
+  Annotations ReturnAnnots;
+  std::vector<ParmVarDecl *> Params;
+  bool Variadic;
+  StorageClass SC;
+  CompoundStmt *Body = nullptr;
+};
+
+/// typedef declaration; may carry annotations constraining all instances.
+class TypedefDecl : public Decl {
+public:
+  TypedefDecl(std::string Name, SourceLocation Loc, QualType Underlying,
+              Annotations Annots)
+      : Decl(DeclKind::Typedef, std::move(Name), std::move(Loc)),
+        Underlying(Underlying), Annots(Annots) {}
+
+  QualType underlying() const { return Underlying; }
+  const Annotations &annotations() const { return Annots; }
+
+  static bool classof(const Decl *D) {
+    return D->kind() == DeclKind::Typedef;
+  }
+
+private:
+  QualType Underlying;
+  Annotations Annots;
+};
+
+/// A field of a struct or union.
+class FieldDecl : public Decl {
+public:
+  FieldDecl(std::string Name, SourceLocation Loc, QualType Ty,
+            Annotations Annots, unsigned Index)
+      : Decl(DeclKind::Field, std::move(Name), std::move(Loc)), Ty(Ty),
+        Annots(Annots), Index(Index) {}
+
+  QualType type() const { return Ty; }
+  const Annotations &declAnnotations() const { return Annots; }
+  Annotations effectiveAnnotations() const {
+    return Annotations::overrideWith(typeAnnotations(Ty), Annots);
+  }
+  unsigned index() const { return Index; }
+
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::Field; }
+
+private:
+  QualType Ty;
+  Annotations Annots;
+  unsigned Index;
+};
+
+/// struct/union declaration.
+class RecordDecl : public Decl {
+public:
+  RecordDecl(std::string Name, SourceLocation Loc, bool Union)
+      : Decl(DeclKind::Record, std::move(Name), std::move(Loc)), Union(Union) {
+  }
+
+  bool isUnion() const { return Union; }
+  bool isComplete() const { return Complete; }
+
+  const std::vector<FieldDecl *> &fields() const { return Fields; }
+  void completeDefinition(std::vector<FieldDecl *> Fs) {
+    Fields = std::move(Fs);
+    Complete = true;
+  }
+
+  /// \returns the field named \p Name, or null.
+  FieldDecl *findField(const std::string &Name) const {
+    for (FieldDecl *F : Fields)
+      if (F->name() == Name)
+        return F;
+    return nullptr;
+  }
+
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::Record; }
+
+private:
+  bool Union;
+  bool Complete = false;
+  std::vector<FieldDecl *> Fields;
+};
+
+/// One enumerator.
+class EnumConstantDecl : public Decl {
+public:
+  EnumConstantDecl(std::string Name, SourceLocation Loc, long Value)
+      : Decl(DeclKind::EnumConstant, std::move(Name), std::move(Loc)),
+        Value(Value) {}
+
+  long value() const { return Value; }
+
+  static bool classof(const Decl *D) {
+    return D->kind() == DeclKind::EnumConstant;
+  }
+
+private:
+  long Value;
+};
+
+/// enum declaration.
+class EnumDecl : public Decl {
+public:
+  EnumDecl(std::string Name, SourceLocation Loc)
+      : Decl(DeclKind::Enum, std::move(Name), std::move(Loc)) {}
+
+  const std::vector<EnumConstantDecl *> &constants() const {
+    return Constants;
+  }
+  void completeDefinition(std::vector<EnumConstantDecl *> Cs) {
+    Constants = std::move(Cs);
+  }
+
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::Enum; }
+
+private:
+  std::vector<EnumConstantDecl *> Constants;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class for expressions. Every expression has a type (filled in during
+/// parsing/sema) and a location.
+class Expr {
+public:
+  enum class ExprKind {
+    IntegerLiteral,
+    FloatLiteral,
+    CharLiteral,
+    StringLiteral,
+    DeclRef,
+    Unary,
+    Binary,
+    Call,
+    Member,
+    ArraySubscript,
+    Cast,
+    Sizeof,
+    Conditional,
+    Paren,
+    InitList,
+  };
+
+  ExprKind kind() const { return Kind; }
+  const SourceLocation &loc() const { return Loc; }
+
+  QualType type() const { return Ty; }
+  void setType(QualType T) { Ty = T; }
+
+  /// Strips ParenExpr (and nothing else).
+  const Expr *ignoreParens() const;
+  Expr *ignoreParens() {
+    return const_cast<Expr *>(
+        static_cast<const Expr *>(this)->ignoreParens());
+  }
+
+  virtual ~Expr() = default;
+
+protected:
+  Expr(ExprKind Kind, SourceLocation Loc) : Kind(Kind), Loc(std::move(Loc)) {}
+
+private:
+  const ExprKind Kind;
+  SourceLocation Loc;
+  QualType Ty;
+};
+
+class IntegerLiteralExpr : public Expr {
+public:
+  IntegerLiteralExpr(SourceLocation Loc, long Value)
+      : Expr(ExprKind::IntegerLiteral, std::move(Loc)), Value(Value) {}
+
+  long value() const { return Value; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::IntegerLiteral;
+  }
+
+private:
+  long Value;
+};
+
+class FloatLiteralExpr : public Expr {
+public:
+  FloatLiteralExpr(SourceLocation Loc, double Value)
+      : Expr(ExprKind::FloatLiteral, std::move(Loc)), Value(Value) {}
+
+  double value() const { return Value; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::FloatLiteral;
+  }
+
+private:
+  double Value;
+};
+
+class CharLiteralExpr : public Expr {
+public:
+  CharLiteralExpr(SourceLocation Loc, char Value)
+      : Expr(ExprKind::CharLiteral, std::move(Loc)), Value(Value) {}
+
+  char value() const { return Value; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::CharLiteral;
+  }
+
+private:
+  char Value;
+};
+
+class StringLiteralExpr : public Expr {
+public:
+  StringLiteralExpr(SourceLocation Loc, std::string Value)
+      : Expr(ExprKind::StringLiteral, std::move(Loc)),
+        Value(std::move(Value)) {}
+
+  const std::string &value() const { return Value; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::StringLiteral;
+  }
+
+private:
+  std::string Value;
+};
+
+/// A reference to a named declaration (variable, parameter, function, or
+/// enumerator).
+class DeclRefExpr : public Expr {
+public:
+  DeclRefExpr(SourceLocation Loc, std::string Name, Decl *D)
+      : Expr(ExprKind::DeclRef, std::move(Loc)), Name(std::move(Name)),
+        Referenced(D) {}
+
+  const std::string &name() const { return Name; }
+  Decl *decl() const { return Referenced; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::DeclRef;
+  }
+
+private:
+  std::string Name;
+  Decl *Referenced;
+};
+
+enum class UnaryOp {
+  Deref,
+  AddrOf,
+  Plus,
+  Minus,
+  Not,
+  BitNot,
+  PreInc,
+  PreDec,
+  PostInc,
+  PostDec,
+};
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(SourceLocation Loc, UnaryOp Op, Expr *Sub)
+      : Expr(ExprKind::Unary, std::move(Loc)), Op(Op), Sub(Sub) {}
+
+  UnaryOp op() const { return Op; }
+  Expr *sub() const { return Sub; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Unary; }
+
+private:
+  UnaryOp Op;
+  Expr *Sub;
+};
+
+enum class BinaryOp {
+  Mul, Div, Rem, Add, Sub, Shl, Shr,
+  LT, GT, LE, GE, EQ, NE,
+  And, Xor, Or, LAnd, LOr,
+  Assign, MulAssign, DivAssign, RemAssign, AddAssign, SubAssign,
+  ShlAssign, ShrAssign, AndAssign, XorAssign, OrAssign,
+  Comma,
+};
+
+/// \returns true for '=', '+=', etc.
+inline bool isAssignmentOp(BinaryOp Op) {
+  return Op >= BinaryOp::Assign && Op <= BinaryOp::OrAssign;
+}
+
+/// \returns true for '==' and '!='.
+inline bool isEqualityOp(BinaryOp Op) {
+  return Op == BinaryOp::EQ || Op == BinaryOp::NE;
+}
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(SourceLocation Loc, BinaryOp Op, Expr *LHS, Expr *RHS)
+      : Expr(ExprKind::Binary, std::move(Loc)), Op(Op), LHS(LHS), RHS(RHS) {}
+
+  BinaryOp op() const { return Op; }
+  Expr *lhs() const { return LHS; }
+  Expr *rhs() const { return RHS; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Binary; }
+
+private:
+  BinaryOp Op;
+  Expr *LHS;
+  Expr *RHS;
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(SourceLocation Loc, Expr *Callee, std::vector<Expr *> Args)
+      : Expr(ExprKind::Call, std::move(Loc)), Callee(Callee),
+        Args(std::move(Args)) {}
+
+  Expr *callee() const { return Callee; }
+  const std::vector<Expr *> &args() const { return Args; }
+
+  /// The called function's declaration if the callee is a direct reference.
+  FunctionDecl *directCallee() const;
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Call; }
+
+private:
+  Expr *Callee;
+  std::vector<Expr *> Args;
+};
+
+/// a.f or a->f. The field declaration is resolved by sema when the record is
+/// known.
+class MemberExpr : public Expr {
+public:
+  MemberExpr(SourceLocation Loc, Expr *Base, std::string Member, bool Arrow)
+      : Expr(ExprKind::Member, std::move(Loc)), Base(Base),
+        Member(std::move(Member)), Arrow(Arrow) {}
+
+  Expr *base() const { return Base; }
+  const std::string &member() const { return Member; }
+  bool isArrow() const { return Arrow; }
+
+  FieldDecl *field() const { return Field; }
+  void setField(FieldDecl *F) { Field = F; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Member; }
+
+private:
+  Expr *Base;
+  std::string Member;
+  bool Arrow;
+  FieldDecl *Field = nullptr;
+};
+
+class ArraySubscriptExpr : public Expr {
+public:
+  ArraySubscriptExpr(SourceLocation Loc, Expr *Base, Expr *Index)
+      : Expr(ExprKind::ArraySubscript, std::move(Loc)), Base(Base),
+        Index(Index) {}
+
+  Expr *base() const { return Base; }
+  Expr *index() const { return Index; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::ArraySubscript;
+  }
+
+private:
+  Expr *Base;
+  Expr *Index;
+};
+
+/// Explicit cast "(T) e".
+class CastExpr : public Expr {
+public:
+  CastExpr(SourceLocation Loc, QualType CastTy, Expr *Sub)
+      : Expr(ExprKind::Cast, std::move(Loc)), Sub(Sub) {
+    setType(CastTy);
+  }
+
+  Expr *sub() const { return Sub; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Cast; }
+
+private:
+  Expr *Sub;
+};
+
+/// sizeof(T) or sizeof e. The paper notes sizeof is the one operator whose
+/// operand is not an rvalue use.
+class SizeofExpr : public Expr {
+public:
+  SizeofExpr(SourceLocation Loc, QualType ArgTy, Expr *ArgExpr)
+      : Expr(ExprKind::Sizeof, std::move(Loc)), ArgTy(ArgTy),
+        ArgExpr(ArgExpr) {}
+
+  /// Non-null when written as sizeof(type-name).
+  QualType argType() const { return ArgTy; }
+  /// Non-null when written as sizeof expr.
+  Expr *argExpr() const { return ArgExpr; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Sizeof; }
+
+private:
+  QualType ArgTy;
+  Expr *ArgExpr;
+};
+
+class ConditionalExpr : public Expr {
+public:
+  ConditionalExpr(SourceLocation Loc, Expr *Cond, Expr *TrueExpr,
+                  Expr *FalseExpr)
+      : Expr(ExprKind::Conditional, std::move(Loc)), Cond(Cond),
+        TrueE(TrueExpr), FalseE(FalseExpr) {}
+
+  Expr *cond() const { return Cond; }
+  Expr *trueExpr() const { return TrueE; }
+  Expr *falseExpr() const { return FalseE; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::Conditional;
+  }
+
+private:
+  Expr *Cond;
+  Expr *TrueE;
+  Expr *FalseE;
+};
+
+class ParenExpr : public Expr {
+public:
+  ParenExpr(SourceLocation Loc, Expr *Sub)
+      : Expr(ExprKind::Paren, std::move(Loc)), Sub(Sub) {}
+
+  Expr *sub() const { return Sub; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Paren; }
+
+private:
+  Expr *Sub;
+};
+
+/// "{ e, e, ... }" aggregate initializer.
+class InitListExpr : public Expr {
+public:
+  InitListExpr(SourceLocation Loc, std::vector<Expr *> Inits)
+      : Expr(ExprKind::InitList, std::move(Loc)), Inits(std::move(Inits)) {}
+
+  const std::vector<Expr *> &inits() const { return Inits; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::InitList;
+  }
+
+private:
+  std::vector<Expr *> Inits;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt {
+public:
+  enum class StmtKind {
+    Compound,
+    Decl,
+    Expr,
+    If,
+    While,
+    Do,
+    For,
+    Return,
+    Break,
+    Continue,
+    Switch,
+    Null,
+  };
+
+  StmtKind kind() const { return Kind; }
+  const SourceLocation &loc() const { return Loc; }
+
+  virtual ~Stmt() = default;
+
+protected:
+  Stmt(StmtKind Kind, SourceLocation Loc) : Kind(Kind), Loc(std::move(Loc)) {}
+
+private:
+  const StmtKind Kind;
+  SourceLocation Loc;
+};
+
+class CompoundStmt : public Stmt {
+public:
+  CompoundStmt(SourceLocation Loc, std::vector<Stmt *> Body)
+      : Stmt(StmtKind::Compound, std::move(Loc)), Body(std::move(Body)) {}
+
+  const std::vector<Stmt *> &body() const { return Body; }
+
+  /// Location of the closing brace; function-exit anomalies are reported
+  /// here (the paper reports "at the exit point").
+  const SourceLocation &endLoc() const { return EndLoc; }
+  void setEndLoc(SourceLocation Loc) { EndLoc = std::move(Loc); }
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Compound;
+  }
+
+private:
+  std::vector<Stmt *> Body;
+  SourceLocation EndLoc;
+};
+
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(SourceLocation Loc, std::vector<VarDecl *> Decls)
+      : Stmt(StmtKind::Decl, std::move(Loc)), Decls(std::move(Decls)) {}
+
+  const std::vector<VarDecl *> &decls() const { return Decls; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Decl; }
+
+private:
+  std::vector<VarDecl *> Decls;
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(SourceLocation Loc, Expr *E)
+      : Stmt(StmtKind::Expr, std::move(Loc)), E(E) {}
+
+  Expr *expr() const { return E; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Expr; }
+
+private:
+  Expr *E;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(SourceLocation Loc, Expr *Cond, Stmt *Then, Stmt *Else)
+      : Stmt(StmtKind::If, std::move(Loc)), Cond(Cond), Then(Then),
+        Else(Else) {}
+
+  Expr *cond() const { return Cond; }
+  Stmt *thenStmt() const { return Then; }
+  Stmt *elseStmt() const { return Else; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::If; }
+
+private:
+  Expr *Cond;
+  Stmt *Then;
+  Stmt *Else;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(SourceLocation Loc, Expr *Cond, Stmt *Body)
+      : Stmt(StmtKind::While, std::move(Loc)), Cond(Cond), Body(Body) {}
+
+  Expr *cond() const { return Cond; }
+  Stmt *body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::While; }
+
+private:
+  Expr *Cond;
+  Stmt *Body;
+};
+
+class DoStmt : public Stmt {
+public:
+  DoStmt(SourceLocation Loc, Stmt *Body, Expr *Cond)
+      : Stmt(StmtKind::Do, std::move(Loc)), Body(Body), Cond(Cond) {}
+
+  Stmt *body() const { return Body; }
+  Expr *cond() const { return Cond; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Do; }
+
+private:
+  Stmt *Body;
+  Expr *Cond;
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(SourceLocation Loc, Stmt *Init, Expr *Cond, Expr *Inc, Stmt *Body)
+      : Stmt(StmtKind::For, std::move(Loc)), Init(Init), Cond(Cond), Inc(Inc),
+        Body(Body) {}
+
+  /// Either a DeclStmt, an ExprStmt, or null.
+  Stmt *init() const { return Init; }
+  Expr *cond() const { return Cond; }
+  Expr *inc() const { return Inc; }
+  Stmt *body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::For; }
+
+private:
+  Stmt *Init;
+  Expr *Cond;
+  Expr *Inc;
+  Stmt *Body;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(SourceLocation Loc, Expr *Value)
+      : Stmt(StmtKind::Return, std::move(Loc)), Value(Value) {}
+
+  Expr *value() const { return Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Return; }
+
+private:
+  Expr *Value;
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLocation Loc)
+      : Stmt(StmtKind::Break, std::move(Loc)) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Break; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLocation Loc)
+      : Stmt(StmtKind::Continue, std::move(Loc)) {}
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Continue;
+  }
+};
+
+/// switch, represented as explicit case sections (labels flattened).
+/// Fallthrough between sections is preserved.
+class SwitchStmt : public Stmt {
+public:
+  struct CaseSection {
+    bool IsDefault = false;
+    std::vector<Expr *> Labels; ///< case label constant expressions
+    std::vector<Stmt *> Body;
+    SourceLocation Loc;
+  };
+
+  SwitchStmt(SourceLocation Loc, Expr *Cond,
+             std::vector<CaseSection> Sections)
+      : Stmt(StmtKind::Switch, std::move(Loc)), Cond(Cond),
+        Sections(std::move(Sections)) {}
+
+  Expr *cond() const { return Cond; }
+  const std::vector<CaseSection> &sections() const { return Sections; }
+  bool hasDefault() const {
+    for (const CaseSection &S : Sections)
+      if (S.IsDefault)
+        return true;
+    return false;
+  }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Switch; }
+
+private:
+  Expr *Cond;
+  std::vector<CaseSection> Sections;
+};
+
+class NullStmt : public Stmt {
+public:
+  explicit NullStmt(SourceLocation Loc)
+      : Stmt(StmtKind::Null, std::move(Loc)) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Null; }
+};
+
+//===----------------------------------------------------------------------===//
+// ASTContext and TranslationUnit
+//===----------------------------------------------------------------------===//
+
+/// Owns all AST nodes and types; provides canonical builtin types and
+/// uniqued derived types.
+class ASTContext {
+public:
+  ASTContext();
+
+  /// Allocates and owns a node of type T.
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    auto Owned = std::make_unique<T>(std::forward<Args>(As)...);
+    T *Raw = Owned.get();
+    Nodes.push_back(std::move(Owned));
+    return Raw;
+  }
+
+  // Canonical builtins.
+  QualType voidTy() const { return VoidTy; }
+  QualType charTy() const { return CharTy; }
+  QualType intTy() const { return IntTy; }
+  QualType unsignedTy() const { return UnsignedTy; }
+  QualType longTy() const { return LongTy; }
+  QualType unsignedLongTy() const { return UnsignedLongTy; }
+  QualType doubleTy() const { return DoubleTy; }
+  QualType floatTy() const { return FloatTy; }
+  QualType shortTy() const { return ShortTy; }
+
+  QualType builtin(BuiltinType::Kind K);
+
+  /// T* (uniqued on the pointee handle).
+  QualType pointerTo(QualType Pointee);
+  QualType arrayOf(QualType Element, std::optional<long> Size);
+  QualType functionTy(QualType Result, std::vector<QualType> Params,
+                      bool Variadic);
+  QualType recordTy(RecordDecl *D);
+  QualType enumTy(EnumDecl *D);
+  QualType typedefTy(TypedefDecl *D);
+
+  /// char* — the type of string literals.
+  QualType stringTy() { return pointerTo(charTy()); }
+
+private:
+  std::vector<std::shared_ptr<void>> Nodes; // type-erased node ownership
+  std::vector<std::unique_ptr<Type>> OwnedTypes;
+
+  template <typename T, typename... Args> const T *createType(Args &&...As) {
+    auto Owned = std::make_unique<T>(std::forward<Args>(As)...);
+    const T *Raw = Owned.get();
+    OwnedTypes.push_back(std::move(Owned));
+    return Raw;
+  }
+
+  QualType VoidTy, CharTy, IntTy, UnsignedTy, LongTy, UnsignedLongTy,
+      DoubleTy, FloatTy, ShortTy;
+  std::vector<std::pair<const Type *, const Type *>> PointerCache;
+};
+
+/// The parsed program: top-level declarations in source order.
+class TranslationUnit {
+public:
+  explicit TranslationUnit(std::string MainFile)
+      : MainFile(std::move(MainFile)) {}
+
+  const std::string &mainFile() const { return MainFile; }
+
+  const std::vector<Decl *> &decls() const { return Decls; }
+  void addDecl(Decl *D) { Decls.push_back(D); }
+
+  /// All function definitions in source order.
+  std::vector<FunctionDecl *> definedFunctions() const;
+
+  /// All global variables in source order (extern or defined).
+  std::vector<VarDecl *> globals() const;
+
+  /// Looks up a top-level function by name (latest declaration wins; a
+  /// definition is preferred).
+  FunctionDecl *findFunction(const std::string &Name) const;
+
+private:
+  std::string MainFile;
+  std::vector<Decl *> Decls;
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_AST_AST_H

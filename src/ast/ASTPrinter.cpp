@@ -1,0 +1,431 @@
+//===--- ASTPrinter.cpp - Debug dumping of the AST --------------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+
+#include <cassert>
+
+using namespace memlint;
+
+void ASTPrinter::line(unsigned Indent, const std::string &Text) {
+  Out.append(Indent * 2, ' ');
+  Out += Text;
+  Out += '\n';
+}
+
+std::string ASTPrinter::print(const TranslationUnit &TU) {
+  Out.clear();
+  line(0, "TranslationUnit " + TU.mainFile());
+  for (const Decl *D : TU.decls())
+    printDecl(D, 1);
+  return Out;
+}
+
+std::string ASTPrinter::print(const Decl *D) {
+  Out.clear();
+  printDecl(D, 0);
+  return Out;
+}
+
+std::string ASTPrinter::print(const Stmt *S) {
+  Out.clear();
+  printStmt(S, 0);
+  return Out;
+}
+
+std::string ASTPrinter::print(const Expr *E) {
+  Out.clear();
+  printExpr(E, 0);
+  return Out;
+}
+
+static std::string annotSuffix(const Annotations &A) {
+  std::string S = A.str();
+  return S.empty() ? "" : " " + S;
+}
+
+void ASTPrinter::printDecl(const Decl *D, unsigned Indent) {
+  switch (D->kind()) {
+  case Decl::DeclKind::Var:
+  case Decl::DeclKind::Parm: {
+    const auto *VD = cast<VarDecl>(D);
+    std::string Tag = isa<ParmVarDecl>(D) ? "ParmVarDecl" : "VarDecl";
+    line(Indent, Tag + " " + VD->name() + " : " + VD->type().str() +
+                     annotSuffix(VD->declAnnotations()));
+    if (VD->init())
+      printExpr(VD->init(), Indent + 1);
+    return;
+  }
+  case Decl::DeclKind::Function: {
+    const auto *FD = cast<FunctionDecl>(D);
+    line(Indent, "FunctionDecl " + FD->name() + " : " +
+                     FD->returnType().str() +
+                     annotSuffix(FD->returnAnnotations()) +
+                     (FD->isDefinition() ? "" : " (declaration)"));
+    for (const ParmVarDecl *P : FD->params())
+      printDecl(P, Indent + 1);
+    if (FD->body())
+      printStmt(FD->body(), Indent + 1);
+    return;
+  }
+  case Decl::DeclKind::Typedef: {
+    const auto *TD = cast<TypedefDecl>(D);
+    line(Indent, "TypedefDecl " + TD->name() + " = " +
+                     TD->underlying().str() + annotSuffix(TD->annotations()));
+    return;
+  }
+  case Decl::DeclKind::Record: {
+    const auto *RD = cast<RecordDecl>(D);
+    line(Indent, std::string(RD->isUnion() ? "UnionDecl " : "StructDecl ") +
+                     RD->name());
+    for (const FieldDecl *F : RD->fields())
+      printDecl(F, Indent + 1);
+    return;
+  }
+  case Decl::DeclKind::Field: {
+    const auto *F = cast<FieldDecl>(D);
+    line(Indent, "FieldDecl " + F->name() + " : " + F->type().str() +
+                     annotSuffix(F->declAnnotations()));
+    return;
+  }
+  case Decl::DeclKind::Enum: {
+    const auto *ED = cast<EnumDecl>(D);
+    line(Indent, "EnumDecl " + ED->name());
+    for (const EnumConstantDecl *C : ED->constants())
+      printDecl(C, Indent + 1);
+    return;
+  }
+  case Decl::DeclKind::EnumConstant: {
+    const auto *EC = cast<EnumConstantDecl>(D);
+    line(Indent,
+         "EnumConstant " + EC->name() + " = " + std::to_string(EC->value()));
+    return;
+  }
+  }
+  assert(false && "unknown decl kind");
+}
+
+static const char *unaryOpName(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Deref: return "*";
+  case UnaryOp::AddrOf: return "&";
+  case UnaryOp::Plus: return "+";
+  case UnaryOp::Minus: return "-";
+  case UnaryOp::Not: return "!";
+  case UnaryOp::BitNot: return "~";
+  case UnaryOp::PreInc: return "++pre";
+  case UnaryOp::PreDec: return "--pre";
+  case UnaryOp::PostInc: return "post++";
+  case UnaryOp::PostDec: return "post--";
+  }
+  return "?";
+}
+
+static const char *binaryOpName(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Mul: return "*";
+  case BinaryOp::Div: return "/";
+  case BinaryOp::Rem: return "%";
+  case BinaryOp::Add: return "+";
+  case BinaryOp::Sub: return "-";
+  case BinaryOp::Shl: return "<<";
+  case BinaryOp::Shr: return ">>";
+  case BinaryOp::LT: return "<";
+  case BinaryOp::GT: return ">";
+  case BinaryOp::LE: return "<=";
+  case BinaryOp::GE: return ">=";
+  case BinaryOp::EQ: return "==";
+  case BinaryOp::NE: return "!=";
+  case BinaryOp::And: return "&";
+  case BinaryOp::Xor: return "^";
+  case BinaryOp::Or: return "|";
+  case BinaryOp::LAnd: return "&&";
+  case BinaryOp::LOr: return "||";
+  case BinaryOp::Assign: return "=";
+  case BinaryOp::MulAssign: return "*=";
+  case BinaryOp::DivAssign: return "/=";
+  case BinaryOp::RemAssign: return "%=";
+  case BinaryOp::AddAssign: return "+=";
+  case BinaryOp::SubAssign: return "-=";
+  case BinaryOp::ShlAssign: return "<<=";
+  case BinaryOp::ShrAssign: return ">>=";
+  case BinaryOp::AndAssign: return "&=";
+  case BinaryOp::XorAssign: return "^=";
+  case BinaryOp::OrAssign: return "|=";
+  case BinaryOp::Comma: return ",";
+  }
+  return "?";
+}
+
+void ASTPrinter::printExpr(const Expr *E, unsigned Indent) {
+  switch (E->kind()) {
+  case Expr::ExprKind::IntegerLiteral:
+    line(Indent, "IntegerLiteral " +
+                     std::to_string(cast<IntegerLiteralExpr>(E)->value()));
+    return;
+  case Expr::ExprKind::FloatLiteral:
+    line(Indent, "FloatLiteral " +
+                     std::to_string(cast<FloatLiteralExpr>(E)->value()));
+    return;
+  case Expr::ExprKind::CharLiteral:
+    line(Indent, std::string("CharLiteral '") +
+                     cast<CharLiteralExpr>(E)->value() + "'");
+    return;
+  case Expr::ExprKind::StringLiteral:
+    line(Indent, "StringLiteral \"" + cast<StringLiteralExpr>(E)->value() +
+                     "\"");
+    return;
+  case Expr::ExprKind::DeclRef:
+    line(Indent, "DeclRef " + cast<DeclRefExpr>(E)->name());
+    return;
+  case Expr::ExprKind::Unary: {
+    const auto *UE = cast<UnaryExpr>(E);
+    line(Indent, std::string("Unary ") + unaryOpName(UE->op()));
+    printExpr(UE->sub(), Indent + 1);
+    return;
+  }
+  case Expr::ExprKind::Binary: {
+    const auto *BE = cast<BinaryExpr>(E);
+    line(Indent, std::string("Binary ") + binaryOpName(BE->op()));
+    printExpr(BE->lhs(), Indent + 1);
+    printExpr(BE->rhs(), Indent + 1);
+    return;
+  }
+  case Expr::ExprKind::Call: {
+    const auto *CE = cast<CallExpr>(E);
+    line(Indent, "Call");
+    printExpr(CE->callee(), Indent + 1);
+    for (const Expr *A : CE->args())
+      printExpr(A, Indent + 1);
+    return;
+  }
+  case Expr::ExprKind::Member: {
+    const auto *ME = cast<MemberExpr>(E);
+    line(Indent, std::string("Member ") + (ME->isArrow() ? "->" : ".") +
+                     ME->member());
+    printExpr(ME->base(), Indent + 1);
+    return;
+  }
+  case Expr::ExprKind::ArraySubscript: {
+    const auto *AE = cast<ArraySubscriptExpr>(E);
+    line(Indent, "ArraySubscript");
+    printExpr(AE->base(), Indent + 1);
+    printExpr(AE->index(), Indent + 1);
+    return;
+  }
+  case Expr::ExprKind::Cast: {
+    const auto *CE = cast<CastExpr>(E);
+    line(Indent, "Cast (" + CE->type().str() + ")");
+    printExpr(CE->sub(), Indent + 1);
+    return;
+  }
+  case Expr::ExprKind::Sizeof: {
+    const auto *SE = cast<SizeofExpr>(E);
+    if (SE->argExpr()) {
+      line(Indent, "Sizeof expr");
+      printExpr(SE->argExpr(), Indent + 1);
+    } else {
+      line(Indent, "Sizeof (" + SE->argType().str() + ")");
+    }
+    return;
+  }
+  case Expr::ExprKind::Conditional: {
+    const auto *CE = cast<ConditionalExpr>(E);
+    line(Indent, "Conditional");
+    printExpr(CE->cond(), Indent + 1);
+    printExpr(CE->trueExpr(), Indent + 1);
+    printExpr(CE->falseExpr(), Indent + 1);
+    return;
+  }
+  case Expr::ExprKind::Paren:
+    printExpr(cast<ParenExpr>(E)->sub(), Indent);
+    return;
+  case Expr::ExprKind::InitList: {
+    const auto *IE = cast<InitListExpr>(E);
+    line(Indent, "InitList");
+    for (const Expr *I : IE->inits())
+      printExpr(I, Indent + 1);
+    return;
+  }
+  }
+  assert(false && "unknown expr kind");
+}
+
+void ASTPrinter::printStmt(const Stmt *S, unsigned Indent) {
+  switch (S->kind()) {
+  case Stmt::StmtKind::Compound: {
+    line(Indent, "Compound");
+    for (const Stmt *Sub : cast<CompoundStmt>(S)->body())
+      printStmt(Sub, Indent + 1);
+    return;
+  }
+  case Stmt::StmtKind::Decl: {
+    line(Indent, "DeclStmt");
+    for (const VarDecl *VD : cast<DeclStmt>(S)->decls())
+      printDecl(VD, Indent + 1);
+    return;
+  }
+  case Stmt::StmtKind::Expr:
+    line(Indent, "ExprStmt");
+    printExpr(cast<ExprStmt>(S)->expr(), Indent + 1);
+    return;
+  case Stmt::StmtKind::If: {
+    const auto *IS = cast<IfStmt>(S);
+    line(Indent, "If");
+    printExpr(IS->cond(), Indent + 1);
+    printStmt(IS->thenStmt(), Indent + 1);
+    if (IS->elseStmt())
+      printStmt(IS->elseStmt(), Indent + 1);
+    return;
+  }
+  case Stmt::StmtKind::While: {
+    const auto *WS = cast<WhileStmt>(S);
+    line(Indent, "While");
+    printExpr(WS->cond(), Indent + 1);
+    printStmt(WS->body(), Indent + 1);
+    return;
+  }
+  case Stmt::StmtKind::Do: {
+    const auto *DS = cast<DoStmt>(S);
+    line(Indent, "Do");
+    printStmt(DS->body(), Indent + 1);
+    printExpr(DS->cond(), Indent + 1);
+    return;
+  }
+  case Stmt::StmtKind::For: {
+    const auto *FS = cast<ForStmt>(S);
+    line(Indent, "For");
+    if (FS->init())
+      printStmt(FS->init(), Indent + 1);
+    if (FS->cond())
+      printExpr(FS->cond(), Indent + 1);
+    if (FS->inc())
+      printExpr(FS->inc(), Indent + 1);
+    printStmt(FS->body(), Indent + 1);
+    return;
+  }
+  case Stmt::StmtKind::Return: {
+    const auto *RS = cast<ReturnStmt>(S);
+    line(Indent, "Return");
+    if (RS->value())
+      printExpr(RS->value(), Indent + 1);
+    return;
+  }
+  case Stmt::StmtKind::Break:
+    line(Indent, "Break");
+    return;
+  case Stmt::StmtKind::Continue:
+    line(Indent, "Continue");
+    return;
+  case Stmt::StmtKind::Switch: {
+    const auto *SS = cast<SwitchStmt>(S);
+    line(Indent, "Switch");
+    printExpr(SS->cond(), Indent + 1);
+    for (const SwitchStmt::CaseSection &Section : SS->sections()) {
+      line(Indent + 1, Section.IsDefault ? "Default" : "Case");
+      for (const Expr *L : Section.Labels)
+        printExpr(L, Indent + 2);
+      for (const Stmt *Sub : Section.Body)
+        printStmt(Sub, Indent + 2);
+    }
+    return;
+  }
+  case Stmt::StmtKind::Null:
+    line(Indent, "NullStmt");
+    return;
+  }
+  assert(false && "unknown stmt kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Compact C-syntax expression rendering
+//===----------------------------------------------------------------------===//
+
+std::string memlint::exprToString(const Expr *E) {
+  if (!E)
+    return "";
+  switch (E->kind()) {
+  case Expr::ExprKind::IntegerLiteral:
+    return std::to_string(cast<IntegerLiteralExpr>(E)->value());
+  case Expr::ExprKind::FloatLiteral:
+    return std::to_string(cast<FloatLiteralExpr>(E)->value());
+  case Expr::ExprKind::CharLiteral:
+    return std::string("'") + cast<CharLiteralExpr>(E)->value() + "'";
+  case Expr::ExprKind::StringLiteral:
+    return "\"" + cast<StringLiteralExpr>(E)->value() + "\"";
+  case Expr::ExprKind::DeclRef:
+    return cast<DeclRefExpr>(E)->name();
+  case Expr::ExprKind::Unary: {
+    const auto *UE = cast<UnaryExpr>(E);
+    std::string Sub = exprToString(UE->sub());
+    switch (UE->op()) {
+    case UnaryOp::Deref: return "*" + Sub;
+    case UnaryOp::AddrOf: return "&" + Sub;
+    case UnaryOp::Plus: return "+" + Sub;
+    case UnaryOp::Minus: return "-" + Sub;
+    case UnaryOp::Not: return "!" + Sub;
+    case UnaryOp::BitNot: return "~" + Sub;
+    case UnaryOp::PreInc: return "++" + Sub;
+    case UnaryOp::PreDec: return "--" + Sub;
+    case UnaryOp::PostInc: return Sub + "++";
+    case UnaryOp::PostDec: return Sub + "--";
+    }
+    return Sub;
+  }
+  case Expr::ExprKind::Binary: {
+    const auto *BE = cast<BinaryExpr>(E);
+    return exprToString(BE->lhs()) + " " + binaryOpName(BE->op()) + " " +
+           exprToString(BE->rhs());
+  }
+  case Expr::ExprKind::Call: {
+    const auto *CE = cast<CallExpr>(E);
+    std::string Out = exprToString(CE->callee()) + "(";
+    for (size_t I = 0; I < CE->args().size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += exprToString(CE->args()[I]);
+    }
+    return Out + ")";
+  }
+  case Expr::ExprKind::Member: {
+    const auto *ME = cast<MemberExpr>(E);
+    return exprToString(ME->base()) + (ME->isArrow() ? "->" : ".") +
+           ME->member();
+  }
+  case Expr::ExprKind::ArraySubscript: {
+    const auto *AE = cast<ArraySubscriptExpr>(E);
+    return exprToString(AE->base()) + "[" + exprToString(AE->index()) + "]";
+  }
+  case Expr::ExprKind::Cast: {
+    const auto *CE = cast<CastExpr>(E);
+    return "(" + CE->type().str() + ") " + exprToString(CE->sub());
+  }
+  case Expr::ExprKind::Sizeof: {
+    const auto *SE = cast<SizeofExpr>(E);
+    if (SE->argExpr())
+      return "sizeof (" + exprToString(SE->argExpr()) + ")";
+    return "sizeof (" + SE->argType().str() + ")";
+  }
+  case Expr::ExprKind::Conditional: {
+    const auto *CE = cast<ConditionalExpr>(E);
+    return exprToString(CE->cond()) + " ? " + exprToString(CE->trueExpr()) +
+           " : " + exprToString(CE->falseExpr());
+  }
+  case Expr::ExprKind::Paren:
+    return "(" + exprToString(cast<ParenExpr>(E)->sub()) + ")";
+  case Expr::ExprKind::InitList: {
+    const auto *IE = cast<InitListExpr>(E);
+    std::string Out = "{";
+    for (size_t I = 0; I < IE->inits().size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += exprToString(IE->inits()[I]);
+    }
+    return Out + "}";
+  }
+  }
+  return "<expr>";
+}

@@ -1,0 +1,40 @@
+//===--- ASTPrinter.h - Debug dumping of the AST ----------------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_AST_ASTPRINTER_H
+#define MEMLINT_AST_ASTPRINTER_H
+
+#include "ast/AST.h"
+
+#include <string>
+
+namespace memlint {
+
+/// Renders a compact, indentation-structured dump of the AST; used by tests
+/// to assert parse shapes and by the quickstart example.
+class ASTPrinter {
+public:
+  std::string print(const TranslationUnit &TU);
+  std::string print(const Decl *D);
+  std::string print(const Stmt *S);
+  std::string print(const Expr *E);
+
+private:
+  void printDecl(const Decl *D, unsigned Indent);
+  void printStmt(const Stmt *S, unsigned Indent);
+  void printExpr(const Expr *E, unsigned Indent);
+  void line(unsigned Indent, const std::string &Text);
+
+  std::string Out;
+};
+
+/// Renders an expression in compact C syntax ("l->next->this = e"). Used in
+/// diagnostic messages and CFG labels.
+std::string exprToString(const Expr *E);
+
+} // namespace memlint
+
+#endif // MEMLINT_AST_ASTPRINTER_H

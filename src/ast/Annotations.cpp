@@ -1,0 +1,215 @@
+//===--- Annotations.cpp - The paper's interface annotations ---------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Annotations.h"
+
+using namespace memlint;
+
+bool Annotations::addWord(const std::string &Word) {
+  auto setNull = [&](NullAnn V) {
+    if (Null != NullAnn::Unspecified && Null != V)
+      return false;
+    Null = V;
+    return true;
+  };
+  auto setDef = [&](DefAnn V) {
+    if (Def != DefAnn::Unspecified && Def != V)
+      return false;
+    Def = V;
+    return true;
+  };
+  auto setAlloc = [&](AllocAnn V) {
+    if (Alloc != AllocAnn::Unspecified && Alloc != V)
+      return false;
+    Alloc = V;
+    return true;
+  };
+  auto setExposure = [&](ExposureAnn V) {
+    if (Exposure != ExposureAnn::Unspecified && Exposure != V)
+      return false;
+    Exposure = V;
+    return true;
+  };
+
+  if (Word == "null")
+    return setNull(NullAnn::Null);
+  if (Word == "notnull")
+    return setNull(NullAnn::NotNull);
+  if (Word == "relnull")
+    return setNull(NullAnn::RelNull);
+  if (Word == "out")
+    return setDef(DefAnn::Out);
+  if (Word == "in")
+    return setDef(DefAnn::In);
+  if (Word == "partial")
+    return setDef(DefAnn::Partial);
+  if (Word == "reldef")
+    return setDef(DefAnn::RelDef);
+  if (Word == "only")
+    return setAlloc(AllocAnn::Only);
+  if (Word == "keep")
+    return setAlloc(AllocAnn::Keep);
+  if (Word == "temp")
+    return setAlloc(AllocAnn::Temp);
+  if (Word == "owned")
+    return setAlloc(AllocAnn::Owned);
+  if (Word == "dependent")
+    return setAlloc(AllocAnn::Dependent);
+  if (Word == "shared")
+    return setAlloc(AllocAnn::Shared);
+  if (Word == "observer")
+    return setExposure(ExposureAnn::Observer);
+  if (Word == "exposed")
+    return setExposure(ExposureAnn::Exposed);
+  if (Word == "unique") {
+    Unique = true;
+    return true;
+  }
+  if (Word == "returned") {
+    Returned = true;
+    return true;
+  }
+  if (Word == "truenull") {
+    if (FalseNull)
+      return false;
+    TrueNull = true;
+    return true;
+  }
+  if (Word == "falsenull") {
+    if (TrueNull)
+      return false;
+    FalseNull = true;
+    return true;
+  }
+  if (Word == "undef") {
+    Undef = true;
+    return true;
+  }
+  if (Word == "killed") {
+    Killed = true;
+    return true;
+  }
+  if (Word == "sef") {
+    Sef = true;
+    return true;
+  }
+  if (Word == "unused") {
+    Unused = true;
+    return true;
+  }
+  if (Word == "exits") {
+    Exits = true;
+    return true;
+  }
+  if (Word == "refcounted") {
+    RefCounted = true;
+    return true;
+  }
+  if (Word == "newref") {
+    if (KillRef || TempRef)
+      return false;
+    NewRef = true;
+    return true;
+  }
+  if (Word == "killref") {
+    if (NewRef || TempRef)
+      return false;
+    KillRef = true;
+    return true;
+  }
+  if (Word == "tempref") {
+    if (NewRef || KillRef)
+      return false;
+    TempRef = true;
+    return true;
+  }
+  if (Word == "refs") {
+    Refs = true;
+    return true;
+  }
+  return false; // unknown word; lexer normally filters these out
+}
+
+Annotations Annotations::overrideWith(const Annotations &FromType,
+                                      const Annotations &FromDecl) {
+  Annotations Out = FromType;
+  if (FromDecl.Null != NullAnn::Unspecified)
+    Out.Null = FromDecl.Null;
+  if (FromDecl.Def != DefAnn::Unspecified)
+    Out.Def = FromDecl.Def;
+  if (FromDecl.Alloc != AllocAnn::Unspecified)
+    Out.Alloc = FromDecl.Alloc;
+  if (FromDecl.Exposure != ExposureAnn::Unspecified)
+    Out.Exposure = FromDecl.Exposure;
+  Out.Unique |= FromDecl.Unique;
+  Out.Returned |= FromDecl.Returned;
+  Out.TrueNull |= FromDecl.TrueNull;
+  Out.FalseNull |= FromDecl.FalseNull;
+  Out.Undef |= FromDecl.Undef;
+  Out.Killed |= FromDecl.Killed;
+  Out.Sef |= FromDecl.Sef;
+  Out.Unused |= FromDecl.Unused;
+  Out.Exits |= FromDecl.Exits;
+  Out.RefCounted |= FromDecl.RefCounted;
+  Out.NewRef |= FromDecl.NewRef;
+  Out.KillRef |= FromDecl.KillRef;
+  Out.TempRef |= FromDecl.TempRef;
+  Out.Refs |= FromDecl.Refs;
+  return Out;
+}
+
+std::string Annotations::str() const {
+  std::string Out;
+  auto add = [&](const char *Word) {
+    if (!Out.empty())
+      Out += ' ';
+    Out += "/*@";
+    Out += Word;
+    Out += "@*/";
+  };
+  switch (Null) {
+  case NullAnn::Unspecified: break;
+  case NullAnn::Null: add("null"); break;
+  case NullAnn::NotNull: add("notnull"); break;
+  case NullAnn::RelNull: add("relnull"); break;
+  }
+  switch (Def) {
+  case DefAnn::Unspecified: break;
+  case DefAnn::Out: add("out"); break;
+  case DefAnn::In: add("in"); break;
+  case DefAnn::Partial: add("partial"); break;
+  case DefAnn::RelDef: add("reldef"); break;
+  }
+  switch (Alloc) {
+  case AllocAnn::Unspecified: break;
+  case AllocAnn::Only: add("only"); break;
+  case AllocAnn::Keep: add("keep"); break;
+  case AllocAnn::Temp: add("temp"); break;
+  case AllocAnn::Owned: add("owned"); break;
+  case AllocAnn::Dependent: add("dependent"); break;
+  case AllocAnn::Shared: add("shared"); break;
+  }
+  switch (Exposure) {
+  case ExposureAnn::Unspecified: break;
+  case ExposureAnn::Observer: add("observer"); break;
+  case ExposureAnn::Exposed: add("exposed"); break;
+  }
+  if (Unique) add("unique");
+  if (Returned) add("returned");
+  if (TrueNull) add("truenull");
+  if (FalseNull) add("falsenull");
+  if (Undef) add("undef");
+  if (Killed) add("killed");
+  if (Sef) add("sef");
+  if (Unused) add("unused");
+  if (Exits) add("exits");
+  if (RefCounted) add("refcounted");
+  if (NewRef) add("newref");
+  if (KillRef) add("killref");
+  if (TempRef) add("tempref");
+  if (Refs) add("refs");
+  return Out;
+}

@@ -1,0 +1,128 @@
+//===--- Annotations.h - The paper's interface annotations ------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory-management annotations of Appendix B of the paper, grouped by
+/// category. "At most one annotation in any category can be used on a given
+/// declaration"; incompatible combinations are static errors.
+///
+/// Categories:
+///   Null pointers:      null, notnull, relnull
+///   Definition:         out, in, partial, reldef
+///   Allocation:         only, keep, temp, owned, dependent, shared
+///   Parameter aliasing: unique
+///   Returned refs:      returned
+///   Exposure:           observer, exposed
+///   Function results:   truenull, falsenull (null-test functions)
+///   Globals lists:      undef (may be undefined at call)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_AST_ANNOTATIONS_H
+#define MEMLINT_AST_ANNOTATIONS_H
+
+#include <string>
+
+namespace memlint {
+
+/// Null-pointer category (paper Appendix B "Null Pointers").
+enum class NullAnn {
+  Unspecified, ///< No annotation: interpreted as notnull (paper §6) unless a
+               ///< typedef supplies one.
+  Null,        ///< May have the value NULL.
+  NotNull,     ///< Never NULL; overrides a typedef's null.
+  RelNull,     ///< Relaxed: assumed non-null when used, may be assigned NULL.
+};
+
+/// Definition category (paper Appendix B "Definition").
+enum class DefAnn {
+  Unspecified, ///< Completely defined (the "in" default).
+  Out,         ///< Allocated but not necessarily defined.
+  In,          ///< Completely defined (explicit).
+  Partial,     ///< May have undefined fields; no errors on use.
+  RelDef,      ///< Relaxed: assumed defined on use, need not be defined.
+};
+
+/// Allocation category (paper Appendix B "Allocation").
+enum class AllocAnn {
+  Unspecified, ///< Policy-dependent default (temp for params, none else).
+  Only,        ///< Unshared; confers the obligation to release.
+  Keep,        ///< Like only, but caller may still use it after the call.
+  Temp,        ///< Callee may not release or create new external aliases.
+  Owned,       ///< Has the release obligation; dependents may share.
+  Dependent,   ///< Shares owned storage; may not release it.
+  Shared,      ///< Arbitrarily shared; never released (GC use).
+};
+
+/// Exposure category (paper Appendix B "Exposure").
+enum class ExposureAnn {
+  Unspecified,
+  Observer, ///< Returned storage must not be modified or released by caller.
+  Exposed,  ///< Exposed internal storage; may be modified, not released.
+};
+
+/// The complete annotation set attachable to one declaration (variable,
+/// parameter, return value, field, or typedef).
+struct Annotations {
+  NullAnn Null = NullAnn::Unspecified;
+  DefAnn Def = DefAnn::Unspecified;
+  AllocAnn Alloc = AllocAnn::Unspecified;
+  ExposureAnn Exposure = ExposureAnn::Unspecified;
+  bool Unique = false;    ///< Parameter shares no storage with others.
+  bool Returned = false;  ///< Result may alias this parameter.
+  bool TrueNull = false;  ///< Function returns true iff argument is null.
+  bool FalseNull = false; ///< Function returns false iff argument is null.
+  bool Undef = false;     ///< Global may be undefined when function called.
+  bool Killed = false;    ///< (accepted, treated as only for free-like params)
+  bool Sef = false;       ///< Side-effect free (accepted; used by interp).
+  bool Unused = false;    ///< Declared may-be-unused (accepted, no checking).
+  bool Exits = false;     ///< Function never returns (exit/abort).
+  // Reference counting (the paper's §4 pointer to [3]; LCLint 2.0):
+  bool RefCounted = false; ///< Storage managed by a reference count.
+  bool NewRef = false;     ///< Result carries a new reference (must be
+                           ///< released with a killref).
+  bool KillRef = false;    ///< Parameter releases one reference.
+  bool TempRef = false;    ///< Parameter uses but does not retain a ref.
+  bool Refs = false;       ///< Field holding the reference count.
+
+  /// True if no annotation at all was written.
+  bool empty() const {
+    return Null == NullAnn::Unspecified && Def == DefAnn::Unspecified &&
+           Alloc == AllocAnn::Unspecified &&
+           Exposure == ExposureAnn::Unspecified && !Unique && !Returned &&
+           !TrueNull && !FalseNull && !Undef && !Killed && !Sef && !Unused &&
+           !Exits && !RefCounted && !NewRef && !KillRef && !TempRef && !Refs;
+  }
+
+  /// Applies one annotation word ("null", "only", ...).
+  /// \returns false if the word conflicts with an already-set annotation in
+  /// the same category (the caller reports the error).
+  bool addWord(const std::string &Word);
+
+  /// Combines typedef-supplied annotations with declaration-level ones;
+  /// declaration annotations win within each category (paper: notnull "may
+  /// be necessary ... to override null in a type definition").
+  static Annotations overrideWith(const Annotations &FromType,
+                                  const Annotations &FromDecl);
+
+  /// Renders like "/*@null@*/ /*@only@*/" for printing; empty string if none.
+  std::string str() const;
+
+  friend bool operator==(const Annotations &A, const Annotations &B) {
+    return A.Null == B.Null && A.Def == B.Def && A.Alloc == B.Alloc &&
+           A.Exposure == B.Exposure && A.Unique == B.Unique &&
+           A.Returned == B.Returned && A.TrueNull == B.TrueNull &&
+           A.FalseNull == B.FalseNull && A.Undef == B.Undef &&
+           A.Killed == B.Killed && A.Sef == B.Sef && A.Unused == B.Unused &&
+           A.Exits == B.Exits && A.RefCounted == B.RefCounted &&
+           A.NewRef == B.NewRef && A.KillRef == B.KillRef &&
+           A.TempRef == B.TempRef && A.Refs == B.Refs;
+  }
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_AST_ANNOTATIONS_H

@@ -1,0 +1,161 @@
+//===--- Type.cpp - C types for the checked subset --------------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Type.h"
+
+#include "ast/AST.h"
+
+using namespace memlint;
+
+QualType TypedefType::underlying() const { return TD->underlying(); }
+
+const Type *Type::canonical() const {
+  const Type *T = this;
+  while (const auto *TT = dyn_cast<TypedefType>(T)) {
+    QualType U = TT->underlying();
+    if (U.isNull())
+      break;
+    T = U.type();
+  }
+  return T;
+}
+
+QualType QualType::canonical() const {
+  if (!Ty)
+    return *this;
+  return QualType(Ty->canonical(), Const, Volatile);
+}
+
+bool QualType::isPointer() const {
+  return Ty && isa<PointerType>(Ty->canonical());
+}
+
+bool QualType::isArray() const {
+  return Ty && isa<ArrayType>(Ty->canonical());
+}
+
+bool QualType::isRecord() const {
+  return Ty && isa<RecordType>(Ty->canonical());
+}
+
+bool QualType::isFunction() const {
+  return Ty && isa<FunctionType>(Ty->canonical());
+}
+
+bool QualType::isVoid() const {
+  if (!Ty)
+    return false;
+  const auto *BT = dyn_cast<BuiltinType>(Ty->canonical());
+  return BT && BT->isVoid();
+}
+
+bool QualType::isArithmetic() const {
+  if (!Ty)
+    return false;
+  const Type *C = Ty->canonical();
+  if (const auto *BT = dyn_cast<BuiltinType>(C))
+    return !BT->isVoid();
+  return isa<EnumType>(C);
+}
+
+bool QualType::isInteger() const {
+  if (!Ty)
+    return false;
+  const Type *C = Ty->canonical();
+  if (const auto *BT = dyn_cast<BuiltinType>(C))
+    return BT->isInteger();
+  return isa<EnumType>(C);
+}
+
+QualType QualType::pointee() const {
+  const Type *C = Ty->canonical();
+  if (const auto *PT = dyn_cast<PointerType>(C))
+    return PT->pointee();
+  if (const auto *AT = dyn_cast<ArrayType>(C))
+    return AT->element();
+  assert(false && "pointee() of non-pointer type");
+  return QualType();
+}
+
+std::string Type::str() const {
+  switch (kind()) {
+  case TypeKind::Builtin: {
+    switch (cast<BuiltinType>(this)->builtinKind()) {
+    case BuiltinType::Kind::Void: return "void";
+    case BuiltinType::Kind::Char: return "char";
+    case BuiltinType::Kind::SignedChar: return "signed char";
+    case BuiltinType::Kind::UnsignedChar: return "unsigned char";
+    case BuiltinType::Kind::Short: return "short";
+    case BuiltinType::Kind::UnsignedShort: return "unsigned short";
+    case BuiltinType::Kind::Int: return "int";
+    case BuiltinType::Kind::UnsignedInt: return "unsigned int";
+    case BuiltinType::Kind::Long: return "long";
+    case BuiltinType::Kind::UnsignedLong: return "unsigned long";
+    case BuiltinType::Kind::Float: return "float";
+    case BuiltinType::Kind::Double: return "double";
+    case BuiltinType::Kind::LongDouble: return "long double";
+    }
+    return "<builtin>";
+  }
+  case TypeKind::Pointer:
+    return cast<PointerType>(this)->pointee().str() + " *";
+  case TypeKind::Array: {
+    const auto *AT = cast<ArrayType>(this);
+    std::string Out = AT->element().str() + " [";
+    if (AT->size())
+      Out += std::to_string(*AT->size());
+    return Out + "]";
+  }
+  case TypeKind::Function: {
+    const auto *FT = cast<FunctionType>(this);
+    std::string Out = FT->result().str() + " (";
+    for (size_t I = 0; I < FT->params().size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += FT->params()[I].str();
+    }
+    if (FT->isVariadic())
+      Out += FT->params().empty() ? "..." : ", ...";
+    return Out + ")";
+  }
+  case TypeKind::Record: {
+    const RecordDecl *RD = cast<RecordType>(this)->decl();
+    std::string Tag = RD->isUnion() ? "union" : "struct";
+    return Tag + " " + (RD->name().empty() ? "<anonymous>" : RD->name());
+  }
+  case TypeKind::Enum:
+    return "enum " + cast<EnumType>(this)->decl()->name();
+  case TypeKind::Typedef:
+    return cast<TypedefType>(this)->decl()->name();
+  }
+  return "<type>";
+}
+
+std::string QualType::str() const {
+  if (!Ty)
+    return "<null type>";
+  std::string Out;
+  if (Const)
+    Out += "const ";
+  if (Volatile)
+    Out += "volatile ";
+  return Out + Ty->str();
+}
+
+Annotations memlint::typeAnnotations(QualType Ty) {
+  // Walk from the innermost typedef outward so outer typedefs override.
+  std::vector<const TypedefDecl *> Chain;
+  const Type *T = Ty.type();
+  while (const auto *TT = dyn_cast_or_null<TypedefType>(T)) {
+    Chain.push_back(TT->decl());
+    QualType U = TT->decl()->underlying();
+    T = U.type();
+  }
+  Annotations Result;
+  for (auto It = Chain.rbegin(); It != Chain.rend(); ++It)
+    Result = Annotations::overrideWith(Result, (*It)->annotations());
+  return Result;
+}

@@ -1,0 +1,248 @@
+//===--- Type.h - C types for the checked subset ----------------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type system: builtins, pointers, arrays, functions, records, enums
+/// and typedef sugar. Typedefs matter to the analysis because the paper lets
+/// a type definition carry annotations that constrain every instance of the
+/// type (e.g. `typedef /*@null@*/ struct _list *list;`).
+///
+/// Types are immutable and owned by the ASTContext; QualType is the cheap
+/// value handle (type pointer + const/volatile bits).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_AST_TYPE_H
+#define MEMLINT_AST_TYPE_H
+
+#include "ast/Annotations.h"
+#include "support/Casting.h"
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace memlint {
+
+class Type;
+class RecordDecl;
+class EnumDecl;
+class TypedefDecl;
+
+/// A type with const/volatile qualifiers. Passed by value everywhere.
+class QualType {
+public:
+  QualType() = default;
+  explicit QualType(const Type *Ty, bool Const = false, bool Volatile = false)
+      : Ty(Ty), Const(Const), Volatile(Volatile) {}
+
+  bool isNull() const { return Ty == nullptr; }
+  const Type *type() const { return Ty; }
+  bool isConst() const { return Const; }
+  bool isVolatile() const { return Volatile; }
+
+  QualType withConst() const { return QualType(Ty, true, Volatile); }
+
+  /// The type with typedef sugar stripped (qualifiers preserved).
+  QualType canonical() const;
+
+  // Convenience classification (looks through typedefs).
+  bool isPointer() const;
+  bool isArray() const;
+  bool isRecord() const;
+  bool isFunction() const;
+  bool isVoid() const;
+  bool isArithmetic() const;
+  bool isInteger() const;
+
+  /// Pointee of a pointer type (or element of an array, which decays).
+  /// Asserts isPointer() or isArray().
+  QualType pointee() const;
+
+  /// Renders a readable form ("char *", "struct _list *").
+  std::string str() const;
+
+  friend bool operator==(QualType A, QualType B) {
+    return A.Ty == B.Ty && A.Const == B.Const && A.Volatile == B.Volatile;
+  }
+  friend bool operator!=(QualType A, QualType B) { return !(A == B); }
+
+private:
+  const Type *Ty = nullptr;
+  bool Const = false;
+  bool Volatile = false;
+};
+
+/// Base of the type hierarchy.
+class Type {
+public:
+  enum class TypeKind {
+    Builtin,
+    Pointer,
+    Array,
+    Function,
+    Record,
+    Enum,
+    Typedef,
+  };
+
+  TypeKind kind() const { return Kind; }
+  virtual ~Type() = default;
+
+  /// Strips typedef sugar.
+  const Type *canonical() const;
+
+  std::string str() const;
+
+protected:
+  explicit Type(TypeKind Kind) : Kind(Kind) {}
+
+private:
+  const TypeKind Kind;
+};
+
+/// Builtin scalar types.
+class BuiltinType : public Type {
+public:
+  enum class Kind {
+    Void,
+    Char,
+    SignedChar,
+    UnsignedChar,
+    Short,
+    UnsignedShort,
+    Int,
+    UnsignedInt,
+    Long,
+    UnsignedLong,
+    Float,
+    Double,
+    LongDouble,
+  };
+
+  explicit BuiltinType(Kind K) : Type(TypeKind::Builtin), K(K) {}
+
+  Kind builtinKind() const { return K; }
+  bool isVoid() const { return K == Kind::Void; }
+  bool isFloating() const {
+    return K == Kind::Float || K == Kind::Double || K == Kind::LongDouble;
+  }
+  bool isInteger() const { return !isVoid() && !isFloating(); }
+
+  static bool classof(const Type *T) {
+    return T->kind() == TypeKind::Builtin;
+  }
+
+private:
+  Kind K;
+};
+
+/// T*
+class PointerType : public Type {
+public:
+  explicit PointerType(QualType Pointee)
+      : Type(TypeKind::Pointer), Pointee(Pointee) {}
+
+  QualType pointee() const { return Pointee; }
+
+  static bool classof(const Type *T) {
+    return T->kind() == TypeKind::Pointer;
+  }
+
+private:
+  QualType Pointee;
+};
+
+/// T[N] / T[]
+class ArrayType : public Type {
+public:
+  ArrayType(QualType Element, std::optional<long> Size)
+      : Type(TypeKind::Array), Element(Element), Size(Size) {}
+
+  QualType element() const { return Element; }
+  std::optional<long> size() const { return Size; }
+
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Array; }
+
+private:
+  QualType Element;
+  std::optional<long> Size;
+};
+
+/// Function type: result + parameter types. Parameter names and annotations
+/// live on the FunctionDecl; the type is structural.
+class FunctionType : public Type {
+public:
+  FunctionType(QualType Result, std::vector<QualType> Params, bool Variadic)
+      : Type(TypeKind::Function), Result(Result), Params(std::move(Params)),
+        Variadic(Variadic) {}
+
+  QualType result() const { return Result; }
+  const std::vector<QualType> &params() const { return Params; }
+  bool isVariadic() const { return Variadic; }
+
+  static bool classof(const Type *T) {
+    return T->kind() == TypeKind::Function;
+  }
+
+private:
+  QualType Result;
+  std::vector<QualType> Params;
+  bool Variadic;
+};
+
+/// struct/union type, referring to its declaration.
+class RecordType : public Type {
+public:
+  explicit RecordType(RecordDecl *Decl) : Type(TypeKind::Record), Rec(Decl) {}
+
+  RecordDecl *decl() const { return Rec; }
+
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Record; }
+
+private:
+  RecordDecl *Rec;
+};
+
+/// enum type.
+class EnumType : public Type {
+public:
+  explicit EnumType(EnumDecl *Decl) : Type(TypeKind::Enum), ED(Decl) {}
+
+  EnumDecl *decl() const { return ED; }
+
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Enum; }
+
+private:
+  EnumDecl *ED;
+};
+
+/// Typedef sugar; carries the declaration so annotation lookups can walk the
+/// typedef chain.
+class TypedefType : public Type {
+public:
+  explicit TypedefType(TypedefDecl *Decl) : Type(TypeKind::Typedef), TD(Decl) {}
+
+  TypedefDecl *decl() const { return TD; }
+  /// The type being named (may itself be sugared).
+  QualType underlying() const;
+
+  static bool classof(const Type *T) {
+    return T->kind() == TypeKind::Typedef;
+  }
+
+private:
+  TypedefDecl *TD;
+};
+
+/// Collects the annotations supplied by the typedef chain of \p Ty (innermost
+/// first, outer typedefs overriding inner ones).
+Annotations typeAnnotations(QualType Ty);
+
+} // namespace memlint
+
+#endif // MEMLINT_AST_TYPE_H

@@ -1,0 +1,334 @@
+//===--- CFG.cpp - Control-flow graph under the paper's model --------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CFG.h"
+
+#include "ast/ASTPrinter.h"
+
+#include <cassert>
+#include <functional>
+#include <set>
+
+using namespace memlint;
+
+//===----------------------------------------------------------------------===//
+// Builder
+//===----------------------------------------------------------------------===//
+
+class CFG::Builder {
+public:
+  explicit Builder(CFG &G) : G(G) {}
+
+  void run(const FunctionDecl *FD) {
+    G.FD = FD;
+    G.Entry = newBlock("Function Entrance");
+    G.Exit = newBlock("Function Exit");
+    unsigned Last = buildStmt(FD->body(), G.Entry);
+    if (Last != Dead)
+      addEdge(Last, G.Exit);
+  }
+
+private:
+  /// Sentinel for "control cannot reach here" (after return/break).
+  static constexpr unsigned Dead = ~0u;
+
+  unsigned newBlock(std::string Label, SourceLocation Loc = {}) {
+    CFGBlock B;
+    B.Id = static_cast<unsigned>(G.Blocks.size());
+    B.Label = std::move(Label);
+    B.Loc = std::move(Loc);
+    G.Blocks.push_back(std::move(B));
+    return G.Blocks.back().Id;
+  }
+
+  void addEdge(unsigned From, unsigned To) {
+    if (From == Dead)
+      return;
+    G.Blocks[From].Succs.push_back(To);
+  }
+
+  void appendStmt(unsigned Block, const Stmt *S, std::string Text) {
+    if (Block == Dead)
+      return;
+    G.Blocks[Block].Stmts.push_back(S);
+    G.Blocks[Block].StmtText.push_back(std::move(Text));
+  }
+
+  static std::string lineLabel(const SourceLocation &Loc,
+                               const std::string &Text) {
+    if (!Loc.isValid())
+      return Text;
+    return std::to_string(Loc.line()) + ": " + Text;
+  }
+
+  /// Appends statement \p S starting in block \p Cur; returns the block in
+  /// which control continues (or Dead).
+  unsigned buildStmt(const Stmt *S, unsigned Cur) {
+    if (!S || Cur == Dead)
+      return Cur;
+    switch (S->kind()) {
+    case Stmt::StmtKind::Compound: {
+      for (const Stmt *Sub : cast<CompoundStmt>(S)->body())
+        Cur = buildStmt(Sub, Cur);
+      return Cur;
+    }
+    case Stmt::StmtKind::Null:
+      return Cur;
+    case Stmt::StmtKind::Decl: {
+      const auto *DS = cast<DeclStmt>(S);
+      std::string Names;
+      for (const VarDecl *VD : DS->decls()) {
+        if (!Names.empty())
+          Names += ", ";
+        Names += VD->name();
+      }
+      appendStmt(Cur, S, lineLabel(S->loc(), "decl " + Names));
+      return Cur;
+    }
+    case Stmt::StmtKind::Expr: {
+      const auto *ES = cast<ExprStmt>(S);
+      appendStmt(Cur, S, lineLabel(S->loc(), exprToString(ES->expr())));
+      return Cur;
+    }
+    case Stmt::StmtKind::Return: {
+      const auto *RS = cast<ReturnStmt>(S);
+      appendStmt(Cur, S,
+                 lineLabel(S->loc(),
+                           RS->value()
+                               ? "return " + exprToString(RS->value())
+                               : std::string("return")));
+      addEdge(Cur, G.Exit);
+      return Dead;
+    }
+    case Stmt::StmtKind::Break: {
+      appendStmt(Cur, S, lineLabel(S->loc(), "break"));
+      assert(!BreakTargets.empty() && "break outside loop/switch");
+      if (!BreakTargets.empty())
+        addEdge(Cur, BreakTargets.back());
+      return Dead;
+    }
+    case Stmt::StmtKind::Continue: {
+      appendStmt(Cur, S, lineLabel(S->loc(), "continue"));
+      // No back edges under the paper's model: continue flows to the loop's
+      // merge point, like finishing the single modeled iteration.
+      assert(!ContinueTargets.empty() && "continue outside loop");
+      if (!ContinueTargets.empty())
+        addEdge(Cur, ContinueTargets.back());
+      return Dead;
+    }
+    case Stmt::StmtKind::If: {
+      const auto *IS = cast<IfStmt>(S);
+      unsigned CondBlock = newBlock(
+          lineLabel(S->loc(), "if (" + exprToString(IS->cond()) + ")"),
+          S->loc());
+      addEdge(Cur, CondBlock);
+      unsigned ThenStart = newBlock("then", IS->thenStmt()->loc());
+      addEdge(CondBlock, ThenStart);
+      unsigned ThenEnd = buildStmt(IS->thenStmt(), ThenStart);
+      unsigned Merge = newBlock("merge");
+      if (IS->elseStmt()) {
+        unsigned ElseStart = newBlock("else", IS->elseStmt()->loc());
+        addEdge(CondBlock, ElseStart);
+        unsigned ElseEnd = buildStmt(IS->elseStmt(), ElseStart);
+        addEdge(ElseEnd, Merge);
+      } else {
+        addEdge(CondBlock, Merge); // false branch
+      }
+      addEdge(ThenEnd, Merge);
+      return Merge;
+    }
+    case Stmt::StmtKind::While: {
+      const auto *WS = cast<WhileStmt>(S);
+      unsigned CondBlock = newBlock(
+          lineLabel(S->loc(), "while (" + exprToString(WS->cond()) + ")"),
+          S->loc());
+      addEdge(Cur, CondBlock);
+      unsigned Merge = newBlock("merge");
+      unsigned BodyStart = newBlock("loop body", WS->body()->loc());
+      addEdge(CondBlock, BodyStart); // execute once
+      addEdge(CondBlock, Merge);     // execute zero times
+      BreakTargets.push_back(Merge);
+      ContinueTargets.push_back(Merge);
+      unsigned BodyEnd = buildStmt(WS->body(), BodyStart);
+      ContinueTargets.pop_back();
+      BreakTargets.pop_back();
+      addEdge(BodyEnd, Merge); // no back edge
+      return Merge;
+    }
+    case Stmt::StmtKind::Do: {
+      const auto *DS = cast<DoStmt>(S);
+      // do-while executes the body at least once; the paper's model runs it
+      // exactly once and then evaluates the condition.
+      unsigned BodyStart = newBlock("do body", DS->body()->loc());
+      addEdge(Cur, BodyStart);
+      unsigned Merge = newBlock("merge");
+      BreakTargets.push_back(Merge);
+      ContinueTargets.push_back(Merge);
+      unsigned BodyEnd = buildStmt(DS->body(), BodyStart);
+      ContinueTargets.pop_back();
+      BreakTargets.pop_back();
+      if (BodyEnd != Dead) {
+        appendStmt(BodyEnd, S,
+                   lineLabel(S->loc(),
+                             "while (" + exprToString(DS->cond()) + ")"));
+        addEdge(BodyEnd, Merge);
+      }
+      return Merge;
+    }
+    case Stmt::StmtKind::For: {
+      const auto *FS = cast<ForStmt>(S);
+      Cur = buildStmt(FS->init(), Cur);
+      unsigned CondBlock = newBlock(
+          lineLabel(S->loc(),
+                    "for (" +
+                        (FS->cond() ? exprToString(FS->cond()) : "") + ")"),
+          S->loc());
+      addEdge(Cur, CondBlock);
+      unsigned Merge = newBlock("merge");
+      unsigned BodyStart = newBlock("loop body", FS->body()->loc());
+      addEdge(CondBlock, BodyStart);
+      addEdge(CondBlock, Merge);
+      BreakTargets.push_back(Merge);
+      ContinueTargets.push_back(Merge);
+      unsigned BodyEnd = buildStmt(FS->body(), BodyStart);
+      ContinueTargets.pop_back();
+      BreakTargets.pop_back();
+      if (BodyEnd != Dead && FS->inc())
+        appendStmt(BodyEnd, S, lineLabel(S->loc(), exprToString(FS->inc())));
+      addEdge(BodyEnd, Merge);
+      return Merge;
+    }
+    case Stmt::StmtKind::Switch: {
+      const auto *SS = cast<SwitchStmt>(S);
+      unsigned CondBlock = newBlock(
+          lineLabel(S->loc(), "switch (" + exprToString(SS->cond()) + ")"),
+          S->loc());
+      addEdge(Cur, CondBlock);
+      unsigned Merge = newBlock("merge");
+      BreakTargets.push_back(Merge);
+      unsigned PrevEnd = Dead; // fallthrough from previous section
+      bool HasDefault = false;
+      for (const SwitchStmt::CaseSection &Section : SS->sections()) {
+        if (Section.IsDefault)
+          HasDefault = true;
+        unsigned SectionStart = newBlock(
+            Section.IsDefault ? "default" : "case", Section.Loc);
+        addEdge(CondBlock, SectionStart);
+        if (PrevEnd != Dead)
+          addEdge(PrevEnd, SectionStart); // fallthrough
+        unsigned SectionCur = SectionStart;
+        for (const Stmt *Sub : Section.Body)
+          SectionCur = buildStmt(Sub, SectionCur);
+        PrevEnd = SectionCur;
+      }
+      BreakTargets.pop_back();
+      if (PrevEnd != Dead)
+        addEdge(PrevEnd, Merge);
+      if (!HasDefault)
+        addEdge(CondBlock, Merge); // no matching case
+      return Merge;
+    }
+    }
+    assert(false && "unknown statement kind");
+    return Cur;
+  }
+
+  CFG &G;
+  std::vector<unsigned> BreakTargets;
+  std::vector<unsigned> ContinueTargets;
+};
+
+std::unique_ptr<CFG> CFG::build(const FunctionDecl *FD) {
+  if (!FD || !FD->body())
+    return nullptr;
+  auto G = std::unique_ptr<CFG>(new CFG());
+  Builder(*G).run(FD);
+  return G;
+}
+
+//===----------------------------------------------------------------------===//
+// Queries and printing
+//===----------------------------------------------------------------------===//
+
+bool CFG::isAcyclic() const {
+  // DFS three-color cycle check.
+  enum class Color { White, Grey, Black };
+  std::vector<Color> Colors(Blocks.size(), Color::White);
+  std::function<bool(unsigned)> Visit = [&](unsigned Id) {
+    Colors[Id] = Color::Grey;
+    for (unsigned Succ : Blocks[Id].Succs) {
+      if (Colors[Succ] == Color::Grey)
+        return false;
+      if (Colors[Succ] == Color::White && !Visit(Succ))
+        return false;
+    }
+    Colors[Id] = Color::Black;
+    return true;
+  };
+  for (unsigned I = 0; I < Blocks.size(); ++I)
+    if (Colors[I] == Color::White && !Visit(I))
+      return false;
+  return true;
+}
+
+std::vector<unsigned> CFG::topologicalOrder() const {
+  std::vector<unsigned> Order;
+  std::vector<bool> Visited(Blocks.size(), false);
+  std::function<void(unsigned)> Visit = [&](unsigned Id) {
+    Visited[Id] = true;
+    for (unsigned Succ : Blocks[Id].Succs)
+      if (!Visited[Succ])
+        Visit(Succ);
+    Order.push_back(Id);
+  };
+  Visit(Entry);
+  for (unsigned I = 0; I < Blocks.size(); ++I)
+    if (!Visited[I])
+      Visit(I);
+  std::reverse(Order.begin(), Order.end());
+  return Order;
+}
+
+std::string CFG::print() const {
+  std::string Out;
+  Out += "CFG for " + (FD ? FD->name() : std::string("<null>")) + "\n";
+  for (unsigned Id : topologicalOrder()) {
+    const CFGBlock &B = Blocks[Id];
+    Out += "  (" + std::to_string(Id) + ") " + B.Label + "\n";
+    for (const std::string &Text : B.StmtText)
+      Out += "        " + Text + "\n";
+    Out += "        ->";
+    if (B.Succs.empty())
+      Out += " (none)";
+    for (unsigned Succ : B.Succs)
+      Out += " (" + std::to_string(Succ) + ")";
+    Out += "\n";
+  }
+  return Out;
+}
+
+std::string CFG::printDot() const {
+  std::string Out = "digraph cfg {\n";
+  for (const CFGBlock &B : Blocks) {
+    std::string Label = B.Label;
+    for (const std::string &Text : B.StmtText)
+      Label += "\\n" + Text;
+    // Escape double quotes.
+    std::string Escaped;
+    for (char C : Label) {
+      if (C == '"')
+        Escaped += "\\\"";
+      else
+        Escaped += C;
+    }
+    Out += "  n" + std::to_string(B.Id) + " [label=\"" + Escaped + "\"];\n";
+  }
+  for (const CFGBlock &B : Blocks)
+    for (unsigned Succ : B.Succs)
+      Out += "  n" + std::to_string(B.Id) + " -> n" + std::to_string(Succ) +
+             ";\n";
+  return Out + "}\n";
+}

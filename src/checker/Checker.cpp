@@ -1,0 +1,196 @@
+//===--- Checker.cpp - Public checking facade -------------------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+
+#include "analysis/FunctionChecker.h"
+#include "analysis/LibrarySpec.h"
+#include "lcl/LclReader.h"
+#include "ast/AST.h"
+#include "parse/Parser.h"
+#include "pp/Preprocessor.h"
+#include "sema/Sema.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace memlint;
+
+unsigned CheckResult::count(CheckId Id) const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diagnostics)
+    if (D.Id == Id)
+      ++N;
+  return N;
+}
+
+unsigned CheckResult::anomalyCount() const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diagnostics)
+    if (D.Sev == Severity::Anomaly)
+      ++N;
+  return N;
+}
+
+bool CheckResult::contains(const std::string &Needle) const {
+  for (const Diagnostic &D : Diagnostics)
+    if (D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+std::string CheckResult::render() const {
+  std::string Out;
+  for (const Diagnostic &D : Diagnostics) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}
+
+namespace {
+
+/// Per-file, line-ordered suppression state computed from control comments.
+class SuppressionMap {
+public:
+  SuppressionMap(const std::vector<ControlDirective> &Directives,
+                 const FlagSet &Flags)
+      : Flags(Flags) {
+    for (const ControlDirective &D : Directives)
+      PerFile[D.Loc.file()].push_back({D.Loc.line(), D.Text});
+    for (auto &KV : PerFile)
+      std::stable_sort(KV.second.begin(), KV.second.end(),
+                       [](const auto &A, const auto &B) {
+                         return A.first < B.first;
+                       });
+  }
+
+  /// \returns true if the diagnostic should be kept.
+  bool keep(const Diagnostic &Diag) const {
+    if (Diag.Sev == Severity::Error)
+      return true; // parse errors are never suppressed
+    const char *FlagName = checkIdFlagName(Diag.Id);
+    if (!Flags.get(FlagName))
+      return false;
+
+    auto It = PerFile.find(Diag.Loc.file());
+    if (It == PerFile.end())
+      return true;
+
+    bool Ignoring = false;
+    std::map<std::string, bool> Local;
+    for (const auto &[Line, Text] : It->second) {
+      if (Line > Diag.Loc.line())
+        break;
+      if (Text == "ignore" || Text == "i") {
+        Ignoring = true;
+      } else if (Text == "end") {
+        Ignoring = false;
+      } else if (!Text.empty() && Text[0] == '-') {
+        Local[Text.substr(1)] = false;
+      } else if (!Text.empty() && Text[0] == '+') {
+        Local[Text.substr(1)] = true;
+      } else if (!Text.empty() && Text[0] == '=') {
+        Local.erase(Text.substr(1));
+      }
+    }
+    if (Ignoring)
+      return false;
+    auto LIt = Local.find(FlagName);
+    if (LIt != Local.end())
+      return LIt->second;
+    return true;
+  }
+
+private:
+  const FlagSet &Flags;
+  std::map<std::string, std::vector<std::pair<unsigned, std::string>>>
+      PerFile;
+};
+
+CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
+                     const CheckOptions &Options) {
+  DiagnosticEngine Diags;
+  Preprocessor PP(Files, Diags);
+
+  // Prelude first, then every user file, concatenated into one program.
+  std::vector<Token> Program;
+  auto appendTokens = [&Program](std::vector<Token> Toks) {
+    if (!Toks.empty() && Toks.back().isEof())
+      Toks.pop_back();
+    Program.insert(Program.end(), Toks.begin(), Toks.end());
+  };
+  if (Options.IncludePrelude)
+    appendTokens(
+        PP.processSource(libraryPreludeName(), libraryPreludeSource()));
+  for (const std::string &Name : Names) {
+    // LCL specification files are translated to annotated C declarations
+    // first (the paper's other annotation vehicle).
+    if (Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".lcl") == 0) {
+      std::optional<std::string> Spec = Files.read(Name);
+      if (!Spec) {
+        Diags.report(CheckId::ParseError, SourceLocation(Name, 1, 1),
+                     "cannot open file '" + Name + "'", Severity::Error);
+        continue;
+      }
+      appendTokens(
+          PP.processSource(Name, translateLclToC(*Spec, Name, Diags)));
+      continue;
+    }
+    appendTokens(PP.process(Name));
+  }
+  Token Eof;
+  Eof.Kind = TokenKind::Eof;
+  if (!Program.empty())
+    Eof.Loc = Program.back().Loc;
+  Program.push_back(Eof);
+
+  // Suppression from control comments + global flags.
+  SuppressionMap Suppression(PP.controlDirectives(), Options.Flags);
+  Diags.setFilter(
+      [&Suppression](const Diagnostic &D) { return Suppression.keep(D); });
+
+  ASTContext Ctx;
+  Parser P(std::move(Program), Ctx, Diags);
+  TranslationUnit *TU = P.parse(Names.empty() ? "program" : Names.front());
+
+  Sema S(Diags);
+  S.check(*TU);
+
+  FunctionChecker FC(*TU, Options.Flags, Diags);
+  FC.checkAll();
+
+  // Deduplicate identical anomalies (several return points can re-detect
+  // the same interface violation).
+  CheckResult Result;
+  std::set<std::string> Seen;
+  for (const Diagnostic &D : Diags.diagnostics()) {
+    std::string Key = std::to_string(static_cast<int>(D.Id)) + "|" +
+                      D.Loc.str() + "|" + D.Message;
+    if (!Seen.insert(Key).second)
+      continue;
+    Result.Diagnostics.push_back(D);
+  }
+  Result.SuppressedCount = Diags.suppressedCount();
+  return Result;
+}
+
+} // namespace
+
+CheckResult Checker::checkSource(const std::string &Source,
+                                 const CheckOptions &Options,
+                                 const std::string &Name) {
+  VFS Files;
+  Files.add(Name, Source);
+  return checkFiles(Files, {Name}, Options);
+}
+
+CheckResult Checker::checkFiles(const VFS &Files,
+                                const std::vector<std::string> &Names,
+                                const CheckOptions &Options) {
+  return runCheck(Files, Names, Options);
+}

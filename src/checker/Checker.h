@@ -1,0 +1,69 @@
+//===--- Checker.h - Public checking facade ---------------------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library's front door. A check run preprocesses the annotated
+/// standard-library prelude plus the program sources (multi-file programs
+/// are checked as one unit, like LCLint invoked on all sources), parses,
+/// validates annotations, and runs the paper's analysis on every function
+/// definition. Control comments collected during preprocessing drive local
+/// message suppression, mirroring the paper's "spurious messages can be
+/// suppressed locally by placing stylized comments around the code".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_CHECKER_CHECKER_H
+#define MEMLINT_CHECKER_CHECKER_H
+
+#include "support/Diagnostics.h"
+#include "support/Flags.h"
+#include "support/VFS.h"
+
+#include <string>
+#include <vector>
+
+namespace memlint {
+
+/// Options controlling a check run.
+struct CheckOptions {
+  FlagSet Flags;
+  /// Parse the annotated standard library ahead of user code.
+  bool IncludePrelude = true;
+};
+
+/// The outcome of a check run.
+struct CheckResult {
+  std::vector<Diagnostic> Diagnostics;
+  unsigned SuppressedCount = 0;
+
+  /// Number of anomalies of a given check class.
+  unsigned count(CheckId Id) const;
+  /// Number of anomaly-severity diagnostics (parse errors excluded).
+  unsigned anomalyCount() const;
+  /// True if some diagnostic's message contains \p Needle.
+  bool contains(const std::string &Needle) const;
+  /// Renders all diagnostics, LCLint style.
+  std::string render() const;
+};
+
+/// Stateless checking entry points.
+class Checker {
+public:
+  /// Checks a single in-memory source (named "main.c" unless overridden).
+  static CheckResult checkSource(const std::string &Source,
+                                 const CheckOptions &Options = CheckOptions(),
+                                 const std::string &Name = "main.c");
+
+  /// Checks files from a VFS as one program, in the given order. #include
+  /// directives resolve against the same VFS.
+  static CheckResult checkFiles(const VFS &Files,
+                                const std::vector<std::string> &Names,
+                                const CheckOptions &Options = CheckOptions());
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_CHECKER_CHECKER_H

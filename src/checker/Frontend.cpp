@@ -1,0 +1,55 @@
+//===--- Frontend.cpp - Parse programs into ASTs ----------------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Frontend.h"
+
+#include "analysis/LibrarySpec.h"
+#include "lcl/LclReader.h"
+#include "lex/Token.h"
+#include "parse/Parser.h"
+
+using namespace memlint;
+
+TranslationUnit *Frontend::parseProgram(const VFS &Files,
+                                        const std::vector<std::string> &Names,
+                                        bool IncludePrelude) {
+  Preprocessor PP(Files, Diags);
+  std::vector<Token> Program;
+  auto append = [&Program](std::vector<Token> Toks) {
+    if (!Toks.empty() && Toks.back().isEof())
+      Toks.pop_back();
+    Program.insert(Program.end(), Toks.begin(), Toks.end());
+  };
+  if (IncludePrelude)
+    append(PP.processSource(libraryPreludeName(), libraryPreludeSource()));
+  for (const std::string &Name : Names) {
+    if (Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".lcl") == 0) {
+      if (std::optional<std::string> Spec = Files.read(Name)) {
+        append(PP.processSource(Name, translateLclToC(*Spec, Name, Diags)));
+        continue;
+      }
+    }
+    append(PP.process(Name));
+  }
+  Token Eof;
+  Eof.Kind = TokenKind::Eof;
+  if (!Program.empty())
+    Eof.Loc = Program.back().Loc;
+  Program.push_back(Eof);
+
+  Controls = PP.controlDirectives();
+
+  Parser P(std::move(Program), Ctx, Diags);
+  return P.parse(Names.empty() ? "program" : Names.front());
+}
+
+TranslationUnit *Frontend::parseSource(const std::string &Source,
+                                       const std::string &Name,
+                                       bool IncludePrelude) {
+  VFS Files;
+  Files.add(Name, Source);
+  return parseProgram(Files, {Name}, IncludePrelude);
+}

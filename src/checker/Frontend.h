@@ -1,0 +1,59 @@
+//===--- Frontend.h - Parse programs into ASTs ------------------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A convenience wrapper around preprocessor + parser for clients that need
+/// the AST itself (the CFG builder, the run-time interpreter, tooling)
+/// rather than the end-to-end Checker facade.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_CHECKER_FRONTEND_H
+#define MEMLINT_CHECKER_FRONTEND_H
+
+#include "ast/AST.h"
+#include "pp/Preprocessor.h"
+#include "support/Diagnostics.h"
+#include "support/VFS.h"
+
+#include <string>
+#include <vector>
+
+namespace memlint {
+
+/// Owns the AST context and diagnostics for one parsed program.
+class Frontend {
+public:
+  /// Parses the given files (in order) as one program, with the annotated
+  /// standard-library prelude first unless \p IncludePrelude is false.
+  /// \returns the translation unit (never null; parse errors are collected
+  /// in diags()).
+  TranslationUnit *parseProgram(const VFS &Files,
+                                const std::vector<std::string> &Names,
+                                bool IncludePrelude = true);
+
+  /// Parses one in-memory source.
+  TranslationUnit *parseSource(const std::string &Source,
+                               const std::string &Name = "main.c",
+                               bool IncludePrelude = true);
+
+  ASTContext &context() { return Ctx; }
+  DiagnosticEngine &diags() { return Diags; }
+
+  /// Control comments found while preprocessing (for suppression logic).
+  const std::vector<ControlDirective> &controlDirectives() const {
+    return Controls;
+  }
+
+private:
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  std::vector<ControlDirective> Controls;
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_CHECKER_FRONTEND_H

@@ -1,0 +1,539 @@
+//===--- Corpus.cpp - Embedded paper programs and generators ----------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace memlint;
+using namespace memlint::corpus;
+
+//===----------------------------------------------------------------------===//
+// Figures 1-4: sample.c
+//===----------------------------------------------------------------------===//
+
+Program corpus::sampleFigure(int Version) {
+  assert(Version >= 1 && Version <= 4 && "sample.c has four variants");
+  Program P;
+  P.Name = "sample_v" + std::to_string(Version);
+  std::string Source;
+  switch (Version) {
+  case 1:
+    Source = R"(extern char *gname;
+
+void setName (char *pname)
+{
+  gname = pname;
+}
+)";
+    break;
+  case 2:
+    Source = R"(extern char *gname;
+
+void setName (/*@null@*/ char *pname)
+{
+  gname = pname;
+}
+)";
+    break;
+  case 3:
+    Source = R"(extern char *gname;
+extern /*@truenull@*/ int isNull (/*@null@*/ char *x);
+
+void setName (/*@null@*/ char *pname)
+{
+  if (!isNull (pname))
+    {
+      gname = pname;
+    }
+}
+)";
+    break;
+  case 4:
+    Source = R"(extern /*@only@*/ char *gname;
+
+void setName (/*@temp@*/ char *pname)
+{
+  gname = pname;
+}
+)";
+    break;
+  }
+  P.Files.add("sample.c", Source);
+  P.MainFiles = {"sample.c"};
+  return P;
+}
+
+Program corpus::listAddh() {
+  Program P;
+  P.Name = "list_addh";
+  P.Files.add("list.c", R"(typedef /*@null@*/ struct _list
+{
+  /*@only@*/ char *this;
+  /*@null@*/ /*@only@*/ struct _list *next;
+} *list;
+
+extern /*@out@*/ /*@only@*/ void *smalloc(size_t);
+
+void list_addh (/*@temp@*/ list l,
+                /*@only@*/ char *e)
+{
+  if (l != NULL)
+    {
+      while (l->next != NULL)
+        {
+          l = l->next;
+        }
+
+      l->next = (list)
+        smalloc (sizeof (*l->next));
+      l->next->this = e;
+    }
+}
+)");
+  P.MainFiles = {"list.c"};
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Annotation utilities
+//===----------------------------------------------------------------------===//
+
+std::string corpus::stripAnnotations(const std::string &Source) {
+  std::string Out;
+  size_t I = 0;
+  while (I < Source.size()) {
+    if (Source.compare(I, 3, "/*@") == 0) {
+      size_t End = Source.find("@*/", I + 3);
+      size_t AltEnd = Source.find("*/", I + 3);
+      if (End != std::string::npos) {
+        // Also swallow one following space to keep formatting tidy.
+        I = End + 3;
+        if (I < Source.size() && Source[I] == ' ')
+          ++I;
+        continue;
+      }
+      if (AltEnd != std::string::npos) {
+        I = AltEnd + 2;
+        continue;
+      }
+    }
+    Out += Source[I++];
+  }
+  return Out;
+}
+
+unsigned corpus::countAnnotations(const Program &P) {
+  unsigned Count = 0;
+  for (const std::string &Name : P.Files.names()) {
+    const std::string Text = *P.Files.read(Name);
+    size_t Pos = 0;
+    while ((Pos = Text.find("/*@", Pos)) != std::string::npos) {
+      // Control comments and ignore regions are not annotations.
+      char Next = Pos + 3 < Text.size() ? Text[Pos + 3] : '\0';
+      if (Next != '-' && Next != '+' && Next != '=' &&
+          Text.compare(Pos, 11, "/*@ignore@*") != 0 &&
+          Text.compare(Pos, 8, "/*@end@*") != 0)
+        ++Count;
+      Pos += 3;
+    }
+  }
+  return Count;
+}
+
+unsigned corpus::totalLines(const Program &P) {
+  unsigned Lines = 0;
+  for (const std::string &Name : P.Files.names()) {
+    const std::string Text = *P.Files.read(Name);
+    for (char C : Text)
+      if (C == '\n')
+        ++Lines;
+  }
+  return Lines;
+}
+
+//===----------------------------------------------------------------------===//
+// Synthetic scaling programs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Tiny deterministic PRNG (xorshift) so generated programs are stable
+/// across platforms.
+struct Rng {
+  unsigned State;
+  explicit Rng(unsigned Seed) : State(Seed ? Seed : 1) {}
+  unsigned next() {
+    State ^= State << 13;
+    State ^= State >> 17;
+    State ^= State << 5;
+    return State;
+  }
+  unsigned below(unsigned N) { return N ? next() % N : 0; }
+};
+
+} // namespace
+
+Program corpus::syntheticProgram(const GenOptions &Options) {
+  Program P;
+  P.Name = "synthetic_m" + std::to_string(Options.Modules) + "_f" +
+           std::to_string(Options.FunctionsPerModule);
+  Rng R(Options.Seed);
+
+  // A shared header with a couple of record types.
+  std::string Header = R"(#ifndef GEN_H
+#define GEN_H
+typedef struct _node {
+  int value;
+  /*@null@*/ /*@only@*/ struct _node *link;
+} node;
+
+typedef struct {
+  int id;
+  int count;
+  /*@null@*/ /*@only@*/ node *head;
+} box;
+#endif
+)";
+  if (!Options.WithAnnotations)
+    Header = stripAnnotations(Header);
+  P.Files.add("gen.h", Header);
+
+  for (unsigned M = 0; M < Options.Modules; ++M) {
+    std::string ModName = "mod" + std::to_string(M);
+    std::string Src = "#include \"gen.h\"\n\n";
+
+    for (unsigned F = 0; F < Options.FunctionsPerModule; ++F) {
+      std::string Fn = ModName + "_f" + std::to_string(F);
+      unsigned Shape = R.below(4);
+      switch (Shape) {
+      case 0:
+        // Allocator: create and initialize a node.
+        Src += "/*@only@*/ /*@null@*/ node *" + Fn + "(int v)\n"
+               "{\n"
+               "  node *n = (node *) malloc(sizeof(node));\n"
+               "  if (n == NULL)\n"
+               "    {\n"
+               "      return NULL;\n"
+               "    }\n"
+               "  n->value = v;\n"
+               "  n->link = NULL;\n"
+               "  return n;\n"
+               "}\n\n";
+        break;
+      case 1:
+        // Consumer: release a node chain (one-level, loop models once).
+        Src += "void " + Fn + "(/*@only@*/ /*@null@*/ node *n)\n"
+               "{\n"
+               "  if (n != NULL)\n"
+               "    {\n"
+               "      free((void *) n);\n"
+               "    }\n"
+               "}\n\n";
+        break;
+      case 2:
+        // Reader: walk and sum values.
+        Src += "int " + Fn + "(/*@temp@*/ /*@null@*/ node *n)\n"
+               "{\n"
+               "  int sum = 0;\n"
+               "  while (n != NULL)\n"
+               "    {\n"
+               "      sum = sum + n->value;\n"
+               "      n = n->link;\n"
+               "    }\n"
+               "  return sum;\n"
+               "}\n\n";
+        break;
+      default:
+        // Mutator: update a box in place.
+        Src += "void " + Fn + "(/*@temp@*/ box *b, int v)\n"
+               "{\n"
+               "  b->id = v;\n"
+               "  b->count = b->count + 1;\n"
+               "  if (b->head != NULL)\n"
+               "    {\n"
+               "      b->head->value = v;\n"
+               "    }\n"
+               "}\n\n";
+        break;
+      }
+    }
+    if (!Options.WithAnnotations)
+      Src = stripAnnotations(Src);
+    P.Files.add(ModName + ".c", Src);
+    P.MainFiles.push_back(ModName + ".c");
+  }
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Seeded bugs
+//===----------------------------------------------------------------------===//
+
+const char *corpus::bugKindName(BugKind Kind) {
+  switch (Kind) {
+  case BugKind::NullDeref: return "null-dereference";
+  case BugKind::Leak: return "memory-leak";
+  case BugKind::UseAfterFree: return "use-after-free";
+  case BugKind::DoubleFree: return "double-free";
+  case BugKind::UndefRead: return "undefined-read";
+  case BugKind::OffsetFree: return "offset-free";
+  case BugKind::StaticFree: return "static-free";
+  case BugKind::GlobalLeakAtExit: return "global-leak-at-exit";
+  }
+  return "?";
+}
+
+std::vector<BugKind> corpus::allBugKinds() {
+  return {BugKind::NullDeref,  BugKind::Leak,       BugKind::UseAfterFree,
+          BugKind::DoubleFree, BugKind::UndefRead,  BugKind::OffsetFree,
+          BugKind::StaticFree, BugKind::GlobalLeakAtExit};
+}
+
+bool corpus::staticallyDetectable(BugKind Kind) {
+  switch (Kind) {
+  case BugKind::NullDeref:
+  case BugKind::Leak:
+  case BugKind::UseAfterFree:
+  case BugKind::DoubleFree:
+  case BugKind::UndefRead:
+    return true;
+  // The classes the paper reports the 1996 tool missed: "a few errors
+  // involving incorrectly freeing storage resulting from pointer
+  // arithmetic, two errors resulting from freeing static storage, ...
+  // LCLint cannot detect failures to free global storage before execution
+  // terminates."
+  case BugKind::OffsetFree:
+  case BugKind::StaticFree:
+  case BugKind::GlobalLeakAtExit:
+    return false;
+  }
+  return false;
+}
+
+bool corpus::dynamicallyDetectable(BugKind Kind) {
+  // The run-time baseline catches every class when the buggy path runs.
+  (void)Kind;
+  return true;
+}
+
+Program corpus::seededBug(BugKind Kind, unsigned Variant) {
+  Program P;
+  P.Name = std::string("bug_") + bugKindName(Kind) + "_v" +
+           std::to_string(Variant);
+  std::string Src = R"(typedef struct _cell {
+  int datum;
+  /*@null@*/ /*@only@*/ struct _cell *next;
+} cell;
+
+)";
+
+  // A couple of shape variants per kind keep the fleet diverse; the bug is
+  // always on the line tagged /* BUG */.
+  switch (Kind) {
+  case BugKind::NullDeref:
+    Src += R"(/*@null@*/ cell *find(/*@null@*/ /*@temp@*/ cell *head, int key)
+{
+  while (head != NULL)
+    {
+      if (head->datum == key)
+        {
+          return head;
+        }
+      head = head->next;
+    }
+  return NULL;
+}
+
+int main(void)
+{
+  cell *head = (cell *) malloc(sizeof(cell));
+  cell *hit;
+  if (head == NULL)
+    {
+      return 1;
+    }
+  head->datum = 1;
+  head->next = NULL;
+  hit = find(head, 2);
+  hit->datum = 99; /* BUG */
+  free((void *) head);
+  return 0;
+}
+)";
+    break;
+  case BugKind::Leak:
+    Src += R"(int makeTwo(void)
+{
+  cell *c = (cell *) malloc(sizeof(cell));
+  if (c == NULL)
+    {
+      return 1;
+    }
+  c->datum = 1;
+  c->next = NULL;
+  c = (cell *) malloc(sizeof(cell)); /* BUG */
+  if (c == NULL)
+    {
+      return 1;
+    }
+  c->datum = 2;
+  c->next = NULL;
+  free((void *) c);
+  return 0;
+}
+
+int main(void)
+{
+  return makeTwo();
+}
+)";
+    break;
+  case BugKind::UseAfterFree:
+    Src += R"(int useLate(void)
+{
+  int v;
+  cell *c = (cell *) malloc(sizeof(cell));
+  if (c == NULL)
+    {
+      return 1;
+    }
+  c->datum = 7;
+  c->next = NULL;
+  free((void *) c);
+  v = c->datum; /* BUG */
+  return v;
+}
+
+int main(void)
+{
+  return useLate();
+}
+)";
+    break;
+  case BugKind::DoubleFree:
+    Src += R"(int freeTwice(void)
+{
+  cell *c = (cell *) malloc(sizeof(cell));
+  if (c == NULL)
+    {
+      return 1;
+    }
+  c->datum = 9;
+  c->next = NULL;
+  free((void *) c);
+  free((void *) c); /* BUG */
+  return 0;
+}
+
+int main(void)
+{
+  return freeTwice();
+}
+)";
+    break;
+  case BugKind::UndefRead:
+    Src += R"(int readFresh(void)
+{
+  int v;
+  cell *c = (cell *) malloc(sizeof(cell));
+  if (c == NULL)
+    {
+      return 1;
+    }
+  c->next = NULL;
+  v = c->datum; /* BUG */
+  free((void *) c);
+  return v;
+}
+
+int main(void)
+{
+  return readFresh();
+}
+)";
+    break;
+  case BugKind::OffsetFree:
+    Src += R"(int freeMiddle(void)
+{
+  char *buf = (char *) malloc(16);
+  if (buf == NULL)
+    {
+      return 1;
+    }
+  buf[0] = 'a';
+  buf += 4;
+  free((void *) buf); /* BUG */
+  return 0;
+}
+
+int main(void)
+{
+  return freeMiddle();
+}
+)";
+    break;
+  case BugKind::StaticFree:
+    Src += R"(static int slot;
+
+int freeStatic(void)
+{
+  int *p = &slot;
+  free((void *) p); /* BUG */
+  return 0;
+}
+
+int main(void)
+{
+  return freeStatic();
+}
+)";
+    break;
+  case BugKind::GlobalLeakAtExit:
+    Src += R"(/*@null@*/ /*@only@*/ cell *registry = NULL;
+
+void install(void)
+{
+  cell *c = (cell *) malloc(sizeof(cell));
+  if (c == NULL)
+    {
+      return;
+    }
+  c->datum = 5;
+  c->next = NULL;
+  registry = c;
+}
+
+int main(void)
+{
+  install(); /* BUG: registry never released before exit */
+  return 0;
+}
+)";
+    break;
+  }
+
+  // Variant 1 renames entities so finders cannot memoize exact text.
+  if (Variant == 1) {
+    std::string Renamed;
+    size_t I = 0;
+    while (I < Src.size()) {
+      if (Src.compare(I, 4, "cell") == 0 &&
+          (I + 4 >= Src.size() || !isalnum(Src[I + 4]))) {
+        Renamed += "unit";
+        I += 4;
+        continue;
+      }
+      Renamed += Src[I++];
+    }
+    Src = std::move(Renamed);
+  }
+
+  P.Files.add("bug.c", Src);
+  P.MainFiles = {"bug.c"};
+  return P;
+}

@@ -1,0 +1,129 @@
+//===--- Corpus.h - Embedded paper programs and generators -----*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation corpus:
+///
+/// * The paper's figures: sample.c in its four variants (Figures 1-4) and
+///   the buggy list_addh (Figure 5).
+/// * A faithful reconstruction of the Section 6 employee database (the toy
+///   program from [5], ~1000 lines over six modules) in the annotation
+///   stages the paper walks through: unannotated, after the null-annotation
+///   iteration, after the only-annotation iteration, and fully fixed.
+/// * A synthetic program generator for the Section 7 scaling measurements.
+/// * A seeded-bug generator producing one known defect per program, used to
+///   compare static detection against the run-time baseline (Section 7's
+///   static-vs-dynamic experience).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_CORPUS_CORPUS_H
+#define MEMLINT_CORPUS_CORPUS_H
+
+#include "support/VFS.h"
+
+#include <string>
+#include <vector>
+
+namespace memlint {
+namespace corpus {
+
+/// A checkable (and possibly runnable) program.
+struct Program {
+  std::string Name;
+  VFS Files;
+  std::vector<std::string> MainFiles; ///< files to check, in order
+};
+
+//===--- paper figures -----------------------------------------------------===//
+
+/// sample.c as in Figures 1-4 (\p Version in 1..4).
+Program sampleFigure(int Version);
+
+/// The buggy list_addh of Figure 5.
+Program listAddh();
+
+//===--- the Section 6 employee database -----------------------------------===//
+
+/// The annotation stages of Section 6's iterative process.
+enum class DbVersion {
+  Unannotated, ///< starting point: no annotations, missing frees
+  NullAdded,   ///< after the null-pointer iteration (null field + asserts)
+  OnlyAdded,   ///< after the allocation iteration (the 13 only + 1 out)
+  Fixed,       ///< all annotations + the six driver leaks fixed
+};
+
+/// The employee database program at the given stage.
+Program employeeDb(DbVersion Version);
+
+/// The fixed database with its interfaces expressed as .lcl specification
+/// files instead of annotated headers (the paper's "1000 lines of source
+/// code and 300 lines of interface specifications").
+Program employeeDbSpecMode();
+
+/// Number of annotation comments in a program's sources (counts /*@...@*/
+/// words; used to reproduce the Section 6 "15 annotations" summary).
+unsigned countAnnotations(const Program &P);
+
+/// Removes every /*@...@*/ comment from a source text.
+std::string stripAnnotations(const std::string &Source);
+
+//===--- synthetic generators ----------------------------------------------===//
+
+/// Options for the scaling-program generator.
+struct GenOptions {
+  unsigned Modules = 4;            ///< number of generated modules
+  unsigned FunctionsPerModule = 25;///< functions in each module
+  unsigned Seed = 42;              ///< deterministic seed
+  bool WithAnnotations = true;     ///< emit annotated interfaces
+};
+
+/// Generates a well-formed annotated program of roughly
+/// Modules * FunctionsPerModule * ~14 lines. The program checks cleanly.
+Program syntheticProgram(const GenOptions &Options);
+
+/// Total source lines of a program (for LOC-based reporting).
+unsigned totalLines(const Program &P);
+
+//===--- seeded bugs --------------------------------------------------------===//
+
+/// The defect classes from the paper's experience section. The final four
+/// are the classes the 1996 tool missed statically (offset free, static
+/// free, storage reachable from globals unfreed at exit, flow-dependent
+/// errors), which the run-time baseline catches.
+enum class BugKind {
+  NullDeref,        ///< possibly-null pointer dereferenced
+  Leak,             ///< last reference overwritten without free
+  UseAfterFree,     ///< released storage read
+  DoubleFree,       ///< released twice
+  UndefRead,        ///< allocated-but-undefined field read
+  OffsetFree,       ///< free of a pointer into the middle of a block
+  StaticFree,       ///< free of static storage
+  GlobalLeakAtExit, ///< global-reachable storage never released
+};
+
+const char *bugKindName(BugKind Kind);
+
+/// All bug kinds, in declaration order.
+std::vector<BugKind> allBugKinds();
+
+/// \returns whether the 1996 checker detects this class statically (with
+/// default flags, i.e. without the later illegalfree improvement).
+bool staticallyDetectable(BugKind Kind);
+
+/// \returns whether the run-time baseline detects this class when the buggy
+/// path executes.
+bool dynamicallyDetectable(BugKind Kind);
+
+/// A small annotated program containing exactly one bug of the given kind,
+/// with a main() that exercises the buggy path (for the interpreter).
+/// \p Variant selects among several instantiations per kind.
+Program seededBug(BugKind Kind, unsigned Variant = 0);
+
+} // namespace corpus
+} // namespace memlint
+
+#endif // MEMLINT_CORPUS_CORPUS_H

@@ -1,0 +1,1207 @@
+//===--- DbCorpus.cpp - The Section 6 employee database ---------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+// A reconstruction of the toy employee database program of [5] used in the
+// paper's Section 6 (about 1000 lines over six modules). The Fixed stage
+// carries exactly the annotations the paper reports adding: one null on a
+// structure field (erc's vals), one out on a parameter (employee_sprint's
+// buffer), thirteen only annotations, plus the unique annotations from the
+// Aliasing subsection. Earlier stages are derived textually: FIX(leak)
+// lines are the six driver frees, FIX(null) lines are the defensive
+// assertions added during the null iteration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include <cassert>
+
+using namespace memlint;
+using namespace memlint::corpus;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// employee: the record type and its operations
+//===----------------------------------------------------------------------===//
+
+const char *EmployeeH = R"(#ifndef EMPLOYEE_H
+#define EMPLOYEE_H
+
+#define maxEmployeeName 24
+#define employeePrintSize 64
+
+typedef enum { MALE, FEMALE, gender_ANY } gender;
+typedef enum { MGR, NONMGR, job_ANY } job;
+
+typedef struct {
+  int ssNum;
+  char name[maxEmployeeName];
+  int salary;
+  gender gen;
+  job j;
+} employee;
+
+extern int employee_setName(employee *e, /*@unique@*/ char *na);
+extern int employee_equal(/*@temp@*/ employee *e1, /*@temp@*/ employee *e2);
+extern void employee_sprint(/*@out@*/ /*@unique@*/ char *s,
+                            /*@temp@*/ employee *e);
+extern void employee_clear(employee *e);
+extern void format_int(char *s, int n);
+
+#endif
+)";
+
+const char *EmployeeC = R"(#include "employee.h"
+
+/* Renders a non-negative integer into s (decimal). */
+void format_int(char *s, int n)
+{
+  char digits[16];
+  int i;
+  int j;
+
+  if (n <= 0)
+    {
+      s[0] = '0';
+      s[1] = '\0';
+      return;
+    }
+
+  i = 0;
+  while (n > 0)
+    {
+      digits[i] = (char) ('0' + n % 10);
+      n = n / 10;
+      i = i + 1;
+    }
+
+  j = 0;
+  /* The checker models loops as running zero or one time, so it cannot see
+     that this loop only reads entries the first loop wrote. */
+  /*@-usedef@*/
+  while (i > 0)
+    {
+      i = i - 1;
+      s[j] = digits[i];
+      j = j + 1;
+    }
+  /*@=usedef@*/
+  s[j] = '\0';
+}
+
+/* Sets the employee's name; fails (returns FALSE) if it does not fit. */
+int employee_setName(employee *e, char *na)
+{
+  int i;
+
+  i = (int) strlen(na);
+  if (i >= maxEmployeeName)
+    {
+      return FALSE;
+    }
+  strcpy(e->name, na);
+  return TRUE;
+}
+
+int employee_equal(employee *e1, employee *e2)
+{
+  if (e1->ssNum != e2->ssNum)
+    {
+      return FALSE;
+    }
+  if (e1->salary != e2->salary)
+    {
+      return FALSE;
+    }
+  if (e1->gen != e2->gen)
+    {
+      return FALSE;
+    }
+  if (e1->j != e2->j)
+    {
+      return FALSE;
+    }
+  return strcmp(e1->name, e2->name) == 0;
+}
+
+/* Renders "name ssNum salary" into the caller-allocated buffer s, which
+   must hold at least employeePrintSize characters. */
+void employee_sprint(char *s, employee *e)
+{
+  char num[16];
+
+  num[0] = '\0';
+  strcpy(s, e->name);
+  strcat(s, " ");
+  format_int(num, e->ssNum);
+  strcat(s, num);
+  strcat(s, " ");
+  format_int(num, e->salary);
+  strcat(s, num);
+}
+
+/* Resets an employee record to a defined, empty state. */
+void employee_clear(employee *e)
+{
+  e->ssNum = 0;
+  e->name[0] = '\0';
+  e->salary = 0;
+  e->gen = gender_ANY;
+  e->j = job_ANY;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// eref: employee references backed by a static pool
+//===----------------------------------------------------------------------===//
+
+const char *ErefH = R"(#ifndef EREF_H
+#define EREF_H
+
+#include "employee.h"
+
+typedef int eref;
+
+#define erefNIL -1
+
+extern void eref_initMod(void);
+extern eref eref_alloc(void);
+extern void eref_free(eref er);
+extern void eref_assign(eref er, /*@temp@*/ employee *e);
+extern /*@exposed@*/ employee *eref_get(eref er);
+
+#endif
+)";
+
+const char *ErefC = R"(#include "eref.h"
+
+#define erefPoolSize 256
+
+typedef enum { stat_used, stat_avail } eref_status;
+
+static struct
+{
+  /*@only@*/ employee *conts;
+  /*@only@*/ eref_status *status;
+  int size;
+} eref_pool;
+
+static int eref_needsInit = TRUE;
+
+/* Initialization runs once (guarded by eref_needsInit); the checker cannot
+   see the guard, so the pool fields look like unreleased prior storage and
+   look incompletely defined at exit (the zero-or-one-iteration loop model
+   loses the initializing loop). */
+/*@-mustfree@*/ /*@-compdef@*/
+void eref_initMod(void)
+{
+  int i;
+
+  if (eref_needsInit == FALSE)
+    {
+      return;
+    }
+  eref_needsInit = FALSE;
+
+  eref_pool.conts =
+    (employee *) malloc(erefPoolSize * sizeof(employee));
+  eref_pool.status =
+    (eref_status *) malloc(erefPoolSize * sizeof(eref_status));
+  if (eref_pool.conts == NULL || eref_pool.status == NULL)
+    {
+      printf("eref_initMod: out of memory\n");
+      exit(EXIT_FAILURE);
+    }
+  eref_pool.size = erefPoolSize;
+
+  i = 0;
+  while (i < erefPoolSize)
+    {
+      eref_pool.status[i] = stat_avail;
+      employee_clear(&(eref_pool.conts[i]));
+      i = i + 1;
+    }
+}
+/*@=mustfree@*/ /*@=compdef@*/
+
+eref eref_alloc(void)
+{
+  int i;
+
+  i = 0;
+  while (i < eref_pool.size)
+    {
+      if (eref_pool.status[i] == stat_avail)
+        {
+          eref_pool.status[i] = stat_used;
+          return (eref) i;
+        }
+      i = i + 1;
+    }
+  return erefNIL;
+}
+
+void eref_free(eref er)
+{
+  assert(er != erefNIL);
+  eref_pool.status[er] = stat_avail;
+}
+
+void eref_assign(eref er, employee *e)
+{
+  assert(er != erefNIL);
+  eref_pool.conts[er] = *e;
+}
+
+employee *eref_get(eref er)
+{
+  assert(er != erefNIL);
+  return &(eref_pool.conts[er]);
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// erc: collections of employee references (a linked list)
+//===----------------------------------------------------------------------===//
+
+const char *ErcH = R"(#ifndef ERC_H
+#define ERC_H
+
+#include "eref.h"
+
+typedef /*@null@*/ struct _ercElem {
+  eref val;
+  struct _ercElem *next;
+} *ercElem;
+
+typedef struct {
+  /*@null@*/ /*@only@*/ ercElem vals;
+  int size;
+} *erc;
+
+/* The first element of a non-empty collection. */
+#define erc_choose(c) ((c->vals)->val)
+
+extern /*@only@*/ erc erc_create(void);
+extern void erc_insert(/*@temp@*/ erc c, eref er);
+extern int erc_delete(/*@temp@*/ erc c, eref er);
+extern int erc_member(/*@temp@*/ erc c, eref er);
+extern int erc_size(/*@temp@*/ erc c);
+extern void erc_clear(/*@temp@*/ erc c);
+extern /*@only@*/ char *erc_sprint(/*@temp@*/ erc c);
+extern void erc_final(/*@only@*/ erc c);
+
+#endif
+)";
+
+const char *ErcC = R"(#include "erc.h"
+
+erc erc_create(void)
+{
+  erc c = (erc) malloc(sizeof(*c));
+
+  if (c == NULL)
+    {
+      printf("erc_create: malloc returned null\n");
+      exit(EXIT_FAILURE);
+    }
+
+  c->vals = NULL;
+  c->size = 0;
+  return c;
+}
+
+void erc_insert(erc c, eref er)
+{
+  ercElem e = (ercElem) malloc(sizeof(*e));
+
+  if (e == NULL)
+    {
+      printf("erc_insert: malloc returned null\n");
+      exit(EXIT_FAILURE);
+    }
+
+  e->val = er;
+  e->next = c->vals;
+  /*@-mustfree@*/
+  c->vals = e;
+  /*@=mustfree@*/
+  c->size = c->size + 1;
+}
+
+int erc_delete(erc c, eref er)
+{
+  ercElem cur;
+  ercElem prev;
+
+  prev = NULL;
+  cur = c->vals;
+  while (cur != NULL)
+    {
+      if (cur->val == er)
+        {
+          if (prev == NULL)
+            {
+              /*@-mustfree@*/
+              c->vals = cur->next;
+              /*@=mustfree@*/
+            }
+          else
+            {
+              prev->next = cur->next;
+            }
+          /*@-aliastransfer@*/ /*@-branchstate@*/
+          free((void *) cur);
+          /*@=aliastransfer@*/ /*@=branchstate@*/
+          c->size = c->size - 1;
+          return TRUE;
+        }
+      prev = cur;
+      cur = cur->next;
+    }
+  return FALSE;
+}
+
+int erc_member(erc c, eref er)
+{
+  ercElem cur;
+
+  cur = c->vals;
+  while (cur != NULL)
+    {
+      if (cur->val == er)
+        {
+          return TRUE;
+        }
+      cur = cur->next;
+    }
+  return FALSE;
+}
+
+int erc_size(erc c)
+{
+  return c->size;
+}
+
+void erc_clear(erc c)
+{
+  ercElem cur;
+  ercElem nxt;
+
+  /* Freeing list cells through the traversal alias makes c->vals look
+     released on the loop path only; the list head is reset below. */
+  /*@-branchstate@*/
+  cur = c->vals;
+  while (cur != NULL)
+    {
+      nxt = cur->next;
+      /*@-aliastransfer@*/
+      free((void *) cur);
+      /*@=aliastransfer@*/
+      cur = nxt;
+    }
+  /*@=branchstate@*/
+  c->vals = NULL;
+  c->size = 0;
+}
+
+char *erc_sprint(erc c)
+{
+  char *result;
+  char one[employeePrintSize];
+  ercElem cur;
+  int len;
+
+  len = (c->size + 1) * employeePrintSize;
+  result = (char *) malloc((size_t) len);
+  if (result == NULL)
+    {
+      printf("erc_sprint: malloc returned null\n");
+      exit(EXIT_FAILURE);
+    }
+
+  result[0] = '\0';
+  cur = c->vals;
+  while (cur != NULL)
+    {
+      employee_sprint(one, eref_get(cur->val));
+      strcat(result, one);
+      strcat(result, "\n");
+      cur = cur->next;
+    }
+  return result;
+}
+
+void erc_final(erc c)
+{
+  erc_clear(c);
+  free((void *) c);
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// empset: sets of employee references, built on erc
+//===----------------------------------------------------------------------===//
+
+const char *EmpsetH = R"(#ifndef EMPSET_H
+#define EMPSET_H
+
+#include "erc.h"
+
+typedef erc empset;
+
+extern /*@only@*/ empset empset_create(void);
+extern void empset_insert(/*@temp@*/ empset s, eref er);
+extern int empset_delete(/*@temp@*/ empset s, eref er);
+extern int empset_member(/*@temp@*/ empset s, eref er);
+extern int empset_size(/*@temp@*/ empset s);
+extern eref empset_choose(/*@temp@*/ empset s);
+extern int empset_subset(/*@temp@*/ empset s1, /*@temp@*/ empset s2);
+extern /*@only@*/ char *empset_sprint(/*@temp@*/ empset s);
+extern void empset_final(/*@only@*/ empset s);
+
+#endif
+)";
+
+const char *EmpsetC = R"(#include "empset.h"
+
+empset empset_create(void)
+{
+  return erc_create();
+}
+
+void empset_insert(empset s, eref er)
+{
+  if (erc_member(s, er) == FALSE)
+    {
+      erc_insert(s, er);
+    }
+}
+
+int empset_delete(empset s, eref er)
+{
+  return erc_delete(s, er);
+}
+
+int empset_member(empset s, eref er)
+{
+  return erc_member(s, er);
+}
+
+int empset_size(empset s)
+{
+  return erc_size(s);
+}
+
+eref empset_choose(empset s)
+{
+  assert(s->vals != NULL); /* FIX(null) */
+  return erc_choose(s);
+}
+
+int empset_subset(empset s1, empset s2)
+{
+  ercElem cur;
+
+  cur = s1->vals;
+  while (cur != NULL)
+    {
+      if (erc_member(s2, cur->val) == FALSE)
+        {
+          return FALSE;
+        }
+      cur = cur->next;
+    }
+  return TRUE;
+}
+
+char *empset_sprint(empset s)
+{
+  return erc_sprint(s);
+}
+
+void empset_final(empset s)
+{
+  erc_final(s);
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// dbase: the database proper
+//===----------------------------------------------------------------------===//
+
+const char *DbaseH = R"(#ifndef DBASE_H
+#define DBASE_H
+
+#include "empset.h"
+
+#define db_OK 0
+#define db_BADSSNUM 1
+#define db_DUPLSSNUM 2
+#define db_MISSINGSSNUM 3
+#define db_SALARYMISMATCH 4
+
+extern void db_initMod(void);
+extern int db_hire(/*@temp@*/ employee *e);
+extern void db_uncheckedHire(/*@temp@*/ employee *e);
+extern int db_fire(int ssNum);
+extern int db_promote(int ssNum);
+extern int db_setSalary(int ssNum, int salary);
+extern int db_query(gender g, job j, int lo, int hi, /*@temp@*/ empset s);
+extern /*@only@*/ char *db_sprint(void);
+extern void db_final(void);
+
+#endif
+)";
+
+const char *DbaseC = R"(#include "dbase.h"
+
+static /*@only@*/ erc maleMgrs;
+static /*@only@*/ erc femaleMgrs;
+static /*@only@*/ erc maleNonMgrs, femaleNonMgrs;
+static int db_needsInit = TRUE;
+
+/* First-call initialization; the db_needsInit guard is invisible to the
+   checker, so the prior (never-allocated) table values look leaked. */
+/*@-mustfree@*/
+void db_initMod(void)
+{
+  if (db_needsInit == FALSE)
+    {
+      return;
+    }
+  db_needsInit = FALSE;
+  eref_initMod();
+  maleMgrs = erc_create();
+  femaleMgrs = erc_create();
+  maleNonMgrs = erc_create();
+  femaleNonMgrs = erc_create();
+}
+/*@=mustfree@*/
+
+/* The table holding an employee of this gender and job. */
+static erc db_keyTable(gender g, job j)
+{
+  if (g == MALE)
+    {
+      if (j == MGR)
+        {
+          return maleMgrs;
+        }
+      return maleNonMgrs;
+    }
+  if (j == MGR)
+    {
+      return femaleMgrs;
+    }
+  return femaleNonMgrs;
+}
+
+/* Finds the eref of the employee with this ssNum in one table. */
+static eref db_lookupIn(/*@temp@*/ erc table, int ssNum)
+{
+  ercElem cur;
+
+  cur = table->vals;
+  while (cur != NULL)
+    {
+      if (eref_get(cur->val)->ssNum == ssNum)
+        {
+          return cur->val;
+        }
+      cur = cur->next;
+    }
+  return erefNIL;
+}
+
+static eref db_lookup(int ssNum)
+{
+  eref er;
+
+  er = db_lookupIn(maleMgrs, ssNum);
+  if (er != erefNIL)
+    {
+      return er;
+    }
+  er = db_lookupIn(femaleMgrs, ssNum);
+  if (er != erefNIL)
+    {
+      return er;
+    }
+  er = db_lookupIn(maleNonMgrs, ssNum);
+  if (er != erefNIL)
+    {
+      return er;
+    }
+  return db_lookupIn(femaleNonMgrs, ssNum);
+}
+
+void db_uncheckedHire(employee *e)
+{
+  eref er;
+
+  er = eref_alloc();
+  assert(er != erefNIL);
+  eref_assign(er, e);
+  erc_insert(db_keyTable(e->gen, e->j), er);
+}
+
+int db_hire(employee *e)
+{
+  if (e->ssNum <= 0)
+    {
+      return db_BADSSNUM;
+    }
+  if (db_lookup(e->ssNum) != erefNIL)
+    {
+      return db_DUPLSSNUM;
+    }
+  db_uncheckedHire(e);
+  return db_OK;
+}
+
+int db_fire(int ssNum)
+{
+  eref er;
+  employee *e;
+
+  er = db_lookup(ssNum);
+  if (er == erefNIL)
+    {
+      return FALSE;
+    }
+  e = eref_get(er);
+  erc_delete(db_keyTable(e->gen, e->j), er);
+  eref_free(er);
+  return TRUE;
+}
+
+int db_promote(int ssNum)
+{
+  eref er;
+  employee *e;
+
+  er = db_lookup(ssNum);
+  if (er == erefNIL)
+    {
+      return FALSE;
+    }
+  e = eref_get(er);
+  if (e->j == MGR)
+    {
+      return FALSE;
+    }
+  erc_delete(db_keyTable(e->gen, e->j), er);
+  e->j = MGR;
+  erc_insert(db_keyTable(e->gen, MGR), er);
+  return TRUE;
+}
+
+int db_setSalary(int ssNum, int salary)
+{
+  eref er;
+
+  er = db_lookup(ssNum);
+  if (er == erefNIL)
+    {
+      return FALSE;
+    }
+  eref_get(er)->salary = salary;
+  return TRUE;
+}
+
+/* Adds every employee of gender g and job j with lo <= salary <= hi. */
+static int db_queryIn(/*@temp@*/ erc table, int lo, int hi,
+                      /*@temp@*/ empset s)
+{
+  ercElem cur;
+  int found;
+  int sal;
+
+  found = 0;
+  cur = table->vals;
+  while (cur != NULL)
+    {
+      sal = eref_get(cur->val)->salary;
+      if (sal >= lo && sal <= hi)
+        {
+          empset_insert(s, cur->val);
+          found = found + 1;
+        }
+      cur = cur->next;
+    }
+  return found;
+}
+
+int db_query(gender g, job j, int lo, int hi, empset s)
+{
+  int found;
+
+  found = 0;
+  if (g == gender_ANY)
+    {
+      found = found + db_query(MALE, j, lo, hi, s);
+      found = found + db_query(FEMALE, j, lo, hi, s);
+      return found;
+    }
+  if (j == job_ANY)
+    {
+      found = found + db_queryIn(db_keyTable(g, MGR), lo, hi, s);
+      found = found + db_queryIn(db_keyTable(g, NONMGR), lo, hi, s);
+      return found;
+    }
+  return db_queryIn(db_keyTable(g, j), lo, hi, s);
+}
+
+char *db_sprint(void)
+{
+  char *result;
+  char *part;
+
+  result = (char *) malloc((size_t) 4096);
+  if (result == NULL)
+    {
+      printf("db_sprint: malloc returned null\n");
+      exit(EXIT_FAILURE);
+    }
+  result[0] = '\0';
+
+  strcat(result, "male managers:\n");
+  part = erc_sprint(maleMgrs);
+  strcat(result, part);
+  free((void *) part);
+
+  strcat(result, "female managers:\n");
+  part = erc_sprint(femaleMgrs);
+  strcat(result, part);
+  free((void *) part);
+
+  strcat(result, "male non-managers:\n");
+  part = erc_sprint(maleNonMgrs);
+  strcat(result, part);
+  free((void *) part);
+
+  strcat(result, "female non-managers:\n");
+  part = erc_sprint(femaleNonMgrs);
+  strcat(result, part);
+  free((void *) part);
+
+  return result;
+}
+
+/* Finalization releases the global tables for good; they are rebuilt by
+   the next db_initMod, which the checker cannot see. */
+/*@-globstate@*/ /*@-usereleased@*/
+void db_final(void)
+{
+  erc_final(maleMgrs);
+  erc_final(femaleMgrs);
+  erc_final(maleNonMgrs);
+  erc_final(femaleNonMgrs);
+  db_needsInit = TRUE;
+}
+/*@=globstate@*/ /*@=usereleased@*/
+)";
+
+//===----------------------------------------------------------------------===//
+// drive: the test driver (contains the six leak sites of Section 6)
+//===----------------------------------------------------------------------===//
+
+const char *DriveC = R"(#include "dbase.h"
+
+static void mkEmployee(employee *e, int ssNum, /*@unique@*/ char *na,
+                       int salary, gender g, job j)
+{
+  employee_clear(e);
+  e->ssNum = ssNum;
+  if (employee_setName(e, na) == FALSE)
+    {
+      printf("drive: bad name\n");
+      exit(EXIT_FAILURE);
+    }
+  e->salary = salary;
+  e->gen = g;
+  e->j = j;
+}
+
+int main(void)
+{
+  employee e;
+  empset s1;
+  empset s2;
+  char *res;
+  int n;
+
+  db_initMod();
+
+  mkEmployee(&e, 1001, "Dana", 70000, FEMALE, MGR);
+  assert(db_hire(&e) == db_OK);
+  mkEmployee(&e, 1002, "Alex", 50000, MALE, NONMGR);
+  assert(db_hire(&e) == db_OK);
+  mkEmployee(&e, 1003, "Robin", 80000, FEMALE, MGR);
+  assert(db_hire(&e) == db_OK);
+  mkEmployee(&e, 1004, "Gerry", 40000, MALE, NONMGR);
+  assert(db_hire(&e) == db_OK);
+  mkEmployee(&e, 1005, "Corey", 60000, MALE, MGR);
+  assert(db_hire(&e) == db_OK);
+  mkEmployee(&e, 1006, "Jesse", 45000, FEMALE, NONMGR);
+  assert(db_hire(&e) == db_OK);
+
+  /* Duplicate and invalid hires are rejected. */
+  mkEmployee(&e, 1001, "Dupe", 1, MALE, NONMGR);
+  assert(db_hire(&e) == db_DUPLSSNUM);
+  mkEmployee(&e, -3, "Bad", 1, MALE, NONMGR);
+  assert(db_hire(&e) == db_BADSSNUM);
+
+  res = db_sprint();
+  printf("%s", res);
+  free((void *) res); /* FIX(leak) */
+
+  s1 = empset_create();
+  n = db_query(gender_ANY, job_ANY, 45000, 90000, s1);
+  printf("query 45000..90000 found %d\n", n);
+  res = empset_sprint(s1);
+  printf("%s", res);
+  free((void *) res); /* FIX(leak) */
+
+  s2 = empset_create();
+  n = db_query(FEMALE, MGR, 0, 100000, s2);
+  printf("female managers: %d\n", n);
+  assert(empset_subset(s2, s1) == TRUE);
+  res = empset_sprint(s2);
+  printf("%s", res);
+  free((void *) res); /* FIX(leak) */
+
+  assert(db_promote(1002) == TRUE);
+  assert(db_setSalary(1002, 55000) == TRUE);
+  res = db_sprint();
+  printf("%s", res);
+  free((void *) res); /* FIX(leak) */
+
+  assert(db_fire(1003) == TRUE);
+  res = db_sprint();
+  printf("%s", res);
+  free((void *) res); /* FIX(leak) */
+
+  empset_final(s1);
+  s1 = empset_create();
+  n = db_query(MALE, MGR, 0, 100000, s1);
+  printf("male managers: %d\n", n);
+  res = empset_sprint(s1);
+  printf("%s", res);
+  free((void *) res); /* FIX(leak) */
+
+  empset_final(s1);
+  empset_final(s2);
+  db_final();
+  return 0;
+}
+)";
+
+/// Removes every /*@word@*/ comment whose word is in \p Words.
+std::string removeAnnotationWords(const std::string &Source,
+                                  const std::vector<std::string> &Words) {
+  std::string Out;
+  size_t I = 0;
+  while (I < Source.size()) {
+    bool Matched = false;
+    if (Source.compare(I, 3, "/*@") == 0) {
+      for (const std::string &W : Words) {
+        std::string Pattern = "/*@" + W + "@*/";
+        if (Source.compare(I, Pattern.size(), Pattern) == 0) {
+          I += Pattern.size();
+          if (I < Source.size() && Source[I] == ' ')
+            ++I;
+          Matched = true;
+          break;
+        }
+      }
+    }
+    if (!Matched)
+      Out += Source[I++];
+  }
+  return Out;
+}
+
+/// Blanks (preserving line numbering) every line containing \p Marker.
+std::string removeLinesContaining(const std::string &Source,
+                                  const std::string &Marker) {
+  std::string Out;
+  size_t Start = 0;
+  while (Start < Source.size()) {
+    size_t End = Source.find('\n', Start);
+    if (End == std::string::npos)
+      End = Source.size();
+    std::string Line = Source.substr(Start, End - Start);
+    if (Line.find(Marker) == std::string::npos)
+      Out += Line;
+    Out += '\n';
+    Start = End + 1;
+  }
+  return Out;
+}
+
+} // namespace
+
+Program corpus::employeeDb(DbVersion Version) {
+  Program P;
+  struct FileEntry {
+    const char *Name;
+    const char *Text;
+    bool IsMain;
+  };
+  const FileEntry Entries[] = {
+      {"employee.h", EmployeeH, false}, {"employee.c", EmployeeC, true},
+      {"eref.h", ErefH, false},         {"eref.c", ErefC, true},
+      {"erc.h", ErcH, false},           {"erc.c", ErcC, true},
+      {"empset.h", EmpsetH, false},     {"empset.c", EmpsetC, true},
+      {"dbase.h", DbaseH, false},       {"dbase.c", DbaseC, true},
+      {"drive.c", DriveC, true},
+  };
+
+  const std::vector<std::string> AllocWords = {"only", "out", "unique",
+                                               "keep", "owned", "dependent",
+                                               "exposed", "observer"};
+
+  for (const FileEntry &E : Entries) {
+    std::string Text = E.Text;
+    switch (Version) {
+    case DbVersion::Fixed:
+      P.Name = "db_fixed";
+      break;
+    case DbVersion::OnlyAdded:
+      P.Name = "db_only";
+      Text = removeLinesContaining(Text, "FIX(leak)");
+      break;
+    case DbVersion::NullAdded:
+      P.Name = "db_null";
+      Text = removeLinesContaining(Text, "FIX(leak)");
+      Text = removeAnnotationWords(Text, AllocWords);
+      // Suppressions written during the allocation iteration do not exist
+      // yet at this stage.
+      Text = removeAnnotationWords(
+          Text, {"-mustfree", "=mustfree", "-aliastransfer",
+                 "=aliastransfer"});
+      break;
+    case DbVersion::Unannotated:
+      P.Name = "db_bare";
+      Text = removeLinesContaining(Text, "FIX(leak)");
+      Text = removeLinesContaining(Text, "FIX(null)");
+      Text = stripAnnotations(Text);
+      break;
+    }
+    P.Files.add(E.Name, Text);
+    if (E.IsMain)
+      P.MainFiles.push_back(E.Name);
+  }
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Specification-mode interfaces (the paper's "300 lines of interface
+// specifications"): the same external contracts expressed in minimal LCL,
+// with bare annotation words and behavioral clauses the checker skips.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *EmployeeLcl = R"(imports stdlib;
+
+#define maxEmployeeName 24
+#define employeePrintSize 64
+
+typedef enum { MALE, FEMALE, gender_ANY } gender;
+typedef enum { MGR, NONMGR, job_ANY } job;
+
+typedef struct {
+  int ssNum;
+  char name[maxEmployeeName];
+  int salary;
+  gender gen;
+  job j;
+} employee;
+
+int employee_setName(employee *e, unique char *na) {
+  requires nullTerminated(na);
+  ensures result = lengthOk(na);
+}
+
+int employee_equal(temp employee *e1, temp employee *e2) {
+  ensures result = sameContents(e1, e2);
+}
+
+void employee_sprint(out unique char *s, temp employee *e) {
+  requires maxIndex(s) >= employeePrintSize;
+  modifies s;
+}
+
+void employee_clear(employee *e) {
+  modifies e;
+}
+
+void format_int(char *s, int n) {
+  requires n >= 0;
+  modifies s;
+}
+)";
+
+const char *ErefLcl = R"(imports employee;
+
+typedef int eref;
+
+#define erefNIL -1
+
+void eref_initMod(void) {
+  ensures poolInitialized;
+}
+
+eref eref_alloc(void);
+
+void eref_free(eref er) {
+  requires validEref(er);
+}
+
+void eref_assign(eref er, temp employee *e) {
+  requires validEref(er);
+  modifies pool;
+}
+
+exposed employee *eref_get(eref er) {
+  requires validEref(er);
+}
+)";
+
+const char *ErcLcl = R"(imports eref;
+
+typedef null struct _ercElem {
+  eref val;
+  struct _ercElem *next;
+} *ercElem;
+
+typedef struct {
+  null only ercElem vals;
+  int size;
+} *erc;
+
+#define erc_choose(c) ((c->vals)->val)
+
+only erc erc_create(void) {
+  ensures isEmpty(result);
+}
+
+void erc_insert(temp erc c, eref er) {
+  modifies c;
+}
+
+int erc_delete(temp erc c, eref er) {
+  modifies c;
+}
+
+int erc_member(temp erc c, eref er);
+
+int erc_size(temp erc c);
+
+void erc_clear(temp erc c) {
+  modifies c;
+}
+
+only char *erc_sprint(temp erc c);
+
+void erc_final(only erc c) {
+  modifies c;
+}
+)";
+
+const char *EmpsetLcl = R"(imports erc;
+
+typedef erc empset;
+
+only empset empset_create(void);
+
+void empset_insert(temp empset s, eref er) {
+  modifies s;
+}
+
+int empset_delete(temp empset s, eref er) {
+  modifies s;
+}
+
+int empset_member(temp empset s, eref er);
+
+int empset_size(temp empset s);
+
+eref empset_choose(temp empset s) {
+  requires notEmpty(s);
+}
+
+int empset_subset(temp empset s1, temp empset s2);
+
+only char *empset_sprint(temp empset s);
+
+void empset_final(only empset s);
+)";
+
+const char *DbaseLcl = R"(imports empset;
+
+#define db_OK 0
+#define db_BADSSNUM 1
+#define db_DUPLSSNUM 2
+#define db_MISSINGSSNUM 3
+#define db_SALARYMISMATCH 4
+
+void db_initMod(void) {
+  ensures tablesInitialized;
+}
+
+int db_hire(temp employee *e);
+
+void db_uncheckedHire(temp employee *e) {
+  requires validEmployee(e);
+}
+
+int db_fire(int ssNum);
+
+int db_promote(int ssNum);
+
+int db_setSalary(int ssNum, int salary);
+
+int db_query(gender g, job j, int lo, int hi, temp empset s) {
+  modifies s;
+}
+
+only char *db_sprint(void);
+
+void db_final(void);
+)";
+
+} // namespace
+
+Program corpus::employeeDbSpecMode() {
+  // The fixed implementations, unchanged, with their external interfaces
+  // supplied by .lcl specifications instead of annotated headers. The
+  // implementations' #include "x.h" lines resolve to nothing (the headers
+  // are absent); macros and types flow from the specifications, which are
+  // processed first.
+  Program P;
+  P.Name = "db_specmode";
+  const std::pair<const char *, const char *> Specs[] = {
+      {"employee.lcl", EmployeeLcl}, {"eref.lcl", ErefLcl},
+      {"erc.lcl", ErcLcl},           {"empset.lcl", EmpsetLcl},
+      {"dbase.lcl", DbaseLcl},
+  };
+  for (const auto &[Name, Text] : Specs) {
+    P.Files.add(Name, Text);
+    P.MainFiles.push_back(Name);
+  }
+  const std::pair<const char *, const char *> Impls[] = {
+      {"employee.c", EmployeeC}, {"eref.c", ErefC},   {"erc.c", ErcC},
+      {"empset.c", EmpsetC},     {"dbase.c", DbaseC}, {"drive.c", DriveC},
+  };
+  for (const auto &[Name, Text] : Impls) {
+    P.Files.add(Name, Text);
+    P.MainFiles.push_back(Name);
+  }
+  return P;
+}

@@ -1,0 +1,1538 @@
+//===--- Interpreter.cpp - Run-time checking baseline ------------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "ast/ASTPrinter.h"
+
+#include <cassert>
+#include <map>
+#include <optional>
+
+using namespace memlint;
+
+const char *memlint::runtimeErrorKindName(RuntimeError::Kind Kind) {
+  switch (Kind) {
+  case RuntimeError::Kind::NullDeref: return "null-dereference";
+  case RuntimeError::Kind::UseAfterFree: return "use-after-free";
+  case RuntimeError::Kind::UndefRead: return "undefined-read";
+  case RuntimeError::Kind::DoubleFree: return "double-free";
+  case RuntimeError::Kind::OffsetFree: return "offset-free";
+  case RuntimeError::Kind::BadFree: return "bad-free";
+  case RuntimeError::Kind::OutOfBounds: return "out-of-bounds";
+  case RuntimeError::Kind::AssertFailed: return "assert-failed";
+  case RuntimeError::Kind::LeakAtExit: return "leak-at-exit";
+  case RuntimeError::Kind::Trap: return "trap";
+  }
+  return "?";
+}
+
+std::string RuntimeError::str() const {
+  return Loc.str() + ": [" + runtimeErrorKindName(K) + "] " + Message;
+}
+
+namespace {
+
+/// A typed pointer value: block id plus cell offset. Block 0 is the null
+/// block.
+struct Ptr {
+  unsigned Block = 0;
+  long Off = 0;
+  bool isNull() const { return Block == 0; }
+  friend bool operator==(const Ptr &A, const Ptr &B) {
+    return A.Block == B.Block && A.Off == B.Off;
+  }
+};
+
+/// A scalar runtime value.
+struct Value {
+  enum class Kind { Int, Fp, Pointer };
+  Kind K = Kind::Int;
+  long I = 0;
+  double D = 0;
+  Ptr P;
+
+  static Value intVal(long V) {
+    Value Out;
+    Out.K = Kind::Int;
+    Out.I = V;
+    return Out;
+  }
+  static Value fpVal(double V) {
+    Value Out;
+    Out.K = Kind::Fp;
+    Out.D = V;
+    return Out;
+  }
+  static Value ptrVal(Ptr P) {
+    Value Out;
+    Out.K = Kind::Pointer;
+    Out.P = P;
+    return Out;
+  }
+  static Value nullPtr() { return ptrVal(Ptr()); }
+
+  bool truthy() const {
+    switch (K) {
+    case Kind::Int: return I != 0;
+    case Kind::Fp: return D != 0;
+    case Kind::Pointer: return P.Block != 0 || P.Off != 0;
+    }
+    return false;
+  }
+  long asInt() const {
+    switch (K) {
+    case Kind::Int: return I;
+    case Kind::Fp: return static_cast<long>(D);
+    case Kind::Pointer: return static_cast<long>(P.Block) * 1000003 + P.Off;
+    }
+    return 0;
+  }
+  double asFp() const { return K == Kind::Fp ? D : static_cast<double>(I); }
+};
+
+struct Cell {
+  Value V;
+  bool Defined = false;
+};
+
+struct MemBlock {
+  enum class Kind { Heap, Stack, Static };
+  enum class State { Alive, Freed };
+  Kind K = Kind::Heap;
+  State St = State::Alive;
+  std::vector<Cell> Cells;
+  SourceLocation AllocLoc;
+  std::string Label; ///< for leak reports ("malloc at drive.c:12")
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Interpreter implementation
+//===----------------------------------------------------------------------===//
+
+class Interpreter::Impl {
+public:
+  Impl(const TranslationUnit &TU, RunResult &Result, unsigned long MaxSteps)
+      : TU(TU), Result(Result), MaxSteps(MaxSteps) {
+    Blocks.emplace_back(); // block 0: the null block (no cells)
+    Blocks[0].K = MemBlock::Kind::Static;
+    Blocks[0].Label = "null block";
+  }
+
+  void run(const std::string &Entry);
+
+private:
+  //===--- control-flow signals --------------------------------------------===//
+  enum class Flow { Normal, Break, Continue, Return };
+
+  bool aborted() const { return Aborted || Exited; }
+
+  void reportError(RuntimeError::Kind K, const SourceLocation &Loc,
+                   std::string Message, bool Fatal) {
+    RuntimeError E;
+    E.K = K;
+    E.Loc = Loc;
+    E.Message = std::move(Message);
+    Result.Errors.push_back(std::move(E));
+    if (Fatal)
+      Aborted = true;
+  }
+
+  bool step(const SourceLocation &Loc) {
+    if (++Result.Steps > MaxSteps) {
+      reportError(RuntimeError::Kind::Trap, Loc, "step limit exceeded",
+                  /*Fatal=*/true);
+      return false;
+    }
+    return !aborted();
+  }
+
+  //===--- memory ------------------------------------------------------------===//
+  unsigned newBlock(MemBlock::Kind K, unsigned Size,
+                    const SourceLocation &Loc, std::string Label) {
+    MemBlock B;
+    B.K = K;
+    B.Cells.resize(Size);
+    B.AllocLoc = Loc;
+    B.Label = std::move(Label);
+    Blocks.push_back(std::move(B));
+    return static_cast<unsigned>(Blocks.size() - 1);
+  }
+
+  /// Validates an access; returns the cell or null after reporting.
+  Cell *access(const Ptr &P, const SourceLocation &Loc, const char *What) {
+    if (P.isNull()) {
+      reportError(RuntimeError::Kind::NullDeref, Loc,
+                  std::string(What) + " through null pointer",
+                  /*Fatal=*/true);
+      return nullptr;
+    }
+    if (P.Block >= Blocks.size()) {
+      reportError(RuntimeError::Kind::Trap, Loc, "wild pointer", true);
+      return nullptr;
+    }
+    MemBlock &B = Blocks[P.Block];
+    if (B.St == MemBlock::State::Freed) {
+      reportError(RuntimeError::Kind::UseAfterFree, Loc,
+                  std::string(What) + " of released storage (" + B.Label +
+                      ")",
+                  /*Fatal=*/true);
+      return nullptr;
+    }
+    if (P.Off < 0 || P.Off >= static_cast<long>(B.Cells.size())) {
+      reportError(RuntimeError::Kind::OutOfBounds, Loc,
+                  std::string(What) + " out of bounds (offset " +
+                      std::to_string(P.Off) + " of " +
+                      std::to_string(B.Cells.size()) + ")",
+                  /*Fatal=*/true);
+      return nullptr;
+    }
+    return &B.Cells[P.Off];
+  }
+
+  std::optional<Value> load(const Ptr &P, const SourceLocation &Loc) {
+    Cell *C = access(P, Loc, "read");
+    if (!C)
+      return std::nullopt;
+    if (!C->Defined) {
+      // Report and continue with a zero value (Purify-style).
+      reportError(RuntimeError::Kind::UndefRead, Loc,
+                  "read of undefined storage", /*Fatal=*/false);
+      C->Defined = true;
+      C->V = Value::intVal(0);
+    }
+    return C->V;
+  }
+
+  bool store(const Ptr &P, const Value &V, const SourceLocation &Loc) {
+    Cell *C = access(P, Loc, "write");
+    if (!C)
+      return false;
+    C->V = V;
+    C->Defined = true;
+    return true;
+  }
+
+  //===--- type layout --------------------------------------------------------===//
+  unsigned sizeOf(QualType Ty) {
+    if (Ty.isNull())
+      return 1;
+    const Type *C = Ty.canonical().type();
+    switch (C->kind()) {
+    case Type::TypeKind::Builtin:
+      return cast<BuiltinType>(C)->isVoid() ? 1 : 1;
+    case Type::TypeKind::Pointer:
+    case Type::TypeKind::Enum:
+    case Type::TypeKind::Function:
+      return 1;
+    case Type::TypeKind::Array: {
+      const auto *AT = cast<ArrayType>(C);
+      unsigned N = AT->size() ? static_cast<unsigned>(*AT->size()) : 1;
+      return N * sizeOf(AT->element());
+    }
+    case Type::TypeKind::Record: {
+      const RecordDecl *RD = cast<RecordType>(C)->decl();
+      return recordLayout(RD).Size;
+    }
+    case Type::TypeKind::Typedef:
+      return 1; // canonical() strips typedefs; unreachable
+    }
+    return 1;
+  }
+
+  struct Layout {
+    unsigned Size = 1;
+    std::map<const FieldDecl *, unsigned> Offsets;
+  };
+
+  const Layout &recordLayout(const RecordDecl *RD) {
+    auto It = Layouts.find(RD);
+    if (It != Layouts.end())
+      return It->second;
+    Layout L;
+    unsigned Off = 0;
+    for (const FieldDecl *F : RD->fields()) {
+      L.Offsets[F] = RD->isUnion() ? 0 : Off;
+      unsigned FS = sizeOf(F->type());
+      if (RD->isUnion())
+        L.Size = std::max(L.Size, FS);
+      else
+        Off += FS;
+    }
+    if (!RD->isUnion())
+      L.Size = std::max(1u, Off);
+    return Layouts.emplace(RD, std::move(L)).first->second;
+  }
+
+  //===--- environments --------------------------------------------------------===//
+  struct Frame {
+    std::map<const VarDecl *, Ptr> Vars;
+    std::vector<unsigned> OwnedBlocks; ///< stack blocks to kill on exit
+  };
+
+  Ptr allocVar(const VarDecl *VD, bool Global) {
+    unsigned Size = sizeOf(VD->type());
+    unsigned Id =
+        newBlock(Global ? MemBlock::Kind::Static : MemBlock::Kind::Stack,
+                 Size, VD->loc(), VD->name());
+    if (Global) {
+      // Globals are zero-initialized and defined.
+      for (Cell &C : Blocks[Id].Cells) {
+        C.Defined = true;
+        C.V = VD->type().isPointer() ? Value::nullPtr() : Value::intVal(0);
+      }
+      GlobalVars[VD] = Ptr{Id, 0};
+    } else {
+      Frames.back().Vars[VD] = Ptr{Id, 0};
+      Frames.back().OwnedBlocks.push_back(Id);
+    }
+    return Ptr{Id, 0};
+  }
+
+  std::optional<Ptr> varLocation(const VarDecl *VD) {
+    if (!Frames.empty()) {
+      auto It = Frames.back().Vars.find(VD);
+      if (It != Frames.back().Vars.end())
+        return It->second;
+    }
+    auto GIt = GlobalVars.find(VD);
+    if (GIt != GlobalVars.end())
+      return GIt->second;
+    // Static local or global first touched now.
+    if (VD->isGlobal() || VD->isStaticLocal())
+      return allocVar(VD, /*Global=*/true);
+    return std::nullopt;
+  }
+
+  //===--- string literals ------------------------------------------------------===//
+  static std::string decodeEscapes(const std::string &Raw) {
+    std::string Out;
+    for (size_t I = 0; I < Raw.size(); ++I) {
+      if (Raw[I] != '\\' || I + 1 >= Raw.size()) {
+        Out += Raw[I];
+        continue;
+      }
+      ++I;
+      switch (Raw[I]) {
+      case 'n': Out += '\n'; break;
+      case 't': Out += '\t'; break;
+      case 'r': Out += '\r'; break;
+      case '0': Out += '\0'; break;
+      case '\\': Out += '\\'; break;
+      case '"': Out += '"'; break;
+      case '\'': Out += '\''; break;
+      default: Out += Raw[I]; break;
+      }
+    }
+    return Out;
+  }
+
+  Ptr stringLiteral(const StringLiteralExpr *E) {
+    auto It = StringBlocks.find(E);
+    if (It != StringBlocks.end())
+      return Ptr{It->second, 0};
+    std::string Text = decodeEscapes(E->value());
+    unsigned Id = newBlock(MemBlock::Kind::Static,
+                           static_cast<unsigned>(Text.size() + 1), E->loc(),
+                           "string literal");
+    for (size_t I = 0; I < Text.size(); ++I) {
+      Blocks[Id].Cells[I].V = Value::intVal(Text[I]);
+      Blocks[Id].Cells[I].Defined = true;
+    }
+    Blocks[Id].Cells[Text.size()].V = Value::intVal(0);
+    Blocks[Id].Cells[Text.size()].Defined = true;
+    StringBlocks[E] = Id;
+    return Ptr{Id, 0};
+  }
+
+  /// Reads a NUL-terminated string starting at P.
+  std::optional<std::string> readCString(Ptr P, const SourceLocation &Loc) {
+    std::string Out;
+    for (unsigned Guard = 0; Guard < 1u << 20; ++Guard) {
+      std::optional<Value> V = load(P, Loc);
+      if (!V)
+        return std::nullopt;
+      long Ch = V->asInt();
+      if (Ch == 0)
+        return Out;
+      Out += static_cast<char>(Ch);
+      ++P.Off;
+    }
+    reportError(RuntimeError::Kind::Trap, Loc, "unterminated string", true);
+    return std::nullopt;
+  }
+
+  bool writeCString(Ptr P, const std::string &Text,
+                    const SourceLocation &Loc) {
+    for (char Ch : Text) {
+      if (!store(P, Value::intVal(Ch), Loc))
+        return false;
+      ++P.Off;
+    }
+    return store(P, Value::intVal(0), Loc);
+  }
+
+  //===--- expression evaluation -------------------------------------------------===//
+  std::optional<Value> evalExpr(const Expr *E);
+  std::optional<Ptr> evalLValue(const Expr *E);
+  std::optional<Value> evalCall(const CallExpr *CE);
+  std::optional<Value> callFunction(const FunctionDecl *FD,
+                                    std::vector<Value> Args,
+                                    const SourceLocation &Loc);
+  std::optional<Value> builtinCall(const std::string &Name,
+                                   const CallExpr *CE,
+                                   std::vector<Value> &Args);
+  std::optional<Value> evalBinary(const BinaryExpr *BE);
+  bool copyCells(const Ptr &Dst, const Ptr &Src, unsigned N,
+                 const SourceLocation &Loc);
+  bool assignRecord(const Expr *LHS, const Expr *RHS,
+                    const SourceLocation &Loc);
+
+  //===--- statements ---------------------------------------------------------===//
+  Flow execStmt(const Stmt *S);
+  Flow execCompound(const CompoundStmt *CS);
+
+  //===--- state ---------------------------------------------------------------===//
+  friend class Interpreter;
+  const TranslationUnit &TU;
+  RunResult &Result;
+  unsigned long MaxSteps;
+
+  std::vector<MemBlock> Blocks;
+  std::map<const VarDecl *, Ptr> GlobalVars;
+  std::map<const StringLiteralExpr *, unsigned> StringBlocks;
+  std::map<const RecordDecl *, Layout> Layouts;
+  std::vector<Frame> Frames;
+
+  bool Aborted = false;
+  bool Exited = false;
+  Value ReturnValue;
+  unsigned CallDepth = 0;
+
+public:
+  void scanLeaks();
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+Interpreter::Impl::Flow Interpreter::Impl::execStmt(const Stmt *S) {
+  if (!S || !step(S->loc()))
+    return Flow::Normal;
+  switch (S->kind()) {
+  case Stmt::StmtKind::Compound:
+    return execCompound(cast<CompoundStmt>(S));
+  case Stmt::StmtKind::Null:
+    return Flow::Normal;
+  case Stmt::StmtKind::Decl: {
+    for (const VarDecl *VD : cast<DeclStmt>(S)->decls()) {
+      if (VD->isStaticLocal()) {
+        if (!GlobalVars.count(VD)) {
+          allocVar(VD, /*Global=*/true);
+          if (VD->init()) {
+            std::optional<Value> V = evalExpr(VD->init());
+            if (!V)
+              return Flow::Normal;
+            store(GlobalVars[VD], *V, VD->loc());
+          }
+        }
+        continue;
+      }
+      Ptr Loc = allocVar(VD, /*Global=*/false);
+      if (const Expr *Init = VD->init()) {
+        if (const auto *IL = dyn_cast<InitListExpr>(Init)) {
+          long Off = 0;
+          for (const Expr *Elem : IL->inits()) {
+            std::optional<Value> V = evalExpr(Elem);
+            if (!V)
+              return Flow::Normal;
+            store(Ptr{Loc.Block, Off++}, *V, VD->loc());
+          }
+          continue;
+        }
+        if (VD->type().isRecord()) {
+          // struct x = *p style initialization.
+          std::optional<Ptr> Src = evalLValue(Init);
+          if (!Src)
+            return Flow::Normal;
+          copyCells(Loc, *Src, sizeOf(VD->type()), VD->loc());
+          continue;
+        }
+        std::optional<Value> V = evalExpr(Init);
+        if (!V)
+          return Flow::Normal;
+        store(Loc, *V, VD->loc());
+      }
+    }
+    return Flow::Normal;
+  }
+  case Stmt::StmtKind::Expr:
+    evalExpr(cast<ExprStmt>(S)->expr());
+    return Flow::Normal;
+  case Stmt::StmtKind::If: {
+    const auto *IS = cast<IfStmt>(S);
+    std::optional<Value> Cond = evalExpr(IS->cond());
+    if (!Cond)
+      return Flow::Normal;
+    if (Cond->truthy())
+      return execStmt(IS->thenStmt());
+    if (IS->elseStmt())
+      return execStmt(IS->elseStmt());
+    return Flow::Normal;
+  }
+  case Stmt::StmtKind::While: {
+    const auto *WS = cast<WhileStmt>(S);
+    while (!aborted()) {
+      std::optional<Value> Cond = evalExpr(WS->cond());
+      if (!Cond || !Cond->truthy())
+        break;
+      Flow F = execStmt(WS->body());
+      if (F == Flow::Break)
+        break;
+      if (F == Flow::Return)
+        return F;
+      if (!step(S->loc()))
+        break;
+    }
+    return Flow::Normal;
+  }
+  case Stmt::StmtKind::Do: {
+    const auto *DS = cast<DoStmt>(S);
+    while (!aborted()) {
+      Flow F = execStmt(DS->body());
+      if (F == Flow::Break)
+        break;
+      if (F == Flow::Return)
+        return F;
+      std::optional<Value> Cond = evalExpr(DS->cond());
+      if (!Cond || !Cond->truthy())
+        break;
+      if (!step(S->loc()))
+        break;
+    }
+    return Flow::Normal;
+  }
+  case Stmt::StmtKind::For: {
+    const auto *FS = cast<ForStmt>(S);
+    if (FS->init())
+      execStmt(FS->init());
+    while (!aborted()) {
+      if (FS->cond()) {
+        std::optional<Value> Cond = evalExpr(FS->cond());
+        if (!Cond || !Cond->truthy())
+          break;
+      }
+      Flow F = execStmt(FS->body());
+      if (F == Flow::Break)
+        break;
+      if (F == Flow::Return)
+        return F;
+      if (FS->inc())
+        evalExpr(FS->inc());
+      if (!step(S->loc()))
+        break;
+    }
+    return Flow::Normal;
+  }
+  case Stmt::StmtKind::Switch: {
+    const auto *SS = cast<SwitchStmt>(S);
+    std::optional<Value> Cond = evalExpr(SS->cond());
+    if (!Cond)
+      return Flow::Normal;
+    long Target = Cond->asInt();
+    // Find the matching section (or default), then fall through.
+    size_t StartIdx = SS->sections().size();
+    size_t DefaultIdx = SS->sections().size();
+    for (size_t I = 0; I < SS->sections().size(); ++I) {
+      const SwitchStmt::CaseSection &Section = SS->sections()[I];
+      if (Section.IsDefault)
+        DefaultIdx = I;
+      for (const Expr *Label : Section.Labels) {
+        std::optional<Value> LV = evalExpr(Label);
+        if (LV && LV->asInt() == Target && StartIdx == SS->sections().size())
+          StartIdx = I;
+      }
+    }
+    if (StartIdx == SS->sections().size())
+      StartIdx = DefaultIdx;
+    for (size_t I = StartIdx; I < SS->sections().size(); ++I) {
+      for (const Stmt *Sub : SS->sections()[I].Body) {
+        Flow F = execStmt(Sub);
+        if (F == Flow::Break)
+          return Flow::Normal;
+        if (F == Flow::Return || F == Flow::Continue)
+          return F;
+        if (aborted())
+          return Flow::Normal;
+      }
+    }
+    return Flow::Normal;
+  }
+  case Stmt::StmtKind::Return: {
+    const auto *RS = cast<ReturnStmt>(S);
+    if (RS->value()) {
+      std::optional<Value> V = evalExpr(RS->value());
+      ReturnValue = V ? *V : Value::intVal(0);
+    } else {
+      ReturnValue = Value::intVal(0);
+    }
+    return Flow::Return;
+  }
+  case Stmt::StmtKind::Break:
+    return Flow::Break;
+  case Stmt::StmtKind::Continue:
+    return Flow::Continue;
+  }
+  return Flow::Normal;
+}
+
+Interpreter::Impl::Flow Interpreter::Impl::execCompound(const CompoundStmt *CS) {
+  for (const Stmt *S : CS->body()) {
+    Flow F = execStmt(S);
+    if (F != Flow::Normal)
+      return F;
+    if (aborted())
+      break;
+  }
+  return Flow::Normal;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+std::optional<Ptr> Interpreter::Impl::evalLValue(const Expr *E) {
+  if (!E || !step(E->loc()))
+    return std::nullopt;
+  E = E->ignoreParens();
+  switch (E->kind()) {
+  case Expr::ExprKind::DeclRef: {
+    const auto *DRE = cast<DeclRefExpr>(E);
+    const auto *VD = dyn_cast_or_null<VarDecl>(DRE->decl());
+    if (!VD) {
+      reportError(RuntimeError::Kind::Trap, E->loc(),
+                  "cannot take location of '" + DRE->name() + "'", true);
+      return std::nullopt;
+    }
+    std::optional<Ptr> P = varLocation(VD);
+    if (!P)
+      reportError(RuntimeError::Kind::Trap, E->loc(),
+                  "unbound variable '" + VD->name() + "'", true);
+    return P;
+  }
+  case Expr::ExprKind::Unary: {
+    const auto *UE = cast<UnaryExpr>(E);
+    if (UE->op() != UnaryOp::Deref)
+      break;
+    std::optional<Value> V = evalExpr(UE->sub());
+    if (!V)
+      return std::nullopt;
+    if (V->K != Value::Kind::Pointer) {
+      reportError(RuntimeError::Kind::Trap, E->loc(),
+                  "dereference of non-pointer value", true);
+      return std::nullopt;
+    }
+    if (V->P.isNull()) {
+      reportError(RuntimeError::Kind::NullDeref, E->loc(),
+                  "dereference of null pointer: " + exprToString(E), true);
+      return std::nullopt;
+    }
+    return V->P;
+  }
+  case Expr::ExprKind::Member: {
+    const auto *ME = cast<MemberExpr>(E);
+    Ptr Base;
+    if (ME->isArrow()) {
+      std::optional<Value> V = evalExpr(ME->base());
+      if (!V)
+        return std::nullopt;
+      if (V->K != Value::Kind::Pointer || V->P.isNull()) {
+        reportError(RuntimeError::Kind::NullDeref, E->loc(),
+                    "arrow access through null pointer: " + exprToString(E),
+                    true);
+        return std::nullopt;
+      }
+      Base = V->P;
+    } else {
+      std::optional<Ptr> P = evalLValue(ME->base());
+      if (!P)
+        return std::nullopt;
+      Base = *P;
+    }
+    const FieldDecl *FD = ME->field();
+    if (!FD) {
+      reportError(RuntimeError::Kind::Trap, E->loc(),
+                  "unresolved field '" + ME->member() + "'", true);
+      return std::nullopt;
+    }
+    // Offset within the record.
+    QualType BaseTy =
+        ME->isArrow() ? ME->base()->type().pointee() : ME->base()->type();
+    const auto *RT =
+        dyn_cast_or_null<RecordType>(BaseTy.canonical().type());
+    if (!RT) {
+      reportError(RuntimeError::Kind::Trap, E->loc(), "bad member base",
+                  true);
+      return std::nullopt;
+    }
+    const Layout &L = recordLayout(RT->decl());
+    auto It = L.Offsets.find(FD);
+    long FieldOff = It == L.Offsets.end() ? 0 : It->second;
+    return Ptr{Base.Block, Base.Off + FieldOff};
+  }
+  case Expr::ExprKind::ArraySubscript: {
+    const auto *AE = cast<ArraySubscriptExpr>(E);
+    // Array-typed bases decay to their first element's location; pointer
+    // bases are loaded.
+    Ptr Base;
+    if (AE->base()->type().isArray()) {
+      std::optional<Ptr> P = evalLValue(AE->base());
+      if (!P)
+        return std::nullopt;
+      Base = *P;
+    } else {
+      std::optional<Value> V = evalExpr(AE->base());
+      if (!V)
+        return std::nullopt;
+      if (V->K != Value::Kind::Pointer || V->P.isNull()) {
+        reportError(RuntimeError::Kind::NullDeref, E->loc(),
+                    "index through null pointer: " + exprToString(E), true);
+        return std::nullopt;
+      }
+      Base = V->P;
+    }
+    std::optional<Value> Index = evalExpr(AE->index());
+    if (!Index)
+      return std::nullopt;
+    long Scale = sizeOf(E->type());
+    return Ptr{Base.Block, Base.Off + Index->asInt() * Scale};
+  }
+  default:
+    break;
+  }
+  reportError(RuntimeError::Kind::Trap, E->loc(),
+              "expression is not an lvalue: " + exprToString(E), true);
+  return std::nullopt;
+}
+
+bool Interpreter::Impl::copyCells(const Ptr &Dst, const Ptr &Src,
+                                  unsigned N, const SourceLocation &Loc) {
+  // A whole-record copy moves the definedness flags verbatim: copying
+  // uninitialized padding is not a read of undefined storage.
+  for (unsigned I = 0; I < N; ++I) {
+    Cell *From = access(Ptr{Src.Block, Src.Off + static_cast<long>(I)}, Loc,
+                        "read");
+    if (!From)
+      return false;
+    Cell *To = access(Ptr{Dst.Block, Dst.Off + static_cast<long>(I)}, Loc,
+                      "write");
+    if (!To)
+      return false;
+    *To = *From;
+  }
+  return true;
+}
+
+bool Interpreter::Impl::assignRecord(const Expr *LHS, const Expr *RHS,
+                                     const SourceLocation &Loc) {
+  std::optional<Ptr> Src = evalLValue(RHS);
+  if (!Src)
+    return false;
+  std::optional<Ptr> Dst = evalLValue(LHS);
+  if (!Dst)
+    return false;
+  return copyCells(*Dst, *Src, sizeOf(LHS->type()), Loc);
+}
+
+std::optional<Value> Interpreter::Impl::evalBinary(const BinaryExpr *BE) {
+  BinaryOp Op = BE->op();
+
+  if (Op == BinaryOp::Assign) {
+    if (BE->lhs()->type().isRecord()) {
+      if (!assignRecord(BE->lhs(), BE->rhs(), BE->loc()))
+        return std::nullopt;
+      return Value::intVal(0);
+    }
+    std::optional<Value> V = evalExpr(BE->rhs());
+    if (!V)
+      return std::nullopt;
+    std::optional<Ptr> Loc = evalLValue(BE->lhs());
+    if (!Loc || !store(*Loc, *V, BE->loc()))
+      return std::nullopt;
+    return V;
+  }
+
+  if (isAssignmentOp(Op)) {
+    // Compound assignment: load, combine, store.
+    std::optional<Ptr> Loc = evalLValue(BE->lhs());
+    if (!Loc)
+      return std::nullopt;
+    std::optional<Value> Old = load(*Loc, BE->loc());
+    std::optional<Value> RHS = evalExpr(BE->rhs());
+    if (!Old || !RHS)
+      return std::nullopt;
+    Value New;
+    if (Old->K == Value::Kind::Pointer) {
+      long Scale = sizeOf(BE->lhs()->type().isPointer()
+                              ? BE->lhs()->type().pointee()
+                              : QualType());
+      Ptr P = Old->P;
+      long Delta = RHS->asInt() * Scale;
+      P.Off += (Op == BinaryOp::SubAssign) ? -Delta : Delta;
+      New = Value::ptrVal(P);
+    } else {
+      long A = Old->asInt(), B = RHS->asInt();
+      switch (Op) {
+      case BinaryOp::AddAssign: New = Value::intVal(A + B); break;
+      case BinaryOp::SubAssign: New = Value::intVal(A - B); break;
+      case BinaryOp::MulAssign: New = Value::intVal(A * B); break;
+      case BinaryOp::DivAssign:
+        New = Value::intVal(B ? A / B : 0);
+        break;
+      case BinaryOp::RemAssign:
+        New = Value::intVal(B ? A % B : 0);
+        break;
+      case BinaryOp::AndAssign: New = Value::intVal(A & B); break;
+      case BinaryOp::OrAssign: New = Value::intVal(A | B); break;
+      case BinaryOp::XorAssign: New = Value::intVal(A ^ B); break;
+      case BinaryOp::ShlAssign: New = Value::intVal(A << (B & 63)); break;
+      case BinaryOp::ShrAssign: New = Value::intVal(A >> (B & 63)); break;
+      default: New = Value::intVal(A); break;
+      }
+    }
+    if (!store(*Loc, New, BE->loc()))
+      return std::nullopt;
+    return New;
+  }
+
+  if (Op == BinaryOp::LAnd) {
+    std::optional<Value> L = evalExpr(BE->lhs());
+    if (!L)
+      return std::nullopt;
+    if (!L->truthy())
+      return Value::intVal(0);
+    std::optional<Value> R = evalExpr(BE->rhs());
+    if (!R)
+      return std::nullopt;
+    return Value::intVal(R->truthy() ? 1 : 0);
+  }
+  if (Op == BinaryOp::LOr) {
+    std::optional<Value> L = evalExpr(BE->lhs());
+    if (!L)
+      return std::nullopt;
+    if (L->truthy())
+      return Value::intVal(1);
+    std::optional<Value> R = evalExpr(BE->rhs());
+    if (!R)
+      return std::nullopt;
+    return Value::intVal(R->truthy() ? 1 : 0);
+  }
+  if (Op == BinaryOp::Comma) {
+    if (!evalExpr(BE->lhs()))
+      return std::nullopt;
+    return evalExpr(BE->rhs());
+  }
+
+  std::optional<Value> L = evalExpr(BE->lhs());
+  std::optional<Value> R = evalExpr(BE->rhs());
+  if (!L || !R)
+    return std::nullopt;
+
+  // Pointer arithmetic and comparisons.
+  if (L->K == Value::Kind::Pointer || R->K == Value::Kind::Pointer) {
+    switch (Op) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub: {
+      const Value &PtrSide = L->K == Value::Kind::Pointer ? *L : *R;
+      const Value &IntSide = L->K == Value::Kind::Pointer ? *R : *L;
+      if (L->K == Value::Kind::Pointer && R->K == Value::Kind::Pointer) {
+        // Pointer difference in elements.
+        return Value::intVal(L->P.Off - R->P.Off);
+      }
+      QualType PtrTy = L->K == Value::Kind::Pointer ? BE->lhs()->type()
+                                                    : BE->rhs()->type();
+      long Scale =
+          (PtrTy.isPointer() || PtrTy.isArray()) ? sizeOf(PtrTy.pointee())
+                                                 : 1;
+      Ptr P = PtrSide.P;
+      long Delta = IntSide.asInt() * Scale;
+      P.Off += (Op == BinaryOp::Sub) ? -Delta : Delta;
+      return Value::ptrVal(P);
+    }
+    case BinaryOp::EQ:
+    case BinaryOp::NE: {
+      bool Equal;
+      if (L->K == Value::Kind::Pointer && R->K == Value::Kind::Pointer)
+        Equal = L->P == R->P;
+      else if (L->K == Value::Kind::Pointer)
+        Equal = !L->truthy() && R->asInt() == 0;
+      else
+        Equal = !R->truthy() && L->asInt() == 0;
+      return Value::intVal((Op == BinaryOp::EQ) == Equal ? 1 : 0);
+    }
+    case BinaryOp::LT: return Value::intVal(L->P.Off < R->P.Off);
+    case BinaryOp::GT: return Value::intVal(L->P.Off > R->P.Off);
+    case BinaryOp::LE: return Value::intVal(L->P.Off <= R->P.Off);
+    case BinaryOp::GE: return Value::intVal(L->P.Off >= R->P.Off);
+    default:
+      reportError(RuntimeError::Kind::Trap, BE->loc(),
+                  "bad pointer arithmetic", true);
+      return std::nullopt;
+    }
+  }
+
+  if (L->K == Value::Kind::Fp || R->K == Value::Kind::Fp) {
+    double A = L->asFp(), B = R->asFp();
+    switch (Op) {
+    case BinaryOp::Add: return Value::fpVal(A + B);
+    case BinaryOp::Sub: return Value::fpVal(A - B);
+    case BinaryOp::Mul: return Value::fpVal(A * B);
+    case BinaryOp::Div: return Value::fpVal(B != 0 ? A / B : 0);
+    case BinaryOp::LT: return Value::intVal(A < B);
+    case BinaryOp::GT: return Value::intVal(A > B);
+    case BinaryOp::LE: return Value::intVal(A <= B);
+    case BinaryOp::GE: return Value::intVal(A >= B);
+    case BinaryOp::EQ: return Value::intVal(A == B);
+    case BinaryOp::NE: return Value::intVal(A != B);
+    default: return Value::fpVal(0);
+    }
+  }
+
+  long A = L->asInt(), B = R->asInt();
+  switch (Op) {
+  case BinaryOp::Add: return Value::intVal(A + B);
+  case BinaryOp::Sub: return Value::intVal(A - B);
+  case BinaryOp::Mul: return Value::intVal(A * B);
+  case BinaryOp::Div: return Value::intVal(B ? A / B : 0);
+  case BinaryOp::Rem: return Value::intVal(B ? A % B : 0);
+  case BinaryOp::Shl: return Value::intVal(A << (B & 63));
+  case BinaryOp::Shr: return Value::intVal(A >> (B & 63));
+  case BinaryOp::LT: return Value::intVal(A < B);
+  case BinaryOp::GT: return Value::intVal(A > B);
+  case BinaryOp::LE: return Value::intVal(A <= B);
+  case BinaryOp::GE: return Value::intVal(A >= B);
+  case BinaryOp::EQ: return Value::intVal(A == B);
+  case BinaryOp::NE: return Value::intVal(A != B);
+  case BinaryOp::And: return Value::intVal(A & B);
+  case BinaryOp::Or: return Value::intVal(A | B);
+  case BinaryOp::Xor: return Value::intVal(A ^ B);
+  default:
+    return Value::intVal(0);
+  }
+}
+
+std::optional<Value> Interpreter::Impl::evalExpr(const Expr *E) {
+  if (!E || !step(E->loc()))
+    return std::nullopt;
+  switch (E->kind()) {
+  case Expr::ExprKind::Paren:
+    return evalExpr(cast<ParenExpr>(E)->sub());
+  case Expr::ExprKind::IntegerLiteral:
+    return Value::intVal(cast<IntegerLiteralExpr>(E)->value());
+  case Expr::ExprKind::FloatLiteral:
+    return Value::fpVal(cast<FloatLiteralExpr>(E)->value());
+  case Expr::ExprKind::CharLiteral:
+    return Value::intVal(cast<CharLiteralExpr>(E)->value());
+  case Expr::ExprKind::StringLiteral:
+    return Value::ptrVal(stringLiteral(cast<StringLiteralExpr>(E)));
+  case Expr::ExprKind::DeclRef: {
+    const auto *DRE = cast<DeclRefExpr>(E);
+    if (const auto *EC = dyn_cast_or_null<EnumConstantDecl>(DRE->decl()))
+      return Value::intVal(EC->value());
+    if (const auto *VD = dyn_cast_or_null<VarDecl>(DRE->decl())) {
+      std::optional<Ptr> P = varLocation(VD);
+      if (!P) {
+        reportError(RuntimeError::Kind::Trap, E->loc(),
+                    "unbound variable '" + VD->name() + "'", true);
+        return std::nullopt;
+      }
+      if (VD->type().isArray())
+        return Value::ptrVal(*P); // arrays decay to their first element
+      return load(*P, E->loc());
+    }
+    // A function designator: represent as an int tag (indirect calls are
+    // resolved by name through direct callees only).
+    return Value::intVal(1);
+  }
+  case Expr::ExprKind::Member: {
+    std::optional<Ptr> P = evalLValue(E);
+    if (!P)
+      return std::nullopt;
+    if (E->type().isArray() || E->type().isRecord())
+      return Value::ptrVal(*P);
+    return load(*P, E->loc());
+  }
+  case Expr::ExprKind::ArraySubscript: {
+    std::optional<Ptr> P = evalLValue(E);
+    if (!P)
+      return std::nullopt;
+    if (E->type().isArray() || E->type().isRecord())
+      return Value::ptrVal(*P);
+    return load(*P, E->loc());
+  }
+  case Expr::ExprKind::Unary: {
+    const auto *UE = cast<UnaryExpr>(E);
+    switch (UE->op()) {
+    case UnaryOp::Deref: {
+      std::optional<Ptr> P = evalLValue(E);
+      if (!P)
+        return std::nullopt;
+      if (E->type().isRecord() || E->type().isArray())
+        return Value::ptrVal(*P);
+      return load(*P, E->loc());
+    }
+    case UnaryOp::AddrOf: {
+      std::optional<Ptr> P = evalLValue(UE->sub());
+      if (!P)
+        return std::nullopt;
+      return Value::ptrVal(*P);
+    }
+    case UnaryOp::Not: {
+      std::optional<Value> V = evalExpr(UE->sub());
+      if (!V)
+        return std::nullopt;
+      return Value::intVal(V->truthy() ? 0 : 1);
+    }
+    case UnaryOp::BitNot: {
+      std::optional<Value> V = evalExpr(UE->sub());
+      if (!V)
+        return std::nullopt;
+      return Value::intVal(~V->asInt());
+    }
+    case UnaryOp::Plus:
+      return evalExpr(UE->sub());
+    case UnaryOp::Minus: {
+      std::optional<Value> V = evalExpr(UE->sub());
+      if (!V)
+        return std::nullopt;
+      if (V->K == Value::Kind::Fp)
+        return Value::fpVal(-V->D);
+      return Value::intVal(-V->asInt());
+    }
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostInc:
+    case UnaryOp::PostDec: {
+      std::optional<Ptr> Loc = evalLValue(UE->sub());
+      if (!Loc)
+        return std::nullopt;
+      std::optional<Value> Old = load(*Loc, E->loc());
+      if (!Old)
+        return std::nullopt;
+      bool Inc = UE->op() == UnaryOp::PreInc || UE->op() == UnaryOp::PostInc;
+      Value New;
+      if (Old->K == Value::Kind::Pointer) {
+        long Scale = UE->sub()->type().isPointer()
+                         ? sizeOf(UE->sub()->type().pointee())
+                         : 1;
+        Ptr P = Old->P;
+        P.Off += Inc ? Scale : -Scale;
+        New = Value::ptrVal(P);
+      } else {
+        New = Value::intVal(Old->asInt() + (Inc ? 1 : -1));
+      }
+      if (!store(*Loc, New, E->loc()))
+        return std::nullopt;
+      bool Post =
+          UE->op() == UnaryOp::PostInc || UE->op() == UnaryOp::PostDec;
+      return Post ? Old : New;
+    }
+    }
+    return std::nullopt;
+  }
+  case Expr::ExprKind::Binary:
+    return evalBinary(cast<BinaryExpr>(E));
+  case Expr::ExprKind::Call:
+    return evalCall(cast<CallExpr>(E));
+  case Expr::ExprKind::Cast: {
+    const auto *CE = cast<CastExpr>(E);
+    std::optional<Value> V = evalExpr(CE->sub());
+    if (!V)
+      return std::nullopt;
+    QualType Target = CE->type();
+    if (Target.isPointer()) {
+      if (V->K == Value::Kind::Pointer)
+        return V;
+      if (V->asInt() == 0)
+        return Value::nullPtr();
+      reportError(RuntimeError::Kind::Trap, E->loc(),
+                  "cast of non-zero integer to pointer", true);
+      return std::nullopt;
+    }
+    if (Target.isInteger() && V->K == Value::Kind::Fp)
+      return Value::intVal(static_cast<long>(V->D));
+    if (!Target.isInteger() && Target.isArithmetic() &&
+        V->K == Value::Kind::Int)
+      return Value::fpVal(static_cast<double>(V->I));
+    return V;
+  }
+  case Expr::ExprKind::Sizeof: {
+    const auto *SE = cast<SizeofExpr>(E);
+    QualType Ty = SE->argExpr() ? SE->argExpr()->type() : SE->argType();
+    return Value::intVal(sizeOf(Ty));
+  }
+  case Expr::ExprKind::Conditional: {
+    const auto *CE = cast<ConditionalExpr>(E);
+    std::optional<Value> Cond = evalExpr(CE->cond());
+    if (!Cond)
+      return std::nullopt;
+    return evalExpr(Cond->truthy() ? CE->trueExpr() : CE->falseExpr());
+  }
+  case Expr::ExprKind::InitList:
+    reportError(RuntimeError::Kind::Trap, E->loc(),
+                "initializer list in expression context", true);
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Calls and builtins
+//===----------------------------------------------------------------------===//
+
+std::optional<Value> Interpreter::Impl::evalCall(const CallExpr *CE) {
+  const FunctionDecl *Callee = CE->directCallee();
+  if (!Callee) {
+    reportError(RuntimeError::Kind::Trap, CE->loc(),
+                "indirect calls are not supported", true);
+    return std::nullopt;
+  }
+
+  std::vector<Value> Args;
+  Args.reserve(CE->args().size());
+  for (const Expr *A : CE->args()) {
+    std::optional<Value> V = evalExpr(A);
+    if (!V)
+      return std::nullopt;
+    Args.push_back(*V);
+  }
+
+  // assert() needs the source expression for its message.
+  if (Callee->name() == "assert") {
+    if (!Args.empty() && !Args[0].truthy())
+      reportError(RuntimeError::Kind::AssertFailed, CE->loc(),
+                  "assertion failed: " + exprToString(CE->args()[0]), true);
+    return Value::intVal(0);
+  }
+
+  if (!Callee->isDefinition()) {
+    std::optional<Value> Builtin = builtinCall(Callee->name(), CE, Args);
+    if (Builtin || aborted())
+      return Builtin;
+    reportError(RuntimeError::Kind::Trap, CE->loc(),
+                "call to undefined function '" + Callee->name() + "'", true);
+    return std::nullopt;
+  }
+  return callFunction(Callee, std::move(Args), CE->loc());
+}
+
+std::optional<Value>
+Interpreter::Impl::callFunction(const FunctionDecl *FD,
+                                std::vector<Value> Args,
+                                const SourceLocation &Loc) {
+  if (CallDepth > 200) {
+    reportError(RuntimeError::Kind::Trap, Loc, "call depth exceeded", true);
+    return std::nullopt;
+  }
+  ++CallDepth;
+  Frames.emplace_back();
+  const auto &Params = FD->params();
+  for (size_t I = 0; I < Params.size(); ++I) {
+    Ptr Slot = allocVar(Params[I], /*Global=*/false);
+    if (I < Args.size())
+      store(Slot, Args[I], Params[I]->loc());
+  }
+
+  ReturnValue = Value::intVal(0);
+  execCompound(FD->body());
+
+  // Kill the frame's stack blocks so dangling pointers are caught.
+  for (unsigned Id : Frames.back().OwnedBlocks)
+    Blocks[Id].St = MemBlock::State::Freed;
+  Frames.pop_back();
+  --CallDepth;
+  if (Aborted)
+    return std::nullopt;
+  return ReturnValue;
+}
+
+std::optional<Value> Interpreter::Impl::builtinCall(const std::string &Name,
+                                                    const CallExpr *CE,
+                                                    std::vector<Value> &Args) {
+  const SourceLocation &Loc = CE->loc();
+  auto argPtr = [&](size_t I) -> std::optional<Ptr> {
+    if (I >= Args.size())
+      return std::nullopt;
+    if (Args[I].K == Value::Kind::Pointer)
+      return Args[I].P;
+    if (Args[I].asInt() == 0)
+      return Ptr();
+    return std::nullopt;
+  };
+
+  if (Name == "malloc" || Name == "calloc") {
+    long N = Args.empty() ? 0 : Args[0].asInt();
+    if (Name == "calloc" && Args.size() >= 2)
+      N = Args[0].asInt() * Args[1].asInt();
+    if (N <= 0)
+      N = 1;
+    unsigned Id = newBlock(MemBlock::Kind::Heap, static_cast<unsigned>(N),
+                           Loc, "allocated at " + Loc.str());
+    if (Name == "calloc")
+      for (Cell &C : Blocks[Id].Cells) {
+        C.Defined = true;
+        C.V = Value::intVal(0);
+      }
+    return Value::ptrVal(Ptr{Id, 0});
+  }
+
+  if (Name == "free") {
+    std::optional<Ptr> P = argPtr(0);
+    if (!P) {
+      reportError(RuntimeError::Kind::BadFree, Loc, "free of non-pointer",
+                  true);
+      return std::nullopt;
+    }
+    if (P->isNull())
+      return Value::intVal(0); // free(NULL) is allowed
+    if (P->Block >= Blocks.size()) {
+      reportError(RuntimeError::Kind::BadFree, Loc, "free of wild pointer",
+                  true);
+      return std::nullopt;
+    }
+    MemBlock &B = Blocks[P->Block];
+    if (B.St == MemBlock::State::Freed) {
+      reportError(RuntimeError::Kind::DoubleFree, Loc,
+                  "storage released twice (" + B.Label + ")", true);
+      return std::nullopt;
+    }
+    if (B.K != MemBlock::Kind::Heap) {
+      reportError(RuntimeError::Kind::BadFree, Loc,
+                  "free of non-heap storage (" + B.Label + ")", true);
+      return std::nullopt;
+    }
+    if (P->Off != 0) {
+      reportError(RuntimeError::Kind::OffsetFree, Loc,
+                  "free of pointer into the middle of a block (offset " +
+                      std::to_string(P->Off) + ")",
+                  true);
+      return std::nullopt;
+    }
+    B.St = MemBlock::State::Freed;
+    return Value::intVal(0);
+  }
+
+  if (Name == "exit" || Name == "abort") {
+    Exited = true;
+    Result.ExitCode = Name == "abort" ? 134 : (Args.empty() ? 0 : Args[0].asInt());
+    return Value::intVal(0);
+  }
+
+  if (Name == "strlen") {
+    std::optional<Ptr> P = argPtr(0);
+    if (!P)
+      return std::nullopt;
+    std::optional<std::string> Text = readCString(*P, Loc);
+    if (!Text)
+      return std::nullopt;
+    return Value::intVal(static_cast<long>(Text->size()));
+  }
+  if (Name == "strcpy" || Name == "strcat") {
+    std::optional<Ptr> Dst = argPtr(0), Src = argPtr(1);
+    if (!Dst || !Src)
+      return std::nullopt;
+    std::optional<std::string> Text = readCString(*Src, Loc);
+    if (!Text)
+      return std::nullopt;
+    Ptr Out = *Dst;
+    if (Name == "strcat") {
+      std::optional<std::string> Existing = readCString(*Dst, Loc);
+      if (!Existing)
+        return std::nullopt;
+      Out.Off += static_cast<long>(Existing->size());
+    }
+    if (!writeCString(Out, *Text, Loc))
+      return std::nullopt;
+    return Value::ptrVal(*Dst);
+  }
+  if (Name == "strncpy") {
+    std::optional<Ptr> Dst = argPtr(0), Src = argPtr(1);
+    if (!Dst || !Src || Args.size() < 3)
+      return std::nullopt;
+    long N = Args[2].asInt();
+    Ptr In = *Src, Out = *Dst;
+    bool SawNul = false;
+    for (long I = 0; I < N; ++I) {
+      long Ch = 0;
+      if (!SawNul) {
+        std::optional<Value> V = load(In, Loc);
+        if (!V)
+          return std::nullopt;
+        Ch = V->asInt();
+        if (Ch == 0)
+          SawNul = true;
+        ++In.Off;
+      }
+      if (!store(Out, Value::intVal(Ch), Loc))
+        return std::nullopt;
+      ++Out.Off;
+    }
+    return Value::ptrVal(*Dst);
+  }
+  if (Name == "strncmp") {
+    std::optional<Ptr> A = argPtr(0), B = argPtr(1);
+    if (!A || !B || Args.size() < 3)
+      return std::nullopt;
+    long N = Args[2].asInt();
+    Ptr PA = *A, PB = *B;
+    for (long I = 0; I < N; ++I) {
+      std::optional<Value> VA = load(PA, Loc);
+      std::optional<Value> VB = load(PB, Loc);
+      if (!VA || !VB)
+        return std::nullopt;
+      long CA = VA->asInt(), CB = VB->asInt();
+      if (CA != CB)
+        return Value::intVal(CA < CB ? -1 : 1);
+      if (CA == 0)
+        break;
+      ++PA.Off;
+      ++PB.Off;
+    }
+    return Value::intVal(0);
+  }
+  if (Name == "memcmp") {
+    std::optional<Ptr> A = argPtr(0), B = argPtr(1);
+    if (!A || !B || Args.size() < 3)
+      return std::nullopt;
+    long N = Args[2].asInt();
+    for (long I = 0; I < N; ++I) {
+      std::optional<Value> VA = load(Ptr{A->Block, A->Off + I}, Loc);
+      std::optional<Value> VB = load(Ptr{B->Block, B->Off + I}, Loc);
+      if (!VA || !VB)
+        return std::nullopt;
+      if (VA->asInt() != VB->asInt())
+        return Value::intVal(VA->asInt() < VB->asInt() ? -1 : 1);
+    }
+    return Value::intVal(0);
+  }
+  if (Name == "realloc") {
+    std::optional<Ptr> P = argPtr(0);
+    if (!P || Args.size() < 2)
+      return std::nullopt;
+    long N = Args[1].asInt();
+    if (N <= 0)
+      N = 1;
+    unsigned Id = newBlock(MemBlock::Kind::Heap, static_cast<unsigned>(N),
+                           Loc, "realloc at " + Loc.str());
+    if (!P->isNull()) {
+      if (P->Block >= Blocks.size() ||
+          Blocks[P->Block].St == MemBlock::State::Freed) {
+        reportError(RuntimeError::Kind::UseAfterFree, Loc,
+                    "realloc of released storage", true);
+        return std::nullopt;
+      }
+      MemBlock &Old = Blocks[P->Block];
+      for (size_t I = 0; I < Old.Cells.size() &&
+                         I < Blocks[Id].Cells.size();
+           ++I)
+        Blocks[Id].Cells[I] = Old.Cells[I];
+      Old.St = MemBlock::State::Freed;
+    }
+    return Value::ptrVal(Ptr{Id, 0});
+  }
+  if (Name == "strcmp") {
+    std::optional<Ptr> A = argPtr(0), B = argPtr(1);
+    if (!A || !B)
+      return std::nullopt;
+    std::optional<std::string> SA = readCString(*A, Loc);
+    std::optional<std::string> SB = readCString(*B, Loc);
+    if (!SA || !SB)
+      return std::nullopt;
+    return Value::intVal(SA->compare(*SB));
+  }
+  if (Name == "strdup") {
+    std::optional<Ptr> P = argPtr(0);
+    if (!P)
+      return std::nullopt;
+    std::optional<std::string> Text = readCString(*P, Loc);
+    if (!Text)
+      return std::nullopt;
+    unsigned Id =
+        newBlock(MemBlock::Kind::Heap,
+                 static_cast<unsigned>(Text->size() + 1), Loc,
+                 "strdup at " + Loc.str());
+    writeCString(Ptr{Id, 0}, *Text, Loc);
+    return Value::ptrVal(Ptr{Id, 0});
+  }
+  if (Name == "memset") {
+    std::optional<Ptr> P = argPtr(0);
+    if (!P || Args.size() < 3)
+      return std::nullopt;
+    long N = Args[2].asInt();
+    for (long I = 0; I < N; ++I)
+      if (!store(Ptr{P->Block, P->Off + I}, Value::intVal(Args[1].asInt()),
+                 Loc))
+        return std::nullopt;
+    return Value::ptrVal(*P);
+  }
+  if (Name == "memcpy") {
+    std::optional<Ptr> Dst = argPtr(0), Src = argPtr(1);
+    if (!Dst || !Src || Args.size() < 3)
+      return std::nullopt;
+    long N = Args[2].asInt();
+    for (long I = 0; I < N; ++I) {
+      std::optional<Value> V = load(Ptr{Src->Block, Src->Off + I}, Loc);
+      if (!V || !store(Ptr{Dst->Block, Dst->Off + I}, *V, Loc))
+        return std::nullopt;
+    }
+    return Value::ptrVal(*Dst);
+  }
+
+  if (Name == "printf" || Name == "puts" || Name == "putchar") {
+    if (Name == "putchar") {
+      if (!Args.empty())
+        Result.Output += static_cast<char>(Args[0].asInt());
+      return Value::intVal(0);
+    }
+    std::optional<Ptr> Fmt = argPtr(0);
+    if (!Fmt)
+      return std::nullopt;
+    std::optional<std::string> Text = readCString(*Fmt, Loc);
+    if (!Text)
+      return std::nullopt;
+    if (Name == "puts") {
+      Result.Output += *Text;
+      Result.Output += '\n';
+      return Value::intVal(0);
+    }
+    size_t ArgIdx = 1;
+    for (size_t I = 0; I < Text->size(); ++I) {
+      char Ch = (*Text)[I];
+      if (Ch != '%' || I + 1 >= Text->size()) {
+        Result.Output += Ch;
+        continue;
+      }
+      ++I;
+      char Spec = (*Text)[I];
+      if (Spec == 'l' && I + 1 < Text->size())
+        Spec = (*Text)[++I];
+      switch (Spec) {
+      case '%':
+        Result.Output += '%';
+        break;
+      case 'd':
+      case 'u':
+      case 'x':
+        if (ArgIdx < Args.size())
+          Result.Output += std::to_string(Args[ArgIdx++].asInt());
+        break;
+      case 'c':
+        if (ArgIdx < Args.size())
+          Result.Output += static_cast<char>(Args[ArgIdx++].asInt());
+        break;
+      case 'f':
+      case 'g':
+        if (ArgIdx < Args.size())
+          Result.Output += std::to_string(Args[ArgIdx++].asFp());
+        break;
+      case 's': {
+        if (ArgIdx >= Args.size())
+          break;
+        if (Args[ArgIdx].K != Value::Kind::Pointer) {
+          ++ArgIdx;
+          break;
+        }
+        std::optional<std::string> Str =
+            readCString(Args[ArgIdx++].P, Loc);
+        if (!Str)
+          return std::nullopt;
+        Result.Output += *Str;
+        break;
+      }
+      default:
+        Result.Output += Spec;
+        break;
+      }
+    }
+    return Value::intVal(0);
+  }
+
+  // Unknown external: harmless no-op returning 0 keeps partially-linked
+  // programs runnable (like stubbing in a test harness).
+  if (Name == "error" || Name == "getchar" || Name == "isalpha" ||
+      Name == "isdigit" || Name == "isspace" || Name == "toupper" ||
+      Name == "tolower")
+    return Value::intVal(0);
+
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Entry
+//===----------------------------------------------------------------------===//
+
+void Interpreter::Impl::run(const std::string &Entry) {
+  // Materialize globals with initializers, in declaration order.
+  for (const Decl *D : TU.decls()) {
+    const auto *VD = dyn_cast<VarDecl>(D);
+    if (!VD || !VD->isGlobal())
+      continue;
+    Ptr P = GlobalVars.count(VD) ? GlobalVars[VD] : allocVar(VD, true);
+    if (const Expr *Init = VD->init()) {
+      if (const auto *IL = dyn_cast<InitListExpr>(Init)) {
+        long Off = 0;
+        for (const Expr *Elem : IL->inits()) {
+          std::optional<Value> V = evalExpr(Elem);
+          if (!V)
+            return;
+          store(Ptr{P.Block, Off++}, *V, VD->loc());
+        }
+        continue;
+      }
+      std::optional<Value> V = evalExpr(Init);
+      if (!V)
+        return;
+      store(P, *V, VD->loc());
+    }
+  }
+
+  FunctionDecl *Main = TU.findFunction(Entry);
+  if (!Main || !Main->isDefinition()) {
+    reportError(RuntimeError::Kind::Trap, SourceLocation(),
+                "entry function '" + Entry + "' not found", true);
+    return;
+  }
+  std::optional<Value> Ret = callFunction(Main, {}, Main->loc());
+  if (Aborted)
+    return;
+  Result.Completed = true;
+  if (!Exited && Ret)
+    Result.ExitCode = Ret->asInt();
+}
+
+void Interpreter::Impl::scanLeaks() {
+  for (const MemBlock &B : Blocks) {
+    if (B.K == MemBlock::Kind::Heap && B.St == MemBlock::State::Alive) {
+      RuntimeError E;
+      E.K = RuntimeError::Kind::LeakAtExit;
+      E.Loc = B.AllocLoc;
+      E.Message = "heap block never released (" + B.Label + ")";
+      Result.Errors.push_back(std::move(E));
+    }
+  }
+}
+
+RunResult Interpreter::run(const std::string &Entry,
+                           unsigned long MaxSteps) {
+  RunResult Result;
+  Impl I(TU, Result, MaxSteps);
+  I.run(Entry);
+  I.scanLeaks();
+  return Result;
+}

@@ -1,0 +1,151 @@
+//===--- LclReader.cpp - Minimal LCL specification reader -------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcl/LclReader.h"
+
+#include "lex/Lexer.h"
+
+#include <cctype>
+
+using namespace memlint;
+
+namespace {
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+/// Blanks [Begin, End) in place, preserving newlines so later diagnostics
+/// keep their line numbers.
+void blankRange(std::string &Text, size_t Begin, size_t End) {
+  for (size_t I = Begin; I < End && I < Text.size(); ++I)
+    if (Text[I] != '\n')
+      Text[I] = ' ';
+}
+
+/// \returns the index just past the matching close brace (Text[Open] must
+/// be '{'), or npos when unbalanced.
+size_t matchBrace(const std::string &Text, size_t Open) {
+  int Depth = 0;
+  for (size_t I = Open; I < Text.size(); ++I) {
+    if (Text[I] == '{')
+      ++Depth;
+    else if (Text[I] == '}' && --Depth == 0)
+      return I + 1;
+  }
+  return std::string::npos;
+}
+
+} // namespace
+
+std::string memlint::translateLclToC(const std::string &LclSource,
+                                     const std::string &FileName,
+                                     DiagnosticEngine &Diags) {
+  std::string Text = LclSource;
+
+  // Pass 1: structural elements the checker does not interpret.
+  static const char *const LineDirectives[] = {"imports", "uses", "spec",
+                                               "constant", "typedef_import"};
+  static const char *const ClauseWords[] = {"requires", "ensures",
+                                            "modifies", "checks", "let",
+                                            "claims"};
+
+  size_t I = 0;
+  unsigned Line = 1;
+  while (I < Text.size()) {
+    char C = Text[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (!isIdentChar(C) || (I > 0 && isIdentChar(Text[I - 1]))) {
+      ++I;
+      continue;
+    }
+    size_t WordEnd = I;
+    while (WordEnd < Text.size() && isIdentChar(Text[WordEnd]))
+      ++WordEnd;
+    std::string Word = Text.substr(I, WordEnd - I);
+
+    bool Handled = false;
+    for (const char *D : LineDirectives) {
+      if (Word != D)
+        continue;
+      size_t Semi = Text.find(';', I);
+      if (Semi == std::string::npos) {
+        Diags.report(CheckId::ParseError, SourceLocation(FileName, Line, 1),
+                     "unterminated LCL '" + Word + "' directive",
+                     Severity::Error);
+        Semi = Text.size() - 1;
+      }
+      blankRange(Text, I, Semi + 1);
+      I = Semi + 1;
+      Handled = true;
+      break;
+    }
+    if (Handled)
+      continue;
+    for (const char *W : ClauseWords) {
+      if (Word != W)
+        continue;
+      // A clause runs to the ';' ending it (clauses do not nest braces).
+      size_t Semi = Text.find(';', I);
+      size_t Close = Text.find('}', I);
+      size_t End = std::min(Semi == std::string::npos ? Text.size() : Semi + 1,
+                            Close == std::string::npos ? Text.size() : Close);
+      blankRange(Text, I, End);
+      I = End;
+      Handled = true;
+      break;
+    }
+    if (Handled)
+      continue;
+    I = WordEnd;
+  }
+
+  // Pass 2: function spec bodies "decl(...) { clauses }" become ";".
+  // After pass 1 the braces contain only blanks.
+  I = 0;
+  while ((I = Text.find('{', I)) != std::string::npos) {
+    size_t End = matchBrace(Text, I);
+    if (End == std::string::npos)
+      break;
+    bool OnlyBlank = true;
+    for (size_t J = I + 1; J + 1 < End; ++J)
+      if (Text[J] != ' ' && Text[J] != '\n' && Text[J] != '\t' &&
+          Text[J] != ';')
+        OnlyBlank = false;
+    if (OnlyBlank) {
+      Text[I] = ';';
+      blankRange(Text, I + 1, End);
+    }
+    I = End;
+  }
+
+  // Pass 3: bare annotation words become /*@word@*/ comments. In LCL the
+  // annotation names are reserved, so every occurrence converts.
+  std::string Out;
+  Out.reserve(Text.size() + 64);
+  I = 0;
+  while (I < Text.size()) {
+    char C = Text[I];
+    if (isIdentChar(C) && (I == 0 || !isIdentChar(Text[I - 1]))) {
+      size_t WordEnd = I;
+      while (WordEnd < Text.size() && isIdentChar(Text[WordEnd]))
+        ++WordEnd;
+      std::string Word = Text.substr(I, WordEnd - I);
+      if (Lexer::isAnnotationWord(Word)) {
+        Out += "/*@" + Word + "@*/";
+        I = WordEnd;
+        continue;
+      }
+    }
+    Out += C;
+    ++I;
+  }
+  return Out;
+}

@@ -1,0 +1,46 @@
+//===--- LclReader.h - Minimal LCL specification reader ---------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "We can use annotations in LCL specifications, or directly in the source
+/// code as syntactic comments." This module supports the first vehicle for
+/// the subset of LCL the paper actually uses: interface declarations in
+/// which annotation words appear bare, e.g.
+///
+///   only erc erc_create(void);
+///   void free(null out only void *ptr);
+///   char *strcpy(out returned unique char *s1, char *s2);
+///
+/// The reader translates a .lcl specification into annotated C declarations
+/// (annotation words become /*@word@*/ comments) that are parsed ahead of
+/// the implementation, so specification-borne annotations flow through the
+/// same machinery as source annotations. LCL behavioral clauses the checker
+/// does not interpret ("The requires clause is not interpreted by LCLint")
+/// are skipped: requires / ensures / modifies / let clauses, imports and
+/// uses lines, and spec blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_LCL_LCLREADER_H
+#define MEMLINT_LCL_LCLREADER_H
+
+#include "support/Diagnostics.h"
+
+#include <string>
+
+namespace memlint {
+
+/// Translates a minimal LCL specification into annotated C declaration
+/// text. Annotation words (Appendix B) appearing in declarations become
+/// /*@word@*/ comments; requires/ensures/modifies clauses and
+/// imports/uses/constant lines are dropped (with a note when malformed).
+std::string translateLclToC(const std::string &LclSource,
+                            const std::string &FileName,
+                            DiagnosticEngine &Diags);
+
+} // namespace memlint
+
+#endif // MEMLINT_LCL_LCLREADER_H

@@ -1,0 +1,483 @@
+//===--- Lexer.cpp - C lexer with annotation comments ----------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lex/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <map>
+
+using namespace memlint;
+
+const char *memlint::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof: return "end of file";
+  case TokenKind::Identifier: return "identifier";
+  case TokenKind::IntegerLiteral: return "integer literal";
+  case TokenKind::FloatLiteral: return "float literal";
+  case TokenKind::CharLiteral: return "character literal";
+  case TokenKind::StringLiteral: return "string literal";
+  case TokenKind::Annotation: return "annotation";
+  case TokenKind::ControlComment: return "control comment";
+  case TokenKind::KwVoid: return "'void'";
+  case TokenKind::KwChar: return "'char'";
+  case TokenKind::KwShort: return "'short'";
+  case TokenKind::KwInt: return "'int'";
+  case TokenKind::KwLong: return "'long'";
+  case TokenKind::KwFloat: return "'float'";
+  case TokenKind::KwDouble: return "'double'";
+  case TokenKind::KwSigned: return "'signed'";
+  case TokenKind::KwUnsigned: return "'unsigned'";
+  case TokenKind::KwStruct: return "'struct'";
+  case TokenKind::KwUnion: return "'union'";
+  case TokenKind::KwEnum: return "'enum'";
+  case TokenKind::KwTypedef: return "'typedef'";
+  case TokenKind::KwExtern: return "'extern'";
+  case TokenKind::KwStatic: return "'static'";
+  case TokenKind::KwAuto: return "'auto'";
+  case TokenKind::KwRegister: return "'register'";
+  case TokenKind::KwConst: return "'const'";
+  case TokenKind::KwVolatile: return "'volatile'";
+  case TokenKind::KwIf: return "'if'";
+  case TokenKind::KwElse: return "'else'";
+  case TokenKind::KwWhile: return "'while'";
+  case TokenKind::KwFor: return "'for'";
+  case TokenKind::KwDo: return "'do'";
+  case TokenKind::KwReturn: return "'return'";
+  case TokenKind::KwBreak: return "'break'";
+  case TokenKind::KwContinue: return "'continue'";
+  case TokenKind::KwSwitch: return "'switch'";
+  case TokenKind::KwCase: return "'case'";
+  case TokenKind::KwDefault: return "'default'";
+  case TokenKind::KwSizeof: return "'sizeof'";
+  case TokenKind::KwGoto: return "'goto'";
+  case TokenKind::LParen: return "'('";
+  case TokenKind::RParen: return "')'";
+  case TokenKind::LBrace: return "'{'";
+  case TokenKind::RBrace: return "'}'";
+  case TokenKind::LBracket: return "'['";
+  case TokenKind::RBracket: return "']'";
+  case TokenKind::Semi: return "';'";
+  case TokenKind::Comma: return "','";
+  case TokenKind::Period: return "'.'";
+  case TokenKind::Arrow: return "'->'";
+  case TokenKind::Ellipsis: return "'...'";
+  case TokenKind::Amp: return "'&'";
+  case TokenKind::AmpAmp: return "'&&'";
+  case TokenKind::Pipe: return "'|'";
+  case TokenKind::PipePipe: return "'||'";
+  case TokenKind::Caret: return "'^'";
+  case TokenKind::Tilde: return "'~'";
+  case TokenKind::Exclaim: return "'!'";
+  case TokenKind::Question: return "'?'";
+  case TokenKind::Colon: return "':'";
+  case TokenKind::Plus: return "'+'";
+  case TokenKind::PlusPlus: return "'++'";
+  case TokenKind::Minus: return "'-'";
+  case TokenKind::MinusMinus: return "'--'";
+  case TokenKind::Star: return "'*'";
+  case TokenKind::Slash: return "'/'";
+  case TokenKind::Percent: return "'%'";
+  case TokenKind::Less: return "'<'";
+  case TokenKind::LessEqual: return "'<='";
+  case TokenKind::Greater: return "'>'";
+  case TokenKind::GreaterEqual: return "'>='";
+  case TokenKind::EqualEqual: return "'=='";
+  case TokenKind::ExclaimEqual: return "'!='";
+  case TokenKind::LessLess: return "'<<'";
+  case TokenKind::GreaterGreater: return "'>>'";
+  case TokenKind::Equal: return "'='";
+  case TokenKind::PlusEqual: return "'+='";
+  case TokenKind::MinusEqual: return "'-='";
+  case TokenKind::StarEqual: return "'*='";
+  case TokenKind::SlashEqual: return "'/='";
+  case TokenKind::PercentEqual: return "'%='";
+  case TokenKind::AmpEqual: return "'&='";
+  case TokenKind::PipeEqual: return "'|='";
+  case TokenKind::CaretEqual: return "'^='";
+  case TokenKind::LessLessEqual: return "'<<='";
+  case TokenKind::GreaterGreaterEqual: return "'>>='";
+  case TokenKind::Hash: return "'#'";
+  case TokenKind::HashHash: return "'##'";
+  }
+  assert(false && "unknown token kind");
+  return "unknown";
+}
+
+bool Lexer::isAnnotationWord(const std::string &Word) {
+  static const char *const Words[] = {
+      "null",   "notnull",   "relnull", "out",      "in",       "partial",
+      "reldef", "only",      "keep",    "temp",     "owned",    "dependent",
+      "shared", "unique",    "returned", "observer", "exposed", "truenull",
+      "falsenull", "undef",  "killed",  "special",  "unused",   "sef",
+      "exits",  "refcounted", "newref",  "killref",  "tempref",  "refs",
+  };
+  for (const char *W : Words)
+    if (Word == W)
+      return true;
+  return false;
+}
+
+char Lexer::advance() {
+  assert(Pos < Buffer.size());
+  char C = Buffer[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+    AtLineStart = true;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+Token Lexer::make(TokenKind Kind, SourceLocation Loc, std::string Text) {
+  Token Tok;
+  Tok.Kind = Kind;
+  Tok.Loc = std::move(Loc);
+  Tok.Text = std::move(Text);
+  return Tok;
+}
+
+std::vector<Token> Lexer::lex() {
+  std::vector<Token> Out;
+  bool PendingLineStart = true;
+  while (Pos < Buffer.size()) {
+    char C = peek();
+    if (C == '\n') {
+      advance();
+      PendingLineStart = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      lexLineComment();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      // Either an annotation comment /*@...@*/ or an ordinary comment.
+      size_t Before = Out.size();
+      lexBlockComment(Out);
+      // Annotation tokens inherit the line-start flag conservatively.
+      for (size_t I = Before; I < Out.size(); ++I)
+        Out[I].StartOfLine = false;
+      continue;
+    }
+
+    SourceLocation Start = here();
+    Token Tok;
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      Tok = lexIdentifierOrKeyword(Start);
+    else if (std::isdigit(static_cast<unsigned char>(C)) ||
+             (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))))
+      Tok = lexNumber(Start);
+    else if (C == '"')
+      Tok = lexString(Start);
+    else if (C == '\'')
+      Tok = lexChar(Start);
+    else
+      Tok = lexPunctuation(Start);
+
+    if (Tok.isEof() && Tok.Text == "<error>")
+      continue; // Lexical error already reported; skip the character.
+
+    Tok.StartOfLine = PendingLineStart;
+    PendingLineStart = false;
+    Out.push_back(std::move(Tok));
+  }
+  Token Eof;
+  Eof.Kind = TokenKind::Eof;
+  Eof.Loc = here();
+  Eof.StartOfLine = true;
+  Out.push_back(std::move(Eof));
+  return Out;
+}
+
+void Lexer::lexLineComment() {
+  while (Pos < Buffer.size() && peek() != '\n')
+    advance();
+}
+
+void Lexer::lexBlockComment(std::vector<Token> &Out) {
+  SourceLocation Start = here();
+  advance(); // '/'
+  advance(); // '*'
+  if (peek() == '@') {
+    advance(); // '@'
+    lexAnnotationComment(Out, Start);
+    return;
+  }
+  // Ordinary comment: skip to "*/".
+  while (Pos < Buffer.size()) {
+    if (peek() == '*' && peek(1) == '/') {
+      advance();
+      advance();
+      return;
+    }
+    advance();
+  }
+  Diags.report(CheckId::ParseError, Start, "unterminated comment",
+               Severity::Error);
+}
+
+void Lexer::lexAnnotationComment(std::vector<Token> &Out,
+                                 SourceLocation Start) {
+  // Collect the comment body up to "@*/" (LCLint also accepts "*/").
+  std::string Body;
+  SourceLocation BodyLoc = here();
+  while (Pos < Buffer.size()) {
+    if (peek() == '@' && peek(1) == '*' && peek(2) == '/') {
+      advance();
+      advance();
+      advance();
+      break;
+    }
+    if (peek() == '*' && peek(1) == '/') {
+      advance();
+      advance();
+      break;
+    }
+    Body += advance();
+  }
+
+  // Control comments: flag settings and ignore/end regions.
+  if (!Body.empty() && (Body[0] == '-' || Body[0] == '+' || Body[0] == '=')) {
+    Token Tok = make(TokenKind::ControlComment, Start, Body);
+    Out.push_back(std::move(Tok));
+    return;
+  }
+  if (Body == "ignore" || Body == "end" || Body == "i") {
+    Out.push_back(make(TokenKind::ControlComment, Start, Body));
+    return;
+  }
+
+  // Otherwise: whitespace-separated annotation words.
+  size_t I = 0;
+  while (I < Body.size()) {
+    while (I < Body.size() &&
+           std::isspace(static_cast<unsigned char>(Body[I])))
+      ++I;
+    size_t WordStart = I;
+    while (I < Body.size() &&
+           !std::isspace(static_cast<unsigned char>(Body[I])))
+      ++I;
+    if (WordStart == I)
+      break;
+    std::string Word = Body.substr(WordStart, I - WordStart);
+    if (!isAnnotationWord(Word)) {
+      Diags.report(CheckId::AnnotationError, BodyLoc,
+                   "unrecognized annotation '" + Word + "'");
+      continue;
+    }
+    Out.push_back(make(TokenKind::Annotation, Start, Word));
+  }
+}
+
+Token Lexer::lexIdentifierOrKeyword(SourceLocation Start) {
+  std::string Text;
+  while (Pos < Buffer.size() &&
+         (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_'))
+    Text += advance();
+
+  static const std::map<std::string, TokenKind> Keywords = {
+      {"void", TokenKind::KwVoid},         {"char", TokenKind::KwChar},
+      {"short", TokenKind::KwShort},       {"int", TokenKind::KwInt},
+      {"long", TokenKind::KwLong},         {"float", TokenKind::KwFloat},
+      {"double", TokenKind::KwDouble},     {"signed", TokenKind::KwSigned},
+      {"unsigned", TokenKind::KwUnsigned}, {"struct", TokenKind::KwStruct},
+      {"union", TokenKind::KwUnion},       {"enum", TokenKind::KwEnum},
+      {"typedef", TokenKind::KwTypedef},   {"extern", TokenKind::KwExtern},
+      {"static", TokenKind::KwStatic},     {"auto", TokenKind::KwAuto},
+      {"register", TokenKind::KwRegister}, {"const", TokenKind::KwConst},
+      {"volatile", TokenKind::KwVolatile}, {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},         {"while", TokenKind::KwWhile},
+      {"for", TokenKind::KwFor},           {"do", TokenKind::KwDo},
+      {"return", TokenKind::KwReturn},     {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue}, {"switch", TokenKind::KwSwitch},
+      {"case", TokenKind::KwCase},         {"default", TokenKind::KwDefault},
+      {"sizeof", TokenKind::KwSizeof},     {"goto", TokenKind::KwGoto},
+  };
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end())
+    return make(It->second, Start, Text);
+  return make(TokenKind::Identifier, Start, Text);
+}
+
+Token Lexer::lexNumber(SourceLocation Start) {
+  std::string Text;
+  bool IsFloat = false;
+  // Hex.
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    Text += advance();
+    Text += advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      Text += advance();
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Text += advance();
+    if (peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      IsFloat = true;
+      Text += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Text += advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      char Next = peek(1);
+      if (std::isdigit(static_cast<unsigned char>(Next)) || Next == '+' ||
+          Next == '-') {
+        IsFloat = true;
+        Text += advance();
+        if (peek() == '+' || peek() == '-')
+          Text += advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          Text += advance();
+      }
+    }
+  }
+  // Suffixes.
+  while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L' ||
+         (IsFloat && (peek() == 'f' || peek() == 'F')))
+    Text += advance();
+  return make(IsFloat ? TokenKind::FloatLiteral : TokenKind::IntegerLiteral,
+              Start, Text);
+}
+
+Token Lexer::lexString(SourceLocation Start) {
+  std::string Text;
+  advance(); // opening quote
+  while (Pos < Buffer.size() && peek() != '"') {
+    if (peek() == '\\' && Pos + 1 < Buffer.size()) {
+      Text += advance();
+      Text += advance();
+      continue;
+    }
+    if (peek() == '\n') {
+      Diags.report(CheckId::ParseError, Start, "unterminated string literal",
+                   Severity::Error);
+      return make(TokenKind::StringLiteral, Start, Text);
+    }
+    Text += advance();
+  }
+  if (Pos < Buffer.size())
+    advance(); // closing quote
+  return make(TokenKind::StringLiteral, Start, Text);
+}
+
+Token Lexer::lexChar(SourceLocation Start) {
+  std::string Text;
+  advance(); // opening quote
+  while (Pos < Buffer.size() && peek() != '\'') {
+    if (peek() == '\\' && Pos + 1 < Buffer.size()) {
+      Text += advance();
+      Text += advance();
+      continue;
+    }
+    Text += advance();
+  }
+  if (Pos < Buffer.size())
+    advance(); // closing quote
+  return make(TokenKind::CharLiteral, Start, Text);
+}
+
+Token Lexer::lexPunctuation(SourceLocation Start) {
+  char C = advance();
+  switch (C) {
+  case '(': return make(TokenKind::LParen, Start, "(");
+  case ')': return make(TokenKind::RParen, Start, ")");
+  case '{': return make(TokenKind::LBrace, Start, "{");
+  case '}': return make(TokenKind::RBrace, Start, "}");
+  case '[': return make(TokenKind::LBracket, Start, "[");
+  case ']': return make(TokenKind::RBracket, Start, "]");
+  case ';': return make(TokenKind::Semi, Start, ";");
+  case ',': return make(TokenKind::Comma, Start, ",");
+  case '~': return make(TokenKind::Tilde, Start, "~");
+  case '?': return make(TokenKind::Question, Start, "?");
+  case ':': return make(TokenKind::Colon, Start, ":");
+  case '.':
+    if (peek() == '.' && peek(1) == '.') {
+      advance();
+      advance();
+      return make(TokenKind::Ellipsis, Start, "...");
+    }
+    return make(TokenKind::Period, Start, ".");
+  case '+':
+    if (match('+')) return make(TokenKind::PlusPlus, Start, "++");
+    if (match('=')) return make(TokenKind::PlusEqual, Start, "+=");
+    return make(TokenKind::Plus, Start, "+");
+  case '-':
+    if (match('-')) return make(TokenKind::MinusMinus, Start, "--");
+    if (match('=')) return make(TokenKind::MinusEqual, Start, "-=");
+    if (match('>')) return make(TokenKind::Arrow, Start, "->");
+    return make(TokenKind::Minus, Start, "-");
+  case '*':
+    if (match('=')) return make(TokenKind::StarEqual, Start, "*=");
+    return make(TokenKind::Star, Start, "*");
+  case '/':
+    if (match('=')) return make(TokenKind::SlashEqual, Start, "/=");
+    return make(TokenKind::Slash, Start, "/");
+  case '%':
+    if (match('=')) return make(TokenKind::PercentEqual, Start, "%=");
+    return make(TokenKind::Percent, Start, "%");
+  case '&':
+    if (match('&')) return make(TokenKind::AmpAmp, Start, "&&");
+    if (match('=')) return make(TokenKind::AmpEqual, Start, "&=");
+    return make(TokenKind::Amp, Start, "&");
+  case '|':
+    if (match('|')) return make(TokenKind::PipePipe, Start, "||");
+    if (match('=')) return make(TokenKind::PipeEqual, Start, "|=");
+    return make(TokenKind::Pipe, Start, "|");
+  case '^':
+    if (match('=')) return make(TokenKind::CaretEqual, Start, "^=");
+    return make(TokenKind::Caret, Start, "^");
+  case '!':
+    if (match('=')) return make(TokenKind::ExclaimEqual, Start, "!=");
+    return make(TokenKind::Exclaim, Start, "!");
+  case '=':
+    if (match('=')) return make(TokenKind::EqualEqual, Start, "==");
+    return make(TokenKind::Equal, Start, "=");
+  case '<':
+    if (peek() == '<' && peek(1) == '=') {
+      advance();
+      advance();
+      return make(TokenKind::LessLessEqual, Start, "<<=");
+    }
+    if (match('<')) return make(TokenKind::LessLess, Start, "<<");
+    if (match('=')) return make(TokenKind::LessEqual, Start, "<=");
+    return make(TokenKind::Less, Start, "<");
+  case '>':
+    if (peek() == '>' && peek(1) == '=') {
+      advance();
+      advance();
+      return make(TokenKind::GreaterGreaterEqual, Start, ">>=");
+    }
+    if (match('>')) return make(TokenKind::GreaterGreater, Start, ">>");
+    if (match('=')) return make(TokenKind::GreaterEqual, Start, ">=");
+    return make(TokenKind::Greater, Start, ">");
+  case '#':
+    if (match('#')) return make(TokenKind::HashHash, Start, "##");
+    return make(TokenKind::Hash, Start, "#");
+  default:
+    Diags.report(CheckId::ParseError, Start,
+                 std::string("unexpected character '") + C + "'",
+                 Severity::Error);
+    Token Err;
+    Err.Kind = TokenKind::Eof;
+    Err.Text = "<error>";
+    Err.Loc = Start;
+    return Err;
+  }
+}

@@ -1,0 +1,69 @@
+//===--- Lexer.h - C lexer with annotation comments -------------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_LEX_LEXER_H
+#define MEMLINT_LEX_LEXER_H
+
+#include "lex/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace memlint {
+
+/// Lexes one source buffer into a token vector (terminated by an Eof token).
+///
+/// The lexer understands ordinary C89 tokens, // and /* */ comments, and the
+/// paper's stylized comments: /*@...@*/ annotation comments become Annotation
+/// or ControlComment tokens (see Token.h). Preprocessor directives are left
+/// in the stream as Hash tokens + following tokens; the pp/ module interprets
+/// them.
+class Lexer {
+public:
+  Lexer(std::string FileName, std::string Buffer, DiagnosticEngine &Diags)
+      : FileName(std::move(FileName)), Buffer(std::move(Buffer)),
+        Diags(Diags) {}
+
+  /// Lexes the whole buffer. Always returns a vector ending with Eof; lexical
+  /// errors are reported to the diagnostic engine and skipped.
+  std::vector<Token> lex();
+
+  /// \returns true if \p Word is one of the paper's annotation keywords
+  /// (Appendix B plus truenull/falsenull/undef/killed).
+  static bool isAnnotationWord(const std::string &Word);
+
+private:
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Buffer.size() ? Buffer[Pos + Ahead] : '\0';
+  }
+  char advance();
+  bool match(char Expected);
+  SourceLocation here() const { return {FileName, Line, Column}; }
+
+  void lexLineComment();
+  void lexBlockComment(std::vector<Token> &Out);
+  void lexAnnotationComment(std::vector<Token> &Out, SourceLocation Start);
+  Token lexIdentifierOrKeyword(SourceLocation Start);
+  Token lexNumber(SourceLocation Start);
+  Token lexString(SourceLocation Start);
+  Token lexChar(SourceLocation Start);
+  Token lexPunctuation(SourceLocation Start);
+
+  Token make(TokenKind Kind, SourceLocation Loc, std::string Text);
+
+  std::string FileName;
+  std::string Buffer;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+  bool AtLineStart = true;
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_LEX_LEXER_H

@@ -1,0 +1,95 @@
+//===--- Token.h - Lexical tokens for the C subset --------------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token definitions. Besides ordinary C tokens, the stream carries the
+/// paper's syntactic-comment annotations as first-class tokens:
+///
+///   /*@null@*/        -> one Annotation token with text "null"
+///   /*@out only@*/    -> two Annotation tokens
+///   /*@-mustfree@*/   -> ControlComment token ("-mustfree"); also
+///                        "+flag" (set), "=flag" (restore), "ignore", "end"
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_LEX_TOKEN_H
+#define MEMLINT_LEX_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+
+namespace memlint {
+
+enum class TokenKind {
+  Eof,
+  Identifier,
+  IntegerLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+  Annotation,     ///< One word from a /*@...@*/ comment.
+  ControlComment, ///< A flag or ignore/end control comment.
+
+  // Keywords.
+  KwVoid, KwChar, KwShort, KwInt, KwLong, KwFloat, KwDouble, KwSigned,
+  KwUnsigned, KwStruct, KwUnion, KwEnum, KwTypedef, KwExtern, KwStatic,
+  KwAuto, KwRegister, KwConst, KwVolatile, KwIf, KwElse, KwWhile, KwFor,
+  KwDo, KwReturn, KwBreak, KwContinue, KwSwitch, KwCase, KwDefault,
+  KwSizeof, KwGoto,
+
+  // Punctuation.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket, Semi, Comma,
+  Period, Arrow, Ellipsis,
+  Amp, AmpAmp, Pipe, PipePipe, Caret, Tilde, Exclaim, Question, Colon,
+  Plus, PlusPlus, Minus, MinusMinus, Star, Slash, Percent,
+  Less, LessEqual, Greater, GreaterEqual, EqualEqual, ExclaimEqual,
+  LessLess, GreaterGreater,
+  Equal, PlusEqual, MinusEqual, StarEqual, SlashEqual, PercentEqual,
+  AmpEqual, PipeEqual, CaretEqual, LessLessEqual, GreaterGreaterEqual,
+  Hash, HashHash,
+};
+
+/// \returns a human-readable spelling for diagnostics ("';'", "identifier").
+const char *tokenKindName(TokenKind Kind);
+
+/// A single lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;    ///< Raw spelling (identifier name, literal text, ...).
+  SourceLocation Loc;
+  bool StartOfLine = false; ///< True for the first token on a physical line
+                            ///< (used for preprocessor directive detection).
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+  bool isEof() const { return Kind == TokenKind::Eof; }
+
+  /// True for tokens that can begin a declaration specifier.
+  bool isTypeSpecifierKeyword() const {
+    switch (Kind) {
+    case TokenKind::KwVoid:
+    case TokenKind::KwChar:
+    case TokenKind::KwShort:
+    case TokenKind::KwInt:
+    case TokenKind::KwLong:
+    case TokenKind::KwFloat:
+    case TokenKind::KwDouble:
+    case TokenKind::KwSigned:
+    case TokenKind::KwUnsigned:
+    case TokenKind::KwStruct:
+    case TokenKind::KwUnion:
+    case TokenKind::KwEnum:
+      return true;
+    default:
+      return false;
+    }
+  }
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_LEX_TOKEN_H

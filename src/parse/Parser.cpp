@@ -1,0 +1,1396 @@
+//===--- Parser.cpp - Recursive-descent parser for the C subset ------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parse/Parser.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace memlint;
+
+//===----------------------------------------------------------------------===//
+// Token plumbing and recovery
+//===----------------------------------------------------------------------===//
+
+bool Parser::expect(TokenKind K, const char *Context) {
+  if (consume(K))
+    return true;
+  error(std::string("expected ") + tokenKindName(K) + " " + Context +
+        ", found " + tokenKindName(cur().Kind));
+  return false;
+}
+
+void Parser::error(const std::string &Message) {
+  ++ErrorCount;
+  if (ErrorCount <= 50)
+    Diags.report(CheckId::ParseError, cur().Loc, Message, Severity::Error);
+}
+
+void Parser::synchronize() {
+  unsigned Depth = 0;
+  while (!cur().isEof()) {
+    if (at(TokenKind::LBrace))
+      ++Depth;
+    if (at(TokenKind::RBrace)) {
+      if (Depth == 0) {
+        take();
+        return;
+      }
+      --Depth;
+    }
+    if (at(TokenKind::Semi) && Depth == 0) {
+      take();
+      return;
+    }
+    take();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scopes
+//===----------------------------------------------------------------------===//
+
+Decl *Parser::lookup(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+bool Parser::isTypedefName(const std::string &Name) const {
+  Decl *D = lookup(Name);
+  return D && isa<TypedefDecl>(D);
+}
+
+//===----------------------------------------------------------------------===//
+// Entry point
+//===----------------------------------------------------------------------===//
+
+TranslationUnit *Parser::parse(const std::string &MainFile) {
+  TU = Ctx.create<TranslationUnit>(MainFile);
+  pushScope();
+  while (!cur().isEof()) {
+    size_t Before = Index;
+    parseTopLevel(*TU);
+    if (Index == Before) {
+      // No progress: skip the offending token to guarantee termination.
+      error("unexpected token at top level");
+      take();
+    }
+  }
+  popScope();
+  return TU;
+}
+
+void Parser::parseTopLevel(TranslationUnit &TU) {
+  if (consume(TokenKind::Semi))
+    return;
+  if (!startsDeclaration()) {
+    error("expected declaration");
+    synchronize();
+    return;
+  }
+  DeclSpec DS = parseDeclSpecs();
+  if (!DS.Valid) {
+    synchronize();
+    return;
+  }
+  if (consume(TokenKind::Semi))
+    return; // tag-only declaration like "struct foo { ... };"
+  parseTopLevelDeclarators(TU, DS);
+}
+
+bool Parser::isDeclSpecToken(const Token &Tok) const {
+  if (Tok.isTypeSpecifierKeyword())
+    return true;
+  switch (Tok.Kind) {
+  case TokenKind::KwTypedef:
+  case TokenKind::KwExtern:
+  case TokenKind::KwStatic:
+  case TokenKind::KwAuto:
+  case TokenKind::KwRegister:
+  case TokenKind::KwConst:
+  case TokenKind::KwVolatile:
+  case TokenKind::Annotation:
+    return true;
+  case TokenKind::Identifier:
+    return isTypedefName(Tok.Text);
+  default:
+    return false;
+  }
+}
+
+bool Parser::startsDeclaration() const { return isDeclSpecToken(cur()); }
+
+//===----------------------------------------------------------------------===//
+// Declaration specifiers
+//===----------------------------------------------------------------------===//
+
+Parser::DeclSpec Parser::parseDeclSpecs() {
+  DeclSpec DS;
+  DS.Loc = cur().Loc;
+
+  enum class Base { None, Void, Char, Int, Float, Double, Other };
+  Base B = Base::None;
+  int LongCount = 0;
+  bool Short = false, Signed = false, Unsigned = false;
+  QualType OtherTy;
+
+  while (true) {
+    const Token &Tok = cur();
+    switch (Tok.Kind) {
+    case TokenKind::KwTypedef:
+      DS.IsTypedef = true;
+      DS.Valid = true;
+      take();
+      continue;
+    case TokenKind::KwExtern:
+      DS.SC = StorageClass::Extern;
+      DS.Valid = true;
+      take();
+      continue;
+    case TokenKind::KwStatic:
+      DS.SC = StorageClass::Static;
+      DS.Valid = true;
+      take();
+      continue;
+    case TokenKind::KwAuto:
+    case TokenKind::KwRegister:
+      DS.Valid = true;
+      take();
+      continue;
+    case TokenKind::KwConst:
+      DS.Const = true;
+      DS.Valid = true;
+      take();
+      continue;
+    case TokenKind::KwVolatile:
+      DS.Volatile = true;
+      DS.Valid = true;
+      take();
+      continue;
+    case TokenKind::Annotation: {
+      if (!DS.Annots.addWord(Tok.Text))
+        Diags.report(CheckId::AnnotationError, Tok.Loc,
+                     "annotation '" + Tok.Text +
+                         "' conflicts with an earlier annotation in the same "
+                         "category");
+      DS.Valid = true;
+      take();
+      continue;
+    }
+    case TokenKind::KwVoid:
+      B = Base::Void;
+      DS.Valid = true;
+      take();
+      continue;
+    case TokenKind::KwChar:
+      B = Base::Char;
+      DS.Valid = true;
+      take();
+      continue;
+    case TokenKind::KwInt:
+      if (B == Base::None)
+        B = Base::Int;
+      DS.Valid = true;
+      take();
+      continue;
+    case TokenKind::KwFloat:
+      B = Base::Float;
+      DS.Valid = true;
+      take();
+      continue;
+    case TokenKind::KwDouble:
+      B = Base::Double;
+      DS.Valid = true;
+      take();
+      continue;
+    case TokenKind::KwShort:
+      Short = true;
+      if (B == Base::None)
+        B = Base::Int;
+      DS.Valid = true;
+      take();
+      continue;
+    case TokenKind::KwLong:
+      ++LongCount;
+      if (B == Base::None)
+        B = Base::Int;
+      DS.Valid = true;
+      take();
+      continue;
+    case TokenKind::KwSigned:
+      Signed = true;
+      if (B == Base::None)
+        B = Base::Int;
+      DS.Valid = true;
+      take();
+      continue;
+    case TokenKind::KwUnsigned:
+      Unsigned = true;
+      if (B == Base::None)
+        B = Base::Int;
+      DS.Valid = true;
+      take();
+      continue;
+    case TokenKind::KwStruct:
+    case TokenKind::KwUnion:
+      OtherTy = parseStructOrUnion();
+      B = Base::Other;
+      DS.Valid = true;
+      continue;
+    case TokenKind::KwEnum:
+      OtherTy = parseEnum();
+      B = Base::Other;
+      DS.Valid = true;
+      continue;
+    case TokenKind::Identifier:
+      if (B == Base::None && OtherTy.isNull() && isTypedefName(Tok.Text)) {
+        auto *TD = cast<TypedefDecl>(lookup(Tok.Text));
+        OtherTy = Ctx.typedefTy(TD);
+        B = Base::Other;
+        DS.Valid = true;
+        take();
+        continue;
+      }
+      break;
+    default:
+      break;
+    }
+    break;
+  }
+
+  if (!DS.Valid)
+    return DS;
+
+  switch (B) {
+  case Base::None:
+    DS.BaseTy = Ctx.intTy(); // implicit int (storage class only)
+    break;
+  case Base::Void:
+    DS.BaseTy = Ctx.voidTy();
+    break;
+  case Base::Char:
+    DS.BaseTy = Unsigned ? Ctx.builtin(BuiltinType::Kind::UnsignedChar)
+               : Signed  ? Ctx.builtin(BuiltinType::Kind::SignedChar)
+                         : Ctx.charTy();
+    break;
+  case Base::Int:
+    if (Short)
+      DS.BaseTy = Unsigned ? Ctx.builtin(BuiltinType::Kind::UnsignedShort)
+                           : Ctx.shortTy();
+    else if (LongCount > 0)
+      DS.BaseTy = Unsigned ? Ctx.unsignedLongTy() : Ctx.longTy();
+    else
+      DS.BaseTy = Unsigned ? Ctx.unsignedTy() : Ctx.intTy();
+    break;
+  case Base::Float:
+    DS.BaseTy = Ctx.floatTy();
+    break;
+  case Base::Double:
+    DS.BaseTy = LongCount ? Ctx.builtin(BuiltinType::Kind::LongDouble)
+                          : Ctx.doubleTy();
+    break;
+  case Base::Other:
+    DS.BaseTy = OtherTy;
+    break;
+  }
+  if (DS.Const)
+    DS.BaseTy = QualType(DS.BaseTy.type(), true, DS.Volatile);
+  return DS;
+}
+
+QualType Parser::parseStructOrUnion() {
+  bool IsUnion = at(TokenKind::KwUnion);
+  SourceLocation Loc = take().Loc; // struct/union
+
+  std::string Tag;
+  if (at(TokenKind::Identifier))
+    Tag = take().Text;
+
+  RecordDecl *RD = nullptr;
+  std::string Key = (IsUnion ? "union " : "struct ") + Tag;
+  if (!Tag.empty()) {
+    auto It = Tags.find(Key);
+    if (It != Tags.end())
+      RD = dyn_cast<RecordDecl>(It->second);
+  }
+  if (!RD) {
+    RD = Ctx.create<RecordDecl>(Tag, Loc, IsUnion);
+    if (!Tag.empty())
+      Tags[Key] = RD;
+  }
+
+  if (consume(TokenKind::LBrace)) {
+    std::vector<FieldDecl *> Fields;
+    while (!at(TokenKind::RBrace) && !cur().isEof()) {
+      DeclSpec FieldDS = parseDeclSpecs();
+      if (!FieldDS.Valid) {
+        error("expected field declaration");
+        synchronize();
+        break;
+      }
+      // Field declarators.
+      do {
+        Declarator D = parseDeclarator(FieldDS, /*Abstract=*/false);
+        // Bit-fields: accept and ignore the width.
+        if (consume(TokenKind::Colon))
+          parseConditional();
+        Annotations FieldAnnots =
+            Annotations::overrideWith(FieldDS.Annots, D.Annots);
+        auto *FD = Ctx.create<FieldDecl>(D.Name, D.Loc, D.Ty, FieldAnnots,
+                                         static_cast<unsigned>(Fields.size()));
+        Fields.push_back(FD);
+      } while (consume(TokenKind::Comma));
+      expect(TokenKind::Semi, "after field declaration");
+    }
+    expect(TokenKind::RBrace, "to close struct body");
+    RD->completeDefinition(std::move(Fields));
+  }
+  return Ctx.recordTy(RD);
+}
+
+QualType Parser::parseEnum() {
+  SourceLocation Loc = take().Loc; // enum
+  std::string Tag;
+  if (at(TokenKind::Identifier))
+    Tag = take().Text;
+
+  EnumDecl *ED = nullptr;
+  std::string Key = "enum " + Tag;
+  if (!Tag.empty()) {
+    auto It = Tags.find(Key);
+    if (It != Tags.end())
+      ED = dyn_cast<EnumDecl>(It->second);
+  }
+  if (!ED) {
+    ED = Ctx.create<EnumDecl>(Tag, Loc);
+    if (!Tag.empty())
+      Tags[Key] = ED;
+  }
+
+  if (consume(TokenKind::LBrace)) {
+    std::vector<EnumConstantDecl *> Constants;
+    long Next = 0;
+    while (!at(TokenKind::RBrace) && !cur().isEof()) {
+      if (!at(TokenKind::Identifier)) {
+        error("expected enumerator name");
+        break;
+      }
+      Token Name = take();
+      long Value = Next;
+      if (consume(TokenKind::Equal)) {
+        // Constant expression: integer literal, optionally negated, or a
+        // previously declared enumerator.
+        bool Negate = consume(TokenKind::Minus);
+        if (at(TokenKind::IntegerLiteral)) {
+          Value = std::strtol(take().Text.c_str(), nullptr, 0);
+        } else if (at(TokenKind::Identifier)) {
+          Decl *Prev = lookup(cur().Text);
+          if (auto *EC = dyn_cast_or_null<EnumConstantDecl>(Prev))
+            Value = EC->value();
+          else
+            error("expected constant expression for enumerator");
+          take();
+        } else {
+          error("expected constant expression for enumerator");
+        }
+        if (Negate)
+          Value = -Value;
+      }
+      auto *EC = Ctx.create<EnumConstantDecl>(Name.Text, Name.Loc, Value);
+      declare(Name.Text, EC);
+      Constants.push_back(EC);
+      Next = Value + 1;
+      if (!consume(TokenKind::Comma))
+        break;
+    }
+    expect(TokenKind::RBrace, "to close enum body");
+    ED->completeDefinition(std::move(Constants));
+  }
+  return Ctx.enumTy(ED);
+}
+
+//===----------------------------------------------------------------------===//
+// Declarators
+//===----------------------------------------------------------------------===//
+
+Parser::Declarator Parser::parseDeclarator(const DeclSpec &DS, bool Abstract) {
+  Declarator D;
+  D.Ty = DS.BaseTy;
+  D.Loc = cur().Loc;
+
+  // Pointer prefix. Annotations written among the stars attach to the
+  // declaration (outer level only, per the paper).
+  while (true) {
+    if (consume(TokenKind::Star)) {
+      D.Ty = Ctx.pointerTo(D.Ty);
+      continue;
+    }
+    if (at(TokenKind::KwConst) || at(TokenKind::KwVolatile)) {
+      bool IsConst = at(TokenKind::KwConst);
+      take();
+      if (IsConst)
+        D.Ty = QualType(D.Ty.type(), true, D.Ty.isVolatile());
+      continue;
+    }
+    if (at(TokenKind::Annotation)) {
+      if (!D.Annots.addWord(cur().Text))
+        Diags.report(CheckId::AnnotationError, cur().Loc,
+                     "conflicting annotation '" + cur().Text + "'");
+      take();
+      continue;
+    }
+    break;
+  }
+
+  // Parenthesized declarator: the common function-pointer form
+  // "(*name)(params)" or "(*name)[size]".
+  if (at(TokenKind::LParen) &&
+      (ahead().is(TokenKind::Star) ||
+       (ahead().is(TokenKind::Identifier) && !isTypedefName(ahead().Text)))) {
+    take(); // '('
+    unsigned InnerStars = 0;
+    while (consume(TokenKind::Star))
+      ++InnerStars;
+    if (at(TokenKind::Identifier)) {
+      D.Name = cur().Text;
+      D.Loc = cur().Loc;
+      take();
+    }
+    expect(TokenKind::RParen, "to close parenthesized declarator");
+    // Outer suffix applies to the pointee: T (*p)(args) / T (*p)[n].
+    if (at(TokenKind::LParen)) {
+      bool Variadic = false;
+      pushScope();
+      std::vector<ParmVarDecl *> Params = parseParamList(Variadic);
+      popScope();
+      std::vector<QualType> ParamTys;
+      ParamTys.reserve(Params.size());
+      for (ParmVarDecl *P : Params)
+        ParamTys.push_back(P->type());
+      D.Ty = Ctx.functionTy(D.Ty, std::move(ParamTys), Variadic);
+    } else if (consume(TokenKind::LBracket)) {
+      std::optional<long> Size;
+      if (at(TokenKind::IntegerLiteral))
+        Size = std::strtol(take().Text.c_str(), nullptr, 0);
+      expect(TokenKind::RBracket, "to close array declarator");
+      D.Ty = Ctx.arrayOf(D.Ty, Size);
+    }
+    for (unsigned I = 0; I < InnerStars; ++I)
+      D.Ty = Ctx.pointerTo(D.Ty);
+    parseDeclaratorSuffix(D);
+    return D;
+  }
+
+  if (at(TokenKind::Identifier) && !isTypedefName(cur().Text)) {
+    D.Name = cur().Text;
+    D.Loc = cur().Loc;
+    take();
+  } else if (!Abstract) {
+    // Allow a typedef name to be redeclared as an ordinary identifier in an
+    // inner declaration context only when directly followed by a declarator
+    // terminator; otherwise this is an error.
+    if (at(TokenKind::Identifier) &&
+        (ahead().is(TokenKind::Semi) || ahead().is(TokenKind::Comma) ||
+         ahead().is(TokenKind::Equal) || ahead().is(TokenKind::RParen) ||
+         ahead().is(TokenKind::LBracket))) {
+      D.Name = cur().Text;
+      D.Loc = cur().Loc;
+      take();
+    } else {
+      error("expected declarator name");
+    }
+  }
+
+  parseDeclaratorSuffix(D);
+  return D;
+}
+
+void Parser::parseDeclaratorSuffix(Declarator &D) {
+  // Collect array sizes so multi-dimensional arrays nest correctly.
+  std::vector<std::optional<long>> ArraySizes;
+  while (true) {
+    if (at(TokenKind::LBracket)) {
+      take();
+      std::optional<long> Size;
+      if (at(TokenKind::IntegerLiteral))
+        Size = std::strtol(take().Text.c_str(), nullptr, 0);
+      else if (at(TokenKind::Identifier)) {
+        if (auto *EC = dyn_cast_or_null<EnumConstantDecl>(lookup(cur().Text)))
+          Size = EC->value();
+        take();
+      }
+      expect(TokenKind::RBracket, "to close array declarator");
+      ArraySizes.push_back(Size);
+      continue;
+    }
+    if (at(TokenKind::LParen) && !D.IsFunction) {
+      take();
+      D.IsFunction = true;
+      pushScope();
+      // parseParamList expects to be called after '('.
+      bool Variadic = false;
+      // Empty parameter list "()" or "(void)".
+      if (at(TokenKind::KwVoid) && ahead().is(TokenKind::RParen)) {
+        take();
+        take();
+      } else if (consume(TokenKind::RParen)) {
+        // () - unspecified parameters; treat as none.
+      } else {
+        while (true) {
+          if (consume(TokenKind::Ellipsis)) {
+            Variadic = true;
+            break;
+          }
+          DeclSpec ParamDS = parseDeclSpecs();
+          if (!ParamDS.Valid) {
+            error("expected parameter declaration");
+            break;
+          }
+          Declarator PD = parseDeclarator(ParamDS, /*Abstract=*/true);
+          QualType ParamTy = PD.Ty;
+          // Array and function parameters decay to pointers.
+          if (ParamTy.isArray())
+            ParamTy = Ctx.pointerTo(ParamTy.pointee());
+          else if (ParamTy.isFunction())
+            ParamTy = Ctx.pointerTo(ParamTy);
+          Annotations ParamAnnots =
+              Annotations::overrideWith(ParamDS.Annots, PD.Annots);
+          auto *P = Ctx.create<ParmVarDecl>(
+              PD.Name, PD.Loc.isValid() ? PD.Loc : ParamDS.Loc, ParamTy,
+              ParamAnnots, static_cast<unsigned>(D.Params.size()));
+          D.Params.push_back(P);
+          if (!consume(TokenKind::Comma))
+            break;
+        }
+        expect(TokenKind::RParen, "to close parameter list");
+      }
+      popScope();
+      D.Variadic = Variadic;
+      std::vector<QualType> ParamTys;
+      ParamTys.reserve(D.Params.size());
+      for (ParmVarDecl *P : D.Params)
+        ParamTys.push_back(P->type());
+      D.Ty = Ctx.functionTy(D.Ty, std::move(ParamTys), Variadic);
+      continue;
+    }
+    break;
+  }
+  for (auto It = ArraySizes.rbegin(); It != ArraySizes.rend(); ++It)
+    D.Ty = Ctx.arrayOf(D.Ty, *It);
+}
+
+std::vector<ParmVarDecl *> Parser::parseParamList(bool &Variadic) {
+  // Helper used only for the parenthesized-declarator path; consumes from
+  // '(' to ')'.
+  std::vector<ParmVarDecl *> Params;
+  Variadic = false;
+  expect(TokenKind::LParen, "to begin parameter list");
+  if (at(TokenKind::KwVoid) && ahead().is(TokenKind::RParen)) {
+    take();
+    take();
+    return Params;
+  }
+  if (consume(TokenKind::RParen))
+    return Params;
+  while (true) {
+    if (consume(TokenKind::Ellipsis)) {
+      Variadic = true;
+      break;
+    }
+    DeclSpec ParamDS = parseDeclSpecs();
+    if (!ParamDS.Valid) {
+      error("expected parameter declaration");
+      break;
+    }
+    Declarator PD = parseDeclarator(ParamDS, /*Abstract=*/true);
+    QualType ParamTy = PD.Ty;
+    if (ParamTy.isArray())
+      ParamTy = Ctx.pointerTo(ParamTy.pointee());
+    Annotations ParamAnnots =
+        Annotations::overrideWith(ParamDS.Annots, PD.Annots);
+    auto *P = Ctx.create<ParmVarDecl>(PD.Name, PD.Loc, ParamTy, ParamAnnots,
+                                      static_cast<unsigned>(Params.size()));
+    Params.push_back(P);
+    if (!consume(TokenKind::Comma))
+      break;
+  }
+  expect(TokenKind::RParen, "to close parameter list");
+  return Params;
+}
+
+//===----------------------------------------------------------------------===//
+// Top-level declarations
+//===----------------------------------------------------------------------===//
+
+void Parser::parseTopLevelDeclarators(TranslationUnit &TU,
+                                      const DeclSpec &DS) {
+  bool First = true;
+  do {
+    Declarator D = parseDeclarator(DS, /*Abstract=*/false);
+
+    if (DS.IsTypedef) {
+      Annotations All = Annotations::overrideWith(DS.Annots, D.Annots);
+      auto *TD = Ctx.create<TypedefDecl>(D.Name, D.Loc, D.Ty, All);
+      declare(D.Name, TD);
+      TU.addDecl(TD);
+      First = false;
+      continue;
+    }
+
+    if (D.IsFunction && D.Ty.isFunction()) {
+      FunctionDecl *FD = actOnFunction(DS, D);
+      if (First && at(TokenKind::LBrace)) {
+        // Function definition.
+        pushScope();
+        for (ParmVarDecl *P : FD->params())
+          if (!P->name().empty())
+            declare(P->name(), P);
+        CompoundStmt *Body = parseCompound();
+        popScope();
+        FD->setBody(Body);
+        return; // no ';' after a function body
+      }
+      First = false;
+      continue;
+    }
+
+    VarDecl *VD = actOnGlobalVar(DS, D);
+    if (consume(TokenKind::Equal)) {
+      if (at(TokenKind::LBrace)) {
+        SourceLocation Loc = take().Loc;
+        std::vector<Expr *> Inits;
+        while (!at(TokenKind::RBrace) && !cur().isEof()) {
+          Inits.push_back(parseAssignment());
+          if (!consume(TokenKind::Comma))
+            break;
+        }
+        expect(TokenKind::RBrace, "to close initializer list");
+        VD->setInit(Ctx.create<InitListExpr>(Loc, std::move(Inits)));
+      } else {
+        VD->setInit(parseAssignment());
+      }
+    }
+    First = false;
+  } while (consume(TokenKind::Comma));
+  expect(TokenKind::Semi, "after declaration");
+}
+
+FunctionDecl *Parser::actOnFunction(const DeclSpec &DS, Declarator &D) {
+  const auto *FT = cast<FunctionType>(D.Ty.canonical().type());
+  QualType ReturnTy = FT->result();
+  Annotations ReturnAnnots = Annotations::overrideWith(DS.Annots, D.Annots);
+
+  auto It = Functions.find(D.Name);
+  if (It != Functions.end()) {
+    FunctionDecl *Canonical = It->second;
+    Canonical->mergeReturnAnnotations(ReturnAnnots);
+    // Merge parameter annotations positionally.
+    if (Canonical->params().size() == D.Params.size()) {
+      for (size_t I = 0; I < D.Params.size(); ++I) {
+        // New decls inherit annotations already established and vice versa.
+        D.Params[I]->mergeAnnotations(
+            Canonical->params()[I]->declAnnotations());
+        Canonical->params()[I]->mergeAnnotations(
+            D.Params[I]->declAnnotations());
+      }
+    }
+    // For definitions, the new parameter decls become the function's (they
+    // are the ones visible in the body).
+    if (at(TokenKind::LBrace))
+      Canonical->setParams(D.Params);
+    return Canonical;
+  }
+
+  auto *FD = Ctx.create<FunctionDecl>(D.Name, D.Loc, ReturnTy, ReturnAnnots,
+                                      D.Params, D.Variadic, DS.SC);
+  Functions[D.Name] = FD;
+  declare(D.Name, FD);
+  TU->addDecl(FD);
+  return FD;
+}
+
+VarDecl *Parser::actOnGlobalVar(const DeclSpec &DS, const Declarator &D) {
+  Annotations All = Annotations::overrideWith(DS.Annots, D.Annots);
+  auto It = GlobalVars.find(D.Name);
+  if (It != GlobalVars.end()) {
+    It->second->mergeAnnotations(All);
+    return It->second;
+  }
+  auto *VD = Ctx.create<VarDecl>(D.Name, D.Loc, D.Ty, All, DS.SC,
+                                 /*Global=*/true);
+  GlobalVars[D.Name] = VD;
+  declare(D.Name, VD);
+  TU->addDecl(VD);
+  return VD;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+Stmt *Parser::parseStmt() {
+  switch (cur().Kind) {
+  case TokenKind::LBrace:
+    return parseCompound();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwDo:
+    return parseDo();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwSwitch:
+    return parseSwitch();
+  case TokenKind::KwReturn: {
+    SourceLocation Loc = take().Loc;
+    Expr *Value = nullptr;
+    if (!at(TokenKind::Semi))
+      Value = parseExpr();
+    expect(TokenKind::Semi, "after return statement");
+    return Ctx.create<ReturnStmt>(Loc, Value);
+  }
+  case TokenKind::KwBreak: {
+    SourceLocation Loc = take().Loc;
+    expect(TokenKind::Semi, "after break");
+    return Ctx.create<BreakStmt>(Loc);
+  }
+  case TokenKind::KwContinue: {
+    SourceLocation Loc = take().Loc;
+    expect(TokenKind::Semi, "after continue");
+    return Ctx.create<ContinueStmt>(Loc);
+  }
+  case TokenKind::KwGoto: {
+    error("goto is not supported by the checked subset");
+    synchronize();
+    return Ctx.create<NullStmt>(cur().Loc);
+  }
+  case TokenKind::Semi:
+    return Ctx.create<NullStmt>(take().Loc);
+  default:
+    break;
+  }
+  if (startsDeclaration())
+    return parseDeclStmt();
+  SourceLocation Loc = cur().Loc;
+  Expr *E = parseExpr();
+  expect(TokenKind::Semi, "after expression statement");
+  return Ctx.create<ExprStmt>(Loc, E);
+}
+
+CompoundStmt *Parser::parseCompound() {
+  SourceLocation Loc = cur().Loc;
+  expect(TokenKind::LBrace, "to begin block");
+  pushScope();
+  std::vector<Stmt *> Body;
+  while (!at(TokenKind::RBrace) && !cur().isEof()) {
+    size_t Before = Index;
+    Body.push_back(parseStmt());
+    if (Index == Before)
+      take(); // ensure progress on malformed input
+  }
+  popScope();
+  SourceLocation EndLoc = cur().Loc;
+  expect(TokenKind::RBrace, "to close block");
+  auto *CS = Ctx.create<CompoundStmt>(Loc, std::move(Body));
+  CS->setEndLoc(EndLoc);
+  return CS;
+}
+
+Stmt *Parser::parseIf() {
+  SourceLocation Loc = take().Loc; // if
+  expect(TokenKind::LParen, "after 'if'");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "after if condition");
+  Stmt *Then = parseStmt();
+  Stmt *Else = nullptr;
+  if (consume(TokenKind::KwElse))
+    Else = parseStmt();
+  return Ctx.create<IfStmt>(Loc, Cond, Then, Else);
+}
+
+Stmt *Parser::parseWhile() {
+  SourceLocation Loc = take().Loc; // while
+  expect(TokenKind::LParen, "after 'while'");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "after while condition");
+  Stmt *Body = parseStmt();
+  return Ctx.create<WhileStmt>(Loc, Cond, Body);
+}
+
+Stmt *Parser::parseDo() {
+  SourceLocation Loc = take().Loc; // do
+  Stmt *Body = parseStmt();
+  expect(TokenKind::KwWhile, "after do body");
+  expect(TokenKind::LParen, "after 'while'");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "after do-while condition");
+  expect(TokenKind::Semi, "after do-while");
+  return Ctx.create<DoStmt>(Loc, Body, Cond);
+}
+
+Stmt *Parser::parseFor() {
+  SourceLocation Loc = take().Loc; // for
+  expect(TokenKind::LParen, "after 'for'");
+  pushScope();
+  Stmt *Init = nullptr;
+  if (!at(TokenKind::Semi)) {
+    if (startsDeclaration())
+      Init = parseDeclStmt(); // consumes ';'
+    else {
+      SourceLocation ExprLoc = cur().Loc;
+      Expr *E = parseExpr();
+      Init = Ctx.create<ExprStmt>(ExprLoc, E);
+      expect(TokenKind::Semi, "after for initializer");
+    }
+  } else {
+    take(); // ';'
+  }
+  Expr *Cond = nullptr;
+  if (!at(TokenKind::Semi))
+    Cond = parseExpr();
+  expect(TokenKind::Semi, "after for condition");
+  Expr *Inc = nullptr;
+  if (!at(TokenKind::RParen))
+    Inc = parseExpr();
+  expect(TokenKind::RParen, "after for increment");
+  Stmt *Body = parseStmt();
+  popScope();
+  return Ctx.create<ForStmt>(Loc, Init, Cond, Inc, Body);
+}
+
+Stmt *Parser::parseSwitch() {
+  SourceLocation Loc = take().Loc; // switch
+  expect(TokenKind::LParen, "after 'switch'");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "after switch condition");
+  expect(TokenKind::LBrace, "to begin switch body");
+  pushScope();
+
+  std::vector<SwitchStmt::CaseSection> Sections;
+  while (!at(TokenKind::RBrace) && !cur().isEof()) {
+    if (!at(TokenKind::KwCase) && !at(TokenKind::KwDefault)) {
+      error("expected 'case' or 'default' in switch body");
+      synchronize();
+      break;
+    }
+    SwitchStmt::CaseSection Section;
+    Section.Loc = cur().Loc;
+    while (at(TokenKind::KwCase) || at(TokenKind::KwDefault)) {
+      if (consume(TokenKind::KwDefault)) {
+        Section.IsDefault = true;
+      } else {
+        take(); // case
+        Section.Labels.push_back(parseConditional());
+      }
+      expect(TokenKind::Colon, "after case label");
+    }
+    while (!at(TokenKind::KwCase) && !at(TokenKind::KwDefault) &&
+           !at(TokenKind::RBrace) && !cur().isEof()) {
+      size_t Before = Index;
+      Section.Body.push_back(parseStmt());
+      if (Index == Before)
+        take();
+    }
+    Sections.push_back(std::move(Section));
+  }
+  popScope();
+  expect(TokenKind::RBrace, "to close switch body");
+  return Ctx.create<SwitchStmt>(Loc, Cond, std::move(Sections));
+}
+
+Stmt *Parser::parseDeclStmt() {
+  SourceLocation Loc = cur().Loc;
+  DeclSpec DS = parseDeclSpecs();
+  if (!DS.Valid) {
+    error("expected declaration");
+    synchronize();
+    return Ctx.create<NullStmt>(Loc);
+  }
+  if (consume(TokenKind::Semi)) // local tag declaration
+    return Ctx.create<NullStmt>(Loc);
+
+  std::vector<VarDecl *> Decls;
+  do {
+    Declarator D = parseDeclarator(DS, /*Abstract=*/false);
+    if (DS.IsTypedef) {
+      Annotations All = Annotations::overrideWith(DS.Annots, D.Annots);
+      auto *TD = Ctx.create<TypedefDecl>(D.Name, D.Loc, D.Ty, All);
+      declare(D.Name, TD);
+      continue;
+    }
+    if (D.IsFunction) {
+      // Local function prototype.
+      actOnFunction(DS, D);
+      continue;
+    }
+    Annotations All = Annotations::overrideWith(DS.Annots, D.Annots);
+    auto *VD = Ctx.create<VarDecl>(D.Name, D.Loc, D.Ty, All, DS.SC,
+                                   /*Global=*/false);
+    declare(D.Name, VD);
+    if (consume(TokenKind::Equal)) {
+      if (at(TokenKind::LBrace)) {
+        SourceLocation BLoc = take().Loc;
+        std::vector<Expr *> Inits;
+        while (!at(TokenKind::RBrace) && !cur().isEof()) {
+          Inits.push_back(parseAssignment());
+          if (!consume(TokenKind::Comma))
+            break;
+        }
+        expect(TokenKind::RBrace, "to close initializer list");
+        VD->setInit(Ctx.create<InitListExpr>(BLoc, std::move(Inits)));
+      } else {
+        VD->setInit(parseAssignment());
+      }
+    }
+    Decls.push_back(VD);
+  } while (consume(TokenKind::Comma));
+  expect(TokenKind::Semi, "after declaration");
+  return Ctx.create<DeclStmt>(Loc, std::move(Decls));
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::makeError(SourceLocation Loc) {
+  auto *E = Ctx.create<IntegerLiteralExpr>(Loc, 0);
+  E->setType(Ctx.intTy());
+  return E;
+}
+
+Expr *Parser::parseExpr() {
+  Expr *LHS = parseAssignment();
+  while (at(TokenKind::Comma)) {
+    SourceLocation Loc = take().Loc;
+    Expr *RHS = parseAssignment();
+    auto *BE = Ctx.create<BinaryExpr>(Loc, BinaryOp::Comma, LHS, RHS);
+    BE->setType(RHS->type());
+    LHS = BE;
+  }
+  return LHS;
+}
+
+static std::optional<BinaryOp> assignmentOpFor(TokenKind K) {
+  switch (K) {
+  case TokenKind::Equal: return BinaryOp::Assign;
+  case TokenKind::PlusEqual: return BinaryOp::AddAssign;
+  case TokenKind::MinusEqual: return BinaryOp::SubAssign;
+  case TokenKind::StarEqual: return BinaryOp::MulAssign;
+  case TokenKind::SlashEqual: return BinaryOp::DivAssign;
+  case TokenKind::PercentEqual: return BinaryOp::RemAssign;
+  case TokenKind::AmpEqual: return BinaryOp::AndAssign;
+  case TokenKind::PipeEqual: return BinaryOp::OrAssign;
+  case TokenKind::CaretEqual: return BinaryOp::XorAssign;
+  case TokenKind::LessLessEqual: return BinaryOp::ShlAssign;
+  case TokenKind::GreaterGreaterEqual: return BinaryOp::ShrAssign;
+  default: return std::nullopt;
+  }
+}
+
+Expr *Parser::parseAssignment() {
+  Expr *LHS = parseConditional();
+  std::optional<BinaryOp> Op = assignmentOpFor(cur().Kind);
+  if (!Op)
+    return LHS;
+  SourceLocation Loc = take().Loc;
+  Expr *RHS = parseAssignment(); // right associative
+  auto *BE = Ctx.create<BinaryExpr>(Loc, *Op, LHS, RHS);
+  BE->setType(LHS->type());
+  return BE;
+}
+
+Expr *Parser::parseConditional() {
+  Expr *Cond = parseBinaryRHS(parseCast(), 1);
+  if (!at(TokenKind::Question))
+    return Cond;
+  SourceLocation Loc = take().Loc;
+  Expr *TrueE = parseExpr();
+  expect(TokenKind::Colon, "in conditional expression");
+  Expr *FalseE = parseConditional();
+  auto *CE = Ctx.create<ConditionalExpr>(Loc, Cond, TrueE, FalseE);
+  CE->setType(TrueE->type().isPointer() ? TrueE->type() : FalseE->type());
+  return CE;
+}
+
+namespace {
+
+struct BinOpInfo {
+  BinaryOp Op;
+  int Prec;
+};
+
+std::optional<BinOpInfo> binOpFor(TokenKind K) {
+  switch (K) {
+  case TokenKind::Star: return BinOpInfo{BinaryOp::Mul, 10};
+  case TokenKind::Slash: return BinOpInfo{BinaryOp::Div, 10};
+  case TokenKind::Percent: return BinOpInfo{BinaryOp::Rem, 10};
+  case TokenKind::Plus: return BinOpInfo{BinaryOp::Add, 9};
+  case TokenKind::Minus: return BinOpInfo{BinaryOp::Sub, 9};
+  case TokenKind::LessLess: return BinOpInfo{BinaryOp::Shl, 8};
+  case TokenKind::GreaterGreater: return BinOpInfo{BinaryOp::Shr, 8};
+  case TokenKind::Less: return BinOpInfo{BinaryOp::LT, 7};
+  case TokenKind::Greater: return BinOpInfo{BinaryOp::GT, 7};
+  case TokenKind::LessEqual: return BinOpInfo{BinaryOp::LE, 7};
+  case TokenKind::GreaterEqual: return BinOpInfo{BinaryOp::GE, 7};
+  case TokenKind::EqualEqual: return BinOpInfo{BinaryOp::EQ, 6};
+  case TokenKind::ExclaimEqual: return BinOpInfo{BinaryOp::NE, 6};
+  case TokenKind::Amp: return BinOpInfo{BinaryOp::And, 5};
+  case TokenKind::Caret: return BinOpInfo{BinaryOp::Xor, 4};
+  case TokenKind::Pipe: return BinOpInfo{BinaryOp::Or, 3};
+  case TokenKind::AmpAmp: return BinOpInfo{BinaryOp::LAnd, 2};
+  case TokenKind::PipePipe: return BinOpInfo{BinaryOp::LOr, 1};
+  default: return std::nullopt;
+  }
+}
+
+} // namespace
+
+QualType Parser::usualArithmetic(QualType A, QualType B) {
+  if (A.isPointer())
+    return A;
+  if (B.isPointer())
+    return B;
+  auto isFloating = [](QualType T) {
+    const auto *BT = dyn_cast_or_null<BuiltinType>(
+        T.isNull() ? nullptr : T.canonical().type());
+    return BT && BT->isFloating();
+  };
+  if (isFloating(A) || isFloating(B))
+    return Ctx.doubleTy();
+  return Ctx.intTy();
+}
+
+Expr *Parser::parseBinaryRHS(Expr *LHS, int MinPrec) {
+  while (true) {
+    std::optional<BinOpInfo> Info = binOpFor(cur().Kind);
+    if (!Info || Info->Prec < MinPrec)
+      return LHS;
+    SourceLocation Loc = take().Loc;
+    Expr *RHS = parseCast();
+    // Bind tighter operators to the right first.
+    while (true) {
+      std::optional<BinOpInfo> Next = binOpFor(cur().Kind);
+      if (!Next || Next->Prec <= Info->Prec)
+        break;
+      RHS = parseBinaryRHS(RHS, Info->Prec + 1);
+    }
+    auto *BE = Ctx.create<BinaryExpr>(Loc, Info->Op, LHS, RHS);
+    switch (Info->Op) {
+    case BinaryOp::LT:
+    case BinaryOp::GT:
+    case BinaryOp::LE:
+    case BinaryOp::GE:
+    case BinaryOp::EQ:
+    case BinaryOp::NE:
+    case BinaryOp::LAnd:
+    case BinaryOp::LOr:
+      BE->setType(Ctx.intTy());
+      break;
+    default:
+      BE->setType(usualArithmetic(LHS->type(), RHS->type()));
+      break;
+    }
+    LHS = BE;
+  }
+}
+
+bool Parser::isStartOfTypeName(const Token &Tok) const {
+  if (Tok.isTypeSpecifierKeyword() || Tok.is(TokenKind::KwConst) ||
+      Tok.is(TokenKind::KwVolatile) || Tok.is(TokenKind::Annotation))
+    return true;
+  return Tok.is(TokenKind::Identifier) && isTypedefName(Tok.Text);
+}
+
+QualType Parser::parseTypeName() {
+  DeclSpec DS = parseDeclSpecs();
+  Declarator D = parseDeclarator(DS, /*Abstract=*/true);
+  return D.Ty;
+}
+
+Expr *Parser::parseCast() {
+  if (at(TokenKind::LParen) && isStartOfTypeName(ahead())) {
+    SourceLocation Loc = take().Loc; // '('
+    QualType Ty = parseTypeName();
+    expect(TokenKind::RParen, "after type name in cast");
+    Expr *Sub = parseCast();
+    return Ctx.create<CastExpr>(Loc, Ty, Sub);
+  }
+  return parseUnary();
+}
+
+Expr *Parser::parseUnary() {
+  SourceLocation Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokenKind::PlusPlus:
+  case TokenKind::MinusMinus: {
+    UnaryOp Op = at(TokenKind::PlusPlus) ? UnaryOp::PreInc : UnaryOp::PreDec;
+    take();
+    Expr *Sub = parseUnary();
+    auto *UE = Ctx.create<UnaryExpr>(Loc, Op, Sub);
+    UE->setType(Sub->type());
+    return UE;
+  }
+  case TokenKind::Star: {
+    take();
+    Expr *Sub = parseCast();
+    auto *UE = Ctx.create<UnaryExpr>(Loc, UnaryOp::Deref, Sub);
+    if (Sub->type().isPointer() || Sub->type().isArray())
+      UE->setType(Sub->type().pointee());
+    else
+      UE->setType(Ctx.intTy());
+    return UE;
+  }
+  case TokenKind::Amp: {
+    take();
+    Expr *Sub = parseCast();
+    auto *UE = Ctx.create<UnaryExpr>(Loc, UnaryOp::AddrOf, Sub);
+    UE->setType(Ctx.pointerTo(Sub->type()));
+    return UE;
+  }
+  case TokenKind::Plus:
+  case TokenKind::Minus: {
+    UnaryOp Op = at(TokenKind::Plus) ? UnaryOp::Plus : UnaryOp::Minus;
+    take();
+    Expr *Sub = parseCast();
+    auto *UE = Ctx.create<UnaryExpr>(Loc, Op, Sub);
+    UE->setType(Sub->type());
+    return UE;
+  }
+  case TokenKind::Exclaim: {
+    take();
+    Expr *Sub = parseCast();
+    auto *UE = Ctx.create<UnaryExpr>(Loc, UnaryOp::Not, Sub);
+    UE->setType(Ctx.intTy());
+    return UE;
+  }
+  case TokenKind::Tilde: {
+    take();
+    Expr *Sub = parseCast();
+    auto *UE = Ctx.create<UnaryExpr>(Loc, UnaryOp::BitNot, Sub);
+    UE->setType(Sub->type());
+    return UE;
+  }
+  case TokenKind::KwSizeof: {
+    take();
+    if (at(TokenKind::LParen) && isStartOfTypeName(ahead())) {
+      take(); // '('
+      QualType Ty = parseTypeName();
+      expect(TokenKind::RParen, "after sizeof type");
+      auto *SE = Ctx.create<SizeofExpr>(Loc, Ty, nullptr);
+      SE->setType(Ctx.unsignedLongTy());
+      return SE;
+    }
+    Expr *Sub = parseUnary();
+    auto *SE = Ctx.create<SizeofExpr>(Loc, QualType(), Sub);
+    SE->setType(Ctx.unsignedLongTy());
+    return SE;
+  }
+  default:
+    return parsePostfix(parsePrimary());
+  }
+}
+
+Expr *Parser::parsePostfix(Expr *Base) {
+  while (true) {
+    SourceLocation Loc = cur().Loc;
+    switch (cur().Kind) {
+    case TokenKind::LParen: {
+      take();
+      std::vector<Expr *> Args;
+      if (!at(TokenKind::RParen)) {
+        do {
+          Args.push_back(parseAssignment());
+        } while (consume(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "to close call arguments");
+      auto *CE = Ctx.create<CallExpr>(Loc, Base, std::move(Args));
+      // Result type: direct callee, or through a function (pointer) type.
+      if (FunctionDecl *FD = CE->directCallee()) {
+        CE->setType(FD->returnType());
+      } else {
+        QualType CalleeTy = Base->type().canonical();
+        if (CalleeTy.isPointer())
+          CalleeTy = CalleeTy.pointee().canonical();
+        if (const auto *FT =
+                dyn_cast_or_null<FunctionType>(CalleeTy.type()))
+          CE->setType(FT->result());
+        else
+          CE->setType(Ctx.intTy());
+      }
+      Base = CE;
+      continue;
+    }
+    case TokenKind::LBracket: {
+      take();
+      Expr *Index = parseExpr();
+      expect(TokenKind::RBracket, "to close subscript");
+      auto *AE = Ctx.create<ArraySubscriptExpr>(Loc, Base, Index);
+      if (Base->type().isPointer() || Base->type().isArray())
+        AE->setType(Base->type().pointee());
+      else if (Index->type().isPointer() || Index->type().isArray())
+        AE->setType(Index->type().pointee());
+      else
+        AE->setType(Ctx.intTy());
+      Base = AE;
+      continue;
+    }
+    case TokenKind::Period:
+    case TokenKind::Arrow: {
+      bool Arrow = at(TokenKind::Arrow);
+      take();
+      if (!at(TokenKind::Identifier)) {
+        error("expected member name");
+        return Base;
+      }
+      std::string Member = take().Text;
+      auto *ME = Ctx.create<MemberExpr>(Loc, Base, Member, Arrow);
+      ME->setType(typeOfMember(Base, Member, Arrow, ME));
+      Base = ME;
+      continue;
+    }
+    case TokenKind::PlusPlus:
+    case TokenKind::MinusMinus: {
+      UnaryOp Op =
+          at(TokenKind::PlusPlus) ? UnaryOp::PostInc : UnaryOp::PostDec;
+      take();
+      auto *UE = Ctx.create<UnaryExpr>(Loc, Op, Base);
+      UE->setType(Base->type());
+      Base = UE;
+      continue;
+    }
+    default:
+      return Base;
+    }
+  }
+}
+
+QualType Parser::typeOfMember(Expr *Base, const std::string &Member,
+                              bool Arrow, MemberExpr *ME) {
+  QualType BaseTy = Base->type();
+  if (Arrow) {
+    if (!BaseTy.isPointer() && !BaseTy.isArray())
+      return QualType();
+    BaseTy = BaseTy.pointee();
+  }
+  const auto *RT = dyn_cast_or_null<RecordType>(
+      BaseTy.isNull() ? nullptr : BaseTy.canonical().type());
+  if (!RT)
+    return QualType();
+  FieldDecl *FD = RT->decl()->findField(Member);
+  if (!FD) {
+    if (RT->decl()->isComplete())
+      error("no member named '" + Member + "' in " +
+            QualType(RT).str());
+    return QualType();
+  }
+  ME->setField(FD);
+  return FD->type();
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLocation Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokenKind::IntegerLiteral: {
+    std::string Text = take().Text;
+    long Value = std::strtol(Text.c_str(), nullptr, 0);
+    auto *E = Ctx.create<IntegerLiteralExpr>(Loc, Value);
+    E->setType(Ctx.intTy());
+    return E;
+  }
+  case TokenKind::FloatLiteral: {
+    std::string Text = take().Text;
+    auto *E = Ctx.create<FloatLiteralExpr>(Loc, std::strtod(Text.c_str(),
+                                                            nullptr));
+    E->setType(Ctx.doubleTy());
+    return E;
+  }
+  case TokenKind::CharLiteral: {
+    std::string Text = take().Text;
+    char Value = 0;
+    if (Text.size() >= 2 && Text[0] == '\\') {
+      switch (Text[1]) {
+      case 'n': Value = '\n'; break;
+      case 't': Value = '\t'; break;
+      case 'r': Value = '\r'; break;
+      case '0': Value = '\0'; break;
+      case '\\': Value = '\\'; break;
+      case '\'': Value = '\''; break;
+      default: Value = Text[1]; break;
+      }
+    } else if (!Text.empty()) {
+      Value = Text[0];
+    }
+    auto *E = Ctx.create<CharLiteralExpr>(Loc, Value);
+    E->setType(Ctx.charTy());
+    return E;
+  }
+  case TokenKind::StringLiteral: {
+    std::string Text = take().Text;
+    // Adjacent string literals concatenate.
+    while (at(TokenKind::StringLiteral))
+      Text += take().Text;
+    auto *E = Ctx.create<StringLiteralExpr>(Loc, Text);
+    E->setType(Ctx.stringTy());
+    return E;
+  }
+  case TokenKind::Identifier: {
+    std::string Name = take().Text;
+    Decl *D = lookup(Name);
+    if (!D && Name == "NULL") {
+      // NULL is ordinarily a macro; treat a bare NULL as the null pointer
+      // constant so unpreprocessed snippets work too.
+      auto *E = Ctx.create<IntegerLiteralExpr>(Loc, 0);
+      E->setType(Ctx.pointerTo(Ctx.voidTy()));
+      return E;
+    }
+    if (!D && at(TokenKind::LParen)) {
+      // Implicit function declaration (C89). Declared as int f().
+      auto *FD = Ctx.create<FunctionDecl>(
+          Name, Loc, Ctx.intTy(), Annotations(),
+          std::vector<ParmVarDecl *>(), /*Variadic=*/true,
+          StorageClass::Extern);
+      Functions[Name] = FD;
+      Scopes.front()[Name] = FD;
+      TU->addDecl(FD);
+      D = FD;
+    }
+    if (!D) {
+      error("use of undeclared identifier '" + Name + "'");
+      return makeError(Loc);
+    }
+    auto *DRE = Ctx.create<DeclRefExpr>(Loc, Name, D);
+    if (auto *VD = dyn_cast<VarDecl>(D))
+      DRE->setType(VD->type());
+    else if (auto *FD = dyn_cast<FunctionDecl>(D))
+      DRE->setType(Ctx.functionTy(FD->returnType(), {}, FD->isVariadic()));
+    else if (isa<EnumConstantDecl>(D))
+      DRE->setType(Ctx.intTy());
+    else if (isa<TypedefDecl>(D)) {
+      error("unexpected type name '" + Name + "' in expression");
+      return makeError(Loc);
+    }
+    return DRE;
+  }
+  case TokenKind::LParen: {
+    take();
+    Expr *Sub = parseExpr();
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    auto *PE = Ctx.create<ParenExpr>(Loc, Sub);
+    PE->setType(Sub->type());
+    return PE;
+  }
+  default:
+    error(std::string("expected expression, found ") +
+          tokenKindName(cur().Kind));
+    take();
+    return makeError(Loc);
+  }
+}

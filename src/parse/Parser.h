@@ -1,0 +1,157 @@
+//===--- Parser.h - Recursive-descent parser for the C subset ---*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the preprocessed token stream into an AST. Name resolution and
+/// basic type computation happen inline (the classic C approach: typedef
+/// names feed back into the grammar), so the produced AST is already
+/// resolved; sema/ adds annotation placement validation on top.
+///
+/// Supported subset: C89 declarations (typedef, struct/union/enum, pointers,
+/// arrays, function pointers in the common form), full expression grammar,
+/// and all structured statements. goto/labels are rejected (the paper's
+/// analysis is defined over structured control flow).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_PARSE_PARSER_H
+#define MEMLINT_PARSE_PARSER_H
+
+#include "ast/AST.h"
+#include "lex/Token.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace memlint {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Toks, ASTContext &Ctx, DiagnosticEngine &Diags)
+      : Toks(std::move(Toks)), Ctx(Ctx), Diags(Diags) {}
+
+  /// Parses the whole stream. Errors are reported to the diagnostic engine;
+  /// parsing recovers at statement/declaration boundaries. Never returns
+  /// null.
+  TranslationUnit *parse(const std::string &MainFile);
+
+private:
+  //===--- token plumbing -------------------------------------------------===//
+  const Token &cur() const { return Toks[Index]; }
+  const Token &ahead(unsigned N = 1) const {
+    size_t I = Index + N;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  const Token &take() { return Toks[Index < Toks.size() - 1 ? Index++ : Index]; }
+  bool at(TokenKind K) const { return cur().is(K); }
+  bool consume(TokenKind K) {
+    if (!at(K))
+      return false;
+    take();
+    return true;
+  }
+  bool expect(TokenKind K, const char *Context);
+  void error(const std::string &Message);
+  /// Skips tokens until a likely recovery point (';', '}' or EOF).
+  void synchronize();
+
+  //===--- scopes ---------------------------------------------------------===//
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  Decl *lookup(const std::string &Name) const;
+  void declare(const std::string &Name, Decl *D) {
+    Scopes.back()[Name] = D;
+  }
+  bool isTypedefName(const std::string &Name) const;
+
+  //===--- declarations ---------------------------------------------------===//
+  struct DeclSpec {
+    QualType BaseTy;
+    StorageClass SC = StorageClass::None;
+    bool IsTypedef = false;
+    bool Const = false;
+    bool Volatile = false;
+    Annotations Annots;
+    SourceLocation Loc;
+    bool Valid = false; ///< true if at least one specifier was seen
+  };
+
+  struct Declarator {
+    std::string Name;
+    SourceLocation Loc;
+    QualType Ty;
+    Annotations Annots; ///< annotations attached within the declarator
+    /// Set when the declarator is a function: parameter declarations.
+    bool IsFunction = false;
+    std::vector<ParmVarDecl *> Params;
+    bool Variadic = false;
+  };
+
+  /// True if the upcoming tokens begin a declaration.
+  bool startsDeclaration() const;
+  bool isDeclSpecToken(const Token &Tok) const;
+
+  DeclSpec parseDeclSpecs();
+  QualType parseStructOrUnion();
+  QualType parseEnum();
+  Declarator parseDeclarator(const DeclSpec &DS, bool Abstract);
+  void parseDeclaratorSuffix(Declarator &D);
+  std::vector<ParmVarDecl *> parseParamList(bool &Variadic);
+
+  void parseTopLevel(TranslationUnit &TU);
+  /// Parses declarators after specifiers at file scope.
+  void parseTopLevelDeclarators(TranslationUnit &TU, const DeclSpec &DS);
+  FunctionDecl *actOnFunction(const DeclSpec &DS, Declarator &D);
+  VarDecl *actOnGlobalVar(const DeclSpec &DS, const Declarator &D);
+
+  //===--- statements -----------------------------------------------------===//
+  Stmt *parseStmt();
+  CompoundStmt *parseCompound();
+  Stmt *parseIf();
+  Stmt *parseWhile();
+  Stmt *parseDo();
+  Stmt *parseFor();
+  Stmt *parseSwitch();
+  Stmt *parseDeclStmt();
+
+  //===--- expressions ----------------------------------------------------===//
+  Expr *parseExpr(); // includes comma
+  Expr *parseAssignment();
+  Expr *parseConditional();
+  Expr *parseBinaryRHS(Expr *LHS, int MinPrec);
+  Expr *parseCast();
+  Expr *parseUnary();
+  Expr *parsePostfix(Expr *Base);
+  Expr *parsePrimary();
+  /// True if '(' at current position starts a type name (cast / sizeof).
+  bool isStartOfTypeName(const Token &Tok) const;
+  QualType parseTypeName();
+
+  //===--- types of expressions -------------------------------------------===//
+  QualType typeOfMember(Expr *Base, const std::string &Member, bool Arrow,
+                        MemberExpr *ME);
+  QualType usualArithmetic(QualType A, QualType B);
+
+  Expr *makeError(SourceLocation Loc);
+
+  std::vector<Token> Toks;
+  size_t Index = 0;
+  ASTContext &Ctx;
+  DiagnosticEngine &Diags;
+  TranslationUnit *TU = nullptr;
+
+  std::vector<std::map<std::string, Decl *>> Scopes;
+  std::map<std::string, Decl *> Tags; ///< struct/union/enum tag namespace
+  std::map<std::string, FunctionDecl *> Functions; ///< canonical functions
+  std::map<std::string, VarDecl *> GlobalVars;     ///< canonical globals
+  unsigned ErrorCount = 0;
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_PARSE_PARSER_H

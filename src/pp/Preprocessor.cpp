@@ -1,0 +1,368 @@
+//===--- Preprocessor.cpp - Preprocessor-lite -------------------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pp/Preprocessor.h"
+
+#include "lex/Lexer.h"
+
+#include <cassert>
+
+using namespace memlint;
+
+void Preprocessor::predefine(const std::string &Name,
+                             const std::string &Value) {
+  DiagnosticEngine Scratch;
+  Lexer Lex("<predefined>", Value, Scratch);
+  std::vector<Token> Body = Lex.lex();
+  assert(!Body.empty());
+  Body.pop_back(); // drop Eof
+  Macro M;
+  M.FunctionLike = false;
+  M.Body = std::move(Body);
+  Macros[Name] = std::move(M);
+}
+
+std::vector<Token> Preprocessor::process(const std::string &MainFile) {
+  std::optional<std::string> Contents = Files.read(MainFile);
+  if (!Contents) {
+    Diags.report(CheckId::ParseError, SourceLocation(MainFile, 1, 1),
+                 "cannot open file '" + MainFile + "'", Severity::Error);
+    std::vector<Token> Out;
+    Token Eof;
+    Eof.Loc = SourceLocation(MainFile, 1, 1);
+    Out.push_back(Eof);
+    return Out;
+  }
+  return processSource(MainFile, *Contents);
+}
+
+std::vector<Token> Preprocessor::processSource(const std::string &Name,
+                                               const std::string &Source) {
+  Lexer Lex(Name, Source, Diags);
+  std::vector<Token> Raw = Lex.lex();
+  std::vector<Token> Out;
+  IncludeStack.insert(Name);
+  processTokens(Raw, Out, /*Depth=*/0);
+  IncludeStack.erase(Name);
+  if (Out.empty() || !Out.back().isEof()) {
+    Token Eof;
+    Eof.Kind = TokenKind::Eof;
+    Eof.Loc = Raw.empty() ? SourceLocation(Name, 1, 1) : Raw.back().Loc;
+    Out.push_back(Eof);
+  }
+  return Out;
+}
+
+size_t Preprocessor::directiveEnd(const std::vector<Token> &Toks, size_t I) {
+  // The directive covers tokens on the same physical line as the '#'.
+  const std::string &File = Toks[I].Loc.file();
+  unsigned Line = Toks[I].Loc.line();
+  size_t J = I;
+  while (J < Toks.size() && !Toks[J].isEof() &&
+         Toks[J].Loc.file() == File && Toks[J].Loc.line() == Line)
+    ++J;
+  return J;
+}
+
+void Preprocessor::processTokens(const std::vector<Token> &Toks,
+                                 std::vector<Token> &Out, unsigned Depth) {
+  if (Depth > 32) {
+    Diags.report(CheckId::ParseError,
+                 Toks.empty() ? SourceLocation() : Toks.front().Loc,
+                 "#include nesting too deep", Severity::Error);
+    return;
+  }
+  std::set<std::string> Active;
+  size_t I = 0;
+  size_t CondBase = Conds.size();
+  while (I < Toks.size()) {
+    const Token &Tok = Toks[I];
+    if (Tok.isEof())
+      break;
+    if (Tok.is(TokenKind::Hash) && Tok.StartOfLine) {
+      I = handleDirective(Toks, I, Out, Depth);
+      continue;
+    }
+    if (!taking()) {
+      ++I;
+      continue;
+    }
+    if (Tok.is(TokenKind::ControlComment)) {
+      Controls.push_back({Tok.Loc, Tok.Text});
+      ++I;
+      continue;
+    }
+    if (Tok.is(TokenKind::Identifier) && Macros.count(Tok.Text)) {
+      I = expandMacro(Toks, I, Out, Active);
+      continue;
+    }
+    Out.push_back(Tok);
+    ++I;
+  }
+  // Unterminated conditionals opened in this file.
+  if (Conds.size() > CondBase) {
+    Diags.report(CheckId::ParseError,
+                 Toks.empty() ? SourceLocation() : Toks.back().Loc,
+                 "unterminated conditional directive", Severity::Error);
+    Conds.resize(CondBase);
+  }
+}
+
+size_t Preprocessor::handleDirective(const std::vector<Token> &Toks, size_t I,
+                                     std::vector<Token> &Out, unsigned Depth) {
+  size_t End = directiveEnd(Toks, I);
+  size_t J = I + 1; // token after '#'
+  if (J >= End)
+    return End; // null directive "#"
+
+  const Token &Name = Toks[J];
+  std::string Directive = Name.Text;
+  ++J;
+
+  auto lineHas = [&](size_t K) { return K < End; };
+
+  if (Directive == "endif") {
+    if (Conds.empty())
+      Diags.report(CheckId::ParseError, Name.Loc, "#endif without #if",
+                   Severity::Error);
+    else
+      Conds.pop_back();
+    return End;
+  }
+  if (Directive == "else") {
+    if (Conds.empty()) {
+      Diags.report(CheckId::ParseError, Name.Loc, "#else without #if",
+                   Severity::Error);
+      return End;
+    }
+    CondState &C = Conds.back();
+    C.Taking = !C.TakenAnyBranch;
+    C.TakenAnyBranch = true;
+    return End;
+  }
+  if (Directive == "ifdef" || Directive == "ifndef") {
+    bool Defined = lineHas(J) && Macros.count(Toks[J].Text) != 0;
+    bool Take = (Directive == "ifdef") ? Defined : !Defined;
+    if (!taking())
+      Take = false; // nested in a skipped region: never take
+    Conds.push_back({Take, Take});
+    return End;
+  }
+  if (Directive == "if") {
+    // Supported forms: integer constant, defined(NAME), !defined(NAME).
+    bool Value = false;
+    if (lineHas(J)) {
+      bool Negate = false;
+      size_t K = J;
+      if (Toks[K].is(TokenKind::Exclaim)) {
+        Negate = true;
+        ++K;
+      }
+      if (lineHas(K) && Toks[K].is(TokenKind::IntegerLiteral)) {
+        Value = std::stol(Toks[K].Text, nullptr, 0) != 0;
+      } else if (lineHas(K) && Toks[K].Text == "defined") {
+        size_t L = K + 1;
+        if (lineHas(L) && Toks[L].is(TokenKind::LParen))
+          ++L;
+        if (lineHas(L) && Toks[L].is(TokenKind::Identifier))
+          Value = Macros.count(Toks[L].Text) != 0;
+      } else {
+        Diags.report(CheckId::ParseError, Name.Loc,
+                     "unsupported #if expression", Severity::Error);
+      }
+      if (Negate)
+        Value = !Value;
+    }
+    if (!taking())
+      Value = false;
+    Conds.push_back({Value, Value});
+    return End;
+  }
+
+  if (!taking())
+    return End; // other directives in skipped regions are ignored
+
+  if (Directive == "define") {
+    if (!lineHas(J) || !Toks[J].is(TokenKind::Identifier)) {
+      Diags.report(CheckId::ParseError, Name.Loc,
+                   "macro name missing in #define", Severity::Error);
+      return End;
+    }
+    const Token &MacroName = Toks[J];
+    ++J;
+    Macro M;
+    // Function-like iff '(' immediately follows the name (no whitespace).
+    if (lineHas(J) && Toks[J].is(TokenKind::LParen) &&
+        Toks[J].Loc.line() == MacroName.Loc.line() &&
+        Toks[J].Loc.column() ==
+            MacroName.Loc.column() + MacroName.Text.size()) {
+      M.FunctionLike = true;
+      ++J; // '('
+      while (lineHas(J) && !Toks[J].is(TokenKind::RParen)) {
+        if (Toks[J].is(TokenKind::Identifier))
+          M.Params.push_back(Toks[J].Text);
+        ++J; // identifier or comma
+      }
+      if (lineHas(J))
+        ++J; // ')'
+    }
+    for (; J < End; ++J) {
+      if (Toks[J].is(TokenKind::ControlComment)) {
+        Controls.push_back({Toks[J].Loc, Toks[J].Text});
+        continue;
+      }
+      M.Body.push_back(Toks[J]);
+    }
+    Macros[MacroName.Text] = std::move(M);
+    return End;
+  }
+  if (Directive == "undef") {
+    if (lineHas(J))
+      Macros.erase(Toks[J].Text);
+    return End;
+  }
+  if (Directive == "include") {
+    std::string IncludeName;
+    if (lineHas(J) && Toks[J].is(TokenKind::StringLiteral)) {
+      IncludeName = Toks[J].Text;
+    } else if (lineHas(J) && Toks[J].is(TokenKind::Less)) {
+      for (size_t K = J + 1; K < End && !Toks[K].is(TokenKind::Greater); ++K)
+        IncludeName += Toks[K].Text;
+    }
+    if (IncludeName.empty()) {
+      Diags.report(CheckId::ParseError, Name.Loc, "malformed #include",
+                   Severity::Error);
+      return End;
+    }
+    if (IncludeStack.count(IncludeName))
+      return End; // already being included; break the cycle silently
+    std::optional<std::string> Contents = Files.read(IncludeName);
+    if (!Contents) {
+      // Unknown headers (e.g. <stdio.h>) are tolerated: the annotated
+      // standard library specs are built in (analysis/LibrarySpec).
+      return End;
+    }
+    Lexer Lex(IncludeName, *Contents, Diags);
+    std::vector<Token> Raw = Lex.lex();
+    IncludeStack.insert(IncludeName);
+    processTokens(Raw, Out, Depth + 1);
+    IncludeStack.erase(IncludeName);
+    return End;
+  }
+  if (Directive == "pragma" || Directive == "error" || Directive == "line")
+    return End;
+
+  Diags.report(CheckId::ParseError, Name.Loc,
+               "unknown preprocessing directive '#" + Directive + "'",
+               Severity::Error);
+  return End;
+}
+
+size_t Preprocessor::expandMacro(const std::vector<Token> &Toks, size_t I,
+                                 std::vector<Token> &Out,
+                                 std::set<std::string> &Active) {
+  const Token &Name = Toks[I];
+  assert(Macros.count(Name.Text));
+  if (Active.count(Name.Text)) {
+    Out.push_back(Name);
+    return I + 1;
+  }
+  const Macro &M = Macros[Name.Text];
+
+  if (!M.FunctionLike) {
+    Active.insert(Name.Text);
+    expandTokenList(M.Body, Out, Active);
+    Active.erase(Name.Text);
+    return I + 1;
+  }
+
+  // Function-like: need '(' next, otherwise it is a plain identifier.
+  size_t J = I + 1;
+  if (J >= Toks.size() || !Toks[J].is(TokenKind::LParen)) {
+    Out.push_back(Name);
+    return I + 1;
+  }
+  ++J; // '('
+  std::vector<std::vector<Token>> Args;
+  std::vector<Token> Current;
+  int Depth = 1;
+  while (J < Toks.size() && !Toks[J].isEof()) {
+    const Token &Tok = Toks[J];
+    if (Tok.is(TokenKind::LParen))
+      ++Depth;
+    if (Tok.is(TokenKind::RParen)) {
+      --Depth;
+      if (Depth == 0) {
+        ++J;
+        break;
+      }
+    }
+    if (Tok.is(TokenKind::Comma) && Depth == 1) {
+      Args.push_back(std::move(Current));
+      Current.clear();
+      ++J;
+      continue;
+    }
+    Current.push_back(Tok);
+    ++J;
+  }
+  if (!Current.empty() || !Args.empty() || !M.Params.empty())
+    Args.push_back(std::move(Current));
+
+  if (Args.size() != M.Params.size()) {
+    Diags.report(CheckId::ParseError, Name.Loc,
+                 "macro '" + Name.Text + "' expects " +
+                     std::to_string(M.Params.size()) + " arguments, got " +
+                     std::to_string(Args.size()),
+                 Severity::Error);
+    return J;
+  }
+
+  // Substitute parameters, keeping body-token locations (definition site).
+  std::vector<Token> Substituted;
+  for (const Token &BodyTok : M.Body) {
+    if (BodyTok.is(TokenKind::Identifier)) {
+      bool WasParam = false;
+      for (size_t P = 0; P < M.Params.size(); ++P) {
+        if (BodyTok.Text == M.Params[P]) {
+          for (const Token &ArgTok : Args[P])
+            Substituted.push_back(ArgTok);
+          WasParam = true;
+          break;
+        }
+      }
+      if (WasParam)
+        continue;
+    }
+    Substituted.push_back(BodyTok);
+  }
+
+  Active.insert(Name.Text);
+  expandTokenList(Substituted, Out, Active);
+  Active.erase(Name.Text);
+  return J;
+}
+
+void Preprocessor::expandTokenList(const std::vector<Token> &Toks,
+                                   std::vector<Token> &Out,
+                                   std::set<std::string> &Active) {
+  size_t I = 0;
+  while (I < Toks.size()) {
+    const Token &Tok = Toks[I];
+    if (Tok.is(TokenKind::ControlComment)) {
+      Controls.push_back({Tok.Loc, Tok.Text});
+      ++I;
+      continue;
+    }
+    if (Tok.is(TokenKind::Identifier) && Macros.count(Tok.Text) &&
+        !Active.count(Tok.Text)) {
+      I = expandMacro(Toks, I, Out, Active);
+      continue;
+    }
+    Out.push_back(Tok);
+    ++I;
+  }
+}

@@ -1,0 +1,110 @@
+//===--- Preprocessor.h - Preprocessor-lite for the C subset ----*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small C preprocessor sufficient for the paper's corpus programs:
+/// object-like and function-like #define, #undef, #include (resolved against
+/// a VFS), #ifdef/#ifndef/#if <int>/#if defined(X)/#else/#endif. Tokens
+/// substituted from a macro body keep the body's source locations, so
+/// anomalies detected inside macro expansions are reported at the macro
+/// definition — matching the paper's "erc.h:14: Arrow access from possibly
+/// null pointer" message for the erc_choose macro.
+///
+/// Control comments (/*@-flag@*/ etc.) are pulled out of the token stream
+/// into an ordered side list consumed by the checker's suppression machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_PP_PREPROCESSOR_H
+#define MEMLINT_PP_PREPROCESSOR_H
+
+#include "lex/Token.h"
+#include "support/Diagnostics.h"
+#include "support/VFS.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace memlint {
+
+/// A control comment extracted from the stream, in source order.
+struct ControlDirective {
+  SourceLocation Loc;
+  std::string Text; ///< e.g. "-mustfree", "=mustfree", "ignore", "end".
+};
+
+/// Expands one main file into a flat token stream.
+class Preprocessor {
+public:
+  Preprocessor(const VFS &Files, DiagnosticEngine &Diags)
+      : Files(Files), Diags(Diags) {}
+
+  /// Processes a file from the VFS. \returns the expanded token stream
+  /// (always Eof-terminated).
+  std::vector<Token> process(const std::string &MainFile);
+
+  /// Processes an in-memory buffer under the given name. #include still
+  /// resolves against the VFS.
+  std::vector<Token> processSource(const std::string &Name,
+                                   const std::string &Source);
+
+  /// Control comments found during processing, in source order.
+  const std::vector<ControlDirective> &controlDirectives() const {
+    return Controls;
+  }
+
+  /// Predefines an object-like macro (like -D on a compiler command line).
+  void predefine(const std::string &Name, const std::string &Value);
+
+private:
+  struct Macro {
+    bool FunctionLike = false;
+    std::vector<std::string> Params;
+    std::vector<Token> Body;
+  };
+
+  void processTokens(const std::vector<Token> &Toks, std::vector<Token> &Out,
+                     unsigned Depth);
+  /// Handles the directive whose '#' is at Toks[I]; returns the index of the
+  /// first token after the directive line.
+  size_t handleDirective(const std::vector<Token> &Toks, size_t I,
+                         std::vector<Token> &Out, unsigned Depth);
+  /// Expands Toks[I] (an identifier naming a macro); appends expansion to
+  /// Out; returns index after the consumed tokens.
+  size_t expandMacro(const std::vector<Token> &Toks, size_t I,
+                     std::vector<Token> &Out, std::set<std::string> &Active);
+  void expandTokenList(const std::vector<Token> &Toks, std::vector<Token> &Out,
+                       std::set<std::string> &Active);
+
+  /// Collects indices [I, end) of tokens on the same directive line.
+  static size_t directiveEnd(const std::vector<Token> &Toks, size_t I);
+
+  const VFS &Files;
+  DiagnosticEngine &Diags;
+  std::map<std::string, Macro> Macros;
+  std::vector<ControlDirective> Controls;
+  std::set<std::string> IncludeStack; ///< cycle protection
+  /// Conditional-inclusion state: each entry is "currently taking this
+  /// branch". Directives in skipped regions are still tracked for nesting.
+  struct CondState {
+    bool Taking;
+    bool TakenAnyBranch;
+  };
+  std::vector<CondState> Conds;
+
+  bool taking() const {
+    for (const CondState &C : Conds)
+      if (!C.Taking)
+        return false;
+    return true;
+  }
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_PP_PREPROCESSOR_H

@@ -1,0 +1,168 @@
+//===--- Sema.cpp - Annotation placement validation -------------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Sema.h"
+
+using namespace memlint;
+
+const char *Sema::positionName(Position P) {
+  switch (P) {
+  case Position::Global: return "global variable";
+  case Position::Local: return "local variable";
+  case Position::Parameter: return "parameter";
+  case Position::Return: return "return value";
+  case Position::Field: return "structure field";
+  case Position::Typedef: return "type definition";
+  }
+  return "declaration";
+}
+
+void Sema::checkAnnotations(const Annotations &A, QualType Ty, Position Pos,
+                            const SourceLocation &Loc,
+                            const std::string &Name) {
+  auto report = [&](const std::string &Msg) {
+    Diags.report(CheckId::AnnotationError, Loc, Msg + " (" + Name + ")");
+  };
+
+  bool IsPointerish = Ty.isPointer() || Ty.isArray() ||
+                      Ty.isRecord() /* records may contain pointers */;
+
+  if (A.Null != NullAnn::Unspecified && !Ty.isPointer() && !Ty.isNull() &&
+      !Ty.isArray() && Pos != Position::Typedef)
+    report("null annotation on non-pointer " + std::string(positionName(Pos)));
+
+  if (A.Alloc != AllocAnn::Unspecified && !IsPointerish && !Ty.isNull() &&
+      Pos != Position::Typedef && !Ty.isVoid())
+    report("allocation annotation on non-pointer " +
+           std::string(positionName(Pos)));
+
+  switch (A.Alloc) {
+  case AllocAnn::Keep:
+  case AllocAnn::Temp:
+    if (Pos != Position::Parameter && Pos != Position::Typedef)
+      report(std::string(A.Alloc == AllocAnn::Keep ? "keep" : "temp") +
+             " may only be used on function parameters");
+    break;
+  default:
+    break;
+  }
+
+  if (A.Unique && Pos != Position::Parameter)
+    report("unique may only be used on function parameters");
+  if (A.Returned && Pos != Position::Parameter)
+    report("returned may only be used on function parameters");
+  if (A.Exposure == ExposureAnn::Observer && Pos != Position::Return &&
+      Pos != Position::Parameter)
+    report("observer may only be used on return values");
+  if (A.Undef && Pos != Position::Global)
+    report("undef may only be used on global variables");
+  if ((A.TrueNull || A.FalseNull) && Pos != Position::Return)
+    report("truenull/falsenull may only be used on function results");
+  if (A.NewRef && Pos != Position::Return)
+    report("newref may only be used on function results");
+  if ((A.KillRef || A.TempRef) && Pos != Position::Parameter)
+    report("killref/tempref may only be used on function parameters");
+  if (A.Refs && Pos != Position::Field)
+    report("refs may only be used on structure fields");
+
+  // Category-incompatible combinations that addWord cannot see.
+  if (A.Exposure == ExposureAnn::Observer && A.Alloc == AllocAnn::Only)
+    report("observer storage cannot also be only");
+  if (A.Alloc == AllocAnn::Shared && A.Exposure == ExposureAnn::Exposed)
+    report("shared storage cannot be exposed");
+}
+
+void Sema::check(const TranslationUnit &TU) {
+  for (const Decl *D : TU.decls()) {
+    if (const auto *VD = dyn_cast<VarDecl>(D)) {
+      checkAnnotations(VD->declAnnotations(), VD->type(), Position::Global,
+                       VD->loc(), VD->name());
+      continue;
+    }
+    if (const auto *TD = dyn_cast<TypedefDecl>(D)) {
+      checkAnnotations(TD->annotations(), TD->underlying(), Position::Typedef,
+                       TD->loc(), TD->name());
+      continue;
+    }
+    if (const auto *FD = dyn_cast<FunctionDecl>(D)) {
+      checkFunction(FD);
+      continue;
+    }
+    if (const auto *RD = dyn_cast<RecordDecl>(D)) {
+      for (const FieldDecl *F : RD->fields())
+        checkAnnotations(F->declAnnotations(), F->type(), Position::Field,
+                         F->loc(), F->name());
+      continue;
+    }
+  }
+}
+
+void Sema::checkFunction(const FunctionDecl *FD) {
+  // Return annotations.
+  Annotations Ret = FD->returnAnnotations();
+  // truenull/falsenull require a single pointer parameter to test.
+  if ((Ret.TrueNull || Ret.FalseNull)) {
+    bool HasPointerParam = false;
+    for (const ParmVarDecl *P : FD->params())
+      if (P->type().isPointer())
+        HasPointerParam = true;
+    if (!HasPointerParam)
+      Diags.report(CheckId::AnnotationError, FD->loc(),
+                   "truenull/falsenull function '" + FD->name() +
+                       "' has no pointer parameter to test");
+  }
+  checkAnnotations(Ret, FD->returnType(), Position::Return, FD->loc(),
+                   FD->name() + " result");
+
+  for (const ParmVarDecl *P : FD->params())
+    checkAnnotations(P->declAnnotations(), P->type(), Position::Parameter,
+                     P->loc(), P->name().empty() ? "<unnamed>" : P->name());
+
+  if (FD->body())
+    checkStmt(FD->body());
+}
+
+void Sema::checkStmt(const Stmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::StmtKind::Compound:
+    for (const Stmt *Sub : cast<CompoundStmt>(S)->body())
+      checkStmt(Sub);
+    return;
+  case Stmt::StmtKind::Decl:
+    for (const VarDecl *VD : cast<DeclStmt>(S)->decls())
+      checkAnnotations(VD->declAnnotations(), VD->type(), Position::Local,
+                       VD->loc(), VD->name());
+    return;
+  case Stmt::StmtKind::If: {
+    const auto *IS = cast<IfStmt>(S);
+    checkStmt(IS->thenStmt());
+    checkStmt(IS->elseStmt());
+    return;
+  }
+  case Stmt::StmtKind::While:
+    checkStmt(cast<WhileStmt>(S)->body());
+    return;
+  case Stmt::StmtKind::Do:
+    checkStmt(cast<DoStmt>(S)->body());
+    return;
+  case Stmt::StmtKind::For: {
+    const auto *FS = cast<ForStmt>(S);
+    checkStmt(FS->init());
+    checkStmt(FS->body());
+    return;
+  }
+  case Stmt::StmtKind::Switch:
+    for (const SwitchStmt::CaseSection &Section :
+         cast<SwitchStmt>(S)->sections())
+      for (const Stmt *Sub : Section.Body)
+        checkStmt(Sub);
+    return;
+  default:
+    return;
+  }
+}

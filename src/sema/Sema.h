@@ -1,0 +1,48 @@
+//===--- Sema.h - Annotation placement validation ---------------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Post-parse semantic validation of annotations. The paper: "More than one
+/// annotation may be used with a given declaration, although certain
+/// combinations of annotations are incompatible and will produce static
+/// errors", and Appendix B restricts several annotations to specific
+/// declaration positions (keep/temp/unique/returned: parameters only;
+/// observer: return values only; undef: globals).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_SEMA_SEMA_H
+#define MEMLINT_SEMA_SEMA_H
+
+#include "ast/AST.h"
+#include "support/Diagnostics.h"
+
+namespace memlint {
+
+/// Validates annotation placement and combinations over a parsed TU.
+class Sema {
+public:
+  Sema(DiagnosticEngine &Diags) : Diags(Diags) {}
+
+  /// Runs all validations. Diagnostics go to the engine; the AST is not
+  /// modified.
+  void check(const TranslationUnit &TU);
+
+private:
+  enum class Position { Global, Local, Parameter, Return, Field, Typedef };
+  static const char *positionName(Position P);
+
+  void checkAnnotations(const Annotations &A, QualType Ty, Position Pos,
+                        const SourceLocation &Loc, const std::string &Name);
+  void checkFunction(const FunctionDecl *FD);
+  void checkStmt(const Stmt *S);
+
+  DiagnosticEngine &Diags;
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_SEMA_SEMA_H

@@ -1,0 +1,82 @@
+//===--- Diagnostics.cpp - Anomaly reporting engine -----------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+
+using namespace memlint;
+
+const char *memlint::checkIdFlagName(CheckId Id) {
+  switch (Id) {
+  case CheckId::ParseError:
+    return "syntax";
+  case CheckId::AnnotationError:
+    return "annot";
+  case CheckId::NullDeref:
+    return "nullderef";
+  case CheckId::NullPass:
+    return "nullpass";
+  case CheckId::NullReturn:
+    return "nullret";
+  case CheckId::UseUndefined:
+    return "usedef";
+  case CheckId::CompleteDefine:
+    return "compdef";
+  case CheckId::MustFree:
+    return "mustfree";
+  case CheckId::UseReleased:
+    return "usereleased";
+  case CheckId::DoubleFree:
+    return "doublefree";
+  case CheckId::AliasTransfer:
+    return "aliastransfer";
+  case CheckId::BranchState:
+    return "branchstate";
+  case CheckId::UniqueAlias:
+    return "unique";
+  case CheckId::Observer:
+    return "observer";
+  case CheckId::GlobalState:
+    return "globstate";
+  case CheckId::InterfaceDefine:
+    return "interfacedef";
+  }
+  assert(false && "unknown CheckId");
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::string Out = Loc.str() + ": " + Message;
+  for (const Note &N : Notes)
+    Out += "\n   " + N.Loc.str() + ": " + N.Message;
+  return Out;
+}
+
+void DiagnosticEngine::commit(Diagnostic Diag) {
+  if (Filt && !Filt(Diag)) {
+    ++Suppressed;
+    return;
+  }
+  Diags.push_back(std::move(Diag));
+}
+
+unsigned DiagnosticEngine::count(CheckId Id) const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Id == Id)
+      ++N;
+  return N;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

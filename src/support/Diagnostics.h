@@ -1,0 +1,151 @@
+//===--- Diagnostics.h - Anomaly reporting engine ---------------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The diagnostic engine. The paper calls reported problems "anomalies":
+/// each has a primary location, a message, and zero or more indented
+/// sub-locations explaining where a state became what it is, e.g.
+///
+///   sample.c:6: Function returns with non-null global gname referencing
+///               null storage
+///      sample.c:5: Storage gname may become null
+///
+/// Every anomaly belongs to a check class (CheckId) that is individually
+/// suppressible via flags or control comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_SUPPORT_DIAGNOSTICS_H
+#define MEMLINT_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace memlint {
+
+/// Identifies the class of check that produced an anomaly. Each id maps to a
+/// user-visible flag name (see checkIdFlagName) so individual checks can be
+/// turned off globally or locally, mirroring LCLint's flag system.
+enum class CheckId {
+  ParseError,       ///< Source could not be parsed.
+  AnnotationError,  ///< Incompatible or misplaced annotations.
+  NullDeref,        ///< Possibly-null pointer dereferenced.
+  NullPass,         ///< Possibly-null value passed/assigned where non-null
+                    ///< expected.
+  NullReturn,       ///< Function returns possibly-null where non-null
+                    ///< expected (incl. globals at exit, Fig. 2).
+  UseUndefined,     ///< Undefined or allocated-but-undefined storage used as
+                    ///< an rvalue.
+  CompleteDefine,   ///< Storage not completely defined at an interface point.
+  MustFree,         ///< Obligation to release storage was lost (leak).
+  UseReleased,      ///< Dead (released) storage used.
+  DoubleFree,       ///< Released storage released again.
+  AliasTransfer,    ///< Inconsistent allocation-state transfer (e.g. temp
+                    ///< assigned to only, Fig. 4).
+  BranchState,      ///< Inconsistent storage states at a confluence (Fig. 5).
+  UniqueAlias,      ///< unique parameter aliased by another argument/global
+                    ///< (Fig. 8).
+  Observer,         ///< Observer (read-only) storage modified or released.
+  GlobalState,      ///< Global variable state violates its annotation at an
+                    ///< interface point.
+  InterfaceDefine,  ///< Parameter/return definition annotation violated.
+};
+
+/// \returns the stable flag name used to enable/disable a check class.
+const char *checkIdFlagName(CheckId Id);
+
+/// Severity of a diagnostic. The paper's tool reports everything as an
+/// anomaly; we distinguish hard errors (parse failures) for tooling.
+enum class Severity { Error, Anomaly, Note };
+
+/// A single reported anomaly.
+struct Diagnostic {
+  CheckId Id = CheckId::ParseError;
+  Severity Sev = Severity::Anomaly;
+  SourceLocation Loc;
+  std::string Message;
+
+  /// Indented sub-locations ("Storage gname may become null").
+  struct Note {
+    SourceLocation Loc;
+    std::string Message;
+  };
+  std::vector<Note> Notes;
+
+  /// Renders in LCLint style: "file.c:5: Message" plus indented notes.
+  std::string str() const;
+};
+
+/// Collects anomalies produced during a check run.
+///
+/// Suppression: clients may install a filter (used for control comments like
+/// /*@-null@*/ regions); filtered diagnostics are counted but not stored.
+class DiagnosticEngine {
+public:
+  /// Filter callback: return false to suppress the diagnostic.
+  using Filter = std::function<bool(const Diagnostic &)>;
+
+  /// Begins a diagnostic; returns a builder-like handle. The diagnostic is
+  /// committed on destruction of the handle.
+  class Builder {
+  public:
+    Builder(DiagnosticEngine &Engine, Diagnostic Diag)
+        : Engine(Engine), Diag(std::move(Diag)) {}
+    Builder(Builder &&) = delete;
+    ~Builder() { Engine.commit(std::move(Diag)); }
+
+    Builder &note(SourceLocation Loc, std::string Message) {
+      Diag.Notes.push_back({std::move(Loc), std::move(Message)});
+      return *this;
+    }
+
+  private:
+    DiagnosticEngine &Engine;
+    Diagnostic Diag;
+  };
+
+  Builder report(CheckId Id, SourceLocation Loc, std::string Message,
+                 Severity Sev = Severity::Anomaly) {
+    Diagnostic Diag;
+    Diag.Id = Id;
+    Diag.Sev = Sev;
+    Diag.Loc = std::move(Loc);
+    Diag.Message = std::move(Message);
+    return Builder(*this, std::move(Diag));
+  }
+
+  void setFilter(Filter F) { Filt = std::move(F); }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  unsigned suppressedCount() const { return Suppressed; }
+
+  /// Number of stored diagnostics of the given class.
+  unsigned count(CheckId Id) const;
+
+  bool empty() const { return Diags.empty(); }
+  void clear() {
+    Diags.clear();
+    Suppressed = 0;
+  }
+
+  /// Renders all stored diagnostics, one per paragraph.
+  std::string str() const;
+
+private:
+  friend class Builder;
+  void commit(Diagnostic Diag);
+
+  std::vector<Diagnostic> Diags;
+  Filter Filt;
+  unsigned Suppressed = 0;
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,98 @@
+//===--- Flags.cpp - Check-control flag registry --------------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Flags.h"
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+
+using namespace memlint;
+
+namespace {
+
+struct FlagDefault {
+  const char *Name;
+  bool Value;
+};
+
+// Policy flags; check-class flags are added programmatically below.
+const FlagDefault PolicyFlags[] = {
+    {"gcmode", false},           {"implicitonlyret", false},
+    {"implicitonlyglob", false}, {"implicitonlyfield", false},
+    {"impliedtempparams", true}, {"strictindexalias", true},
+    {"deepdefcheck", true},
+    // Off by default: the 1996 tool missed frees of offset pointers and
+    // static storage ("LCLint has since been improved to detect freeing
+    // offset pointers and static storage"); enabling this flag is that
+    // later improvement.
+    {"illegalfree", false},
+};
+
+const CheckId AllCheckIds[] = {
+    CheckId::ParseError,     CheckId::AnnotationError, CheckId::NullDeref,
+    CheckId::NullPass,       CheckId::NullReturn,      CheckId::UseUndefined,
+    CheckId::CompleteDefine, CheckId::MustFree,        CheckId::UseReleased,
+    CheckId::DoubleFree,     CheckId::AliasTransfer,   CheckId::BranchState,
+    CheckId::UniqueAlias,    CheckId::Observer,        CheckId::GlobalState,
+    CheckId::InterfaceDefine,
+};
+
+} // namespace
+
+FlagSet::FlagSet() {
+  for (const FlagDefault &F : PolicyFlags)
+    Values[F.Name] = F.Value;
+  // All check classes are enabled by default.
+  for (CheckId Id : AllCheckIds)
+    Values[checkIdFlagName(Id)] = true;
+}
+
+bool FlagSet::isKnown(const std::string &Name) const {
+  return Values.count(Name) != 0;
+}
+
+bool FlagSet::get(const std::string &Name) const {
+  auto It = Values.find(Name);
+  assert(It != Values.end() && "querying unregistered flag");
+  if (It == Values.end())
+    return false;
+  return It->second;
+}
+
+bool FlagSet::set(const std::string &Name, bool Value) {
+  auto It = Values.find(Name);
+  if (It == Values.end())
+    return false;
+  It->second = Value;
+  return true;
+}
+
+bool FlagSet::parse(const std::string &Spec) {
+  if (Spec.size() < 2)
+    return false;
+  if (Spec[0] == '+')
+    return set(Spec.substr(1), true);
+  if (Spec[0] == '-')
+    return set(Spec.substr(1), false);
+  return false;
+}
+
+void FlagSet::save() { Saved.push_back(Values); }
+
+void FlagSet::restore() {
+  assert(!Saved.empty() && "restore without save");
+  Values = Saved.back();
+  Saved.pop_back();
+}
+
+std::vector<std::string> FlagSet::knownFlags() const {
+  std::vector<std::string> Names;
+  Names.reserve(Values.size());
+  for (const auto &KV : Values)
+    Names.push_back(KV.first);
+  return Names;
+}

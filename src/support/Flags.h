@@ -1,0 +1,75 @@
+//===--- Flags.h - Check-control flag registry ------------------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LCLint exposes its checking policy as named boolean flags, settable on the
+/// command line ("+name" / "-name") and locally in source via control
+/// comments ("/*@-name@*/ ... /*@=name@*/"). FlagSet models that: a mapping
+/// from registered flag names to values, with save/restore for local
+/// overrides and defaults mirroring the paper's choices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_SUPPORT_FLAGS_H
+#define MEMLINT_SUPPORT_FLAGS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace memlint {
+
+/// A set of named boolean checking flags.
+///
+/// Registered flags (all check-class flags from CheckId, plus policy flags):
+///   gcmode            - checking adjusted for a garbage collector: release
+///                       obligations are not enforced (paper §3).
+///   implicitonlyret   - unannotated function results of pointer type are
+///                       implicitly only (paper §6, default off; see
+///                       DESIGN.md on the -allimponly ambiguity).
+///   implicitonlyglob  - likewise for globals.
+///   implicitonlyfield - likewise for structure fields.
+///   impliedtempparams - unannotated pointer parameters are temp (paper §6,
+///                       default on).
+///   strictindexalias  - compile-time-unknown indexes denote the same
+///                       element (on) or independent elements (off) (§2).
+///   deepdefcheck      - completeness checking recurses through tracked
+///                       derived references (on).
+class FlagSet {
+public:
+  /// Creates a FlagSet with every known flag at its default value.
+  FlagSet();
+
+  /// \returns true if \p Name is a registered flag.
+  bool isKnown(const std::string &Name) const;
+
+  /// Reads a flag value. Asserts that the flag is registered.
+  bool get(const std::string &Name) const;
+
+  /// Sets a flag value. \returns false (and changes nothing) for unknown
+  /// flags so callers can report bad control comments.
+  bool set(const std::string &Name, bool Value);
+
+  /// Parses a command-line style spec: "+name" enables, "-name" disables.
+  /// \returns false on malformed input or unknown flag.
+  bool parse(const std::string &Spec);
+
+  /// Pushes the current values; restore() pops them. Used for control
+  /// comments that scope a flag change.
+  void save();
+  void restore();
+
+  /// All registered flag names, sorted (for --help style listings).
+  std::vector<std::string> knownFlags() const;
+
+private:
+  std::map<std::string, bool> Values;
+  std::vector<std::map<std::string, bool>> Saved;
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_SUPPORT_FLAGS_H

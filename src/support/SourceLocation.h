@@ -1,0 +1,68 @@
+//===--- SourceLocation.h - Positions in checked source files ---*- C++ -*-===//
+//
+// Part of memlint, a reimplementation of "Static Detection of Dynamic
+// Memory Errors" (Evans, PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight value types describing positions in user source. Every token,
+/// AST node and diagnostic carries a SourceLocation so messages can be
+/// reported in the paper's "file.c:line:" style.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_SUPPORT_SOURCELOCATION_H
+#define MEMLINT_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace memlint {
+
+/// A position in a named source file. Files are identified by name rather
+/// than by an opaque id: the preprocessor can splice many (virtual) files
+/// into one token stream and names keep diagnostics self-describing.
+class SourceLocation {
+public:
+  SourceLocation() = default;
+  SourceLocation(std::string File, unsigned Line, unsigned Column)
+      : File(std::move(File)), Line(Line), Column(Column) {}
+
+  /// True if this location refers to a real position in some file.
+  bool isValid() const { return Line != 0; }
+
+  const std::string &file() const { return File; }
+  unsigned line() const { return Line; }
+  unsigned column() const { return Column; }
+
+  /// Renders "file.c:12" (the paper's message prefix). Column is kept out of
+  /// the rendering to match LCLint's output but retained for tooling.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return File + ":" + std::to_string(Line);
+  }
+
+  friend bool operator==(const SourceLocation &A, const SourceLocation &B) {
+    return A.Line == B.Line && A.Column == B.Column && A.File == B.File;
+  }
+  friend bool operator!=(const SourceLocation &A, const SourceLocation &B) {
+    return !(A == B);
+  }
+
+private:
+  std::string File;
+  unsigned Line = 0;
+  unsigned Column = 0;
+};
+
+/// A half-open range of source, used for control-comment regions.
+struct SourceRange {
+  SourceLocation Begin;
+  SourceLocation End;
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_SUPPORT_SOURCELOCATION_H

@@ -1,0 +1,22 @@
+//===--- VFS.cpp - Virtual file system -------------------------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/VFS.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace memlint;
+
+bool VFS::addFromDisk(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  add(Path, Buffer.str());
+  return true;
+}

@@ -1,0 +1,63 @@
+//===--- VFS.h - Virtual file system for checked sources --------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An in-memory file system. The corpus programs (paper figures, the employee
+/// database) are embedded as virtual files; the preprocessor resolves
+/// #include against a VFS so whole multi-file programs can be checked without
+/// touching the disk. Real files can be loaded into a VFS too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_SUPPORT_VFS_H
+#define MEMLINT_SUPPORT_VFS_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace memlint {
+
+/// A flat name -> contents mapping used by the preprocessor for #include
+/// resolution and by the checker driver for main files.
+class VFS {
+public:
+  /// Adds (or replaces) a file.
+  void add(std::string Name, std::string Contents) {
+    Files[std::move(Name)] = std::move(Contents);
+  }
+
+  /// \returns the contents of \p Name, or nullopt if absent.
+  std::optional<std::string> read(const std::string &Name) const {
+    auto It = Files.find(Name);
+    if (It == Files.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  bool exists(const std::string &Name) const { return Files.count(Name) != 0; }
+
+  /// All file names, sorted.
+  std::vector<std::string> names() const {
+    std::vector<std::string> Out;
+    Out.reserve(Files.size());
+    for (const auto &KV : Files)
+      Out.push_back(KV.first);
+    return Out;
+  }
+
+  /// Reads a file from the real file system into the VFS.
+  /// \returns false if the file could not be read.
+  bool addFromDisk(const std::string &Path);
+
+private:
+  std::map<std::string, std::string> Files;
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_SUPPORT_VFS_H

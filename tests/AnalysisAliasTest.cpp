@@ -1,0 +1,161 @@
+//===--- AnalysisAliasTest.cpp - Aliasing & exposure checking tests ------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+using namespace memlint::test;
+
+namespace {
+
+TEST(AliasTest, UniqueParamMayAliasOtherParam) {
+  // Figure 8: strcpy's s1 is unique; two external parameters may alias.
+  CheckResult R = check("struct e { char name[20]; int n; };\n"
+                        "int f(struct e *e, char *s) {\n"
+                        "  strcpy(e->name, s);\n"
+                        "  return 1;\n"
+                        "}");
+  EXPECT_EQ(countOf(R, CheckId::UniqueAlias), 1u);
+  EXPECT_TRUE(R.contains("declared unique but may be aliased externally"));
+}
+
+TEST(AliasTest, UniqueOnCallerParamProvesDistinct) {
+  // The paper's fix: annotate the caller's parameter unique.
+  CheckResult R = check("struct e { char name[20]; int n; };\n"
+                        "int f(struct e *e, /*@unique@*/ char *s) {\n"
+                        "  strcpy(e->name, s);\n"
+                        "  return 1;\n"
+                        "}");
+  EXPECT_EQ(countOf(R, CheckId::UniqueAlias), 0u);
+}
+
+TEST(AliasTest, LocalBufferProvesDistinct) {
+  CheckResult R = check("void f(char *s) {\n"
+                        "  char buf[32];\n"
+                        "  strcpy(buf, s);\n"
+                        "}");
+  EXPECT_EQ(countOf(R, CheckId::UniqueAlias), 0u);
+}
+
+TEST(AliasTest, SameRootDifferentFieldsDistinct) {
+  CheckResult R = check("struct p { char a[8]; char b[8]; };\n"
+                        "void f(struct p *p) { strcpy(p->a, p->b); }");
+  EXPECT_EQ(countOf(R, CheckId::UniqueAlias), 0u);
+}
+
+TEST(AliasTest, ExplicitAliasDetected) {
+  CheckResult R = check("void f(char *s) {\n"
+                        "  char *t = s;\n"
+                        "  strcpy(t, s);\n"
+                        "}");
+  EXPECT_EQ(countOf(R, CheckId::UniqueAlias), 1u);
+}
+
+TEST(AliasTest, ReturnedParamAliasesResult) {
+  // strcpy returns its first argument; the result aliases it.
+  CheckResult R = check(
+      "extern /*@only@*/ char *dupe(/*@temp@*/ char *s);\n"
+      "int f(char *dst, /*@unique@*/ char *src) {\n"
+      "  char *r = strcpy(dst, src);\n"
+      "  return r == dst;\n"
+      "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(AliasTest, GlobalAliasedByAssignment) {
+  // After "g = p", freeing p kills the global too (detected at exit).
+  CheckResult R = check("extern char *g;\n"
+                        "void f(/*@only@*/ char *p) {\n"
+                        "  g = p;\n"
+                        "  free((void *) p);\n"
+                        "}");
+  EXPECT_GE(countOf(R, CheckId::GlobalState), 1u);
+  EXPECT_TRUE(R.contains("referencing released storage"));
+}
+
+TEST(AliasTest, ObserverReturnNotModifiable) {
+  CheckResult R = check(
+      "struct s { int v; };\n"
+      "extern /*@observer@*/ struct s *peek(void);\n"
+      "void f(void) {\n"
+      "  struct s *p = peek();\n"
+      "  p->v = 3;\n"
+      "}");
+  EXPECT_GE(countOf(R, CheckId::Observer), 1u);
+  EXPECT_TRUE(R.contains("Observer storage"));
+}
+
+TEST(AliasTest, ObserverReturnNotFreeable) {
+  CheckResult R = check("extern /*@observer@*/ char *peek(void);\n"
+                        "void f(void) {\n"
+                        "  char *p = peek();\n"
+                        "  free((void *) p);\n"
+                        "}");
+  EXPECT_GE(countOf(R, CheckId::AliasTransfer), 1u);
+}
+
+TEST(AliasTest, ObserverReadIsFine) {
+  CheckResult R = check("struct s { int v; };\n"
+                        "extern /*@observer@*/ struct s *peek(void);\n"
+                        "int f(void) { return peek()->v; }");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(AliasTest, ExposedMayBeModifiedNotFreed) {
+  CheckResult R = check("struct s { int v; };\n"
+                        "extern /*@exposed@*/ struct s *grab(void);\n"
+                        "void f(void) {\n"
+                        "  struct s *p = grab();\n"
+                        "  p->v = 3;\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+
+  CheckResult R2 = check("extern /*@exposed@*/ char *grab(void);\n"
+                         "void f(void) { free((void *) grab()); }");
+  EXPECT_GE(R2.anomalyCount(), 1u);
+}
+
+TEST(AliasTest, TempParamAliasesPreserved) {
+  // "At a call site where a reference is passed as a temp parameter, the
+  // aliases to the storage it references are the same before and after the
+  // call" — in particular the storage is still live and usable.
+  CheckResult R = check("extern int look(/*@temp@*/ char *p);\n"
+                        "int f(void) {\n"
+                        "  char *p = (char *) malloc(8);\n"
+                        "  int v;\n"
+                        "  if (p == NULL) { return 1; }\n"
+                        "  p[0] = 'x';\n"
+                        "  v = look(p);\n"
+                        "  v = v + p[0];\n"
+                        "  free((void *) p);\n"
+                        "  return v;\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(AliasTest, ParamRebindingTracksMirror) {
+  // After "l = l->next", writes through l reach the caller-visible
+  // argl->next (the paper's Figure 5/6 walkthrough).
+  CheckResult R = check(
+      "typedef /*@null@*/ struct _n { int v; "
+      "/*@null@*/ struct _n *next; } *node;\n"
+      "void f(/*@temp@*/ node l) {\n"
+      "  if (l != NULL) {\n"
+      "    if (l->next != NULL) {\n"
+      "      l = l->next;\n"
+      "      l->next = (node) malloc(sizeof(*l));\n"
+      "    }\n"
+      "  }\n"
+      "}");
+  // The new tail's fields are never defined: caller-visible incomplete
+  // definition through the rebound parameter.
+  EXPECT_GE(countOf(R, CheckId::CompleteDefine), 1u);
+  EXPECT_TRUE(R.contains("l->next->next")) << R.render();
+}
+
+} // namespace

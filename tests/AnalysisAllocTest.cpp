@@ -1,0 +1,372 @@
+//===--- AnalysisAllocTest.cpp - Allocation/obligation checking tests ----------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+using namespace memlint::test;
+
+namespace {
+
+TEST(AllocTest, BalancedMallocFreeClean) {
+  CheckResult R = check("int f(void) {\n"
+                        "  char *p = (char *) malloc(8);\n"
+                        "  if (p == NULL) { return 1; }\n"
+                        "  p[0] = 'x';\n"
+                        "  free((void *) p);\n"
+                        "  return 0;\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(AllocTest, LeakAtReturn) {
+  CheckResult R = check("int f(void) {\n"
+                        "  char *p = (char *) malloc(8);\n"
+                        "  if (p == NULL) { return 1; }\n"
+                        "  p[0] = 'x';\n"
+                        "  return 0;\n"
+                        "}");
+  EXPECT_EQ(countOf(R, CheckId::MustFree), 1u);
+  EXPECT_TRUE(R.contains("not released before return"));
+}
+
+TEST(AllocTest, LeakAtOverwrite) {
+  // The Section 6 driver-leak pattern: "variables referencing allocated
+  // storage are assigned to new values before the old storage is
+  // released."
+  CheckResult R = check("extern char *mk(void);\n"
+                        "int f(void) {\n"
+                        "  char *p;\n"
+                        "  p = (char *) malloc(8);\n"
+                        "  if (p == NULL) { return 1; }\n"
+                        "  p[0] = 'a';\n"
+                        "  p = mk();\n"
+                        "  return 0;\n"
+                        "}");
+  EXPECT_GE(countOf(R, CheckId::MustFree), 1u);
+  EXPECT_TRUE(R.contains("not released before assignment"));
+}
+
+TEST(AllocTest, GcModeDisablesLeakChecks) {
+  CheckResult R = checkWithFlag("int f(void) {\n"
+                                "  char *p = (char *) malloc(8);\n"
+                                "  if (p == NULL) { return 1; }\n"
+                                "  p[0] = 'x';\n"
+                                "  return 0;\n"
+                                "}",
+                                "gcmode", true);
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(AllocTest, UseAfterFreeReported) {
+  CheckResult R = check("int f(void) {\n"
+                        "  int *p = (int *) malloc(sizeof(int));\n"
+                        "  if (p == NULL) { return 1; }\n"
+                        "  *p = 3;\n"
+                        "  free((void *) p);\n"
+                        "  return *p;\n"
+                        "}");
+  EXPECT_GE(countOf(R, CheckId::UseReleased) +
+                countOf(R, CheckId::UseUndefined),
+            1u);
+  EXPECT_TRUE(R.contains("Dead storage"));
+}
+
+TEST(AllocTest, DoubleFreeReported) {
+  CheckResult R = check("int f(void) {\n"
+                        "  int *p = (int *) malloc(sizeof(int));\n"
+                        "  if (p == NULL) { return 1; }\n"
+                        "  *p = 3;\n"
+                        "  free((void *) p);\n"
+                        "  free((void *) p);\n"
+                        "  return 0;\n"
+                        "}");
+  EXPECT_GE(R.anomalyCount(), 1u);
+}
+
+TEST(AllocTest, FreeNullAllowed) {
+  // "The ANSI Standard allows a null pointer to be passed to free."
+  CheckResult R = check("void f(void) { free(NULL); }");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(AllocTest, FreeIfNotNullMergesCleanly) {
+  CheckResult R = check("void f(/*@only@*/ /*@null@*/ char *p) {\n"
+                        "  if (p != NULL) { free((void *) p); }\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(AllocTest, OnlyParamMustBeConsumed) {
+  CheckResult R = check("void f(/*@only@*/ char *p) { }");
+  EXPECT_EQ(countOf(R, CheckId::MustFree), 1u);
+  EXPECT_TRUE(R.contains("Only storage p not released before return"));
+}
+
+TEST(AllocTest, OnlyParamFreedIsClean) {
+  CheckResult R =
+      check("void f(/*@only@*/ char *p) { free((void *) p); }");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(AllocTest, OnlyParamReturnedAsOnly) {
+  CheckResult R = check("/*@only@*/ char *f(/*@only@*/ char *p) "
+                        "{ return p; }");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(AllocTest, TempParamPassedAsOnlyParam) {
+  // The "Implicitly temp storage c passed as only param: free (c)" message
+  // of Section 6.
+  CheckResult R = check("void f(char *c) { free((void *) c); }");
+  EXPECT_EQ(countOf(R, CheckId::AliasTransfer), 1u);
+  EXPECT_TRUE(R.contains("Implicitly temp storage c passed as only param"));
+}
+
+TEST(AllocTest, ExplicitTempSpelledInMessage) {
+  CheckResult R =
+      check("void f(/*@temp@*/ char *c) { free((void *) c); }");
+  EXPECT_TRUE(R.contains("Temp storage c passed as only param"));
+  EXPECT_FALSE(R.contains("Implicitly temp"));
+}
+
+TEST(AllocTest, TempAssignedToOnlyGlobal) {
+  // Figure 4's second message.
+  CheckResult R = check("extern /*@only@*/ char *g;\n"
+                        "void f(/*@temp@*/ char *p) { g = p; }");
+  EXPECT_GE(countOf(R, CheckId::AliasTransfer), 1u);
+  EXPECT_TRUE(R.contains("Temp storage p assigned to only"));
+}
+
+TEST(AllocTest, OnlyGlobalOverwriteLeak) {
+  // Figure 4's first message.
+  CheckResult R = check("extern /*@only@*/ char *g;\n"
+                        "void f(/*@temp@*/ char *p) { g = p; }");
+  EXPECT_GE(countOf(R, CheckId::MustFree), 1u);
+  EXPECT_TRUE(R.contains("Only storage g not released before assignment"));
+}
+
+TEST(AllocTest, FreshTransferToOnlyGlobalClean) {
+  CheckResult R = check("extern /*@only@*/ char *mkstr(void);\n"
+                        "extern /*@null@*/ /*@only@*/ char *g;\n"
+                        "void f(void) { g = mkstr(); }");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(AllocTest, AllocatedOnlyGlobalIncompleteAtExit) {
+  // Storing allocated-but-undefined storage in a global is incomplete
+  // definition at the exit point.
+  CheckResult R = check("extern /*@null@*/ /*@only@*/ char *g;\n"
+                        "void f(void) { g = (char *) malloc(8); }");
+  EXPECT_EQ(countOf(R, CheckId::GlobalState), 1u);
+}
+
+TEST(AllocTest, FreshToUnqualifiedExternalSuspicious) {
+  // The eref_pool pattern: allocated storage stored in an unannotated
+  // field of a static variable.
+  CheckResult R = check("struct pool { char *mem; };\n"
+                        "static struct pool p;\n"
+                        "void init(void) { p.mem = (char *) malloc(64); }");
+  EXPECT_GE(countOf(R, CheckId::MustFree), 1u);
+  EXPECT_TRUE(R.contains("unqualified external reference"));
+}
+
+TEST(AllocTest, KeepParamStillUsableByCaller) {
+  CheckResult R = check(
+      "extern void stash(/*@keep@*/ char *p);\n"
+      "int f(void) {\n"
+      "  char *p = (char *) malloc(8);\n"
+      "  if (p == NULL) { return 1; }\n"
+      "  p[0] = 'x';\n"
+      "  stash(p);\n"
+      "  return p[0];\n" // still usable after a keep transfer
+      "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(AllocTest, OnlyParamArgUnusableAfterCall) {
+  CheckResult R = check(
+      "extern void consume(/*@only@*/ char *p);\n"
+      "int f(void) {\n"
+      "  char *p = (char *) malloc(8);\n"
+      "  if (p == NULL) { return 1; }\n"
+      "  p[0] = 'x';\n"
+      "  consume(p);\n"
+      "  return p[0];\n"
+      "}");
+  EXPECT_GE(countOf(R, CheckId::UseReleased) +
+                countOf(R, CheckId::UseUndefined),
+            1u);
+}
+
+TEST(AllocTest, SharedNeverReleased) {
+  CheckResult R =
+      check("void f(/*@shared@*/ char *p) { free((void *) p); }");
+  EXPECT_GE(countOf(R, CheckId::AliasTransfer), 1u);
+  EXPECT_TRUE(R.contains("shared storage p passed as only param"));
+}
+
+TEST(AllocTest, DependentMayNotRelease) {
+  CheckResult R =
+      check("void f(/*@dependent@*/ char *p) { free((void *) p); }");
+  EXPECT_GE(countOf(R, CheckId::AliasTransfer), 1u);
+}
+
+TEST(AllocTest, OwnedMayBeReleased) {
+  CheckResult R =
+      check("void f(/*@owned@*/ char *p) { free((void *) p); }");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(AllocTest, ConfluenceKeptVsOnly) {
+  // The Figure 5 shape, reduced: e is consumed on one branch only.
+  CheckResult R = check("extern /*@only@*/ char *g;\n"
+                        "void f(int c, /*@only@*/ char *e) {\n"
+                        "  if (c) {\n"
+                        "    g = e;\n"
+                        "  }\n"
+                        "}");
+  EXPECT_GE(countOf(R, CheckId::BranchState), 1u);
+  EXPECT_TRUE(R.contains("kept on one branch, only on the other"));
+}
+
+TEST(AllocTest, BothBranchesConsumeClean) {
+  CheckResult R = check("void f(int c, /*@only@*/ char *e) {\n"
+                        "  if (c) {\n"
+                        "    free((void *) e);\n"
+                        "  } else {\n"
+                        "    free((void *) e);\n"
+                        "  }\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(AllocTest, FreedOnOnePathOnly) {
+  CheckResult R = check("void f(int c, /*@only@*/ char *e) {\n"
+                        "  if (c) {\n"
+                        "    free((void *) e);\n"
+                        "  }\n"
+                        "  e[0] = 'x';\n"
+                        "}");
+  EXPECT_GE(R.anomalyCount(), 1u);
+}
+
+TEST(AllocTest, FreshReturnWithoutOnlyIsLeak) {
+  CheckResult R = check("char *f(void) {\n"
+                        "  char *p = (char *) malloc(8);\n"
+                        "  if (p == NULL) { exit(1); }\n"
+                        "  p[0] = 'x';\n"
+                        "  return p;\n"
+                        "}");
+  EXPECT_GE(countOf(R, CheckId::MustFree), 1u);
+  EXPECT_TRUE(R.contains("returned without only annotation"));
+}
+
+TEST(AllocTest, OnlyReturnTransfersObligation) {
+  CheckResult R = check("/*@only@*/ char *f(void) {\n"
+                        "  char *p = (char *) malloc(8);\n"
+                        "  if (p == NULL) { exit(1); }\n"
+                        "  p[0] = 'x';\n"
+                        "  return p;\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(AllocTest, ImplicitOnlyRetFlagSilencesReturnLeak) {
+  CheckResult R = checkWithFlag("char *f(void) {\n"
+                                "  char *p = (char *) malloc(8);\n"
+                                "  if (p == NULL) { exit(1); }\n"
+                                "  p[0] = 'x';\n"
+                                "  return p;\n"
+                                "}",
+                                "implicitonlyret", true);
+  EXPECT_EQ(countOf(R, CheckId::MustFree), 0u);
+}
+
+TEST(AllocTest, TempReturnedAsOnly) {
+  CheckResult R = check("/*@only@*/ char *f(/*@temp@*/ char *p) "
+                        "{ return p; }");
+  EXPECT_GE(countOf(R, CheckId::AliasTransfer), 1u);
+  EXPECT_TRUE(R.contains("returned as only"));
+}
+
+TEST(AllocTest, ScopeExitLeak) {
+  CheckResult R = check("void f(int c) {\n"
+                        "  if (c) {\n"
+                        "    char *p = (char *) malloc(8);\n"
+                        "    if (p != NULL) { p[0] = 'x'; }\n"
+                        "  }\n"
+                        "}");
+  EXPECT_GE(countOf(R, CheckId::MustFree), 1u);
+  EXPECT_TRUE(R.contains("scope exit"));
+}
+
+TEST(AllocTest, CompoundDestructionCheck) {
+  // The paper's footnote: an out only void* parameter (free) must not
+  // receive storage with live unshared objects inside.
+  CheckResult R = check(
+      "struct box { /*@only@*/ char *payload; int n; };\n"
+      "void f(void) {\n"
+      "  struct box *b = (struct box *) malloc(sizeof(struct box));\n"
+      "  if (b == NULL) { return; }\n"
+      "  b->payload = (char *) malloc(4);\n"
+      "  if (b->payload == NULL) { free((void *) b); return; }\n"
+      "  b->n = 1;\n"
+      "  free((void *) b);\n"
+      "}");
+  EXPECT_GE(countOf(R, CheckId::MustFree), 1u);
+  EXPECT_TRUE(R.contains("derivable from"));
+}
+
+TEST(AllocTest, OffsetFreeGatedByFlag) {
+  const char *Source = "int f(void) {\n"
+                       "  char *p = (char *) malloc(16);\n"
+                       "  if (p == NULL) { return 1; }\n"
+                       "  p[0] = 'x';\n"
+                       "  p += 4;\n"
+                       "  free((void *) p);\n"
+                       "  return 0;\n"
+                       "}";
+  EXPECT_EQ(check(Source).anomalyCount(), 0u); // 1996 behavior: missed
+  CheckResult Later = checkWithFlag(Source, "illegalfree", true);
+  EXPECT_GE(Later.anomalyCount(), 1u); // the later improvement catches it
+}
+
+TEST(AllocTest, StaticFreeGatedByFlag) {
+  const char *Source = "static int slot;\n"
+                       "void f(void) {\n"
+                       "  int *p = &slot;\n"
+                       "  free((void *) p);\n"
+                       "}";
+  EXPECT_EQ(check(Source).anomalyCount(), 0u);
+  EXPECT_GE(checkWithFlag(Source, "illegalfree", true).anomalyCount(), 1u);
+}
+
+TEST(AllocTest, StringLiteralNotFreeable) {
+  CheckResult R = checkWithFlag("void f(void) {\n"
+                                "  char *p = \"hello\";\n"
+                                "  free((void *) p);\n"
+                                "}",
+                                "illegalfree", true);
+  EXPECT_GE(R.anomalyCount(), 1u);
+}
+
+TEST(AllocTest, LocalToLocalTransfer) {
+  CheckResult R = check("int f(void) {\n"
+                        "  char *p = (char *) malloc(8);\n"
+                        "  char *q;\n"
+                        "  if (p == NULL) { return 1; }\n"
+                        "  p[0] = 'x';\n"
+                        "  q = p;\n"
+                        "  free((void *) q);\n"
+                        "  return 0;\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+} // namespace

@@ -1,0 +1,197 @@
+//===--- AnalysisDefTest.cpp - Definition-state checking tests -----------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+using namespace memlint::test;
+
+namespace {
+
+TEST(DefTest, UseBeforeDefinitionOfLocal) {
+  CheckResult R = check("int f(void) { int x; return x; }");
+  EXPECT_EQ(countOf(R, CheckId::UseUndefined), 1u);
+  EXPECT_TRUE(R.contains("used before definition"));
+}
+
+TEST(DefTest, DefinedLocalClean) {
+  CheckResult R = check("int f(void) { int x; x = 3; return x; }");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(DefTest, BranchDefinitionWeakestAssumption) {
+  // The paper's acknowledged false positive: definition on one branch only
+  // merges to undefined.
+  CheckResult R = check("int f(int c) {\n"
+                        "  int x;\n"
+                        "  if (c) { x = 1; }\n"
+                        "  return x;\n"
+                        "}");
+  EXPECT_EQ(countOf(R, CheckId::UseUndefined), 1u);
+}
+
+TEST(DefTest, BothBranchesDefineClean) {
+  CheckResult R = check("int f(int c) {\n"
+                        "  int x;\n"
+                        "  if (c) { x = 1; } else { x = 2; }\n"
+                        "  return x;\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(DefTest, MallocResultFieldsUndefined) {
+  // The result of malloc is allocated but not defined; reading a field
+  // before assigning it is an anomaly.
+  CheckResult R = check("struct s { int a; int b; };\n"
+                        "int f(void) {\n"
+                        "  struct s *p = (struct s *) malloc(sizeof(struct s));\n"
+                        "  int v;\n"
+                        "  if (p == NULL) { return 1; }\n"
+                        "  v = p->a;\n"
+                        "  free((void *) p);\n"
+                        "  return v;\n"
+                        "}");
+  EXPECT_EQ(countOf(R, CheckId::UseUndefined), 1u);
+}
+
+TEST(DefTest, AssignedFieldReadableOthersNot) {
+  CheckResult R = check("struct s { int a; int b; };\n"
+                        "int f(void) {\n"
+                        "  struct s *p = (struct s *) malloc(sizeof(struct s));\n"
+                        "  int v;\n"
+                        "  if (p == NULL) { return 1; }\n"
+                        "  p->a = 5;\n"
+                        "  v = p->a;\n"
+                        "  free((void *) p);\n"
+                        "  return v;\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(DefTest, OutParamAssumedAllocatedNotDefined) {
+  CheckResult R = check("struct s { int a; };\n"
+                        "int f(/*@out@*/ struct s *p) {\n"
+                        "  int v = p->a;\n" // reading out storage: anomaly
+                        "  p->a = 1;\n"
+                        "  return v;\n"
+                        "}");
+  EXPECT_EQ(countOf(R, CheckId::UseUndefined), 1u);
+}
+
+TEST(DefTest, OutParamMustBeDefinedBeforeReturn) {
+  CheckResult R = check("struct s { int a; };\n"
+                        "void f(/*@out@*/ struct s *p) { }");
+  EXPECT_GE(countOf(R, CheckId::InterfaceDefine), 1u);
+}
+
+TEST(DefTest, OutParamFullyDefinedClean) {
+  CheckResult R = check("struct s { int a; };\n"
+                        "void f(/*@out@*/ struct s *p) { p->a = 0; }");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(DefTest, AllocatedStoragePassedAsDefinedParam) {
+  // The anomaly that leads to adding the out annotation in Section 6.
+  CheckResult R = check("extern void fill(char *s);\n"
+                        "void f(void) {\n"
+                        "  char buf[16];\n"
+                        "  fill(buf);\n"
+                        "}");
+  EXPECT_EQ(countOf(R, CheckId::CompleteDefine), 1u);
+  EXPECT_TRUE(R.contains("Allocated storage buf"));
+}
+
+TEST(DefTest, OutParamAcceptsAllocatedStorage) {
+  // "LCLint does not report an error when allocated storage is passed as
+  // an out parameter."
+  CheckResult R = check("extern void fill(/*@out@*/ char *s);\n"
+                        "void f(void) {\n"
+                        "  char buf[16];\n"
+                        "  fill(buf);\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(DefTest, OutParamDefinedAfterCall) {
+  CheckResult R = check("extern void fill(/*@out@*/ char *s);\n"
+                        "int f(void) {\n"
+                        "  char buf[16];\n"
+                        "  fill(buf);\n"
+                        "  return buf[0];\n" // defined after the call
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(DefTest, IncompleteDefinitionAtExit) {
+  // Figure 5's second anomaly, reduced.
+  CheckResult R = check(
+      "typedef /*@null@*/ struct _n { int v; "
+      "/*@null@*/ struct _n *next; } *node;\n"
+      "void f(/*@temp@*/ node l) {\n"
+      "  if (l != NULL) {\n"
+      "    l->next = (node) malloc(sizeof(*l->next));\n"
+      "    if (l->next != NULL) { l->next->v = 3; }\n"
+      "  }\n"
+      "}");
+  EXPECT_GE(countOf(R, CheckId::CompleteDefine), 1u);
+  EXPECT_TRUE(R.contains("incompletely-defined"));
+}
+
+TEST(DefTest, PartialFieldRelaxes) {
+  CheckResult R = check("struct s { int a; /*@partial@*/ int b; };\n"
+                        "extern void use(struct s *p);\n"
+                        "void f(void) {\n"
+                        "  struct s *p = (struct s *) malloc(sizeof(struct s));\n"
+                        "  if (p == NULL) { return; }\n"
+                        "  p->a = 1;\n"
+                        "  use(p);\n"
+                        "  free((void *) p);\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(DefTest, RelDefRelaxesDefinitionRequirement) {
+  // An allocated (not yet defined) buffer may be passed as a reldef
+  // parameter; without the annotation the same call is an anomaly.
+  CheckResult Relaxed = check("extern void use(/*@reldef@*/ char *p);\n"
+                              "void f(void) {\n"
+                              "  char buf[4];\n"
+                              "  use(buf);\n"
+                              "}");
+  EXPECT_EQ(Relaxed.anomalyCount(), 0u) << Relaxed.render();
+}
+
+TEST(DefTest, RelDefOutCategoryConflict) {
+  // reldef and out are the same category: at most one may be used.
+  CheckResult R = check("extern void use(/*@reldef@*/ /*@out@*/ int *p);");
+  EXPECT_GE(countOf(R, CheckId::AnnotationError), 1u);
+}
+
+TEST(DefTest, UndefGlobalAssumedUndefinedAtEntry) {
+  CheckResult R = check("extern /*@undef@*/ int g;\n"
+                        "int f(void) { return g; }");
+  EXPECT_EQ(countOf(R, CheckId::UseUndefined), 1u);
+}
+
+TEST(DefTest, SizeofDoesNotUseOperand) {
+  // "Except sizeof, which does not need the value of its argument."
+  CheckResult R = check("int f(void) { int x; return (int) sizeof(x); }");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(DefTest, AddressOfUndefinedAllowed) {
+  CheckResult R = check("extern void fill(/*@out@*/ int *p);\n"
+                        "int f(void) {\n"
+                        "  int x;\n"
+                        "  fill(&x);\n"
+                        "  return x;\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+} // namespace

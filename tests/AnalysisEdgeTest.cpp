@@ -1,0 +1,190 @@
+//===--- AnalysisEdgeTest.cpp - Remaining analysis corner cases ----------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+using namespace memlint::test;
+
+namespace {
+
+TEST(EdgeTest, NullRepairPattern) {
+  // if (p == NULL) p = fallback; — the repaired pointer is non-null after.
+  CheckResult R = check("extern char *fallback(void);\n"
+                        "int f(/*@null@*/ /*@returned@*/ char *p) {\n"
+                        "  if (p == NULL) { p = fallback(); }\n"
+                        "  return *p;\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(EdgeTest, RelnullReturnAllowsNull) {
+  CheckResult R = check("/*@relnull@*/ char *f(void) { return NULL; }");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(EdgeTest, ExplicitInAnnotation) {
+  CheckResult R = check("extern void use(/*@in@*/ char *s);\n"
+                        "void f(void) {\n"
+                        "  char buf[4];\n"
+                        "  use(buf);\n"
+                        "}");
+  // in = completely defined: an allocated-only buffer is an anomaly.
+  EXPECT_EQ(countOf(R, CheckId::CompleteDefine), 1u);
+}
+
+TEST(EdgeTest, UniqueVsGlobal) {
+  // A unique parameter may not be aliased by an accessible global either.
+  CheckResult R = check(
+      "extern char *gbuf;\n"
+      "extern void fill(/*@unique@*/ /*@out@*/ char *dst, int n);\n"
+      "void f(char *p) {\n"
+      "  gbuf[0] = 'x';\n" // makes gbuf accessible in this function
+      "  fill(p, 4);\n"
+      "}");
+  EXPECT_GE(countOf(R, CheckId::UniqueAlias), 1u);
+  EXPECT_TRUE(R.contains("may be aliased by global gbuf")) << R.render();
+}
+
+TEST(EdgeTest, PostIncrementMakesOffset) {
+  const char *Source = "int f(void) {\n"
+                       "  char *p = (char *) malloc(4);\n"
+                       "  if (p == NULL) { return 1; }\n"
+                       "  p[0] = 'a';\n"
+                       "  p++;\n"
+                       "  free((void *) p);\n"
+                       "  return 0;\n"
+                       "}";
+  // Default (1996): silent. With the later improvement: caught.
+  EXPECT_EQ(check(Source).anomalyCount(), 0u);
+  EXPECT_GE(checkWithFlag(Source, "illegalfree", true).anomalyCount(), 1u);
+}
+
+TEST(EdgeTest, PointerArithmeticResultIsOffset) {
+  CheckResult R = checkWithFlag("void f(/*@temp@*/ char *base) {\n"
+                                "  free((void *) (base + 4));\n"
+                                "}",
+                                "illegalfree", true);
+  EXPECT_GE(R.anomalyCount(), 1u);
+}
+
+TEST(EdgeTest, AddressOfLocalNotFreeable) {
+  CheckResult R = checkWithFlag("void f(void) {\n"
+                                "  int x;\n"
+                                "  int *p = &x;\n"
+                                "  free((void *) p);\n"
+                                "}",
+                                "illegalfree", true);
+  EXPECT_GE(R.anomalyCount(), 1u);
+}
+
+TEST(EdgeTest, CheckClassControlCommentScoped) {
+  // A minus-flag region covers exactly its lines.
+  CheckResult R = Checker::checkSource(
+      "void a(/*@only@*/ char *p) { }\n"
+      "/*@-mustfree@*/\n"
+      "void b(/*@only@*/ char *q) { }\n"
+      "/*@=mustfree@*/\n"
+      "void c(/*@only@*/ char *r) { }\n",
+      CheckOptions(), "t.c");
+  EXPECT_EQ(R.anomalyCount(), 2u) << R.render();
+  EXPECT_TRUE(R.contains("Only storage p"));
+  EXPECT_TRUE(R.contains("Only storage r"));
+  EXPECT_FALSE(R.contains("Only storage q"));
+}
+
+TEST(EdgeTest, TypedefOnlyFlowsToReturn) {
+  CheckResult R = check("typedef /*@only@*/ char *ostring;\n"
+                        "ostring mk(void) {\n"
+                        "  char *p = (char *) malloc(4);\n"
+                        "  if (p == NULL) { exit(1); }\n"
+                        "  p[0] = '\\0';\n"
+                        "  return p;\n"
+                        "}");
+  // The typedef's only annotation makes the return a transfer: no leak.
+  EXPECT_EQ(countOf(R, CheckId::MustFree), 0u) << R.render();
+}
+
+TEST(EdgeTest, DerefAssignmentDefinesPointee) {
+  CheckResult R = check("extern void sink(int v);\n"
+                        "int f(void) {\n"
+                        "  int *p = (int *) malloc(sizeof(int));\n"
+                        "  int v;\n"
+                        "  if (p == NULL) { return 1; }\n"
+                        "  *p = 4;\n"
+                        "  v = *p;\n"
+                        "  free((void *) p);\n"
+                        "  return v;\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(EdgeTest, DoubleDeref) {
+  CheckResult R = check("int f(/*@null@*/ int **pp) { return **pp; }");
+  EXPECT_EQ(countOf(R, CheckId::NullDeref), 1u);
+}
+
+TEST(EdgeTest, CallResultDerefWhenNull) {
+  CheckResult R = check("extern /*@null@*/ int *find(int k);\n"
+                        "int f(void) { return *find(3); }");
+  EXPECT_EQ(countOf(R, CheckId::NullDeref), 1u);
+}
+
+TEST(EdgeTest, MultipleReturnPointsEachChecked) {
+  CheckResult R = check("extern char *g;\n"
+                        "void f(int c, /*@null@*/ char *p) {\n"
+                        "  if (c) {\n"
+                        "    g = p;\n"
+                        "    return;\n"
+                        "  }\n"
+                        "  g = p;\n"
+                        "}");
+  // Both exits see the possibly-null global; deduplication keeps distinct
+  // locations apart.
+  EXPECT_EQ(countOf(R, CheckId::NullReturn), 2u) << R.render();
+}
+
+TEST(EdgeTest, UnreachableCodeAfterExitNotChecked) {
+  CheckResult R = check("void f(/*@null@*/ int *p) {\n"
+                        "  exit(1);\n"
+                        "  *p = 3;\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(EdgeTest, VariadicCallExtraArgsChecked) {
+  CheckResult R = check("void f(/*@null@*/ char *name) {\n"
+                        "  printf(\"%s\\n\", *name);\n"
+                        "}");
+  // The deref inside the variadic argument is still checked.
+  EXPECT_EQ(countOf(R, CheckId::NullDeref), 1u);
+}
+
+TEST(EdgeTest, GcModeStillChecksNull) {
+  // gcmode disables obligation checking, not null checking (paper §3:
+  // "only those errors relevant in a garbage-collected environment").
+  CheckResult R = checkWithFlag("int f(/*@null@*/ int *p) { return *p; }",
+                                "gcmode", true);
+  EXPECT_EQ(countOf(R, CheckId::NullDeref), 1u);
+}
+
+TEST(EdgeTest, EmptyFunctionClean) {
+  CheckResult R = check("void f(void) { }");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(EdgeTest, RecursiveFunctionChecksOnce) {
+  // Intraprocedural: recursion poses no problem.
+  CheckResult R = check("int fact(int n) {\n"
+                        "  if (n <= 1) { return 1; }\n"
+                        "  return n * fact(n - 1);\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+} // namespace

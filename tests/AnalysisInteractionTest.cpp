@@ -1,0 +1,242 @@
+//===--- AnalysisInteractionTest.cpp - Cross-feature interaction tests ---------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+// Scenarios where several annotation dimensions interact, plus control-flow
+// corners (switch merges, do-while, for loops, nested conditionals).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+using namespace memlint::test;
+
+namespace {
+
+TEST(InteractionTest, ObserverParameterNotModifiable) {
+  CheckResult R = check("void f(/*@observer@*/ char *s) { s[0] = 'x'; }");
+  EXPECT_GE(countOf(R, CheckId::Observer), 1u);
+}
+
+TEST(InteractionTest, ObserverParameterReadable) {
+  CheckResult R = check("int f(/*@observer@*/ char *s) { return s[0]; }");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(InteractionTest, NullOnlyParamFreedUnderGuard) {
+  // null + only interact: the null branch has no obligation, the non-null
+  // branch must release.
+  CheckResult Clean = check("void f(/*@null@*/ /*@only@*/ char *p) {\n"
+                            "  if (p == NULL) { return; }\n"
+                            "  free((void *) p);\n"
+                            "}");
+  EXPECT_EQ(Clean.anomalyCount(), 0u) << Clean.render();
+
+  CheckResult Leaky = check("void f(/*@null@*/ /*@only@*/ char *p) {\n"
+                            "  if (p == NULL) { return; }\n"
+                            "}");
+  EXPECT_GE(countOf(Leaky, CheckId::MustFree), 1u);
+}
+
+TEST(InteractionTest, OutOnlyReturnLikeMalloc) {
+  // A user-defined allocator with the full malloc spec behaves like
+  // malloc: possibly-null, contents undefined, caller owns it.
+  CheckResult R = check(
+      "extern /*@null@*/ /*@out@*/ /*@only@*/ void *grab(size_t n);\n"
+      "struct s { int a; };\n"
+      "int f(void) {\n"
+      "  struct s *p = (struct s *) grab(sizeof(struct s));\n"
+      "  int v;\n"
+      "  if (p == NULL) { return 1; }\n"
+      "  v = p->a;\n" // undefined: out result
+      "  free((void *) p);\n"
+      "  return v;\n"
+      "}");
+  EXPECT_EQ(countOf(R, CheckId::UseUndefined), 1u);
+}
+
+TEST(InteractionTest, SwitchBranchesConsumeConsistently) {
+  CheckResult Clean = check("void f(int k, /*@only@*/ char *p) {\n"
+                            "  switch (k) {\n"
+                            "  case 0:\n"
+                            "    free((void *) p);\n"
+                            "    break;\n"
+                            "  default:\n"
+                            "    free((void *) p);\n"
+                            "    break;\n"
+                            "  }\n"
+                            "}");
+  EXPECT_EQ(Clean.anomalyCount(), 0u) << Clean.render();
+}
+
+TEST(InteractionTest, SwitchBranchConsumesInconsistently) {
+  CheckResult R = check("void f(int k, /*@only@*/ char *p) {\n"
+                        "  switch (k) {\n"
+                        "  case 0:\n"
+                        "    free((void *) p);\n"
+                        "    break;\n"
+                        "  default:\n"
+                        "    break;\n"
+                        "  }\n"
+                        "}");
+  EXPECT_GE(R.anomalyCount(), 1u);
+}
+
+TEST(InteractionTest, SwitchWithoutDefaultKeepsEntryState) {
+  // No default: the fall-past path still holds the obligation.
+  CheckResult R = check("void f(int k, /*@only@*/ char *p) {\n"
+                        "  switch (k) {\n"
+                        "  case 0:\n"
+                        "    free((void *) p);\n"
+                        "    break;\n"
+                        "  }\n"
+                        "}");
+  EXPECT_GE(R.anomalyCount(), 1u);
+}
+
+TEST(InteractionTest, SwitchReturningEveryCase) {
+  CheckResult R = check("int f(int k, /*@only@*/ char *p) {\n"
+                        "  switch (k) {\n"
+                        "  case 0:\n"
+                        "    free((void *) p);\n"
+                        "    return 0;\n"
+                        "  default:\n"
+                        "    free((void *) p);\n"
+                        "    return 1;\n"
+                        "  }\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(InteractionTest, DoWhileBodyRunsOnce) {
+  // The paper's model: do-while executes the body exactly once.
+  CheckResult R = check("int f(void) {\n"
+                        "  int x;\n"
+                        "  do { x = 1; } while (x > 2);\n"
+                        "  return x;\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(InteractionTest, ForLoopAllocFreePerIteration) {
+  CheckResult R = check("void f(int n) {\n"
+                        "  int i;\n"
+                        "  for (i = 0; i < n; i = i + 1) {\n"
+                        "    char *p = (char *) malloc(4);\n"
+                        "    if (p != NULL) {\n"
+                        "      p[0] = 'x';\n"
+                        "      free((void *) p);\n"
+                        "    }\n"
+                        "  }\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(InteractionTest, ForLoopLeakInBody) {
+  CheckResult R = check("void f(int n) {\n"
+                        "  int i;\n"
+                        "  for (i = 0; i < n; i = i + 1) {\n"
+                        "    char *p = (char *) malloc(4);\n"
+                        "    if (p != NULL) { p[0] = 'x'; }\n"
+                        "  }\n"
+                        "}");
+  EXPECT_GE(countOf(R, CheckId::MustFree), 1u);
+}
+
+TEST(InteractionTest, BreakCarriesStateToLoopExit) {
+  CheckResult R = check("void f(int n, /*@only@*/ char *p) {\n"
+                        "  while (n > 0) {\n"
+                        "    if (n == 3) {\n"
+                        "      free((void *) p);\n"
+                        "      break;\n"
+                        "    }\n"
+                        "    n = n - 1;\n"
+                        "  }\n"
+                        "}");
+  // Freed on the break path only: inconsistent with the fall-through exit.
+  EXPECT_GE(R.anomalyCount(), 1u);
+}
+
+TEST(InteractionTest, NestedIfAllPathsConsume) {
+  CheckResult R = check("void f(int a, int b, /*@only@*/ char *p) {\n"
+                        "  if (a) {\n"
+                        "    if (b) { free((void *) p); }\n"
+                        "    else { free((void *) p); }\n"
+                        "  } else {\n"
+                        "    free((void *) p);\n"
+                        "  }\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(InteractionTest, ConditionalExprNullMix) {
+  CheckResult R = check("extern /*@null@*/ char *maybe(void);\n"
+                        "char *f(int c, char *fallback) {\n"
+                        "  char *p = c ? maybe() : fallback;\n"
+                        "  return p;\n"
+                        "}");
+  // One arm may be null: returning it as non-null is an anomaly.
+  EXPECT_GE(countOf(R, CheckId::NullReturn), 1u);
+}
+
+TEST(InteractionTest, CommaExpressionStates) {
+  CheckResult R = check("int f(void) {\n"
+                        "  int a;\n"
+                        "  int b;\n"
+                        "  b = (a = 2, a + 1);\n"
+                        "  return b;\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(InteractionTest, TruenullInsideLogicalAnd) {
+  CheckResult R = check(
+      "extern /*@truenull@*/ int isNull(/*@null@*/ char *x);\n"
+      "int f(/*@null@*/ char *p) {\n"
+      "  if (!isNull(p) && *p > 0) { return 1; }\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(InteractionTest, KeepThenFreeIsDoubleRelease) {
+  // keep transfers the obligation to the callee; freeing afterwards would
+  // release the storage twice.
+  CheckResult R = check("extern void stash(/*@keep@*/ char *p);\n"
+                        "void f(void) {\n"
+                        "  char *p = (char *) malloc(4);\n"
+                        "  if (p == NULL) { return; }\n"
+                        "  p[0] = 'x';\n"
+                        "  stash(p);\n"
+                        "  free((void *) p);\n"
+                        "}");
+  EXPECT_GE(R.anomalyCount(), 1u);
+}
+
+TEST(InteractionTest, SharedGlobalNeverObligated) {
+  CheckResult R = check("extern /*@shared@*/ char *table;\n"
+                        "void f(/*@shared@*/ char *p) { table = p; }");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(InteractionTest, StaticLocalPersists) {
+  CheckResult R = check("char *f(void) {\n"
+                        "  static char buf[8];\n"
+                        "  buf[0] = 'x';\n"
+                        "  return buf;\n"
+                        "}");
+  EXPECT_EQ(countOf(R, CheckId::MustFree), 0u) << R.render();
+}
+
+TEST(InteractionTest, RelnullFieldNoExitComplaint) {
+  CheckResult R = check(
+      "struct s { /*@relnull@*/ char *opt; int n; };\n"
+      "extern struct s *box;\n"
+      "void f(void) { box->opt = NULL; box->n = 0; }");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+} // namespace

@@ -1,0 +1,226 @@
+//===--- AnalysisNullTest.cpp - Null-pointer checking tests --------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+using namespace memlint::test;
+
+namespace {
+
+TEST(NullTest, DerefOfNullParamReported) {
+  CheckResult R = check("int f(/*@null@*/ int *p) { return *p; }");
+  EXPECT_EQ(countOf(R, CheckId::NullDeref), 1u);
+}
+
+TEST(NullTest, DerefOfNonNullParamClean) {
+  CheckResult R = check("int f(int *p) { return *p; }");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(NullTest, ArrowOfNullReported) {
+  CheckResult R = check("struct s { int v; };\n"
+                        "int f(/*@null@*/ struct s *p) { return p->v; }");
+  EXPECT_EQ(countOf(R, CheckId::NullDeref), 1u);
+  EXPECT_TRUE(R.contains("Arrow access from possibly null pointer p"));
+}
+
+TEST(NullTest, IndexOfNullReported) {
+  CheckResult R = check("int f(/*@null@*/ int *p) { return p[2]; }");
+  EXPECT_EQ(countOf(R, CheckId::NullDeref), 1u);
+}
+
+TEST(NullTest, OneBugOneMessage) {
+  // After the first report the state is poisoned; no cascade.
+  CheckResult R = check("int f(/*@null@*/ int *p) { return *p + *p; }");
+  EXPECT_EQ(countOf(R, CheckId::NullDeref), 1u);
+}
+
+TEST(NullTest, RelnullDerefAllowed) {
+  CheckResult R = check("int f(/*@relnull@*/ int *p) { return *p; }");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(NullTest, RelnullAcceptsNullAssignment) {
+  CheckResult R = check("struct s { /*@relnull@*/ char *opt; };\n"
+                        "void f(struct s *p) { p->opt = NULL; }");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(NullTest, PossiblyNullPassedAsNonNullParam) {
+  CheckResult R = check("extern void use(int *q);\n"
+                        "void f(/*@null@*/ int *p) { use(p); }");
+  EXPECT_EQ(countOf(R, CheckId::NullPass), 1u);
+}
+
+TEST(NullTest, NullConstantPassedAsNonNullParam) {
+  CheckResult R = check("extern void use(int *q);\n"
+                        "void f(void) { use(NULL); }");
+  EXPECT_EQ(countOf(R, CheckId::NullPass), 1u);
+}
+
+TEST(NullTest, NullAllowedForNullParam) {
+  CheckResult R = check("extern void use(/*@null@*/ int *q);\n"
+                        "void f(/*@null@*/ int *p) { use(p); use(NULL); }");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(NullTest, ReturningPossiblyNullAsNonNull) {
+  CheckResult R = check("int *f(/*@null@*/ /*@returned@*/ int *p) "
+                        "{ return p; }");
+  EXPECT_EQ(countOf(R, CheckId::NullReturn), 1u);
+}
+
+TEST(NullTest, ReturningNullConstantAsNonNull) {
+  CheckResult R = check("int *f(void) { return NULL; }");
+  EXPECT_EQ(countOf(R, CheckId::NullReturn), 1u);
+}
+
+TEST(NullTest, NullReturnAnnotationAllowsIt) {
+  CheckResult R = check("/*@null@*/ int *f(void) { return NULL; }");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(NullTest, MallocResultIsPossiblyNull) {
+  CheckResult R = check("int f(void) {\n"
+                        "  int *p = (int *) malloc(sizeof(int));\n"
+                        "  *p = 3;\n"
+                        "  free((void *) p);\n"
+                        "  return 0;\n"
+                        "}");
+  EXPECT_EQ(countOf(R, CheckId::NullDeref), 1u);
+}
+
+TEST(NullTest, GlobalNullStateCheckedAtExit) {
+  // Figure 2: the exit-point check on globals.
+  CheckResult R = check("extern char *g;\n"
+                        "void f(/*@null@*/ char *p) { g = p; }");
+  EXPECT_EQ(countOf(R, CheckId::NullReturn), 1u);
+  EXPECT_TRUE(R.contains(
+      "Function returns with non-null global g referencing null storage"));
+}
+
+TEST(NullTest, GlobalReassignedBeforeExitIsClean) {
+  // "It would not be an anomaly to assign gname to NULL in the body ... as
+  // long as it is re-assigned to a non-null value before the function
+  // returns."
+  CheckResult R = check("extern char *g;\n"
+                        "extern char *fresh(void);\n"
+                        "void f(/*@null@*/ char *p) { g = p; g = fresh(); }");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(NullTest, NullAnnotatedGlobalMayBeNullAtExit) {
+  CheckResult R = check("extern /*@null@*/ char *g;\n"
+                        "void f(/*@null@*/ char *p) { g = p; }");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(NullTest, AssertRefinesState) {
+  CheckResult R = check("int f(/*@null@*/ int *p) {\n"
+                        "  assert(p != NULL);\n"
+                        "  return *p;\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(NullTest, ExitTerminatesPath) {
+  // Figure 7's erc_create shape: after the error branch calls exit, the
+  // pointer is known non-null.
+  CheckResult R = check("int f(void) {\n"
+                        "  int *p = (int *) malloc(sizeof(int));\n"
+                        "  if (p == NULL) { exit(EXIT_FAILURE); }\n"
+                        "  *p = 1;\n"
+                        "  free((void *) p);\n"
+                        "  return 0;\n"
+                        "}");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(NullTest, TrueNullGuard) {
+  CheckResult R = check(
+      "extern /*@truenull@*/ int isNull(/*@null@*/ char *x);\n"
+      "int f(/*@null@*/ char *p) { if (!isNull(p)) { return *p; } return 0; }");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(NullTest, FalseNullGuard) {
+  CheckResult R = check(
+      "extern /*@falsenull@*/ int nonNull(/*@null@*/ char *x);\n"
+      "int f(/*@null@*/ char *p) { if (nonNull(p)) { return *p; } return 0; }");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(NullTest, TrueNullWrongBranchStillReported) {
+  CheckResult R = check(
+      "extern /*@truenull@*/ int isNull(/*@null@*/ char *x);\n"
+      "int f(/*@null@*/ char *p) { if (isNull(p)) { return *p; } return 0; }");
+  EXPECT_EQ(countOf(R, CheckId::NullDeref), 1u);
+}
+
+TEST(NullTest, NullStorageDerivableFromReturn) {
+  // Figure 7: "Null storage c->vals derivable from return value: c".
+  CheckResult R = check("typedef struct { int *vals; int n; } *box;\n"
+                        "box mk(void) {\n"
+                        "  box c = (box) malloc(sizeof(*c));\n"
+                        "  if (c == NULL) { exit(1); }\n"
+                        "  c->vals = NULL;\n"
+                        "  c->n = 0;\n"
+                        "  return c;\n"
+                        "}");
+  EXPECT_TRUE(R.contains("Null storage c->vals derivable from return value"));
+}
+
+TEST(NullTest, NullFieldAnnotationSilencesDerivableReturn) {
+  CheckResult R =
+      check("typedef struct { /*@null@*/ int *vals; int n; } *box;\n"
+            "box mk(void) {\n"
+            "  box c = (box) malloc(sizeof(*c));\n"
+            "  if (c == NULL) { exit(1); }\n"
+            "  c->vals = NULL;\n"
+            "  c->n = 0;\n"
+            "  return c;\n"
+            "}");
+  EXPECT_EQ(countOf(R, CheckId::NullReturn), 0u);
+}
+
+TEST(NullTest, NotnullOverridesTypedefNull) {
+  CheckResult R = check("typedef /*@null@*/ char *np;\n"
+                        "int f(/*@notnull@*/ np p) { return *p; }");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+// Parameterized sweep over the guard forms the analysis must recognize.
+class GuardFormTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(GuardFormTest, GuardedDerefIsClean) {
+  std::string Source =
+      std::string("extern /*@truenull@*/ int isNull(/*@null@*/ int *x);\n"
+                  "int f(/*@null@*/ int *p) {\n") +
+      GetParam() + "\n  return 0;\n}\n";
+  CheckResult R = Checker::checkSource(Source, CheckOptions(), "test.c");
+  EXPECT_EQ(R.anomalyCount(), 0u) << GetParam() << "\n" << R.render();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Forms, GuardFormTest,
+    ::testing::Values(
+        "  if (p != NULL) { return *p; }",
+        "  if (NULL != p) { return *p; }",
+        "  if (p) { return *p; }",
+        "  if (p == NULL) { return 0; } return *p;",
+        "  if (!p) { return 0; } return *p;",
+        "  if (p == NULL) { exit(1); } return *p;",
+        "  if (!isNull(p)) { return *p; }",
+        "  if (p != NULL && *p > 0) { return *p; }",
+        "  if (p == NULL || *p > 0) { return 0; } return *p;",
+        "  while (p != NULL) { return *p; }",
+        "  assert(p != NULL); return *p;",
+        "  return (p != NULL) ? *p : 0;"));
+
+} // namespace

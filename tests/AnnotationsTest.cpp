@@ -1,0 +1,176 @@
+//===--- AnnotationsTest.cpp - Annotation & type-system tests ------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/AST.h"
+#include "checker/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+
+namespace {
+
+TEST(AnnotationsTest, AddWordsByCategory) {
+  Annotations A;
+  EXPECT_TRUE(A.addWord("null"));
+  EXPECT_TRUE(A.addWord("out"));
+  EXPECT_TRUE(A.addWord("only"));
+  EXPECT_TRUE(A.addWord("unique"));
+  EXPECT_EQ(A.Null, NullAnn::Null);
+  EXPECT_EQ(A.Def, DefAnn::Out);
+  EXPECT_EQ(A.Alloc, AllocAnn::Only);
+  EXPECT_TRUE(A.Unique);
+}
+
+TEST(AnnotationsTest, EmptyPredicate) {
+  Annotations A;
+  EXPECT_TRUE(A.empty());
+  A.addWord("temp");
+  EXPECT_FALSE(A.empty());
+}
+
+TEST(AnnotationsTest, SameWordTwiceIsFine) {
+  Annotations A;
+  EXPECT_TRUE(A.addWord("only"));
+  EXPECT_TRUE(A.addWord("only"));
+}
+
+TEST(AnnotationsTest, TrueNullFalseNullConflict) {
+  Annotations A;
+  EXPECT_TRUE(A.addWord("truenull"));
+  EXPECT_FALSE(A.addWord("falsenull"));
+}
+
+TEST(AnnotationsTest, OverrideWithDeclWins) {
+  Annotations FromType;
+  FromType.addWord("null");
+  FromType.addWord("only");
+  Annotations FromDecl;
+  FromDecl.addWord("notnull");
+  Annotations Combined = Annotations::overrideWith(FromType, FromDecl);
+  EXPECT_EQ(Combined.Null, NullAnn::NotNull); // declaration overrides
+  EXPECT_EQ(Combined.Alloc, AllocAnn::Only);  // type supplies the rest
+}
+
+TEST(AnnotationsTest, StrRendersAll) {
+  Annotations A;
+  A.addWord("null");
+  A.addWord("only");
+  A.addWord("unique");
+  EXPECT_EQ(A.str(), "/*@null@*/ /*@only@*/ /*@unique@*/");
+}
+
+// The "at most one annotation in any category" rule, swept over every
+// in-category pair.
+struct CategoryCase {
+  const char *First;
+  const char *Second;
+  bool SameValue;
+};
+
+class CategoryConflictTest : public ::testing::TestWithParam<CategoryCase> {
+};
+
+TEST_P(CategoryConflictTest, SecondWordRejectedUnlessEqual) {
+  const CategoryCase &C = GetParam();
+  Annotations A;
+  ASSERT_TRUE(A.addWord(C.First));
+  EXPECT_EQ(A.addWord(C.Second), C.SameValue) << C.First << "+" << C.Second;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NullCategory, CategoryConflictTest,
+    ::testing::Values(CategoryCase{"null", "notnull", false},
+                      CategoryCase{"null", "relnull", false},
+                      CategoryCase{"notnull", "relnull", false},
+                      CategoryCase{"relnull", "relnull", true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    DefCategory, CategoryConflictTest,
+    ::testing::Values(CategoryCase{"out", "in", false},
+                      CategoryCase{"out", "partial", false},
+                      CategoryCase{"in", "reldef", false},
+                      CategoryCase{"partial", "reldef", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    AllocCategory, CategoryConflictTest,
+    ::testing::Values(CategoryCase{"only", "keep", false},
+                      CategoryCase{"only", "temp", false},
+                      CategoryCase{"only", "owned", false},
+                      CategoryCase{"only", "dependent", false},
+                      CategoryCase{"only", "shared", false},
+                      CategoryCase{"keep", "temp", false},
+                      CategoryCase{"owned", "dependent", false},
+                      CategoryCase{"temp", "temp", true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    ExposureCategory, CategoryConflictTest,
+    ::testing::Values(CategoryCase{"observer", "exposed", false},
+                      CategoryCase{"observer", "observer", true}));
+
+//===--- type system ----------------------------------------------------------===//
+
+TEST(TypeTest, BuiltinsCanonical) {
+  ASTContext Ctx;
+  EXPECT_EQ(Ctx.intTy(), Ctx.builtin(BuiltinType::Kind::Int));
+  EXPECT_TRUE(Ctx.intTy().isInteger());
+  EXPECT_TRUE(Ctx.intTy().isArithmetic());
+  EXPECT_FALSE(Ctx.intTy().isPointer());
+  EXPECT_TRUE(Ctx.voidTy().isVoid());
+  EXPECT_FALSE(Ctx.doubleTy().isInteger());
+  EXPECT_TRUE(Ctx.doubleTy().isArithmetic());
+}
+
+TEST(TypeTest, PointerUniquing) {
+  ASTContext Ctx;
+  QualType P1 = Ctx.pointerTo(Ctx.charTy());
+  QualType P2 = Ctx.pointerTo(Ctx.charTy());
+  EXPECT_EQ(P1.type(), P2.type());
+  EXPECT_TRUE(P1.isPointer());
+  EXPECT_EQ(P1.pointee(), Ctx.charTy());
+}
+
+TEST(TypeTest, TypedefCanonicalization) {
+  ASTContext Ctx;
+  auto *TD = Ctx.create<TypedefDecl>("size_t", SourceLocation(),
+                                     Ctx.unsignedLongTy(), Annotations());
+  QualType Sugar = Ctx.typedefTy(TD);
+  EXPECT_TRUE(Sugar.isInteger());
+  EXPECT_EQ(Sugar.canonical(), Ctx.unsignedLongTy());
+  EXPECT_EQ(Sugar.str(), "size_t");
+}
+
+TEST(TypeTest, TypeAnnotationsChain) {
+  ASTContext Ctx;
+  Annotations Inner;
+  Inner.addWord("null");
+  auto *InnerTD = Ctx.create<TypedefDecl>(
+      "np", SourceLocation(), Ctx.pointerTo(Ctx.charTy()), Inner);
+  Annotations Outer;
+  Outer.addWord("only");
+  auto *OuterTD = Ctx.create<TypedefDecl>("onp", SourceLocation(),
+                                          Ctx.typedefTy(InnerTD), Outer);
+  Annotations All = typeAnnotations(Ctx.typedefTy(OuterTD));
+  EXPECT_EQ(All.Null, NullAnn::Null);
+  EXPECT_EQ(All.Alloc, AllocAnn::Only);
+}
+
+TEST(TypeTest, TypeToString) {
+  ASTContext Ctx;
+  EXPECT_EQ(Ctx.pointerTo(Ctx.charTy()).str(), "char *");
+  EXPECT_EQ(Ctx.arrayOf(Ctx.intTy(), 8).str(), "int [8]");
+  QualType FT = Ctx.functionTy(Ctx.intTy(), {Ctx.charTy()}, false);
+  EXPECT_EQ(FT.str(), "int (char)");
+}
+
+TEST(TypeTest, ConstQualifier) {
+  ASTContext Ctx;
+  QualType CQ = Ctx.charTy().withConst();
+  EXPECT_TRUE(CQ.isConst());
+  EXPECT_EQ(CQ.str(), "const char");
+}
+
+} // namespace

@@ -1,0 +1,211 @@
+//===--- CorpusAndFlagsTest.cpp - Corpus generators & flag machinery -----------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "corpus/Corpus.h"
+#include "support/Flags.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+using namespace memlint::corpus;
+
+namespace {
+
+//===--- flags ---------------------------------------------------------------===//
+
+TEST(FlagsTest, DefaultsMatchPaper) {
+  FlagSet F;
+  EXPECT_FALSE(F.get("gcmode"));
+  EXPECT_FALSE(F.get("implicitonlyret"));
+  EXPECT_TRUE(F.get("impliedtempparams"));
+  EXPECT_TRUE(F.get("strictindexalias"));
+  EXPECT_FALSE(F.get("illegalfree")); // the 1996 tool missed these
+  EXPECT_TRUE(F.get("mustfree"));     // all check classes on
+  EXPECT_TRUE(F.get("nullderef"));
+}
+
+TEST(FlagsTest, ParsePlusMinus) {
+  FlagSet F;
+  EXPECT_TRUE(F.parse("+gcmode"));
+  EXPECT_TRUE(F.get("gcmode"));
+  EXPECT_TRUE(F.parse("-gcmode"));
+  EXPECT_FALSE(F.get("gcmode"));
+  EXPECT_FALSE(F.parse("gcmode"));
+  EXPECT_FALSE(F.parse("+nosuchflag"));
+  EXPECT_FALSE(F.parse(""));
+}
+
+TEST(FlagsTest, SaveRestore) {
+  FlagSet F;
+  F.save();
+  F.set("mustfree", false);
+  EXPECT_FALSE(F.get("mustfree"));
+  F.restore();
+  EXPECT_TRUE(F.get("mustfree"));
+}
+
+TEST(FlagsTest, KnownFlagsListed) {
+  FlagSet F;
+  std::vector<std::string> Names = F.knownFlags();
+  EXPECT_GE(Names.size(), 20u);
+  for (const std::string &Name : Names)
+    EXPECT_TRUE(F.isKnown(Name));
+}
+
+TEST(FlagsTest, CheckClassFlagDisablesGlobally) {
+  CheckOptions Options;
+  Options.Flags.set("mustfree", false);
+  CheckResult R = Checker::checkSource(
+      "void f(/*@only@*/ char *p) { }", Options, "t.c");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+//===--- control-comment suppression -------------------------------------------===//
+
+TEST(SuppressionTest, MinusFlagRegion) {
+  CheckResult R = Checker::checkSource("/*@-mustfree@*/\n"
+                                       "void f(/*@only@*/ char *p) { }\n"
+                                       "/*@=mustfree@*/\n"
+                                       "void g(/*@only@*/ char *q) { }\n");
+  // Only g's anomaly survives.
+  EXPECT_EQ(R.anomalyCount(), 1u) << R.render();
+  EXPECT_EQ(R.SuppressedCount, 1u);
+  EXPECT_TRUE(R.contains("Only storage q"));
+}
+
+TEST(SuppressionTest, IgnoreEndRegion) {
+  CheckResult R = Checker::checkSource("/*@ignore@*/\n"
+                                       "void f(/*@only@*/ char *p) { }\n"
+                                       "/*@end@*/\n"
+                                       "void g(/*@only@*/ char *q) { }\n");
+  EXPECT_EQ(R.anomalyCount(), 1u) << R.render();
+}
+
+TEST(SuppressionTest, SuppressedCountTracked) {
+  CheckResult R = Checker::checkSource(
+      "/*@ignore@*/\nvoid f(/*@only@*/ char *p) { }\n/*@end@*/\n");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+  EXPECT_EQ(R.SuppressedCount, 1u);
+}
+
+//===--- corpus utilities -----------------------------------------------------===//
+
+TEST(CorpusTest, StripAnnotationsRemovesAll) {
+  std::string Stripped = stripAnnotations(
+      "extern /*@null@*/ /*@only@*/ char *g; /*@-mustfree@*/ int x;");
+  EXPECT_EQ(Stripped.find("/*@"), std::string::npos);
+  EXPECT_NE(Stripped.find("extern char *g;"), std::string::npos);
+}
+
+TEST(CorpusTest, CountAnnotationsSkipsControls) {
+  Program P;
+  P.Files.add("a.c",
+              "/*@null@*/ /*@only@*/ int *g; /*@-mustfree@*/ /*@end@*/");
+  EXPECT_EQ(countAnnotations(P), 2u);
+}
+
+TEST(CorpusTest, SampleFigureVariants) {
+  for (int V = 1; V <= 4; ++V) {
+    Program P = sampleFigure(V);
+    EXPECT_FALSE(P.MainFiles.empty());
+    EXPECT_TRUE(P.Files.exists("sample.c"));
+  }
+  EXPECT_EQ(countAnnotations(sampleFigure(1)), 0u);
+  EXPECT_EQ(countAnnotations(sampleFigure(4)), 2u);
+}
+
+TEST(CorpusTest, DbVersionsShareLineNumbers) {
+  // Stage derivation preserves the line structure so diagnostics remain
+  // comparable across stages.
+  Program A = employeeDb(DbVersion::Fixed);
+  Program B = employeeDb(DbVersion::OnlyAdded);
+  EXPECT_EQ(totalLines(A), totalLines(B));
+}
+
+TEST(CorpusTest, GeneratorDeterministic) {
+  GenOptions O;
+  O.Seed = 7;
+  Program A = syntheticProgram(O);
+  Program B = syntheticProgram(O);
+  for (const std::string &Name : A.Files.names())
+    EXPECT_EQ(*A.Files.read(Name), *B.Files.read(Name));
+}
+
+TEST(CorpusTest, GeneratorScalesLinearly) {
+  GenOptions Small;
+  Small.Modules = 2;
+  GenOptions Large;
+  Large.Modules = 8;
+  unsigned SmallLines = totalLines(syntheticProgram(Small));
+  unsigned LargeLines = totalLines(syntheticProgram(Large));
+  EXPECT_GT(LargeLines, 3 * SmallLines);
+}
+
+TEST(CorpusTest, SeededBugVariantsDiffer) {
+  Program V0 = seededBug(BugKind::Leak, 0);
+  Program V1 = seededBug(BugKind::Leak, 1);
+  EXPECT_NE(*V0.Files.read("bug.c"), *V1.Files.read("bug.c"));
+}
+
+TEST(CorpusTest, DetectabilityTables) {
+  // The paper's experience section: these classes were missed statically.
+  EXPECT_FALSE(staticallyDetectable(BugKind::OffsetFree));
+  EXPECT_FALSE(staticallyDetectable(BugKind::StaticFree));
+  EXPECT_FALSE(staticallyDetectable(BugKind::GlobalLeakAtExit));
+  EXPECT_TRUE(staticallyDetectable(BugKind::NullDeref));
+  EXPECT_TRUE(staticallyDetectable(BugKind::Leak));
+  for (BugKind K : allBugKinds())
+    EXPECT_TRUE(dynamicallyDetectable(K));
+}
+
+// Property sweep: generated programs parse and check cleanly at several
+// sizes and seeds (round-trip of the whole pipeline).
+struct GenCase {
+  unsigned Modules;
+  unsigned Seed;
+};
+
+class GeneratorPropertyTest : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorPropertyTest, ChecksCleanly) {
+  GenOptions O;
+  O.Modules = GetParam().Modules;
+  O.FunctionsPerModule = 12;
+  O.Seed = GetParam().Seed;
+  Program P = syntheticProgram(O);
+  CheckResult R = Checker::checkFiles(P.Files, P.MainFiles);
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeneratorPropertyTest,
+                         ::testing::Values(GenCase{1, 3}, GenCase{2, 17},
+                                           GenCase{4, 99}, GenCase{6, 7},
+                                           GenCase{3, 123456}));
+
+// Property: every statically-detectable seeded bug is reported, and the
+// 1996-missed classes stay silent under default flags.
+class SeededBugStaticTest
+    : public ::testing::TestWithParam<std::tuple<BugKind, unsigned>> {};
+
+TEST_P(SeededBugStaticTest, MatchesDetectabilityTable) {
+  auto [Kind, Variant] = GetParam();
+  Program P = seededBug(Kind, Variant);
+  CheckResult R = Checker::checkFiles(P.Files, P.MainFiles);
+  if (staticallyDetectable(Kind))
+    EXPECT_GE(R.anomalyCount(), 1u) << bugKindName(Kind) << "\n"
+                                    << R.render();
+  else
+    EXPECT_EQ(R.anomalyCount(), 0u) << bugKindName(Kind) << "\n"
+                                    << R.render();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsBothVariants, SeededBugStaticTest,
+    ::testing::Combine(::testing::ValuesIn(allBugKinds()),
+                       ::testing::Values(0u, 1u)));
+
+} // namespace

@@ -1,0 +1,232 @@
+//===--- EnvTest.cpp - Environment and RefPath unit tests ----------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Env.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+
+namespace {
+
+class EnvTest : public ::testing::Test {
+protected:
+  ASTContext Ctx;
+  VarDecl *L = nullptr;
+  ParmVarDecl *P = nullptr;
+  FieldDecl *Next = nullptr;
+  FieldDecl *ThisF = nullptr;
+
+  void SetUp() override {
+    L = Ctx.create<VarDecl>("l", SourceLocation("f.c", 1, 1),
+                            Ctx.pointerTo(Ctx.charTy()), Annotations(),
+                            StorageClass::None, /*Global=*/false);
+    P = Ctx.create<ParmVarDecl>("p", SourceLocation("f.c", 2, 1),
+                                Ctx.pointerTo(Ctx.charTy()), Annotations(),
+                                0);
+    Next = Ctx.create<FieldDecl>("next", SourceLocation("f.c", 3, 1),
+                                 Ctx.pointerTo(Ctx.charTy()), Annotations(),
+                                 0);
+    ThisF = Ctx.create<FieldDecl>("this", SourceLocation("f.c", 4, 1),
+                                  Ctx.pointerTo(Ctx.charTy()), Annotations(),
+                                  1);
+  }
+
+  static PathElem deref() {
+    PathElem E;
+    E.K = PathElem::Kind::Deref;
+    return E;
+  }
+  static PathElem dot(FieldDecl *F) {
+    PathElem E;
+    E.K = PathElem::Kind::Dot;
+    E.Field = F;
+    E.FieldName = F->name();
+    return E;
+  }
+  RefPath arrow(RefPath Base, FieldDecl *F) {
+    return Base.child(deref()).child(dot(F));
+  }
+
+  static SVal mk(DefState D, NullState N, AllocState A) {
+    SVal V;
+    V.Def = D;
+    V.Null = N;
+    V.Alloc = A;
+    return V;
+  }
+
+  Env::DefaultFn defaultAll(SVal V) {
+    return [V](const RefPath &) { return V; };
+  }
+};
+
+TEST_F(EnvTest, RefPathPrinting) {
+  RefPath Root = RefPath::var(L);
+  EXPECT_EQ(Root.str(), "l");
+  EXPECT_EQ(arrow(Root, Next).str(), "l->next");
+  EXPECT_EQ(arrow(arrow(Root, Next), ThisF).str(), "l->next->this");
+  EXPECT_EQ(Root.child(deref()).str(), "*l");
+  EXPECT_EQ(Root.child(deref()).child(deref()).str(), "**l");
+}
+
+TEST_F(EnvTest, PrefixOperations) {
+  RefPath Root = RefPath::var(L);
+  RefPath Child = arrow(Root, Next);
+  RefPath GrandChild = arrow(Child, ThisF);
+  EXPECT_TRUE(Child.hasPrefix(Root));
+  EXPECT_TRUE(GrandChild.hasPrefix(Child));
+  EXPECT_TRUE(GrandChild.hasPrefix(GrandChild));
+  EXPECT_FALSE(Root.hasPrefix(Child));
+
+  RefPath Mirror = RefPath::arg(P);
+  RefPath Rewritten = GrandChild.withPrefixReplaced(Root, Mirror);
+  EXPECT_EQ(Rewritten.str(), "p->next->this");
+  EXPECT_EQ(Rewritten.rootKind(), RefPath::RootKind::Arg);
+}
+
+TEST_F(EnvTest, ArgAndVarRootsDistinct) {
+  RefPath VarRoot = RefPath::var(P);
+  RefPath ArgRoot = RefPath::arg(P);
+  EXPECT_NE(VarRoot, ArgRoot);
+  EXPECT_FALSE(VarRoot.hasPrefix(ArgRoot));
+}
+
+TEST_F(EnvTest, SetAndFind) {
+  Env S;
+  RefPath Root = RefPath::var(L);
+  EXPECT_EQ(S.find(Root), nullptr);
+  S.set(Root, mk(DefState::Defined, NullState::NotNull, AllocState::Temp));
+  ASSERT_NE(S.find(Root), nullptr);
+  EXPECT_EQ(S.find(Root)->Alloc, AllocState::Temp);
+}
+
+TEST_F(EnvTest, EraseDescendantsKeepsSelf) {
+  Env S;
+  RefPath Root = RefPath::var(L);
+  RefPath Child = arrow(Root, Next);
+  S.set(Root, mk(DefState::Defined, NullState::NotNull, AllocState::Temp));
+  S.set(Child, mk(DefState::Undefined, NullState::Unknown,
+                  AllocState::Unqualified));
+  S.eraseDescendants(Root);
+  EXPECT_NE(S.find(Root), nullptr);
+  EXPECT_EQ(S.find(Child), nullptr);
+}
+
+TEST_F(EnvTest, AliasSymmetryAndClear) {
+  Env S;
+  RefPath A = RefPath::var(L);
+  RefPath B = RefPath::arg(P);
+  S.addAlias(A, B);
+  EXPECT_EQ(S.aliasesOf(A).count(B), 1u);
+  EXPECT_EQ(S.aliasesOf(B).count(A), 1u);
+  S.clearAliases(A);
+  EXPECT_TRUE(S.aliasesOf(A).empty());
+  EXPECT_TRUE(S.aliasesOf(B).empty());
+}
+
+TEST_F(EnvTest, ExpansionsThroughAliasedPrefix) {
+  // l aliases argp: l->next expands to {l->next, argp->next}.
+  Env S;
+  RefPath LRoot = RefPath::var(L);
+  RefPath Mirror = RefPath::arg(P);
+  S.addAlias(LRoot, Mirror);
+  std::vector<RefPath> Exp = S.expansions(arrow(LRoot, Next));
+  ASSERT_EQ(Exp.size(), 2u);
+  bool SawMirror = false;
+  for (const RefPath &R : Exp)
+    if (R.rootKind() == RefPath::RootKind::Arg)
+      SawMirror = true;
+  EXPECT_TRUE(SawMirror);
+}
+
+TEST_F(EnvTest, ExpansionsThroughDerivedAlias) {
+  // The Figure 5 situation: l aliases argp->next; writing l->next also
+  // covers argp->next->next.
+  Env S;
+  RefPath LRoot = RefPath::var(L);
+  RefPath MirrorNext = arrow(RefPath::arg(P), Next);
+  S.addAlias(LRoot, MirrorNext);
+  std::vector<RefPath> Exp = S.expansions(arrow(LRoot, Next));
+  bool SawDeep = false;
+  for (const RefPath &R : Exp)
+    if (R.str() == "p->next->next")
+      SawDeep = true;
+  EXPECT_TRUE(SawDeep);
+}
+
+TEST_F(EnvTest, MergeTakesWeakestDef) {
+  SVal Default = mk(DefState::Defined, NullState::NotNull,
+                    AllocState::Unqualified);
+  Env A, B;
+  RefPath Root = RefPath::var(L);
+  A.set(Root, mk(DefState::Defined, NullState::NotNull,
+                 AllocState::Unqualified));
+  B.set(Root, mk(DefState::Undefined, NullState::NotNull,
+                 AllocState::Unqualified));
+  std::vector<Env::Conflict> Conflicts = A.mergeFrom(B, defaultAll(Default));
+  EXPECT_TRUE(Conflicts.empty());
+  EXPECT_EQ(A.find(Root)->Def, DefState::Undefined);
+}
+
+TEST_F(EnvTest, MergeObligationConflictReported) {
+  SVal Default = mk(DefState::Defined, NullState::NotNull,
+                    AllocState::Unqualified);
+  Env A, B;
+  RefPath Root = RefPath::var(L);
+  A.set(Root, mk(DefState::Defined, NullState::NotNull, AllocState::Kept));
+  B.set(Root, mk(DefState::Defined, NullState::NotNull, AllocState::Only));
+  std::vector<Env::Conflict> Conflicts = A.mergeFrom(B, defaultAll(Default));
+  ASSERT_EQ(Conflicts.size(), 1u);
+  EXPECT_TRUE(Conflicts[0].AllocConflict);
+  EXPECT_EQ(A.find(Root)->Alloc, AllocState::Error);
+}
+
+TEST_F(EnvTest, MergeNullSideHasNoObligation) {
+  // "if (p != NULL) free(p)": the null side merges cleanly.
+  SVal Default = mk(DefState::Defined, NullState::NotNull,
+                    AllocState::Unqualified);
+  Env FreeSide, NullSide;
+  RefPath Root = RefPath::var(L);
+  SVal Freed = mk(DefState::Dead, NullState::NotNull, AllocState::Kept);
+  FreeSide.set(Root, Freed);
+  NullSide.set(Root, mk(DefState::Defined, NullState::DefinitelyNull,
+                        AllocState::Only));
+  std::vector<Env::Conflict> Conflicts =
+      FreeSide.mergeFrom(NullSide, defaultAll(Default));
+  EXPECT_TRUE(Conflicts.empty());
+}
+
+TEST_F(EnvTest, MergeUnreachableSides) {
+  SVal Default = mk(DefState::Defined, NullState::NotNull,
+                    AllocState::Unqualified);
+  Env A, B;
+  RefPath Root = RefPath::var(L);
+  B.set(Root, mk(DefState::Dead, NullState::NotNull, AllocState::Kept));
+  B.setUnreachable();
+  A.set(Root, mk(DefState::Defined, NullState::NotNull, AllocState::Only));
+  EXPECT_TRUE(A.mergeFrom(B, defaultAll(Default)).empty());
+  EXPECT_EQ(A.find(Root)->Def, DefState::Defined); // B contributed nothing
+
+  Env C;
+  C.setUnreachable();
+  EXPECT_TRUE(C.mergeFrom(A, defaultAll(Default)).empty());
+  EXPECT_FALSE(C.isUnreachable());
+  EXPECT_EQ(C.find(Root)->Alloc, AllocState::Only);
+}
+
+TEST_F(EnvTest, MergeUnionsAliases) {
+  SVal Default = mk(DefState::Defined, NullState::NotNull,
+                    AllocState::Unqualified);
+  Env A, B;
+  RefPath LRoot = RefPath::var(L);
+  RefPath Mirror = RefPath::arg(P);
+  B.addAlias(LRoot, Mirror);
+  A.mergeFrom(B, defaultAll(Default));
+  EXPECT_EQ(A.aliasesOf(LRoot).count(Mirror), 1u);
+}
+
+} // namespace

@@ -1,0 +1,380 @@
+//===--- InterpreterTest.cpp - Run-time baseline tests -------------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Frontend.h"
+#include "corpus/Corpus.h"
+#include "interp/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+using namespace memlint::corpus;
+
+namespace {
+
+RunResult run(const std::string &Source) {
+  Frontend FE;
+  TranslationUnit *TU = FE.parseSource(Source);
+  EXPECT_TRUE(FE.diags().empty()) << FE.diags().str();
+  Interpreter I(*TU);
+  return I.run();
+}
+
+TEST(InterpTest, ReturnsExitCode) {
+  RunResult R = run("int main(void) { return 7; }");
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.ExitCode, 7);
+  EXPECT_TRUE(R.Errors.empty());
+}
+
+TEST(InterpTest, ArithmeticAndControlFlow) {
+  RunResult R = run("int main(void) {\n"
+                    "  int acc = 0;\n"
+                    "  int i;\n"
+                    "  for (i = 1; i <= 10; i = i + 1) {\n"
+                    "    if (i % 2 == 0) { acc = acc + i; }\n"
+                    "  }\n"
+                    "  return acc;\n"
+                    "}");
+  EXPECT_EQ(R.ExitCode, 30); // 2+4+6+8+10
+}
+
+TEST(InterpTest, FunctionsAndRecursion) {
+  RunResult R = run("int fib(int n) {\n"
+                    "  if (n < 2) { return n; }\n"
+                    "  return fib(n - 1) + fib(n - 2);\n"
+                    "}\n"
+                    "int main(void) { return fib(10); }");
+  EXPECT_EQ(R.ExitCode, 55);
+}
+
+TEST(InterpTest, PrintfOutputCaptured) {
+  RunResult R = run("int main(void) {\n"
+                    "  printf(\"n=%d s=%s c=%c%%\\n\", 42, \"hi\", 'x');\n"
+                    "  return 0;\n"
+                    "}");
+  EXPECT_EQ(R.Output, "n=42 s=hi c=x%\n");
+}
+
+TEST(InterpTest, StringBuiltins) {
+  RunResult R = run("int main(void) {\n"
+                    "  char buf[32];\n"
+                    "  strcpy(buf, \"abc\");\n"
+                    "  strcat(buf, \"def\");\n"
+                    "  if (strcmp(buf, \"abcdef\") != 0) { return 1; }\n"
+                    "  return (int) strlen(buf);\n"
+                    "}");
+  EXPECT_EQ(R.ExitCode, 6);
+  EXPECT_TRUE(R.Errors.empty());
+}
+
+TEST(InterpTest, StructsAndPointers) {
+  RunResult R = run("struct pt { int x; int y; };\n"
+                    "int main(void) {\n"
+                    "  struct pt a;\n"
+                    "  struct pt b;\n"
+                    "  struct pt *p = &a;\n"
+                    "  p->x = 3;\n"
+                    "  p->y = 4;\n"
+                    "  b = a;\n"
+                    "  return b.x * 10 + b.y;\n"
+                    "}");
+  EXPECT_EQ(R.ExitCode, 34);
+  EXPECT_TRUE(R.Errors.empty());
+}
+
+TEST(InterpTest, HeapRoundTrip) {
+  RunResult R = run("int main(void) {\n"
+                    "  int *p = (int *) malloc(sizeof(int));\n"
+                    "  int v;\n"
+                    "  if (p == NULL) { return 1; }\n"
+                    "  *p = 9;\n"
+                    "  v = *p;\n"
+                    "  free((void *) p);\n"
+                    "  return v;\n"
+                    "}");
+  EXPECT_EQ(R.ExitCode, 9);
+  EXPECT_TRUE(R.Errors.empty());
+}
+
+TEST(InterpTest, NullDerefDetected) {
+  RunResult R = run("int main(void) {\n"
+                    "  int *p = NULL;\n"
+                    "  return *p;\n"
+                    "}");
+  EXPECT_TRUE(R.hasError(RuntimeError::Kind::NullDeref));
+  EXPECT_FALSE(R.Completed);
+}
+
+TEST(InterpTest, UseAfterFreeDetected) {
+  RunResult R = run("int main(void) {\n"
+                    "  int *p = (int *) malloc(sizeof(int));\n"
+                    "  if (p == NULL) { return 1; }\n"
+                    "  *p = 1;\n"
+                    "  free((void *) p);\n"
+                    "  return *p;\n"
+                    "}");
+  EXPECT_TRUE(R.hasError(RuntimeError::Kind::UseAfterFree));
+}
+
+TEST(InterpTest, DoubleFreeDetected) {
+  RunResult R = run("int main(void) {\n"
+                    "  int *p = (int *) malloc(sizeof(int));\n"
+                    "  if (p == NULL) { return 1; }\n"
+                    "  *p = 0;\n"
+                    "  free((void *) p);\n"
+                    "  free((void *) p);\n"
+                    "  return 0;\n"
+                    "}");
+  EXPECT_TRUE(R.hasError(RuntimeError::Kind::DoubleFree));
+}
+
+TEST(InterpTest, UndefinedReadDetectedAndContinues) {
+  RunResult R = run("int main(void) {\n"
+                    "  int *p = (int *) malloc(sizeof(int));\n"
+                    "  int v;\n"
+                    "  if (p == NULL) { return 1; }\n"
+                    "  v = *p;\n"
+                    "  free((void *) p);\n"
+                    "  return v;\n"
+                    "}");
+  EXPECT_TRUE(R.hasError(RuntimeError::Kind::UndefRead));
+  EXPECT_TRUE(R.Completed); // Purify-style: report and continue
+}
+
+TEST(InterpTest, OffsetFreeDetected) {
+  RunResult R = run("int main(void) {\n"
+                    "  char *p = (char *) malloc(8);\n"
+                    "  if (p == NULL) { return 1; }\n"
+                    "  p[0] = 'x';\n"
+                    "  p += 2;\n"
+                    "  free((void *) p);\n"
+                    "  return 0;\n"
+                    "}");
+  EXPECT_TRUE(R.hasError(RuntimeError::Kind::OffsetFree));
+}
+
+TEST(InterpTest, StaticFreeDetected) {
+  RunResult R = run("static int g;\n"
+                    "int main(void) {\n"
+                    "  int *p = &g;\n"
+                    "  free((void *) p);\n"
+                    "  return 0;\n"
+                    "}");
+  EXPECT_TRUE(R.hasError(RuntimeError::Kind::BadFree));
+}
+
+TEST(InterpTest, LeakAtExitDetected) {
+  RunResult R = run("int main(void) {\n"
+                    "  char *p = (char *) malloc(8);\n"
+                    "  if (p == NULL) { return 1; }\n"
+                    "  p[0] = 'x';\n"
+                    "  return 0;\n"
+                    "}");
+  EXPECT_TRUE(R.hasError(RuntimeError::Kind::LeakAtExit));
+  EXPECT_TRUE(R.Completed);
+}
+
+TEST(InterpTest, FreeNullIsAllowed) {
+  RunResult R = run("int main(void) { free(NULL); return 0; }");
+  EXPECT_TRUE(R.Errors.empty());
+}
+
+TEST(InterpTest, AssertFailureDetected) {
+  RunResult R = run("int main(void) { assert(1 == 2); return 0; }");
+  EXPECT_TRUE(R.hasError(RuntimeError::Kind::AssertFailed));
+}
+
+TEST(InterpTest, ExitStopsExecution) {
+  RunResult R = run("int main(void) {\n"
+                    "  printf(\"before\\n\");\n"
+                    "  exit(3);\n"
+                    "  printf(\"after\\n\");\n"
+                    "  return 0;\n"
+                    "}");
+  EXPECT_EQ(R.Output, "before\n");
+  EXPECT_EQ(R.ExitCode, 3);
+  EXPECT_TRUE(R.Completed);
+}
+
+TEST(InterpTest, OutOfBoundsDetected) {
+  RunResult R = run("int main(void) {\n"
+                    "  char *p = (char *) malloc(4);\n"
+                    "  if (p == NULL) { return 1; }\n"
+                    "  p[10] = 'x';\n"
+                    "  free((void *) p);\n"
+                    "  return 0;\n"
+                    "}");
+  EXPECT_TRUE(R.hasError(RuntimeError::Kind::OutOfBounds));
+}
+
+TEST(InterpTest, InfiniteLoopTrapped) {
+  Frontend FE;
+  TranslationUnit *TU =
+      FE.parseSource("int main(void) { while (1) { } return 0; }");
+  Interpreter I(*TU);
+  RunResult R = I.run("main", /*MaxSteps=*/10000);
+  EXPECT_TRUE(R.hasError(RuntimeError::Kind::Trap));
+}
+
+TEST(InterpTest, SwitchDispatchAndFallthrough) {
+  RunResult R = run("int pick(int k) {\n"
+                    "  int acc = 0;\n"
+                    "  switch (k) {\n"
+                    "  case 1: acc = acc + 1;\n"
+                    "  case 2: acc = acc + 2; break;\n"
+                    "  default: acc = 100;\n"
+                    "  }\n"
+                    "  return acc;\n"
+                    "}\n"
+                    "int main(void) {\n"
+                    "  return pick(1) * 100 + pick(2) * 10 + pick(9);\n"
+                    "}");
+  EXPECT_EQ(R.ExitCode, 3 * 100 + 2 * 10 + 100);
+}
+
+TEST(InterpTest, EmployeeDatabaseRunsToCompletion) {
+  Program P = employeeDb(DbVersion::Fixed);
+  Frontend FE;
+  TranslationUnit *TU = FE.parseProgram(P.Files, P.MainFiles);
+  ASSERT_TRUE(FE.diags().empty()) << FE.diags().str();
+  Interpreter I(*TU);
+  RunResult R = I.run();
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.ExitCode, 0);
+  // Output contains the hires and query results.
+  EXPECT_NE(R.Output.find("Dana 1001 70000"), std::string::npos);
+  EXPECT_NE(R.Output.find("female managers: 2"), std::string::npos);
+  // The only residual errors are the static-pool blocks never released —
+  // the paper's "storage reachable from global and static variables".
+  for (const RuntimeError &E : R.Errors)
+    EXPECT_EQ(E.K, RuntimeError::Kind::LeakAtExit) << E.str();
+  EXPECT_EQ(R.Errors.size(), 2u);
+}
+
+TEST(InterpTest, DriverLeaksObservableAtRuntime) {
+  // The OnlyAdded stage (without the six frees) leaks at run time too.
+  Program P = employeeDb(DbVersion::OnlyAdded);
+  Frontend FE;
+  TranslationUnit *TU = FE.parseProgram(P.Files, P.MainFiles);
+  Interpreter I(*TU);
+  RunResult R = I.run();
+  EXPECT_TRUE(R.Completed);
+  unsigned Leaks = 0;
+  for (const RuntimeError &E : R.Errors)
+    if (E.K == RuntimeError::Kind::LeakAtExit)
+      ++Leaks;
+  // Six driver leaks plus the two pool blocks.
+  EXPECT_EQ(Leaks, 8u);
+}
+
+// Every seeded bug class is caught at run time.
+class SeededBugRuntimeTest : public ::testing::TestWithParam<BugKind> {};
+
+TEST_P(SeededBugRuntimeTest, DetectedAtRuntime) {
+  Program P = seededBug(GetParam());
+  Frontend FE;
+  TranslationUnit *TU = FE.parseProgram(P.Files, P.MainFiles);
+  ASSERT_TRUE(FE.diags().empty()) << FE.diags().str();
+  Interpreter I(*TU);
+  RunResult R = I.run();
+  EXPECT_FALSE(R.Errors.empty()) << bugKindName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, SeededBugRuntimeTest,
+    ::testing::ValuesIn(allBugKinds()),
+    [](const ::testing::TestParamInfo<BugKind> &Info) {
+      std::string Name = bugKindName(Info.param);
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+} // namespace
+
+namespace {
+
+TEST(InterpTest, CallocZeroInitializes) {
+  RunResult R = run("int main(void) {\n"
+                    "  int *p = (int *) calloc(4, sizeof(int));\n"
+                    "  int v;\n"
+                    "  if (p == NULL) { return 1; }\n"
+                    "  v = p[0] + p[3];\n"
+                    "  free((void *) p);\n"
+                    "  return v;\n"
+                    "}");
+  EXPECT_TRUE(R.Errors.empty());
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(InterpTest, MemcpyAndMemset) {
+  RunResult R = run("int main(void) {\n"
+                    "  char a[8];\n"
+                    "  char b[8];\n"
+                    "  memset(a, 7, 8);\n"
+                    "  memcpy(b, a, 8);\n"
+                    "  return b[5];\n"
+                    "}");
+  EXPECT_TRUE(R.Errors.empty());
+  EXPECT_EQ(R.ExitCode, 7);
+}
+
+TEST(InterpTest, StrncpyAndStrncmp) {
+  RunResult R = run("int main(void) {\n"
+                    "  char buf[8];\n"
+                    "  strncpy(buf, \"abcdef\", 8);\n"
+                    "  if (strncmp(buf, \"abcxyz\", 3) != 0) { return 1; }\n"
+                    "  if (strncmp(buf, \"abcxyz\", 4) == 0) { return 2; }\n"
+                    "  return 0;\n"
+                    "}");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(InterpTest, ReallocPreservesPrefix) {
+  RunResult R = run("int main(void) {\n"
+                    "  int *p = (int *) malloc(2 * sizeof(int));\n"
+                    "  int v;\n"
+                    "  if (p == NULL) { return 1; }\n"
+                    "  p[0] = 11;\n"
+                    "  p[1] = 22;\n"
+                    "  p = (int *) realloc((void *) p, 4 * sizeof(int));\n"
+                    "  if (p == NULL) { return 1; }\n"
+                    "  v = p[0] + p[1];\n"
+                    "  free((void *) p);\n"
+                    "  return v;\n"
+                    "}");
+  EXPECT_TRUE(R.Errors.empty()) << (R.Errors.empty() ? "" : R.Errors[0].str());
+  EXPECT_EQ(R.ExitCode, 33);
+}
+
+TEST(InterpTest, ReallocOfFreedDetected) {
+  RunResult R = run("int main(void) {\n"
+                    "  char *p = (char *) malloc(4);\n"
+                    "  if (p == NULL) { return 1; }\n"
+                    "  free((void *) p);\n"
+                    "  p = (char *) realloc((void *) p, 8);\n"
+                    "  return 0;\n"
+                    "}");
+  EXPECT_TRUE(R.hasError(RuntimeError::Kind::UseAfterFree));
+}
+
+TEST(InterpTest, DanglingStackPointerDetected) {
+  // Frames are killed on return: using a pointer to a dead frame's local
+  // is a use-after-free at run time.
+  RunResult R = run("int *escape(void) {\n"
+                    "  int local = 5;\n"
+                    "  return &local;\n"
+                    "}\n"
+                    "int main(void) {\n"
+                    "  int *p = escape();\n"
+                    "  return *p;\n"
+                    "}");
+  EXPECT_TRUE(R.hasError(RuntimeError::Kind::UseAfterFree));
+}
+
+} // namespace

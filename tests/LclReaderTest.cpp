@@ -1,0 +1,161 @@
+//===--- LclReaderTest.cpp - LCL specification reader tests --------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "lcl/LclReader.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+
+namespace {
+
+std::string translate(const std::string &Lcl) {
+  DiagnosticEngine Diags;
+  return translateLclToC(Lcl, "spec.lcl", Diags);
+}
+
+TEST(LclReaderTest, AnnotationWordsBecomeComments) {
+  std::string Out = translate("only char *mk(temp char *src);");
+  EXPECT_NE(Out.find("/*@only@*/ char *mk(/*@temp@*/ char *src);"),
+            std::string::npos)
+      << Out;
+}
+
+TEST(LclReaderTest, PaperMallocSpec) {
+  // "null out only void *malloc (size_t size);" — the paper's exact LCL
+  // form of the allocator specification.
+  std::string Out = translate("null out only void *malloc(size_t size);");
+  EXPECT_NE(Out.find("/*@null@*/ /*@out@*/ /*@only@*/ void "
+                     "*malloc(size_t size);"),
+            std::string::npos)
+      << Out;
+}
+
+TEST(LclReaderTest, PaperStrcpySpec) {
+  std::string Out =
+      translate("char *strcpy(out returned unique char *s1, char *s2);");
+  EXPECT_NE(Out.find("/*@out@*/ /*@returned@*/ /*@unique@*/ char *s1"),
+            std::string::npos)
+      << Out;
+}
+
+TEST(LclReaderTest, ImportsDropped) {
+  std::string Out = translate("imports employee;\nint f(int x);\n");
+  EXPECT_EQ(Out.find("imports"), std::string::npos);
+  EXPECT_NE(Out.find("int f(int x);"), std::string::npos);
+}
+
+TEST(LclReaderTest, RequiresClauseDropped) {
+  // "The requires clause is not interpreted by LCLint."
+  std::string Out = translate("int top(erc c) {\n"
+                              "  requires size(c) > 0;\n"
+                              "}\n");
+  EXPECT_EQ(Out.find("requires"), std::string::npos);
+  EXPECT_EQ(Out.find("size(c) > 0"), std::string::npos);
+}
+
+TEST(LclReaderTest, SpecBodyBecomesDeclaration) {
+  std::string Out = translate("only erc erc_create(void) {\n"
+                              "  ensures result = empty;\n"
+                              "}\n");
+  // The brace block collapses to ';' so the signature is a declaration.
+  EXPECT_NE(Out.find("/*@only@*/ erc erc_create(void) ;"),
+            std::string::npos)
+      << Out;
+}
+
+TEST(LclReaderTest, LineStructurePreserved) {
+  std::string In = "imports x;\nint f(void);\nonly char *g(void);\n";
+  std::string Out = translate(In);
+  unsigned InLines = 0, OutLines = 0;
+  for (char C : In)
+    if (C == '\n')
+      ++InLines;
+  for (char C : Out)
+    if (C == '\n')
+      ++OutLines;
+  EXPECT_EQ(InLines, OutLines);
+}
+
+TEST(LclReaderTest, WordPrefixesNotConverted) {
+  // "outer" contains "out" but is not an annotation word.
+  std::string Out = translate("int outer(int nullify);");
+  EXPECT_NE(Out.find("int outer(int nullify);"), std::string::npos) << Out;
+}
+
+TEST(LclReaderTest, SpecDrivesCheckingOfImplementation) {
+  // The paper's workflow: annotations in the .lcl spec are checked against
+  // the C implementation.
+  VFS Files;
+  Files.add("mk.lcl", "only char *mk(void);\n");
+  Files.add("mk.c", "char *mk(void) {\n"
+                    "  char *p = (char *) malloc(4);\n"
+                    "  if (p == NULL) { exit(1); }\n"
+                    "  p[0] = '\\0';\n"
+                    "  return p;\n"
+                    "}\n");
+  CheckResult WithSpec = Checker::checkFiles(Files, {"mk.lcl", "mk.c"});
+  EXPECT_EQ(WithSpec.anomalyCount(), 0u) << WithSpec.render();
+
+  // Without the spec, returning fresh storage as an unannotated result is
+  // a suspected leak.
+  CheckResult WithoutSpec = Checker::checkFiles(Files, {"mk.c"});
+  EXPECT_EQ(WithoutSpec.count(CheckId::MustFree), 1u);
+}
+
+TEST(LclReaderTest, SpecViolationDetected) {
+  VFS Files;
+  Files.add("f.lcl", "void consume(only char *p);\n");
+  Files.add("f.c", "void consume(char *p) { }\n");
+  CheckResult R = Checker::checkFiles(Files, {"f.lcl", "f.c"});
+  EXPECT_EQ(R.count(CheckId::MustFree), 1u) << R.render();
+  EXPECT_TRUE(R.contains("Only storage p not released"));
+}
+
+} // namespace
+
+//===--- the spec-mode employee database ---------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+namespace {
+
+TEST(LclReaderTest, SpecModeDatabaseChecksClean) {
+  // The paper's program shape: "1000 lines of source code and 300 lines of
+  // interface specifications". The same contracts expressed in .lcl give
+  // the same clean result as the annotated headers.
+  corpus::Program P = corpus::employeeDbSpecMode();
+  CheckResult R = Checker::checkFiles(P.Files, P.MainFiles);
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+  EXPECT_GT(R.SuppressedCount, 0u);
+}
+
+TEST(LclReaderTest, SpecModeHasRealSpecVolume) {
+  corpus::Program P = corpus::employeeDbSpecMode();
+  unsigned SpecLines = 0;
+  for (const std::string &Name : P.Files.names()) {
+    if (Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".lcl") == 0)
+      for (char C : *P.Files.read(Name))
+        if (C == '\n')
+          ++SpecLines;
+  }
+  EXPECT_GE(SpecLines, 120u); // paper: ~300 lines of LCL
+}
+
+TEST(LclReaderTest, ImplementationsAloneAreNotClean) {
+  // Without the specifications the implementations lose their interface
+  // contracts and anomalies appear (missing only annotations, etc.).
+  corpus::Program P = corpus::employeeDbSpecMode();
+  std::vector<std::string> ImplsOnly;
+  for (const std::string &Name : P.MainFiles)
+    if (Name.size() <= 4 || Name.compare(Name.size() - 4, 4, ".lcl") != 0)
+      ImplsOnly.push_back(Name);
+  CheckResult R = Checker::checkFiles(P.Files, ImplsOnly);
+  EXPECT_GT(R.anomalyCount(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,184 @@
+//===--- LexerTest.cpp - Lexer unit tests -------------------------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lex/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Lexer L("test.c", Source, Diags);
+  return L.lex();
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  std::vector<Token> Toks = lex("");
+  ASSERT_EQ(Toks.size(), 1u);
+  EXPECT_TRUE(Toks[0].isEof());
+}
+
+TEST(LexerTest, Identifiers) {
+  std::vector<Token> Toks = lex("foo _bar baz123");
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Toks[0].Text, "foo");
+  EXPECT_EQ(Toks[1].Text, "_bar");
+  EXPECT_EQ(Toks[2].Text, "baz123");
+}
+
+TEST(LexerTest, Keywords) {
+  std::vector<Token> Toks = lex("int while typedef struct");
+  EXPECT_EQ(Toks[0].Kind, TokenKind::KwInt);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::KwWhile);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::KwTypedef);
+  EXPECT_EQ(Toks[3].Kind, TokenKind::KwStruct);
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  std::vector<Token> Toks = lex("0 42 0x1F 077 10L 3u");
+  for (int I = 0; I < 6; ++I)
+    EXPECT_EQ(Toks[I].Kind, TokenKind::IntegerLiteral) << I;
+  EXPECT_EQ(Toks[2].Text, "0x1F");
+}
+
+TEST(LexerTest, FloatLiterals) {
+  std::vector<Token> Toks = lex("1.5 2.0e3 1e-2");
+  EXPECT_EQ(Toks[0].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::FloatLiteral);
+}
+
+TEST(LexerTest, StringAndCharLiterals) {
+  std::vector<Token> Toks = lex(R"("hello" 'a' '\n' "with \"esc\"")");
+  EXPECT_EQ(Toks[0].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Toks[0].Text, "hello");
+  EXPECT_EQ(Toks[1].Kind, TokenKind::CharLiteral);
+  EXPECT_EQ(Toks[1].Text, "a");
+  EXPECT_EQ(Toks[2].Kind, TokenKind::CharLiteral);
+  EXPECT_EQ(Toks[3].Kind, TokenKind::StringLiteral);
+}
+
+TEST(LexerTest, Punctuation) {
+  std::vector<Token> Toks = lex("-> ++ -- << >> <= >= == != && || <<= >>=");
+  TokenKind Expected[] = {
+      TokenKind::Arrow,        TokenKind::PlusPlus,
+      TokenKind::MinusMinus,   TokenKind::LessLess,
+      TokenKind::GreaterGreater, TokenKind::LessEqual,
+      TokenKind::GreaterEqual, TokenKind::EqualEqual,
+      TokenKind::ExclaimEqual, TokenKind::AmpAmp,
+      TokenKind::PipePipe,     TokenKind::LessLessEqual,
+      TokenKind::GreaterGreaterEqual,
+  };
+  for (size_t I = 0; I < sizeof(Expected) / sizeof(Expected[0]); ++I)
+    EXPECT_EQ(Toks[I].Kind, Expected[I]) << I;
+}
+
+TEST(LexerTest, LineAndBlockComments) {
+  std::vector<Token> Toks = lex("a // comment\nb /* block\n comment */ c");
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Text, "a");
+  EXPECT_EQ(Toks[1].Text, "b");
+  EXPECT_EQ(Toks[2].Text, "c");
+}
+
+TEST(LexerTest, AnnotationComment) {
+  std::vector<Token> Toks = lex("/*@null@*/ char *p;");
+  ASSERT_GE(Toks.size(), 5u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::Annotation);
+  EXPECT_EQ(Toks[0].Text, "null");
+  EXPECT_EQ(Toks[1].Kind, TokenKind::KwChar);
+}
+
+TEST(LexerTest, MultiWordAnnotationComment) {
+  // "null out only void *malloc" style: one comment, three annotations.
+  std::vector<Token> Toks = lex("/*@null out only@*/ void *p;");
+  EXPECT_EQ(Toks[0].Text, "null");
+  EXPECT_EQ(Toks[1].Text, "out");
+  EXPECT_EQ(Toks[2].Text, "only");
+  EXPECT_EQ(Toks[0].Kind, TokenKind::Annotation);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::Annotation);
+}
+
+TEST(LexerTest, ControlComments) {
+  std::vector<Token> Toks = lex("/*@-mustfree@*/ x /*@=mustfree@*/ "
+                                "/*@ignore@*/ y /*@end@*/");
+  EXPECT_EQ(Toks[0].Kind, TokenKind::ControlComment);
+  EXPECT_EQ(Toks[0].Text, "-mustfree");
+  EXPECT_EQ(Toks[2].Kind, TokenKind::ControlComment);
+  EXPECT_EQ(Toks[2].Text, "=mustfree");
+  EXPECT_EQ(Toks[3].Text, "ignore");
+  EXPECT_EQ(Toks[5].Text, "end");
+}
+
+TEST(LexerTest, UnknownAnnotationWordReported) {
+  DiagnosticEngine Diags;
+  Lexer L("test.c", "/*@bogus@*/ int x;", Diags);
+  L.lex();
+  EXPECT_EQ(Diags.count(CheckId::AnnotationError), 1u);
+}
+
+TEST(LexerTest, SourceLocations) {
+  std::vector<Token> Toks = lex("a\n  b");
+  EXPECT_EQ(Toks[0].Loc.line(), 1u);
+  EXPECT_EQ(Toks[0].Loc.column(), 1u);
+  EXPECT_EQ(Toks[1].Loc.line(), 2u);
+  EXPECT_EQ(Toks[1].Loc.column(), 3u);
+}
+
+TEST(LexerTest, StartOfLineFlag) {
+  std::vector<Token> Toks = lex("# define X\ny");
+  EXPECT_TRUE(Toks[0].StartOfLine);  // '#'
+  EXPECT_FALSE(Toks[1].StartOfLine); // 'define'
+  EXPECT_TRUE(Toks[3].StartOfLine);  // 'y'
+}
+
+TEST(LexerTest, AdjacentStringsSeparateTokens) {
+  std::vector<Token> Toks = lex(R"("a" "b")");
+  EXPECT_EQ(Toks[0].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::StringLiteral);
+}
+
+TEST(LexerTest, UnterminatedCommentReported) {
+  DiagnosticEngine Diags;
+  Lexer L("test.c", "a /* never closed", Diags);
+  L.lex();
+  EXPECT_FALSE(Diags.empty());
+}
+
+TEST(LexerTest, UnexpectedCharacterRecovered) {
+  DiagnosticEngine Diags;
+  Lexer L("test.c", "a $ b", Diags);
+  std::vector<Token> Toks = L.lex();
+  EXPECT_FALSE(Diags.empty());
+  ASSERT_EQ(Toks.size(), 3u); // a, b, eof
+  EXPECT_EQ(Toks[1].Text, "b");
+}
+
+// Parameterized sweep: every annotation word from Appendix B lexes as a
+// single Annotation token.
+class AnnotationWordTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(AnnotationWordTest, LexesAsAnnotation) {
+  std::string Source = std::string("/*@") + GetParam() + "@*/";
+  std::vector<Token> Toks = lex(Source);
+  ASSERT_EQ(Toks.size(), 2u) << GetParam();
+  EXPECT_EQ(Toks[0].Kind, TokenKind::Annotation);
+  EXPECT_EQ(Toks[0].Text, GetParam());
+  EXPECT_TRUE(Lexer::isAnnotationWord(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppendixB, AnnotationWordTest,
+    ::testing::Values("null", "notnull", "relnull", "out", "in", "partial",
+                      "reldef", "only", "keep", "temp", "owned", "dependent",
+                      "shared", "unique", "returned", "observer", "exposed",
+                      "truenull", "falsenull", "undef", "exits"));
+
+} // namespace

@@ -1,0 +1,130 @@
+//===--- MessageGoldenTest.cpp - Exact diagnostic-text regression net ----------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+// Pins the full text (message + primary location + notes) of one
+// representative anomaly per check class, so message regressions are caught
+// exactly. Texts follow the paper's style: a one-line anomaly at its
+// detection point with indented provenance notes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+using namespace memlint::test;
+
+namespace {
+
+struct GoldenCase {
+  const char *Name;
+  const char *Source;
+  const char *Expected; // full rendered diagnostic (first diagnostic)
+};
+
+class GoldenTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenTest, ExactRendering) {
+  const GoldenCase &C = GetParam();
+  CheckResult R = Checker::checkSource(C.Source, CheckOptions(), "g.c");
+  ASSERT_FALSE(R.Diagnostics.empty()) << C.Name;
+  EXPECT_EQ(R.Diagnostics[0].str(), C.Expected) << C.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, GoldenTest,
+    ::testing::Values(
+        GoldenCase{
+            "null_deref",
+            "int f(/*@null@*/ int *p) { return *p; }",
+            "g.c:1: Dereference access from possibly null pointer p: *p\n"
+            "   g.c:1: Storage p may become null"},
+        GoldenCase{
+            "arrow_deref",
+            "struct s { int v; };\n"
+            "int f(/*@null@*/ struct s *p) { return p->v; }",
+            "g.c:2: Arrow access from possibly null pointer p: p->v\n"
+            "   g.c:2: Storage p may become null"},
+        GoldenCase{
+            "null_pass",
+            "extern void use(int *q);\n"
+            "void f(/*@null@*/ int *p) { use(p); }",
+            "g.c:2: Possibly null storage p passed as non-null param 1 of "
+            "use: use(p)\n"
+            "   g.c:2: Storage p may become null"},
+        GoldenCase{
+            "null_return",
+            "int *f(/*@null@*/ /*@returned@*/ int *p) { return p; }",
+            "g.c:1: Possibly null storage returned as non-null: return p\n"
+            "   g.c:1: Storage p may become null"},
+        GoldenCase{
+            "use_before_def",
+            "int f(void) { int x; return x; }",
+            "g.c:1: Storage x used before definition: x\n"
+            "   g.c:1: Storage x allocated here"},
+        GoldenCase{
+            "leak_at_return",
+            "void f(void) {\n"
+            "  char *p = (char *) malloc(4);\n"
+            "  if (p == NULL) { return; }\n"
+            "  p[0] = 'x';\n"
+            "}",
+            "g.c:5: Fresh storage p not released before scope exit "
+            "(memory leak)\n"
+            "   g.c:2: Storage p allocated"},
+        GoldenCase{
+            "only_param_leak",
+            "void f(/*@only@*/ char *p) { }",
+            "g.c:1: Only storage p not released before return\n"
+            "   g.c:1: Storage p becomes only"},
+        GoldenCase{
+            "implicitly_temp_free",
+            "void f(char *c) { free((void *) c); }",
+            "g.c:1: Implicitly temp storage c passed as only param: "
+            "free((void *) c)\n"
+            "   g.c:1: Storage c becomes temp"},
+        GoldenCase{
+            "use_released",
+            "int f(/*@only@*/ int *p) {\n"
+            "  free((void *) p);\n"
+            "  return *p;\n"
+            "}",
+            "g.c:3: Dead storage p used: p\n"
+            "   g.c:2: Storage p released"},
+        GoldenCase{
+            "branch_state",
+            "void f(int c, /*@only@*/ char *e) {\n"
+            "  extern /*@only@*/ char *g;\n"
+            "  if (c) { g = e; }\n"
+            "}",
+            "g.c:3: Storage e is kept on one branch, only on the other "
+            "(inconsistent obligations at branch merge)\n"
+            "   g.c:1: Storage e becomes kept"},
+        GoldenCase{
+            "global_released",
+            "extern /*@only@*/ char *g;\n"
+            "void f(void) {\n"
+            "  free((void *) g);\n"
+            "}",
+            "g.c:4: Function returns with global g referencing released "
+            "storage\n"
+            "   g.c:3: Storage g released"}));
+
+// The note locations are load-bearing: every golden case's note points at
+// the provenance line, not the report line, unless they coincide.
+TEST(GoldenNotesTest, ProvenanceDistinctFromReport) {
+  CheckResult R = Checker::checkSource("void f(void) {\n"
+                                       "  char *p = (char *) malloc(4);\n"
+                                       "  if (p == NULL) { return; }\n"
+                                       "  p[0] = 'x';\n"
+                                       "}",
+                                       CheckOptions(), "g.c");
+  ASSERT_EQ(R.Diagnostics.size(), 1u);
+  ASSERT_EQ(R.Diagnostics[0].Notes.size(), 1u);
+  EXPECT_NE(R.Diagnostics[0].Loc.line(),
+            R.Diagnostics[0].Notes[0].Loc.line());
+}
+
+} // namespace

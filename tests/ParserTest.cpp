@@ -1,0 +1,311 @@
+//===--- ParserTest.cpp - Parser unit tests ------------------------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+#include "checker/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+
+namespace {
+
+/// Parses without the stdlib prelude for focused shape tests.
+struct Parsed {
+  Frontend FE;
+  TranslationUnit *TU = nullptr;
+};
+
+std::unique_ptr<Parsed> parse(const std::string &Source,
+                              bool Prelude = false) {
+  auto P = std::make_unique<Parsed>();
+  P->TU = P->FE.parseSource(Source, "test.c", Prelude);
+  return P;
+}
+
+TEST(ParserTest, GlobalVariable) {
+  auto P = parse("extern char *gname;");
+  ASSERT_EQ(P->TU->globals().size(), 1u);
+  VarDecl *VD = P->TU->globals()[0];
+  EXPECT_EQ(VD->name(), "gname");
+  EXPECT_TRUE(VD->type().isPointer());
+  EXPECT_EQ(VD->storageClass(), StorageClass::Extern);
+  EXPECT_TRUE(P->FE.diags().empty());
+}
+
+TEST(ParserTest, FunctionDefinition) {
+  auto P = parse("int add(int a, int b) { return a + b; }");
+  FunctionDecl *FD = P->TU->findFunction("add");
+  ASSERT_NE(FD, nullptr);
+  EXPECT_TRUE(FD->isDefinition());
+  ASSERT_EQ(FD->params().size(), 2u);
+  EXPECT_EQ(FD->params()[0]->name(), "a");
+  EXPECT_TRUE(FD->returnType().isInteger());
+}
+
+TEST(ParserTest, AnnotationsOnParameter) {
+  auto P = parse("void f(/*@null@*/ /*@only@*/ char *p) { }");
+  FunctionDecl *FD = P->TU->findFunction("f");
+  ASSERT_NE(FD, nullptr);
+  const Annotations &A = FD->params()[0]->declAnnotations();
+  EXPECT_EQ(A.Null, NullAnn::Null);
+  EXPECT_EQ(A.Alloc, AllocAnn::Only);
+}
+
+TEST(ParserTest, AnnotationsOnReturn) {
+  auto P = parse("extern /*@null@*/ /*@out@*/ /*@only@*/ void *xmalloc(int n);");
+  FunctionDecl *FD = P->TU->findFunction("xmalloc");
+  ASSERT_NE(FD, nullptr);
+  EXPECT_EQ(FD->returnAnnotations().Null, NullAnn::Null);
+  EXPECT_EQ(FD->returnAnnotations().Def, DefAnn::Out);
+  EXPECT_EQ(FD->returnAnnotations().Alloc, AllocAnn::Only);
+}
+
+TEST(ParserTest, TypedefWithAnnotation) {
+  auto P = parse("typedef /*@null@*/ struct _l { int v; } *lp;\n"
+                 "lp make(void);");
+  FunctionDecl *FD = P->TU->findFunction("make");
+  ASSERT_NE(FD, nullptr);
+  // The typedef's null flows into the effective return annotations.
+  EXPECT_EQ(FD->effectiveReturnAnnotations().Null, NullAnn::Null);
+  EXPECT_EQ(FD->returnAnnotations().Null, NullAnn::Unspecified);
+}
+
+TEST(ParserTest, NotnullOverridesTypedefNull) {
+  auto P = parse("typedef /*@null@*/ char *np;\n"
+                 "extern /*@notnull@*/ np g;");
+  VarDecl *G = P->TU->globals()[0];
+  EXPECT_EQ(G->effectiveAnnotations().Null, NullAnn::NotNull);
+}
+
+TEST(ParserTest, StructWithFields) {
+  // Tag-only declarations register the record; reach it via a variable.
+  auto P = parse("struct pair { int first; char *second; } g;");
+  ASSERT_FALSE(P->TU->globals().empty());
+  VarDecl *G = P->TU->globals()[0];
+  const auto *RT = dyn_cast<RecordType>(G->type().canonical().type());
+  ASSERT_NE(RT, nullptr);
+  EXPECT_EQ(RT->decl()->fields().size(), 2u);
+  EXPECT_EQ(RT->decl()->fields()[1]->name(), "second");
+  EXPECT_TRUE(RT->decl()->fields()[1]->type().isPointer());
+}
+
+TEST(ParserTest, SelfReferentialStruct) {
+  auto P = parse("struct node { int v; struct node *next; } n;");
+  VarDecl *G = P->TU->globals()[0];
+  const auto *RT = cast<RecordType>(G->type().canonical().type());
+  FieldDecl *Next = RT->decl()->findField("next");
+  ASSERT_NE(Next, nullptr);
+  EXPECT_TRUE(Next->type().isPointer());
+  const auto *PointeeRT = dyn_cast<RecordType>(
+      Next->type().pointee().canonical().type());
+  ASSERT_NE(PointeeRT, nullptr);
+  EXPECT_EQ(PointeeRT->decl(), RT->decl());
+}
+
+TEST(ParserTest, EnumConstants) {
+  auto P = parse("enum color { RED, GREEN = 5, BLUE };\n"
+                 "int x = BLUE;");
+  VarDecl *X = P->TU->globals()[0];
+  ASSERT_NE(X->init(), nullptr);
+  const auto *DRE = dyn_cast<DeclRefExpr>(X->init());
+  ASSERT_NE(DRE, nullptr);
+  const auto *EC = dyn_cast<EnumConstantDecl>(DRE->decl());
+  ASSERT_NE(EC, nullptr);
+  EXPECT_EQ(EC->value(), 6);
+}
+
+TEST(ParserTest, PrototypeMergedIntoDefinition) {
+  auto P = parse("extern void f(/*@only@*/ char *p);\n"
+                 "void f(char *p) { }");
+  FunctionDecl *FD = P->TU->findFunction("f");
+  ASSERT_NE(FD, nullptr);
+  EXPECT_TRUE(FD->isDefinition());
+  // The prototype's annotation flows to the definition's parameter.
+  EXPECT_EQ(FD->params()[0]->declAnnotations().Alloc, AllocAnn::Only);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto P = parse("int g(int a, int b, int c) { return a + b * c; }");
+  FunctionDecl *FD = P->TU->findFunction("g");
+  const auto *RS =
+      cast<ReturnStmt>(cast<CompoundStmt>(FD->body())->body()[0]);
+  EXPECT_EQ(exprToString(RS->value()), "a + b * c");
+  const auto *BE = cast<BinaryExpr>(RS->value());
+  EXPECT_EQ(BE->op(), BinaryOp::Add); // '+' at the top, '*' below
+  EXPECT_EQ(cast<BinaryExpr>(BE->rhs())->op(), BinaryOp::Mul);
+}
+
+TEST(ParserTest, AssignmentRightAssociative) {
+  auto P = parse("int h(int a, int b) { a = b = 1; return a; }");
+  FunctionDecl *FD = P->TU->findFunction("h");
+  const auto *ES = cast<ExprStmt>(cast<CompoundStmt>(FD->body())->body()[0]);
+  const auto *Outer = cast<BinaryExpr>(ES->expr());
+  EXPECT_EQ(Outer->op(), BinaryOp::Assign);
+  EXPECT_EQ(cast<BinaryExpr>(Outer->rhs())->op(), BinaryOp::Assign);
+}
+
+TEST(ParserTest, ConditionalExpression) {
+  auto P = parse("int m(int a) { return a ? 1 : 2; }");
+  FunctionDecl *FD = P->TU->findFunction("m");
+  const auto *RS =
+      cast<ReturnStmt>(cast<CompoundStmt>(FD->body())->body()[0]);
+  EXPECT_TRUE(isa<ConditionalExpr>(RS->value()));
+}
+
+TEST(ParserTest, CastVsParenExpr) {
+  auto P = parse("typedef int myint;\n"
+                 "int f(int a) { return (myint) a + (a); }");
+  EXPECT_TRUE(P->FE.diags().empty());
+}
+
+TEST(ParserTest, SizeofTypeAndExpr) {
+  auto P = parse("struct s { int a; int b; };\n"
+                 "int f(struct s *p) { return sizeof(struct s) + "
+                 "sizeof(*p); }");
+  EXPECT_TRUE(P->FE.diags().empty());
+}
+
+TEST(ParserTest, ArrowAndDotChains) {
+  auto P = parse("struct in { int v; };\n"
+                 "struct out { struct in *inner; };\n"
+                 "int f(struct out *o) { return o->inner->v; }");
+  ASSERT_TRUE(P->FE.diags().empty()) << P->FE.diags().str();
+  FunctionDecl *FD = P->TU->findFunction("f");
+  const auto *RS =
+      cast<ReturnStmt>(cast<CompoundStmt>(FD->body())->body()[0]);
+  EXPECT_EQ(exprToString(RS->value()), "o->inner->v");
+  EXPECT_TRUE(RS->value()->type().isInteger());
+}
+
+TEST(ParserTest, UnknownFieldReported) {
+  auto P = parse("struct s { int a; };\n"
+                 "int f(struct s *p) { return p->nope; }");
+  EXPECT_FALSE(P->FE.diags().empty());
+}
+
+TEST(ParserTest, StatementsAllForms) {
+  auto P = parse(R"(int f(int n) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < n; i = i + 1) {
+    if (i == 3) continue;
+    acc += i;
+  }
+  while (acc > 100) { acc = acc - 1; }
+  do { acc = acc + 0; } while (0);
+  switch (acc) {
+  case 0:
+    return 0;
+  case 1:
+  case 2:
+    acc = 5;
+    break;
+  default:
+    break;
+  }
+  return acc;
+})");
+  ASSERT_TRUE(P->FE.diags().empty()) << P->FE.diags().str();
+  FunctionDecl *FD = P->TU->findFunction("f");
+  ASSERT_NE(FD, nullptr);
+  // Switch shape: three sections, the middle one with two labels.
+  const CompoundStmt *Body = FD->body();
+  const SwitchStmt *SS = nullptr;
+  for (const Stmt *S : Body->body())
+    if (const auto *Sw = dyn_cast<SwitchStmt>(S))
+      SS = Sw;
+  ASSERT_NE(SS, nullptr);
+  ASSERT_EQ(SS->sections().size(), 3u);
+  EXPECT_EQ(SS->sections()[1].Labels.size(), 2u);
+  EXPECT_TRUE(SS->sections()[2].IsDefault);
+}
+
+TEST(ParserTest, GotoRejected) {
+  auto P = parse("void f(void) { goto end; end: ; }");
+  EXPECT_FALSE(P->FE.diags().empty());
+}
+
+TEST(ParserTest, FunctionPointerDeclarator) {
+  auto P = parse("int (*handler)(int, char *);");
+  ASSERT_EQ(P->TU->globals().size(), 1u);
+  VarDecl *H = P->TU->globals()[0];
+  EXPECT_EQ(H->name(), "handler");
+  ASSERT_TRUE(H->type().isPointer());
+  EXPECT_TRUE(H->type().pointee().isFunction());
+}
+
+TEST(ParserTest, ArrayDeclarators) {
+  auto P = parse("char name[24]; int grid[3][4];");
+  VarDecl *Name = P->TU->globals()[0];
+  const auto *AT = cast<ArrayType>(Name->type().canonical().type());
+  EXPECT_EQ(AT->size(), 24);
+  VarDecl *Grid = P->TU->globals()[1];
+  const auto *Outer = cast<ArrayType>(Grid->type().canonical().type());
+  ASSERT_EQ(Outer->size(), 3);
+  const auto *Inner =
+      cast<ArrayType>(Outer->element().canonical().type());
+  EXPECT_EQ(Inner->size(), 4);
+}
+
+TEST(ParserTest, ImplicitFunctionDeclaration) {
+  auto P = parse("int f(void) { return mystery(3); }");
+  FunctionDecl *FD = P->TU->findFunction("mystery");
+  ASSERT_NE(FD, nullptr);
+  EXPECT_FALSE(FD->isDefinition());
+}
+
+TEST(ParserTest, UndeclaredIdentifierRecovered) {
+  auto P = parse("int f(void) { return nowhere; }");
+  EXPECT_FALSE(P->FE.diags().empty());
+  // Parsing still produced the function.
+  EXPECT_NE(P->TU->findFunction("f"), nullptr);
+}
+
+TEST(ParserTest, StringLiteralConcatenation) {
+  auto P = parse(R"(char *s = "foo" "bar";)");
+  const auto *SL = dyn_cast<StringLiteralExpr>(P->TU->globals()[0]->init());
+  ASSERT_NE(SL, nullptr);
+  EXPECT_EQ(SL->value(), "foobar");
+}
+
+TEST(ParserTest, LocalDeclarationsAndShadowing) {
+  auto P = parse("int x;\n"
+                 "int f(void) { int x = 3; { int x = 4; } return x; }");
+  EXPECT_TRUE(P->FE.diags().empty());
+}
+
+TEST(ParserTest, BareNullIdentifierIsNullConstant) {
+  // Unpreprocessed snippets may reference NULL without the prelude.
+  auto P = parse("char *f(void) { return NULL; }", /*Prelude=*/false);
+  EXPECT_TRUE(P->FE.diags().empty());
+}
+
+TEST(ParserTest, PreludeParsesCleanly) {
+  auto P = parse("int main(void) { return 0; }", /*Prelude=*/true);
+  EXPECT_TRUE(P->FE.diags().empty()) << P->FE.diags().str();
+  EXPECT_NE(P->TU->findFunction("malloc"), nullptr);
+  EXPECT_NE(P->TU->findFunction("free"), nullptr);
+  EXPECT_NE(P->TU->findFunction("strcpy"), nullptr);
+}
+
+TEST(ParserTest, ASTPrinterRoundTrips) {
+  auto P = parse("struct s { int a; };\n"
+                 "int f(struct s *p) { return p->a + 1; }");
+  ASTPrinter Printer;
+  std::string Dump = Printer.print(*P->TU);
+  EXPECT_NE(Dump.find("FunctionDecl f"), std::string::npos);
+  EXPECT_NE(Dump.find("Member ->a"), std::string::npos);
+  EXPECT_NE(Dump.find("Binary +"), std::string::npos);
+}
+
+TEST(ParserTest, CompoundEndLocTracked) {
+  auto P = parse("void f(void)\n{\n  ;\n}\n");
+  FunctionDecl *FD = P->TU->findFunction("f");
+  EXPECT_EQ(FD->body()->endLoc().line(), 4u);
+}
+
+} // namespace

@@ -1,0 +1,211 @@
+//===--- PreprocessorTest.cpp - Preprocessor unit tests -----------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pp/Preprocessor.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+
+namespace {
+
+std::vector<std::string> spellings(const std::vector<Token> &Toks) {
+  std::vector<std::string> Out;
+  for (const Token &T : Toks)
+    if (!T.isEof())
+      Out.push_back(T.Text);
+  return Out;
+}
+
+std::vector<Token> pp(const std::string &Source, VFS Files = VFS()) {
+  DiagnosticEngine Diags;
+  Preprocessor P(Files, Diags);
+  return P.processSource("main.c", Source);
+}
+
+TEST(PreprocessorTest, ObjectMacro) {
+  std::vector<std::string> S = spellings(pp("#define N 42\nint x = N;"));
+  std::vector<std::string> Expected = {"int", "x", "=", "42", ";"};
+  EXPECT_EQ(S, Expected);
+}
+
+TEST(PreprocessorTest, ObjectMacroMultiToken) {
+  std::vector<std::string> S =
+      spellings(pp("#define NIL ((void *) 0)\np = NIL;"));
+  std::vector<std::string> Expected = {"p", "=", "(", "(", "void", "*",
+                                       ")", "0", ")", ";"};
+  EXPECT_EQ(S, Expected);
+}
+
+TEST(PreprocessorTest, FunctionMacro) {
+  std::vector<std::string> S =
+      spellings(pp("#define SQ(x) ((x) * (x))\ny = SQ(a + 1);"));
+  std::vector<std::string> Expected = {"y", "=", "(", "(", "a", "+", "1",
+                                       ")", "*", "(", "a", "+", "1", ")",
+                                       ")", ";"};
+  EXPECT_EQ(S, Expected);
+}
+
+TEST(PreprocessorTest, FunctionMacroTwoParams) {
+  std::vector<std::string> S =
+      spellings(pp("#define ADD(a, b) (a + b)\nz = ADD(1, 2);"));
+  std::vector<std::string> Expected = {"z", "=", "(", "1", "+", "2", ")",
+                                       ";"};
+  EXPECT_EQ(S, Expected);
+}
+
+TEST(PreprocessorTest, FunctionMacroNameWithoutParensIsPlain) {
+  std::vector<std::string> S = spellings(pp("#define F(x) x\nint F;"));
+  std::vector<std::string> Expected = {"int", "F", ";"};
+  EXPECT_EQ(S, Expected);
+}
+
+TEST(PreprocessorTest, MacroBodyKeepsDefinitionLocations) {
+  // Anomalies inside macro expansions report at the macro definition
+  // (the paper's "erc.h:14" message for erc_choose).
+  VFS Files;
+  Files.add("h.h", "#define GET(c) (c->vals)\n");
+  DiagnosticEngine Diags;
+  Preprocessor P(Files, Diags);
+  std::vector<Token> Toks =
+      P.processSource("main.c", "#include \"h.h\"\nx = GET(y);");
+  // Find the '->' token: it must carry h.h line 1.
+  bool Found = false;
+  for (const Token &T : Toks)
+    if (T.is(TokenKind::Arrow)) {
+      EXPECT_EQ(T.Loc.file(), "h.h");
+      EXPECT_EQ(T.Loc.line(), 1u);
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(PreprocessorTest, MacroArgumentsKeepUseLocations) {
+  std::vector<Token> Toks = pp("#define ID(x) x\n\n\nq = ID(zz);");
+  for (const Token &T : Toks)
+    if (T.Text == "zz")
+      EXPECT_EQ(T.Loc.line(), 4u);
+}
+
+TEST(PreprocessorTest, Undef) {
+  std::vector<std::string> S =
+      spellings(pp("#define N 1\n#undef N\nint N;"));
+  std::vector<std::string> Expected = {"int", "N", ";"};
+  EXPECT_EQ(S, Expected);
+}
+
+TEST(PreprocessorTest, Include) {
+  VFS Files;
+  Files.add("defs.h", "#define K 7\n");
+  DiagnosticEngine Diags;
+  Preprocessor P(Files, Diags);
+  std::vector<Token> Toks =
+      P.processSource("main.c", "#include \"defs.h\"\nint x = K;");
+  std::vector<std::string> Expected = {"int", "x", "=", "7", ";"};
+  EXPECT_EQ(spellings(Toks), Expected);
+}
+
+TEST(PreprocessorTest, UnknownSystemHeaderTolerated) {
+  DiagnosticEngine Diags;
+  VFS Files;
+  Preprocessor P(Files, Diags);
+  std::vector<Token> Toks =
+      P.processSource("main.c", "#include <stdio.h>\nint x;");
+  EXPECT_TRUE(Diags.empty());
+  std::vector<std::string> Expected = {"int", "x", ";"};
+  EXPECT_EQ(spellings(Toks), Expected);
+}
+
+TEST(PreprocessorTest, IncludeCycleBroken) {
+  VFS Files;
+  Files.add("a.h", "#include \"b.h\"\nint a;\n");
+  Files.add("b.h", "#include \"a.h\"\nint b;\n");
+  DiagnosticEngine Diags;
+  Preprocessor P(Files, Diags);
+  std::vector<Token> Toks = P.process("a.h");
+  std::vector<std::string> Expected = {"int", "b", ";", "int", "a", ";"};
+  EXPECT_EQ(spellings(Toks), Expected);
+}
+
+TEST(PreprocessorTest, IfdefTaken) {
+  std::vector<std::string> S = spellings(
+      pp("#define Y 1\n#ifdef Y\nint yes;\n#else\nint no;\n#endif"));
+  std::vector<std::string> Expected = {"int", "yes", ";"};
+  EXPECT_EQ(S, Expected);
+}
+
+TEST(PreprocessorTest, IfndefWithGuardPattern) {
+  VFS Files;
+  Files.add("g.h", "#ifndef G_H\n#define G_H\nint once;\n#endif\n");
+  DiagnosticEngine Diags;
+  Preprocessor P(Files, Diags);
+  std::vector<Token> Toks = P.processSource(
+      "main.c", "#include \"g.h\"\n#include \"g.h\"\n");
+  std::vector<std::string> Expected = {"int", "once", ";"};
+  EXPECT_EQ(spellings(Toks), Expected);
+}
+
+TEST(PreprocessorTest, IfZeroSkips) {
+  std::vector<std::string> S =
+      spellings(pp("#if 0\nint dead;\n#endif\nint live;"));
+  std::vector<std::string> Expected = {"int", "live", ";"};
+  EXPECT_EQ(S, Expected);
+}
+
+TEST(PreprocessorTest, IfDefined) {
+  std::vector<std::string> S = spellings(pp(
+      "#define A 1\n#if defined(A)\nint a;\n#endif\n#if !defined(B)\nint "
+      "nb;\n#endif"));
+  std::vector<std::string> Expected = {"int", "a", ";", "int", "nb", ";"};
+  EXPECT_EQ(S, Expected);
+}
+
+TEST(PreprocessorTest, NestedConditionals) {
+  std::vector<std::string> S = spellings(
+      pp("#if 1\n#if 0\nint a;\n#else\nint b;\n#endif\n#endif"));
+  std::vector<std::string> Expected = {"int", "b", ";"};
+  EXPECT_EQ(S, Expected);
+}
+
+TEST(PreprocessorTest, ControlCommentsExtracted) {
+  DiagnosticEngine Diags;
+  VFS Files;
+  Preprocessor P(Files, Diags);
+  std::vector<Token> Toks = P.processSource(
+      "main.c", "int a;\n/*@-mustfree@*/\nint b;\n/*@=mustfree@*/\n");
+  std::vector<std::string> Expected = {"int", "a", ";", "int", "b", ";"};
+  EXPECT_EQ(spellings(Toks), Expected);
+  ASSERT_EQ(P.controlDirectives().size(), 2u);
+  EXPECT_EQ(P.controlDirectives()[0].Text, "-mustfree");
+  EXPECT_EQ(P.controlDirectives()[0].Loc.line(), 2u);
+  EXPECT_EQ(P.controlDirectives()[1].Text, "=mustfree");
+}
+
+TEST(PreprocessorTest, Predefine) {
+  DiagnosticEngine Diags;
+  VFS Files;
+  Preprocessor P(Files, Diags);
+  P.predefine("VERSION", "3");
+  std::vector<Token> Toks = P.processSource("main.c", "int v = VERSION;");
+  std::vector<std::string> Expected = {"int", "v", "=", "3", ";"};
+  EXPECT_EQ(spellings(Toks), Expected);
+}
+
+TEST(PreprocessorTest, RecursiveMacroStops) {
+  std::vector<std::string> S = spellings(pp("#define X X\nint X;"));
+  std::vector<std::string> Expected = {"int", "X", ";"};
+  EXPECT_EQ(S, Expected);
+}
+
+TEST(PreprocessorTest, MissingFileReported) {
+  DiagnosticEngine Diags;
+  VFS Files;
+  Preprocessor P(Files, Diags);
+  P.process("nope.c");
+  EXPECT_FALSE(Diags.empty());
+}
+
+} // namespace

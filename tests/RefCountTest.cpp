@@ -1,0 +1,123 @@
+//===--- RefCountTest.cpp - Reference-counting annotation tests ----------------===//
+//
+// Part of memlint. See DESIGN.md. These annotations implement the paper's
+// Section 4 pointer: "Additional annotations provided for handling
+// reference counted storage ... are described in [3]" (LCLint 2.0's
+// refcounted/newref/killref/tempref).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ast/Annotations.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+using namespace memlint::test;
+
+namespace {
+
+const char *RcPrelude =
+    "typedef /*@refcounted@*/ struct _rc { /*@refs@*/ int refs; int v; } "
+    "*rc;\n"
+    "extern /*@newref@*/ rc rc_create(void);\n"
+    "extern /*@newref@*/ rc rc_ref(/*@tempref@*/ rc o);\n"
+    "extern void rc_release(/*@killref@*/ rc o);\n"
+    "extern int rc_value(/*@tempref@*/ rc o);\n";
+
+std::string withPrelude(const std::string &Body) {
+  return std::string(RcPrelude) + Body;
+}
+
+TEST(RefCountTest, BalancedNewrefKillrefClean) {
+  CheckResult R = check(withPrelude("int f(void) {\n"
+                                    "  rc o = rc_create();\n"
+                                    "  int v = rc_value(o);\n"
+                                    "  rc_release(o);\n"
+                                    "  return v;\n"
+                                    "}"));
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(RefCountTest, MissingKillrefIsLeak) {
+  CheckResult R = check(withPrelude("int f(void) {\n"
+                                    "  rc o = rc_create();\n"
+                                    "  return rc_value(o);\n"
+                                    "}"));
+  EXPECT_GE(countOf(R, CheckId::MustFree), 1u);
+  EXPECT_TRUE(R.contains("missing killref")) << R.render();
+}
+
+TEST(RefCountTest, UsableAfterKillref) {
+  // Unlike free, releasing a reference does not make the value dead — the
+  // count may still be positive. (The unsound optimistic view, like the
+  // rest of the analysis.)
+  CheckResult R = check(withPrelude("int f(/*@tempref@*/ rc shared) {\n"
+                                    "  rc o = rc_ref(shared);\n"
+                                    "  rc_release(o);\n"
+                                    "  return rc_value(shared);\n"
+                                    "}"));
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(RefCountTest, RefcountedStorageNotFreeable) {
+  CheckResult R = check(withPrelude("void f(void) {\n"
+                                    "  rc o = rc_create();\n"
+                                    "  free((void *) o);\n"
+                                    "}"));
+  EXPECT_GE(countOf(R, CheckId::AliasTransfer), 1u);
+  EXPECT_TRUE(R.contains("refcounted storage o passed as only param"))
+      << R.render();
+}
+
+TEST(RefCountTest, OnlyStoragePassedAsKillref) {
+  CheckResult R = check(withPrelude(
+      "void f(void) {\n"
+      "  char *p = (char *) malloc(4);\n"
+      "  if (p == NULL) { return; }\n"
+      "  p[0] = 'x';\n"
+      "  rc_release((rc) p);\n" // malloc'd storage is not refcounted
+      "}"));
+  EXPECT_GE(countOf(R, CheckId::AliasTransfer), 1u);
+}
+
+TEST(RefCountTest, NewRefOnParameterRejected) {
+  CheckResult R = check("extern void f(/*@newref@*/ char *p);");
+  EXPECT_GE(countOf(R, CheckId::AnnotationError), 1u);
+}
+
+TEST(RefCountTest, KillRefOnReturnRejected) {
+  CheckResult R = check("extern /*@killref@*/ char *f(void);");
+  EXPECT_GE(countOf(R, CheckId::AnnotationError), 1u);
+}
+
+TEST(RefCountTest, NewRefKillRefConflict) {
+  Annotations A;
+  EXPECT_TRUE(A.addWord("newref"));
+  EXPECT_FALSE(A.addWord("killref"));
+  EXPECT_FALSE(A.addWord("tempref"));
+}
+
+TEST(RefCountTest, RefsFieldPlacement) {
+  EXPECT_EQ(countOf(check("struct s { /*@refs@*/ int count; };"),
+                    CheckId::AnnotationError),
+            0u);
+  EXPECT_GE(countOf(check("extern /*@refs@*/ int g;"),
+                    CheckId::AnnotationError),
+            1u);
+}
+
+TEST(RefCountTest, BranchedReleaseConflicts) {
+  // Releasing a reference on one branch only is the same confluence
+  // anomaly as losing an only obligation on one branch.
+  CheckResult R = check(withPrelude("void f(int c) {\n"
+                                    "  rc o = rc_create();\n"
+                                    "  if (c) {\n"
+                                    "    rc_release(o);\n"
+                                    "  }\n"
+                                    "}"));
+  EXPECT_GE(R.anomalyCount(), 1u) << R.render();
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+//===--- RobustnessTest.cpp - The pipeline never crashes or hangs --------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+// Failure-injection properties: deterministic mutations of valid corpus
+// programs (truncations, character deletions, token-level noise) must never
+// crash, hang, or silently corrupt the checker — only produce diagnostics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "corpus/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+using namespace memlint::corpus;
+
+namespace {
+
+std::string dbSourceConcatenated() {
+  Program P = employeeDb(DbVersion::Fixed);
+  std::string All;
+  for (const std::string &Name : P.MainFiles)
+    All += *P.Files.read(Name);
+  return All;
+}
+
+// Truncation sweep: checking any prefix of a valid program terminates.
+class TruncationTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TruncationTest, PrefixDoesNotCrash) {
+  static const std::string Full = dbSourceConcatenated();
+  size_t Cut = Full.size() * GetParam() / 100;
+  CheckResult R =
+      Checker::checkSource(Full.substr(0, Cut), CheckOptions(), "cut.c");
+  // No assertion on counts: the property is termination without crash.
+  (void)R;
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Percentages, TruncationTest,
+                         ::testing::Values(3u, 11u, 27u, 42u, 58u, 73u, 89u,
+                                           97u));
+
+// Deletion sweep: removing a block of characters anywhere keeps the
+// pipeline terminating.
+class DeletionTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DeletionTest, HoleDoesNotCrash) {
+  static const std::string Full = dbSourceConcatenated();
+  size_t Start = Full.size() * GetParam() / 100;
+  size_t Len = std::min<size_t>(97, Full.size() - Start);
+  std::string Mutated = Full.substr(0, Start) + Full.substr(Start + Len);
+  CheckResult R = Checker::checkSource(Mutated, CheckOptions(), "hole.c");
+  (void)R;
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, DeletionTest,
+                         ::testing::Values(5u, 20u, 35u, 50u, 65u, 80u,
+                                           95u));
+
+TEST(RobustnessTest, GarbageInputTerminates) {
+  const char *Garbage[] = {
+      "",
+      ";;;;;",
+      "}}}}}",
+      "((((((",
+      "int int int int",
+      "/*@",
+      "/*@null@*/ /*@null@*/ /*@null@*/",
+      "#define A B\n#define B A\nA",
+      "#if 1\n#if 0\nint x;",
+      "void f( { ) }",
+      "struct s { struct s x; } y;",
+      "\"unterminated",
+      "int f() { return 1 + ; }",
+      "typedef typedef int t;",
+      "a b c d e f g h i j k l m n o p q r s t u v w x y z",
+  };
+  for (const char *Source : Garbage) {
+    CheckResult R = Checker::checkSource(Source, CheckOptions(), "junk.c");
+    (void)R;
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessTest, DeeplyNestedExpressionsTerminate) {
+  std::string Source = "int f(int a) { return ";
+  for (int I = 0; I < 200; ++I)
+    Source += "(";
+  Source += "a";
+  for (int I = 0; I < 200; ++I)
+    Source += ")";
+  Source += "; }";
+  CheckResult R = Checker::checkSource(Source, CheckOptions(), "deep.c");
+  EXPECT_EQ(R.anomalyCount(), 0u);
+}
+
+TEST(RobustnessTest, DeeplyNestedBlocksTerminate) {
+  std::string Source = "void f(void) { ";
+  for (int I = 0; I < 150; ++I)
+    Source += "{ ";
+  Source += "; ";
+  for (int I = 0; I < 150; ++I)
+    Source += "} ";
+  Source += "}";
+  CheckResult R = Checker::checkSource(Source, CheckOptions(), "deep.c");
+  (void)R;
+  SUCCEED();
+}
+
+TEST(RobustnessTest, LongFieldChainsCapped) {
+  // Reference paths are depth-capped; very deep chains must not blow up
+  // the environment.
+  std::string Source = "typedef /*@null@*/ struct _n { "
+                       "/*@null@*/ struct _n *next; } *node;\n"
+                       "int f(/*@temp@*/ node l) {\n"
+                       "  return l";
+  for (int I = 0; I < 30; ++I)
+    Source += "->next";
+  Source += " == NULL; }";
+  CheckResult R = Checker::checkSource(Source, CheckOptions(), "chain.c");
+  (void)R;
+  SUCCEED();
+}
+
+TEST(RobustnessTest, ManyAliasesTerminate) {
+  std::string Source = "void f(/*@temp@*/ char *p) {\n";
+  for (int I = 0; I < 40; ++I)
+    Source += "  char *q" + std::to_string(I) + " = p;\n";
+  Source += "}";
+  CheckResult R = Checker::checkSource(Source, CheckOptions(), "alias.c");
+  EXPECT_EQ(R.anomalyCount(), 0u) << R.render();
+}
+
+TEST(RobustnessTest, ErrorCapPreventsFloods) {
+  // A pathological file reports a bounded number of parse errors.
+  std::string Source;
+  for (int I = 0; I < 500; ++I)
+    Source += "@ ";
+  CheckResult R = Checker::checkSource(Source, CheckOptions(), "flood.c");
+  EXPECT_LE(R.Diagnostics.size(), 600u);
+}
+
+} // namespace

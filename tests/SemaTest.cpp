@@ -1,0 +1,94 @@
+//===--- SemaTest.cpp - Annotation placement validation tests ------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+using namespace memlint::test;
+
+namespace {
+
+unsigned annotErrors(const std::string &Source) {
+  return countOf(check(Source), CheckId::AnnotationError);
+}
+
+TEST(SemaTest, TempOnGlobalRejected) {
+  EXPECT_GE(annotErrors("extern /*@temp@*/ char *g;"), 1u);
+}
+
+TEST(SemaTest, KeepOnGlobalRejected) {
+  EXPECT_GE(annotErrors("extern /*@keep@*/ char *g;"), 1u);
+}
+
+TEST(SemaTest, TempOnParameterAccepted) {
+  EXPECT_EQ(annotErrors("extern void f(/*@temp@*/ char *p);"), 0u);
+}
+
+TEST(SemaTest, UniqueOnGlobalRejected) {
+  EXPECT_GE(annotErrors("extern /*@unique@*/ char *g;"), 1u);
+}
+
+TEST(SemaTest, UniqueOnParameterAccepted) {
+  EXPECT_EQ(annotErrors("extern void f(/*@unique@*/ char *p);"), 0u);
+}
+
+TEST(SemaTest, ReturnedOnGlobalRejected) {
+  EXPECT_GE(annotErrors("extern /*@returned@*/ char *g;"), 1u);
+}
+
+TEST(SemaTest, UndefOnParameterRejected) {
+  EXPECT_GE(annotErrors("extern void f(/*@undef@*/ char *p);"), 1u);
+}
+
+TEST(SemaTest, UndefOnGlobalAccepted) {
+  EXPECT_EQ(annotErrors("extern /*@undef@*/ int g;"), 0u);
+}
+
+TEST(SemaTest, TrueNullRequiresPointerParam) {
+  EXPECT_GE(annotErrors("extern /*@truenull@*/ int odd(int x);"), 1u);
+  EXPECT_EQ(
+      annotErrors("extern /*@truenull@*/ int isNull(/*@null@*/ char *p);"),
+      0u);
+}
+
+TEST(SemaTest, TrueNullOnParameterRejected) {
+  EXPECT_GE(annotErrors("extern void f(/*@truenull@*/ char *p);"), 1u);
+}
+
+TEST(SemaTest, NullOnNonPointerRejected) {
+  EXPECT_GE(annotErrors("extern /*@null@*/ int g;"), 1u);
+}
+
+TEST(SemaTest, NullOnPointerAccepted) {
+  EXPECT_EQ(annotErrors("extern /*@null@*/ int *g;"), 0u);
+}
+
+TEST(SemaTest, ConflictingCategoryViaParser) {
+  // Conflicts within one declaration are reported when parsed.
+  EXPECT_GE(annotErrors("extern /*@null@*/ /*@notnull@*/ char *g;"), 1u);
+  EXPECT_GE(annotErrors("extern void f(/*@only@*/ /*@temp@*/ char *p);"),
+            1u);
+}
+
+TEST(SemaTest, ObserverOnlyConflict) {
+  EXPECT_GE(annotErrors(
+                "extern /*@observer@*/ /*@only@*/ char *peek(void);"),
+            1u);
+}
+
+TEST(SemaTest, LocalAnnotationsValidated) {
+  EXPECT_GE(annotErrors("void f(void) { /*@unique@*/ char *p; p = NULL; }"),
+            1u);
+}
+
+TEST(SemaTest, FieldAnnotationsAccepted) {
+  EXPECT_EQ(annotErrors("struct s { /*@null@*/ /*@only@*/ char *p; };"),
+            0u);
+}
+
+} // namespace

@@ -1,0 +1,194 @@
+//===--- StorageModelTest.cpp - Merge-rule unit & property tests --------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StorageModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+
+namespace {
+
+const DefState AllDefs[] = {
+    DefState::Undefined, DefState::Allocated, DefState::PartiallyDefined,
+    DefState::Defined,   DefState::Dead,      DefState::Error,
+};
+
+const NullState AllNulls[] = {
+    NullState::NotNull, NullState::PossiblyNull, NullState::DefinitelyNull,
+    NullState::RelNull, NullState::Unknown,      NullState::Error,
+};
+
+const AllocState AllAllocs[] = {
+    AllocState::Unqualified, AllocState::Only,     AllocState::Fresh,
+    AllocState::Keep,        AllocState::Kept,     AllocState::Temp,
+    AllocState::Owned,       AllocState::Dependent, AllocState::Shared,
+    AllocState::Observer,    AllocState::Exposed,  AllocState::Static,
+    AllocState::Stack,       AllocState::Offset,   AllocState::Null,
+    AllocState::Error,
+};
+
+//===--- specific paper rules -----------------------------------------------===//
+
+TEST(StorageModelTest, DefMergeWeakestWins) {
+  bool C = false;
+  // "Definition states are combined using the weakest assumption. Hence, at
+  // point 10 ... l->next->next is undefined."
+  EXPECT_EQ(mergeDef(DefState::Undefined, DefState::Defined, C),
+            DefState::Undefined);
+  EXPECT_FALSE(C);
+  EXPECT_EQ(mergeDef(DefState::PartiallyDefined, DefState::Defined, C),
+            DefState::PartiallyDefined);
+  EXPECT_EQ(mergeDef(DefState::Allocated, DefState::PartiallyDefined, C),
+            DefState::Allocated);
+}
+
+TEST(StorageModelTest, DefMergeDeadVsLiveConflicts) {
+  // "if storage is deallocated on only one of the paths through an if
+  // statement" an error is reported.
+  bool C = false;
+  EXPECT_EQ(mergeDef(DefState::Dead, DefState::Defined, C), DefState::Error);
+  EXPECT_TRUE(C);
+  C = false;
+  EXPECT_EQ(mergeDef(DefState::Dead, DefState::Dead, C), DefState::Dead);
+  EXPECT_FALSE(C);
+}
+
+TEST(StorageModelTest, NullMergeMostUncertain) {
+  EXPECT_EQ(mergeNull(NullState::NotNull, NullState::DefinitelyNull),
+            NullState::PossiblyNull);
+  EXPECT_EQ(mergeNull(NullState::NotNull, NullState::PossiblyNull),
+            NullState::PossiblyNull);
+  EXPECT_EQ(mergeNull(NullState::Unknown, NullState::NotNull),
+            NullState::NotNull);
+  EXPECT_EQ(mergeNull(NullState::RelNull, NullState::NotNull),
+            NullState::RelNull);
+}
+
+TEST(StorageModelTest, AllocMergeKeptVsOnlyConflicts) {
+  // The Figure 5 confluence: "one means the storage must be released, and
+  // the other means it must not be released."
+  bool C = false;
+  EXPECT_EQ(mergeAlloc(AllocState::Kept, AllocState::Only, C),
+            AllocState::Error);
+  EXPECT_TRUE(C);
+}
+
+TEST(StorageModelTest, AllocMergeObligationClassCompatible) {
+  bool C = false;
+  EXPECT_EQ(mergeAlloc(AllocState::Only, AllocState::Fresh, C),
+            AllocState::Only);
+  EXPECT_FALSE(C);
+  EXPECT_EQ(mergeAlloc(AllocState::Temp, AllocState::Kept, C),
+            AllocState::Temp);
+  EXPECT_FALSE(C);
+}
+
+TEST(StorageModelTest, AllocMergeUnqualifiedIsIdentity) {
+  bool C = false;
+  for (AllocState S : AllAllocs) {
+    C = false;
+    EXPECT_EQ(mergeAlloc(AllocState::Unqualified, S, C), S);
+    EXPECT_FALSE(C) << allocStateName(S);
+  }
+}
+
+TEST(StorageModelTest, NullAllocHasNoObligation) {
+  bool C = false;
+  EXPECT_EQ(mergeAlloc(AllocState::Null, AllocState::Only, C),
+            AllocState::Only);
+  EXPECT_FALSE(C);
+}
+
+TEST(StorageModelTest, ObligationPredicates) {
+  EXPECT_TRUE(holdsObligation(AllocState::Only));
+  EXPECT_TRUE(holdsObligation(AllocState::Fresh));
+  EXPECT_TRUE(holdsObligation(AllocState::Owned));
+  EXPECT_TRUE(holdsObligation(AllocState::Keep));
+  EXPECT_FALSE(holdsObligation(AllocState::Temp));
+  EXPECT_FALSE(holdsObligation(AllocState::Kept));
+  EXPECT_FALSE(holdsObligation(AllocState::Shared));
+  EXPECT_TRUE(isUnreleasable(AllocState::Shared));
+  EXPECT_TRUE(isUnreleasable(AllocState::Observer));
+  EXPECT_TRUE(isUnreleasable(AllocState::Static));
+  EXPECT_FALSE(isUnreleasable(AllocState::Only));
+}
+
+TEST(StorageModelTest, Names) {
+  EXPECT_STREQ(defStateName(DefState::PartiallyDefined),
+               "partially defined");
+  EXPECT_STREQ(nullStateName(NullState::PossiblyNull), "possibly null");
+  EXPECT_STREQ(allocStateName(AllocState::Only), "only");
+  SVal V;
+  V.Def = DefState::Defined;
+  V.Null = NullState::NotNull;
+  V.Alloc = AllocState::Temp;
+  EXPECT_EQ(V.str(), "defined/not null/temp");
+}
+
+//===--- algebraic property sweeps --------------------------------------------===//
+
+class DefMergePairTest
+    : public ::testing::TestWithParam<std::tuple<DefState, DefState>> {};
+
+TEST_P(DefMergePairTest, CommutativeAndIdempotent) {
+  auto [A, B] = GetParam();
+  bool C1 = false, C2 = false;
+  EXPECT_EQ(mergeDef(A, B, C1), mergeDef(B, A, C2));
+  EXPECT_EQ(C1, C2);
+  bool C3 = false;
+  EXPECT_EQ(mergeDef(A, A, C3), A);
+  EXPECT_FALSE(C3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, DefMergePairTest,
+                         ::testing::Combine(::testing::ValuesIn(AllDefs),
+                                            ::testing::ValuesIn(AllDefs)));
+
+class NullMergePairTest
+    : public ::testing::TestWithParam<std::tuple<NullState, NullState>> {};
+
+TEST_P(NullMergePairTest, CommutativeAndIdempotent) {
+  auto [A, B] = GetParam();
+  EXPECT_EQ(mergeNull(A, B), mergeNull(B, A));
+  EXPECT_EQ(mergeNull(A, A), A);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, NullMergePairTest,
+                         ::testing::Combine(::testing::ValuesIn(AllNulls),
+                                            ::testing::ValuesIn(AllNulls)));
+
+class AllocMergePairTest
+    : public ::testing::TestWithParam<std::tuple<AllocState, AllocState>> {};
+
+TEST_P(AllocMergePairTest, CommutativeAndIdempotent) {
+  auto [A, B] = GetParam();
+  bool C1 = false, C2 = false;
+  EXPECT_EQ(mergeAlloc(A, B, C1), mergeAlloc(B, A, C2));
+  EXPECT_EQ(C1, C2);
+  bool C3 = false;
+  EXPECT_EQ(mergeAlloc(A, A, C3), A);
+  EXPECT_FALSE(C3);
+}
+
+TEST_P(AllocMergePairTest, ConflictIffObligationDisagrees) {
+  auto [A, B] = GetParam();
+  bool Conflict = false;
+  mergeAlloc(A, B, Conflict);
+  if (A == AllocState::Error || B == AllocState::Error ||
+      A == AllocState::Unqualified || B == AllocState::Unqualified ||
+      A == AllocState::Null || B == AllocState::Null) {
+    EXPECT_FALSE(Conflict);
+    return;
+  }
+  EXPECT_EQ(Conflict, holdsObligation(A) != holdsObligation(B));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, AllocMergePairTest,
+                         ::testing::Combine(::testing::ValuesIn(AllAllocs),
+                                            ::testing::ValuesIn(AllAllocs)));
+
+} // namespace

@@ -1,0 +1,170 @@
+//===--- SupportTest.cpp - Diagnostics, VFS, locations, printing ---------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+#include "checker/Frontend.h"
+#include "support/Diagnostics.h"
+#include "support/VFS.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+
+namespace {
+
+//===--- SourceLocation --------------------------------------------------------===//
+
+TEST(SourceLocationTest, ValidityAndRendering) {
+  SourceLocation Invalid;
+  EXPECT_FALSE(Invalid.isValid());
+  EXPECT_EQ(Invalid.str(), "<unknown>");
+
+  SourceLocation Loc("x.c", 12, 3);
+  EXPECT_TRUE(Loc.isValid());
+  EXPECT_EQ(Loc.str(), "x.c:12");
+  EXPECT_EQ(Loc.column(), 3u);
+}
+
+TEST(SourceLocationTest, Equality) {
+  SourceLocation A("x.c", 1, 1);
+  SourceLocation B("x.c", 1, 1);
+  SourceLocation C("x.c", 2, 1);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+}
+
+//===--- DiagnosticEngine ------------------------------------------------------===//
+
+TEST(DiagnosticsTest, ReportAndRender) {
+  DiagnosticEngine Engine;
+  Engine.report(CheckId::NullDeref, SourceLocation("a.c", 5, 1),
+                "Dereference of possibly null pointer p")
+      .note(SourceLocation("a.c", 3, 1), "Storage p may become null");
+  ASSERT_EQ(Engine.diagnostics().size(), 1u);
+  EXPECT_EQ(Engine.diagnostics()[0].str(),
+            "a.c:5: Dereference of possibly null pointer p\n"
+            "   a.c:3: Storage p may become null");
+}
+
+TEST(DiagnosticsTest, CountByCheckId) {
+  DiagnosticEngine Engine;
+  Engine.report(CheckId::MustFree, SourceLocation("a.c", 1, 1), "one");
+  Engine.report(CheckId::MustFree, SourceLocation("a.c", 2, 1), "two");
+  Engine.report(CheckId::NullDeref, SourceLocation("a.c", 3, 1), "three");
+  EXPECT_EQ(Engine.count(CheckId::MustFree), 2u);
+  EXPECT_EQ(Engine.count(CheckId::NullDeref), 1u);
+  EXPECT_EQ(Engine.count(CheckId::Observer), 0u);
+}
+
+TEST(DiagnosticsTest, FilterSuppresses) {
+  DiagnosticEngine Engine;
+  Engine.setFilter(
+      [](const Diagnostic &D) { return D.Id != CheckId::MustFree; });
+  Engine.report(CheckId::MustFree, SourceLocation("a.c", 1, 1), "hidden");
+  Engine.report(CheckId::NullDeref, SourceLocation("a.c", 2, 1), "kept");
+  EXPECT_EQ(Engine.diagnostics().size(), 1u);
+  EXPECT_EQ(Engine.suppressedCount(), 1u);
+}
+
+TEST(DiagnosticsTest, ClearResets) {
+  DiagnosticEngine Engine;
+  Engine.report(CheckId::NullDeref, SourceLocation("a.c", 1, 1), "x");
+  Engine.clear();
+  EXPECT_TRUE(Engine.empty());
+  EXPECT_EQ(Engine.suppressedCount(), 0u);
+}
+
+TEST(DiagnosticsTest, EveryCheckIdHasFlagName) {
+  const CheckId All[] = {
+      CheckId::ParseError,     CheckId::AnnotationError,
+      CheckId::NullDeref,      CheckId::NullPass,
+      CheckId::NullReturn,     CheckId::UseUndefined,
+      CheckId::CompleteDefine, CheckId::MustFree,
+      CheckId::UseReleased,    CheckId::DoubleFree,
+      CheckId::AliasTransfer,  CheckId::BranchState,
+      CheckId::UniqueAlias,    CheckId::Observer,
+      CheckId::GlobalState,    CheckId::InterfaceDefine,
+  };
+  std::set<std::string> Names;
+  for (CheckId Id : All) {
+    const char *Name = checkIdFlagName(Id);
+    ASSERT_NE(Name, nullptr);
+    EXPECT_TRUE(Names.insert(Name).second) << Name << " duplicated";
+  }
+}
+
+//===--- VFS -------------------------------------------------------------------===//
+
+TEST(VfsTest, AddReadExists) {
+  VFS Files;
+  EXPECT_FALSE(Files.exists("a.c"));
+  Files.add("a.c", "int x;");
+  EXPECT_TRUE(Files.exists("a.c"));
+  EXPECT_EQ(*Files.read("a.c"), "int x;");
+  EXPECT_FALSE(Files.read("b.c").has_value());
+}
+
+TEST(VfsTest, Replace) {
+  VFS Files;
+  Files.add("a.c", "old");
+  Files.add("a.c", "new");
+  EXPECT_EQ(*Files.read("a.c"), "new");
+}
+
+TEST(VfsTest, NamesSorted) {
+  VFS Files;
+  Files.add("z.c", "");
+  Files.add("a.c", "");
+  Files.add("m.c", "");
+  std::vector<std::string> Names = Files.names();
+  ASSERT_EQ(Names.size(), 3u);
+  EXPECT_EQ(Names[0], "a.c");
+  EXPECT_EQ(Names[2], "z.c");
+}
+
+TEST(VfsTest, MissingDiskFile) {
+  VFS Files;
+  EXPECT_FALSE(Files.addFromDisk("/nonexistent/path/file.c"));
+}
+
+//===--- exprToString ----------------------------------------------------------===//
+
+struct ExprPrintCase {
+  const char *Expr;
+  const char *Printed; // nullptr = same as Expr
+};
+
+class ExprPrintTest : public ::testing::TestWithParam<ExprPrintCase> {};
+
+TEST_P(ExprPrintTest, RoundTrips) {
+  const ExprPrintCase &C = GetParam();
+  Frontend FE;
+  std::string Source = std::string("struct s { int f; struct s *n; };\n"
+                                   "int g(struct s *p, int a, int b) "
+                                   "{ return ") +
+                       C.Expr + "; }";
+  TranslationUnit *TU = FE.parseSource(Source, "t.c", false);
+  ASSERT_TRUE(FE.diags().empty()) << FE.diags().str() << C.Expr;
+  FunctionDecl *FD = TU->findFunction("g");
+  const auto *RS =
+      cast<ReturnStmt>(cast<CompoundStmt>(FD->body())->body()[0]);
+  EXPECT_EQ(exprToString(RS->value()), C.Printed ? C.Printed : C.Expr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Forms, ExprPrintTest,
+    ::testing::Values(ExprPrintCase{"a + b * 2", nullptr},
+                      ExprPrintCase{"p->n->f", nullptr},
+                      ExprPrintCase{"(a + b) / 2", nullptr},
+                      ExprPrintCase{"a ? b : 0", nullptr},
+                      ExprPrintCase{"!a", nullptr},
+                      ExprPrintCase{"*p->n", "*p->n"},
+                      ExprPrintCase{"&a", "&a"},
+                      ExprPrintCase{"g(p, a, b)", nullptr},
+                      ExprPrintCase{"a << 2 | b", nullptr},
+                      ExprPrintCase{"sizeof (struct s)", nullptr}));
+
+} // namespace

@@ -1,0 +1,38 @@
+//===--- TestUtil.h - Shared helpers for the test suite ---------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_TESTS_TESTUTIL_H
+#define MEMLINT_TESTS_TESTUTIL_H
+
+#include "checker/Checker.h"
+
+#include <string>
+
+namespace memlint {
+namespace test {
+
+/// Checks an in-memory source with default options.
+inline CheckResult check(const std::string &Source) {
+  return Checker::checkSource(Source, CheckOptions(), "test.c");
+}
+
+/// Checks with one flag overridden.
+inline CheckResult checkWithFlag(const std::string &Source,
+                                 const std::string &Flag, bool Value) {
+  CheckOptions Options;
+  Options.Flags.set(Flag, Value);
+  return Checker::checkSource(Source, Options, "test.c");
+}
+
+/// Number of anomalies of a given class.
+inline unsigned countOf(const CheckResult &R, CheckId Id) {
+  return R.count(Id);
+}
+
+} // namespace test
+} // namespace memlint
+
+#endif // MEMLINT_TESTS_TESTUTIL_H
