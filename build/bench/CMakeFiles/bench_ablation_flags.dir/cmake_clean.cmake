@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_flags.dir/bench_ablation_flags.cpp.o"
+  "CMakeFiles/bench_ablation_flags.dir/bench_ablation_flags.cpp.o.d"
+  "bench_ablation_flags"
+  "bench_ablation_flags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

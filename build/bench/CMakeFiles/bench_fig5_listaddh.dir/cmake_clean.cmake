@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_listaddh.dir/bench_fig5_listaddh.cpp.o"
+  "CMakeFiles/bench_fig5_listaddh.dir/bench_fig5_listaddh.cpp.o.d"
+  "bench_fig5_listaddh"
+  "bench_fig5_listaddh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_listaddh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

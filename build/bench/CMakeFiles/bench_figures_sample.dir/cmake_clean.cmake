@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figures_sample.dir/bench_figures_sample.cpp.o"
+  "CMakeFiles/bench_figures_sample.dir/bench_figures_sample.cpp.o.d"
+  "bench_figures_sample"
+  "bench_figures_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figures_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotate_iteratively.dir/annotate_iteratively.cpp.o"
+  "CMakeFiles/annotate_iteratively.dir/annotate_iteratively.cpp.o.d"
+  "annotate_iteratively"
+  "annotate_iteratively.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotate_iteratively.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

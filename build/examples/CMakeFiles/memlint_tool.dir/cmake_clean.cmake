@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlint_tool.dir/memlint_tool.cpp.o"
+  "CMakeFiles/memlint_tool.dir/memlint_tool.cpp.o.d"
+  "memlint"
+  "memlint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlint_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

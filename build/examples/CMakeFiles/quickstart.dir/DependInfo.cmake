@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/checker/CMakeFiles/memlint_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/memlint_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/memlint_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/memlint_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/pp/CMakeFiles/memlint_pp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lcl/CMakeFiles/memlint_lcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/lex/CMakeFiles/memlint_lex.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/memlint_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/memlint_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

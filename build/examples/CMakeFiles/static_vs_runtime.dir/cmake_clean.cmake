@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_vs_runtime.dir/static_vs_runtime.cpp.o"
+  "CMakeFiles/static_vs_runtime.dir/static_vs_runtime.cpp.o.d"
+  "static_vs_runtime"
+  "static_vs_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_vs_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

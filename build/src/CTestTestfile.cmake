@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("lex")
+subdirs("pp")
+subdirs("ast")
+subdirs("lcl")
+subdirs("parse")
+subdirs("sema")
+subdirs("cfg")
+subdirs("analysis")
+subdirs("checker")
+subdirs("corpus")
+subdirs("interp")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Env.cpp" "src/analysis/CMakeFiles/memlint_analysis.dir/Env.cpp.o" "gcc" "src/analysis/CMakeFiles/memlint_analysis.dir/Env.cpp.o.d"
+  "/root/repo/src/analysis/FunctionChecker.cpp" "src/analysis/CMakeFiles/memlint_analysis.dir/FunctionChecker.cpp.o" "gcc" "src/analysis/CMakeFiles/memlint_analysis.dir/FunctionChecker.cpp.o.d"
+  "/root/repo/src/analysis/LibrarySpec.cpp" "src/analysis/CMakeFiles/memlint_analysis.dir/LibrarySpec.cpp.o" "gcc" "src/analysis/CMakeFiles/memlint_analysis.dir/LibrarySpec.cpp.o.d"
+  "/root/repo/src/analysis/RefPath.cpp" "src/analysis/CMakeFiles/memlint_analysis.dir/RefPath.cpp.o" "gcc" "src/analysis/CMakeFiles/memlint_analysis.dir/RefPath.cpp.o.d"
+  "/root/repo/src/analysis/StorageModel.cpp" "src/analysis/CMakeFiles/memlint_analysis.dir/StorageModel.cpp.o" "gcc" "src/analysis/CMakeFiles/memlint_analysis.dir/StorageModel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/memlint_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/memlint_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlint_analysis.dir/Env.cpp.o"
+  "CMakeFiles/memlint_analysis.dir/Env.cpp.o.d"
+  "CMakeFiles/memlint_analysis.dir/FunctionChecker.cpp.o"
+  "CMakeFiles/memlint_analysis.dir/FunctionChecker.cpp.o.d"
+  "CMakeFiles/memlint_analysis.dir/LibrarySpec.cpp.o"
+  "CMakeFiles/memlint_analysis.dir/LibrarySpec.cpp.o.d"
+  "CMakeFiles/memlint_analysis.dir/RefPath.cpp.o"
+  "CMakeFiles/memlint_analysis.dir/RefPath.cpp.o.d"
+  "CMakeFiles/memlint_analysis.dir/StorageModel.cpp.o"
+  "CMakeFiles/memlint_analysis.dir/StorageModel.cpp.o.d"
+  "libmemlint_analysis.a"
+  "libmemlint_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlint_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

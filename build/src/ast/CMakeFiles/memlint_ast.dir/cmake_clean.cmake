@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlint_ast.dir/AST.cpp.o"
+  "CMakeFiles/memlint_ast.dir/AST.cpp.o.d"
+  "CMakeFiles/memlint_ast.dir/ASTPrinter.cpp.o"
+  "CMakeFiles/memlint_ast.dir/ASTPrinter.cpp.o.d"
+  "CMakeFiles/memlint_ast.dir/Annotations.cpp.o"
+  "CMakeFiles/memlint_ast.dir/Annotations.cpp.o.d"
+  "CMakeFiles/memlint_ast.dir/Type.cpp.o"
+  "CMakeFiles/memlint_ast.dir/Type.cpp.o.d"
+  "libmemlint_ast.a"
+  "libmemlint_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlint_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlint_cfg.dir/CFG.cpp.o"
+  "CMakeFiles/memlint_cfg.dir/CFG.cpp.o.d"
+  "libmemlint_cfg.a"
+  "libmemlint_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlint_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlint_checker.dir/Checker.cpp.o"
+  "CMakeFiles/memlint_checker.dir/Checker.cpp.o.d"
+  "CMakeFiles/memlint_checker.dir/Frontend.cpp.o"
+  "CMakeFiles/memlint_checker.dir/Frontend.cpp.o.d"
+  "libmemlint_checker.a"
+  "libmemlint_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlint_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

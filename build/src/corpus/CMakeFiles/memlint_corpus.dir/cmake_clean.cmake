@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlint_corpus.dir/Corpus.cpp.o"
+  "CMakeFiles/memlint_corpus.dir/Corpus.cpp.o.d"
+  "CMakeFiles/memlint_corpus.dir/DbCorpus.cpp.o"
+  "CMakeFiles/memlint_corpus.dir/DbCorpus.cpp.o.d"
+  "libmemlint_corpus.a"
+  "libmemlint_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlint_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlint_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/memlint_interp.dir/Interpreter.cpp.o.d"
+  "libmemlint_interp.a"
+  "libmemlint_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlint_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlint_lcl.dir/LclReader.cpp.o"
+  "CMakeFiles/memlint_lcl.dir/LclReader.cpp.o.d"
+  "libmemlint_lcl.a"
+  "libmemlint_lcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlint_lcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

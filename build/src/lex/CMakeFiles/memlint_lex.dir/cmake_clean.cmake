@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlint_lex.dir/Lexer.cpp.o"
+  "CMakeFiles/memlint_lex.dir/Lexer.cpp.o.d"
+  "libmemlint_lex.a"
+  "libmemlint_lex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlint_lex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

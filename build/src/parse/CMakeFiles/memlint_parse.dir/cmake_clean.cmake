@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlint_parse.dir/Parser.cpp.o"
+  "CMakeFiles/memlint_parse.dir/Parser.cpp.o.d"
+  "libmemlint_parse.a"
+  "libmemlint_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlint_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmemlint_parse.a"
+)

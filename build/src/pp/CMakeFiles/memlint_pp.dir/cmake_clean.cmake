@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlint_pp.dir/Preprocessor.cpp.o"
+  "CMakeFiles/memlint_pp.dir/Preprocessor.cpp.o.d"
+  "libmemlint_pp.a"
+  "libmemlint_pp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlint_pp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

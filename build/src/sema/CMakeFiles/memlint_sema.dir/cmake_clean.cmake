@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlint_sema.dir/Sema.cpp.o"
+  "CMakeFiles/memlint_sema.dir/Sema.cpp.o.d"
+  "libmemlint_sema.a"
+  "libmemlint_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlint_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

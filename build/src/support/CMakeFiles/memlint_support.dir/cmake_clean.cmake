@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlint_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/memlint_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/memlint_support.dir/Flags.cpp.o"
+  "CMakeFiles/memlint_support.dir/Flags.cpp.o.d"
+  "CMakeFiles/memlint_support.dir/VFS.cpp.o"
+  "CMakeFiles/memlint_support.dir/VFS.cpp.o.d"
+  "libmemlint_support.a"
+  "libmemlint_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlint_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

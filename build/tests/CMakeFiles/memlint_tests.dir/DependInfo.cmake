@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AnalysisAliasTest.cpp" "tests/CMakeFiles/memlint_tests.dir/AnalysisAliasTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/AnalysisAliasTest.cpp.o.d"
+  "/root/repo/tests/AnalysisAllocTest.cpp" "tests/CMakeFiles/memlint_tests.dir/AnalysisAllocTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/AnalysisAllocTest.cpp.o.d"
+  "/root/repo/tests/AnalysisDefTest.cpp" "tests/CMakeFiles/memlint_tests.dir/AnalysisDefTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/AnalysisDefTest.cpp.o.d"
+  "/root/repo/tests/AnalysisEdgeTest.cpp" "tests/CMakeFiles/memlint_tests.dir/AnalysisEdgeTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/AnalysisEdgeTest.cpp.o.d"
+  "/root/repo/tests/AnalysisInteractionTest.cpp" "tests/CMakeFiles/memlint_tests.dir/AnalysisInteractionTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/AnalysisInteractionTest.cpp.o.d"
+  "/root/repo/tests/AnalysisNullTest.cpp" "tests/CMakeFiles/memlint_tests.dir/AnalysisNullTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/AnalysisNullTest.cpp.o.d"
+  "/root/repo/tests/AnnotationsTest.cpp" "tests/CMakeFiles/memlint_tests.dir/AnnotationsTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/AnnotationsTest.cpp.o.d"
+  "/root/repo/tests/CfgTest.cpp" "tests/CMakeFiles/memlint_tests.dir/CfgTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/CfgTest.cpp.o.d"
+  "/root/repo/tests/CheckerFiguresTest.cpp" "tests/CMakeFiles/memlint_tests.dir/CheckerFiguresTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/CheckerFiguresTest.cpp.o.d"
+  "/root/repo/tests/CorpusAndFlagsTest.cpp" "tests/CMakeFiles/memlint_tests.dir/CorpusAndFlagsTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/CorpusAndFlagsTest.cpp.o.d"
+  "/root/repo/tests/EnvTest.cpp" "tests/CMakeFiles/memlint_tests.dir/EnvTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/EnvTest.cpp.o.d"
+  "/root/repo/tests/InterpreterTest.cpp" "tests/CMakeFiles/memlint_tests.dir/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/LclReaderTest.cpp" "tests/CMakeFiles/memlint_tests.dir/LclReaderTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/LclReaderTest.cpp.o.d"
+  "/root/repo/tests/LexerTest.cpp" "tests/CMakeFiles/memlint_tests.dir/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/LexerTest.cpp.o.d"
+  "/root/repo/tests/MessageGoldenTest.cpp" "tests/CMakeFiles/memlint_tests.dir/MessageGoldenTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/MessageGoldenTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/memlint_tests.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/PreprocessorTest.cpp" "tests/CMakeFiles/memlint_tests.dir/PreprocessorTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/PreprocessorTest.cpp.o.d"
+  "/root/repo/tests/RefCountTest.cpp" "tests/CMakeFiles/memlint_tests.dir/RefCountTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/RefCountTest.cpp.o.d"
+  "/root/repo/tests/RobustnessTest.cpp" "tests/CMakeFiles/memlint_tests.dir/RobustnessTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/RobustnessTest.cpp.o.d"
+  "/root/repo/tests/SemaTest.cpp" "tests/CMakeFiles/memlint_tests.dir/SemaTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/SemaTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/memlint_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/memlint_tests.dir/SupportTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/checker/CMakeFiles/memlint_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/memlint_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/memlint_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/memlint_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lcl/CMakeFiles/memlint_lcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/memlint_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/memlint_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/memlint_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/pp/CMakeFiles/memlint_pp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lex/CMakeFiles/memlint_lex.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/memlint_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/memlint_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
