@@ -1,0 +1,73 @@
+//===--- bench_limits_overhead.cpp - Cost of the containment layer -------------===//
+//
+// Part of memlint. See DESIGN.md (section 6b).
+//
+// The resource-budget layer (support/Limits.h) charges counters on every
+// preprocessed token, parsed nesting level, analyzed statement, and
+// environment split. This bench verifies two properties:
+//
+//   1. default budgets cost (approximately) nothing on clean input —
+//      checking with the stock ResourceBudget matches checking with every
+//      limit disabled (0 = unlimited);
+//   2. tight budgets actually bound work — a degraded run over the same
+//      input finishes faster, not slower.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "corpus/Corpus.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace memlint;
+using namespace memlint::corpus;
+
+namespace {
+
+Program benchProgram() {
+  GenOptions O;
+  O.Modules = 8;
+  O.FunctionsPerModule = 25;
+  return syntheticProgram(O);
+}
+
+void BM_DefaultBudgets(benchmark::State &State) {
+  Program P = benchProgram();
+  CheckOptions Options; // stock ResourceBudget
+  for (auto _ : State) {
+    CheckResult R = Checker::checkFiles(P.Files, P.MainFiles, Options);
+    benchmark::DoNotOptimize(R.Status);
+  }
+}
+BENCHMARK(BM_DefaultBudgets);
+
+void BM_UnlimitedBudgets(benchmark::State &State) {
+  Program P = benchProgram();
+  CheckOptions Options;
+  Options.Flags.limits() = ResourceBudget{0, 0, 0, 0, 0, 0};
+  for (auto _ : State) {
+    CheckResult R = Checker::checkFiles(P.Files, P.MainFiles, Options);
+    benchmark::DoNotOptimize(R.Status);
+  }
+}
+BENCHMARK(BM_UnlimitedBudgets);
+
+void BM_TightBudgetsDegrade(benchmark::State &State) {
+  Program P = benchProgram();
+  CheckOptions Options;
+  Options.Flags.limits().MaxStmtsPerFunction = 2;
+  Options.Flags.limits().MaxEnvSplitsPerFunction = 2;
+  unsigned DegradedRuns = 0;
+  for (auto _ : State) {
+    CheckResult R = Checker::checkFiles(P.Files, P.MainFiles, Options);
+    if (R.Status == CheckStatus::Degraded)
+      ++DegradedRuns;
+    benchmark::DoNotOptimize(R.Status);
+  }
+  State.counters["degraded"] = DegradedRuns;
+}
+BENCHMARK(BM_TightBudgetsDegrade);
+
+} // namespace
+
+BENCHMARK_MAIN();

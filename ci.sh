@@ -1,0 +1,20 @@
+#!/bin/sh
+# CI entry point: build and test in the plain release configuration, then
+# again under AddressSanitizer + UndefinedBehaviorSanitizer. The sanitizer
+# pass is what backs the robustness guarantees: the hostile-input suite
+# (RobustnessTest, LimitsTest) must run with zero sanitizer reports.
+set -eu
+
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 2)}
+
+echo "== release build =="
+cmake --preset release
+cmake --build --preset release -j "$JOBS"
+ctest --preset release
+
+echo "== asan+ubsan build =="
+cmake --preset asan
+cmake --build --preset asan -j "$JOBS"
+ctest --preset asan
+
+echo "== ci passed =="

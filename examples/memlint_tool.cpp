@@ -36,8 +36,14 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--flags") {
-      for (const std::string &Name : Options.Flags.knownFlags())
-        printf("%c%s\n", Options.Flags.get(Name) ? '+' : '-', Name.c_str());
+      for (const std::string &Name : Options.Flags.knownFlags()) {
+        // Limit flags carry a numeric value ("-limittokens=N"); check
+        // toggles carry their on/off state.
+        if (Options.Flags.isLimit(Name))
+          printf("-%s=%u\n", Name.c_str(), Options.Flags.getLimit(Name));
+        else
+          printf("%c%s\n", Options.Flags.get(Name) ? '+' : '-', Name.c_str());
+      }
       return 0;
     }
     if (Arg == "--cfg") {
@@ -100,6 +106,13 @@ int main(int argc, char **argv) {
   printf("%s", R.render().c_str());
   printf("-- %u anomaly(ies), %u suppressed\n", R.anomalyCount(),
          R.SuppressedCount);
+  if (R.Status != CheckStatus::Ok) {
+    std::string Reasons;
+    for (const std::string &Reason : R.DegradationReasons)
+      Reasons += (Reasons.empty() ? "" : ", ") + Reason;
+    printf("-- check %s (%s); results are partial\n",
+           checkStatusName(R.Status), Reasons.c_str());
+  }
   unsigned Count = R.anomalyCount();
   return Count > 125 ? 125 : static_cast<int>(Count);
 }

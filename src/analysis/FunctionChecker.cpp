@@ -9,6 +9,7 @@
 #include "ast/ASTPrinter.h"
 
 #include <cassert>
+#include <exception>
 
 using namespace memlint;
 
@@ -354,8 +355,67 @@ void FunctionChecker::consumeObligation(Env &S, const RefPath &Ref,
 //===----------------------------------------------------------------------===//
 
 void FunctionChecker::checkAll() {
-  for (const FunctionDecl *FD : TU.definedFunctions())
-    checkFunction(FD);
+  for (const FunctionDecl *FD : TU.definedFunctions()) {
+    // Fault containment: an internal error in one function's analysis must
+    // not take down the whole run. Convert it into a diagnostic and keep
+    // every result produced so far.
+    try {
+      checkFunction(FD);
+    } catch (const std::exception &E) {
+      if (Budget)
+        Budget->noteInternalError();
+      CurFn = nullptr;
+      Diags.report(CheckId::ParseError, FD->loc(),
+                   "internal error while checking function '" + FD->name() +
+                       "': " + E.what() +
+                       "; results for this function are incomplete",
+                   Severity::Error);
+    }
+  }
+}
+
+bool FunctionChecker::takeStmt(const Stmt *St, Env &S) {
+  unsigned Max = Budget ? Budget->budget().MaxStmtsPerFunction : 0;
+  if (limitExhausted(StmtCount, Max)) {
+    noteBudget("limitstmts", Max, St->loc(),
+               "statement budget exceeded in function '" +
+                   (CurFn ? CurFn->name() : std::string("?")) +
+                   "'; remaining statements not analyzed",
+               StmtNoticed);
+    S.setUnreachable();
+    return false;
+  }
+  ++StmtCount;
+  return true;
+}
+
+bool FunctionChecker::takeSplits(unsigned N, const SourceLocation &Loc,
+                                 Env &S) {
+  unsigned Max = Budget ? Budget->budget().MaxEnvSplitsPerFunction : 0;
+  if (Max != 0 && SplitCount + N > Max) {
+    noteBudget("limitsplits", Max, Loc,
+               "environment split budget exceeded in function '" +
+                   (CurFn ? CurFn->name() : std::string("?")) +
+                   "'; remaining paths not analyzed",
+               SplitNoticed);
+    S.setUnreachable();
+    return false;
+  }
+  SplitCount += N;
+  return true;
+}
+
+void FunctionChecker::noteBudget(const char *Flag, unsigned Limit,
+                                 const SourceLocation &Loc,
+                                 const std::string &What, bool &Noticed) {
+  if (Budget)
+    Budget->noteDegradation(Flag);
+  if (Noticed)
+    return;
+  Noticed = true;
+  Diags.report(CheckId::ParseError, Loc,
+               What + " (" + Flag + "=" + std::to_string(Limit) + ")",
+               Severity::Note);
 }
 
 void FunctionChecker::checkFunction(const FunctionDecl *FD) {
@@ -365,6 +425,8 @@ void FunctionChecker::checkFunction(const FunctionDecl *FD) {
   GlobalsUsed.clear();
   LocalScopes.clear();
   Loops.clear();
+  StmtCount = SplitCount = EvalDepth = 0;
+  StmtNoticed = SplitNoticed = DepthNoticed = false;
   DefaultFn_ = [this](const RefPath &Ref) { return defaultFor(Ref); };
 
   Env S;
@@ -401,6 +463,8 @@ void FunctionChecker::checkFunction(const FunctionDecl *FD) {
 
 void FunctionChecker::execStmt(const Stmt *St, Env &S) {
   if (!St || S.isUnreachable())
+    return;
+  if (!takeStmt(St, S))
     return;
   switch (St->kind()) {
   case Stmt::StmtKind::Compound:
@@ -559,6 +623,8 @@ void FunctionChecker::reportConflicts(
 
 void FunctionChecker::execIf(const IfStmt *IS, Env &S) {
   evalExpr(IS->cond(), S, /*AsRValue=*/true);
+  if (!takeSplits(2, IS->loc(), S))
+    return;
 
   Env TrueEnv = S;
   refine(TrueEnv, IS->cond(), true);
@@ -577,6 +643,8 @@ void FunctionChecker::execIf(const IfStmt *IS, Env &S) {
 
 void FunctionChecker::execWhile(const WhileStmt *WS, Env &S) {
   evalExpr(WS->cond(), S, /*AsRValue=*/true);
+  if (!takeSplits(2, WS->loc(), S))
+    return;
 
   // Zero executions: condition false.
   Env SkipEnv = S;
@@ -620,6 +688,10 @@ void FunctionChecker::execFor(const ForStmt *FS, Env &S) {
 
   if (FS->cond())
     evalExpr(FS->cond(), S, /*AsRValue=*/true);
+  if (!takeSplits(2, FS->loc(), S)) {
+    LocalScopes.pop_back();
+    return;
+  }
 
   Env SkipEnv = S;
   if (FS->cond())
@@ -654,6 +726,9 @@ void FunctionChecker::execFor(const ForStmt *FS, Env &S) {
 
 void FunctionChecker::execSwitch(const SwitchStmt *SS, Env &S) {
   evalExpr(SS->cond(), S, /*AsRValue=*/true);
+  if (!takeSplits(static_cast<unsigned>(SS->sections().size()) + 1, SS->loc(),
+                  S))
+    return;
 
   Env Base = S;
   Env Result;
@@ -1093,6 +1168,21 @@ FunctionChecker::EvalResult FunctionChecker::evalExpr(const Expr *E, Env &S,
   EvalResult R;
   if (!E)
     return R;
+  // Recursion containment: abstract evaluation follows the expression tree;
+  // bail out with an unknown value rather than risking the stack on inputs
+  // the parser could still represent.
+  ++EvalDepth;
+  struct DepthScope {
+    unsigned &Depth;
+    ~DepthScope() { --Depth; }
+  } Scope{EvalDepth};
+  if (MaxEvalDepth != 0 && EvalDepth > MaxEvalDepth) {
+    noteBudget("limitnesting", MaxEvalDepth, E->loc(),
+               "expression nesting too deep during analysis; subexpression "
+               "not evaluated",
+               DepthNoticed);
+    return R;
+  }
   switch (E->kind()) {
   case Expr::ExprKind::Paren:
     return evalExpr(cast<ParenExpr>(E)->sub(), S, AsRValue);

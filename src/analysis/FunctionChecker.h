@@ -31,6 +31,7 @@
 #include "ast/AST.h"
 #include "support/Diagnostics.h"
 #include "support/Flags.h"
+#include "support/Limits.h"
 
 #include <optional>
 #include <set>
@@ -41,14 +42,23 @@ namespace memlint {
 /// Checks function bodies against their interface annotations.
 class FunctionChecker {
 public:
+  /// \p Budget, when given, bounds the per-function work (statements
+  /// analyzed, environment splits) and the abstract-evaluation recursion
+  /// depth; without one the default ResourceBudget depth still guards the
+  /// stack.
   FunctionChecker(const TranslationUnit &TU, const FlagSet &Flags,
-                  DiagnosticEngine &Diags)
-      : TU(TU), Flags(Flags), Diags(Diags) {}
+                  DiagnosticEngine &Diags, BudgetState *Budget = nullptr)
+      : TU(TU), Flags(Flags), Diags(Diags), Budget(Budget),
+        MaxEvalDepth(Budget ? Budget->budget().MaxNestingDepth
+                            : ResourceBudget().MaxNestingDepth) {}
 
   /// Checks one function definition.
   void checkFunction(const FunctionDecl *FD);
 
-  /// Checks every function definition in the translation unit.
+  /// Checks every function definition in the translation unit. Each
+  /// function is checked in isolation: an internal error escaping one
+  /// function's analysis is converted into a diagnostic and checking
+  /// proceeds with the next function.
   void checkAll();
 
 private:
@@ -135,6 +145,19 @@ private:
     return Flags.get(checkIdFlagName(Id));
   }
 
+  //===--- resource budget --------------------------------------------------===//
+  /// Charges the statement budget for \p St. \returns false when the budget
+  /// is exhausted; \p S is then marked unreachable so the remainder of the
+  /// function is skipped, and (once per function) a degradation notice is
+  /// emitted.
+  bool takeStmt(const Stmt *St, Env &S);
+  /// Charges \p N environment splits at a confluence. Same bail-out
+  /// contract as takeStmt.
+  bool takeSplits(unsigned N, const SourceLocation &Loc, Env &S);
+  /// Records degradation for \p Flag and emits a once-per-function notice.
+  void noteBudget(const char *Flag, unsigned Limit, const SourceLocation &Loc,
+                  const std::string &What, bool &Noticed);
+
   //===--- loop / scope bookkeeping ----------------------------------------===//
   struct LoopContext {
     std::vector<Env> Breaks;
@@ -145,6 +168,16 @@ private:
   const TranslationUnit &TU;
   const FlagSet &Flags;
   DiagnosticEngine &Diags;
+  BudgetState *Budget = nullptr;
+  unsigned MaxEvalDepth = 0;
+
+  // Per-function budget state (reset in checkFunction).
+  unsigned StmtCount = 0;
+  unsigned SplitCount = 0;
+  unsigned EvalDepth = 0;
+  bool StmtNoticed = false;
+  bool SplitNoticed = false;
+  bool DepthNoticed = false;
 
   // Per-function state.
   const FunctionDecl *CurFn = nullptr;

@@ -6,8 +6,6 @@
 
 #include "ast/ASTPrinter.h"
 
-#include <cassert>
-
 using namespace memlint;
 
 void ASTPrinter::line(unsigned Indent, const std::string &Text) {
@@ -105,7 +103,9 @@ void ASTPrinter::printDecl(const Decl *D, unsigned Indent) {
     return;
   }
   }
-  assert(false && "unknown decl kind");
+  // Unknown kinds (future extensions, corrupted nodes) print a placeholder
+  // so a debug dump never aborts the process.
+  line(Indent, "<unknown decl>");
 }
 
 static const char *unaryOpName(UnaryOp Op) {
@@ -251,7 +251,7 @@ void ASTPrinter::printExpr(const Expr *E, unsigned Indent) {
     return;
   }
   }
-  assert(false && "unknown expr kind");
+  line(Indent, "<unknown expr>");
 }
 
 void ASTPrinter::printStmt(const Stmt *S, unsigned Indent) {
@@ -337,16 +337,25 @@ void ASTPrinter::printStmt(const Stmt *S, unsigned Indent) {
     line(Indent, "NullStmt");
     return;
   }
-  assert(false && "unknown stmt kind");
+  line(Indent, "<unknown stmt>");
 }
 
 //===----------------------------------------------------------------------===//
 // Compact C-syntax expression rendering
 //===----------------------------------------------------------------------===//
 
-std::string memlint::exprToString(const Expr *E) {
+namespace {
+
+// Depth-capped worker for exprToString. The parser admits expressions
+// nested up to limitnesting levels, which is deeper than this recursive
+// renderer's stack budget; past the cap the rest collapses to "...".
+constexpr unsigned MaxRenderDepth = 100;
+
+std::string exprToStringImpl(const Expr *E, unsigned Depth) {
   if (!E)
     return "";
+  if (Depth > MaxRenderDepth)
+    return "...";
   switch (E->kind()) {
   case Expr::ExprKind::IntegerLiteral:
     return std::to_string(cast<IntegerLiteralExpr>(E)->value());
@@ -360,7 +369,7 @@ std::string memlint::exprToString(const Expr *E) {
     return cast<DeclRefExpr>(E)->name();
   case Expr::ExprKind::Unary: {
     const auto *UE = cast<UnaryExpr>(E);
-    std::string Sub = exprToString(UE->sub());
+    std::string Sub = exprToStringImpl(UE->sub(), Depth + 1);
     switch (UE->op()) {
     case UnaryOp::Deref: return "*" + Sub;
     case UnaryOp::AddrOf: return "&" + Sub;
@@ -377,55 +386,61 @@ std::string memlint::exprToString(const Expr *E) {
   }
   case Expr::ExprKind::Binary: {
     const auto *BE = cast<BinaryExpr>(E);
-    return exprToString(BE->lhs()) + " " + binaryOpName(BE->op()) + " " +
-           exprToString(BE->rhs());
+    return exprToStringImpl(BE->lhs(), Depth + 1) + " " + binaryOpName(BE->op()) + " " +
+           exprToStringImpl(BE->rhs(), Depth + 1);
   }
   case Expr::ExprKind::Call: {
     const auto *CE = cast<CallExpr>(E);
-    std::string Out = exprToString(CE->callee()) + "(";
+    std::string Out = exprToStringImpl(CE->callee(), Depth + 1) + "(";
     for (size_t I = 0; I < CE->args().size(); ++I) {
       if (I)
         Out += ", ";
-      Out += exprToString(CE->args()[I]);
+      Out += exprToStringImpl(CE->args()[I], Depth + 1);
     }
     return Out + ")";
   }
   case Expr::ExprKind::Member: {
     const auto *ME = cast<MemberExpr>(E);
-    return exprToString(ME->base()) + (ME->isArrow() ? "->" : ".") +
+    return exprToStringImpl(ME->base(), Depth + 1) + (ME->isArrow() ? "->" : ".") +
            ME->member();
   }
   case Expr::ExprKind::ArraySubscript: {
     const auto *AE = cast<ArraySubscriptExpr>(E);
-    return exprToString(AE->base()) + "[" + exprToString(AE->index()) + "]";
+    return exprToStringImpl(AE->base(), Depth + 1) + "[" + exprToStringImpl(AE->index(), Depth + 1) + "]";
   }
   case Expr::ExprKind::Cast: {
     const auto *CE = cast<CastExpr>(E);
-    return "(" + CE->type().str() + ") " + exprToString(CE->sub());
+    return "(" + CE->type().str() + ") " + exprToStringImpl(CE->sub(), Depth + 1);
   }
   case Expr::ExprKind::Sizeof: {
     const auto *SE = cast<SizeofExpr>(E);
     if (SE->argExpr())
-      return "sizeof (" + exprToString(SE->argExpr()) + ")";
+      return "sizeof (" + exprToStringImpl(SE->argExpr(), Depth + 1) + ")";
     return "sizeof (" + SE->argType().str() + ")";
   }
   case Expr::ExprKind::Conditional: {
     const auto *CE = cast<ConditionalExpr>(E);
-    return exprToString(CE->cond()) + " ? " + exprToString(CE->trueExpr()) +
-           " : " + exprToString(CE->falseExpr());
+    return exprToStringImpl(CE->cond(), Depth + 1) + " ? " + exprToStringImpl(CE->trueExpr(), Depth + 1) +
+           " : " + exprToStringImpl(CE->falseExpr(), Depth + 1);
   }
   case Expr::ExprKind::Paren:
-    return "(" + exprToString(cast<ParenExpr>(E)->sub()) + ")";
+    return "(" + exprToStringImpl(cast<ParenExpr>(E)->sub(), Depth + 1) + ")";
   case Expr::ExprKind::InitList: {
     const auto *IE = cast<InitListExpr>(E);
     std::string Out = "{";
     for (size_t I = 0; I < IE->inits().size(); ++I) {
       if (I)
         Out += ", ";
-      Out += exprToString(IE->inits()[I]);
+      Out += exprToStringImpl(IE->inits()[I], Depth + 1);
     }
     return Out + "}";
   }
   }
   return "<expr>";
+}
+
+} // namespace
+
+std::string memlint::exprToString(const Expr *E) {
+  return exprToStringImpl(E, 0);
 }

@@ -76,7 +76,8 @@ QualType QualType::pointee() const {
     return PT->pointee();
   if (const auto *AT = dyn_cast<ArrayType>(C))
     return AT->element();
-  assert(false && "pointee() of non-pointer type");
+  // Callers probing error-recovery types reach here; a null QualType is the
+  // established "unknown type" value throughout the checker.
   return QualType();
 }
 

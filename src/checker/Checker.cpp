@@ -15,10 +15,23 @@
 #include "sema/Sema.h"
 
 #include <algorithm>
+#include <exception>
 #include <map>
 #include <set>
 
 using namespace memlint;
+
+const char *memlint::checkStatusName(CheckStatus S) {
+  switch (S) {
+  case CheckStatus::Ok:
+    return "ok";
+  case CheckStatus::Degraded:
+    return "degraded";
+  case CheckStatus::InternalError:
+    return "internal-error";
+  }
+  return "unknown";
+}
 
 unsigned CheckResult::count(CheckId Id) const {
   unsigned N = 0;
@@ -114,34 +127,60 @@ private:
 
 CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
                      const CheckOptions &Options) {
+  const ResourceBudget &Limits = Options.Flags.limits();
+  BudgetState Budget(Limits);
   DiagnosticEngine Diags;
-  Preprocessor PP(Files, Diags);
+  Diags.setFloodControl(Limits.MaxDiagsPerClass, Limits.MaxDiagsTotal);
+  Preprocessor PP(Files, Diags, &Budget);
+
+  // Converts an exception escaping one pipeline stage into a diagnostic so
+  // the rest of the run can proceed with partial results.
+  auto containError = [&](const std::string &Name, const char *Stage,
+                          const std::exception *E) {
+    Budget.noteInternalError();
+    Diags.report(CheckId::ParseError, SourceLocation(Name, 1, 1),
+                 "internal error while " + std::string(Stage) + " '" + Name +
+                     "': " + (E ? E->what() : "unknown exception") +
+                     "; results are incomplete",
+                 Severity::Error);
+  };
 
   // Prelude first, then every user file, concatenated into one program.
+  // Each file is preprocessed in isolation: an internal error in one file
+  // skips that file only, so multi-file runs still report on the rest.
   std::vector<Token> Program;
   auto appendTokens = [&Program](std::vector<Token> Toks) {
     if (!Toks.empty() && Toks.back().isEof())
       Toks.pop_back();
     Program.insert(Program.end(), Toks.begin(), Toks.end());
   };
-  if (Options.IncludePrelude)
-    appendTokens(
-        PP.processSource(libraryPreludeName(), libraryPreludeSource()));
+  if (Options.IncludePrelude) {
+    try {
+      appendTokens(
+          PP.processSource(libraryPreludeName(), libraryPreludeSource()));
+    } catch (const std::exception &E) {
+      containError(libraryPreludeName(), "preprocessing", &E);
+    }
+  }
   for (const std::string &Name : Names) {
-    // LCL specification files are translated to annotated C declarations
-    // first (the paper's other annotation vehicle).
-    if (Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".lcl") == 0) {
-      std::optional<std::string> Spec = Files.read(Name);
-      if (!Spec) {
-        Diags.report(CheckId::ParseError, SourceLocation(Name, 1, 1),
-                     "cannot open file '" + Name + "'", Severity::Error);
+    try {
+      // LCL specification files are translated to annotated C declarations
+      // first (the paper's other annotation vehicle).
+      if (Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".lcl") == 0) {
+        std::optional<std::string> Spec = Files.read(Name);
+        if (!Spec) {
+          Diags.report(CheckId::ParseError, SourceLocation(Name, 1, 1),
+                       "cannot open file '" + Name + "'", Severity::Error);
+          continue;
+        }
+        appendTokens(
+            PP.processSource(Name, translateLclToC(*Spec, Name, Diags)));
         continue;
       }
-      appendTokens(
-          PP.processSource(Name, translateLclToC(*Spec, Name, Diags)));
-      continue;
+      appendTokens(PP.process(Name));
+    } catch (const std::exception &E) {
+      containError(Name, "preprocessing", &E);
     }
-    appendTokens(PP.process(Name));
   }
   Token Eof;
   Eof.Kind = TokenKind::Eof;
@@ -154,15 +193,33 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
   Diags.setFilter(
       [&Suppression](const Diagnostic &D) { return Suppression.keep(D); });
 
+  const std::string MainName = Names.empty() ? "program" : Names.front();
   ASTContext Ctx;
-  Parser P(std::move(Program), Ctx, Diags);
-  TranslationUnit *TU = P.parse(Names.empty() ? "program" : Names.front());
+  TranslationUnit *TU = nullptr;
+  try {
+    Parser P(std::move(Program), Ctx, Diags, &Budget);
+    TU = P.parse(MainName);
+  } catch (const std::exception &E) {
+    containError(MainName, "parsing", &E);
+  }
 
-  Sema S(Diags);
-  S.check(*TU);
+  if (TU) {
+    try {
+      Sema S(Diags);
+      S.check(*TU);
+    } catch (const std::exception &E) {
+      containError(MainName, "validating annotations in", &E);
+    }
 
-  FunctionChecker FC(*TU, Options.Flags, Diags);
-  FC.checkAll();
+    // checkAll contains per-function internal errors itself; this catch is
+    // the last resort for errors escaping the loop machinery.
+    try {
+      FunctionChecker FC(*TU, Options.Flags, Diags, &Budget);
+      FC.checkAll();
+    } catch (const std::exception &E) {
+      containError(MainName, "checking", &E);
+    }
+  }
 
   // Deduplicate identical anomalies (several return points can re-detect
   // the same interface violation).
@@ -176,6 +233,35 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
     Result.Diagnostics.push_back(D);
   }
   Result.SuppressedCount = Diags.suppressedCount();
+
+  // Flood control: one summary line per capped class, in CheckId order
+  // (overflowCounts is an ordered map, so this is deterministic).
+  for (const auto &[Id, Dropped] : Diags.overflowCounts()) {
+    Diagnostic Summary;
+    Summary.Id = Id;
+    Summary.Sev = Severity::Note;
+    Summary.Loc = SourceLocation(MainName, 1, 1);
+    Summary.Message = "further " + std::to_string(Dropped) +
+                      " messages of check class '" +
+                      checkIdFlagName(Id) + "' suppressed (limitclassdiags=" +
+                      std::to_string(Limits.MaxDiagsPerClass) +
+                      ", limitdiags=" + std::to_string(Limits.MaxDiagsTotal) +
+                      ")";
+    Result.Diagnostics.push_back(std::move(Summary));
+  }
+  if (!Diags.overflowCounts().empty())
+    Budget.noteDegradation(limitExhausted(Diags.diagnostics().size(),
+                                          Limits.MaxDiagsTotal)
+                               ? "limitdiags"
+                               : "limitclassdiags");
+
+  Result.DegradationReasons = Budget.degradationReasons();
+  if (Budget.internalError()) {
+    Result.Status = CheckStatus::InternalError;
+    Result.DegradationReasons.push_back("internal-error");
+  } else if (Budget.degraded()) {
+    Result.Status = CheckStatus::Degraded;
+  }
   return Result;
 }
 
@@ -192,5 +278,33 @@ CheckResult Checker::checkSource(const std::string &Source,
 CheckResult Checker::checkFiles(const VFS &Files,
                                 const std::vector<std::string> &Names,
                                 const CheckOptions &Options) {
-  return runCheck(Files, Names, Options);
+  // Last-resort containment: the facade never lets an exception escape to
+  // the caller. Anything reaching this point is converted into an
+  // internal-error result.
+  try {
+    return runCheck(Files, Names, Options);
+  } catch (const std::exception &E) {
+    CheckResult Result;
+    Result.Status = CheckStatus::InternalError;
+    Result.DegradationReasons.push_back("internal-error");
+    Diagnostic D;
+    D.Id = CheckId::ParseError;
+    D.Sev = Severity::Error;
+    D.Loc = SourceLocation(Names.empty() ? "program" : Names.front(), 1, 1);
+    D.Message = std::string("internal error: ") + E.what() +
+                "; check run aborted";
+    Result.Diagnostics.push_back(std::move(D));
+    return Result;
+  } catch (...) {
+    CheckResult Result;
+    Result.Status = CheckStatus::InternalError;
+    Result.DegradationReasons.push_back("internal-error");
+    Diagnostic D;
+    D.Id = CheckId::ParseError;
+    D.Sev = Severity::Error;
+    D.Loc = SourceLocation(Names.empty() ? "program" : Names.front(), 1, 1);
+    D.Message = "internal error: unknown exception; check run aborted";
+    Result.Diagnostics.push_back(std::move(D));
+    return Result;
+  }
 }

@@ -34,10 +34,28 @@ struct CheckOptions {
   bool IncludePrelude = true;
 };
 
+/// How a check run completed. Ordered by severity: a run that both hit a
+/// budget and contained an internal error reports InternalError.
+enum class CheckStatus {
+  Ok,            ///< Full analysis; nothing was skipped.
+  Degraded,      ///< A resource budget was hit; results are partial but
+                 ///< every diagnostic emitted before the cut-off is kept.
+  InternalError, ///< An internal error was contained; results cover the
+                 ///< parts of the program checked before/around it.
+};
+
+/// \returns a stable lower-case name for a status ("ok", "degraded",
+/// "internal-error").
+const char *checkStatusName(CheckStatus S);
+
 /// The outcome of a check run.
 struct CheckResult {
   std::vector<Diagnostic> Diagnostics;
   unsigned SuppressedCount = 0;
+  CheckStatus Status = CheckStatus::Ok;
+  /// Which limits were hit, by flag name ("limittokens", ...), in first-hit
+  /// order; "internal-error" for contained crashes.
+  std::vector<std::string> DegradationReasons;
 
   /// Number of anomalies of a given check class.
   unsigned count(CheckId Id) const;

@@ -103,8 +103,9 @@ const char *memlint::tokenKindName(TokenKind Kind) {
   case TokenKind::Hash: return "'#'";
   case TokenKind::HashHash: return "'##'";
   }
-  assert(false && "unknown token kind");
-  return "unknown";
+  // Out-of-range kinds (corrupted tokens) degrade to a recognizable
+  // placeholder instead of aborting a diagnostic render.
+  return "unknown token";
 }
 
 bool Lexer::isAnnotationWord(const std::string &Word) {

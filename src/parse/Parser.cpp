@@ -29,6 +29,18 @@ void Parser::error(const std::string &Message) {
     Diags.report(CheckId::ParseError, cur().Loc, Message, Severity::Error);
 }
 
+void Parser::noteTooDeep() {
+  if (Budget)
+    Budget->noteDegradation("limitnesting");
+  if (TooDeepNoticed)
+    return;
+  TooDeepNoticed = true;
+  Diags.report(CheckId::ParseError, cur().Loc,
+               "nesting too deep (limitnesting=" + std::to_string(MaxDepth) +
+                   "); construct not parsed",
+               Severity::Error);
+}
+
 void Parser::synchronize() {
   unsigned Depth = 0;
   while (!cur().isEof()) {
@@ -308,6 +320,12 @@ Parser::DeclSpec Parser::parseDeclSpecs() {
 QualType Parser::parseStructOrUnion() {
   bool IsUnion = at(TokenKind::KwUnion);
   SourceLocation Loc = take().Loc; // struct/union
+  DepthGuard Guard(*this);
+  if (!Guard.entered()) {
+    // The keyword is consumed, so the specifier loop still makes progress;
+    // the member list (if any) is skipped by normal error recovery.
+    return QualType();
+  }
 
   std::string Tag;
   if (at(TokenKind::Identifier))
@@ -424,6 +442,9 @@ Parser::Declarator Parser::parseDeclarator(const DeclSpec &DS, bool Abstract) {
   Declarator D;
   D.Ty = DS.BaseTy;
   D.Loc = cur().Loc;
+  DepthGuard Guard(*this);
+  if (!Guard.entered())
+    return D;
 
   // Pointer prefix. Annotations written among the stars attach to the
   // declaration (outer level only, per the paper).
@@ -736,6 +757,14 @@ VarDecl *Parser::actOnGlobalVar(const DeclSpec &DS, const Declarator &D) {
 //===----------------------------------------------------------------------===//
 
 Stmt *Parser::parseStmt() {
+  DepthGuard Guard(*this);
+  if (!Guard.entered()) {
+    // Too deeply nested to parse safely; skip to a recovery point and
+    // substitute an empty statement so enclosing constructs stay intact.
+    SourceLocation Loc = cur().Loc;
+    synchronize();
+    return Ctx.create<NullStmt>(Loc);
+  }
   switch (cur().Kind) {
   case TokenKind::LBrace:
     return parseCompound();
@@ -1116,6 +1145,9 @@ QualType Parser::parseTypeName() {
 }
 
 Expr *Parser::parseCast() {
+  DepthGuard Guard(*this);
+  if (!Guard.entered())
+    return makeError(cur().Loc);
   if (at(TokenKind::LParen) && isStartOfTypeName(ahead())) {
     SourceLocation Loc = take().Loc; // '('
     QualType Ty = parseTypeName();

@@ -23,6 +23,7 @@
 #include "ast/AST.h"
 #include "lex/Token.h"
 #include "support/Diagnostics.h"
+#include "support/Limits.h"
 
 #include <map>
 #include <string>
@@ -32,8 +33,14 @@ namespace memlint {
 
 class Parser {
 public:
-  Parser(std::vector<Token> Toks, ASTContext &Ctx, DiagnosticEngine &Diags)
-      : Toks(std::move(Toks)), Ctx(Ctx), Diags(Diags) {}
+  /// \p Budget, when given, supplies the recursion-depth limit and records
+  /// degradation when it is hit; without one the default ResourceBudget
+  /// depth still guards the stack.
+  Parser(std::vector<Token> Toks, ASTContext &Ctx, DiagnosticEngine &Diags,
+         BudgetState *Budget = nullptr)
+      : Toks(std::move(Toks)), Ctx(Ctx), Diags(Diags), Budget(Budget),
+        MaxDepth(Budget ? Budget->budget().MaxNestingDepth
+                        : ResourceBudget().MaxNestingDepth) {}
 
   /// Parses the whole stream. Errors are reported to the diagnostic engine;
   /// parsing recovers at statement/declaration boundaries. Never returns
@@ -59,6 +66,31 @@ private:
   void error(const std::string &Message);
   /// Skips tokens until a likely recovery point (';', '}' or EOF).
   void synchronize();
+
+  //===--- recursion containment ------------------------------------------===//
+  /// RAII depth counter placed at every recursion choke point. When the
+  /// nesting budget is exceeded, entered() is false and the caller bails
+  /// out with a recoverable "nesting too deep" diagnostic instead of
+  /// smashing the stack.
+  class DepthGuard {
+  public:
+    explicit DepthGuard(Parser &P) : P(P) {
+      Ok = P.MaxDepth == 0 || ++P.Depth <= P.MaxDepth;
+      if (!Ok)
+        P.noteTooDeep();
+    }
+    ~DepthGuard() { --P.Depth; }
+    DepthGuard(const DepthGuard &) = delete;
+    /// True if the recursion budget admits this level.
+    bool entered() const { return Ok; }
+
+  private:
+    Parser &P;
+    bool Ok;
+  };
+  /// Reports the (single) "nesting too deep" diagnostic and records
+  /// degradation.
+  void noteTooDeep();
 
   //===--- scopes ---------------------------------------------------------===//
   void pushScope() { Scopes.emplace_back(); }
@@ -143,6 +175,10 @@ private:
   size_t Index = 0;
   ASTContext &Ctx;
   DiagnosticEngine &Diags;
+  BudgetState *Budget = nullptr;
+  unsigned Depth = 0;
+  unsigned MaxDepth = 0;
+  bool TooDeepNoticed = false;
   TranslationUnit *TU = nullptr;
 
   std::vector<std::map<std::string, Decl *>> Scopes;

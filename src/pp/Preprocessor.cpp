@@ -9,6 +9,7 @@
 #include "lex/Lexer.h"
 
 #include <cassert>
+#include <stdexcept>
 
 using namespace memlint;
 
@@ -56,6 +57,22 @@ std::vector<Token> Preprocessor::processSource(const std::string &Name,
   return Out;
 }
 
+bool Preprocessor::emit(const Token &Tok, std::vector<Token> &Out) {
+  if (Budget && !Budget->takeToken()) {
+    if (!BudgetNoticed) {
+      BudgetNoticed = true;
+      Diags.report(CheckId::ParseError, Tok.Loc,
+                   "token budget exceeded (limittokens=" +
+                       std::to_string(Budget->budget().MaxTokens) +
+                       "); remaining input not processed",
+                   Severity::Note);
+    }
+    return false;
+  }
+  Out.push_back(Tok);
+  return true;
+}
+
 size_t Preprocessor::directiveEnd(const std::vector<Token> &Toks, size_t I) {
   // The directive covers tokens on the same physical line as the '#'.
   const std::string &File = Toks[I].Loc.file();
@@ -97,9 +114,12 @@ void Preprocessor::processTokens(const std::vector<Token> &Toks,
     }
     if (Tok.is(TokenKind::Identifier) && Macros.count(Tok.Text)) {
       I = expandMacro(Toks, I, Out, Active);
+      if (overBudget())
+        break;
       continue;
     }
-    Out.push_back(Tok);
+    if (!emit(Tok, Out))
+      break;
     ++I;
   }
   // Unterminated conditionals opened in this file.
@@ -252,8 +272,17 @@ size_t Preprocessor::handleDirective(const std::vector<Token> &Toks, size_t I,
     IncludeStack.erase(IncludeName);
     return End;
   }
-  if (Directive == "pragma" || Directive == "error" || Directive == "line")
+  if (Directive == "pragma" || Directive == "error" || Directive == "line") {
+    // "#pragma memlint crash" is a deliberate internal-error injection hook
+    // (like clang's "#pragma clang __debug crash"): it exercises the
+    // facade's last-resort containment in tests without corrupting state.
+    if (Directive == "pragma" && lineHas(J) && Toks[J].Text == "memlint" &&
+        lineHas(J + 1) && Toks[J + 1].Text == "crash")
+      throw std::runtime_error("deliberate internal error (#pragma memlint "
+                               "crash) at " +
+                               Name.Loc.str());
     return End;
+  }
 
   Diags.report(CheckId::ParseError, Name.Loc,
                "unknown preprocessing directive '#" + Directive + "'",
@@ -267,7 +296,7 @@ size_t Preprocessor::expandMacro(const std::vector<Token> &Toks, size_t I,
   const Token &Name = Toks[I];
   assert(Macros.count(Name.Text));
   if (Active.count(Name.Text)) {
-    Out.push_back(Name);
+    emit(Name, Out);
     return I + 1;
   }
   const Macro &M = Macros[Name.Text];
@@ -282,7 +311,7 @@ size_t Preprocessor::expandMacro(const std::vector<Token> &Toks, size_t I,
   // Function-like: need '(' next, otherwise it is a plain identifier.
   size_t J = I + 1;
   if (J >= Toks.size() || !Toks[J].is(TokenKind::LParen)) {
-    Out.push_back(Name);
+    emit(Name, Out);
     return I + 1;
   }
   ++J; // '('
@@ -360,9 +389,12 @@ void Preprocessor::expandTokenList(const std::vector<Token> &Toks,
     if (Tok.is(TokenKind::Identifier) && Macros.count(Tok.Text) &&
         !Active.count(Tok.Text)) {
       I = expandMacro(Toks, I, Out, Active);
+      if (overBudget())
+        return;
       continue;
     }
-    Out.push_back(Tok);
+    if (!emit(Tok, Out))
+      return;
     ++I;
   }
 }

@@ -23,6 +23,7 @@
 
 #include "lex/Token.h"
 #include "support/Diagnostics.h"
+#include "support/Limits.h"
 #include "support/VFS.h"
 
 #include <map>
@@ -41,8 +42,13 @@ struct ControlDirective {
 /// Expands one main file into a flat token stream.
 class Preprocessor {
 public:
-  Preprocessor(const VFS &Files, DiagnosticEngine &Diags)
-      : Files(Files), Diags(Diags) {}
+  /// \p Budget, when given, caps the number of tokens this preprocessor may
+  /// produce across all process calls (containment for runaway macro
+  /// expansion and oversized inputs); exhausting it truncates the stream
+  /// with a single notice rather than failing.
+  Preprocessor(const VFS &Files, DiagnosticEngine &Diags,
+               BudgetState *Budget = nullptr)
+      : Files(Files), Diags(Diags), Budget(Budget) {}
 
   /// Processes a file from the VFS. \returns the expanded token stream
   /// (always Eof-terminated).
@@ -84,8 +90,17 @@ private:
   /// Collects indices [I, end) of tokens on the same directive line.
   static size_t directiveEnd(const std::vector<Token> &Toks, size_t I);
 
+  /// Appends \p Tok to \p Out, charging the token budget. On the first
+  /// over-budget token, reports a truncation notice; afterwards drops
+  /// silently. \returns false once the budget is exhausted.
+  bool emit(const Token &Tok, std::vector<Token> &Out);
+  /// True when the token budget is exhausted (processing should stop).
+  bool overBudget() const { return Budget && Budget->tokensExhausted(); }
+
   const VFS &Files;
   DiagnosticEngine &Diags;
+  BudgetState *Budget = nullptr;
+  bool BudgetNoticed = false;
   std::map<std::string, Macro> Macros;
   std::vector<ControlDirective> Controls;
   std::set<std::string> IncludeStack; ///< cycle protection

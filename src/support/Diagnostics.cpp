@@ -6,8 +6,6 @@
 
 #include "support/Diagnostics.h"
 
-#include <cassert>
-
 using namespace memlint;
 
 const char *memlint::checkIdFlagName(CheckId Id) {
@@ -45,7 +43,8 @@ const char *memlint::checkIdFlagName(CheckId Id) {
   case CheckId::InterfaceDefine:
     return "interfacedef";
   }
-  assert(false && "unknown CheckId");
+  // Out-of-range ids (corrupted input, future extensions) degrade to a
+  // recognizable placeholder instead of undefined behavior.
   return "unknown";
 }
 
@@ -61,6 +60,15 @@ void DiagnosticEngine::commit(Diagnostic Diag) {
     ++Suppressed;
     return;
   }
+  // Flood control: count, but do not store, diagnostics beyond the caps.
+  // Stored diagnostics are never displaced by later ones.
+  unsigned &ClassCount = ClassCounts[Diag.Id];
+  if ((PerClassCap != 0 && ClassCount >= PerClassCap) ||
+      (TotalCap != 0 && Diags.size() >= TotalCap)) {
+    ++Overflow[Diag.Id];
+    return;
+  }
+  ++ClassCount;
   Diags.push_back(std::move(Diag));
 }
 

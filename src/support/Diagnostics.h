@@ -24,6 +24,7 @@
 #include "support/SourceLocation.h"
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,13 @@ struct Diagnostic {
 ///
 /// Suppression: clients may install a filter (used for control comments like
 /// /*@-null@*/ regions); filtered diagnostics are counted but not stored.
+///
+/// Flood control: clients may install per-class and overall caps on the
+/// number of stored diagnostics (see setFloodControl). Once a cap is
+/// reached, further diagnostics of that class are counted in overflow
+/// tallies instead of stored; the facade renders each tally as a single
+/// "further N messages suppressed" summary line. Previously stored
+/// diagnostics are never displaced.
 class DiagnosticEngine {
 public:
   /// Filter callback: return false to suppress the diagnostic.
@@ -122,6 +130,19 @@ public:
 
   void setFilter(Filter F) { Filt = std::move(F); }
 
+  /// Installs storage caps: at most \p PerClass stored diagnostics per
+  /// check class and \p Total overall (0 = unlimited). Excess diagnostics
+  /// are tallied per class in overflowCounts() instead of stored.
+  void setFloodControl(unsigned PerClass, unsigned Total) {
+    PerClassCap = PerClass;
+    TotalCap = Total;
+  }
+
+  /// Diagnostics dropped by flood control, tallied per check class.
+  const std::map<CheckId, unsigned> &overflowCounts() const {
+    return Overflow;
+  }
+
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
   unsigned suppressedCount() const { return Suppressed; }
 
@@ -131,6 +152,8 @@ public:
   bool empty() const { return Diags.empty(); }
   void clear() {
     Diags.clear();
+    Overflow.clear();
+    ClassCounts.clear();
     Suppressed = 0;
   }
 
@@ -144,6 +167,10 @@ private:
   std::vector<Diagnostic> Diags;
   Filter Filt;
   unsigned Suppressed = 0;
+  unsigned PerClassCap = 0; ///< 0 = unlimited
+  unsigned TotalCap = 0;    ///< 0 = unlimited
+  std::map<CheckId, unsigned> ClassCounts;
+  std::map<CheckId, unsigned> Overflow;
 };
 
 } // namespace memlint

@@ -8,6 +8,7 @@
 
 #include "support/Diagnostics.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace memlint;
@@ -52,7 +53,7 @@ FlagSet::FlagSet() {
 }
 
 bool FlagSet::isKnown(const std::string &Name) const {
-  return Values.count(Name) != 0;
+  return Values.count(Name) != 0 || isLimit(Name);
 }
 
 bool FlagSet::get(const std::string &Name) const {
@@ -74,25 +75,67 @@ bool FlagSet::set(const std::string &Name, bool Value) {
 bool FlagSet::parse(const std::string &Spec) {
   if (Spec.size() < 2)
     return false;
-  if (Spec[0] == '+')
-    return set(Spec.substr(1), true);
-  if (Spec[0] == '-')
-    return set(Spec.substr(1), false);
-  return false;
+  if (Spec[0] != '+' && Spec[0] != '-')
+    return false;
+  std::string Body = Spec.substr(1);
+
+  // Limit flags take "-name=value" form.
+  size_t Eq = Body.find('=');
+  if (Eq != std::string::npos) {
+    std::string Name = Body.substr(0, Eq);
+    std::string ValueText = Body.substr(Eq + 1);
+    if (ValueText.empty() || !isLimit(Name))
+      return false;
+    unsigned long Value = 0;
+    for (char C : ValueText) {
+      if (C < '0' || C > '9')
+        return false;
+      Value = Value * 10 + static_cast<unsigned long>(C - '0');
+      if (Value > 0xFFFFFFFFul)
+        return false;
+    }
+    return setLimit(Name, static_cast<unsigned>(Value));
+  }
+
+  return set(Body, Spec[0] == '+');
 }
 
-void FlagSet::save() { Saved.push_back(Values); }
+void FlagSet::save() { Saved.emplace_back(Values, Limits); }
 
 void FlagSet::restore() {
   assert(!Saved.empty() && "restore without save");
-  Values = Saved.back();
+  if (Saved.empty())
+    return;
+  Values = Saved.back().first;
+  Limits = Saved.back().second;
   Saved.pop_back();
 }
 
 std::vector<std::string> FlagSet::knownFlags() const {
   std::vector<std::string> Names;
-  Names.reserve(Values.size());
+  Names.reserve(Values.size() + limitSpecs().size());
   for (const auto &KV : Values)
     Names.push_back(KV.first);
+  for (const LimitSpec &Spec : limitSpecs())
+    Names.push_back(Spec.Name);
+  std::sort(Names.begin(), Names.end());
   return Names;
+}
+
+bool FlagSet::isLimit(const std::string &Name) const {
+  return findLimitSpec(Name) != nullptr;
+}
+
+unsigned FlagSet::getLimit(const std::string &Name) const {
+  if (const LimitSpec *Spec = findLimitSpec(Name))
+    return Limits.*(Spec->Field);
+  return 0;
+}
+
+bool FlagSet::setLimit(const std::string &Name, unsigned Value) {
+  const LimitSpec *Spec = findLimitSpec(Name);
+  if (!Spec)
+    return false;
+  Limits.*(Spec->Field) = Value;
+  return true;
 }

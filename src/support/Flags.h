@@ -16,6 +16,8 @@
 #ifndef MEMLINT_SUPPORT_FLAGS_H
 #define MEMLINT_SUPPORT_FLAGS_H
 
+#include "support/Limits.h"
+
 #include <map>
 #include <string>
 #include <vector>
@@ -54,7 +56,9 @@ public:
   bool set(const std::string &Name, bool Value);
 
   /// Parses a command-line style spec: "+name" enables, "-name" disables.
-  /// \returns false on malformed input or unknown flag.
+  /// Resource limits are set with "-name=value" (or "+name=value"), e.g.
+  /// "-limittokens=50000". \returns false on malformed input or unknown
+  /// flag.
   bool parse(const std::string &Spec);
 
   /// Pushes the current values; restore() pops them. Used for control
@@ -62,12 +66,32 @@ public:
   void save();
   void restore();
 
-  /// All registered flag names, sorted (for --help style listings).
+  /// All registered flag names (boolean flags and -limit* flags), sorted
+  /// (for --help style listings).
   std::vector<std::string> knownFlags() const;
+
+  //===--- resource limits (-limit* flags) --------------------------------===//
+
+  /// The resource budget carried alongside the boolean flags. Checking
+  /// entry points read their limits from here, so "-limitX=n" on the string
+  /// API and writing limits() through CheckOptions are equivalent.
+  ResourceBudget &limits() { return Limits; }
+  const ResourceBudget &limits() const { return Limits; }
+
+  /// \returns true if \p Name is a registered -limit* flag.
+  bool isLimit(const std::string &Name) const;
+
+  /// Reads a limit value. \returns 0 (unlimited) for unknown names.
+  unsigned getLimit(const std::string &Name) const;
+
+  /// Sets a limit value. \returns false (and changes nothing) for names
+  /// that are not registered limit flags.
+  bool setLimit(const std::string &Name, unsigned Value);
 
 private:
   std::map<std::string, bool> Values;
-  std::vector<std::map<std::string, bool>> Saved;
+  ResourceBudget Limits;
+  std::vector<std::pair<std::map<std::string, bool>, ResourceBudget>> Saved;
 };
 
 } // namespace memlint

@@ -1,0 +1,34 @@
+//===--- Limits.cpp - Resource budgets for a check run ----------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Limits.h"
+
+using namespace memlint;
+
+const std::vector<LimitSpec> &memlint::limitSpecs() {
+  static const std::vector<LimitSpec> Specs = {
+      {"limittokens", &ResourceBudget::MaxTokens,
+       "max preprocessed tokens per run (0 = unlimited)"},
+      {"limitnesting", &ResourceBudget::MaxNestingDepth,
+       "max parser / expression-checker recursion depth"},
+      {"limitstmts", &ResourceBudget::MaxStmtsPerFunction,
+       "max statements analyzed per function"},
+      {"limitsplits", &ResourceBudget::MaxEnvSplitsPerFunction,
+       "max environment splits at confluences per function"},
+      {"limitclassdiags", &ResourceBudget::MaxDiagsPerClass,
+       "max diagnostics kept per check class"},
+      {"limitdiags", &ResourceBudget::MaxDiagsTotal,
+       "max diagnostics kept overall"},
+  };
+  return Specs;
+}
+
+const LimitSpec *memlint::findLimitSpec(const std::string &Name) {
+  for (const LimitSpec &Spec : limitSpecs())
+    if (Name == Spec.Name)
+      return &Spec;
+  return nullptr;
+}

@@ -1,0 +1,135 @@
+//===--- Limits.h - Resource budgets for a check run ------------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checker is meant to run unattended inside a development cycle, on
+/// arbitrary and often ill-formed input. ResourceBudget bounds every
+/// dimension in which a hostile or merely enormous program could make the
+/// pipeline hang, smash the stack, or flood the user: tokens consumed,
+/// recursion depth, statements analyzed per function, environment copies at
+/// confluences, and diagnostics emitted (per check class and overall).
+///
+/// Each budget is exposed as a "-limit*" flag (see FlagSet) so it can be set
+/// from the command line exactly like a check toggle. Exceeding a budget is
+/// never an error: checking degrades — the run keeps every diagnostic
+/// produced so far, emits a single notice naming the exhausted limit, and
+/// the CheckResult carries CheckStatus::Degraded.
+///
+/// BudgetState carries the run-wide mutable counters charged against one
+/// budget, plus the record of which limits were hit (the degradation
+/// reasons) and whether an internal error was contained along the way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_SUPPORT_LIMITS_H
+#define MEMLINT_SUPPORT_LIMITS_H
+
+#include <string>
+#include <vector>
+
+namespace memlint {
+
+/// Hard bounds on one check run. A value of 0 means "unlimited" for that
+/// dimension. Defaults are far above anything a legitimate translation unit
+/// needs, but low enough that hostile input cannot hang the tool or smash
+/// the stack.
+struct ResourceBudget {
+  /// Tokens consumed from the preprocessor (post macro expansion), whole
+  /// run. Bounds runaway macro expansion and enormous inputs.
+  unsigned MaxTokens = 10'000'000;
+  /// Recursion depth in the parser and the expression checker. Bounds stack
+  /// use on deeply nested input ("(((((...").
+  unsigned MaxNestingDepth = 512;
+  /// Statements abstractly executed per function body (loop bodies and
+  /// branches re-visit statements, so this is an execution count, not a
+  /// source count).
+  unsigned MaxStmtsPerFunction = 50'000;
+  /// Environment copies made at control-flow splits per function. Bounds
+  /// the state explosion of branch-heavy functions.
+  unsigned MaxEnvSplitsPerFunction = 20'000;
+  /// Diagnostics kept per check class; beyond this, messages of the class
+  /// are counted and summarized in one line (LCLint's message-count
+  /// behavior).
+  unsigned MaxDiagsPerClass = 500;
+  /// Diagnostics kept overall.
+  unsigned MaxDiagsTotal = 5'000;
+
+  friend bool operator==(const ResourceBudget &,
+                         const ResourceBudget &) = default;
+};
+
+/// Registry entry tying a "-limit*" flag name to a ResourceBudget field.
+struct LimitSpec {
+  const char *Name; ///< flag name, e.g. "limittokens"
+  unsigned ResourceBudget::*Field;
+  const char *Help;
+};
+
+/// All registered limit flags, in a stable order.
+const std::vector<LimitSpec> &limitSpecs();
+
+/// \returns the spec for \p Name, or null if it is not a limit flag.
+const LimitSpec *findLimitSpec(const std::string &Name);
+
+/// \returns true if a count of \p Used has exhausted \p Limit (0 = never).
+inline bool limitExhausted(unsigned long Used, unsigned Limit) {
+  return Limit != 0 && Used >= Limit;
+}
+
+/// Mutable per-run state charged against a ResourceBudget, shared by every
+/// pipeline stage of one check run. Also the collection point for
+/// degradation reasons and contained internal errors, from which the facade
+/// computes the run's CheckStatus.
+class BudgetState {
+public:
+  explicit BudgetState(const ResourceBudget &Budget) : Budget(Budget) {}
+
+  const ResourceBudget &budget() const { return Budget; }
+
+  /// Charges one preprocessed token. \returns false once the token budget
+  /// is exhausted; callers should stop consuming input.
+  bool takeToken() {
+    if (limitExhausted(Tokens, Budget.MaxTokens)) {
+      noteDegradation("limittokens");
+      return false;
+    }
+    ++Tokens;
+    return true;
+  }
+
+  bool tokensExhausted() const {
+    return limitExhausted(Tokens, Budget.MaxTokens);
+  }
+
+  /// Records that a limit was exceeded and checking degraded. \p Reason is
+  /// the limit's flag name. Deduplicated; order of first occurrence kept.
+  void noteDegradation(const std::string &Reason) {
+    for (const std::string &R : Reasons)
+      if (R == Reason)
+        return;
+    Reasons.push_back(Reason);
+  }
+
+  /// Records an internal error that was contained (converted into a
+  /// diagnostic instead of escaping the facade).
+  void noteInternalError() { InternalErrors = true; }
+
+  bool degraded() const { return !Reasons.empty(); }
+  bool internalError() const { return InternalErrors; }
+  const std::vector<std::string> &degradationReasons() const {
+    return Reasons;
+  }
+
+private:
+  ResourceBudget Budget;
+  unsigned long Tokens = 0;
+  std::vector<std::string> Reasons;
+  bool InternalErrors = false;
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_SUPPORT_LIMITS_H

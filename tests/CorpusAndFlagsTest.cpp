@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace memlint;
 using namespace memlint::corpus;
 
@@ -54,6 +56,55 @@ TEST(FlagsTest, KnownFlagsListed) {
   EXPECT_GE(Names.size(), 20u);
   for (const std::string &Name : Names)
     EXPECT_TRUE(F.isKnown(Name));
+}
+
+TEST(FlagsTest, LimitFlagsInRegistry) {
+  FlagSet F;
+  std::vector<std::string> Names = F.knownFlags();
+  for (const LimitSpec &Spec : limitSpecs()) {
+    EXPECT_TRUE(F.isKnown(Spec.Name)) << Spec.Name;
+    EXPECT_TRUE(F.isLimit(Spec.Name)) << Spec.Name;
+    EXPECT_NE(std::find(Names.begin(), Names.end(), Spec.Name), Names.end())
+        << Spec.Name;
+  }
+  // Check toggles are not limits.
+  EXPECT_FALSE(F.isLimit("mustfree"));
+}
+
+TEST(FlagsTest, ParseLimitValues) {
+  FlagSet F;
+  EXPECT_TRUE(F.parse("-limittokens=1000"));
+  EXPECT_EQ(F.getLimit("limittokens"), 1000u);
+  EXPECT_EQ(F.limits().MaxTokens, 1000u);
+  // '+' works identically for limits (the value carries the meaning).
+  EXPECT_TRUE(F.parse("+limitnesting=64"));
+  EXPECT_EQ(F.limits().MaxNestingDepth, 64u);
+  // 0 = unlimited is accepted.
+  EXPECT_TRUE(F.parse("-limitdiags=0"));
+  EXPECT_EQ(F.limits().MaxDiagsTotal, 0u);
+}
+
+TEST(FlagsTest, MalformedLimitValuesRejected) {
+  FlagSet F;
+  EXPECT_FALSE(F.parse("-limittokens="));          // empty value
+  EXPECT_FALSE(F.parse("-limittokens=abc"));       // non-numeric
+  EXPECT_FALSE(F.parse("-limittokens=12x"));       // trailing junk
+  EXPECT_FALSE(F.parse("-limittokens=99999999999999")); // overflow
+  EXPECT_FALSE(F.parse("-nosuchlimit=5"));         // unknown name
+  EXPECT_FALSE(F.parse("-mustfree=5"));            // toggles take no value
+  // Nothing was modified by the rejected forms.
+  EXPECT_EQ(F.limits().MaxTokens, ResourceBudget().MaxTokens);
+}
+
+TEST(FlagsTest, SaveRestoreCoversLimits) {
+  FlagSet F;
+  F.save();
+  F.limits().MaxTokens = 77;
+  F.set("mustfree", false);
+  EXPECT_EQ(F.limits().MaxTokens, 77u);
+  F.restore();
+  EXPECT_EQ(F.limits().MaxTokens, ResourceBudget().MaxTokens);
+  EXPECT_TRUE(F.get("mustfree"));
 }
 
 TEST(FlagsTest, CheckClassFlagDisablesGlobally) {

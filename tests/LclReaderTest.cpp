@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <string>
+
 using namespace memlint;
 
 namespace {
@@ -138,10 +141,12 @@ TEST(LclReaderTest, SpecModeHasRealSpecVolume) {
   corpus::Program P = corpus::employeeDbSpecMode();
   unsigned SpecLines = 0;
   for (const std::string &Name : P.Files.names()) {
-    if (Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".lcl") == 0)
-      for (char C : *P.Files.read(Name))
+    if (Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".lcl") == 0) {
+      std::optional<std::string> Text = P.Files.read(Name);
+      for (char C : *Text)
         if (C == '\n')
           ++SpecLines;
+    }
   }
   EXPECT_GE(SpecLines, 120u); // paper: ~300 lines of LCL
 }

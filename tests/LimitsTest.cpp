@@ -1,0 +1,275 @@
+//===--- LimitsTest.cpp - Resource budgets and fault containment ---------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+// The containment layer's contract: exceeding a budget degrades the run
+// (partial results, one notice naming the limit, CheckStatus::Degraded)
+// and contained internal errors surface as CheckStatus::InternalError —
+// never a crash, never silently-lost diagnostics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "support/Limits.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace memlint;
+
+namespace {
+
+unsigned countContaining(const CheckResult &R, const std::string &Needle) {
+  unsigned N = 0;
+  for (const Diagnostic &D : R.Diagnostics)
+    if (D.Message.find(Needle) != std::string::npos)
+      ++N;
+  return N;
+}
+
+bool hasReason(const CheckResult &R, const std::string &Reason) {
+  for (const std::string &S : R.DegradationReasons)
+    if (S == Reason)
+      return true;
+  return false;
+}
+
+//===--- nesting depth --------------------------------------------------------===//
+
+TEST(LimitsTest, TenThousandNestedParensDegradeWithoutOverflow) {
+  std::string Source = "int f(int a) { return ";
+  for (int I = 0; I < 10000; ++I)
+    Source += "(";
+  Source += "a";
+  for (int I = 0; I < 10000; ++I)
+    Source += ")";
+  Source += "; }";
+  CheckResult R = Checker::checkSource(Source, CheckOptions(), "deep.c");
+  EXPECT_TRUE(R.contains("nesting too deep")) << R.render();
+  EXPECT_EQ(R.Status, CheckStatus::Degraded);
+  EXPECT_TRUE(hasReason(R, "limitnesting"));
+}
+
+TEST(LimitsTest, TenThousandNestedBlocksDegradeWithoutOverflow) {
+  std::string Source = "void f(void) { ";
+  for (int I = 0; I < 10000; ++I)
+    Source += "{ ";
+  Source += "; ";
+  for (int I = 0; I < 10000; ++I)
+    Source += "} ";
+  Source += "}";
+  CheckResult R = Checker::checkSource(Source, CheckOptions(), "deep.c");
+  EXPECT_TRUE(R.contains("nesting too deep")) << R.render();
+  EXPECT_EQ(R.Status, CheckStatus::Degraded);
+  EXPECT_TRUE(hasReason(R, "limitnesting"));
+}
+
+TEST(LimitsTest, ShallowNestingStaysOk) {
+  std::string Source = "int f(int a) { return ((((a)))); }";
+  CheckResult R = Checker::checkSource(Source, CheckOptions(), "ok.c");
+  EXPECT_EQ(R.Status, CheckStatus::Ok) << R.render();
+  EXPECT_TRUE(R.DegradationReasons.empty());
+}
+
+//===--- statement budget -----------------------------------------------------===//
+
+TEST(LimitsTest, StatementBudgetReportsExactlyOnce) {
+  CheckOptions Options;
+  Options.Flags.limits().MaxStmtsPerFunction = 5;
+  std::string Source = "void f(void) {\n  int x;\n  x = 0;\n";
+  for (int I = 0; I < 40; ++I)
+    Source += "  x = x + 1;\n";
+  Source += "}\n";
+  CheckResult R = Checker::checkSource(Source, Options, "stmts.c");
+  EXPECT_EQ(countContaining(R, "statement budget exceeded"), 1u)
+      << R.render();
+  EXPECT_EQ(R.Status, CheckStatus::Degraded);
+  EXPECT_TRUE(hasReason(R, "limitstmts"));
+}
+
+TEST(LimitsTest, StatementBudgetIsPerFunction) {
+  CheckOptions Options;
+  Options.Flags.limits().MaxStmtsPerFunction = 100;
+  // Two small functions together exceed 100 statements but individually do
+  // not; per-function accounting stays within budget.
+  std::string Source;
+  for (int F = 0; F < 2; ++F) {
+    Source += "void f" + std::to_string(F) + "(void) {\n  int x;\n  x = 0;\n";
+    for (int I = 0; I < 70; ++I)
+      Source += "  x = x + 1;\n";
+    Source += "}\n";
+  }
+  CheckResult R = Checker::checkSource(Source, Options, "two.c");
+  EXPECT_EQ(R.Status, CheckStatus::Ok) << R.render();
+}
+
+//===--- environment splits ---------------------------------------------------===//
+
+TEST(LimitsTest, EnvSplitBudgetDegrades) {
+  CheckOptions Options;
+  Options.Flags.limits().MaxEnvSplitsPerFunction = 4;
+  std::string Source = "void f(int a) {\n  int x;\n  x = 0;\n";
+  for (int I = 0; I < 10; ++I)
+    Source += "  if (a) { x = 1; } else { x = 2; }\n";
+  Source += "}\n";
+  CheckResult R = Checker::checkSource(Source, Options, "splits.c");
+  EXPECT_EQ(countContaining(R, "environment split budget exceeded"), 1u)
+      << R.render();
+  EXPECT_EQ(R.Status, CheckStatus::Degraded);
+  EXPECT_TRUE(hasReason(R, "limitsplits"));
+}
+
+//===--- token budget ---------------------------------------------------------===//
+
+TEST(LimitsTest, TokenBudgetTruncatesWithNotice) {
+  CheckOptions Options;
+  Options.IncludePrelude = false;
+  Options.Flags.limits().MaxTokens = 25;
+  std::string Source;
+  for (int I = 0; I < 40; ++I)
+    Source += "int g" + std::to_string(I) + ";\n";
+  CheckResult R = Checker::checkSource(Source, Options, "big.c");
+  EXPECT_TRUE(R.contains("token budget exceeded")) << R.render();
+  EXPECT_EQ(R.Status, CheckStatus::Degraded);
+  EXPECT_TRUE(hasReason(R, "limittokens"));
+}
+
+//===--- diagnostic flood control ---------------------------------------------===//
+
+TEST(LimitsTest, FloodControlEmitsOneSummaryPerCappedClass) {
+  CheckOptions Options;
+  Options.Flags.limits().MaxDiagsPerClass = 3;
+  // Eight distinct possibly-null dereferences, all the same check class.
+  std::string Source;
+  for (int I = 0; I < 8; ++I)
+    Source += "void f" + std::to_string(I) +
+              "(/*@null@*/ char *p) { *p = 'x'; }\n";
+  CheckResult R = Checker::checkSource(Source, Options, "flood.c");
+
+  // The first three are kept; the other five collapse into one summary.
+  unsigned Stored = 0;
+  for (const Diagnostic &D : R.Diagnostics)
+    if (D.Id == CheckId::NullDeref && D.Sev == Severity::Anomaly)
+      ++Stored;
+  EXPECT_EQ(Stored, 3u) << R.render();
+  EXPECT_EQ(countContaining(R, "further 5 messages of check class "
+                               "'nullderef' suppressed"),
+            1u)
+      << R.render();
+  EXPECT_EQ(R.Status, CheckStatus::Degraded);
+  EXPECT_TRUE(hasReason(R, "limitclassdiags"));
+}
+
+TEST(LimitsTest, FloodControlKeepsEarlierDiagnostics) {
+  CheckOptions Options;
+  Options.Flags.limits().MaxDiagsPerClass = 2;
+  std::string Source;
+  for (int I = 0; I < 6; ++I)
+    Source += "void f" + std::to_string(I) +
+              "(/*@null@*/ char *p) { *p = 'x'; }\n";
+  CheckResult R = Checker::checkSource(Source, Options, "keep.c");
+  // Storage order is emission order: the first two functions' anomalies
+  // survive, never displaced by later ones.
+  std::vector<unsigned> Lines;
+  for (const Diagnostic &D : R.Diagnostics)
+    if (D.Id == CheckId::NullDeref && D.Sev == Severity::Anomaly)
+      Lines.push_back(D.Loc.line());
+  ASSERT_EQ(Lines.size(), 2u) << R.render();
+  EXPECT_EQ(Lines[0], 1u);
+  EXPECT_EQ(Lines[1], 2u);
+}
+
+//===--- internal-error containment -------------------------------------------===//
+
+TEST(LimitsTest, ContainedCrashKeepsOtherFilesResults) {
+  VFS Files;
+  Files.add("a.c", "#pragma memlint crash\n");
+  Files.add("b.c", "void g(/*@null@*/ char *p) { *p = 'x'; }\n");
+  CheckResult R = Checker::checkFiles(Files, {"a.c", "b.c"});
+  EXPECT_EQ(R.Status, CheckStatus::InternalError) << R.render();
+  EXPECT_TRUE(R.contains("internal error")) << R.render();
+  EXPECT_TRUE(hasReason(R, "internal-error"));
+  // Partial results: the healthy file is still fully checked.
+  EXPECT_TRUE(R.contains("possibly null pointer p")) << R.render();
+}
+
+TEST(LimitsTest, ContainedCrashAloneStillReturnsResult) {
+  CheckResult R = Checker::checkSource("#pragma memlint crash\n",
+                                       CheckOptions(), "a.c");
+  EXPECT_EQ(R.Status, CheckStatus::InternalError);
+  EXPECT_TRUE(R.contains("internal error")) << R.render();
+}
+
+//===--- budget exhaustion keeps earlier diagnostics ---------------------------===//
+
+TEST(LimitsTest, DegradedRunKeepsDiagnosticsEmittedBeforeCutoff) {
+  CheckOptions Options;
+  Options.Flags.limits().MaxStmtsPerFunction = 5;
+  std::string Source = "void early(/*@null@*/ char *p) { *p = 'x'; }\n"
+                       "void big(void) {\n  int x;\n  x = 0;\n";
+  for (int I = 0; I < 40; ++I)
+    Source += "  x = x + 1;\n";
+  Source += "}\n";
+  CheckResult R = Checker::checkSource(Source, Options, "partial.c");
+  EXPECT_EQ(R.Status, CheckStatus::Degraded);
+  // The anomaly found before the budget ran out is retained.
+  EXPECT_TRUE(R.contains("possibly null pointer p")) << R.render();
+}
+
+//===--- flag registry round-trip ----------------------------------------------===//
+
+TEST(LimitsTest, StringApiEqualsStructApi) {
+  FlagSet ByString;
+  ASSERT_TRUE(ByString.parse("-limitstmts=7"));
+  ASSERT_TRUE(ByString.parse("-limittokens=123"));
+  FlagSet ByStruct;
+  ByStruct.limits().MaxStmtsPerFunction = 7;
+  ByStruct.limits().MaxTokens = 123;
+  EXPECT_TRUE(ByString.limits() == ByStruct.limits());
+}
+
+TEST(LimitsTest, StringApiAndStructApiCheckIdentically) {
+  std::string Source = "void f(void) {\n  int x;\n  x = 0;\n";
+  for (int I = 0; I < 40; ++I)
+    Source += "  x = x + 1;\n";
+  Source += "}\n";
+
+  CheckOptions ByString;
+  ASSERT_TRUE(ByString.Flags.parse("-limitstmts=5"));
+  CheckOptions ByStruct;
+  ByStruct.Flags.limits().MaxStmtsPerFunction = 5;
+
+  CheckResult A = Checker::checkSource(Source, ByString, "s.c");
+  CheckResult B = Checker::checkSource(Source, ByStruct, "s.c");
+  EXPECT_EQ(A.render(), B.render());
+  EXPECT_EQ(A.Status, B.Status);
+  EXPECT_EQ(A.DegradationReasons, B.DegradationReasons);
+}
+
+TEST(LimitsTest, EveryLimitSpecIsARegisteredFlag) {
+  FlagSet F;
+  std::vector<std::string> Known = F.knownFlags();
+  for (const LimitSpec &Spec : limitSpecs()) {
+    EXPECT_TRUE(F.isKnown(Spec.Name)) << Spec.Name;
+    EXPECT_NE(std::find(Known.begin(), Known.end(), Spec.Name), Known.end())
+        << Spec.Name;
+    // Round trip: set through the string API, read through both APIs.
+    ASSERT_TRUE(F.parse("-" + std::string(Spec.Name) + "=42")) << Spec.Name;
+    EXPECT_EQ(F.getLimit(Spec.Name), 42u) << Spec.Name;
+    EXPECT_EQ(F.limits().*(Spec.Field), 42u) << Spec.Name;
+  }
+}
+
+TEST(LimitsTest, ZeroMeansUnlimited) {
+  CheckOptions Options;
+  Options.Flags.limits().MaxStmtsPerFunction = 0;
+  std::string Source = "void f(void) {\n  int x;\n  x = 0;\n";
+  for (int I = 0; I < 200; ++I)
+    Source += "  x = x + 1;\n";
+  Source += "}\n";
+  CheckResult R = Checker::checkSource(Source, Options, "unlim.c");
+  EXPECT_EQ(R.Status, CheckStatus::Ok) << R.render();
+}
+
+} // namespace

@@ -144,4 +144,128 @@ TEST(RobustnessTest, ErrorCapPreventsFloods) {
   EXPECT_LE(R.Diagnostics.size(), 600u);
 }
 
+//===--- seeded mutation sweeps ------------------------------------------------===//
+//
+// Deterministic pseudo-random mutations (fixed LCG seeds, no real entropy)
+// of a valid corpus program. The property under test is containment: every
+// mutant terminates and never escapes as an internal error.
+
+unsigned lcgNext(unsigned &State) {
+  State = State * 1664525u + 1013904223u;
+  return State >> 16;
+}
+
+TEST(RobustnessTest, SeededCharDeletionSweepContained) {
+  static const std::string Full = dbSourceConcatenated();
+  unsigned Seed = 0xC0FFEEu;
+  for (int Round = 0; Round < 16; ++Round) {
+    std::string Mutated = Full;
+    for (int K = 0; K < 8 && !Mutated.empty(); ++K)
+      Mutated.erase(lcgNext(Seed) % Mutated.size(), 1);
+    CheckResult R = Checker::checkSource(Mutated, CheckOptions(), "mut.c");
+    EXPECT_NE(R.Status, CheckStatus::InternalError)
+        << "round " << Round << "\n"
+        << R.render();
+  }
+}
+
+TEST(RobustnessTest, SeededTokenTranspositionSweepContained) {
+  static const std::string Full = dbSourceConcatenated();
+  unsigned Seed = 0xBADF00Du;
+  for (int Round = 0; Round < 16; ++Round) {
+    // Split on whitespace, swap random word pairs, rejoin.
+    std::vector<std::string> Words;
+    std::string Cur;
+    for (char C : Full) {
+      if (C == ' ' || C == '\n' || C == '\t') {
+        if (!Cur.empty())
+          Words.push_back(Cur);
+        Cur.clear();
+      } else {
+        Cur += C;
+      }
+    }
+    if (!Cur.empty())
+      Words.push_back(Cur);
+    for (int K = 0; K < 6; ++K)
+      std::swap(Words[lcgNext(Seed) % Words.size()],
+                Words[lcgNext(Seed) % Words.size()]);
+    std::string Mutated;
+    for (const std::string &W : Words)
+      Mutated += W + " ";
+    CheckResult R = Checker::checkSource(Mutated, CheckOptions(), "swap.c");
+    EXPECT_NE(R.Status, CheckStatus::InternalError)
+        << "round " << Round << "\n"
+        << R.render();
+  }
+}
+
+TEST(RobustnessTest, SeededAnnotationGarblingSweepContained) {
+  static const std::string Full = dbSourceConcatenated();
+  unsigned Seed = 0xDEADBEEFu;
+  static const char Garble[] = "@*/na ulxq-=+";
+  for (int Round = 0; Round < 16; ++Round) {
+    std::string Mutated = Full;
+    // Garble characters inside annotation comments only.
+    for (size_t Pos = Mutated.find("/*@"); Pos != std::string::npos;
+         Pos = Mutated.find("/*@", Pos + 1)) {
+      size_t End = Mutated.find("@*/", Pos + 3);
+      if (End == std::string::npos)
+        break;
+      if (lcgNext(Seed) % 3 == 0) {
+        size_t Target = Pos + 3 + lcgNext(Seed) % (End - Pos - 3 + 1);
+        Mutated[Target] = Garble[lcgNext(Seed) % (sizeof(Garble) - 1)];
+      }
+    }
+    CheckResult R = Checker::checkSource(Mutated, CheckOptions(), "ann.c");
+    EXPECT_NE(R.Status, CheckStatus::InternalError)
+        << "round " << Round << "\n"
+        << R.render();
+  }
+}
+
+TEST(RobustnessTest, GeneratedDeepNestingContained) {
+  // Several nesting shapes at depths far beyond the recursion budget.
+  struct Shape {
+    const char *Prefix;
+    const char *Open;
+    const char *Mid;
+    const char *Close;
+    const char *Suffix;
+  };
+  const Shape Shapes[] = {
+      {"int f(int a) { return ", "(", "a", ")", "; }"},
+      {"void f(void) { ", "{ ", ";", " }", " }"},
+      {"void f(int a) { ", "if (a) { ", ";", " }", " }"},
+      {"int x = ", "1 + (", "1", ")", ";"},
+  };
+  for (const Shape &S : Shapes) {
+    std::string Source = S.Prefix;
+    for (int I = 0; I < 5000; ++I)
+      Source += S.Open;
+    Source += S.Mid;
+    for (int I = 0; I < 5000; ++I)
+      Source += S.Close;
+    Source += S.Suffix;
+    CheckResult R = Checker::checkSource(Source, CheckOptions(), "gen.c");
+    EXPECT_NE(R.Status, CheckStatus::InternalError) << S.Prefix;
+  }
+}
+
+TEST(RobustnessTest, BudgetExhaustionYieldsPartialResults) {
+  // A tight statement budget degrades the run but keeps the diagnostics
+  // found before the cut-off.
+  CheckOptions Options;
+  Options.Flags.limits().MaxStmtsPerFunction = 3;
+  std::string Source = "void early(/*@null@*/ char *p) { *p = 'x'; }\n"
+                       "void big(void) {\n  int x;\n  x = 0;\n";
+  for (int I = 0; I < 50; ++I)
+    Source += "  x = x + 1;\n";
+  Source += "}\n";
+  CheckResult R = Checker::checkSource(Source, Options, "budget.c");
+  EXPECT_EQ(R.Status, CheckStatus::Degraded) << R.render();
+  EXPECT_TRUE(R.contains("possibly null pointer p")) << R.render();
+  EXPECT_TRUE(R.contains("statement budget exceeded")) << R.render();
+}
+
 } // namespace
