@@ -1,0 +1,100 @@
+//===--- bench_batch_scaling.cpp - Batch driver worker-pool scaling ------------===//
+//
+// Part of memlint. See DESIGN.md (section 6c).
+//
+// Measures the batch driver over a 120-file synthetic corpus:
+//
+//   1. scaling — wall clock at -j1 vs -j2/-j4/-j8. Each file carries a
+//      fixed synthetic stall (BatchOptions::TestStallMs) modeling I/O or
+//      preprocessing latency, which is what a multi-file lint run spends
+//      most of its time on; the driver should overlap those stalls, so
+//      -j8 is expected >= 3x faster than -j1 even on a single core.
+//   2. journal overhead — the same -j8 run with and without the run
+//      journal enabled; one fflush'ed append per file should cost < 5%.
+//
+// The "speedup_vs_j1" and "journal_overhead_pct" counters report the two
+// acceptance numbers directly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchDriver.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace memlint;
+
+namespace {
+
+constexpr unsigned CorpusFiles = 120;
+constexpr unsigned StallMs = 4;
+
+void buildCorpus(VFS &Files, std::vector<std::string> &Names) {
+  for (unsigned I = 0; I < CorpusFiles; ++I) {
+    std::string Name = "file" + std::to_string(I) + ".c";
+    std::string Source;
+    if (I % 3 == 0)
+      Source = "#include <stdlib.h>\n"
+               "void leak" +
+               std::to_string(I) + "(void) { char *p = (char *)malloc(8); }\n";
+    else
+      Source = "int id" + std::to_string(I) + "(int x) { return x + " +
+               std::to_string(I) + "; }\n";
+    Files.add(Name, Source);
+    Names.push_back(Name);
+  }
+}
+
+double runBatch(unsigned Jobs, const std::string &JournalPath) {
+  VFS Files;
+  std::vector<std::string> Names;
+  buildCorpus(Files, Names);
+  BatchOptions Options;
+  Options.Jobs = Jobs;
+  Options.JournalPath = JournalPath;
+  Options.TestStallMs = [](const std::string &) { return StallMs; };
+  BatchDriver Driver(Options);
+  BatchResult R = Driver.run(Files, Names);
+  return R.WallMs;
+}
+
+/// Scaling across job counts; j1 is re-measured inside each run so the
+/// speedup counter compares like with like.
+void BM_BatchScaling(benchmark::State &State) {
+  unsigned Jobs = static_cast<unsigned>(State.range(0));
+  double Sequential = 0, Parallel = 0;
+  for (auto _ : State) {
+    Parallel += runBatch(Jobs, "");
+    State.PauseTiming();
+    Sequential += runBatch(1, "");
+    State.ResumeTiming();
+  }
+  State.counters["wall_ms"] = Parallel / State.iterations();
+  State.counters["speedup_vs_j1"] = Sequential / Parallel;
+}
+BENCHMARK(BM_BatchScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// The cost of the append-only journal at -j8.
+void BM_BatchJournalOverhead(benchmark::State &State) {
+  const std::string Path = "/tmp/memlint_bench_journal.jsonl";
+  double Plain = 0, Journaled = 0;
+  for (auto _ : State) {
+    std::remove(Path.c_str());
+    Journaled += runBatch(8, Path);
+    State.PauseTiming();
+    Plain += runBatch(8, "");
+    State.ResumeTiming();
+  }
+  std::remove(Path.c_str());
+  State.counters["journal_overhead_pct"] = (Journaled / Plain - 1.0) * 100.0;
+}
+BENCHMARK(BM_BatchJournalOverhead)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

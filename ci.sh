@@ -3,6 +3,8 @@
 # again under AddressSanitizer + UndefinedBehaviorSanitizer. The sanitizer
 # pass is what backs the robustness guarantees: the hostile-input suite
 # (RobustnessTest, LimitsTest) must run with zero sanitizer reports.
+# Every ctest invocation carries a per-test timeout (CMakePresets.json,
+# execution.timeout) so a hang fails CI instead of wedging it.
 set -eu
 
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 2)}
@@ -11,6 +13,62 @@ echo "== release build =="
 cmake --preset release
 cmake --build --preset release -j "$JOBS"
 ctest --preset release
+
+echo "== batch driver smoke =="
+# End-to-end through the installed CLI: a small corpus with one leaking
+# file and one crashing file, checked at -j4 with a deadline and a journal;
+# then the journal is torn mid-line (as a kill would leave it) and the run
+# is resumed. Diagnostics must match the uninterrupted run byte for byte,
+# and the exit status must count only real findings.
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+MEMLINT=$PWD/build/examples/memlint
+i=0
+while [ "$i" -lt 10 ]; do
+  printf 'int f%s(int x) { return x + %s; }\n' "$i" "$i" > "$SMOKE/f$i.c"
+  i=$((i + 1))
+done
+printf '#include <stdlib.h>\nvoid leak(void) { char *p = (char *)malloc(8); }\n' \
+  > "$SMOKE/leak.c"
+printf '#pragma memlint crash\nint g(void) { return 0; }\n' > "$SMOKE/bad.c"
+CORPUS="f0.c f1.c f2.c f3.c f4.c leak.c f5.c bad.c f6.c f7.c f8.c f9.c"
+
+st=0
+(cd "$SMOKE" && "$MEMLINT" -j4 -file-deadline-ms=5000 --journal run.jsonl \
+  $CORPUS > full.out 2> /dev/null) || st=$?
+[ "$st" -eq 1 ] || { echo "batch smoke: expected exit 1, got $st"; exit 1; }
+grep -q 'Fresh storage' "$SMOKE/full.out" || \
+  { echo "batch smoke: leak diagnostic missing"; exit 1; }
+grep -q 'bad.c: crash (internal-error) after 2 attempt(s)' "$SMOKE/full.out" || \
+  { echo "batch smoke: crash was not contained and retried"; exit 1; }
+
+# Sequential run must be byte-identical to the -j4 run.
+st=0
+(cd "$SMOKE" && "$MEMLINT" -j1 $CORPUS > seq.out 2> /dev/null) || st=$?
+cmp -s "$SMOKE/full.out" "$SMOKE/seq.out" || \
+  { echo "batch smoke: -j4 output differs from -j1"; exit 1; }
+
+# Tear the journal's last line and resume: completed files are replayed,
+# not re-checked, and the diagnostics still match (the summary trailer
+# legitimately differs — it reports the resumed count).
+size=$(wc -c < "$SMOKE/run.jsonl")
+dd if="$SMOKE/run.jsonl" of="$SMOKE/torn.jsonl" bs=1 count=$((size - 20)) \
+  2> /dev/null
+mv "$SMOKE/torn.jsonl" "$SMOKE/run.jsonl"
+st=0
+(cd "$SMOKE" && "$MEMLINT" -j4 -file-deadline-ms=5000 --resume run.jsonl \
+  $CORPUS > resumed.out 2> /dev/null) || st=$?
+[ "$st" -eq 1 ] || { echo "batch smoke: resume expected exit 1, got $st"; exit 1; }
+grep -v '^-- batch:' "$SMOKE/full.out" > "$SMOKE/full.diag"
+grep -v '^-- batch:' "$SMOKE/resumed.out" > "$SMOKE/resumed.diag"
+cmp -s "$SMOKE/full.diag" "$SMOKE/resumed.diag" || \
+  { echo "batch smoke: resumed diagnostics differ from the full run"; exit 1; }
+if grep '^-- batch:' "$SMOKE/resumed.out" | grep -q '(0 resumed'; then
+  echo "batch smoke: resume did not skip completed files"; exit 1
+fi
+rm -rf "$SMOKE"
+trap - EXIT
+echo "batch smoke ok"
 
 echo "== asan+ubsan build =="
 cmake --preset asan

@@ -10,14 +10,29 @@
 //   memlint --run file.c        execute with the run-time checking baseline
 //   memlint --flags             list the known flags
 //
-// Multiple files are checked as one program; exit status is the number of
-// anomalies (capped at 125), mirroring lint conventions.
+// Batch mode (enabled by any of the options below) checks every file as an
+// independent run on a worker pool, with per-file deadlines, one retry
+// with halved limits for files that time out or crash, and a resumable
+// run journal:
+//
+//   memlint -j8 file1.c file2.c ...             8 worker threads
+//   memlint -j4 -file-deadline-ms=2000 ...      2s wall clock per file
+//   memlint -j4 --journal run.jsonl ...         record outcomes
+//   memlint -j4 --resume run.jsonl ...          skip files already done
+//
+// Diagnostics are flushed in input order, so batch output is byte-identical
+// across -jN; timing goes to stderr to keep stdout deterministic.
+//
+// Exit status is the number of anomalies (capped at 125), mirroring lint
+// conventions; in batch mode timeouts and contained crashes do not count —
+// only real check findings do.
 //
 //===----------------------------------------------------------------------===//
 
 #include "cfg/CFG.h"
 #include "checker/Checker.h"
 #include "checker/Frontend.h"
+#include "driver/BatchDriver.h"
 #include "interp/Interpreter.h"
 
 #include <cstdio>
@@ -27,11 +42,34 @@
 
 using namespace memlint;
 
+namespace {
+
+/// Parses the digits of a "-j8" / "-file-deadline-ms=2000" style value.
+/// \returns false on empty or non-numeric text.
+bool parseCount(const std::string &Text, unsigned &Out) {
+  if (Text.empty())
+    return false;
+  unsigned long Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    Value = Value * 10 + static_cast<unsigned long>(C - '0');
+    if (Value > 0xFFFFFFFFul)
+      return false;
+  }
+  Out = static_cast<unsigned>(Value);
+  return true;
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
   CheckOptions Options;
   std::vector<std::string> Files;
   bool PrintCfg = false;
   bool RunProgram = false;
+  bool BatchMode = false;
+  BatchOptions Batch;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -54,10 +92,50 @@ int main(int argc, char **argv) {
       RunProgram = true;
       continue;
     }
-    if (!Arg.empty() && (Arg[0] == '+' || Arg[0] == '-')) {
-      if (!Options.Flags.parse(Arg)) {
-        fprintf(stderr, "memlint: unknown flag '%s' (try --flags)\n",
+    if (Arg.size() > 2 && Arg.compare(0, 2, "-j") == 0) {
+      if (!parseCount(Arg.substr(2), Batch.Jobs) || Batch.Jobs == 0) {
+        fprintf(stderr, "memlint: malformed job count '%s': expected -jN "
+                        "with N >= 1\n",
                 Arg.c_str());
+        return 126;
+      }
+      BatchMode = true;
+      continue;
+    }
+    if (Arg.compare(0, 18, "-file-deadline-ms=") == 0) {
+      if (!parseCount(Arg.substr(18), Batch.FileDeadlineMs)) {
+        fprintf(stderr, "memlint: malformed value in '%s': expected "
+                        "-file-deadline-ms=N (0 disables the deadline)\n",
+                Arg.c_str());
+        return 126;
+      }
+      BatchMode = true;
+      continue;
+    }
+    if (Arg == "--journal" || Arg == "--resume" ||
+        Arg.compare(0, 10, "--journal=") == 0 ||
+        Arg.compare(0, 9, "--resume=") == 0) {
+      std::string Path;
+      size_t Eq = Arg.find('=');
+      if (Eq != std::string::npos) {
+        Path = Arg.substr(Eq + 1);
+      } else if (I + 1 < argc) {
+        Path = argv[++I];
+      }
+      if (Path.empty()) {
+        fprintf(stderr, "memlint: %s needs a journal path\n",
+                Arg.substr(0, Arg.find('=')).c_str());
+        return 126;
+      }
+      Batch.JournalPath = Path;
+      Batch.Resume = Arg.compare(0, 8, "--resume") == 0;
+      BatchMode = true;
+      continue;
+    }
+    if (!Arg.empty() && (Arg[0] == '+' || Arg[0] == '-')) {
+      std::string Error;
+      if (!Options.Flags.parse(Arg, Error)) {
+        fprintf(stderr, "memlint: %s\n", Error.c_str());
         return 126;
       }
       continue;
@@ -66,8 +144,14 @@ int main(int argc, char **argv) {
   }
 
   if (Files.empty()) {
-    fprintf(stderr,
-            "usage: memlint [+flag|-flag]... [--cfg] [--run] file.c...\n");
+    fprintf(stderr, "usage: memlint [+flag|-flag]... [--cfg] [--run] [-jN] "
+                    "[-file-deadline-ms=N] [--journal FILE] [--resume FILE] "
+                    "file.c...\n");
+    return 126;
+  }
+  if (BatchMode && (PrintCfg || RunProgram)) {
+    fprintf(stderr, "memlint: batch options cannot be combined with --cfg "
+                    "or --run\n");
     return 126;
   }
 
@@ -77,6 +161,37 @@ int main(int argc, char **argv) {
       fprintf(stderr, "memlint: cannot read '%s'\n", File.c_str());
       return 126;
     }
+  }
+
+  if (BatchMode) {
+    Batch.Check = Options;
+    // Stream each file's diagnostics as soon as everything before it has
+    // flushed: stdout stays in input order and byte-identical across -jN.
+    Batch.OnFileOutcome = [](const FileOutcome &O) {
+      printf("%s", O.Diagnostics.c_str());
+      if (O.Kind != FileOutcomeKind::Ok) {
+        std::string Reasons;
+        for (const std::string &Reason : O.Reasons)
+          Reasons += (Reasons.empty() ? "" : ", ") + Reason;
+        printf("-- %s: %s (%s) after %u attempt(s); results are partial\n",
+               O.File.c_str(), fileOutcomeName(O.Kind), Reasons.c_str(),
+               O.Attempts);
+      }
+    };
+    BatchDriver Driver(Batch);
+    BatchResult R = Driver.run(Vfs, Files);
+    printf("-- batch: %s\n", R.summary().c_str());
+    // Timing and journal health are real but nondeterministic; they go to
+    // stderr so stdout can be diffed across job counts and resumes.
+    fprintf(stderr, "-- batch wall clock: %.1f ms at -j%u\n", R.WallMs,
+            Batch.Jobs);
+    if (!R.JournalNote.empty())
+      fprintf(stderr, "-- journal: %s\n", R.JournalNote.c_str());
+    if (R.JournalCorruptLines != 0)
+      fprintf(stderr, "-- journal: %u corrupt line(s) discarded on resume\n",
+              R.JournalCorruptLines);
+    unsigned Count = R.TotalAnomalies;
+    return Count > 125 ? 125 : static_cast<int>(Count);
   }
 
   if (PrintCfg || RunProgram) {

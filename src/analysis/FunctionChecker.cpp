@@ -375,6 +375,8 @@ void FunctionChecker::checkAll() {
 }
 
 bool FunctionChecker::takeStmt(const Stmt *St, Env &S) {
+  if (Budget)
+    Budget->checkCancelled();
   unsigned Max = Budget ? Budget->budget().MaxStmtsPerFunction : 0;
   if (limitExhausted(StmtCount, Max)) {
     noteBudget("limitstmts", Max, St->loc(),
@@ -391,6 +393,8 @@ bool FunctionChecker::takeStmt(const Stmt *St, Env &S) {
 
 bool FunctionChecker::takeSplits(unsigned N, const SourceLocation &Loc,
                                  Env &S) {
+  if (Budget)
+    Budget->checkCancelled();
   unsigned Max = Budget ? Budget->budget().MaxEnvSplitsPerFunction : 0;
   if (Max != 0 && SplitCount + N > Max) {
     noteBudget("limitsplits", Max, Loc,

@@ -13,6 +13,7 @@
 #include "parse/Parser.h"
 #include "pp/Preprocessor.h"
 #include "sema/Sema.h"
+#include "support/MonotonicTime.h"
 
 #include <algorithm>
 #include <exception>
@@ -66,6 +67,15 @@ std::string CheckResult::render() const {
 }
 
 namespace {
+
+/// Degradation reasons are collected in hit order from several sources
+/// (budget charges, flood control, cancellation, internal errors); golden
+/// output and result comparisons must not depend on that order, so every
+/// reason list a CheckResult carries is deduplicated and sorted.
+void normalizeReasons(std::vector<std::string> &Reasons) {
+  std::sort(Reasons.begin(), Reasons.end());
+  Reasons.erase(std::unique(Reasons.begin(), Reasons.end()), Reasons.end());
+}
 
 /// Per-file, line-ordered suppression state computed from control comments.
 class SuppressionMap {
@@ -129,6 +139,7 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
                      const CheckOptions &Options) {
   const ResourceBudget &Limits = Options.Flags.limits();
   BudgetState Budget(Limits);
+  Budget.setCancelToken(Options.Cancel);
   DiagnosticEngine Diags;
   Diags.setFloodControl(Limits.MaxDiagsPerClass, Limits.MaxDiagsTotal);
   Preprocessor PP(Files, Diags, &Budget);
@@ -145,80 +156,98 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
                  Severity::Error);
   };
 
-  // Prelude first, then every user file, concatenated into one program.
-  // Each file is preprocessed in isolation: an internal error in one file
-  // skips that file only, so multi-file runs still report on the rest.
-  std::vector<Token> Program;
-  auto appendTokens = [&Program](std::vector<Token> Toks) {
-    if (!Toks.empty() && Toks.back().isEof())
-      Toks.pop_back();
-    Program.insert(Program.end(), Toks.begin(), Toks.end());
-  };
-  if (Options.IncludePrelude) {
-    try {
-      appendTokens(
-          PP.processSource(libraryPreludeName(), libraryPreludeSource()));
-    } catch (const std::exception &E) {
-      containError(libraryPreludeName(), "preprocessing", &E);
-    }
-  }
-  for (const std::string &Name : Names) {
-    try {
-      // LCL specification files are translated to annotated C declarations
-      // first (the paper's other annotation vehicle).
-      if (Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".lcl") == 0) {
-        std::optional<std::string> Spec = Files.read(Name);
-        if (!Spec) {
-          Diags.report(CheckId::ParseError, SourceLocation(Name, 1, 1),
-                       "cannot open file '" + Name + "'", Severity::Error);
-          continue;
-        }
-        appendTokens(
-            PP.processSource(Name, translateLclToC(*Spec, Name, Diags)));
-        continue;
-      }
-      appendTokens(PP.process(Name));
-    } catch (const std::exception &E) {
-      containError(Name, "preprocessing", &E);
-    }
-  }
-  Token Eof;
-  Eof.Kind = TokenKind::Eof;
-  if (!Program.empty())
-    Eof.Loc = Program.back().Loc;
-  Program.push_back(Eof);
-
-  // Suppression from control comments + global flags.
-  SuppressionMap Suppression(PP.controlDirectives(), Options.Flags);
-  Diags.setFilter(
-      [&Suppression](const Diagnostic &D) { return Suppression.keep(D); });
-
   const std::string MainName = Names.empty() ? "program" : Names.front();
   ASTContext Ctx;
-  TranslationUnit *TU = nullptr;
+  // Owns the suppression state for the Diags filter; lives until results
+  // are collected, even when cancellation aborts the pipeline early.
+  std::optional<SuppressionMap> Suppression;
+
+  // The pipeline proper. A raised CancelToken surfaces here as
+  // CancelledError (thrown from a budget checkpoint, passing through the
+  // std::exception containment catches by design): checking stops wherever
+  // it was, every diagnostic produced so far is kept, and the run reports
+  // Degraded with the cancellation reason.
   try {
-    Parser P(std::move(Program), Ctx, Diags, &Budget);
-    TU = P.parse(MainName);
-  } catch (const std::exception &E) {
-    containError(MainName, "parsing", &E);
-  }
+    // Prelude first, then every user file, concatenated into one program.
+    // Each file is preprocessed in isolation: an internal error in one file
+    // skips that file only, so multi-file runs still report on the rest.
+    std::vector<Token> Program;
+    auto appendTokens = [&Program](std::vector<Token> Toks) {
+      if (!Toks.empty() && Toks.back().isEof())
+        Toks.pop_back();
+      Program.insert(Program.end(), Toks.begin(), Toks.end());
+    };
+    if (Options.IncludePrelude) {
+      try {
+        appendTokens(
+            PP.processSource(libraryPreludeName(), libraryPreludeSource()));
+      } catch (const std::exception &E) {
+        containError(libraryPreludeName(), "preprocessing", &E);
+      }
+    }
+    for (const std::string &Name : Names) {
+      try {
+        // LCL specification files are translated to annotated C
+        // declarations first (the paper's other annotation vehicle).
+        if (Name.size() > 4 &&
+            Name.compare(Name.size() - 4, 4, ".lcl") == 0) {
+          std::optional<std::string> Spec = Files.read(Name);
+          if (!Spec) {
+            Diags.report(CheckId::ParseError, SourceLocation(Name, 1, 1),
+                         "cannot open file '" + Name + "'", Severity::Error);
+            continue;
+          }
+          appendTokens(
+              PP.processSource(Name, translateLclToC(*Spec, Name, Diags)));
+          continue;
+        }
+        appendTokens(PP.process(Name));
+      } catch (const std::exception &E) {
+        containError(Name, "preprocessing", &E);
+      }
+    }
+    Token Eof;
+    Eof.Kind = TokenKind::Eof;
+    if (!Program.empty())
+      Eof.Loc = Program.back().Loc;
+    Program.push_back(Eof);
 
-  if (TU) {
+    // Suppression from control comments + global flags.
+    Suppression.emplace(PP.controlDirectives(), Options.Flags);
+    Diags.setFilter(
+        [&Suppression](const Diagnostic &D) { return Suppression->keep(D); });
+
+    TranslationUnit *TU = nullptr;
     try {
-      Sema S(Diags);
-      S.check(*TU);
+      Parser P(std::move(Program), Ctx, Diags, &Budget);
+      TU = P.parse(MainName);
     } catch (const std::exception &E) {
-      containError(MainName, "validating annotations in", &E);
+      containError(MainName, "parsing", &E);
     }
 
-    // checkAll contains per-function internal errors itself; this catch is
-    // the last resort for errors escaping the loop machinery.
-    try {
-      FunctionChecker FC(*TU, Options.Flags, Diags, &Budget);
-      FC.checkAll();
-    } catch (const std::exception &E) {
-      containError(MainName, "checking", &E);
+    if (TU) {
+      try {
+        Sema S(Diags);
+        S.check(*TU);
+      } catch (const std::exception &E) {
+        containError(MainName, "validating annotations in", &E);
+      }
+
+      // checkAll contains per-function internal errors itself; this catch
+      // is the last resort for errors escaping the loop machinery.
+      try {
+        FunctionChecker FC(*TU, Options.Flags, Diags, &Budget);
+        FC.checkAll();
+      } catch (const std::exception &E) {
+        containError(MainName, "checking", &E);
+      }
     }
+  } catch (const CancelledError &E) {
+    const std::string Reason = E.Reason.empty() ? "cancelled" : E.Reason;
+    Budget.noteDegradation(Reason);
+    Diags.report(CheckId::ParseError, SourceLocation(MainName, 1, 1),
+                 "check run cancelled (" + Reason + "); results are partial",
+                 Severity::Note);
   }
 
   // Deduplicate identical anomalies (several return points can re-detect
@@ -262,6 +291,7 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
   } else if (Budget.degraded()) {
     Result.Status = CheckStatus::Degraded;
   }
+  normalizeReasons(Result.DegradationReasons);
   return Result;
 }
 
@@ -278,11 +308,14 @@ CheckResult Checker::checkSource(const std::string &Source,
 CheckResult Checker::checkFiles(const VFS &Files,
                                 const std::vector<std::string> &Names,
                                 const CheckOptions &Options) {
+  const double StartMs = monotonicNowMs();
   // Last-resort containment: the facade never lets an exception escape to
   // the caller. Anything reaching this point is converted into an
   // internal-error result.
   try {
-    return runCheck(Files, Names, Options);
+    CheckResult Result = runCheck(Files, Names, Options);
+    Result.WallMs = monotonicNowMs() - StartMs;
+    return Result;
   } catch (const std::exception &E) {
     CheckResult Result;
     Result.Status = CheckStatus::InternalError;
@@ -294,6 +327,7 @@ CheckResult Checker::checkFiles(const VFS &Files,
     D.Message = std::string("internal error: ") + E.what() +
                 "; check run aborted";
     Result.Diagnostics.push_back(std::move(D));
+    Result.WallMs = monotonicNowMs() - StartMs;
     return Result;
   } catch (...) {
     CheckResult Result;
@@ -305,6 +339,7 @@ CheckResult Checker::checkFiles(const VFS &Files,
     D.Loc = SourceLocation(Names.empty() ? "program" : Names.front(), 1, 1);
     D.Message = "internal error: unknown exception; check run aborted";
     Result.Diagnostics.push_back(std::move(D));
+    Result.WallMs = monotonicNowMs() - StartMs;
     return Result;
   }
 }

@@ -18,6 +18,7 @@
 #ifndef MEMLINT_CHECKER_CHECKER_H
 #define MEMLINT_CHECKER_CHECKER_H
 
+#include "support/Cancel.h"
 #include "support/Diagnostics.h"
 #include "support/Flags.h"
 #include "support/VFS.h"
@@ -32,6 +33,12 @@ struct CheckOptions {
   FlagSet Flags;
   /// Parse the annotated standard library ahead of user code.
   bool IncludePrelude = true;
+  /// Cooperative cancellation: when set, the run polls this token at every
+  /// budget checkpoint and, once it is raised, stops with a Degraded
+  /// result whose degradation reasons include the token's cancellation
+  /// reason ("deadline", "cancelled", ...). Diagnostics produced before
+  /// the cut-off are kept. Null means not cancellable (no overhead).
+  CancelToken *Cancel = nullptr;
 };
 
 /// How a check run completed. Ordered by severity: a run that both hit a
@@ -53,9 +60,18 @@ struct CheckResult {
   std::vector<Diagnostic> Diagnostics;
   unsigned SuppressedCount = 0;
   CheckStatus Status = CheckStatus::Ok;
-  /// Which limits were hit, by flag name ("limittokens", ...), in first-hit
-  /// order; "internal-error" for contained crashes.
+  /// Which limits were hit, by flag name ("limittokens", ...), plus
+  /// "internal-error" for contained crashes and the cancellation reason
+  /// ("deadline", "cancelled") for cancelled runs. Deduplicated and
+  /// sorted, so reason lists compare and render independently of the
+  /// order in which limits were hit.
   std::vector<std::string> DegradationReasons;
+  /// Wall-clock time of this run in milliseconds (monotonic clock).
+  double WallMs = 0;
+  /// How many times the file was (re)checked to get this result. The
+  /// facade always reports 1; the batch driver overwrites it when a
+  /// timed-out or crashed file is retried with tightened limits.
+  unsigned Attempts = 1;
 
   /// Number of anomalies of a given check class.
   unsigned count(CheckId Id) const;

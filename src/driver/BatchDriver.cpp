@@ -1,0 +1,382 @@
+//===--- BatchDriver.cpp - Resilient parallel corpus checking -------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchDriver.h"
+
+#include "support/Journal.h"
+#include "support/MonotonicTime.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+
+using namespace memlint;
+
+const char *memlint::fileOutcomeName(FileOutcomeKind Kind) {
+  switch (Kind) {
+  case FileOutcomeKind::Ok:
+    return "ok";
+  case FileOutcomeKind::Degraded:
+    return "degraded";
+  case FileOutcomeKind::Timeout:
+    return "timeout";
+  case FileOutcomeKind::Crash:
+    return "crash";
+  }
+  return "unknown";
+}
+
+void memlint::halveLimits(FlagSet &Flags) {
+  // 0 means unlimited and 1 is the floor; both are kept as-is, so repeated
+  // halving converges instead of accidentally lifting a limit.
+  for (const LimitSpec &Spec : limitSpecs()) {
+    unsigned Value = Flags.limits().*(Spec.Field);
+    if (Value > 1)
+      Flags.limits().*(Spec.Field) = Value / 2;
+  }
+}
+
+namespace {
+
+/// The deadline watchdog: one background thread that periodically scans
+/// the armed (token, deadline) slots and raises overdue tokens with reason
+/// "deadline". Deadlines are on the monotonic clock, so wall-clock steps
+/// cannot fire (or starve) them. With FileDeadlineMs == 0 the watchdog is
+/// fully inert — no thread, arm/disarm are no-ops.
+class Watchdog {
+public:
+  explicit Watchdog(unsigned DeadlineMs) : DeadlineMs(DeadlineMs) {
+    if (DeadlineMs != 0)
+      Thread = std::thread([this] { loop(); });
+  }
+
+  ~Watchdog() { stop(); }
+
+  void stop() {
+    if (!Thread.joinable())
+      return;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Stopping = true;
+    }
+    Cv.notify_all();
+    Thread.join();
+  }
+
+  /// Starts \p Token's deadline clock. \returns a slot id for disarm().
+  unsigned long arm(CancelToken *Token) {
+    if (DeadlineMs == 0)
+      return 0;
+    std::lock_guard<std::mutex> Lock(Mu);
+    unsigned long Id = ++NextId;
+    Active[Id] = {Token, monotonicNowMs() + DeadlineMs};
+    return Id;
+  }
+
+  /// Stops tracking a slot. Must be called before the token is destroyed.
+  void disarm(unsigned long Id) {
+    if (DeadlineMs == 0 || Id == 0)
+      return;
+    std::lock_guard<std::mutex> Lock(Mu);
+    Active.erase(Id);
+  }
+
+private:
+  struct Slot {
+    CancelToken *Token;
+    double DeadlineAtMs;
+  };
+
+  void loop() {
+    // Tick fast enough that overshoot is a small fraction of the deadline,
+    // but never busy-spin on very tight deadlines.
+    const double TickMs = std::clamp(DeadlineMs / 8.0, 1.0, 50.0);
+    std::unique_lock<std::mutex> Lock(Mu);
+    while (!Stopping) {
+      Cv.wait_for(Lock, std::chrono::duration<double, std::milli>(TickMs));
+      if (Stopping)
+        break;
+      const double NowMs = monotonicNowMs();
+      for (auto &[Id, S] : Active)
+        if (NowMs >= S.DeadlineAtMs)
+          S.Token->cancel("deadline"); // idempotent; slot stays until disarm
+    }
+  }
+
+  const unsigned DeadlineMs;
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Stopping = false;
+  unsigned long NextId = 0;
+  std::map<unsigned long, Slot> Active;
+  std::thread Thread;
+};
+
+bool hasReason(const std::vector<std::string> &Reasons,
+               const std::string &Needle) {
+  return std::find(Reasons.begin(), Reasons.end(), Needle) != Reasons.end();
+}
+
+JournalEntry entryFromOutcome(const FileOutcome &O) {
+  JournalEntry E;
+  E.File = O.File;
+  E.Status = fileOutcomeName(O.Kind);
+  E.Reasons = O.Reasons;
+  E.Attempts = O.Attempts;
+  E.Anomalies = O.Anomalies;
+  E.Suppressed = O.Suppressed;
+  E.WallMs = O.WallMs;
+  E.Diagnostics = O.Diagnostics;
+  return E;
+}
+
+std::optional<FileOutcome> outcomeFromEntry(const JournalEntry &E) {
+  FileOutcome O;
+  if (E.Status == "ok")
+    O.Kind = FileOutcomeKind::Ok;
+  else if (E.Status == "degraded")
+    O.Kind = FileOutcomeKind::Degraded;
+  else if (E.Status == "timeout")
+    O.Kind = FileOutcomeKind::Timeout;
+  else if (E.Status == "crash")
+    O.Kind = FileOutcomeKind::Crash;
+  else
+    return std::nullopt;
+  O.File = E.File;
+  O.Reasons = E.Reasons;
+  O.Attempts = E.Attempts;
+  O.Anomalies = E.Anomalies;
+  O.Suppressed = E.Suppressed;
+  O.WallMs = E.WallMs;
+  O.Diagnostics = E.Diagnostics;
+  O.Resumed = true;
+  return O;
+}
+
+} // namespace
+
+std::string BatchResult::render() const {
+  std::string Out;
+  for (const FileOutcome &O : Outcomes)
+    Out += O.Diagnostics;
+  return Out;
+}
+
+std::string BatchResult::summary() const {
+  std::string Out = std::to_string(Outcomes.size()) + " file(s): " +
+                    std::to_string(OkCount) + " ok, " +
+                    std::to_string(DegradedCount) + " degraded, " +
+                    std::to_string(TimeoutCount) + " timeout, " +
+                    std::to_string(CrashCount) + " crash";
+  if (ResumedCount != 0 || RetriedCount != 0)
+    Out += " (" + std::to_string(ResumedCount) + " resumed, " +
+           std::to_string(RetriedCount) + " retried)";
+  Out += "; " + std::to_string(TotalAnomalies) + " anomaly(ies), " +
+         std::to_string(TotalSuppressed) + " suppressed";
+  return Out;
+}
+
+BatchResult BatchDriver::run(const VFS &Files,
+                             const std::vector<std::string> &Names) {
+  const double StartMs = monotonicNowMs();
+  const size_t Count = Names.size();
+
+  BatchResult Result;
+  Result.Outcomes.resize(Count);
+
+  //===--- journal: recover, verify, compact ------------------------------===//
+
+  const std::string Checksum = fnv1aHex(Names);
+  std::map<std::string, JournalEntry> Recovered;
+  bool JournalOn = !Opts.JournalPath.empty();
+  if (JournalOn && Opts.Resume) {
+    if (std::optional<std::string> Text = readFileText(Opts.JournalPath)) {
+      JournalContents Journal = parseJournal(*Text);
+      Result.JournalCorruptLines = Journal.CorruptLines;
+      if (Journal.HeaderValid && Journal.Checksum == Checksum) {
+        // Later entries win: a retried file's final record supersedes any
+        // earlier one.
+        for (JournalEntry &E : Journal.Entries)
+          Recovered[E.File] = std::move(E);
+      } else {
+        Result.JournalNote = Journal.HeaderValid
+                                 ? "journal was written for a different "
+                                   "corpus; checking from scratch"
+                                 : "journal header unreadable; checking "
+                                   "from scratch";
+      }
+    } else {
+      Result.JournalNote =
+          "cannot read journal '" + Opts.JournalPath + "'; starting fresh";
+    }
+  }
+  if (JournalOn) {
+    // Compaction: rewrite header + surviving entries before appending, so
+    // a trailing partial line left by a kill cannot merge with (and
+    // corrupt) the first entry this run appends.
+    std::string Text = journalHeaderLine(Checksum, Count) + "\n";
+    for (const std::string &Name : Names) {
+      auto It = Recovered.find(Name);
+      if (It != Recovered.end())
+        Text += journalEntryLine(It->second) + "\n";
+    }
+    if (!writeFileText(Opts.JournalPath, Text)) {
+      Result.JournalNote = "cannot write journal '" + Opts.JournalPath +
+                           "'; journaling disabled for this run";
+      JournalOn = false;
+    }
+  }
+
+  //===--- shared worker state --------------------------------------------===//
+
+  // Outcomes/Filled/NextFlush are guarded by FlushMu; the journal file by
+  // JournalMu (kept separate so slow disk appends never serialize output
+  // flushing).
+  std::vector<char> Filled(Count, 0);
+  std::mutex FlushMu;
+  size_t NextFlush = 0;
+  std::mutex JournalMu;
+  std::atomic<bool> JournalWriteFailed{false};
+  std::atomic<size_t> NextIndex{0};
+  Watchdog Dog(Opts.FileDeadlineMs);
+
+  // Flushes the maximal ready prefix in input order. Caller holds FlushMu.
+  auto flushReadyLocked = [&] {
+    while (NextFlush < Count && Filled[NextFlush]) {
+      if (Opts.OnFileOutcome)
+        Opts.OnFileOutcome(Result.Outcomes[NextFlush]);
+      ++NextFlush;
+    }
+  };
+
+  // Pre-fill outcomes recovered from the journal.
+  {
+    std::lock_guard<std::mutex> Lock(FlushMu);
+    for (size_t I = 0; I < Count; ++I) {
+      auto It = Recovered.find(Names[I]);
+      if (It == Recovered.end())
+        continue;
+      if (std::optional<FileOutcome> O = outcomeFromEntry(It->second)) {
+        Result.Outcomes[I] = std::move(*O);
+        Filled[I] = 1;
+      }
+    }
+    flushReadyLocked();
+  }
+
+  //===--- the retry ladder for one file ----------------------------------===//
+
+  auto checkOne = [&](const std::string &Name) {
+    FileOutcome Outcome;
+    Outcome.File = Name;
+    CheckOptions Tightened = Opts.Check; // copy; halved on each retry
+    const unsigned MaxAttempts = std::max(1u, Opts.MaxAttempts);
+    double SpentMs = 0;
+    for (unsigned Attempt = 1;; ++Attempt) {
+      CancelToken Token;
+      const unsigned long Slot = Dog.arm(&Token);
+      const double AttemptStartMs = monotonicNowMs();
+      if (Opts.TestStallMs) {
+        if (unsigned StallMs = Opts.TestStallMs(Name))
+          std::this_thread::sleep_for(std::chrono::milliseconds(StallMs));
+      }
+      CheckOptions PerAttempt = Tightened;
+      PerAttempt.Cancel = &Token;
+      CheckResult R = Checker::checkFiles(Files, {Name}, PerAttempt);
+      Dog.disarm(Slot);
+      SpentMs += monotonicNowMs() - AttemptStartMs;
+
+      const bool TimedOut = hasReason(R.DegradationReasons, "deadline");
+      const bool Crashed = R.Status == CheckStatus::InternalError;
+      if ((TimedOut || Crashed) && Attempt < MaxAttempts) {
+        halveLimits(Tightened.Flags);
+        continue;
+      }
+
+      Outcome.Kind = TimedOut    ? FileOutcomeKind::Timeout
+                     : Crashed   ? FileOutcomeKind::Crash
+                     : R.Status == CheckStatus::Degraded
+                                 ? FileOutcomeKind::Degraded
+                                 : FileOutcomeKind::Ok;
+      Outcome.Reasons = R.DegradationReasons;
+      Outcome.Attempts = Attempt;
+      Outcome.Anomalies = R.anomalyCount();
+      Outcome.Suppressed = R.SuppressedCount;
+      Outcome.WallMs = SpentMs;
+      Outcome.Diagnostics = R.render();
+      return Outcome;
+    }
+  };
+
+  //===--- worker pool -----------------------------------------------------===//
+
+  auto worker = [&] {
+    for (;;) {
+      const size_t I = NextIndex.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Count)
+        return;
+      {
+        std::lock_guard<std::mutex> Lock(FlushMu);
+        if (Filled[I])
+          continue; // recovered from the journal
+      }
+      FileOutcome Outcome = checkOne(Names[I]);
+      if (JournalOn) {
+        const std::string Line = journalEntryLine(entryFromOutcome(Outcome));
+        std::lock_guard<std::mutex> Lock(JournalMu);
+        if (!appendJournalLine(Opts.JournalPath, Line))
+          JournalWriteFailed.store(true, std::memory_order_relaxed);
+      }
+      std::lock_guard<std::mutex> Lock(FlushMu);
+      Result.Outcomes[I] = std::move(Outcome);
+      Filled[I] = 1;
+      flushReadyLocked();
+    }
+  };
+
+  const size_t ThreadCount =
+      std::min<size_t>(std::max(1u, Opts.Jobs), std::max<size_t>(1, Count));
+  std::vector<std::thread> Pool;
+  Pool.reserve(ThreadCount);
+  for (size_t I = 0; I < ThreadCount; ++I)
+    Pool.emplace_back(worker);
+  for (std::thread &T : Pool)
+    T.join();
+  Dog.stop();
+
+  //===--- tallies ---------------------------------------------------------===//
+
+  if (JournalWriteFailed.load() && Result.JournalNote.empty())
+    Result.JournalNote = "journal appends to '" + Opts.JournalPath +
+                         "' failed; resume coverage is incomplete";
+  for (const FileOutcome &O : Result.Outcomes) {
+    switch (O.Kind) {
+    case FileOutcomeKind::Ok:
+      ++Result.OkCount;
+      break;
+    case FileOutcomeKind::Degraded:
+      ++Result.DegradedCount;
+      break;
+    case FileOutcomeKind::Timeout:
+      ++Result.TimeoutCount;
+      break;
+    case FileOutcomeKind::Crash:
+      ++Result.CrashCount;
+      break;
+    }
+    if (O.Resumed)
+      ++Result.ResumedCount;
+    if (O.Attempts > 1)
+      ++Result.RetriedCount;
+    Result.TotalAnomalies += O.Anomalies;
+    Result.TotalSuppressed += O.Suppressed;
+  }
+  Result.WallMs = monotonicNowMs() - StartMs;
+  return Result;
+}

@@ -1,0 +1,156 @@
+//===--- BatchDriver.h - Resilient parallel corpus checking -----*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch driver checks a corpus of files on a worker pool, surviving
+/// the pathological cases that corpus-scale runs inevitably contain. Its
+/// contract, in the order the guarantees compose:
+///
+/// * Isolation: each file is checked as its own run (prelude included), so
+///   one file's state explosion, parse disaster, or crash cannot leak into
+///   another file's results.
+/// * Deadlines: a monotonic watchdog raises each worker's CancelToken when
+///   its per-file wall-clock deadline expires; the pipeline notices at the
+///   next budget checkpoint and the run ends Degraded("deadline") — no
+///   thread is ever killed.
+/// * Retry with degradation: a file that times out or reports
+///   CheckStatus::InternalError is retried once with every resource limit
+///   halved; if that also fails, the file is recorded as degraded with a
+///   "timeout" or "crash" outcome and the batch moves on. Exit status and
+///   anomaly totals reflect only real check findings.
+/// * Resumability: outcomes are appended to a run journal (JSONL with a
+///   corpus-checksum header, see support/Journal.h) as they complete, so a
+///   killed batch can be resumed with completed files skipped and their
+///   recorded output replayed.
+/// * Determinism: workers buffer their per-file diagnostics; the driver
+///   flushes them in input order, so output at -j8 is byte-identical to
+///   -j1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_DRIVER_BATCHDRIVER_H
+#define MEMLINT_DRIVER_BATCHDRIVER_H
+
+#include "checker/Checker.h"
+#include "support/VFS.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace memlint {
+
+/// Final classification of one file in a batch. Ok and Degraded mirror
+/// CheckStatus; Timeout and Crash are the retry ladder's terminal rungs
+/// (the file failed the same way twice).
+enum class FileOutcomeKind {
+  Ok,       ///< full analysis
+  Degraded, ///< a resource budget was hit; partial results kept
+  Timeout,  ///< deadline expired on every attempt; partial results kept
+  Crash,    ///< an internal error was contained on every attempt
+};
+
+/// \returns a stable lower-case name ("ok", "degraded", "timeout",
+/// "crash") — the journal's status vocabulary.
+const char *fileOutcomeName(FileOutcomeKind Kind);
+
+/// One file's result in a batch run.
+struct FileOutcome {
+  std::string File;
+  FileOutcomeKind Kind = FileOutcomeKind::Ok;
+  /// Degradation reasons of the final attempt, deduplicated and sorted
+  /// (includes "deadline" for timeouts, "internal-error" for crashes).
+  std::vector<std::string> Reasons;
+  unsigned Attempts = 1;  ///< 2 when the retry ladder was used
+  unsigned Anomalies = 0; ///< real findings (internal errors excluded)
+  unsigned Suppressed = 0;
+  double WallMs = 0; ///< wall clock across all attempts (monotonic)
+  /// The file's rendered diagnostics, exactly as a sequential run would
+  /// print them. Buffered so the driver can flush in input order.
+  std::string Diagnostics;
+  /// True if this outcome was recovered from a resumed journal instead of
+  /// being re-checked.
+  bool Resumed = false;
+};
+
+/// Configuration for one batch run.
+struct BatchOptions {
+  /// Base options for every per-file check run (flags are copied per
+  /// file; the retry ladder halves the copy's limits, never the base).
+  CheckOptions Check;
+  /// Worker threads. Values < 1 are treated as 1.
+  unsigned Jobs = 1;
+  /// Per-file wall-clock deadline in milliseconds; 0 disables the
+  /// watchdog entirely.
+  unsigned FileDeadlineMs = 0;
+  /// Total attempts per file (first try + retries). The retry ladder
+  /// halves every nonzero resource limit on each retry.
+  unsigned MaxAttempts = 2;
+  /// Journal file path; empty disables journaling.
+  std::string JournalPath;
+  /// Load JournalPath first and skip files with valid entries. The
+  /// journal is compacted (header + surviving entries rewritten) before
+  /// new entries are appended, so trailing damage from a kill cannot
+  /// corrupt the resumed run's appends.
+  bool Resume = false;
+  /// Called once per file in input order as results become flushable;
+  /// runs under the driver's flush lock (keep it cheap). Used by the CLI
+  /// to stream output while preserving sequential byte-identity.
+  std::function<void(const FileOutcome &)> OnFileOutcome;
+  /// Test/bench hook: per-file artificial stall in milliseconds, applied
+  /// inside the deadline window before checking. Simulates slow I/O (and
+  /// lets scaling benches measure driver concurrency independently of
+  /// core count); 0 or an unset function means no stall.
+  std::function<unsigned(const std::string &File)> TestStallMs;
+};
+
+/// Aggregate result of a batch run.
+struct BatchResult {
+  std::vector<FileOutcome> Outcomes; ///< input order, one per input file
+  unsigned OkCount = 0;
+  unsigned DegradedCount = 0;
+  unsigned TimeoutCount = 0;
+  unsigned CrashCount = 0;
+  unsigned ResumedCount = 0; ///< outcomes recovered from the journal
+  unsigned RetriedCount = 0; ///< files that needed more than one attempt
+  unsigned TotalAnomalies = 0;
+  unsigned TotalSuppressed = 0;
+  double WallMs = 0; ///< whole batch, monotonic
+  /// Journal lines discarded as corrupt while resuming (0 for clean runs).
+  unsigned JournalCorruptLines = 0;
+  /// Non-fatal journal trouble ("journal header mismatch; checking from
+  /// scratch", "cannot write journal ..."); empty when all is well.
+  std::string JournalNote;
+
+  /// Every file's diagnostics concatenated in input order — byte-identical
+  /// across job counts.
+  std::string render() const;
+  /// One-line human summary ("12 files: 10 ok, 1 degraded, 1 timeout...").
+  std::string summary() const;
+};
+
+/// Checks a corpus of files in parallel. Stateless apart from options;
+/// run() may be called repeatedly.
+class BatchDriver {
+public:
+  explicit BatchDriver(BatchOptions Options) : Opts(std::move(Options)) {}
+
+  /// Checks \p Names (resolved against \p Files) and returns per-file
+  /// outcomes in input order. Never throws; infrastructure trouble is
+  /// reported through outcome kinds and JournalNote.
+  BatchResult run(const VFS &Files, const std::vector<std::string> &Names);
+
+private:
+  BatchOptions Opts;
+};
+
+/// Halves every nonzero resource limit in \p Flags (minimum 1) — the
+/// retry ladder's "tightened limits" step. Exposed for tests.
+void halveLimits(FlagSet &Flags);
+
+} // namespace memlint
+
+#endif // MEMLINT_DRIVER_BATCHDRIVER_H

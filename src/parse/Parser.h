@@ -54,7 +54,13 @@ private:
     size_t I = Index + N;
     return I < Toks.size() ? Toks[I] : Toks.back();
   }
-  const Token &take() { return Toks[Index < Toks.size() - 1 ? Index++ : Index]; }
+  const Token &take() {
+    // Consuming a token is the parser's budget/cancellation checkpoint: a
+    // raised CancelToken aborts within one token of pathological input.
+    if (Budget)
+      Budget->checkCancelled();
+    return Toks[Index < Toks.size() - 1 ? Index++ : Index];
+  }
   bool at(TokenKind K) const { return cur().is(K); }
   bool consume(TokenKind K) {
     if (!at(K))

@@ -1,0 +1,118 @@
+//===--- Cancel.h - Cooperative cancellation for check runs -----*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative cancellation. A CancelToken is a thread-safe flag that a
+/// supervisor (the batch driver's watchdog, a signal handler, a test) raises
+/// to abandon an in-flight check run. The pipeline polls the token at the
+/// same checkpoints where resource budgets are charged (every preprocessed
+/// token, every parsed token, every abstractly executed statement, every
+/// environment split), so a pathological translation unit is abandoned
+/// within microseconds of the flag being raised, without killing threads.
+///
+/// Observing a raised token throws CancelledError. CancelledError is
+/// deliberately NOT derived from std::exception: the fault-containment
+/// layer converts escaping std::exceptions into InternalError results, and
+/// a deadline expiry must not be misreported as a crash. Instead the
+/// checking facade catches CancelledError itself and produces a Degraded
+/// result whose degradation reason is the token's cancellation reason
+/// ("deadline", "cancelled", ...), keeping every diagnostic found before
+/// the cut-off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_SUPPORT_CANCEL_H
+#define MEMLINT_SUPPORT_CANCEL_H
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+namespace memlint {
+
+/// Thrown by budget checkpoints when their CancelToken has been raised.
+/// Intentionally not a std::exception (see file comment).
+struct CancelledError {
+  std::string Reason; ///< the token's cancellation reason, e.g. "deadline"
+};
+
+/// A thread-safe one-shot cancellation flag shared between the thread
+/// running a check and the supervisor that may abandon it.
+class CancelToken {
+public:
+  CancelToken() = default;
+  CancelToken(const CancelToken &) = delete;
+  CancelToken &operator=(const CancelToken &) = delete;
+
+  /// Raises the flag. The first caller's \p Reason wins; later calls are
+  /// no-ops, so a watchdog and a signal handler can race benignly.
+  void cancel(const std::string &Reason = "cancelled") {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Flag.load(std::memory_order_relaxed))
+        return;
+      CancelReason = Reason;
+    }
+    Flag.store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const { return Flag.load(std::memory_order_acquire); }
+
+  /// The reason passed to cancel(), or "" if not cancelled.
+  std::string reason() const {
+    if (!cancelled())
+      return std::string();
+    std::lock_guard<std::mutex> Lock(Mu);
+    return CancelReason;
+  }
+
+  /// Deterministic auto-cancellation for tests: the token raises itself
+  /// with \p Reason once check() has been called \p Checkpoints times.
+  /// Call before the run starts; 0 cancels at the very first checkpoint.
+  void cancelAfterCheckpoints(unsigned long Checkpoints,
+                              const std::string &Reason = "cancelled") {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      AutoReason = Reason;
+    }
+    CancelAt.store(static_cast<long long>(Checkpoints),
+                   std::memory_order_relaxed);
+  }
+
+  /// One checkpoint poll: counts toward any cancelAfterCheckpoints()
+  /// countdown and \returns whether the token is raised. Cheap enough for
+  /// per-token call sites (two relaxed atomic ops on the fast path).
+  bool check() {
+    unsigned long long Seen = Checks.fetch_add(1, std::memory_order_relaxed);
+    long long At = CancelAt.load(std::memory_order_relaxed);
+    if (At >= 0 && Seen >= static_cast<unsigned long long>(At)) {
+      std::string Reason;
+      {
+        std::lock_guard<std::mutex> Lock(Mu);
+        Reason = AutoReason;
+      }
+      cancel(Reason);
+    }
+    return cancelled();
+  }
+
+  /// Number of checkpoint polls observed so far (test introspection).
+  unsigned long long checkpoints() const {
+    return Checks.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<bool> Flag{false};
+  std::atomic<long long> CancelAt{-1}; ///< -1 = no auto-cancellation
+  std::atomic<unsigned long long> Checks{0};
+  mutable std::mutex Mu;
+  std::string CancelReason; ///< guarded by Mu until Flag is set
+  std::string AutoReason = "cancelled"; ///< guarded by Mu
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_SUPPORT_CANCEL_H

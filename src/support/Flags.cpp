@@ -73,31 +73,59 @@ bool FlagSet::set(const std::string &Name, bool Value) {
 }
 
 bool FlagSet::parse(const std::string &Spec) {
-  if (Spec.size() < 2)
+  std::string Ignored;
+  return parse(Spec, Ignored);
+}
+
+bool FlagSet::parse(const std::string &Spec, std::string &Error) {
+  auto Fail = [&Error](std::string Message) {
+    Error = std::move(Message);
     return false;
-  if (Spec[0] != '+' && Spec[0] != '-')
-    return false;
+  };
+
+  if (Spec.size() < 2 || (Spec[0] != '+' && Spec[0] != '-'))
+    return Fail("malformed flag '" + Spec +
+                "': expected '+name', '-name', or '-limitname=value'");
   std::string Body = Spec.substr(1);
 
-  // Limit flags take "-name=value" form.
+  // Limit flags take "-name=value" form. The value is validated as a
+  // whole: any non-digit character, an empty value, or an out-of-range
+  // number rejects the spec outright — never a silent partial parse.
   size_t Eq = Body.find('=');
   if (Eq != std::string::npos) {
     std::string Name = Body.substr(0, Eq);
     std::string ValueText = Body.substr(Eq + 1);
-    if (ValueText.empty() || !isLimit(Name))
-      return false;
+    if (!isLimit(Name)) {
+      if (Values.count(Name) != 0)
+        return Fail("flag '" + Name +
+                    "' is an on/off toggle and takes no value (use '+" +
+                    Name + "' or '-" + Name + "')");
+      return Fail("unknown resource limit '" + Name + "' (try --flags)");
+    }
+    if (ValueText.empty())
+      return Fail("missing value for '-" + Name + "': expected '-" + Name +
+                  "=N' (0 means unlimited)");
     unsigned long Value = 0;
     for (char C : ValueText) {
       if (C < '0' || C > '9')
-        return false;
+        return Fail("malformed value '" + ValueText + "' for '-" + Name +
+                    "': expected a non-negative integer (0 means unlimited)");
       Value = Value * 10 + static_cast<unsigned long>(C - '0');
       if (Value > 0xFFFFFFFFul)
-        return false;
+        return Fail("value '" + ValueText + "' for '-" + Name +
+                    "' is out of range (maximum 4294967295)");
     }
-    return setLimit(Name, static_cast<unsigned>(Value));
+    setLimit(Name, static_cast<unsigned>(Value));
+    return true;
   }
 
-  return set(Body, Spec[0] == '+');
+  if (!set(Body, Spec[0] == '+')) {
+    if (isLimit(Body))
+      return Fail("resource limit '" + Body + "' needs a value: '-" + Body +
+                  "=N'");
+    return Fail("unknown flag '" + Body + "' (try --flags)");
+  }
+  return true;
 }
 
 void FlagSet::save() { Saved.emplace_back(Values, Limits); }

@@ -61,6 +61,14 @@ public:
   /// flag.
   bool parse(const std::string &Spec);
 
+  /// Like parse(Spec), but on failure stores a user-facing diagnostic in
+  /// \p Error explaining exactly what was wrong ("malformed value '12abc'
+  /// for '-limittokens': expected a non-negative integer", "unknown flag
+  /// ...", ...). Limit values are validated strictly: the whole value must
+  /// be a decimal non-negative integer in range; nothing is silently
+  /// truncated or partially parsed. On success \p Error is untouched.
+  bool parse(const std::string &Spec, std::string &Error);
+
   /// Pushes the current values; restore() pops them. Used for control
   /// comments that scope a flag change.
   void save();

@@ -1,0 +1,420 @@
+//===--- Journal.cpp - Resumable batch-run journal ------------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Journal.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace memlint;
+
+//===----------------------------------------------------------------------===//
+// Checksum
+//===----------------------------------------------------------------------===//
+
+std::string memlint::fnv1aHex(const std::vector<std::string> &Parts) {
+  unsigned long long Hash = 14695981039346656037ull;
+  auto Mix = [&Hash](unsigned char C) {
+    Hash ^= C;
+    Hash *= 1099511628211ull;
+  };
+  for (const std::string &Part : Parts) {
+    for (char C : Part)
+      Mix(static_cast<unsigned char>(C));
+    Mix(0); // separator: {"ab","c"} != {"a","bc"}
+  }
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx", Hash);
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Emission
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// JSON string escaping for the subset we emit (control chars, quote,
+/// backslash; everything else passes through byte-for-byte).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (U < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", U);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string jsonString(const std::string &S) {
+  return "\"" + jsonEscape(S) + "\"";
+}
+
+/// Doubles are only used for wall-clock milliseconds; two decimals is
+/// plenty and keeps lines short and locale-independent.
+std::string jsonMs(double Ms) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.2f", Ms < 0 ? 0.0 : Ms);
+  return Buf;
+}
+
+} // namespace
+
+std::string memlint::journalHeaderLine(const std::string &CorpusChecksum,
+                                       unsigned long FileCount) {
+  return "{\"memlint_journal\":1,\"corpus\":" + jsonString(CorpusChecksum) +
+         ",\"files\":" + std::to_string(FileCount) + "}";
+}
+
+std::string memlint::journalEntryLine(const JournalEntry &Entry) {
+  std::string Reasons = "[";
+  for (const std::string &R : Entry.Reasons) {
+    if (Reasons.size() > 1)
+      Reasons += ",";
+    Reasons += jsonString(R);
+  }
+  Reasons += "]";
+  return "{\"file\":" + jsonString(Entry.File) +
+         ",\"status\":" + jsonString(Entry.Status) +
+         ",\"attempts\":" + std::to_string(Entry.Attempts) +
+         ",\"anomalies\":" + std::to_string(Entry.Anomalies) +
+         ",\"suppressed\":" + std::to_string(Entry.Suppressed) +
+         ",\"wall_ms\":" + jsonMs(Entry.WallMs) + ",\"reasons\":" + Reasons +
+         ",\"diags\":" + jsonString(Entry.Diagnostics) + "}";
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A strict scanner for the flat JSON objects the journal emits: string
+/// keys mapping to strings, non-negative numbers, or arrays of strings.
+/// Any deviation (truncation, garbage, nesting) fails the whole line.
+class LineParser {
+public:
+  explicit LineParser(const std::string &Text) : Text(Text) {}
+
+  /// Parses the full line as one object; \p OnField is called per field.
+  /// \returns false if the line is not a complete well-formed object.
+  template <typename Fn> bool parseObject(Fn OnField) {
+    skipSpace();
+    if (!eat('{'))
+      return false;
+    skipSpace();
+    if (eat('}'))
+      return atEnd();
+    for (;;) {
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipSpace();
+      if (!eat(':'))
+        return false;
+      skipSpace();
+      if (!parseValue(Key, OnField))
+        return false;
+      skipSpace();
+      if (eat(',')) {
+        skipSpace();
+        continue;
+      }
+      if (eat('}'))
+        return atEnd();
+      return false;
+    }
+  }
+
+private:
+  struct Value {
+    enum Kind { String, Number, StringArray } K;
+    std::string Str;
+    double Num = 0;
+    std::vector<std::string> Array;
+  };
+
+  template <typename Fn> bool parseValue(const std::string &Key, Fn OnField) {
+    Value V;
+    if (Pos < Text.size() && Text[Pos] == '"') {
+      V.K = Value::String;
+      if (!parseString(V.Str))
+        return false;
+    } else if (Pos < Text.size() && Text[Pos] == '[') {
+      V.K = Value::StringArray;
+      ++Pos;
+      skipSpace();
+      if (!eat(']')) {
+        for (;;) {
+          std::string Elem;
+          if (!parseString(Elem))
+            return false;
+          V.Array.push_back(std::move(Elem));
+          skipSpace();
+          if (eat(',')) {
+            skipSpace();
+            continue;
+          }
+          if (eat(']'))
+            break;
+          return false;
+        }
+      }
+    } else {
+      V.K = Value::Number;
+      if (!parseNumber(V.Num))
+        return false;
+    }
+    OnField(Key, V);
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!eat('"'))
+      return false;
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return false;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return false;
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return false;
+        }
+        // We only ever emit \u00xx for control bytes; anything else is
+        // preserved as a literal '?' rather than attempting UTF-8.
+        Out += Code < 0x100 ? static_cast<char>(Code) : '?';
+        break;
+      }
+      default:
+        return false;
+      }
+    }
+    return false; // unterminated
+  }
+
+  bool parseNumber(double &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           ((Text[Pos] >= '0' && Text[Pos] <= '9') || Text[Pos] == '.' ||
+            Text[Pos] == 'e' || Text[Pos] == 'E' || Text[Pos] == '+' ||
+            Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    std::string Num = Text.substr(Start, Pos - Start);
+    char *End = nullptr;
+    Out = std::strtod(Num.c_str(), &End);
+    return End && *End == '\0';
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos == Text.size();
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+
+public:
+  using ValueT = Value;
+};
+
+} // namespace
+
+JournalContents memlint::parseJournal(const std::string &Text) {
+  JournalContents Out;
+  size_t LineStart = 0;
+  bool First = true;
+  while (LineStart <= Text.size()) {
+    size_t LineEnd = Text.find('\n', LineStart);
+    std::string Line = Text.substr(LineStart, LineEnd == std::string::npos
+                                                  ? std::string::npos
+                                                  : LineEnd - LineStart);
+    LineStart = LineEnd == std::string::npos ? Text.size() + 1 : LineEnd + 1;
+
+    bool Blank = Line.find_first_not_of(" \t\r") == std::string::npos;
+    if (Blank)
+      continue;
+
+    if (First) {
+      First = false;
+      bool SawMagic = false;
+      JournalContents Header;
+      LineParser P(Line);
+      bool Parsed = P.parseObject(
+          [&](const std::string &Key, const LineParser::ValueT &V) {
+            if (Key == "memlint_journal")
+              SawMagic = V.Num == 1;
+            else if (Key == "corpus")
+              Header.Checksum = V.Str;
+            else if (Key == "files")
+              Header.FileCount = static_cast<unsigned long>(V.Num);
+          });
+      if (Parsed && SawMagic && !Header.Checksum.empty()) {
+        Out.HeaderValid = true;
+        Out.Checksum = Header.Checksum;
+        Out.FileCount = Header.FileCount;
+      } else {
+        ++Out.CorruptLines;
+      }
+      continue;
+    }
+
+    JournalEntry Entry;
+    bool SawFile = false, SawStatus = false;
+    LineParser P(Line);
+    bool Parsed = P.parseObject(
+        [&](const std::string &Key, const LineParser::ValueT &V) {
+          if (Key == "file") {
+            Entry.File = V.Str;
+            SawFile = !V.Str.empty();
+          } else if (Key == "status") {
+            Entry.Status = V.Str;
+            SawStatus = V.Str == "ok" || V.Str == "degraded" ||
+                        V.Str == "timeout" || V.Str == "crash";
+          } else if (Key == "attempts") {
+            Entry.Attempts = static_cast<unsigned>(V.Num);
+          } else if (Key == "anomalies") {
+            Entry.Anomalies = static_cast<unsigned>(V.Num);
+          } else if (Key == "suppressed") {
+            Entry.Suppressed = static_cast<unsigned>(V.Num);
+          } else if (Key == "wall_ms") {
+            Entry.WallMs = V.Num;
+          } else if (Key == "reasons") {
+            Entry.Reasons = V.Array;
+          } else if (Key == "diags") {
+            Entry.Diagnostics = V.Str;
+          }
+        });
+    if (Parsed && SawFile && SawStatus)
+      Out.Entries.push_back(std::move(Entry));
+    else
+      ++Out.CorruptLines;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// File I/O
+//===----------------------------------------------------------------------===//
+
+std::optional<std::string> memlint::readFileText(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return std::nullopt;
+  std::string Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  bool Failed = std::ferror(F) != 0;
+  std::fclose(F);
+  if (Failed)
+    return std::nullopt;
+  return Out;
+}
+
+bool memlint::writeFileText(const std::string &Path,
+                            const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok = std::fflush(F) == 0 && Ok;
+  std::fclose(F);
+  return Ok;
+}
+
+bool memlint::appendJournalLine(const std::string &Path,
+                                const std::string &Line) {
+  std::FILE *F = std::fopen(Path.c_str(), "ab");
+  if (!F)
+    return false;
+  std::string WithNl = Line + "\n";
+  bool Ok = std::fwrite(WithNl.data(), 1, WithNl.size(), F) == WithNl.size();
+  Ok = std::fflush(F) == 0 && Ok;
+  std::fclose(F);
+  return Ok;
+}

@@ -1,0 +1,94 @@
+//===--- Journal.h - Resumable batch-run journal ----------------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch driver's crash-/kill-resumable run journal: an append-only
+/// JSONL file recording one line per completed file, preceded by a header
+/// line carrying a checksum of the corpus (the ordered list of input
+/// names). A later `--resume` run re-reads the journal, verifies the
+/// checksum so results are never replayed onto a different corpus, and
+/// skips files that already have a valid entry.
+///
+/// Robustness model: a run can be killed at any byte. Lines are written
+/// with a single flushed append each, so at most the final line can be
+/// truncated; parsing is therefore strict per line (a line either parses
+/// completely or is discarded and counted) and tolerant across lines.
+/// Resume compacts the journal — header plus surviving entries are
+/// rewritten before new entries are appended — so a trailing partial line
+/// can never corrupt the first appended entry of the resumed run.
+///
+/// Format (one JSON object per line, no pretty-printing):
+///
+///   {"memlint_journal":1,"corpus":"<fnv1a64 hex>","files":12}
+///   {"file":"a.c","status":"ok","attempts":1,"anomalies":2,
+///    "suppressed":0,"wall_ms":1.25,"reasons":[],"diags":"a.c:3: ...\n"}
+///
+/// "status" is one of "ok", "degraded", "timeout", "crash" (see
+/// driver/BatchDriver.h). "diags" carries the file's rendered diagnostics
+/// so a resumed run can replay output without re-checking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_SUPPORT_JOURNAL_H
+#define MEMLINT_SUPPORT_JOURNAL_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace memlint {
+
+/// One completed file's outcome as recorded in (or loaded from) a journal.
+struct JournalEntry {
+  std::string File;
+  std::string Status; ///< "ok" | "degraded" | "timeout" | "crash"
+  std::vector<std::string> Reasons; ///< degradation reasons, sorted
+  unsigned Attempts = 1;
+  unsigned Anomalies = 0;
+  unsigned Suppressed = 0;
+  double WallMs = 0;
+  std::string Diagnostics; ///< rendered diagnostic text
+};
+
+/// Everything recovered from a journal file, however damaged.
+struct JournalContents {
+  bool HeaderValid = false; ///< first line parsed as a journal header
+  std::string Checksum;     ///< the header's corpus checksum
+  unsigned long FileCount = 0; ///< the header's file count
+  std::vector<JournalEntry> Entries; ///< entry lines that parsed completely
+  unsigned CorruptLines = 0; ///< non-empty lines discarded as unparsable
+};
+
+/// FNV-1a 64-bit over every string (each terminated by an NUL separator so
+/// {"ab","c"} and {"a","bc"} differ), rendered as 16 hex digits. Used to
+/// fingerprint the corpus in the journal header.
+std::string fnv1aHex(const std::vector<std::string> &Parts);
+
+/// Renders the journal header line (no trailing newline).
+std::string journalHeaderLine(const std::string &CorpusChecksum,
+                              unsigned long FileCount);
+
+/// Renders one entry line (no trailing newline).
+std::string journalEntryLine(const JournalEntry &Entry);
+
+/// Parses journal text, salvaging every intact line. Never throws; damage
+/// is reported via HeaderValid/CorruptLines.
+JournalContents parseJournal(const std::string &Text);
+
+/// Reads a whole file. \returns nullopt if it cannot be opened.
+std::optional<std::string> readFileText(const std::string &Path);
+
+/// Replaces a file's contents. \returns false on I/O failure.
+bool writeFileText(const std::string &Path, const std::string &Text);
+
+/// Appends \p Line plus a newline and flushes, so a kill after the call
+/// loses at most in-flight lines of other writers. \returns false on I/O
+/// failure.
+bool appendJournalLine(const std::string &Path, const std::string &Line);
+
+} // namespace memlint
+
+#endif // MEMLINT_SUPPORT_JOURNAL_H

@@ -27,6 +27,8 @@
 #ifndef MEMLINT_SUPPORT_LIMITS_H
 #define MEMLINT_SUPPORT_LIMITS_H
 
+#include "support/Cancel.h"
+
 #include <string>
 #include <vector>
 
@@ -89,9 +91,27 @@ public:
 
   const ResourceBudget &budget() const { return Budget; }
 
+  /// Attaches a cooperative-cancellation token. Every budget checkpoint
+  /// doubles as a cancellation checkpoint: once the token is raised the
+  /// next checkpoint throws CancelledError, which the checking facade
+  /// converts into a Degraded result carrying the token's reason. Pass
+  /// null (the default state) for zero cancellation overhead.
+  void setCancelToken(CancelToken *Token) { Cancel = Token; }
+  CancelToken *cancelToken() const { return Cancel; }
+
+  /// Cancellation checkpoint: throws CancelledError if the attached token
+  /// has been raised. Call sites are exactly the budget charge points, so
+  /// cancellation latency is bounded by the work between two charges.
+  void checkCancelled() {
+    if (Cancel && Cancel->check())
+      throw CancelledError{Cancel->reason()};
+  }
+
   /// Charges one preprocessed token. \returns false once the token budget
-  /// is exhausted; callers should stop consuming input.
+  /// is exhausted; callers should stop consuming input. Doubles as a
+  /// cancellation checkpoint (throws CancelledError when cancelled).
   bool takeToken() {
+    checkCancelled();
     if (limitExhausted(Tokens, Budget.MaxTokens)) {
       noteDegradation("limittokens");
       return false;
@@ -128,6 +148,7 @@ private:
   unsigned long Tokens = 0;
   std::vector<std::string> Reasons;
   bool InternalErrors = false;
+  CancelToken *Cancel = nullptr;
 };
 
 } // namespace memlint

@@ -1,0 +1,31 @@
+//===--- MonotonicTime.h - Monotonic wall-clock helpers ---------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deadlines and timings in the batch driver must survive system clock
+/// adjustments (NTP steps, suspend/resume), so everything time-related is
+/// expressed in milliseconds on std::chrono::steady_clock. This header is
+/// the single place that choice is made.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_SUPPORT_MONOTONICTIME_H
+#define MEMLINT_SUPPORT_MONOTONICTIME_H
+
+#include <chrono>
+
+namespace memlint {
+
+/// Milliseconds on the monotonic clock. Only differences are meaningful.
+inline double monotonicNowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace memlint
+
+#endif // MEMLINT_SUPPORT_MONOTONICTIME_H

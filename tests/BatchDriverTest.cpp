@@ -1,0 +1,359 @@
+//===--- BatchDriverTest.cpp - Resilient parallel batch driver -----------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+// The batch driver's contract: parallel output is byte-identical to
+// sequential, pathological files are contained (deadline/crash -> one
+// retry with halved limits -> a Degraded outcome) without poisoning their
+// neighbors, and a killed run resumes from its journal without re-checking
+// completed files.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchDriver.h"
+#include "support/Journal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+using namespace memlint;
+
+namespace {
+
+/// A unique temp path per test; removed on destruction.
+class TempPath {
+public:
+  explicit TempPath(const std::string &Stem) {
+    Path = ::testing::TempDir() + "/" + Stem;
+    std::remove(Path.c_str());
+  }
+  ~TempPath() { std::remove(Path.c_str()); }
+  const std::string &str() const { return Path; }
+
+private:
+  std::string Path;
+};
+
+/// A small mixed corpus: clean files, files with a known leak, a file with
+/// a null-deref anomaly. Deterministic content keyed by index.
+void buildCorpus(VFS &Files, std::vector<std::string> &Names, unsigned N) {
+  for (unsigned I = 0; I < N; ++I) {
+    std::string Name = "file" + std::to_string(I) + ".c";
+    std::string Source;
+    switch (I % 3) {
+    case 0: // clean
+      Source = "int id" + std::to_string(I) + "(int x) { return x + " +
+               std::to_string(I) + "; }\n";
+      break;
+    case 1: // leak: fresh storage not released
+      Source = "#include <stdlib.h>\n"
+               "void leak" +
+               std::to_string(I) +
+               "(void) { char *p = (char *)malloc(10); }\n";
+      break;
+    default: // possibly-null dereference
+      Source = "void deref" + std::to_string(I) +
+               "(/*@null@*/ char *p) { *p = 'x'; }\n";
+      break;
+    }
+    Files.add(Name, Source);
+    Names.push_back(Name);
+  }
+}
+
+//===--- determinism -----------------------------------------------------------===//
+
+TEST(BatchDriverTest, ParallelOutputByteIdenticalToSequential) {
+  VFS Files;
+  std::vector<std::string> Names;
+  buildCorpus(Files, Names, 24);
+
+  auto RunAt = [&](unsigned Jobs, std::string &Streamed) {
+    BatchOptions Options;
+    Options.Jobs = Jobs;
+    Options.OnFileOutcome = [&Streamed](const FileOutcome &O) {
+      Streamed += O.Diagnostics;
+    };
+    return BatchDriver(Options).run(Files, Names);
+  };
+
+  std::string StreamedJ1, StreamedJ8;
+  BatchResult J1 = RunAt(1, StreamedJ1);
+  BatchResult J8 = RunAt(8, StreamedJ8);
+
+  // Byte-identical rendered output, both collected and streamed.
+  EXPECT_EQ(J1.render(), J8.render());
+  EXPECT_EQ(StreamedJ1, StreamedJ8);
+  EXPECT_EQ(StreamedJ1, J1.render());
+
+  // Identical per-file outcomes in input order.
+  ASSERT_EQ(J1.Outcomes.size(), J8.Outcomes.size());
+  for (size_t I = 0; I < J1.Outcomes.size(); ++I) {
+    EXPECT_EQ(J1.Outcomes[I].File, Names[I]);
+    EXPECT_EQ(J8.Outcomes[I].File, Names[I]);
+    EXPECT_EQ(J1.Outcomes[I].Kind, J8.Outcomes[I].Kind) << Names[I];
+    EXPECT_EQ(J1.Outcomes[I].Anomalies, J8.Outcomes[I].Anomalies)
+        << Names[I];
+    EXPECT_EQ(J1.Outcomes[I].Attempts, J8.Outcomes[I].Attempts) << Names[I];
+    EXPECT_EQ(J1.Outcomes[I].Reasons, J8.Outcomes[I].Reasons) << Names[I];
+  }
+  EXPECT_EQ(J1.TotalAnomalies, J8.TotalAnomalies);
+  EXPECT_GT(J1.TotalAnomalies, 0u); // the corpus does contain findings
+}
+
+TEST(BatchDriverTest, JournalOutcomesIdenticalAcrossJobCounts) {
+  VFS Files;
+  std::vector<std::string> Names;
+  buildCorpus(Files, Names, 12);
+
+  auto JournalAt = [&](unsigned Jobs, const std::string &Path) {
+    BatchOptions Options;
+    Options.Jobs = Jobs;
+    Options.JournalPath = Path;
+    BatchDriver(Options).run(Files, Names);
+    std::optional<std::string> Text = readFileText(Path);
+    EXPECT_TRUE(Text.has_value());
+    return parseJournal(Text ? *Text : "");
+  };
+
+  TempPath P1("batch_j1.jsonl"), P8("batch_j8.jsonl");
+  JournalContents C1 = JournalAt(1, P1.str());
+  JournalContents C8 = JournalAt(8, P8.str());
+
+  EXPECT_TRUE(C1.HeaderValid);
+  EXPECT_EQ(C1.Checksum, C8.Checksum);
+  ASSERT_EQ(C1.Entries.size(), Names.size());
+  ASSERT_EQ(C8.Entries.size(), Names.size());
+
+  // Append order differs under parallelism; compare as per-file maps.
+  auto ByFile = [](const JournalContents &C) {
+    std::map<std::string, const JournalEntry *> Out;
+    for (const JournalEntry &E : C.Entries)
+      Out[E.File] = &E;
+    return Out;
+  };
+  auto M1 = ByFile(C1), M8 = ByFile(C8);
+  ASSERT_EQ(M1.size(), M8.size());
+  for (const auto &[File, E1] : M1) {
+    ASSERT_TRUE(M8.count(File)) << File;
+    const JournalEntry *E8 = M8[File];
+    EXPECT_EQ(E1->Status, E8->Status) << File;
+    EXPECT_EQ(E1->Anomalies, E8->Anomalies) << File;
+    EXPECT_EQ(E1->Attempts, E8->Attempts) << File;
+    EXPECT_EQ(E1->Reasons, E8->Reasons) << File;
+    EXPECT_EQ(E1->Diagnostics, E8->Diagnostics) << File;
+  }
+}
+
+//===--- containment of pathological files -------------------------------------===//
+
+TEST(BatchDriverTest, CrashingFileIsRetriedThenDegradedWithoutPoisoningBatch) {
+  VFS Files;
+  std::vector<std::string> Names;
+  buildCorpus(Files, Names, 9);
+
+  // Baseline: the healthy corpus alone.
+  BatchOptions Options;
+  Options.Jobs = 4;
+  BatchResult Healthy = BatchDriver(Options).run(Files, Names);
+
+  // Insert a deliberately pathological file (deep nesting plus the crash
+  // injection hook) in the middle of the corpus.
+  std::string Bad = "#pragma memlint crash\nint f(int a) { return ";
+  for (int I = 0; I < 2000; ++I)
+    Bad += "(";
+  Bad += "a";
+  for (int I = 0; I < 2000; ++I)
+    Bad += ")";
+  Bad += "; }\n";
+  Files.add("bad.c", Bad);
+  std::vector<std::string> WithBad = Names;
+  WithBad.insert(WithBad.begin() + 4, "bad.c");
+
+  BatchResult Mixed = BatchDriver(Options).run(Files, WithBad);
+
+  // The pathological file: contained crash, one retry, degraded outcome.
+  const FileOutcome &BadOutcome = Mixed.Outcomes[4];
+  EXPECT_EQ(BadOutcome.File, "bad.c");
+  EXPECT_EQ(BadOutcome.Kind, FileOutcomeKind::Crash);
+  EXPECT_EQ(BadOutcome.Attempts, 2u);
+  EXPECT_TRUE(std::find(BadOutcome.Reasons.begin(), BadOutcome.Reasons.end(),
+                        "internal-error") != BadOutcome.Reasons.end());
+
+  // Every other file's diagnostics are unchanged by its presence.
+  std::vector<FileOutcome> Others = Mixed.Outcomes;
+  Others.erase(Others.begin() + 4);
+  ASSERT_EQ(Others.size(), Healthy.Outcomes.size());
+  for (size_t I = 0; I < Others.size(); ++I) {
+    EXPECT_EQ(Others[I].File, Healthy.Outcomes[I].File);
+    EXPECT_EQ(Others[I].Diagnostics, Healthy.Outcomes[I].Diagnostics);
+    EXPECT_EQ(Others[I].Kind, Healthy.Outcomes[I].Kind);
+  }
+
+  // "Exit status reflects only real check findings": the crash adds no
+  // anomalies to the batch total.
+  EXPECT_EQ(Mixed.TotalAnomalies, Healthy.TotalAnomalies);
+  EXPECT_EQ(Mixed.CrashCount, 1u);
+  EXPECT_EQ(Mixed.RetriedCount, 1u);
+}
+
+TEST(BatchDriverTest, DeadlineMarksStalledFileTimeoutAndRestAreUnaffected) {
+  VFS Files;
+  std::vector<std::string> Names;
+  buildCorpus(Files, Names, 6);
+  Files.add("slow.c", "int s(int x) { return x; }\n");
+  Names.insert(Names.begin() + 2, "slow.c");
+
+  BatchOptions Options;
+  Options.Jobs = 2;
+  Options.FileDeadlineMs = 10;
+  // Simulate one file stalling far past the deadline (e.g. on hung I/O):
+  // the watchdog must cancel it, the retry must time out again, and the
+  // batch must keep going.
+  Options.TestStallMs = [](const std::string &File) -> unsigned {
+    return File == "slow.c" ? 60u : 0u;
+  };
+  BatchResult R = BatchDriver(Options).run(Files, Names);
+
+  const FileOutcome &Slow = R.Outcomes[2];
+  EXPECT_EQ(Slow.File, "slow.c");
+  EXPECT_EQ(Slow.Kind, FileOutcomeKind::Timeout);
+  EXPECT_EQ(Slow.Attempts, 2u);
+  EXPECT_TRUE(std::find(Slow.Reasons.begin(), Slow.Reasons.end(),
+                        "deadline") != Slow.Reasons.end());
+  EXPECT_EQ(R.TimeoutCount, 1u);
+
+  for (size_t I = 0; I < R.Outcomes.size(); ++I) {
+    if (I == 2)
+      continue;
+    EXPECT_NE(R.Outcomes[I].Kind, FileOutcomeKind::Timeout)
+        << R.Outcomes[I].File;
+  }
+}
+
+//===--- resume ----------------------------------------------------------------===//
+
+TEST(BatchDriverTest, ResumeSkipsCompletedFilesAndReplaysOutput) {
+  VFS Files;
+  std::vector<std::string> Names;
+  buildCorpus(Files, Names, 10);
+
+  TempPath Journal("batch_resume.jsonl");
+  BatchOptions Options;
+  Options.Jobs = 2;
+  Options.JournalPath = Journal.str();
+  BatchResult Full = BatchDriver(Options).run(Files, Names);
+  ASSERT_EQ(Full.Outcomes.size(), Names.size());
+
+  // Simulate a kill mid-run: keep the header and the first 4 entries, plus
+  // a torn partial line such as a dying process would leave.
+  std::optional<std::string> Text = readFileText(Journal.str());
+  ASSERT_TRUE(Text.has_value());
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos < Text->size()) {
+    size_t End = Text->find('\n', Pos);
+    if (End == std::string::npos)
+      break;
+    Lines.push_back(Text->substr(Pos, End - Pos));
+    Pos = End + 1;
+  }
+  ASSERT_GE(Lines.size(), 5u);
+  std::string Truncated;
+  for (size_t I = 0; I < 5; ++I)
+    Truncated += Lines[I] + "\n";
+  Truncated += Lines[5].substr(0, Lines[5].size() / 2); // torn final line
+  ASSERT_TRUE(writeFileText(Journal.str(), Truncated));
+
+  Options.Resume = true;
+  BatchResult Resumed = BatchDriver(Options).run(Files, Names);
+
+  EXPECT_EQ(Resumed.ResumedCount, 4u);
+  EXPECT_EQ(Resumed.JournalCorruptLines, 1u);
+  EXPECT_EQ(Resumed.render(), Full.render());
+  ASSERT_EQ(Resumed.Outcomes.size(), Full.Outcomes.size());
+  for (size_t I = 0; I < Full.Outcomes.size(); ++I) {
+    EXPECT_EQ(Resumed.Outcomes[I].Kind, Full.Outcomes[I].Kind);
+    EXPECT_EQ(Resumed.Outcomes[I].Anomalies, Full.Outcomes[I].Anomalies);
+  }
+
+  // The resumed run compacted and completed the journal: parsing it now
+  // yields one valid entry per file and no corruption.
+  std::optional<std::string> After = readFileText(Journal.str());
+  ASSERT_TRUE(After.has_value());
+  JournalContents C = parseJournal(*After);
+  EXPECT_TRUE(C.HeaderValid);
+  EXPECT_EQ(C.CorruptLines, 0u);
+  EXPECT_EQ(C.Entries.size(), Names.size());
+}
+
+TEST(BatchDriverTest, JournalForDifferentCorpusIsNotReplayed) {
+  VFS Files;
+  std::vector<std::string> Names;
+  buildCorpus(Files, Names, 4);
+
+  TempPath Journal("batch_mismatch.jsonl");
+  BatchOptions Options;
+  Options.JournalPath = Journal.str();
+  BatchDriver(Options).run(Files, Names);
+
+  // Same journal, different corpus: entries must not be replayed onto it.
+  VFS OtherFiles;
+  std::vector<std::string> OtherNames;
+  buildCorpus(OtherFiles, OtherNames, 5);
+  Options.Resume = true;
+  BatchResult R = BatchDriver(Options).run(OtherFiles, OtherNames);
+
+  EXPECT_EQ(R.ResumedCount, 0u);
+  EXPECT_FALSE(R.JournalNote.empty());
+  EXPECT_EQ(R.Outcomes.size(), OtherNames.size());
+}
+
+//===--- retry ladder ----------------------------------------------------------===//
+
+TEST(BatchDriverTest, HalveLimitsTightensEveryBoundButKeepsFloors) {
+  FlagSet Flags;
+  Flags.limits().MaxTokens = 1000;
+  Flags.limits().MaxNestingDepth = 1; // at the floor already
+  Flags.limits().MaxStmtsPerFunction = 0; // unlimited stays unlimited
+  Flags.limits().MaxEnvSplitsPerFunction = 7;
+  halveLimits(Flags);
+  EXPECT_EQ(Flags.limits().MaxTokens, 500u);
+  EXPECT_EQ(Flags.limits().MaxNestingDepth, 1u);
+  EXPECT_EQ(Flags.limits().MaxStmtsPerFunction, 0u);
+  EXPECT_EQ(Flags.limits().MaxEnvSplitsPerFunction, 3u);
+}
+
+//===--- journal format --------------------------------------------------------===//
+
+TEST(BatchDriverTest, JournalEntryRoundTripsThroughEscaping) {
+  JournalEntry E;
+  E.File = "dir/we\"ird \\name.c";
+  E.Status = "degraded";
+  E.Reasons = {"limitnesting", "limittokens"};
+  E.Attempts = 2;
+  E.Anomalies = 3;
+  E.Suppressed = 1;
+  E.WallMs = 12.5;
+  E.Diagnostics = "a.c:1: line one\n\ttab and \"quotes\"\n";
+
+  JournalContents C = parseJournal(journalHeaderLine("abc123", 1) + "\n" +
+                                   journalEntryLine(E) + "\n");
+  EXPECT_TRUE(C.HeaderValid);
+  EXPECT_EQ(C.Checksum, "abc123");
+  ASSERT_EQ(C.Entries.size(), 1u);
+  const JournalEntry &Back = C.Entries[0];
+  EXPECT_EQ(Back.File, E.File);
+  EXPECT_EQ(Back.Status, E.Status);
+  EXPECT_EQ(Back.Reasons, E.Reasons);
+  EXPECT_EQ(Back.Attempts, E.Attempts);
+  EXPECT_EQ(Back.Anomalies, E.Anomalies);
+  EXPECT_EQ(Back.Suppressed, E.Suppressed);
+  EXPECT_NEAR(Back.WallMs, E.WallMs, 0.01);
+  EXPECT_EQ(Back.Diagnostics, E.Diagnostics);
+}
+
+} // namespace

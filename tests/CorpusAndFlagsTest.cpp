@@ -96,6 +96,49 @@ TEST(FlagsTest, MalformedLimitValuesRejected) {
   EXPECT_EQ(F.limits().MaxTokens, ResourceBudget().MaxTokens);
 }
 
+TEST(FlagsTest, RejectionDiagnosticsNameTheProblem) {
+  FlagSet F;
+  std::string Error;
+
+  EXPECT_FALSE(F.parse("-limittokens=12abc", Error));
+  EXPECT_EQ(Error, "malformed value '12abc' for '-limittokens': expected a "
+                   "non-negative integer (0 means unlimited)");
+
+  EXPECT_FALSE(F.parse("-limittokens=-5", Error));
+  EXPECT_EQ(Error, "malformed value '-5' for '-limittokens': expected a "
+                   "non-negative integer (0 means unlimited)");
+
+  EXPECT_FALSE(F.parse("-limittokens=", Error));
+  EXPECT_EQ(Error, "missing value for '-limittokens': expected "
+                   "'-limittokens=N' (0 means unlimited)");
+
+  EXPECT_FALSE(F.parse("-limittokens=99999999999", Error));
+  EXPECT_EQ(Error, "value '99999999999' for '-limittokens' is out of range "
+                   "(maximum 4294967295)");
+
+  EXPECT_FALSE(F.parse("-nosuchlimit=5", Error));
+  EXPECT_EQ(Error, "unknown resource limit 'nosuchlimit' (try --flags)");
+
+  EXPECT_FALSE(F.parse("-mustfree=5", Error));
+  EXPECT_EQ(Error, "flag 'mustfree' is an on/off toggle and takes no value "
+                   "(use '+mustfree' or '-mustfree')");
+
+  EXPECT_FALSE(F.parse("-limittokens", Error));
+  EXPECT_EQ(Error,
+            "resource limit 'limittokens' needs a value: '-limittokens=N'");
+
+  EXPECT_FALSE(F.parse("+nosuchflag", Error));
+  EXPECT_EQ(Error, "unknown flag 'nosuchflag' (try --flags)");
+
+  EXPECT_FALSE(F.parse("", Error));
+  EXPECT_EQ(Error, "malformed flag '': expected '+name', '-name', or "
+                   "'-limitname=value'");
+
+  // Successful parses leave no stale error behind the caller's back.
+  EXPECT_TRUE(F.parse("-limittokens=10", Error));
+  EXPECT_EQ(F.getLimit("limittokens"), 10u);
+}
+
 TEST(FlagsTest, SaveRestoreCoversLimits) {
   FlagSet F;
   F.save();

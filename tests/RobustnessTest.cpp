@@ -10,6 +10,7 @@
 
 #include "checker/Checker.h"
 #include "corpus/Corpus.h"
+#include "support/Journal.h"
 
 #include <gtest/gtest.h>
 
@@ -250,6 +251,120 @@ TEST(RobustnessTest, GeneratedDeepNestingContained) {
     CheckResult R = Checker::checkSource(Source, CheckOptions(), "gen.c");
     EXPECT_NE(R.Status, CheckStatus::InternalError) << S.Prefix;
   }
+}
+
+//===--- cooperative cancellation ----------------------------------------------===//
+//
+// Cancellation rides the budget checkpoints, so cancelling after exactly N
+// checkpoints for every small N (and a spread of larger strides crossing
+// preprocessing, parsing, and analysis) probes an abort at every stage
+// boundary. The property: never a crash or leak (the ASan preset runs this
+// suite too), always either a clean completion or a Degraded result
+// carrying the cancellation reason — never InternalError.
+
+TEST(RobustnessTest, CancellationAtEveryCheckpointSweepIsContained) {
+  static const std::string Full = dbSourceConcatenated();
+  std::vector<unsigned long> Points;
+  for (unsigned long N = 0; N <= 24; ++N)
+    Points.push_back(N);
+  for (unsigned long N : {50ul, 200ul, 1000ul, 5000ul, 20000ul, 100000ul,
+                          1000000ul})
+    Points.push_back(N);
+
+  for (unsigned long N : Points) {
+    CancelToken Token;
+    Token.cancelAfterCheckpoints(N);
+    CheckOptions Options;
+    Options.Cancel = &Token;
+    CheckResult R = Checker::checkSource(Full, Options, "sweep.c");
+    EXPECT_NE(R.Status, CheckStatus::InternalError)
+        << "cancel after " << N << "\n"
+        << R.render();
+    if (Token.cancelled()) {
+      EXPECT_EQ(R.Status, CheckStatus::Degraded) << "cancel after " << N;
+      bool HasReason = false;
+      for (const std::string &Reason : R.DegradationReasons)
+        HasReason |= Reason == "cancelled";
+      EXPECT_TRUE(HasReason) << "cancel after " << N;
+      EXPECT_TRUE(R.contains("check run cancelled (cancelled)"))
+          << "cancel after " << N << "\n"
+          << R.render();
+    } else {
+      // The run finished before checkpoint N: results must be the full
+      // ones, not silently clipped.
+      EXPECT_EQ(R.Status, CheckStatus::Ok) << "cancel after " << N;
+    }
+  }
+}
+
+TEST(RobustnessTest, CancelledRunKeepsDiagnosticsFoundBeforeCutoff) {
+  // A file whose anomaly is found early, followed by enough code that a
+  // late cancellation still has work left to abandon.
+  std::string Source = "void early(/*@null@*/ char *p) { *p = 'x'; }\n";
+  for (int I = 0; I < 50; ++I)
+    Source += "int f" + std::to_string(I) + "(int a) { return a + " +
+              std::to_string(I) + "; }\n";
+
+  // Find the full run's checkpoint count, then cancel at the very last
+  // checkpoint: by then every function but the tail has been analysed, so
+  // early()'s diagnostic must already be in the result.
+  CancelToken Probe;
+  CheckOptions ProbeOptions;
+  ProbeOptions.Cancel = &Probe;
+  CheckResult FullRun = Checker::checkSource(Source, ProbeOptions, "cut.c");
+  ASSERT_FALSE(Probe.cancelled());
+  ASSERT_TRUE(FullRun.contains("possibly null pointer p"));
+  ASSERT_GE(Probe.checkpoints(), 2ul);
+
+  CancelToken Token;
+  Token.cancelAfterCheckpoints(Probe.checkpoints() - 1);
+  CheckOptions Options;
+  Options.Cancel = &Token;
+  CheckResult R = Checker::checkSource(Source, Options, "cut.c");
+  ASSERT_TRUE(Token.cancelled());
+  EXPECT_EQ(R.Status, CheckStatus::Degraded);
+  EXPECT_TRUE(R.contains("possibly null pointer p")) << R.render();
+}
+
+//===--- journal damage recovery -----------------------------------------------===//
+
+TEST(RobustnessTest, JournalTruncationSweepNeverCrashesAndSalvagesPrefix) {
+  // A journal killed at any byte must still load: intact leading lines are
+  // salvaged, the torn tail is discarded and counted.
+  std::vector<JournalEntry> Entries(3);
+  Entries[0] = {"a.c", "ok", {}, 1, 0, 0, 1.0, ""};
+  Entries[1] = {"b.c", "degraded", {"limittokens"}, 1, 2, 0, 2.0,
+                "b.c:1: msg\n"};
+  Entries[2] = {"c.c", "crash", {"internal-error"}, 2, 0, 0, 3.0,
+                "c.c:1: internal error\n"};
+  std::string Text = journalHeaderLine(fnv1aHex({"a.c", "b.c", "c.c"}), 3);
+  Text += "\n";
+  for (const JournalEntry &E : Entries)
+    Text += journalEntryLine(E) + "\n";
+
+  for (size_t Cut = 0; Cut <= Text.size(); ++Cut) {
+    JournalContents C = parseJournal(Text.substr(0, Cut));
+    EXPECT_LE(C.Entries.size(), 3u);
+    // Salvaged entries are exactly the fully-written prefix, in order.
+    for (size_t I = 0; I < C.Entries.size(); ++I) {
+      EXPECT_EQ(C.Entries[I].File, Entries[I].File) << "cut at " << Cut;
+      EXPECT_EQ(C.Entries[I].Status, Entries[I].Status) << "cut at " << Cut;
+    }
+  }
+}
+
+TEST(RobustnessTest, JournalGarbageLinesAreCountedNotFatal) {
+  std::string Text = journalHeaderLine("feedbeef00000000", 2) + "\n";
+  Text += "not json at all\n";
+  Text += "{\"file\":\"ok.c\",\"status\":\"ok\"}\n";
+  Text += "{\"file\":\"bad.c\",\"status\":\"no-such-status\"}\n";
+  Text += "{\"file\":\"torn.c\",\"status\":\"ok\",\"att\n";
+  Text += "\n"; // blank lines are ignored, not corrupt
+  JournalContents C = parseJournal(Text);
+  EXPECT_TRUE(C.HeaderValid);
+  ASSERT_EQ(C.Entries.size(), 1u);
+  EXPECT_EQ(C.Entries[0].File, "ok.c");
+  EXPECT_EQ(C.CorruptLines, 3u);
 }
 
 TEST(RobustnessTest, BudgetExhaustionYieldsPartialResults) {
