@@ -1,0 +1,375 @@
+//===--- bench_env_scaling.cpp - Environment split/merge scaling ---------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+// The analysis forks the abstract state at every predicate ("any predicate
+// may be true or false", paper Section 2), so environment copies dominate
+// checking of branch-heavy functions. This bench pits the interned COW
+// environment against an in-bench replica of the previous representation
+// (std::map<RefPath, SVal> plus std::set alias lists, deep-copied at every
+// split) on the two workloads the ISSUE calls out: deep branch nests and
+// wide structs with many tracked references.
+//
+// Besides the human-readable report it emits machine-readable JSON to
+// BENCH_env_scaling.json (current directory) so the perf trajectory has
+// data points; ci.sh validates the file's shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Env.h"
+#include "ast/AST.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace memlint;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// The pre-change environment, replicated for comparison
+//===----------------------------------------------------------------------===//
+
+/// Replica of the std::map-based Env this PR replaced: splits deep-copy the
+/// whole table, merges walk the union of keys. Merge semantics match
+/// Env::mergeFrom so both sides do identical abstract work.
+struct LegacyEnv {
+  std::map<RefPath, SVal> Values;
+  std::map<RefPath, std::set<RefPath>> Aliases;
+  bool Unreachable = false;
+
+  const SVal *find(const RefPath &Ref) const {
+    auto It = Values.find(Ref);
+    return It == Values.end() ? nullptr : &It->second;
+  }
+  SVal lookup(const RefPath &Ref, const Env::DefaultFn &Default) const {
+    if (const SVal *V = find(Ref))
+      return *V;
+    return Default(Ref);
+  }
+  void set(const RefPath &Ref, SVal Val) { Values[Ref] = std::move(Val); }
+  void addAlias(const RefPath &A, const RefPath &B) {
+    if (A == B)
+      return;
+    Aliases[A].insert(B);
+    Aliases[B].insert(A);
+  }
+
+  void mergeFrom(const LegacyEnv &Other, const Env::DefaultFn &Default) {
+    if (Other.Unreachable)
+      return;
+    if (Unreachable) {
+      *this = Other;
+      return;
+    }
+    std::set<RefPath> Keys;
+    for (const auto &KV : Values)
+      Keys.insert(KV.first);
+    for (const auto &KV : Other.Values)
+      Keys.insert(KV.first);
+    for (const RefPath &Ref : Keys) {
+      SVal Ours = lookup(Ref, Default);
+      SVal Theirs = Other.lookup(Ref, Default);
+      AllocState OursAlloc = Ours.Alloc;
+      AllocState TheirsAlloc = Theirs.Alloc;
+      DefState OursDef = Ours.Def;
+      DefState TheirsDef = Theirs.Def;
+      if (Ours.Null == NullState::DefinitelyNull) {
+        OursAlloc = AllocState::Null;
+        if (TheirsDef == DefState::Dead)
+          OursDef = DefState::Dead;
+      }
+      if (Theirs.Null == NullState::DefinitelyNull) {
+        TheirsAlloc = AllocState::Null;
+        if (OursDef == DefState::Dead)
+          TheirsDef = DefState::Dead;
+      }
+      bool DefConflict = false, AllocConflict = false;
+      SVal Merged;
+      Merged.Def = mergeDef(OursDef, TheirsDef, DefConflict);
+      Merged.Null = mergeNull(Ours.Null, Theirs.Null);
+      Merged.Alloc = mergeAlloc(OursAlloc, TheirsAlloc, AllocConflict);
+      Merged.NullLoc = Ours.mayBeNull()
+                           ? Ours.NullLoc
+                           : (Theirs.mayBeNull() ? Theirs.NullLoc
+                                                 : Ours.NullLoc);
+      Merged.AllocLoc =
+          Ours.AllocLoc.isValid() ? Ours.AllocLoc : Theirs.AllocLoc;
+      Merged.FreeLoc = Ours.FreeLoc.isValid() ? Ours.FreeLoc : Theirs.FreeLoc;
+      Merged.DefLoc =
+          Ours.Def != DefState::Defined ? Ours.DefLoc : Theirs.DefLoc;
+      Values[Ref] = std::move(Merged);
+    }
+    for (const auto &KV : Other.Aliases)
+      for (const RefPath &Alias : KV.second)
+        Aliases[KV.first].insert(Alias);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Workload construction
+//===----------------------------------------------------------------------===//
+
+struct Fixture {
+  ASTContext Ctx;
+  std::vector<RefPath> Refs;
+
+  /// Builds \p Count tracked references shaped like real analysis state:
+  /// a few pointer roots, each a wide struct with many pointer fields
+  /// (root, *root, root->f_i).
+  explicit Fixture(size_t Count) {
+    size_t Roots = Count / 16 + 1;
+    size_t Fields = 14;
+    std::vector<FieldDecl *> FieldDecls;
+    for (size_t F = 0; F < Fields; ++F)
+      FieldDecls.push_back(Ctx.create<FieldDecl>(
+          "f" + std::to_string(F), SourceLocation("b.c", 1, 1),
+          Ctx.pointerTo(Ctx.charTy()), Annotations(),
+          static_cast<unsigned>(F)));
+    for (size_t R = 0; R < Roots && Refs.size() < Count; ++R) {
+      VarDecl *VD = Ctx.create<VarDecl>(
+          "r" + std::to_string(R), SourceLocation("b.c", 1, 1),
+          Ctx.pointerTo(Ctx.charTy()), Annotations(), StorageClass::None,
+          /*Global=*/false);
+      RefPath Root = RefPath::var(VD);
+      Refs.push_back(Root);
+      PathElem Deref;
+      Deref.K = PathElem::Kind::Deref;
+      RefPath Star = Root.child(Deref);
+      if (Refs.size() < Count)
+        Refs.push_back(Star);
+      for (size_t F = 0; F < Fields && Refs.size() < Count; ++F) {
+        PathElem Dot;
+        Dot.K = PathElem::Kind::Dot;
+        Dot.Field = FieldDecls[F];
+        Dot.FieldName = FieldDecls[F]->name();
+        Refs.push_back(Star.child(Dot));
+      }
+    }
+  }
+};
+
+SVal mkVal(unsigned I) {
+  SVal V;
+  V.Def = I % 7 == 0 ? DefState::Undefined : DefState::Defined;
+  V.Null = I % 5 == 0 ? NullState::PossiblyNull : NullState::NotNull;
+  V.Alloc = I % 3 == 0 ? AllocState::Only : AllocState::Unqualified;
+  V.AllocLoc = SourceLocation("b.c", 10 + I % 90, 1);
+  V.DefLoc = SourceLocation("b.c", 10 + I % 90, 5);
+  if (V.Null == NullState::PossiblyNull)
+    V.NullLoc = SourceLocation("b.c", 10 + I % 90, 9);
+  return V;
+}
+
+SVal defaultVal(const RefPath &) {
+  SVal V;
+  V.Def = DefState::Defined;
+  V.Null = NullState::NotNull;
+  return V;
+}
+
+double nowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The split-heavy loop: every iteration forks the state twice (the two
+/// arms of a predicate), writes one reference on the true arm, and merges —
+/// exactly FunctionChecker::execIf's environment traffic.
+template <typename EnvT, typename MakeFn>
+double splitWriteMergeMs(MakeFn Make, const std::vector<RefPath> &Refs,
+                         unsigned Iters) {
+  EnvT Base = Make();
+  for (size_t I = 0; I < Refs.size(); ++I)
+    Base.set(Refs[I], mkVal(static_cast<unsigned>(I)));
+  // A couple of alias links so the alias table takes part.
+  Base.addAlias(Refs[0], Refs[Refs.size() / 2]);
+  Base.addAlias(Refs[1 % Refs.size()], Refs[Refs.size() - 1]);
+
+  double T0 = nowMs();
+  for (unsigned I = 0; I < Iters; ++I) {
+    EnvT TrueEnv = Base;
+    EnvT FalseEnv = Base;
+    TrueEnv.set(Refs[I % Refs.size()], mkVal(I));
+    TrueEnv.mergeFrom(FalseEnv, defaultVal);
+    Base = std::move(TrueEnv);
+  }
+  double Ms = nowMs() - T0;
+  benchmark::DoNotOptimize(Base.find(Refs[0]));
+  return Ms;
+}
+
+/// The deep-branch-nest stress: a nest of D two-armed predicates, each arm
+/// writing one reference, merged on the way back out (2^k env pairs at
+/// depth k are avoided by merging eagerly, like the checker does).
+template <typename EnvT, typename MakeFn>
+double deepBranchNestMs(MakeFn Make, const std::vector<RefPath> &Refs,
+                        unsigned Depth, unsigned Repeat) {
+  EnvT Base = Make();
+  for (size_t I = 0; I < Refs.size(); ++I)
+    Base.set(Refs[I], mkVal(static_cast<unsigned>(I)));
+
+  double T0 = nowMs();
+  for (unsigned R = 0; R < Repeat; ++R) {
+    EnvT S = Base;
+    for (unsigned D = 0; D < Depth; ++D) {
+      EnvT TrueEnv = S;
+      EnvT FalseEnv = S;
+      TrueEnv.set(Refs[D % Refs.size()], mkVal(D + R));
+      FalseEnv.set(Refs[(D + 1) % Refs.size()], mkVal(D + R + 1));
+      TrueEnv.mergeFrom(FalseEnv, defaultVal);
+      S = std::move(TrueEnv);
+    }
+    benchmark::DoNotOptimize(S.find(Refs[0]));
+  }
+  double Ms = nowMs() - T0;
+  return Ms;
+}
+
+struct Row {
+  const char *Workload;
+  size_t Refs;
+  unsigned Iters;
+  double LegacyMs;
+  double CowMs;
+  double speedup() const { return LegacyMs / (CowMs > 0 ? CowMs : 1e-9); }
+};
+
+Row runSplitRow(size_t RefCount, unsigned Iters) {
+  Fixture F(RefCount);
+  auto MakeLegacy = [] { return LegacyEnv(); };
+  double LegacyMs =
+      splitWriteMergeMs<LegacyEnv>(MakeLegacy, F.Refs, Iters);
+  auto Interner = std::make_shared<RefInterner>();
+  auto MakeCow = [&Interner] { return Env(Interner); };
+  double CowMs = splitWriteMergeMs<Env>(MakeCow, F.Refs, Iters);
+  return {"split_write_merge", RefCount, Iters, LegacyMs, CowMs};
+}
+
+Row runNestRow(size_t RefCount, unsigned Depth, unsigned Repeat) {
+  Fixture F(RefCount);
+  auto MakeLegacy = [] { return LegacyEnv(); };
+  double LegacyMs =
+      deepBranchNestMs<LegacyEnv>(MakeLegacy, F.Refs, Depth, Repeat);
+  auto Interner = std::make_shared<RefInterner>();
+  auto MakeCow = [&Interner] { return Env(Interner); };
+  double CowMs = deepBranchNestMs<Env>(MakeCow, F.Refs, Depth, Repeat);
+  return {"deep_branch_nest", RefCount, Depth * Repeat, LegacyMs, CowMs};
+}
+
+void writeJson(const std::vector<Row> &Rows, double GeoMean, double MinSpeed,
+               bool Pass) {
+  FILE *F = fopen("BENCH_env_scaling.json", "w");
+  if (!F) {
+    fprintf(stderr, "cannot write BENCH_env_scaling.json\n");
+    return;
+  }
+  fprintf(F, "{\n");
+  fprintf(F, "  \"bench\": \"env_scaling\",\n");
+  fprintf(F, "  \"unit\": \"ms\",\n");
+  fprintf(F, "  \"workloads\": [\n");
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    fprintf(F,
+            "    {\"name\": \"%s\", \"tracked_refs\": %zu, "
+            "\"iterations\": %u, \"legacy_ms\": %.3f, \"cow_ms\": %.3f, "
+            "\"speedup\": %.2f}%s\n",
+            R.Workload, R.Refs, R.Iters, R.LegacyMs, R.CowMs, R.speedup(),
+            I + 1 < Rows.size() ? "," : "");
+  }
+  fprintf(F, "  ],\n");
+  fprintf(F, "  \"split_speedup_geomean\": %.2f,\n", GeoMean);
+  fprintf(F, "  \"split_speedup_min\": %.2f,\n", MinSpeed);
+  fprintf(F, "  \"acceptance_min_speedup\": 3.0,\n");
+  fprintf(F, "  \"acceptance_pass\": %s\n", Pass ? "true" : "false");
+  fprintf(F, "}\n");
+  fclose(F);
+  printf("wrote BENCH_env_scaling.json\n");
+}
+
+void printReproduction() {
+  printf("=============================================================\n");
+  printf(" Environment split/merge scaling: legacy map vs interned COW\n");
+  printf(" (split = 2 env copies + 1 write + 1 merge, as in execIf)\n");
+  printf("=============================================================\n");
+  printf("%-18s %-8s %-8s %-12s %-12s %s\n", "workload", "refs", "iters",
+         "legacy(ms)", "cow(ms)", "speedup");
+
+  std::vector<Row> Rows;
+  Rows.push_back(runSplitRow(16, 4000));
+  Rows.push_back(runSplitRow(64, 2000));
+  Rows.push_back(runSplitRow(256, 1000));
+  Rows.push_back(runSplitRow(1024, 400));
+  Rows.push_back(runNestRow(64, 24, 60));
+  Rows.push_back(runNestRow(256, 24, 25));
+
+  double LogSum = 0, MinSpeed = 1e9;
+  for (const Row &R : Rows) {
+    printf("%-18s %-8zu %-8u %-12.2f %-12.2f %.2fx\n", R.Workload, R.Refs,
+           R.Iters, R.LegacyMs, R.CowMs, R.speedup());
+    LogSum += std::log(R.speedup());
+    if (R.speedup() < MinSpeed)
+      MinSpeed = R.speedup();
+  }
+  double GeoMean = std::exp(LogSum / Rows.size());
+  bool Pass = MinSpeed >= 3.0;
+  printf("\nsplit-throughput speedup: geomean %.2fx, min %.2fx "
+         "(acceptance: >= 3x) => %s\n\n",
+         GeoMean, MinSpeed, Pass ? "PASS" : "FAIL");
+  writeJson(Rows, GeoMean, MinSpeed, Pass);
+}
+
+//===----------------------------------------------------------------------===//
+// Google-benchmark timings for the new representation
+//===----------------------------------------------------------------------===//
+
+void BM_EnvSplitWriteMerge(benchmark::State &State) {
+  Fixture F(static_cast<size_t>(State.range(0)));
+  auto Interner = std::make_shared<RefInterner>();
+  Env Base(Interner);
+  for (size_t I = 0; I < F.Refs.size(); ++I)
+    Base.set(F.Refs[I], mkVal(static_cast<unsigned>(I)));
+  unsigned I = 0;
+  for (auto _ : State) {
+    Env TrueEnv = Base;
+    Env FalseEnv = Base;
+    TrueEnv.set(F.Refs[I % F.Refs.size()], mkVal(I + 1));
+    ++I;
+    TrueEnv.mergeFrom(FalseEnv, defaultVal);
+    benchmark::DoNotOptimize(TrueEnv.find(F.Refs[0]));
+  }
+  State.counters["splits/s"] =
+      benchmark::Counter(2.0 * State.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EnvSplitWriteMerge)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_EnvCopyOnly(benchmark::State &State) {
+  Fixture F(static_cast<size_t>(State.range(0)));
+  auto Interner = std::make_shared<RefInterner>();
+  Env Base(Interner);
+  for (size_t I = 0; I < F.Refs.size(); ++I)
+    Base.set(F.Refs[I], mkVal(static_cast<unsigned>(I)));
+  for (auto _ : State) {
+    Env Copy = Base;
+    benchmark::DoNotOptimize(Copy.size());
+  }
+}
+BENCHMARK(BM_EnvCopyOnly)->Arg(64)->Arg(1024);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -21,11 +21,56 @@
 
 #include <chrono>
 #include <cstdio>
+#include <vector>
 
 using namespace memlint;
 using namespace memlint::corpus;
 
 namespace {
+
+struct SeriesPoint {
+  unsigned Modules;
+  unsigned Lines;
+  double Ms;
+  double PerKloc;
+};
+
+/// Machine-readable mirror of the reproduction table for ci.sh and the
+/// perf trajectory; written to the current directory.
+void writeJson(const std::vector<SeriesPoint> &Series, double Ratio,
+               bool Reproduced, unsigned WholeLines, double WholeMs,
+               unsigned ModuleLines, double ModuleMs) {
+  FILE *F = fopen("BENCH_sec7_scaling.json", "w");
+  if (!F) {
+    fprintf(stderr, "cannot write BENCH_sec7_scaling.json\n");
+    return;
+  }
+  fprintf(F, "{\n");
+  fprintf(F, "  \"bench\": \"sec7_scaling\",\n");
+  fprintf(F, "  \"unit\": \"ms\",\n");
+  fprintf(F, "  \"series\": [\n");
+  for (size_t I = 0; I < Series.size(); ++I) {
+    const SeriesPoint &P = Series[I];
+    fprintf(F,
+            "    {\"modules\": %u, \"lines\": %u, \"ms\": %.1f, "
+            "\"ms_per_kloc\": %.2f}%s\n",
+            P.Modules, P.Lines, P.Ms, P.PerKloc,
+            I + 1 < Series.size() ? "," : "");
+  }
+  fprintf(F, "  ],\n");
+  fprintf(F, "  \"linearity_ratio\": %.2f,\n", Ratio);
+  fprintf(F, "  \"linearity_reproduced\": %s,\n",
+          Reproduced ? "true" : "false");
+  fprintf(F, "  \"whole_program\": {\"lines\": %u, \"ms\": %.1f},\n",
+          WholeLines, WholeMs);
+  fprintf(F, "  \"one_module\": {\"lines\": %u, \"ms\": %.1f},\n", ModuleLines,
+          ModuleMs);
+  fprintf(F, "  \"modular_speedup\": %.1f\n",
+          WholeMs / (ModuleMs > 0 ? ModuleMs : 1));
+  fprintf(F, "}\n");
+  fclose(F);
+  printf("wrote BENCH_sec7_scaling.json\n\n");
+}
 
 double checkMillis(const Program &P) {
   auto T0 = std::chrono::steady_clock::now();
@@ -46,6 +91,7 @@ void printReproduction() {
          "ms per kLOC");
 
   double FirstPerKloc = 0, LastPerKloc = 0;
+  std::vector<SeriesPoint> Series;
   unsigned Sizes[] = {2, 8, 20, 60, 160, 400};
   for (unsigned M : Sizes) {
     GenOptions O;
@@ -58,6 +104,7 @@ void printReproduction() {
     if (FirstPerKloc == 0)
       FirstPerKloc = PerKloc;
     LastPerKloc = PerKloc;
+    Series.push_back({M, Lines, Ms, PerKloc});
     printf("%-8u %-10u %-12.1f %.2f\n", M, Lines, Ms, PerKloc);
   }
   double Ratio = LastPerKloc / FirstPerKloc;
@@ -82,6 +129,9 @@ void printReproduction() {
          totalLines(WholeP), WholeMs, totalLines(ModuleP), ModuleMs,
          WholeMs / (ModuleMs > 0 ? ModuleMs : 1));
   printf("(paper: 4 min whole program vs <10 s per 5k module => ~24x)\n\n");
+
+  writeJson(Series, Ratio, Ratio < 3.0, totalLines(WholeP), WholeMs,
+            totalLines(ModuleP), ModuleMs);
 }
 
 void BM_CheckSynthetic(benchmark::State &State) {

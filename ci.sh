@@ -70,6 +70,39 @@ rm -rf "$SMOKE"
 trap - EXIT
 echo "batch smoke ok"
 
+echo "== bench smoke (release-lto) =="
+# Build the two trajectory benchmarks under the LTO preset and run them
+# briefly: each must produce a well-formed BENCH_*.json (the machine-readable
+# perf record checked into the repo). Malformed or missing output fails CI.
+cmake --preset release-lto
+cmake --build --preset release-lto -j "$JOBS" \
+  --target bench_env_scaling bench_sec7_scaling
+
+BENCHDIR=$PWD/build-lto/bench
+# Benchmarks write BENCH_*.json into the working directory; run them there.
+(cd "$BENCHDIR" && ./bench_env_scaling --benchmark_list_tests > /dev/null)
+(cd "$BENCHDIR" && ./bench_sec7_scaling --benchmark_list_tests > /dev/null)
+
+check_json() {
+  file=$1; shift
+  [ -s "$file" ] || { echo "bench smoke: $file missing or empty"; exit 1; }
+  # Shape check without a JSON tool: the closing brace and every
+  # required key must be present.
+  grep -q '^}$' "$file" || \
+    { echo "bench smoke: $file is truncated (no closing brace)"; exit 1; }
+  for key in "$@"; do
+    grep -q "\"$key\"" "$file" || \
+      { echo "bench smoke: $file lacks required key '$key'"; exit 1; }
+  done
+}
+check_json "$BENCHDIR/BENCH_env_scaling.json" \
+  bench workloads speedup split_speedup_min acceptance_pass
+check_json "$BENCHDIR/BENCH_sec7_scaling.json" \
+  bench series linearity_ratio modular_speedup
+grep -q '"acceptance_pass": true' "$BENCHDIR/BENCH_env_scaling.json" || \
+  { echo "bench smoke: env split-throughput acceptance failed"; exit 1; }
+echo "bench smoke ok"
+
 echo "== asan+ubsan build =="
 cmake --preset asan
 cmake --build --preset asan -j "$JOBS"

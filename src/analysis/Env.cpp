@@ -6,11 +6,104 @@
 
 #include "analysis/Env.h"
 
+#include <algorithm>
+#include <set>
+
 using namespace memlint;
 
+//===----------------------------------------------------------------------===//
+// Copy-on-write plumbing
+//===----------------------------------------------------------------------===//
+
+Env::Table &Env::mutValues() {
+  if (!Values) {
+    Values = std::make_shared<Table>();
+  } else if (Values.use_count() > 1) {
+    // Clone the spine only: chunks stay shared until individually written.
+    Values = std::make_shared<Table>(*Values);
+    if (Stats)
+      ++Stats->TableClones;
+  }
+  // Safe: the table was created non-const and is uniquely owned here.
+  return const_cast<Table &>(*Values);
+}
+
+Env::Chunk &Env::mutChunk(Table &T, size_t ChunkIdx) {
+  std::shared_ptr<const Chunk> &Slot = T.Chunks[ChunkIdx];
+  if (!Slot) {
+    Slot = std::make_shared<Chunk>();
+  } else if (Slot.use_count() > 1) {
+    Slot = std::make_shared<Chunk>(*Slot);
+    if (Stats) {
+      ++Stats->ChunkClones;
+      Stats->BytesCopied += sizeof(SVal) * ChunkSize;
+    }
+  }
+  return const_cast<Chunk &>(*Slot);
+}
+
+Env::AliasTable &Env::mutAliases() {
+  if (!Aliases) {
+    Aliases = std::make_shared<AliasTable>();
+  } else if (Aliases.use_count() > 1) {
+    Aliases = std::make_shared<AliasTable>(*Aliases);
+    if (Stats)
+      ++Stats->AliasClones;
+  }
+  return const_cast<AliasTable &>(*Aliases);
+}
+
+//===----------------------------------------------------------------------===//
+// Values
+//===----------------------------------------------------------------------===//
+
+const SVal *Env::findId(RefId Id) const {
+  if (!Values || Id == InvalidRefId)
+    return nullptr;
+  size_t CI = Id / ChunkSize, SI = Id % ChunkSize;
+  if (CI >= Values->Chunks.size())
+    return nullptr;
+  const Chunk *C = Values->Chunks[CI].get();
+  if (!C || !(C->Occupied >> SI & 1))
+    return nullptr;
+  return &C->Slots[SI];
+}
+
+void Env::setId(RefId Id, SVal Val) {
+  if (Stats)
+    ++Stats->Writes;
+  Table &T = mutValues();
+  size_t CI = Id / ChunkSize, SI = Id % ChunkSize;
+  if (T.Chunks.size() <= CI)
+    T.Chunks.resize(CI + 1);
+  Chunk &C = mutChunk(T, CI);
+  bool Fresh = !(C.Occupied >> SI & 1);
+  C.Slots[SI] = std::move(Val);
+  C.Occupied |= static_cast<uint16_t>(1u << SI);
+  if (C.Slots[SI].Null == NullState::DefinitelyNull)
+    C.DefNull |= static_cast<uint16_t>(1u << SI);
+  else
+    C.DefNull &= static_cast<uint16_t>(~(1u << SI));
+  if (Fresh)
+    ++T.Count;
+}
+
+void Env::eraseId(RefId Id) {
+  Table &T = mutValues();
+  size_t CI = Id / ChunkSize, SI = Id % ChunkSize;
+  Chunk &C = mutChunk(T, CI);
+  C.Occupied &= static_cast<uint16_t>(~(1u << SI));
+  C.DefNull &= static_cast<uint16_t>(~(1u << SI));
+  C.Slots[SI] = SVal(); // drop provenance strings eagerly
+  --T.Count;
+}
+
 const SVal *Env::find(const RefPath &Ref) const {
-  auto It = Values.find(Ref);
-  return It == Values.end() ? nullptr : &It->second;
+  if (Stats)
+    ++Stats->Lookups;
+  if (!Interner)
+    return nullptr;
+  return findId(Interner->lookup(Ref));
 }
 
 SVal Env::lookup(const RefPath &Ref, const DefaultFn &Default) const {
@@ -19,67 +112,157 @@ SVal Env::lookup(const RefPath &Ref, const DefaultFn &Default) const {
   return Default(Ref);
 }
 
+void Env::set(const RefPath &Ref, SVal Val) {
+  bind();
+  setId(Interner->intern(Ref), std::move(Val));
+}
+
 void Env::eraseDescendants(const RefPath &Ref) {
-  for (auto It = Values.begin(); It != Values.end();) {
-    if (It->first != Ref && It->first.hasPrefix(Ref))
-      It = Values.erase(It);
-    else
-      ++It;
-  }
+  if (!Interner || !Values)
+    return;
+  RefId Id = Interner->lookup(Ref);
+  if (Id == InvalidRefId)
+    return;
+  Interner->forEachDescendant(Id, [&](RefId D) {
+    if (findId(D))
+      eraseId(D);
+  });
 }
 
 void Env::forget(const RefPath &Ref) {
-  for (auto It = Values.begin(); It != Values.end();) {
-    if (It->first.hasPrefix(Ref))
-      It = Values.erase(It);
-    else
-      ++It;
+  if (!Interner)
+    return;
+  RefId Id = Interner->lookup(Ref);
+  if (Id == InvalidRefId)
+    return; // never interned: nothing can be tracked under it
+  if (Values) {
+    if (findId(Id))
+      eraseId(Id);
+    Interner->forEachDescendant(Id, [&](RefId D) {
+      if (findId(D))
+        eraseId(D);
+    });
   }
-  for (auto It = Aliases.begin(); It != Aliases.end();) {
-    if (It->first.hasPrefix(Ref)) {
-      It = Aliases.erase(It);
+  if (!Aliases)
+    return;
+  // Scan first so an unaffected (common) alias table is never cloned.
+  auto Affected = [&](const AliasEntry &E) {
+    if (Interner->hasPrefix(E.Id, Id))
+      return true;
+    for (size_t I = 0, N = E.List.size(); I < N; ++I)
+      if (Interner->hasPrefix(E.List.at(I), Id))
+        return true;
+    return false;
+  };
+  bool Any = false;
+  for (const AliasEntry &E : Aliases->Entries)
+    if (Affected(E)) {
+      Any = true;
+      break;
+    }
+  if (!Any)
+    return;
+  AliasTable &AT = mutAliases();
+  std::vector<AliasEntry> Kept;
+  Kept.reserve(AT.Entries.size());
+  for (AliasEntry &E : AT.Entries) {
+    if (Interner->hasPrefix(E.Id, Id))
       continue;
-    }
-    for (auto SIt = It->second.begin(); SIt != It->second.end();) {
-      if (SIt->hasPrefix(Ref))
-        SIt = It->second.erase(SIt);
-      else
-        ++SIt;
-    }
-    if (It->second.empty())
-      It = Aliases.erase(It);
-    else
-      ++It;
+    AliasList NewL;
+    for (size_t I = 0, N = E.List.size(); I < N; ++I)
+      if (!Interner->hasPrefix(E.List.at(I), Id))
+        NewL.add(E.List.at(I));
+    if (NewL.empty())
+      continue;
+    E.List = std::move(NewL);
+    Kept.push_back(std::move(E));
   }
+  AT.Entries = std::move(Kept);
 }
 
-void Env::clearAliases(const RefPath &Ref) {
-  auto It = Aliases.find(Ref);
-  if (It == Aliases.end())
-    return;
-  for (const RefPath &Other : It->second) {
-    auto OtherIt = Aliases.find(Other);
-    if (OtherIt != Aliases.end()) {
-      OtherIt->second.erase(Ref);
-      if (OtherIt->second.empty())
-        Aliases.erase(OtherIt);
-    }
+//===----------------------------------------------------------------------===//
+// Aliases
+//===----------------------------------------------------------------------===//
+
+const Env::AliasList *Env::findAliasList(RefId Id) const {
+  if (!Aliases || Id == InvalidRefId)
+    return nullptr;
+  const auto &E = Aliases->Entries;
+  auto It = std::lower_bound(
+      E.begin(), E.end(), Id,
+      [](const AliasEntry &A, RefId B) { return A.Id < B; });
+  if (It == E.end() || It->Id != Id)
+    return nullptr;
+  return &It->List;
+}
+
+void Env::addAliasId(RefId Id, RefId Alias) {
+  if (const AliasList *Existing = findAliasList(Id))
+    if (Existing->contains(Alias))
+      return;
+  AliasTable &AT = mutAliases();
+  auto It = std::lower_bound(
+      AT.Entries.begin(), AT.Entries.end(), Id,
+      [](const AliasEntry &A, RefId B) { return A.Id < B; });
+  if (It == AT.Entries.end() || It->Id != Id) {
+    AliasEntry E;
+    E.Id = Id;
+    It = AT.Entries.insert(It, std::move(E));
   }
-  Aliases.erase(It);
+  // Keep each list ordered by RefPath so alias iteration matches the order
+  // the previous std::set-based representation emitted diagnostics in.
+  AliasList &L = It->List;
+  const RefPath &AP = Interner->path(Alias);
+  size_t Pos = 0;
+  while (Pos < L.size() && Interner->path(L.at(Pos)) < AP)
+    ++Pos;
+  L.insertAt(Pos, Alias);
 }
 
 void Env::addAlias(const RefPath &A, const RefPath &B) {
   if (A == B)
     return;
-  Aliases[A].insert(B);
-  Aliases[B].insert(A);
+  bind();
+  RefId IA = Interner->intern(A);
+  RefId IB = Interner->intern(B);
+  addAliasId(IA, IB);
+  addAliasId(IB, IA);
 }
 
-std::set<RefPath> Env::aliasesOf(const RefPath &Ref) const {
-  auto It = Aliases.find(Ref);
-  if (It == Aliases.end())
+void Env::clearAliases(const RefPath &Ref) {
+  if (!Interner || !Aliases)
+    return;
+  RefId Id = Interner->lookup(Ref);
+  const AliasList *L = findAliasList(Id);
+  if (!L)
+    return;
+  std::vector<RefId> Others;
+  Others.reserve(L->size());
+  for (size_t I = 0, N = L->size(); I < N; ++I)
+    Others.push_back(L->at(I));
+  AliasTable &AT = mutAliases();
+  auto Find = [&AT](RefId K) {
+    return std::lower_bound(
+        AT.Entries.begin(), AT.Entries.end(), K,
+        [](const AliasEntry &A, RefId B) { return A.Id < B; });
+  };
+  for (RefId O : Others) {
+    auto It = Find(O);
+    if (It == AT.Entries.end() || It->Id != O)
+      continue;
+    It->List.remove(Id);
+    if (It->List.empty())
+      AT.Entries.erase(It);
+  }
+  auto It = Find(Id);
+  if (It != AT.Entries.end() && It->Id == Id)
+    AT.Entries.erase(It);
+}
+
+Env::AliasView Env::aliasesOf(const RefPath &Ref) const {
+  if (!Interner)
     return {};
-  return It->second;
+  return AliasView(findAliasList(Interner->lookup(Ref)), Interner.get());
 }
 
 std::vector<RefPath> Env::expansions(const RefPath &Ref,
@@ -89,24 +272,113 @@ std::vector<RefPath> Env::expansions(const RefPath &Ref,
   // Substitute each aliased prefix once. One substitution round suffices for
   // the paper's model (aliases are discovered within a single loop
   // "iteration"); deeper chains are cut off by MaxDepth anyway.
-  RefPath Prefix(Ref.rootKind(), Ref.root());
-  std::vector<RefPath> Prefixes;
-  Prefixes.push_back(Prefix);
-  for (const PathElem &E : Ref.elems()) {
-    Prefix = Prefix.child(E);
-    Prefixes.push_back(Prefix);
-  }
-  for (const RefPath &P : Prefixes) {
-    auto It = Aliases.find(P);
-    if (It == Aliases.end())
-      continue;
-    for (const RefPath &Alias : It->second) {
-      RefPath Rewritten = Ref.withPrefixReplaced(P, Alias);
-      if (Rewritten.depth() <= MaxDepth)
-        Seen.insert(std::move(Rewritten));
+  //
+  // Only interned prefixes can carry aliases (addAlias interns both sides),
+  // so walk the interned prefix chain instead of materializing prefix paths.
+  if (Interner && Aliases && !Aliases->Entries.empty()) {
+    std::vector<RefId> Prefixes;
+    RefId P = Interner->rootLookup(Ref.rootKind(), Ref.root());
+    if (P != InvalidRefId) {
+      Prefixes.push_back(P);
+      for (const PathElem &E : Ref.elems()) {
+        P = Interner->childLookup(P, E);
+        if (P == InvalidRefId)
+          break;
+        Prefixes.push_back(P);
+      }
+    }
+    for (RefId PId : Prefixes) {
+      const AliasList *L = findAliasList(PId);
+      if (!L)
+        continue;
+      const RefPath &Prefix = Interner->path(PId);
+      for (size_t I = 0, N = L->size(); I < N; ++I) {
+        const RefPath &Alias = Interner->path(L->at(I));
+        RefPath Rewritten = Ref.withPrefixReplaced(Prefix, Alias);
+        if (MaxDepth == 0 || Rewritten.depth() <= MaxDepth)
+          Seen.insert(std::move(Rewritten));
+      }
     }
   }
   return std::vector<RefPath>(Seen.begin(), Seen.end());
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshots
+//===----------------------------------------------------------------------===//
+
+std::vector<std::pair<const RefPath *, const SVal *>> Env::items() const {
+  std::vector<std::pair<const RefPath *, const SVal *>> Out;
+  if (!Values || !Values->Count)
+    return Out;
+  Out.reserve(Values->Count);
+  for (size_t CI = 0, NC = Values->Chunks.size(); CI < NC; ++CI) {
+    const Chunk *C = Values->Chunks[CI].get();
+    if (!C || !C->Occupied)
+      continue;
+    for (size_t SI = 0; SI < ChunkSize; ++SI)
+      if (C->Occupied >> SI & 1)
+        Out.emplace_back(
+            &Interner->path(static_cast<RefId>(CI * ChunkSize + SI)),
+            &C->Slots[SI]);
+  }
+  // Diagnostics iterate tracked refs in RefPath order (the old std::map
+  // order); ids are assigned in first-intern order, so sort.
+  std::sort(Out.begin(), Out.end(),
+            [](const auto &A, const auto &B) { return *A.first < *B.first; });
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Merge
+//===----------------------------------------------------------------------===//
+
+void Env::mergeSlot(RefId Id, const SVal &Ours, const SVal &Theirs,
+                    std::vector<Conflict> &Conflicts) {
+  // A definitely-null pointer denotes no storage: it cannot disagree
+  // about release obligations or deadness (the "if (p != NULL) free(p)"
+  // idiom merges cleanly).
+  AllocState OursAlloc = Ours.Alloc;
+  AllocState TheirsAlloc = Theirs.Alloc;
+  DefState OursDef = Ours.Def;
+  DefState TheirsDef = Theirs.Def;
+  if (Ours.Null == NullState::DefinitelyNull) {
+    OursAlloc = AllocState::Null;
+    if (TheirsDef == DefState::Dead)
+      OursDef = DefState::Dead;
+  }
+  if (Theirs.Null == NullState::DefinitelyNull) {
+    TheirsAlloc = AllocState::Null;
+    if (OursDef == DefState::Dead)
+      TheirsDef = DefState::Dead;
+  }
+
+  bool DefConflict = false, AllocConflict = false;
+  SVal Merged;
+  Merged.Def = mergeDef(OursDef, TheirsDef, DefConflict);
+  Merged.Null = mergeNull(Ours.Null, Theirs.Null);
+  Merged.Alloc = mergeAlloc(OursAlloc, TheirsAlloc, AllocConflict);
+
+  // Keep the provenance from whichever side carries the interesting state.
+  Merged.NullLoc =
+      Ours.mayBeNull() ? Ours.NullLoc
+                       : (Theirs.mayBeNull() ? Theirs.NullLoc : Ours.NullLoc);
+  Merged.AllocLoc = Ours.AllocLoc.isValid() ? Ours.AllocLoc : Theirs.AllocLoc;
+  Merged.FreeLoc = Ours.FreeLoc.isValid() ? Ours.FreeLoc : Theirs.FreeLoc;
+  Merged.DefLoc = Ours.Def != DefState::Defined ? Ours.DefLoc : Theirs.DefLoc;
+
+  if (DefConflict || AllocConflict) {
+    Conflict C;
+    C.Ref = Interner->path(Id);
+    C.DefConflict = DefConflict;
+    C.AllocConflict = AllocConflict;
+    C.Ours = Ours;
+    C.Theirs = Theirs;
+    Conflicts.push_back(std::move(C));
+  }
+  if (Stats)
+    ++Stats->MergedSlots;
+  setId(Id, std::move(Merged));
 }
 
 std::vector<Env::Conflict> Env::mergeFrom(const Env &Other,
@@ -119,68 +391,93 @@ std::vector<Env::Conflict> Env::mergeFrom(const Env &Other,
     return Conflicts;
   }
 
-  // Union of keys.
-  std::set<RefPath> Keys;
-  for (const auto &KV : Values)
-    Keys.insert(KV.first);
-  for (const auto &KV : Other.Values)
-    Keys.insert(KV.first);
+  // A default-constructed env adopts the interner of the first bound env
+  // merged into it (the switch-result pattern).
+  if (!Interner && Other.Interner)
+    Interner = Other.Interner;
 
-  for (const RefPath &Ref : Keys) {
-    SVal Ours = lookup(Ref, Default);
-    SVal Theirs = Other.lookup(Ref, Default);
-
-    // A definitely-null pointer denotes no storage: it cannot disagree
-    // about release obligations or deadness (the "if (p != NULL) free(p)"
-    // idiom merges cleanly).
-    AllocState OursAlloc = Ours.Alloc;
-    AllocState TheirsAlloc = Theirs.Alloc;
-    DefState OursDef = Ours.Def;
-    DefState TheirsDef = Theirs.Def;
-    if (Ours.Null == NullState::DefinitelyNull) {
-      OursAlloc = AllocState::Null;
-      if (TheirsDef == DefState::Dead)
-        OursDef = DefState::Dead;
-    }
-    if (Theirs.Null == NullState::DefinitelyNull) {
-      TheirsAlloc = AllocState::Null;
-      if (OursDef == DefState::Dead)
-        TheirsDef = DefState::Dead;
-    }
-
-    bool DefConflict = false, AllocConflict = false;
-    SVal Merged;
-    Merged.Def = mergeDef(OursDef, TheirsDef, DefConflict);
-    Merged.Null = mergeNull(Ours.Null, Theirs.Null);
-    Merged.Alloc = mergeAlloc(OursAlloc, TheirsAlloc, AllocConflict);
-
-    // Keep the provenance from whichever side carries the interesting state.
-    Merged.NullLoc =
-        Ours.mayBeNull() ? Ours.NullLoc
-                         : (Theirs.mayBeNull() ? Theirs.NullLoc : Ours.NullLoc);
-    Merged.AllocLoc =
-        Ours.AllocLoc.isValid() ? Ours.AllocLoc : Theirs.AllocLoc;
-    Merged.FreeLoc = Ours.FreeLoc.isValid() ? Ours.FreeLoc : Theirs.FreeLoc;
-    Merged.DefLoc =
-        Ours.Def != DefState::Defined ? Ours.DefLoc : Theirs.DefLoc;
-
-    if (DefConflict || AllocConflict) {
-      Conflict C;
-      C.Ref = Ref;
-      C.DefConflict = DefConflict;
-      C.AllocConflict = AllocConflict;
-      C.Ours = Ours;
-      C.Theirs = Theirs;
-      Conflicts.push_back(std::move(C));
-    }
-    Values[Ref] = std::move(Merged);
+  // Envs from different interners cannot share ids; re-intern the other
+  // side into ours and merge that. Robustness path: the checker always
+  // shares one interner per function, so this never triggers in analysis.
+  if (Other.Interner && Interner != Other.Interner) {
+    Env Tmp(Interner, MaxExpand, Stats);
+    for (const auto &KV : Other.items())
+      Tmp.set(*KV.first, *KV.second);
+    if (Other.Aliases)
+      for (const AliasEntry &E : Other.Aliases->Entries)
+        for (size_t I = 0, N = E.List.size(); I < N; ++I)
+          Tmp.addAlias(Other.Interner->path(E.Id),
+                       Other.Interner->path(E.List.at(I)));
+    return mergeFrom(Tmp, Default);
   }
+
+  if (Stats)
+    ++Stats->Merges;
+
+  size_t NChunks =
+      std::max(Values ? Values->Chunks.size() : 0,
+               Other.Values ? Other.Values->Chunks.size() : 0);
+  for (size_t CI = 0; CI < NChunks; ++CI) {
+    // Hold both chunks alive: writes below may swap ours out of the table.
+    std::shared_ptr<const Chunk> OurC =
+        Values && CI < Values->Chunks.size() ? Values->Chunks[CI] : nullptr;
+    std::shared_ptr<const Chunk> TheirC =
+        Other.Values && CI < Other.Values->Chunks.size()
+            ? Other.Values->Chunks[CI]
+            : nullptr;
+
+    if (OurC == TheirC) {
+      // Same chunk on both sides: merge(v, v) is the identity for every
+      // slot except definitely-null values, whose normalization erases a
+      // leftover allocation state. Skip the chunk wholesale otherwise.
+      if (!OurC)
+        continue;
+      uint16_t Mask = OurC->Occupied & OurC->DefNull;
+      if (!Mask) {
+        if (Stats)
+          ++Stats->SkippedChunks;
+        continue;
+      }
+      for (size_t SI = 0; SI < ChunkSize; ++SI) {
+        if (!(Mask >> SI & 1))
+          continue;
+        const SVal &V = OurC->Slots[SI];
+        // Already normalized: merge(v, v) == v, and no conflict is
+        // possible (mergeAlloc(Null, Null) / mergeDef(d, d) are clean).
+        if (V.Alloc == AllocState::Null)
+          continue;
+        mergeSlot(static_cast<RefId>(CI * ChunkSize + SI), V, V, Conflicts);
+      }
+      continue;
+    }
+
+    uint16_t Occ = (OurC ? OurC->Occupied : 0) | (TheirC ? TheirC->Occupied : 0);
+    for (size_t SI = 0; SI < ChunkSize; ++SI) {
+      if (!(Occ >> SI & 1))
+        continue;
+      RefId Id = static_cast<RefId>(CI * ChunkSize + SI);
+      const RefPath &Ref = Interner->path(Id);
+      SVal Ours = OurC && (OurC->Occupied >> SI & 1) ? OurC->Slots[SI]
+                                                     : Default(Ref);
+      SVal Theirs = TheirC && (TheirC->Occupied >> SI & 1) ? TheirC->Slots[SI]
+                                                           : Default(Ref);
+      mergeSlot(Id, Ours, Theirs, Conflicts);
+    }
+  }
+
+  // The old representation discovered conflicts in std::map (RefPath)
+  // order; chunk order is first-intern order, so sort for identical
+  // diagnostic sequences.
+  std::stable_sort(
+      Conflicts.begin(), Conflicts.end(),
+      [](const Conflict &A, const Conflict &B) { return A.Ref < B.Ref; });
 
   // "The possible aliases at confluence points is the union of the possible
   // aliases on each branch."
-  for (const auto &KV : Other.Aliases)
-    for (const RefPath &Alias : KV.second)
-      Aliases[KV.first].insert(Alias);
+  if (Other.Aliases && Aliases != Other.Aliases)
+    for (const AliasEntry &E : Other.Aliases->Entries)
+      for (size_t I = 0, N = E.List.size(); I < N; ++I)
+        addAliasId(E.Id, E.List.at(I));
 
   return Conflicts;
 }

@@ -11,20 +11,50 @@
 /// aliases on each branch" (§5); values merge per the storage model's rules
 /// with conflicts surfaced to the caller for reporting.
 ///
+/// Representation: the analysis forks the environment at every predicate
+/// ("any predicate may be true or false", §2), so `Env B = A;` is the
+/// hottest operation in the checker. Values are keyed by interned RefIds
+/// (see RefInterner.h) and stored in a copy-on-write chunked table: the env
+/// holds one shared_ptr to an immutable table of shared chunk pointers, so
+/// a split is two reference-count bumps and a write after a split clones
+/// only the table spine and the one touched chunk. mergeFrom exploits the
+/// sharing: a chunk with the same identity on both sides merges to itself
+/// and is skipped wholesale (modulo definitely-null normalization, which
+/// the merge rules apply even to identical values). The alias relation is
+/// a small COW table whose per-reference alias lists store up to two ids
+/// inline — the common case — before spilling to the heap.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MEMLINT_ANALYSIS_ENV_H
 #define MEMLINT_ANALYSIS_ENV_H
 
+#include "analysis/RefInterner.h"
 #include "analysis/RefPath.h"
 #include "analysis/StorageModel.h"
 
 #include <functional>
-#include <map>
-#include <set>
+#include <memory>
 #include <vector>
 
 namespace memlint {
+
+/// Opt-in (-stats) observability counters for the environment hot path.
+/// One instance is shared by every Env forked from a FunctionChecker run;
+/// byte figures are estimates (payload slots, not allocator overhead).
+struct EnvStats {
+  unsigned long long Copies = 0;       ///< environment copies (splits)
+  unsigned long long TableClones = 0;  ///< value-table spines cloned
+  unsigned long long ChunkClones = 0;  ///< value chunks cloned for writing
+  unsigned long long AliasClones = 0;  ///< alias tables cloned for writing
+  unsigned long long BytesShared = 0;  ///< slot bytes shared instead of copied
+  unsigned long long BytesCopied = 0;  ///< slot bytes actually copied
+  unsigned long long Lookups = 0;      ///< value lookups
+  unsigned long long Writes = 0;       ///< value writes
+  unsigned long long Merges = 0;       ///< mergeFrom calls that did work
+  unsigned long long MergedSlots = 0;  ///< slots merged value-by-value
+  unsigned long long SkippedChunks = 0;///< shared chunks skipped at merges
+};
 
 /// The abstract state at one program point.
 class Env {
@@ -33,18 +63,55 @@ public:
   /// written yet (computed from declarations and annotations).
   using DefaultFn = std::function<SVal(const RefPath &)>;
 
+  /// An unbound environment: it adopts an interner lazily on first write
+  /// (or from the first bound environment merged into it).
+  Env() = default;
+
+  /// An environment bound to \p Interner. Every env that takes part in one
+  /// function's analysis must share the function's interner. \p ExpandDepth
+  /// bounds alias-expansion path length (0 = unlimited); \p Stats, when
+  /// non-null, receives hot-path counters.
+  explicit Env(std::shared_ptr<RefInterner> Interner,
+               unsigned ExpandDepth = 6, EnvStats *Stats = nullptr)
+      : Interner(std::move(Interner)), MaxExpand(ExpandDepth), Stats(Stats) {}
+
+  Env(const Env &Other)
+      : Interner(Other.Interner), Values(Other.Values),
+        Aliases(Other.Aliases), Unreachable(Other.Unreachable),
+        MaxExpand(Other.MaxExpand), Stats(Other.Stats) {
+    noteCopy();
+  }
+  Env &operator=(const Env &Other) {
+    if (this != &Other) {
+      Interner = Other.Interner;
+      Values = Other.Values;
+      Aliases = Other.Aliases;
+      Unreachable = Other.Unreachable;
+      MaxExpand = Other.MaxExpand;
+      Stats = Other.Stats;
+      noteCopy();
+    }
+    return *this;
+  }
+  Env(Env &&) = default;
+  Env &operator=(Env &&) = default;
+
+  /// The interner this environment is bound to (null until first use).
+  const std::shared_ptr<RefInterner> &interner() const { return Interner; }
+
   /// True when this point cannot be reached (after return / exit()).
   bool isUnreachable() const { return Unreachable; }
   void setUnreachable(bool V = true) { Unreachable = V; }
 
-  /// \returns the tracked value, or null if untracked.
+  /// \returns the tracked value, or null if untracked. The pointer stays
+  /// valid until this environment is next mutated.
   const SVal *find(const RefPath &Ref) const;
 
   /// Looks up a value, materializing the default when untracked.
   SVal lookup(const RefPath &Ref, const DefaultFn &Default) const;
 
   /// Strong update of one reference.
-  void set(const RefPath &Ref, SVal Val) { Values[Ref] = std::move(Val); }
+  void set(const RefPath &Ref, SVal Val);
 
   /// Removes tracked entries that are strict descendants of \p Ref (used
   /// when the reference is bound to new storage).
@@ -61,17 +128,124 @@ public:
   /// Records that \p A and \p B may denote the same storage.
   void addAlias(const RefPath &A, const RefPath &B);
 
-  /// Direct may-aliases of \p Ref.
-  std::set<RefPath> aliasesOf(const RefPath &Ref) const;
+  /// A compact alias list: most references have zero, one or two aliases,
+  /// which live inline; larger sets spill to the heap.
+  class AliasList {
+  public:
+    size_t size() const { return N; }
+    bool empty() const { return N == 0; }
+    RefId at(size_t I) const {
+      return I < InlineCap ? Inline[I] : Spill[I - InlineCap];
+    }
+    bool contains(RefId Id) const {
+      for (size_t I = 0; I < N; ++I)
+        if (at(I) == Id)
+          return true;
+      return false;
+    }
+    void add(RefId Id) {
+      if (contains(Id))
+        return;
+      if (N < InlineCap)
+        Inline[N] = Id;
+      else
+        Spill.push_back(Id);
+      ++N;
+    }
+    /// Inserts \p Id at position \p I, shifting the tail up. The caller
+    /// guarantees \p Id is not already present.
+    void insertAt(size_t I, RefId Id) {
+      if (N >= InlineCap)
+        Spill.push_back(InvalidRefId);
+      ++N;
+      for (size_t J = N - 1; J > I; --J)
+        setAt(J, at(J - 1));
+      setAt(I, Id);
+    }
+    void remove(RefId Id) {
+      for (size_t I = 0; I < N; ++I) {
+        if (at(I) != Id)
+          continue;
+        // Keep order: shift the tail down one slot.
+        for (size_t J = I + 1; J < N; ++J)
+          setAt(J - 1, at(J));
+        --N;
+        if (Spill.size() > (N > InlineCap ? N - InlineCap : 0))
+          Spill.pop_back();
+        return;
+      }
+    }
+
+  private:
+    void setAt(size_t I, RefId Id) {
+      if (I < InlineCap)
+        Inline[I] = Id;
+      else
+        Spill[I - InlineCap] = Id;
+    }
+    static constexpr size_t InlineCap = 2;
+    RefId Inline[InlineCap] = {InvalidRefId, InvalidRefId};
+    std::vector<RefId> Spill;
+    size_t N = 0;
+  };
+
+  /// A read-only view over the direct may-aliases of one reference,
+  /// iterable as RefPaths. Valid until the environment is next mutated.
+  class AliasView {
+  public:
+    AliasView() = default;
+    AliasView(const AliasList *L, const RefInterner *I) : L(L), I(I) {}
+
+    class iterator {
+    public:
+      iterator(const AliasView *V, size_t Idx) : V(V), Idx(Idx) {}
+      const RefPath &operator*() const { return V->I->path(V->L->at(Idx)); }
+      iterator &operator++() {
+        ++Idx;
+        return *this;
+      }
+      bool operator!=(const iterator &O) const { return Idx != O.Idx; }
+
+    private:
+      const AliasView *V;
+      size_t Idx;
+    };
+
+    iterator begin() const { return iterator(this, 0); }
+    iterator end() const { return iterator(this, L ? L->size() : 0); }
+    size_t size() const { return L ? L->size() : 0; }
+    bool empty() const { return size() == 0; }
+    bool contains(const RefPath &Ref) const {
+      if (!L || !I)
+        return false;
+      RefId Id = I->lookup(Ref);
+      return Id != InvalidRefId && L->contains(Id);
+    }
+
+  private:
+    const AliasList *L = nullptr;
+    const RefInterner *I = nullptr;
+  };
+
+  /// Direct may-aliases of \p Ref, as a non-owning view (no per-call set
+  /// copy). The view is invalidated by the next mutation of this env.
+  AliasView aliasesOf(const RefPath &Ref) const;
 
   /// All rewrites of \p Ref obtained by substituting an aliased prefix
-  /// (always includes \p Ref itself). Bounded by \p MaxDepth path length.
-  std::vector<RefPath> expansions(const RefPath &Ref,
-                                  size_t MaxDepth = 6) const;
+  /// (always includes \p Ref itself), sorted in RefPath order. Bounded by
+  /// the environment's expansion depth (0 = unlimited).
+  std::vector<RefPath> expansions(const RefPath &Ref) const {
+    return expansions(Ref, MaxExpand);
+  }
+  std::vector<RefPath> expansions(const RefPath &Ref, size_t MaxDepth) const;
 
-  /// All currently tracked references (sorted by RefPath ordering).
-  const std::map<RefPath, SVal> &values() const { return Values; }
-  std::map<RefPath, SVal> &values() { return Values; }
+  /// Number of tracked references.
+  size_t size() const { return Values ? Values->Count : 0; }
+
+  /// Snapshot of all tracked references with their values, sorted by
+  /// RefPath ordering (the stable order diagnostics are emitted in). The
+  /// pointers stay valid until this environment is next mutated.
+  std::vector<std::pair<const RefPath *, const SVal *>> items() const;
 
   /// A merge conflict the caller should report as a confluence anomaly.
   struct Conflict {
@@ -84,13 +258,69 @@ public:
 
   /// Merges \p Other into this environment (confluence point). \p Default
   /// supplies values for references tracked on only one side.
-  /// \returns the conflicts discovered.
+  /// \returns the conflicts discovered, in RefPath order.
   std::vector<Conflict> mergeFrom(const Env &Other, const DefaultFn &Default);
 
 private:
-  std::map<RefPath, SVal> Values;
-  std::map<RefPath, std::set<RefPath>> Aliases;
+  static constexpr size_t ChunkSize = 16;
+
+  struct Chunk {
+    uint16_t Occupied = 0; ///< bit i set: Slots[i] holds a tracked value
+    /// Bit i set: Slots[i].Null == DefinitelyNull. Merging a definitely-
+    /// null value with itself is not the identity (the merge rules erase
+    /// its obligation), so shared chunks with this mask non-zero cannot be
+    /// skipped wholesale at confluences.
+    uint16_t DefNull = 0;
+    SVal Slots[ChunkSize];
+  };
+
+  struct Table {
+    std::vector<std::shared_ptr<const Chunk>> Chunks;
+    size_t Count = 0; ///< occupied slots across all chunks
+  };
+
+  struct AliasEntry {
+    RefId Id = InvalidRefId;
+    AliasList List;
+  };
+  struct AliasTable {
+    std::vector<AliasEntry> Entries; ///< sorted by Id
+  };
+
+  void noteCopy() const {
+    if (Stats) {
+      ++Stats->Copies;
+      Stats->BytesShared += (Values ? Values->Count : 0) * sizeof(SVal);
+    }
+  }
+  /// Binds a fresh interner if the env is still unbound.
+  void bind() {
+    if (!Interner)
+      Interner = std::make_shared<RefInterner>();
+  }
+
+  const SVal *findId(RefId Id) const;
+  void setId(RefId Id, SVal Val);
+  void eraseId(RefId Id);
+
+  Table &mutValues();
+  Chunk &mutChunk(Table &T, size_t ChunkIdx);
+  AliasTable &mutAliases();
+
+  const AliasList *findAliasList(RefId Id) const;
+  /// Inserts \p Alias into \p Id's list (one direction only).
+  void addAliasId(RefId Id, RefId Alias);
+
+  /// Merges one slot per the storage-model rules; appends to \p Conflicts.
+  void mergeSlot(RefId Id, const SVal &OursIn, const SVal &TheirsIn,
+                 std::vector<Conflict> &Conflicts);
+
+  std::shared_ptr<RefInterner> Interner;
+  std::shared_ptr<const Table> Values;
+  std::shared_ptr<const AliasTable> Aliases;
   bool Unreachable = false;
+  unsigned MaxExpand = 6;
+  EnvStats *Stats = nullptr;
 };
 
 } // namespace memlint

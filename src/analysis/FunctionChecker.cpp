@@ -432,8 +432,10 @@ void FunctionChecker::checkFunction(const FunctionDecl *FD) {
   StmtCount = SplitCount = EvalDepth = 0;
   StmtNoticed = SplitNoticed = DepthNoticed = false;
   DefaultFn_ = [this](const RefPath &Ref) { return defaultFor(Ref); };
+  Interner_ = std::make_shared<RefInterner>();
+  EnvStats_ = EnvStats();
 
-  Env S;
+  Env S = makeEnv();
   // Parameters: annotations assumed true at entry; pointer parameters get a
   // caller-visible mirror the local initially aliases (the paper's argl).
   for (const ParmVarDecl *P : FD->params()) {
@@ -458,7 +460,26 @@ void FunctionChecker::checkFunction(const FunctionDecl *FD) {
   // Fall-off-the-end exit point.
   if (!S.isUnreachable())
     checkExitPoint(S, FD->body()->endLoc());
+  if (Flags.get("stats"))
+    emitStats(FD);
   CurFn = nullptr;
+}
+
+void FunctionChecker::emitStats(const FunctionDecl *FD) {
+  const EnvStats &ES = EnvStats_;
+  auto N = [](unsigned long long V) { return std::to_string(V); };
+  Diags.report(
+      CheckId::ParseError, FD->loc(),
+      "stats for function '" + FD->name() + "': env copies " + N(ES.Copies) +
+          ", splits " + N(SplitCount) + ", lookups " + N(ES.Lookups) +
+          ", writes " + N(ES.Writes) + ", merges " + N(ES.Merges) +
+          " (slots " + N(ES.MergedSlots) + ", chunks skipped " +
+          N(ES.SkippedChunks) + "), bytes shared " + N(ES.BytesShared) +
+          " vs copied " + N(ES.BytesCopied) + " (tables cloned " +
+          N(ES.TableClones) + ", chunks " + N(ES.ChunkClones) +
+          ", alias tables " + N(ES.AliasClones) + "), interned refs " +
+          N(Interner_ ? Interner_->size() : 0),
+      Severity::Note);
 }
 
 //===----------------------------------------------------------------------===//
@@ -735,14 +756,14 @@ void FunctionChecker::execSwitch(const SwitchStmt *SS, Env &S) {
     return;
 
   Env Base = S;
-  Env Result;
+  Env Result = makeEnv();
   Result.setUnreachable();
 
   LoopContext Ctx;
   Ctx.IsSwitch = true;
   Loops.push_back(&Ctx);
 
-  Env Fallthrough;
+  Env Fallthrough = makeEnv();
   Fallthrough.setUnreachable();
   for (const SwitchStmt::CaseSection &Section : SS->sections()) {
     Env SectionEnv = Base;
@@ -790,11 +811,11 @@ void FunctionChecker::execReturn(const ReturnStmt *RS, Env &S) {
 
     // Null storage derivable from the returned reference (Figure 7).
     if (R.Ref && checkEnabled(CheckId::NullReturn)) {
-      for (const auto &KV : S.values()) {
-        const RefPath &Tracked = KV.first;
+      for (const auto &KV : S.items()) {
+        const RefPath &Tracked = *KV.first;
         if (Tracked == *R.Ref || !Tracked.hasPrefix(*R.Ref))
           continue;
-        if (!KV.second.mayBeNull())
+        if (!KV.second->mayBeNull())
           continue;
         Annotations ChildAnnots = annotationsFor(Tracked);
         if (ChildAnnots.Null != NullAnn::Unspecified)
@@ -803,7 +824,7 @@ void FunctionChecker::execReturn(const ReturnStmt *RS, Env &S) {
             .report(CheckId::NullReturn, RS->loc(),
                     "Null storage " + Tracked.str() +
                         " derivable from return value: " + ValueText)
-            .note(KV.second.NullLoc,
+            .note(KV.second->NullLoc,
                   "Storage " + Tracked.str() + " becomes null");
       }
     }
@@ -811,12 +832,12 @@ void FunctionChecker::execReturn(const ReturnStmt *RS, Env &S) {
     // Completeness of the returned storage.
     if (R.Ref && RA.Def != DefAnn::Out && RA.Def != DefAnn::Partial &&
         RA.Def != DefAnn::RelDef && checkEnabled(CheckId::CompleteDefine)) {
-      for (const auto &KV : S.values()) {
-        const RefPath &Tracked = KV.first;
+      for (const auto &KV : S.items()) {
+        const RefPath &Tracked = *KV.first;
         if (Tracked == *R.Ref || !Tracked.hasPrefix(*R.Ref))
           continue;
-        if (KV.second.Def != DefState::Undefined &&
-            KV.second.Def != DefState::Allocated)
+        if (KV.second->Def != DefState::Undefined &&
+            KV.second->Def != DefState::Allocated)
           continue;
         if (hasUndefinedAncestor(S, Tracked))
           continue;
@@ -934,11 +955,11 @@ void FunctionChecker::checkExitPoint(Env &S, const SourceLocation &Loc) {
     }
 
     // Tracked undefined/null children of annotated-complete globals.
-    for (const auto &KV : S.values()) {
-      const RefPath &Tracked = KV.first;
+    for (const auto &KV : S.items()) {
+      const RefPath &Tracked = *KV.first;
       if (Tracked == Ref || !Tracked.hasPrefix(Ref))
         continue;
-      const SVal &TV = KV.second;
+      const SVal &TV = *KV.second;
       Annotations ChildAnnots = annotationsFor(Tracked);
       if ((TV.Def == DefState::Undefined || TV.Def == DefState::Allocated) &&
           !hasUndefinedAncestor(S, Tracked) &&
@@ -976,11 +997,11 @@ void FunctionChecker::checkExitPoint(Env &S, const SourceLocation &Loc) {
       }
       if (MirrorVal.Def != DefState::Dead &&
           MirrorVal.Def != DefState::Error) {
-        for (const auto &KV : S.values()) {
-          const RefPath &Tracked = KV.first;
+        for (const auto &KV : S.items()) {
+          const RefPath &Tracked = *KV.first;
           if (Tracked == Mirror || !Tracked.hasPrefix(Mirror))
             continue;
-          const SVal &TV = KV.second;
+          const SVal &TV = *KV.second;
           if (TV.Def != DefState::Undefined &&
               TV.Def != DefState::Allocated)
             continue;
@@ -1780,12 +1801,12 @@ void FunctionChecker::checkCallArg(Env &S, EvalResult &Arg,
         writeRef(S, *Arg.Ref, Val, /*Strong=*/false);
       }
     } else if (Arg.Ref && Arg.Val.Def == DefState::PartiallyDefined) {
-      for (const auto &KV : S.values()) {
-        const RefPath &Tracked = KV.first;
+      for (const auto &KV : S.items()) {
+        const RefPath &Tracked = *KV.first;
         if (Tracked == *Arg.Ref || !Tracked.hasPrefix(*Arg.Ref))
           continue;
-        if (KV.second.Def != DefState::Undefined &&
-            KV.second.Def != DefState::Allocated)
+        if (KV.second->Def != DefState::Undefined &&
+            KV.second->Def != DefState::Allocated)
           continue;
         if (hasUndefinedAncestor(S, Tracked))
           continue;
@@ -1895,12 +1916,12 @@ void FunctionChecker::checkCallArg(Env &S, EvalResult &Arg,
     if (!GCMode && Arg.Ref && PA.Def == DefAnn::Out &&
         Parm->type().isPointer() && Parm->type().pointee().isVoid() &&
         checkEnabled(CheckId::MustFree)) {
-      for (const auto &KV : S.values()) {
-        const RefPath &Tracked = KV.first;
+      for (const auto &KV : S.items()) {
+        const RefPath &Tracked = *KV.first;
         if (Tracked == *Arg.Ref || !Tracked.hasPrefix(*Arg.Ref))
           continue;
-        if (!holdsObligation(KV.second.Alloc) ||
-            KV.second.Def == DefState::Dead)
+        if (!holdsObligation(KV.second->Alloc) ||
+            KV.second->Def == DefState::Dead)
           continue;
         Diags.report(CheckId::MustFree, ArgExpr->loc(),
                      "Only storage " + Tracked.str() +

@@ -50,7 +50,9 @@ public:
                   DiagnosticEngine &Diags, BudgetState *Budget = nullptr)
       : TU(TU), Flags(Flags), Diags(Diags), Budget(Budget),
         MaxEvalDepth(Budget ? Budget->budget().MaxNestingDepth
-                            : ResourceBudget().MaxNestingDepth) {}
+                            : ResourceBudget().MaxNestingDepth),
+        RefDepth(Budget ? Budget->budget().MaxRefAliasDepth
+                        : ResourceBudget().MaxRefAliasDepth) {}
 
   /// Checks one function definition.
   void checkFunction(const FunctionDecl *FD);
@@ -158,6 +160,15 @@ private:
   void noteBudget(const char *Flag, unsigned Limit, const SourceLocation &Loc,
                   const std::string &What, bool &Noticed);
 
+  //===--- observability ----------------------------------------------------===//
+  /// A fresh environment bound to the current function's interner, alias
+  /// depth limit and (under +stats) counter sink.
+  Env makeEnv() {
+    return Env(Interner_, RefDepth, Flags.get("stats") ? &EnvStats_ : nullptr);
+  }
+  /// Emits the +stats per-function counter block as a note.
+  void emitStats(const FunctionDecl *FD);
+
   //===--- loop / scope bookkeeping ----------------------------------------===//
   struct LoopContext {
     std::vector<Env> Breaks;
@@ -170,6 +181,7 @@ private:
   DiagnosticEngine &Diags;
   BudgetState *Budget = nullptr;
   unsigned MaxEvalDepth = 0;
+  unsigned RefDepth = 6;
 
   // Per-function budget state (reset in checkFunction).
   unsigned StmtCount = 0;
@@ -181,6 +193,10 @@ private:
 
   // Per-function state.
   const FunctionDecl *CurFn = nullptr;
+  /// One interner per checked function: every Env forked during the
+  /// function's analysis shares it, making env copies pointer bumps.
+  std::shared_ptr<RefInterner> Interner_;
+  EnvStats EnvStats_; ///< +stats counters for the current function
   std::set<const VarDecl *> GlobalsUsed;
   std::vector<std::vector<const VarDecl *>> LocalScopes;
   std::vector<LoopContext *> Loops;

@@ -1,0 +1,74 @@
+//===--- RefInterner.cpp - Dense integer ids for reference paths -----------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RefInterner.h"
+
+using namespace memlint;
+
+RefId RefInterner::internRoot(RefPath::RootKind RK, const VarDecl *Root) {
+  auto Key = std::make_pair(static_cast<int>(RK), Root);
+  auto It = Roots.find(Key);
+  if (It != Roots.end())
+    return It->second;
+  RefId Id = static_cast<RefId>(Entries.size());
+  Entry E;
+  E.Path = RefPath(RK, Root);
+  Entries.push_back(std::move(E));
+  Roots.emplace(Key, Id);
+  return Id;
+}
+
+RefId RefInterner::findChild(RefId Parent, const PathElem &Elem) const {
+  for (RefId C = Entries[Parent].FirstChild; C != InvalidRefId;
+       C = Entries[C].NextSibling)
+    if (Entries[C].Elem == Elem)
+      return C;
+  return InvalidRefId;
+}
+
+RefId RefInterner::child(RefId Parent, const PathElem &Elem) {
+  if (RefId C = findChild(Parent, Elem); C != InvalidRefId)
+    return C;
+  RefId Id = static_cast<RefId>(Entries.size());
+  Entry E;
+  E.Path = Entries[Parent].Path.child(Elem);
+  E.Elem = Elem;
+  E.Parent = Parent;
+  E.Depth = Entries[Parent].Depth + 1;
+  E.NextSibling = Entries[Parent].FirstChild;
+  Entries.push_back(std::move(E));
+  Entries[Parent].FirstChild = Id;
+  return Id;
+}
+
+RefId RefInterner::childLookup(RefId Parent, const PathElem &Elem) const {
+  return findChild(Parent, Elem);
+}
+
+RefId RefInterner::intern(const RefPath &Ref) {
+  RefId Id = internRoot(Ref.rootKind(), Ref.root());
+  for (const PathElem &E : Ref.elems())
+    Id = child(Id, E);
+  return Id;
+}
+
+RefId RefInterner::rootLookup(RefPath::RootKind RK,
+                              const VarDecl *Root) const {
+  auto It = Roots.find(std::make_pair(static_cast<int>(RK), Root));
+  return It == Roots.end() ? InvalidRefId : It->second;
+}
+
+RefId RefInterner::lookup(const RefPath &Ref) const {
+  RefId Id = rootLookup(Ref.rootKind(), Ref.root());
+  if (Id == InvalidRefId)
+    return InvalidRefId;
+  for (const PathElem &E : Ref.elems()) {
+    Id = findChild(Id, E);
+    if (Id == InvalidRefId)
+      return InvalidRefId;
+  }
+  return Id;
+}

@@ -1,0 +1,118 @@
+//===--- RefInterner.h - Dense integer ids for reference paths --*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-function interner mapping each RefPath to a dense RefId (uint32).
+/// The interner stores the derivation tree alongside the ids: every entry
+/// records its parent id, its last PathElem, its depth, and intrusive
+/// first-child/next-sibling links. That turns the queries the dataflow hot
+/// path needs — prefix tests, descendant enumeration, parent walks — into
+/// arithmetic over interned structure instead of vector-of-string compares,
+/// and lets Env key its value store by small dense integers so environment
+/// copies can share chunked storage (see Env.h).
+///
+/// Interning a path interns all of its prefixes, so the parent chain of an
+/// interned id is always fully interned. Ids are assigned in first-intern
+/// order and are stable for the interner's lifetime; entry storage is a
+/// deque so `path(Id)` references never move.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_ANALYSIS_REFINTERNER_H
+#define MEMLINT_ANALYSIS_REFINTERNER_H
+
+#include "analysis/RefPath.h"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <utility>
+
+namespace memlint {
+
+/// Dense id of an interned RefPath. Valid ids index the interner's entry
+/// table; InvalidRefId means "never interned".
+using RefId = uint32_t;
+constexpr RefId InvalidRefId = 0xFFFFFFFFu;
+
+/// Interns RefPaths into dense ids, one instance per analyzed function.
+class RefInterner {
+public:
+  /// Interns \p Ref (and all its prefixes). \returns its id.
+  RefId intern(const RefPath &Ref);
+
+  /// \returns the id of \p Ref if it has been interned, else InvalidRefId.
+  /// Never allocates.
+  RefId lookup(const RefPath &Ref) const;
+
+  /// \returns the id of the root reference (depth 0), or InvalidRefId if it
+  /// has never been interned. Never allocates.
+  RefId rootLookup(RefPath::RootKind RK, const VarDecl *Root) const;
+
+  /// \returns the interned child of \p Parent through \p Elem, interning it
+  /// if needed.
+  RefId child(RefId Parent, const PathElem &Elem);
+
+  /// Lookup-only variant of child(); InvalidRefId when not interned.
+  RefId childLookup(RefId Parent, const PathElem &Elem) const;
+
+  /// The full path of an interned id. The reference stays valid for the
+  /// interner's lifetime.
+  const RefPath &path(RefId Id) const { return Entries[Id].Path; }
+
+  /// Parent id, or InvalidRefId for roots.
+  RefId parent(RefId Id) const { return Entries[Id].Parent; }
+
+  unsigned depth(RefId Id) const { return Entries[Id].Depth; }
+
+  /// True if \p Prefix is a proper or improper prefix of \p Id: walks
+  /// \p Id's parent chain down to \p Prefix's depth and compares ids.
+  bool hasPrefix(RefId Id, RefId Prefix) const {
+    unsigned PD = Entries[Prefix].Depth;
+    while (Entries[Id].Depth > PD)
+      Id = Entries[Id].Parent;
+    return Id == Prefix;
+  }
+
+  /// Calls \p Fn(id) for every interned strict descendant of \p Id, in
+  /// derivation-tree preorder.
+  template <typename FnT> void forEachDescendant(RefId Id, FnT Fn) const {
+    walkChildren(Entries[Id].FirstChild, Fn);
+  }
+
+  /// Number of interned paths.
+  size_t size() const { return Entries.size(); }
+
+private:
+  struct Entry {
+    RefPath Path;
+    PathElem Elem;              ///< last derivation (meaningless for roots)
+    RefId Parent = InvalidRefId;
+    RefId FirstChild = InvalidRefId;
+    RefId NextSibling = InvalidRefId;
+    uint32_t Depth = 0;
+  };
+
+  template <typename FnT> void walkChildren(RefId Child, FnT Fn) const {
+    while (Child != InvalidRefId) {
+      Fn(Child);
+      walkChildren(Entries[Child].FirstChild, Fn);
+      Child = Entries[Child].NextSibling;
+    }
+  }
+
+  RefId internRoot(RefPath::RootKind RK, const VarDecl *Root);
+  /// Scans \p Parent's sibling chain for \p Elem; InvalidRefId if absent.
+  RefId findChild(RefId Parent, const PathElem &Elem) const;
+
+  // Deque: path(Id) references must survive growth.
+  std::deque<Entry> Entries;
+  std::map<std::pair<int, const VarDecl *>, RefId> Roots;
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_ANALYSIS_REFINTERNER_H

@@ -31,6 +31,9 @@ const FlagDefault PolicyFlags[] = {
     // offset pointers and static storage"); enabling this flag is that
     // later improvement.
     {"illegalfree", false},
+    // Opt-in (+stats): per-function environment hot-path counters emitted
+    // as notes through the diagnostics engine.
+    {"stats", false},
 };
 
 const CheckId AllCheckIds[] = {

@@ -18,6 +18,8 @@ const std::vector<LimitSpec> &memlint::limitSpecs() {
        "max statements analyzed per function"},
       {"limitsplits", &ResourceBudget::MaxEnvSplitsPerFunction,
        "max environment splits at confluences per function"},
+      {"limitrefdepth", &ResourceBudget::MaxRefAliasDepth,
+       "max alias-expansion path depth in the environment"},
       {"limitclassdiags", &ResourceBudget::MaxDiagsPerClass,
        "max diagnostics kept per check class"},
       {"limitdiags", &ResourceBudget::MaxDiagsTotal,

@@ -52,6 +52,11 @@ struct ResourceBudget {
   /// Environment copies made at control-flow splits per function. Bounds
   /// the state explosion of branch-heavy functions.
   unsigned MaxEnvSplitsPerFunction = 20'000;
+  /// Alias-expansion rewrite depth in the environment: rewrites of a
+  /// reference through aliased prefixes longer than this are dropped
+  /// (Env::expansions). Bounds the blowup of chained alias substitution on
+  /// deeply linked structures.
+  unsigned MaxRefAliasDepth = 6;
   /// Diagnostics kept per check class; beyond this, messages of the class
   /// are counted and summarized in one line (LCLint's message-count
   /// behavior).

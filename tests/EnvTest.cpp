@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 using namespace memlint;
 
 namespace {
@@ -95,6 +98,50 @@ TEST_F(EnvTest, ArgAndVarRootsDistinct) {
   EXPECT_FALSE(VarRoot.hasPrefix(ArgRoot));
 }
 
+//===----------------------------------------------------------------------===//
+// Interner
+//===----------------------------------------------------------------------===//
+
+TEST_F(EnvTest, InternerDenseIdsAndPrefixQueries) {
+  RefInterner I;
+  RefPath Root = RefPath::var(L);
+  RefPath Child = arrow(Root, Next);
+  RefPath GrandChild = arrow(Child, ThisF);
+
+  EXPECT_EQ(I.lookup(Root), InvalidRefId);
+  RefId G = I.intern(GrandChild); // interns all prefixes too
+  RefId R = I.lookup(Root);
+  RefId C = I.lookup(Child);
+  ASSERT_NE(R, InvalidRefId);
+  ASSERT_NE(C, InvalidRefId);
+  EXPECT_EQ(I.intern(GrandChild), G); // stable on re-intern
+  EXPECT_EQ(I.path(G), GrandChild);
+  EXPECT_EQ(I.depth(R), 0u);
+  EXPECT_EQ(I.depth(C), 2u);
+  EXPECT_EQ(I.depth(G), 4u);
+
+  EXPECT_TRUE(I.hasPrefix(G, R));
+  EXPECT_TRUE(I.hasPrefix(G, C));
+  EXPECT_TRUE(I.hasPrefix(G, G));
+  EXPECT_FALSE(I.hasPrefix(R, C));
+
+  // Distinct roots never prefix each other.
+  RefId M = I.intern(RefPath::arg(P));
+  EXPECT_FALSE(I.hasPrefix(G, M));
+
+  std::set<RefId> Desc;
+  I.forEachDescendant(R, [&](RefId D) { Desc.insert(D); });
+  EXPECT_EQ(Desc.size(), 4u); // *l, l->next, l->next (deref), grandchild
+  EXPECT_TRUE(Desc.count(C));
+  EXPECT_TRUE(Desc.count(G));
+  EXPECT_FALSE(Desc.count(R)); // strict descendants only
+  EXPECT_FALSE(Desc.count(M));
+}
+
+//===----------------------------------------------------------------------===//
+// Values
+//===----------------------------------------------------------------------===//
+
 TEST_F(EnvTest, SetAndFind) {
   Env S;
   RefPath Root = RefPath::var(L);
@@ -102,6 +149,58 @@ TEST_F(EnvTest, SetAndFind) {
   S.set(Root, mk(DefState::Defined, NullState::NotNull, AllocState::Temp));
   ASSERT_NE(S.find(Root), nullptr);
   EXPECT_EQ(S.find(Root)->Alloc, AllocState::Temp);
+}
+
+TEST_F(EnvTest, CopyIsSharedUntilWritten) {
+  auto Interner = std::make_shared<RefInterner>();
+  Env A(Interner);
+  RefPath Root = RefPath::var(L);
+  RefPath Child = arrow(Root, Next);
+  A.set(Root, mk(DefState::Defined, NullState::NotNull, AllocState::Only));
+  A.set(Child, mk(DefState::Undefined, NullState::Unknown,
+                  AllocState::Unqualified));
+
+  Env B = A; // pointer bump
+  B.set(Root, mk(DefState::Dead, NullState::NotNull, AllocState::Kept));
+  // B sees its write, A is untouched.
+  EXPECT_EQ(B.find(Root)->Def, DefState::Dead);
+  EXPECT_EQ(A.find(Root)->Def, DefState::Defined);
+  EXPECT_EQ(A.find(Child)->Def, DefState::Undefined);
+  EXPECT_EQ(B.find(Child)->Def, DefState::Undefined);
+}
+
+TEST_F(EnvTest, StatsCountCopiesAndClones) {
+  auto Interner = std::make_shared<RefInterner>();
+  EnvStats Stats;
+  Env A(Interner, 6, &Stats);
+  RefPath Root = RefPath::var(L);
+  A.set(Root, mk(DefState::Defined, NullState::NotNull, AllocState::Only));
+  ASSERT_EQ(Stats.Copies, 0u);
+  Env B = A;
+  EXPECT_EQ(Stats.Copies, 1u);
+  EXPECT_EQ(Stats.ChunkClones, 0u);
+  B.set(Root, mk(DefState::Dead, NullState::NotNull, AllocState::Kept));
+  EXPECT_EQ(Stats.TableClones, 1u);
+  EXPECT_EQ(Stats.ChunkClones, 1u);
+}
+
+TEST_F(EnvTest, ItemsSortedByRefPath) {
+  Env S;
+  RefPath Root = RefPath::var(L);
+  RefPath Child = arrow(Root, Next);
+  RefPath GrandChild = arrow(Child, ThisF);
+  // Insert deepest-first: ids are assigned in intern order, so a sorted
+  // snapshot must not just follow ids.
+  S.set(GrandChild, mk(DefState::Defined, NullState::NotNull,
+                       AllocState::Unqualified));
+  S.set(Root, mk(DefState::Defined, NullState::NotNull,
+                 AllocState::Unqualified));
+  S.set(Child, mk(DefState::Defined, NullState::NotNull,
+                  AllocState::Unqualified));
+  auto Items = S.items();
+  ASSERT_EQ(Items.size(), 3u);
+  EXPECT_TRUE(*Items[0].first < *Items[1].first);
+  EXPECT_TRUE(*Items[1].first < *Items[2].first);
 }
 
 TEST_F(EnvTest, EraseDescendantsKeepsSelf) {
@@ -116,16 +215,42 @@ TEST_F(EnvTest, EraseDescendantsKeepsSelf) {
   EXPECT_EQ(S.find(Child), nullptr);
 }
 
+//===----------------------------------------------------------------------===//
+// Aliases
+//===----------------------------------------------------------------------===//
+
 TEST_F(EnvTest, AliasSymmetryAndClear) {
   Env S;
   RefPath A = RefPath::var(L);
   RefPath B = RefPath::arg(P);
   S.addAlias(A, B);
-  EXPECT_EQ(S.aliasesOf(A).count(B), 1u);
-  EXPECT_EQ(S.aliasesOf(B).count(A), 1u);
+  EXPECT_TRUE(S.aliasesOf(A).contains(B));
+  EXPECT_TRUE(S.aliasesOf(B).contains(A));
   S.clearAliases(A);
   EXPECT_TRUE(S.aliasesOf(A).empty());
   EXPECT_TRUE(S.aliasesOf(B).empty());
+}
+
+TEST_F(EnvTest, AliasViewIteratesInRefPathOrder) {
+  // The previous representation stored aliases in std::set<RefPath>;
+  // diagnostics iterate them, so the view must keep that order even when
+  // links are added in reverse and the list spills past its inline slots.
+  Env S;
+  RefPath Base = RefPath::var(L);
+  RefPath A3 = arrow(arrow(RefPath::arg(P), Next), ThisF);
+  RefPath A2 = arrow(RefPath::arg(P), ThisF);
+  RefPath A1 = arrow(RefPath::arg(P), Next);
+  RefPath A0 = RefPath::arg(P);
+  for (const RefPath &A : {A3, A2, A1, A0})
+    S.addAlias(Base, A);
+  std::vector<RefPath> Got;
+  for (const RefPath &A : S.aliasesOf(Base))
+    Got.push_back(A);
+  ASSERT_EQ(Got.size(), 4u);
+  std::set<RefPath> Expect = {A0, A1, A2, A3};
+  auto It = Expect.begin();
+  for (size_t I = 0; I < Got.size(); ++I, ++It)
+    EXPECT_EQ(Got[I], *It) << "position " << I;
 }
 
 TEST_F(EnvTest, ExpansionsThroughAliasedPrefix) {
@@ -157,6 +282,99 @@ TEST_F(EnvTest, ExpansionsThroughDerivedAlias) {
       SawDeep = true;
   EXPECT_TRUE(SawDeep);
 }
+
+TEST_F(EnvTest, ExpansionsHonorDepthLimit) {
+  RefPath LRoot = RefPath::var(L);
+  RefPath Deep = arrow(arrow(RefPath::arg(P), Next), Next); // depth 4
+  {
+    // Rewrites deeper than the env's limit are dropped.
+    Env S(std::make_shared<RefInterner>(), /*ExpandDepth=*/4);
+    S.addAlias(LRoot, Deep);
+    // l->next rewrites to p->next->next->next (depth 6) — over the limit.
+    EXPECT_EQ(S.expansions(arrow(LRoot, Next)).size(), 1u);
+  }
+  {
+    // 0 means unlimited, like every -limit* flag.
+    Env S(std::make_shared<RefInterner>(), /*ExpandDepth=*/0);
+    S.addAlias(LRoot, Deep);
+    EXPECT_EQ(S.expansions(arrow(LRoot, Next)).size(), 2u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Phantom-state regressions: eraseDescendants/forget vs alias links
+//===----------------------------------------------------------------------===//
+
+TEST_F(EnvTest, EraseDescendantsKeepsAliasLinks) {
+  // Rebinding a reference erases descendant values but must not drop the
+  // alias relation of the reference itself.
+  Env S;
+  RefPath Root = RefPath::var(L);
+  RefPath Child = arrow(Root, Next);
+  RefPath Mirror = RefPath::arg(P);
+  S.addAlias(Root, Mirror);
+  S.set(Child, mk(DefState::Undefined, NullState::Unknown,
+                  AllocState::Unqualified));
+  S.eraseDescendants(Root);
+  EXPECT_EQ(S.find(Child), nullptr);
+  EXPECT_TRUE(S.aliasesOf(Root).contains(Mirror));
+  EXPECT_TRUE(S.aliasesOf(Mirror).contains(Root));
+}
+
+TEST_F(EnvTest, ForgetScrubsValuesAndAliasLinks) {
+  // When a local dies, forget() must remove its values, its descendants'
+  // values, its alias entries, and every reverse link pointing at it —
+  // otherwise a later merge resurrects phantom state for a dead name.
+  Env S;
+  RefPath Root = RefPath::var(L);
+  RefPath Child = arrow(Root, Next);
+  RefPath Mirror = RefPath::arg(P);
+  RefPath MirrorChild = arrow(Mirror, Next);
+  S.set(Root, mk(DefState::Defined, NullState::NotNull, AllocState::Only));
+  S.set(Child, mk(DefState::Undefined, NullState::Unknown,
+                  AllocState::Unqualified));
+  S.addAlias(Root, Mirror);
+  S.addAlias(Child, MirrorChild);
+  S.forget(Root);
+  EXPECT_EQ(S.find(Root), nullptr);
+  EXPECT_EQ(S.find(Child), nullptr);
+  EXPECT_TRUE(S.aliasesOf(Root).empty());
+  EXPECT_TRUE(S.aliasesOf(Child).empty());
+  // The reverse links from the surviving refs are gone too.
+  EXPECT_FALSE(S.aliasesOf(Mirror).contains(Root));
+  EXPECT_FALSE(S.aliasesOf(MirrorChild).contains(Child));
+}
+
+TEST_F(EnvTest, ForgetLeavesUnrelatedAliasesIntact) {
+  Env S;
+  RefPath Root = RefPath::var(L);
+  RefPath Mirror = RefPath::arg(P);
+  RefPath MirrorChild = arrow(Mirror, Next);
+  S.addAlias(Mirror, MirrorChild);
+  S.forget(Root); // never tracked: must be a no-op
+  EXPECT_TRUE(S.aliasesOf(Mirror).contains(MirrorChild));
+  EXPECT_TRUE(S.aliasesOf(MirrorChild).contains(Mirror));
+}
+
+TEST_F(EnvTest, ForgetThenMergeSeesNoPhantomState) {
+  SVal Default = mk(DefState::Defined, NullState::NotNull,
+                    AllocState::Unqualified);
+  auto Interner = std::make_shared<RefInterner>();
+  Env A(Interner), B(Interner);
+  RefPath Root = RefPath::var(L);
+  // Branch B released the local, then the local left scope on both paths.
+  A.set(Root, mk(DefState::Defined, NullState::NotNull, AllocState::Only));
+  B.set(Root, mk(DefState::Dead, NullState::NotNull, AllocState::Kept));
+  A.forget(Root);
+  B.forget(Root);
+  std::vector<Env::Conflict> Conflicts = A.mergeFrom(B, defaultAll(Default));
+  EXPECT_TRUE(Conflicts.empty()); // dead name: no branch-state anomaly
+  EXPECT_EQ(A.find(Root), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Merge
+//===----------------------------------------------------------------------===//
 
 TEST_F(EnvTest, MergeTakesWeakestDef) {
   SVal Default = mk(DefState::Defined, NullState::NotNull,
@@ -226,7 +444,340 @@ TEST_F(EnvTest, MergeUnionsAliases) {
   RefPath Mirror = RefPath::arg(P);
   B.addAlias(LRoot, Mirror);
   A.mergeFrom(B, defaultAll(Default));
-  EXPECT_EQ(A.aliasesOf(LRoot).count(Mirror), 1u);
+  EXPECT_TRUE(A.aliasesOf(LRoot).contains(Mirror));
+}
+
+TEST_F(EnvTest, MergeSharedStateNormalizesDefinitelyNull) {
+  // Both branches share the same (unchanged) state, so the COW tables are
+  // pointer-identical — yet merge must still normalize definitely-null
+  // values (Only becomes Null, erasing the obligation), exactly as the old
+  // per-key merge did.
+  SVal Default = mk(DefState::Defined, NullState::NotNull,
+                    AllocState::Unqualified);
+  auto Interner = std::make_shared<RefInterner>();
+  Env A(Interner);
+  RefPath Root = RefPath::var(L);
+  A.set(Root, mk(DefState::Defined, NullState::DefinitelyNull,
+                 AllocState::Only));
+  Env B = A; // shares every chunk
+  std::vector<Env::Conflict> Conflicts = A.mergeFrom(B, defaultAll(Default));
+  EXPECT_TRUE(Conflicts.empty());
+  EXPECT_EQ(A.find(Root)->Alloc, AllocState::Null);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized equivalence: old std::map-based Env vs the COW representation
+//===----------------------------------------------------------------------===//
+
+/// A faithful replica of the pre-interning Env (std::map keyed by RefPath,
+/// std::set alias lists) serving as the executable specification. The suite
+/// below drives it and the real Env through identical randomized histories
+/// and asserts identical merge conflicts and final states.
+struct LegacyEnv {
+  std::map<RefPath, SVal> Values;
+  std::map<RefPath, std::set<RefPath>> Aliases;
+  bool Unreachable = false;
+
+  const SVal *find(const RefPath &Ref) const {
+    auto It = Values.find(Ref);
+    return It == Values.end() ? nullptr : &It->second;
+  }
+  SVal lookup(const RefPath &Ref, const Env::DefaultFn &Default) const {
+    if (const SVal *V = find(Ref))
+      return *V;
+    return Default(Ref);
+  }
+  void set(const RefPath &Ref, SVal Val) { Values[Ref] = std::move(Val); }
+  void addAlias(const RefPath &A, const RefPath &B) {
+    if (A == B)
+      return;
+    Aliases[A].insert(B);
+    Aliases[B].insert(A);
+  }
+  void forget(const RefPath &Ref) {
+    for (auto It = Values.begin(); It != Values.end();) {
+      if (It->first.hasPrefix(Ref))
+        It = Values.erase(It);
+      else
+        ++It;
+    }
+    for (auto It = Aliases.begin(); It != Aliases.end();) {
+      if (It->first.hasPrefix(Ref)) {
+        It = Aliases.erase(It);
+        continue;
+      }
+      for (auto SIt = It->second.begin(); SIt != It->second.end();) {
+        if (SIt->hasPrefix(Ref))
+          SIt = It->second.erase(SIt);
+        else
+          ++SIt;
+      }
+      if (It->second.empty())
+        It = Aliases.erase(It);
+      else
+        ++It;
+    }
+  }
+
+  std::vector<Env::Conflict> mergeFrom(const LegacyEnv &Other,
+                                       const Env::DefaultFn &Default) {
+    std::vector<Env::Conflict> Conflicts;
+    if (Other.Unreachable)
+      return Conflicts;
+    if (Unreachable) {
+      *this = Other;
+      return Conflicts;
+    }
+    std::set<RefPath> Keys;
+    for (const auto &KV : Values)
+      Keys.insert(KV.first);
+    for (const auto &KV : Other.Values)
+      Keys.insert(KV.first);
+    for (const RefPath &Ref : Keys) {
+      SVal Ours = lookup(Ref, Default);
+      SVal Theirs = Other.lookup(Ref, Default);
+      AllocState OursAlloc = Ours.Alloc;
+      AllocState TheirsAlloc = Theirs.Alloc;
+      DefState OursDef = Ours.Def;
+      DefState TheirsDef = Theirs.Def;
+      if (Ours.Null == NullState::DefinitelyNull) {
+        OursAlloc = AllocState::Null;
+        if (TheirsDef == DefState::Dead)
+          OursDef = DefState::Dead;
+      }
+      if (Theirs.Null == NullState::DefinitelyNull) {
+        TheirsAlloc = AllocState::Null;
+        if (OursDef == DefState::Dead)
+          TheirsDef = DefState::Dead;
+      }
+      bool DefConflict = false, AllocConflict = false;
+      SVal Merged;
+      Merged.Def = mergeDef(OursDef, TheirsDef, DefConflict);
+      Merged.Null = mergeNull(Ours.Null, Theirs.Null);
+      Merged.Alloc = mergeAlloc(OursAlloc, TheirsAlloc, AllocConflict);
+      Merged.NullLoc = Ours.mayBeNull()
+                           ? Ours.NullLoc
+                           : (Theirs.mayBeNull() ? Theirs.NullLoc
+                                                 : Ours.NullLoc);
+      Merged.AllocLoc =
+          Ours.AllocLoc.isValid() ? Ours.AllocLoc : Theirs.AllocLoc;
+      Merged.FreeLoc = Ours.FreeLoc.isValid() ? Ours.FreeLoc : Theirs.FreeLoc;
+      Merged.DefLoc =
+          Ours.Def != DefState::Defined ? Ours.DefLoc : Theirs.DefLoc;
+      if (DefConflict || AllocConflict) {
+        Env::Conflict C;
+        C.Ref = Ref;
+        C.DefConflict = DefConflict;
+        C.AllocConflict = AllocConflict;
+        C.Ours = Ours;
+        C.Theirs = Theirs;
+        Conflicts.push_back(std::move(C));
+      }
+      Values[Ref] = std::move(Merged);
+    }
+    for (const auto &KV : Other.Aliases)
+      for (const RefPath &Alias : KV.second)
+        Aliases[KV.first].insert(Alias);
+    return Conflicts;
+  }
+};
+
+bool sameVal(const SVal &A, const SVal &B) {
+  return A.Def == B.Def && A.Null == B.Null && A.Alloc == B.Alloc &&
+         A.NullLoc == B.NullLoc && A.AllocLoc == B.AllocLoc &&
+         A.FreeLoc == B.FreeLoc && A.DefLoc == B.DefLoc;
+}
+
+class EnvEquivalenceTest : public EnvTest {
+protected:
+  // Deterministic xorshift PRNG: the suite must reproduce bit-for-bit.
+  uint64_t Rng = 0x9E3779B97F4A7C15ull;
+  uint64_t next() {
+    Rng ^= Rng << 13;
+    Rng ^= Rng >> 7;
+    Rng ^= Rng << 17;
+    return Rng;
+  }
+  size_t pick(size_t N) { return static_cast<size_t>(next() % N); }
+
+  /// Universe of paths: both roots, derived up to depth 4.
+  std::vector<RefPath> universe() {
+    std::vector<RefPath> Paths;
+    std::vector<RefPath> Frontier = {RefPath::var(L), RefPath::arg(P)};
+    for (int Depth = 0; Depth < 2; ++Depth) {
+      std::vector<RefPath> NextFrontier;
+      for (const RefPath &Base : Frontier) {
+        Paths.push_back(Base);
+        NextFrontier.push_back(arrow(Base, Next));
+        NextFrontier.push_back(arrow(Base, ThisF));
+      }
+      Frontier = std::move(NextFrontier);
+    }
+    for (const RefPath &Base : Frontier)
+      Paths.push_back(Base);
+    return Paths;
+  }
+
+  /// Interesting abstract values, including the definitely-null states the
+  /// merge normalizes and obligation states that conflict.
+  std::vector<SVal> palette() {
+    SourceLocation L1("a.c", 10, 1), L2("a.c", 20, 2), L3("a.c", 30, 3);
+    std::vector<SVal> Vals;
+    auto Add = [&](DefState D, NullState N, AllocState A) {
+      SVal V = mk(D, N, A);
+      V.NullLoc = L1;
+      V.AllocLoc = L2;
+      V.DefLoc = L3;
+      if (D == DefState::Dead)
+        V.FreeLoc = L2;
+      Vals.push_back(V);
+    };
+    Add(DefState::Defined, NullState::NotNull, AllocState::Unqualified);
+    Add(DefState::Undefined, NullState::Unknown, AllocState::Unqualified);
+    Add(DefState::Defined, NullState::PossiblyNull, AllocState::Only);
+    Add(DefState::Defined, NullState::DefinitelyNull, AllocState::Only);
+    Add(DefState::Defined, NullState::DefinitelyNull, AllocState::Null);
+    Add(DefState::Dead, NullState::NotNull, AllocState::Kept);
+    Add(DefState::Defined, NullState::NotNull, AllocState::Fresh);
+    Add(DefState::Allocated, NullState::NotNull, AllocState::Owned);
+    Add(DefState::Defined, NullState::RelNull, AllocState::Shared);
+    Add(DefState::PartiallyDefined, NullState::NotNull, AllocState::Temp);
+    Add(DefState::Defined, NullState::NotNull, AllocState::Observer);
+    return Vals;
+  }
+};
+
+TEST_F(EnvEquivalenceTest, RandomizedMergesMatchLegacySemantics) {
+  const std::vector<RefPath> Paths = universe();
+  const std::vector<SVal> Vals = palette();
+  SVal Default = mk(DefState::Defined, NullState::NotNull,
+                    AllocState::Unqualified);
+  Env::DefaultFn DefaultFn = defaultAll(Default);
+
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    auto Interner = std::make_shared<RefInterner>();
+    Env NewA(Interner), NewB(Interner);
+    LegacyEnv OldA, OldB;
+
+    // Random histories applied identically to both representations. Copy
+    // NewB from NewA halfway through some trials so merges hit shared
+    // chunks, the path the COW skip optimizes.
+    size_t Ops = 4 + pick(12);
+    bool ForkB = Trial % 3 == 0;
+    for (size_t I = 0; I < Ops; ++I) {
+      if (ForkB && I == Ops / 2) {
+        NewB = NewA;
+        OldB = OldA;
+      }
+      bool ToA = !ForkB || I < Ops / 2 ? pick(2) == 0 : false;
+      Env &NE = ToA ? NewA : NewB;
+      LegacyEnv &OE = ToA ? OldA : OldB;
+      switch (pick(4)) {
+      case 0:
+      case 1: {
+        const RefPath &Ref = Paths[pick(Paths.size())];
+        const SVal &V = Vals[pick(Vals.size())];
+        NE.set(Ref, V);
+        OE.set(Ref, V);
+        break;
+      }
+      case 2: {
+        const RefPath &X = Paths[pick(Paths.size())];
+        const RefPath &Y = Paths[pick(Paths.size())];
+        NE.addAlias(X, Y);
+        OE.addAlias(X, Y);
+        break;
+      }
+      case 3: {
+        const RefPath &Ref = Paths[pick(Paths.size())];
+        NE.forget(Ref);
+        OE.forget(Ref);
+        break;
+      }
+      }
+    }
+
+    std::vector<Env::Conflict> NewConf = NewA.mergeFrom(NewB, DefaultFn);
+    std::vector<Env::Conflict> OldConf = OldA.mergeFrom(OldB, DefaultFn);
+
+    ASSERT_EQ(NewConf.size(), OldConf.size()) << "trial " << Trial;
+    for (size_t I = 0; I < NewConf.size(); ++I) {
+      EXPECT_EQ(NewConf[I].Ref, OldConf[I].Ref) << "trial " << Trial;
+      EXPECT_EQ(NewConf[I].DefConflict, OldConf[I].DefConflict);
+      EXPECT_EQ(NewConf[I].AllocConflict, OldConf[I].AllocConflict);
+      EXPECT_TRUE(sameVal(NewConf[I].Ours, OldConf[I].Ours));
+      EXPECT_TRUE(sameVal(NewConf[I].Theirs, OldConf[I].Theirs));
+    }
+
+    // Identical post-merge values...
+    ASSERT_EQ(NewA.size(), OldA.Values.size()) << "trial " << Trial;
+    auto Items = NewA.items();
+    size_t Idx = 0;
+    for (const auto &KV : OldA.Values) {
+      ASSERT_LT(Idx, Items.size());
+      EXPECT_EQ(*Items[Idx].first, KV.first) << "trial " << Trial;
+      EXPECT_TRUE(sameVal(*Items[Idx].second, KV.second))
+          << "trial " << Trial << " ref " << KV.first.str();
+      ++Idx;
+    }
+    // ...and identical alias relations, in identical iteration order.
+    for (const RefPath &Ref : Paths) {
+      auto It = OldA.Aliases.find(Ref);
+      std::vector<RefPath> OldList(It == OldA.Aliases.end()
+                                       ? std::vector<RefPath>{}
+                                       : std::vector<RefPath>(
+                                             It->second.begin(),
+                                             It->second.end()));
+      std::vector<RefPath> NewList;
+      for (const RefPath &A : NewA.aliasesOf(Ref))
+        NewList.push_back(A);
+      EXPECT_EQ(NewList, OldList) << "trial " << Trial << " ref "
+                                  << Ref.str();
+    }
+  }
+}
+
+TEST_F(EnvEquivalenceTest, RandomizedExpansionsMatchLegacySubstitution) {
+  const std::vector<RefPath> Paths = universe();
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    Env S;
+    std::map<RefPath, std::set<RefPath>> Aliases;
+    size_t Links = 1 + pick(5);
+    for (size_t I = 0; I < Links; ++I) {
+      const RefPath &X = Paths[pick(Paths.size())];
+      const RefPath &Y = Paths[pick(Paths.size())];
+      if (X == Y)
+        continue;
+      S.addAlias(X, Y);
+      Aliases[X].insert(Y);
+      Aliases[Y].insert(X);
+    }
+    const RefPath &Ref = Paths[pick(Paths.size())];
+
+    // Legacy algorithm: substitute each aliased prefix once, depth <= 6.
+    std::set<RefPath> Expect;
+    Expect.insert(Ref);
+    RefPath Prefix(Ref.rootKind(), Ref.root());
+    std::vector<RefPath> Prefixes = {Prefix};
+    for (const PathElem &E : Ref.elems()) {
+      Prefix = Prefix.child(E);
+      Prefixes.push_back(Prefix);
+    }
+    for (const RefPath &Pfx : Prefixes) {
+      auto It = Aliases.find(Pfx);
+      if (It == Aliases.end())
+        continue;
+      for (const RefPath &Alias : It->second) {
+        RefPath Rewritten = Ref.withPrefixReplaced(Pfx, Alias);
+        if (Rewritten.depth() <= 6)
+          Expect.insert(std::move(Rewritten));
+      }
+    }
+
+    std::vector<RefPath> Got = S.expansions(Ref);
+    EXPECT_EQ(Got, std::vector<RefPath>(Expect.begin(), Expect.end()))
+        << "trial " << Trial << " ref " << Ref.str();
+  }
 }
 
 } // namespace

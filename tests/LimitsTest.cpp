@@ -120,6 +120,32 @@ TEST(LimitsTest, EnvSplitBudgetDegrades) {
   EXPECT_TRUE(hasReason(R, "limitsplits"));
 }
 
+//===--- alias-expansion depth ------------------------------------------------===//
+
+TEST(LimitsTest, RefDepthLimitKeepsCheckingStable) {
+  // -limitrefdepth bounds how deep alias-expansion rewrites may reach in
+  // the environment (Env::expansions). A tight limit must degrade
+  // precision only — checking still completes cleanly on aliased
+  // struct-pointer chains, with no degradation notice (the limit prunes
+  // rewrites silently, matching the old hard-coded depth cap).
+  std::string Source = "typedef struct node { struct node *next; int v; } "
+                       "node;\n"
+                       "void touch(node *a) {\n"
+                       "  node *b;\n"
+                       "  b = a;\n"
+                       "  if (b->next) { b->next->v = 1; }\n"
+                       "}\n";
+  for (unsigned Depth : {1u, 6u, 0u}) {
+    CheckOptions Options;
+    Options.Flags.limits().MaxRefAliasDepth = Depth;
+    CheckResult R = Checker::checkSource(Source, Options, "depth.c");
+    EXPECT_EQ(R.Status, CheckStatus::Ok) << "depth=" << Depth << "\n"
+                                         << R.render();
+    EXPECT_EQ(R.anomalyCount(), 0u) << "depth=" << Depth << "\n"
+                                    << R.render();
+  }
+}
+
 //===--- token budget ---------------------------------------------------------===//
 
 TEST(LimitsTest, TokenBudgetTruncatesWithNotice) {
