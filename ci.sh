@@ -66,9 +66,53 @@ cmp -s "$SMOKE/full.diag" "$SMOKE/resumed.diag" || \
 if grep '^-- batch:' "$SMOKE/resumed.out" | grep -q '(0 resumed'; then
   echo "batch smoke: resume did not skip completed files"; exit 1
 fi
+echo "batch smoke ok"
+
+echo "== observability smoke =="
+# Structured findings output through the CLI: the SARIF document must have
+# the schema/version/tool spine and balanced braces, JSONL must be one
+# object per line, and --metrics-out must produce a metrics JSON whose
+# counters are identical across -j1 and -j4 (timers legitimately differ).
+printf '#include <stdlib.h>\nvoid leak(void) { char *p = (char *)malloc(8); }\n' \
+  > "$SMOKE/obs.c"
+st=0
+(cd "$SMOKE" && "$MEMLINT" -format=sarif obs.c > obs.sarif 2> /dev/null) || st=$?
+[ "$st" -eq 1 ] || { echo "obs smoke: sarif run expected exit 1, got $st"; exit 1; }
+for needle in '"$schema"' '"version": "2.1.0"' '"name": "memlint"' \
+  '"ruleId": "mustfree"' '"level": "warning"' '"uri": "obs.c"'; do
+  grep -q "$needle" "$SMOKE/obs.sarif" || \
+    { echo "obs smoke: SARIF lacks $needle"; exit 1; }
+done
+opens=$(tr -cd '{' < "$SMOKE/obs.sarif" | wc -c)
+closes=$(tr -cd '}' < "$SMOKE/obs.sarif" | wc -c)
+[ "$opens" -eq "$closes" ] || \
+  { echo "obs smoke: SARIF braces unbalanced ($opens vs $closes)"; exit 1; }
+
+st=0
+(cd "$SMOKE" && "$MEMLINT" -format=jsonl obs.c > obs.jsonl 2> /dev/null) || st=$?
+[ "$st" -eq 1 ] || { echo "obs smoke: jsonl run expected exit 1, got $st"; exit 1; }
+bad=$(grep -cv '^{.*}$' "$SMOKE/obs.jsonl" || true)
+[ "$bad" -eq 0 ] || { echo "obs smoke: JSONL has non-object lines"; exit 1; }
+grep -q '"check":"mustfree"' "$SMOKE/obs.jsonl" || \
+  { echo "obs smoke: JSONL lacks the mustfree finding"; exit 1; }
+
+(cd "$SMOKE" && "$MEMLINT" -j1 --metrics-out=m1.json $CORPUS \
+  > /dev/null 2>&1) || true
+(cd "$SMOKE" && "$MEMLINT" -j4 --metrics-out=m4.json $CORPUS \
+  > /dev/null 2>&1) || true
+for f in m1.json m4.json; do
+  [ -s "$SMOKE/$f" ] || { echo "obs smoke: $f missing or empty"; exit 1; }
+done
+sed -n '/"counters"/,/}/p' "$SMOKE/m1.json" > "$SMOKE/m1.counters"
+sed -n '/"counters"/,/}/p' "$SMOKE/m4.json" > "$SMOKE/m4.counters"
+cmp -s "$SMOKE/m1.counters" "$SMOKE/m4.counters" || \
+  { echo "obs smoke: metrics counters differ between -j1 and -j4"; exit 1; }
+grep -q '"batch.files": 12' "$SMOKE/m1.counters" || \
+  { echo "obs smoke: metrics lack batch.files count"; exit 1; }
+echo "observability smoke ok"
+
 rm -rf "$SMOKE"
 trap - EXIT
-echo "batch smoke ok"
 
 echo "== bench smoke (release-lto) =="
 # Build the two trajectory benchmarks under the LTO preset and run them
@@ -76,12 +120,14 @@ echo "== bench smoke (release-lto) =="
 # perf record checked into the repo). Malformed or missing output fails CI.
 cmake --preset release-lto
 cmake --build --preset release-lto -j "$JOBS" \
-  --target bench_env_scaling bench_sec7_scaling
+  --target bench_env_scaling bench_sec7_scaling bench_observability_overhead
 
 BENCHDIR=$PWD/build-lto/bench
 # Benchmarks write BENCH_*.json into the working directory; run them there.
 (cd "$BENCHDIR" && ./bench_env_scaling --benchmark_list_tests > /dev/null)
 (cd "$BENCHDIR" && ./bench_sec7_scaling --benchmark_list_tests > /dev/null)
+(cd "$BENCHDIR" && ./bench_observability_overhead --benchmark_list_tests \
+  > /dev/null)
 
 check_json() {
   file=$1; shift
@@ -101,6 +147,11 @@ check_json "$BENCHDIR/BENCH_sec7_scaling.json" \
   bench series linearity_ratio modular_speedup
 grep -q '"acceptance_pass": true' "$BENCHDIR/BENCH_env_scaling.json" || \
   { echo "bench smoke: env split-throughput acceptance failed"; exit 1; }
+check_json "$BENCHDIR/BENCH_observability_overhead.json" \
+  bench disabled enabled trace overhead_pct acceptance_pass
+grep -q '"acceptance_pass": true' \
+  "$BENCHDIR/BENCH_observability_overhead.json" || \
+  { echo "bench smoke: metrics disabled-path overhead exceeds 2%"; exit 1; }
 echo "bench smoke ok"
 
 echo "== asan+ubsan build =="

@@ -20,6 +20,13 @@
 //   memlint -j4 --journal run.jsonl ...         record outcomes
 //   memlint -j4 --resume run.jsonl ...          skip files already done
 //
+// Observability (see DESIGN.md):
+//
+//   memlint -format=sarif file.c        findings as a SARIF 2.1.0 document
+//   memlint -format=jsonl file.c        findings as JSON Lines
+//   memlint -trace-states=fn file.c     trace fn's state transitions (stderr)
+//   memlint --metrics-out=m.json ...    phase timings + counters to a file
+//
 // Diagnostics are flushed in input order, so batch output is byte-identical
 // across -jN; timing goes to stderr to keep stdout deterministic.
 //
@@ -34,6 +41,8 @@
 #include "checker/Frontend.h"
 #include "driver/BatchDriver.h"
 #include "interp/Interpreter.h"
+#include "support/FindingsOutput.h"
+#include "support/Journal.h"
 
 #include <cstdio>
 #include <cstring>
@@ -70,6 +79,8 @@ int main(int argc, char **argv) {
   bool RunProgram = false;
   bool BatchMode = false;
   BatchOptions Batch;
+  std::string Format = "text";
+  std::string MetricsOut;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -132,6 +143,37 @@ int main(int argc, char **argv) {
       BatchMode = true;
       continue;
     }
+    if (Arg.compare(0, 8, "-format=") == 0) {
+      Format = Arg.substr(8);
+      if (Format != "text" && Format != "sarif" && Format != "jsonl") {
+        fprintf(stderr, "memlint: unknown output format '%s': expected "
+                        "-format=text|sarif|jsonl\n",
+                Format.c_str());
+        return 126;
+      }
+      continue;
+    }
+    if (Arg.compare(0, 14, "-trace-states=") == 0) {
+      Options.TraceFunction = Arg.substr(14);
+      if (Options.TraceFunction.empty()) {
+        fprintf(stderr, "memlint: -trace-states= needs a function name\n");
+        return 126;
+      }
+      continue;
+    }
+    if (Arg == "--metrics-out" || Arg.compare(0, 14, "--metrics-out=") == 0) {
+      size_t Eq = Arg.find('=');
+      if (Eq != std::string::npos) {
+        MetricsOut = Arg.substr(Eq + 1);
+      } else if (I + 1 < argc) {
+        MetricsOut = argv[++I];
+      }
+      if (MetricsOut.empty()) {
+        fprintf(stderr, "memlint: --metrics-out needs an output path\n");
+        return 126;
+      }
+      continue;
+    }
     if (!Arg.empty() && (Arg[0] == '+' || Arg[0] == '-')) {
       std::string Error;
       if (!Options.Flags.parse(Arg, Error)) {
@@ -146,7 +188,8 @@ int main(int argc, char **argv) {
   if (Files.empty()) {
     fprintf(stderr, "usage: memlint [+flag|-flag]... [--cfg] [--run] [-jN] "
                     "[-file-deadline-ms=N] [--journal FILE] [--resume FILE] "
-                    "file.c...\n");
+                    "[-format=text|sarif|jsonl] [-trace-states=FN] "
+                    "[--metrics-out FILE] file.c...\n");
     return 126;
   }
   if (BatchMode && (PrintCfg || RunProgram)) {
@@ -154,6 +197,36 @@ int main(int argc, char **argv) {
                     "or --run\n");
     return 126;
   }
+  if (BatchMode && Format != "text") {
+    // Batch workers stream rendered text through the journal; structured
+    // findings come from the single-run path (-format without -jN) or from
+    // the journal itself.
+    fprintf(stderr, "memlint: -format=%s cannot be combined with batch "
+                    "options; run without -jN/--journal for structured "
+                    "output\n",
+            Format.c_str());
+    return 126;
+  }
+  if (BatchMode && !Options.TraceFunction.empty()) {
+    fprintf(stderr, "memlint: -trace-states= cannot be combined with batch "
+                    "options; trace a single run\n");
+    return 126;
+  }
+  if ((PrintCfg || RunProgram) &&
+      (Format != "text" || !MetricsOut.empty() ||
+       !Options.TraceFunction.empty())) {
+    fprintf(stderr, "memlint: observability options apply to checking, not "
+                    "--cfg or --run\n");
+    return 126;
+  }
+  if (!MetricsOut.empty()) {
+    Options.CollectMetrics = true;
+    Batch.CollectMetrics = true;
+  }
+  if (!Options.TraceFunction.empty())
+    Options.TraceSink = [](const std::string &Event) {
+      fprintf(stderr, "-- trace %s\n", Event.c_str());
+    };
 
   VFS Vfs;
   for (const std::string &File : Files) {
@@ -190,6 +263,12 @@ int main(int argc, char **argv) {
     if (R.JournalCorruptLines != 0)
       fprintf(stderr, "-- journal: %u corrupt line(s) discarded on resume\n",
               R.JournalCorruptLines);
+    if (!MetricsOut.empty() &&
+        !writeFileText(MetricsOut, R.Metrics.json() + "\n")) {
+      fprintf(stderr, "memlint: cannot write metrics to '%s'\n",
+              MetricsOut.c_str());
+      return 126;
+    }
     unsigned Count = R.TotalAnomalies;
     return Count > 125 ? 125 : static_cast<int>(Count);
   }
@@ -218,15 +297,33 @@ int main(int argc, char **argv) {
   }
 
   CheckResult R = Checker::checkFiles(Vfs, Files, Options);
-  printf("%s", R.render().c_str());
-  printf("-- %u anomaly(ies), %u suppressed\n", R.anomalyCount(),
-         R.SuppressedCount);
+  std::string DegradedNote;
   if (R.Status != CheckStatus::Ok) {
     std::string Reasons;
     for (const std::string &Reason : R.DegradationReasons)
       Reasons += (Reasons.empty() ? "" : ", ") + Reason;
-    printf("-- check %s (%s); results are partial\n",
-           checkStatusName(R.Status), Reasons.c_str());
+    DegradedNote = std::string("-- check ") + checkStatusName(R.Status) +
+                   " (" + Reasons + "); results are partial\n";
+  }
+  if (Format == "sarif") {
+    // Stdout is the SARIF document and nothing else; run health goes to
+    // stderr so the output stays machine-parsable.
+    printf("%s", renderSarif(R.Diagnostics).c_str());
+    fprintf(stderr, "%s", DegradedNote.c_str());
+  } else if (Format == "jsonl") {
+    printf("%s", renderJsonl(R.Diagnostics).c_str());
+    fprintf(stderr, "%s", DegradedNote.c_str());
+  } else {
+    printf("%s", R.render().c_str());
+    printf("-- %u anomaly(ies), %u suppressed\n", R.anomalyCount(),
+           R.SuppressedCount);
+    printf("%s", DegradedNote.c_str());
+  }
+  if (!MetricsOut.empty() &&
+      !writeFileText(MetricsOut, R.Metrics.json() + "\n")) {
+    fprintf(stderr, "memlint: cannot write metrics to '%s'\n",
+            MetricsOut.c_str());
+    return 126;
   }
   unsigned Count = R.anomalyCount();
   return Count > 125 ? 125 : static_cast<int>(Count);

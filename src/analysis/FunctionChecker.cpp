@@ -263,6 +263,9 @@ SVal FunctionChecker::lookupRef(const Env &S, const RefPath &Ref) {
 
 void FunctionChecker::writeRef(Env &S, const RefPath &Ref, const SVal &Val,
                                bool Strong) {
+  if (tracing())
+    trace("ev=write ref=" + Ref.str() + " state=" + Val.str() +
+          (Strong ? " strong=1" : " strong=0"));
   if (Strong)
     S.eraseDescendants(Ref);
   for (const RefPath &Target : S.expansions(Ref))
@@ -297,6 +300,9 @@ void FunctionChecker::writeRef(Env &S, const RefPath &Ref, const SVal &Val,
 
 void FunctionChecker::setNullState(Env &S, const RefPath &Ref, NullState NS,
                                    const SourceLocation &Loc) {
+  if (tracing())
+    trace("ev=null ref=" + Ref.str() + " null=" + nullStateName(NS) +
+          " loc=" + Loc.str());
   for (const RefPath &Target : S.expansions(Ref)) {
     SVal Val = lookupRef(S, Target);
     if (Val.Null == NullState::RelNull && NS == NullState::PossiblyNull)
@@ -339,6 +345,9 @@ void FunctionChecker::materializeChildren(Env &S, const RefPath &Ref,
 void FunctionChecker::consumeObligation(Env &S, const RefPath &Ref,
                                         bool MakeDead,
                                         const SourceLocation &Loc) {
+  if (tracing())
+    trace("ev=consume ref=" + Ref.str() +
+          (MakeDead ? " dead=1" : " dead=0") + " loc=" + Loc.str());
   for (const RefPath &Target : S.expansions(Ref)) {
     SVal Val = lookupRef(S, Target);
     Val.Alloc = AllocState::Kept;
@@ -365,6 +374,7 @@ void FunctionChecker::checkAll() {
       if (Budget)
         Budget->noteInternalError();
       CurFn = nullptr;
+      TraceActive = false;
       Diags.report(CheckId::ParseError, FD->loc(),
                    "internal error while checking function '" + FD->name() +
                        "': " + E.what() +
@@ -426,6 +436,10 @@ void FunctionChecker::checkFunction(const FunctionDecl *FD) {
   if (!FD->body())
     return;
   CurFn = FD;
+  TraceActive = TraceSink && !TraceFn.empty() && FD->name() == TraceFn;
+  // Records even when the body below throws: the containment path in
+  // checkAll still charges this function's time to "check.function".
+  ScopedTimer FnTimer(Metrics, "check.function");
   GlobalsUsed.clear();
   LocalScopes.clear();
   Loops.clear();
@@ -434,6 +448,9 @@ void FunctionChecker::checkFunction(const FunctionDecl *FD) {
   DefaultFn_ = [this](const RefPath &Ref) { return defaultFor(Ref); };
   Interner_ = std::make_shared<RefInterner>();
   EnvStats_ = EnvStats();
+
+  if (tracing())
+    trace("ev=enter loc=" + FD->loc().str());
 
   Env S = makeEnv();
   // Parameters: annotations assumed true at entry; pointer parameters get a
@@ -460,9 +477,43 @@ void FunctionChecker::checkFunction(const FunctionDecl *FD) {
   // Fall-off-the-end exit point.
   if (!S.isUnreachable())
     checkExitPoint(S, FD->body()->endLoc());
+  if (tracing())
+    trace("ev=exit stmts=" + std::to_string(StmtCount) +
+          " splits=" + std::to_string(SplitCount));
   if (Flags.get("stats"))
     emitStats(FD);
+  if (Metrics)
+    recordFunctionMetrics();
   CurFn = nullptr;
+  TraceActive = false;
+}
+
+void FunctionChecker::recordFunctionMetrics() {
+  Metrics->addCounter("check.functions");
+  Metrics->addCounter("check.stmts", StmtCount);
+  Metrics->addCounter("check.splits", SplitCount);
+  // Environment counters are only collected under +stats (see makeEnv);
+  // folding zeros in without the flag would misreport the run as measured.
+  if (!Flags.get("stats"))
+    return;
+  const EnvStats &ES = EnvStats_;
+  Metrics->addCounter("env.copies", ES.Copies);
+  Metrics->addCounter("env.lookups", ES.Lookups);
+  Metrics->addCounter("env.writes", ES.Writes);
+  Metrics->addCounter("env.merges", ES.Merges);
+  Metrics->addCounter("env.merged_slots", ES.MergedSlots);
+  Metrics->addCounter("env.skipped_chunks", ES.SkippedChunks);
+  Metrics->addCounter("env.bytes_shared", ES.BytesShared);
+  Metrics->addCounter("env.bytes_copied", ES.BytesCopied);
+  Metrics->addCounter("env.table_clones", ES.TableClones);
+  Metrics->addCounter("env.chunk_clones", ES.ChunkClones);
+  Metrics->addCounter("env.alias_clones", ES.AliasClones);
+}
+
+void FunctionChecker::trace(const std::string &Event) {
+  if (!TraceSink)
+    return;
+  TraceSink("fn=" + (CurFn ? CurFn->name() : std::string("?")) + " " + Event);
 }
 
 void FunctionChecker::emitStats(const FunctionDecl *FD) {
@@ -650,6 +701,8 @@ void FunctionChecker::execIf(const IfStmt *IS, Env &S) {
   evalExpr(IS->cond(), S, /*AsRValue=*/true);
   if (!takeSplits(2, IS->loc(), S))
     return;
+  if (tracing())
+    trace("ev=split kind=if loc=" + IS->loc().str());
 
   Env TrueEnv = S;
   refine(TrueEnv, IS->cond(), true);
@@ -663,6 +716,9 @@ void FunctionChecker::execIf(const IfStmt *IS, Env &S) {
   std::vector<Env::Conflict> Conflicts =
       TrueEnv.mergeFrom(FalseEnv, DefaultFn_);
   reportConflicts(Conflicts, IS->loc());
+  if (tracing())
+    trace("ev=merge kind=if loc=" + IS->loc().str() +
+          " conflicts=" + std::to_string(Conflicts.size()));
   S = std::move(TrueEnv);
 }
 
@@ -670,6 +726,8 @@ void FunctionChecker::execWhile(const WhileStmt *WS, Env &S) {
   evalExpr(WS->cond(), S, /*AsRValue=*/true);
   if (!takeSplits(2, WS->loc(), S))
     return;
+  if (tracing())
+    trace("ev=split kind=while loc=" + WS->loc().str());
 
   // Zero executions: condition false.
   Env SkipEnv = S;
@@ -689,6 +747,8 @@ void FunctionChecker::execWhile(const WhileStmt *WS, Env &S) {
   reportConflicts(BodyEnv.mergeFrom(SkipEnv, DefaultFn_), WS->loc());
   for (Env &B : Ctx.Breaks)
     reportConflicts(BodyEnv.mergeFrom(B, DefaultFn_), WS->loc());
+  if (tracing())
+    trace("ev=merge kind=while loc=" + WS->loc().str());
   S = std::move(BodyEnv);
 }
 
@@ -705,6 +765,8 @@ void FunctionChecker::execDo(const DoStmt *DS, Env &S) {
     reportConflicts(S.mergeFrom(C, DefaultFn_), DS->loc());
   for (Env &B : Ctx.Breaks)
     reportConflicts(S.mergeFrom(B, DefaultFn_), DS->loc());
+  if (tracing())
+    trace("ev=merge kind=do loc=" + DS->loc().str());
 }
 
 void FunctionChecker::execFor(const ForStmt *FS, Env &S) {
@@ -717,6 +779,8 @@ void FunctionChecker::execFor(const ForStmt *FS, Env &S) {
     LocalScopes.pop_back();
     return;
   }
+  if (tracing())
+    trace("ev=split kind=for loc=" + FS->loc().str());
 
   Env SkipEnv = S;
   if (FS->cond())
@@ -738,6 +802,8 @@ void FunctionChecker::execFor(const ForStmt *FS, Env &S) {
   reportConflicts(BodyEnv.mergeFrom(SkipEnv, DefaultFn_), FS->loc());
   for (Env &B : Ctx.Breaks)
     reportConflicts(BodyEnv.mergeFrom(B, DefaultFn_), FS->loc());
+  if (tracing())
+    trace("ev=merge kind=for loc=" + FS->loc().str());
 
   std::vector<const VarDecl *> Locals = std::move(LocalScopes.back());
   LocalScopes.pop_back();
@@ -754,6 +820,9 @@ void FunctionChecker::execSwitch(const SwitchStmt *SS, Env &S) {
   if (!takeSplits(static_cast<unsigned>(SS->sections().size()) + 1, SS->loc(),
                   S))
     return;
+  if (tracing())
+    trace("ev=split kind=switch loc=" + SS->loc().str() +
+          " sections=" + std::to_string(SS->sections().size()));
 
   Env Base = S;
   Env Result = makeEnv();
@@ -780,6 +849,8 @@ void FunctionChecker::execSwitch(const SwitchStmt *SS, Env &S) {
     reportConflicts(Result.mergeFrom(B, DefaultFn_), SS->loc());
   if (!SS->hasDefault())
     reportConflicts(Result.mergeFrom(Base, DefaultFn_), SS->loc());
+  if (tracing())
+    trace("ev=merge kind=switch loc=" + SS->loc().str());
   S = std::move(Result);
 }
 

@@ -32,7 +32,9 @@
 #include "support/Diagnostics.h"
 #include "support/Flags.h"
 #include "support/Limits.h"
+#include "support/Metrics.h"
 
+#include <functional>
 #include <optional>
 #include <set>
 #include <vector>
@@ -62,6 +64,22 @@ public:
   /// function's analysis is converted into a diagnostic and checking
   /// proceeds with the next function.
   void checkAll();
+
+  /// Attaches a metrics registry: checkFunction then times each function
+  /// ("check.function") and counts functions / statements / splits; under
+  /// +stats the environment counters are folded in as "env.*". Null (the
+  /// default) keeps the analysis free of clock reads.
+  void setMetrics(MetricsRegistry *M) { Metrics = M; }
+
+  /// Enables state-transition tracing for the function named \p Fn. While
+  /// that function is being checked, every definition/null/allocation state
+  /// write, obligation consumption, environment split, and merge is
+  /// reported to \p Sink as one structured "fn=<name> ev=<event> ..." line
+  /// (no trailing newline). A null sink disables tracing.
+  void setTrace(std::string Fn, std::function<void(const std::string &)> Sink) {
+    TraceFn = std::move(Fn);
+    TraceSink = std::move(Sink);
+  }
 
 private:
   /// The abstract result of evaluating an expression.
@@ -168,6 +186,13 @@ private:
   }
   /// Emits the +stats per-function counter block as a note.
   void emitStats(const FunctionDecl *FD);
+  /// Folds the current function's counters into the metrics registry.
+  void recordFunctionMetrics();
+  /// True when the current function is being traced (cheap inline guard so
+  /// untraced runs pay one boolean test per hook).
+  bool tracing() const { return TraceActive; }
+  /// Emits one trace event line, prefixed with the current function name.
+  void trace(const std::string &Event);
 
   //===--- loop / scope bookkeeping ----------------------------------------===//
   struct LoopContext {
@@ -180,6 +205,10 @@ private:
   const FlagSet &Flags;
   DiagnosticEngine &Diags;
   BudgetState *Budget = nullptr;
+  MetricsRegistry *Metrics = nullptr;
+  std::string TraceFn; ///< function name selected for tracing; "" = none
+  std::function<void(const std::string &)> TraceSink;
+  bool TraceActive = false; ///< tracing the function currently checked
   unsigned MaxEvalDepth = 0;
   unsigned RefDepth = 6;
 

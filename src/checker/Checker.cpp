@@ -142,7 +142,13 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
   Budget.setCancelToken(Options.Cancel);
   DiagnosticEngine Diags;
   Diags.setFloodControl(Limits.MaxDiagsPerClass, Limits.MaxDiagsTotal);
+  // One registry per run: batch workers each run their own check, so no
+  // synchronization is needed. Null when disabled — every instrumentation
+  // point is then a single pointer test.
+  MetricsRegistry Registry;
+  MetricsRegistry *Metrics = Options.CollectMetrics ? &Registry : nullptr;
   Preprocessor PP(Files, Diags, &Budget);
+  PP.setMetrics(Metrics);
 
   // Converts an exception escaping one pipeline stage into a diagnostic so
   // the rest of the run can proceed with partial results.
@@ -219,6 +225,7 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
 
     TranslationUnit *TU = nullptr;
     try {
+      ScopedTimer T(Metrics, "phase.parse");
       Parser P(std::move(Program), Ctx, Diags, &Budget);
       TU = P.parse(MainName);
     } catch (const std::exception &E) {
@@ -227,6 +234,7 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
 
     if (TU) {
       try {
+        ScopedTimer T(Metrics, "phase.sema");
         Sema S(Diags);
         S.check(*TU);
       } catch (const std::exception &E) {
@@ -236,7 +244,11 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
       // checkAll contains per-function internal errors itself; this catch
       // is the last resort for errors escaping the loop machinery.
       try {
+        ScopedTimer T(Metrics, "phase.check");
         FunctionChecker FC(*TU, Options.Flags, Diags, &Budget);
+        FC.setMetrics(Metrics);
+        if (!Options.TraceFunction.empty())
+          FC.setTrace(Options.TraceFunction, Options.TraceSink);
         FC.checkAll();
       } catch (const std::exception &E) {
         containError(MainName, "checking", &E);
@@ -279,7 +291,7 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
     Result.Diagnostics.push_back(std::move(Summary));
   }
   if (!Diags.overflowCounts().empty())
-    Budget.noteDegradation(limitExhausted(Diags.diagnostics().size(),
+    Budget.noteDegradation(limitExhausted(Diags.cappedStoredCount(),
                                           Limits.MaxDiagsTotal)
                                ? "limitdiags"
                                : "limitclassdiags");
@@ -292,6 +304,17 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
     Result.Status = CheckStatus::Degraded;
   }
   normalizeReasons(Result.DegradationReasons);
+
+  if (Metrics) {
+    Metrics->addCounter("budget.tokens", Budget.tokensUsed());
+    Metrics->addCounter("diags.stored", Result.Diagnostics.size());
+    Metrics->addCounter("diags.suppressed", Result.SuppressedCount);
+    unsigned long long Overflow = 0;
+    for (const auto &[Id, Dropped] : Diags.overflowCounts())
+      Overflow += Dropped;
+    Metrics->addCounter("diags.overflow", Overflow);
+    Result.Metrics = Registry.takeSnapshot();
+  }
   return Result;
 }
 

@@ -21,8 +21,10 @@
 #include "support/Cancel.h"
 #include "support/Diagnostics.h"
 #include "support/Flags.h"
+#include "support/Metrics.h"
 #include "support/VFS.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -39,6 +41,17 @@ struct CheckOptions {
   /// reason ("deadline", "cancelled", ...). Diagnostics produced before
   /// the cut-off are kept. Null means not cancellable (no overhead).
   CancelToken *Cancel = nullptr;
+  /// Collect phase timings ("phase.lex" ... "phase.check") and counters
+  /// into CheckResult::Metrics. Off by default: the disabled path performs
+  /// no clock reads and no counter updates (see support/Metrics.h).
+  bool CollectMetrics = false;
+  /// When non-empty, the analysis of the function with this name is traced:
+  /// every state transition, split, and merge is reported to TraceSink as
+  /// one structured event line. Other functions are unaffected.
+  std::string TraceFunction;
+  /// Receives trace event lines (no trailing newline). Must outlive the
+  /// check call. Null discards events even when TraceFunction is set.
+  std::function<void(const std::string &)> TraceSink;
 };
 
 /// How a check run completed. Ordered by severity: a run that both hit a
@@ -72,6 +85,10 @@ struct CheckResult {
   /// facade always reports 1; the batch driver overwrites it when a
   /// timed-out or crashed file is retried with tightened limits.
   unsigned Attempts = 1;
+  /// Phase timings and counters; empty unless CheckOptions::CollectMetrics
+  /// was set. Counters are deterministic for a given input and flag set;
+  /// timer values are wall-clock and vary run to run.
+  MetricsSnapshot Metrics;
 
   /// Number of anomalies of a given check class.
   unsigned count(CheckId Id) const;

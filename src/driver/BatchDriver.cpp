@@ -42,6 +42,15 @@ void memlint::halveLimits(FlagSet &Flags) {
   }
 }
 
+double memlint::watchdogTickMs(unsigned DeadlineMs) {
+  const double Tick = static_cast<double>(DeadlineMs) / 8.0;
+  // The negated comparison also rejects any non-finite value, so the
+  // returned interval is always a sleepable duration.
+  if (!(Tick >= 1.0))
+    return 1.0;
+  return Tick > 50.0 ? 50.0 : Tick;
+}
+
 namespace {
 
 /// The deadline watchdog: one background thread that periodically scans
@@ -96,7 +105,7 @@ private:
   void loop() {
     // Tick fast enough that overshoot is a small fraction of the deadline,
     // but never busy-spin on very tight deadlines.
-    const double TickMs = std::clamp(DeadlineMs / 8.0, 1.0, 50.0);
+    const double TickMs = watchdogTickMs(DeadlineMs);
     std::unique_lock<std::mutex> Lock(Mu);
     while (!Stopping) {
       Cv.wait_for(Lock, std::chrono::duration<double, std::milli>(TickMs));
@@ -133,6 +142,7 @@ JournalEntry entryFromOutcome(const FileOutcome &O) {
   E.Suppressed = O.Suppressed;
   E.WallMs = O.WallMs;
   E.Diagnostics = O.Diagnostics;
+  E.Metrics = O.Metrics;
   return E;
 }
 
@@ -155,6 +165,7 @@ std::optional<FileOutcome> outcomeFromEntry(const JournalEntry &E) {
   O.Suppressed = E.Suppressed;
   O.WallMs = E.WallMs;
   O.Diagnostics = E.Diagnostics;
+  O.Metrics = E.Metrics;
   O.Resumed = true;
   return O;
 }
@@ -276,6 +287,8 @@ BatchResult BatchDriver::run(const VFS &Files,
     FileOutcome Outcome;
     Outcome.File = Name;
     CheckOptions Tightened = Opts.Check; // copy; halved on each retry
+    if (Opts.CollectMetrics)
+      Tightened.CollectMetrics = true;
     const unsigned MaxAttempts = std::max(1u, Opts.MaxAttempts);
     double SpentMs = 0;
     for (unsigned Attempt = 1;; ++Attempt) {
@@ -310,6 +323,9 @@ BatchResult BatchDriver::run(const VFS &Files,
       Outcome.Suppressed = R.SuppressedCount;
       Outcome.WallMs = SpentMs;
       Outcome.Diagnostics = R.render();
+      // Final attempt only: a retried file's metrics describe the run that
+      // produced its recorded diagnostics, not the abandoned attempts.
+      Outcome.Metrics = std::move(R.Metrics);
       return Outcome;
     }
   };
@@ -376,6 +392,22 @@ BatchResult BatchDriver::run(const VFS &Files,
       ++Result.RetriedCount;
     Result.TotalAnomalies += O.Anomalies;
     Result.TotalSuppressed += O.Suppressed;
+  }
+  if (Opts.CollectMetrics) {
+    // Fold in input order: the structure (and every counter value) is then
+    // identical across job counts, independent of completion order.
+    for (const FileOutcome &O : Result.Outcomes)
+      Result.Metrics.merge(O.Metrics);
+    auto &C = Result.Metrics.Counters;
+    C["batch.files"] += Count;
+    C["batch.ok"] += Result.OkCount;
+    C["batch.degraded"] += Result.DegradedCount;
+    C["batch.timeout"] += Result.TimeoutCount;
+    C["batch.crash"] += Result.CrashCount;
+    C["batch.resumed"] += Result.ResumedCount;
+    C["batch.retried"] += Result.RetriedCount;
+    C["batch.anomalies"] += Result.TotalAnomalies;
+    C["batch.suppressed"] += Result.TotalSuppressed;
   }
   Result.WallMs = monotonicNowMs() - StartMs;
   return Result;

@@ -71,6 +71,10 @@ struct FileOutcome {
   /// The file's rendered diagnostics, exactly as a sequential run would
   /// print them. Buffered so the driver can flush in input order.
   std::string Diagnostics;
+  /// Per-file phase timings and counters (the final attempt's); empty
+  /// unless BatchOptions::CollectMetrics was set. Journaled, so resumed
+  /// outcomes keep their metrics and aggregation stays complete.
+  MetricsSnapshot Metrics;
   /// True if this outcome was recovered from a resumed journal instead of
   /// being re-checked.
   bool Resumed = false;
@@ -96,6 +100,9 @@ struct BatchOptions {
   /// new entries are appended, so trailing damage from a kill cannot
   /// corrupt the resumed run's appends.
   bool Resume = false;
+  /// Collect per-file metrics (each worker run gets its own registry) and
+  /// aggregate them into BatchResult::Metrics. Off by default.
+  bool CollectMetrics = false;
   /// Called once per file in input order as results become flushable;
   /// runs under the driver's flush lock (keep it cheap). Used by the CLI
   /// to stream output while preserving sequential byte-identity.
@@ -124,6 +131,11 @@ struct BatchResult {
   /// Non-fatal journal trouble ("journal header mismatch; checking from
   /// scratch", "cannot write journal ..."); empty when all is well.
   std::string JournalNote;
+  /// Per-file metrics folded in input order, plus batch.* outcome counters;
+  /// empty unless BatchOptions::CollectMetrics was set. The fold order is
+  /// fixed, so counters are identical across -j1 and -jN (timer values are
+  /// wall clock and vary run to run).
+  MetricsSnapshot Metrics;
 
   /// Every file's diagnostics concatenated in input order — byte-identical
   /// across job counts.
@@ -150,6 +162,14 @@ private:
 /// Halves every nonzero resource limit in \p Flags (minimum 1) — the
 /// retry ladder's "tightened limits" step. Exposed for tests.
 void halveLimits(FlagSet &Flags);
+
+/// The watchdog thread's poll interval for a given per-file deadline:
+/// DeadlineMs / 8, hard-clamped to [1, 50] milliseconds. The result is
+/// always a sane wait_for interval — never zero, subnormal, or non-finite —
+/// even for DeadlineMs values of 0, 1, or UINT_MAX, so the watchdog can
+/// neither busy-spin nor sleep past a whole deadline window. Exposed for
+/// tests.
+double watchdogTickMs(unsigned DeadlineMs);
 
 } // namespace memlint
 

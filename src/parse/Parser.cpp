@@ -7,6 +7,8 @@
 #include "parse/Parser.h"
 
 #include <cassert>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 
 using namespace memlint;
@@ -24,9 +26,38 @@ bool Parser::expect(TokenKind K, const char *Context) {
 }
 
 void Parser::error(const std::string &Message) {
+  errorAt(cur().Loc, Message);
+}
+
+void Parser::errorAt(const SourceLocation &Loc, const std::string &Message) {
   ++ErrorCount;
   if (ErrorCount <= 50)
-    Diags.report(CheckId::ParseError, cur().Loc, Message, Severity::Error);
+    Diags.report(CheckId::ParseError, Loc, Message, Severity::Error);
+}
+
+Parser::ParsedInt Parser::parseIntLiteral(const Token &Tok) {
+  ParsedInt Result;
+  const char *Begin = Tok.Text.c_str();
+  char *End = nullptr;
+  errno = 0;
+  Result.Value = std::strtol(Begin, &End, 0);
+  bool Malformed = End == Begin;
+  for (; !Malformed && *End; ++End)
+    if (*End != 'u' && *End != 'U' && *End != 'l' && *End != 'L')
+      Malformed = true;
+  if (errno == ERANGE) {
+    // strtol already clamped Value to LONG_MIN/LONG_MAX; keep that as the
+    // recovery sentinel so downstream arithmetic stays well-defined.
+    Result.Valid = false;
+    errorAt(Tok.Loc, "integer literal '" + Tok.Text +
+                         "' is out of range; using " +
+                         std::to_string(Result.Value));
+  } else if (Malformed) {
+    Result.Value = 0;
+    Result.Valid = false;
+    errorAt(Tok.Loc, "malformed integer literal '" + Tok.Text + "'");
+  }
+  return Result;
 }
 
 void Parser::noteTooDeep() {
@@ -407,7 +438,7 @@ QualType Parser::parseEnum() {
         // previously declared enumerator.
         bool Negate = consume(TokenKind::Minus);
         if (at(TokenKind::IntegerLiteral)) {
-          Value = std::strtol(take().Text.c_str(), nullptr, 0);
+          Value = parseIntLiteral(take()).Value;
         } else if (at(TokenKind::Identifier)) {
           Decl *Prev = lookup(cur().Text);
           if (auto *EC = dyn_cast_or_null<EnumConstantDecl>(Prev))
@@ -419,12 +450,14 @@ QualType Parser::parseEnum() {
           error("expected constant expression for enumerator");
         }
         if (Negate)
-          Value = -Value;
+          Value = Value == LONG_MIN ? LONG_MAX : -Value;
       }
       auto *EC = Ctx.create<EnumConstantDecl>(Name.Text, Name.Loc, Value);
       declare(Name.Text, EC);
       Constants.push_back(EC);
-      Next = Value + 1;
+      // Saturate: an overflow-clamped enumerator must not wrap the next
+      // implicit value around to LONG_MIN.
+      Next = Value == LONG_MAX ? Value : Value + 1;
       if (!consume(TokenKind::Comma))
         break;
     }
@@ -498,8 +531,12 @@ Parser::Declarator Parser::parseDeclarator(const DeclSpec &DS, bool Abstract) {
       D.Ty = Ctx.functionTy(D.Ty, std::move(ParamTys), Variadic);
     } else if (consume(TokenKind::LBracket)) {
       std::optional<long> Size;
-      if (at(TokenKind::IntegerLiteral))
-        Size = std::strtol(take().Text.c_str(), nullptr, 0);
+      if (at(TokenKind::IntegerLiteral)) {
+        // An overflowed size stays "unknown": bounds checks downstream must
+        // not trust a clamped sentinel.
+        if (ParsedInt PI = parseIntLiteral(take()); PI.Valid)
+          Size = PI.Value;
+      }
       expect(TokenKind::RBracket, "to close array declarator");
       D.Ty = Ctx.arrayOf(D.Ty, Size);
     }
@@ -540,9 +577,10 @@ void Parser::parseDeclaratorSuffix(Declarator &D) {
     if (at(TokenKind::LBracket)) {
       take();
       std::optional<long> Size;
-      if (at(TokenKind::IntegerLiteral))
-        Size = std::strtol(take().Text.c_str(), nullptr, 0);
-      else if (at(TokenKind::Identifier)) {
+      if (at(TokenKind::IntegerLiteral)) {
+        if (ParsedInt PI = parseIntLiteral(take()); PI.Valid)
+          Size = PI.Value;
+      } else if (at(TokenKind::Identifier)) {
         if (auto *EC = dyn_cast_or_null<EnumConstantDecl>(lookup(cur().Text)))
           Size = EC->value();
         take();
@@ -1331,8 +1369,7 @@ Expr *Parser::parsePrimary() {
   SourceLocation Loc = cur().Loc;
   switch (cur().Kind) {
   case TokenKind::IntegerLiteral: {
-    std::string Text = take().Text;
-    long Value = std::strtol(Text.c_str(), nullptr, 0);
+    long Value = parseIntLiteral(take()).Value;
     auto *E = Ctx.create<IntegerLiteralExpr>(Loc, Value);
     E->setType(Ctx.intTy());
     return E;

@@ -70,8 +70,23 @@ private:
   }
   bool expect(TokenKind K, const char *Context);
   void error(const std::string &Message);
+  void errorAt(const SourceLocation &Loc, const std::string &Message);
   /// Skips tokens until a likely recovery point (';', '}' or EOF).
   void synchronize();
+
+  //===--- literal parsing ------------------------------------------------===//
+  /// An integer-literal token's numeric value plus whether it was usable.
+  /// On overflow, Value is strtol's clamped LONG_MIN/LONG_MAX sentinel;
+  /// on a malformed literal it is 0. Either way a diagnostic was emitted
+  /// and Valid is false, so contexts that must not guess (array sizes) can
+  /// fall back to "unknown" instead of a silently wrong number.
+  struct ParsedInt {
+    long Value = 0;
+    bool Valid = true;
+  };
+  /// Evaluates an IntegerLiteral token with full errno/end-pointer
+  /// checking (the lexer keeps [uUlL] suffixes in the token text).
+  ParsedInt parseIntLiteral(const Token &Tok);
 
   //===--- recursion containment ------------------------------------------===//
   /// RAII depth counter placed at every recursion choke point. When the

@@ -43,10 +43,21 @@ std::vector<Token> Preprocessor::process(const std::string &MainFile) {
 std::vector<Token> Preprocessor::processSource(const std::string &Name,
                                                const std::string &Source) {
   Lexer Lex(Name, Source, Diags);
-  std::vector<Token> Raw = Lex.lex();
+  std::vector<Token> Raw;
+  {
+    ScopedTimer T(Metrics, "phase.lex");
+    Raw = Lex.lex();
+  }
+  if (Metrics)
+    Metrics->addCounter("lex.tokens", Raw.size());
   std::vector<Token> Out;
   IncludeStack.insert(Name);
-  processTokens(Raw, Out, /*Depth=*/0);
+  {
+    ScopedTimer T(Metrics, "phase.pp");
+    processTokens(Raw, Out, /*Depth=*/0);
+  }
+  if (Metrics)
+    Metrics->addCounter("pp.tokens", Out.size());
   IncludeStack.erase(Name);
   if (Out.empty() || !Out.back().isEof()) {
     Token Eof;

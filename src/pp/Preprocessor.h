@@ -24,6 +24,7 @@
 #include "lex/Token.h"
 #include "support/Diagnostics.h"
 #include "support/Limits.h"
+#include "support/Metrics.h"
 #include "support/VFS.h"
 
 #include <map>
@@ -67,6 +68,11 @@ public:
   /// Predefines an object-like macro (like -D on a compiler command line).
   void predefine(const std::string &Name, const std::string &Value);
 
+  /// Attaches a metrics registry: processSource then records "phase.lex" /
+  /// "phase.pp" timings and "lex.tokens" / "pp.tokens" counters. Null (the
+  /// default) keeps the hot path free of clock reads.
+  void setMetrics(MetricsRegistry *M) { Metrics = M; }
+
 private:
   struct Macro {
     bool FunctionLike = false;
@@ -100,6 +106,7 @@ private:
   const VFS &Files;
   DiagnosticEngine &Diags;
   BudgetState *Budget = nullptr;
+  MetricsRegistry *Metrics = nullptr;
   bool BudgetNoticed = false;
   std::map<std::string, Macro> Macros;
   std::vector<ControlDirective> Controls;

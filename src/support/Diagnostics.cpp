@@ -60,15 +60,24 @@ void DiagnosticEngine::commit(Diagnostic Diag) {
     ++Suppressed;
     return;
   }
+  // Notes are advisory (budget notices, +stats blocks, cancellation
+  // markers): they neither charge the caps nor count toward them, so a run
+  // that emits many notes cannot crowd real findings out of flood control
+  // — and conversely a capped class still gets its notices through.
+  if (Diag.Sev == Severity::Note) {
+    Diags.push_back(std::move(Diag));
+    return;
+  }
   // Flood control: count, but do not store, diagnostics beyond the caps.
   // Stored diagnostics are never displaced by later ones.
   unsigned &ClassCount = ClassCounts[Diag.Id];
   if ((PerClassCap != 0 && ClassCount >= PerClassCap) ||
-      (TotalCap != 0 && Diags.size() >= TotalCap)) {
+      (TotalCap != 0 && CapChargedCount >= TotalCap)) {
     ++Overflow[Diag.Id];
     return;
   }
   ++ClassCount;
+  ++CapChargedCount;
   Diags.push_back(std::move(Diag));
 }
 

@@ -143,6 +143,11 @@ public:
     return Overflow;
   }
 
+  /// Stored diagnostics that charged the flood-control caps. Notes are
+  /// exempt (they are advisory and never displace findings), so this can
+  /// be less than diagnostics().size().
+  unsigned cappedStoredCount() const { return CapChargedCount; }
+
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
   unsigned suppressedCount() const { return Suppressed; }
 
@@ -155,6 +160,7 @@ public:
     Overflow.clear();
     ClassCounts.clear();
     Suppressed = 0;
+    CapChargedCount = 0;
   }
 
   /// Renders all stored diagnostics, one per paragraph.
@@ -169,6 +175,7 @@ private:
   unsigned Suppressed = 0;
   unsigned PerClassCap = 0; ///< 0 = unlimited
   unsigned TotalCap = 0;    ///< 0 = unlimited
+  unsigned CapChargedCount = 0; ///< stored non-note diagnostics
   std::map<CheckId, unsigned> ClassCounts;
   std::map<CheckId, unsigned> Overflow;
 };

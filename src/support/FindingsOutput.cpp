@@ -1,0 +1,194 @@
+//===--- FindingsOutput.cpp - Structured findings emitters ----------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FindingsOutput.h"
+
+#include "support/Json.h"
+
+#include <map>
+
+using namespace memlint;
+
+const char *memlint::severityName(Severity Sev) {
+  switch (Sev) {
+  case Severity::Error:
+    return "error";
+  case Severity::Anomaly:
+    return "anomaly";
+  case Severity::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// One-line rule descriptions for SARIF reportingDescriptors, matching the
+/// check classes in Diagnostics.h.
+const char *checkIdDescription(CheckId Id) {
+  switch (Id) {
+  case CheckId::ParseError:
+    return "Source could not be parsed";
+  case CheckId::AnnotationError:
+    return "Incompatible or misplaced annotations";
+  case CheckId::NullDeref:
+    return "Possibly-null pointer dereferenced";
+  case CheckId::NullPass:
+    return "Possibly-null value passed or assigned where non-null expected";
+  case CheckId::NullReturn:
+    return "Function returns possibly-null where non-null expected";
+  case CheckId::UseUndefined:
+    return "Undefined or allocated-but-undefined storage used";
+  case CheckId::CompleteDefine:
+    return "Storage not completely defined at an interface point";
+  case CheckId::MustFree:
+    return "Obligation to release storage was lost (leak)";
+  case CheckId::UseReleased:
+    return "Dead (released) storage used";
+  case CheckId::DoubleFree:
+    return "Released storage released again";
+  case CheckId::AliasTransfer:
+    return "Inconsistent allocation-state transfer";
+  case CheckId::BranchState:
+    return "Inconsistent storage states at a confluence";
+  case CheckId::UniqueAlias:
+    return "Unique parameter aliased by another argument or global";
+  case CheckId::Observer:
+    return "Observer (read-only) storage modified or released";
+  case CheckId::GlobalState:
+    return "Global variable state violates its annotation";
+  case CheckId::InterfaceDefine:
+    return "Parameter or return definition annotation violated";
+  }
+  return "Unknown check class";
+}
+
+/// SARIF result levels: parse errors are "error", anomalies "warning"
+/// (they are the tool's findings, possibly spurious per the paper), notes
+/// "note".
+const char *sarifLevel(Severity Sev) {
+  switch (Sev) {
+  case Severity::Error:
+    return "error";
+  case Severity::Anomaly:
+    return "warning";
+  case Severity::Note:
+    return "note";
+  }
+  return "none";
+}
+
+/// Renders a SARIF physicalLocation object, or "" for invalid locations
+/// (SARIF regions require startLine >= 1; fabricating one would be worse
+/// than omitting the location).
+std::string sarifPhysicalLocation(const SourceLocation &Loc) {
+  if (!Loc.isValid())
+    return "";
+  std::string Out = "{\"physicalLocation\": {\"artifactLocation\": {\"uri\": " +
+                    jsonString(Loc.file()) +
+                    "}, \"region\": {\"startLine\": " +
+                    std::to_string(Loc.line());
+  if (Loc.column() != 0)
+    Out += ", \"startColumn\": " + std::to_string(Loc.column());
+  return Out + "}}}";
+}
+
+std::string jsonlLocationFields(const SourceLocation &Loc) {
+  return "\"file\":" + jsonString(Loc.file()) +
+         ",\"line\":" + std::to_string(Loc.line()) +
+         ",\"column\":" + std::to_string(Loc.column());
+}
+
+} // namespace
+
+std::string memlint::renderSarif(const std::vector<Diagnostic> &Diags) {
+  // Rules: one reportingDescriptor per check class that fired, indexed in
+  // first-appearance order so ruleIndex values are stable.
+  std::map<CheckId, unsigned> RuleIndex;
+  std::vector<CheckId> Rules;
+  for (const Diagnostic &D : Diags)
+    if (RuleIndex.emplace(D.Id, static_cast<unsigned>(Rules.size())).second)
+      Rules.push_back(D.Id);
+
+  std::string Out;
+  Out += "{\n";
+  Out += "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  Out += "  \"version\": \"2.1.0\",\n";
+  Out += "  \"runs\": [\n";
+  Out += "    {\n";
+  Out += "      \"tool\": {\n";
+  Out += "        \"driver\": {\n";
+  Out += "          \"name\": \"memlint\",\n";
+  Out += "          \"informationUri\": "
+         "\"https://doi.org/10.1145/231379.231389\",\n";
+  Out += "          \"rules\": [";
+  for (size_t I = 0; I < Rules.size(); ++I) {
+    Out += I == 0 ? "\n" : ",\n";
+    Out += "            {\"id\": " +
+           jsonString(checkIdFlagName(Rules[I])) +
+           ", \"shortDescription\": {\"text\": " +
+           jsonString(checkIdDescription(Rules[I])) + "}}";
+  }
+  Out += Rules.empty() ? "]\n" : "\n          ]\n";
+  Out += "        }\n";
+  Out += "      },\n";
+  Out += "      \"results\": [";
+  for (size_t I = 0; I < Diags.size(); ++I) {
+    const Diagnostic &D = Diags[I];
+    Out += I == 0 ? "\n" : ",\n";
+    Out += "        {\n";
+    Out += "          \"ruleId\": " + jsonString(checkIdFlagName(D.Id)) +
+           ",\n";
+    Out += "          \"ruleIndex\": " + std::to_string(RuleIndex[D.Id]) +
+           ",\n";
+    Out += "          \"level\": " + jsonString(sarifLevel(D.Sev)) + ",\n";
+    Out += "          \"message\": {\"text\": " + jsonString(D.Message) +
+           "}";
+    if (std::string Loc = sarifPhysicalLocation(D.Loc); !Loc.empty())
+      Out += ",\n          \"locations\": [" + Loc + "]";
+    if (!D.Notes.empty()) {
+      Out += ",\n          \"relatedLocations\": [";
+      bool FirstNote = true;
+      for (const Diagnostic::Note &N : D.Notes) {
+        std::string Loc = sarifPhysicalLocation(N.Loc);
+        if (Loc.empty())
+          continue;
+        // Splice the note message into the physicalLocation object.
+        Loc.insert(Loc.size() - 1,
+                   ", \"message\": {\"text\": " + jsonString(N.Message) +
+                       "}");
+        Out += (FirstNote ? "" : ", ") + Loc;
+        FirstNote = false;
+      }
+      Out += "]";
+    }
+    Out += "\n        }";
+  }
+  Out += Diags.empty() ? "]\n" : "\n      ]\n";
+  Out += "    }\n";
+  Out += "  ]\n";
+  Out += "}\n";
+  return Out;
+}
+
+std::string memlint::renderJsonl(const std::vector<Diagnostic> &Diags) {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += "{" + jsonlLocationFields(D.Loc) +
+           ",\"check\":" + jsonString(checkIdFlagName(D.Id)) +
+           ",\"severity\":" + jsonString(severityName(D.Sev)) +
+           ",\"message\":" + jsonString(D.Message) + ",\"notes\":[";
+    for (size_t I = 0; I < D.Notes.size(); ++I) {
+      if (I != 0)
+        Out += ",";
+      Out += "{" + jsonlLocationFields(D.Notes[I].Loc) +
+             ",\"message\":" + jsonString(D.Notes[I].Message) + "}";
+    }
+    Out += "]}\n";
+  }
+  return Out;
+}

@@ -1,0 +1,55 @@
+//===--- FindingsOutput.h - Structured findings emitters --------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable renderings of a check run's diagnostics. The paper's
+/// evaluation is about triaging tool output at scale, and downstream
+/// consumers (result viewers, CI annotation, learned triage models) want
+/// findings as structured data rather than the LCLint-style text.
+///
+/// Two formats, both driven from the same Diagnostic values the text
+/// renderer consumes — the default text output stays byte-identical:
+///
+/// * SARIF 2.1.0 (renderSarif): one run, the "memlint" tool driver, one
+///   reportingDescriptor per check class that actually fired, one result
+///   per diagnostic with the paper's indented sub-locations mapped to
+///   relatedLocations. Valid against the SARIF 2.1.0 schema subset we
+///   emit; suitable for code-scanning UIs.
+/// * JSONL (renderJsonl): one self-contained JSON object per line per
+///   diagnostic — the shape batch pipelines grep, sort, and diff.
+///
+/// Ordering is the diagnostic order of the run in both formats, so
+/// structured output is as deterministic as the text output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_SUPPORT_FINDINGSOUTPUT_H
+#define MEMLINT_SUPPORT_FINDINGSOUTPUT_H
+
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace memlint {
+
+/// \returns the stable lower-case name of a severity ("error", "anomaly",
+/// "note") — the vocabulary of the JSONL "severity" field.
+const char *severityName(Severity Sev);
+
+/// Renders diagnostics as a complete SARIF 2.1.0 document (pretty-printed,
+/// trailing newline). Diagnostics with invalid locations are emitted
+/// without a region, never with a fabricated line 0.
+std::string renderSarif(const std::vector<Diagnostic> &Diags);
+
+/// Renders diagnostics as JSON Lines: one object per diagnostic with
+/// file/line/column, check class, severity, message, and notes. Every line
+/// is a complete JSON object (trailing newline per line).
+std::string renderJsonl(const std::vector<Diagnostic> &Diags);
+
+} // namespace memlint
+
+#endif // MEMLINT_SUPPORT_FINDINGSOUTPUT_H

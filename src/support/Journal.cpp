@@ -6,6 +6,8 @@
 
 #include "support/Journal.h"
 
+#include "support/Json.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -35,58 +37,6 @@ std::string memlint::fnv1aHex(const std::vector<std::string> &Parts) {
 // Emission
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// JSON string escaping for the subset we emit (control chars, quote,
-/// backslash; everything else passes through byte-for-byte).
-std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size() + 2);
-  for (char C : S) {
-    unsigned char U = static_cast<unsigned char>(C);
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\r':
-      Out += "\\r";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      if (U < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", U);
-        Out += Buf;
-      } else {
-        Out += C;
-      }
-    }
-  }
-  return Out;
-}
-
-std::string jsonString(const std::string &S) {
-  return "\"" + jsonEscape(S) + "\"";
-}
-
-/// Doubles are only used for wall-clock milliseconds; two decimals is
-/// plenty and keeps lines short and locale-independent.
-std::string jsonMs(double Ms) {
-  char Buf[64];
-  std::snprintf(Buf, sizeof(Buf), "%.2f", Ms < 0 ? 0.0 : Ms);
-  return Buf;
-}
-
-} // namespace
-
 std::string memlint::journalHeaderLine(const std::string &CorpusChecksum,
                                        unsigned long FileCount) {
   return "{\"memlint_journal\":1,\"corpus\":" + jsonString(CorpusChecksum) +
@@ -101,13 +51,33 @@ std::string memlint::journalEntryLine(const JournalEntry &Entry) {
     Reasons += jsonString(R);
   }
   Reasons += "]";
-  return "{\"file\":" + jsonString(Entry.File) +
-         ",\"status\":" + jsonString(Entry.Status) +
-         ",\"attempts\":" + std::to_string(Entry.Attempts) +
-         ",\"anomalies\":" + std::to_string(Entry.Anomalies) +
-         ",\"suppressed\":" + std::to_string(Entry.Suppressed) +
-         ",\"wall_ms\":" + jsonMs(Entry.WallMs) + ",\"reasons\":" + Reasons +
-         ",\"diags\":" + jsonString(Entry.Diagnostics) + "}";
+  std::string Out = "{\"file\":" + jsonString(Entry.File) +
+                    ",\"status\":" + jsonString(Entry.Status) +
+                    ",\"attempts\":" + std::to_string(Entry.Attempts) +
+                    ",\"anomalies\":" + std::to_string(Entry.Anomalies) +
+                    ",\"suppressed\":" + std::to_string(Entry.Suppressed) +
+                    ",\"wall_ms\":" + jsonMs(Entry.WallMs) +
+                    ",\"reasons\":" + Reasons +
+                    ",\"diags\":" + jsonString(Entry.Diagnostics);
+  // Metrics are emitted only when collected, so journals from runs without
+  // --metrics-out keep the historical byte format.
+  if (!Entry.Metrics.empty()) {
+    Out += ",\"metrics\":{\"counters\":{";
+    bool First = true;
+    for (const auto &[Name, Value] : Entry.Metrics.Counters) {
+      Out += (First ? "" : ",") + jsonString(Name) + ":" +
+             std::to_string(Value);
+      First = false;
+    }
+    Out += "},\"timers_ms\":{";
+    First = true;
+    for (const auto &[Name, Ms] : Entry.Metrics.TimersMs) {
+      Out += (First ? "" : ",") + jsonString(Name) + ":" + jsonMs(Ms);
+      First = false;
+    }
+    Out += "}}";
+  }
+  return Out + "}";
 }
 
 //===----------------------------------------------------------------------===//
@@ -116,15 +86,36 @@ std::string memlint::journalEntryLine(const JournalEntry &Entry) {
 
 namespace {
 
-/// A strict scanner for the flat JSON objects the journal emits: string
-/// keys mapping to strings, non-negative numbers, or arrays of strings.
-/// Any deviation (truncation, garbage, nesting) fails the whole line.
+/// A strict scanner for the JSON objects the journal emits: string keys
+/// mapping to strings, non-negative numbers, arrays of strings, or
+/// (depth-limited) nested objects of the same shape — the "metrics" field.
+/// Any deviation (truncation, garbage, excessive nesting) fails the whole
+/// line.
 class LineParser {
 public:
   explicit LineParser(const std::string &Text) : Text(Text) {}
 
-  /// Parses the full line as one object; \p OnField is called per field.
-  /// \returns false if the line is not a complete well-formed object.
+  struct Value {
+    enum Kind { String, Number, StringArray, Object } K = Number;
+    std::string Str;
+    double Num = 0;
+    std::vector<std::string> Array;
+    /// Sub-fields in source order (K == Object). Recursion is bounded by
+    /// MaxObjectDepth, so hostile deep nesting fails instead of recursing.
+    std::vector<std::pair<std::string, Value>> Fields;
+
+    /// \returns the sub-field named \p Name, or null (Object kind only).
+    const Value *field(const std::string &Name) const {
+      for (const auto &[Key, V] : Fields)
+        if (Key == Name)
+          return &V;
+      return nullptr;
+    }
+  };
+
+  /// Parses the full line as one object; \p OnField is called per top-level
+  /// field. \returns false if the line is not a complete well-formed
+  /// object.
   template <typename Fn> bool parseObject(Fn OnField) {
     skipSpace();
     if (!eat('{'))
@@ -140,8 +131,10 @@ public:
       if (!eat(':'))
         return false;
       skipSpace();
-      if (!parseValue(Key, OnField))
+      Value V;
+      if (!parseValue(V, /*Depth=*/1))
         return false;
+      OnField(Key, V);
       skipSpace();
       if (eat(',')) {
         skipSpace();
@@ -154,20 +147,17 @@ public:
   }
 
 private:
-  struct Value {
-    enum Kind { String, Number, StringArray } K;
-    std::string Str;
-    double Num = 0;
-    std::vector<std::string> Array;
-  };
+  /// Journal lines nest at most three levels ({entry} > metrics >
+  /// counters); one spare level keeps the format extensible without
+  /// admitting unbounded recursion.
+  static constexpr unsigned MaxObjectDepth = 4;
 
-  template <typename Fn> bool parseValue(const std::string &Key, Fn OnField) {
-    Value V;
+  bool parseValue(Value &V, unsigned Depth) {
     if (Pos < Text.size() && Text[Pos] == '"') {
       V.K = Value::String;
-      if (!parseString(V.Str))
-        return false;
-    } else if (Pos < Text.size() && Text[Pos] == '[') {
+      return parseString(V.Str);
+    }
+    if (Pos < Text.size() && Text[Pos] == '[') {
       V.K = Value::StringArray;
       ++Pos;
       skipSpace();
@@ -187,13 +177,40 @@ private:
           return false;
         }
       }
-    } else {
-      V.K = Value::Number;
-      if (!parseNumber(V.Num))
-        return false;
+      return true;
     }
-    OnField(Key, V);
-    return true;
+    if (Pos < Text.size() && Text[Pos] == '{') {
+      if (Depth >= MaxObjectDepth)
+        return false;
+      V.K = Value::Object;
+      ++Pos;
+      skipSpace();
+      if (eat('}'))
+        return true;
+      for (;;) {
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipSpace();
+        if (!eat(':'))
+          return false;
+        skipSpace();
+        Value Sub;
+        if (!parseValue(Sub, Depth + 1))
+          return false;
+        V.Fields.emplace_back(std::move(Key), std::move(Sub));
+        skipSpace();
+        if (eat(',')) {
+          skipSpace();
+          continue;
+        }
+        if (eat('}'))
+          return true;
+        return false;
+      }
+    }
+    V.K = Value::Number;
+    return parseNumber(V.Num);
   }
 
   bool parseString(std::string &Out) {
@@ -301,6 +318,23 @@ public:
   using ValueT = Value;
 };
 
+/// Reads a journal "metrics" object ({"counters":{...},"timers_ms":{...}})
+/// into a snapshot. Unknown sub-fields are ignored; non-numeric leaves are
+/// skipped (the line already parsed, so this is shape-tolerant by design).
+void readMetricsValue(const LineParser::ValueT &V, MetricsSnapshot &Out) {
+  if (V.K != LineParser::ValueT::Object)
+    return;
+  if (const LineParser::ValueT *Counters = V.field("counters"))
+    for (const auto &[Name, Sub] : Counters->Fields)
+      if (Sub.K == LineParser::ValueT::Number && Sub.Num >= 0)
+        Out.Counters[Name] =
+            static_cast<unsigned long long>(Sub.Num);
+  if (const LineParser::ValueT *Timers = V.field("timers_ms"))
+    for (const auto &[Name, Sub] : Timers->Fields)
+      if (Sub.K == LineParser::ValueT::Number && Sub.Num >= 0)
+        Out.TimersMs[Name] = Sub.Num;
+}
+
 } // namespace
 
 JournalContents memlint::parseJournal(const std::string &Text) {
@@ -366,6 +400,8 @@ JournalContents memlint::parseJournal(const std::string &Text) {
             Entry.Reasons = V.Array;
           } else if (Key == "diags") {
             Entry.Diagnostics = V.Str;
+          } else if (Key == "metrics") {
+            readMetricsValue(V, Entry.Metrics);
           }
         });
     if (Parsed && SawFile && SawStatus)

@@ -24,16 +24,22 @@
 ///
 ///   {"memlint_journal":1,"corpus":"<fnv1a64 hex>","files":12}
 ///   {"file":"a.c","status":"ok","attempts":1,"anomalies":2,
-///    "suppressed":0,"wall_ms":1.25,"reasons":[],"diags":"a.c:3: ...\n"}
+///    "suppressed":0,"wall_ms":1.25,"reasons":[],"diags":"a.c:3: ...\n",
+///    "metrics":{"counters":{"check.functions":3},"timers_ms":{...}}}
 ///
 /// "status" is one of "ok", "degraded", "timeout", "crash" (see
 /// driver/BatchDriver.h). "diags" carries the file's rendered diagnostics
-/// so a resumed run can replay output without re-checking.
+/// so a resumed run can replay output without re-checking. "metrics" is
+/// present only when the run collected metrics (see support/Metrics.h); it
+/// carries the file's counters and phase timings so a resumed run can
+/// still aggregate a complete --metrics-out summary.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MEMLINT_SUPPORT_JOURNAL_H
 #define MEMLINT_SUPPORT_JOURNAL_H
+
+#include "support/Metrics.h"
 
 #include <optional>
 #include <string>
@@ -50,7 +56,8 @@ struct JournalEntry {
   unsigned Anomalies = 0;
   unsigned Suppressed = 0;
   double WallMs = 0;
-  std::string Diagnostics; ///< rendered diagnostic text
+  std::string Diagnostics;  ///< rendered diagnostic text
+  MetricsSnapshot Metrics;  ///< per-file metrics; empty when not collected
 };
 
 /// Everything recovered from a journal file, however damaged.

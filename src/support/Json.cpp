@@ -1,0 +1,55 @@
+//===--- Json.cpp - Minimal JSON emission helpers -------------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cstdio>
+
+using namespace memlint;
+
+std::string memlint::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (U < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", U);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string memlint::jsonString(const std::string &S) {
+  return "\"" + jsonEscape(S) + "\"";
+}
+
+std::string memlint::jsonMs(double Ms) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.2f", Ms < 0 ? 0.0 : Ms);
+  return Buf;
+}

@@ -1,0 +1,38 @@
+//===--- Json.h - Minimal JSON emission helpers -----------------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tiny JSON-emission subset shared by every machine-readable output in
+/// the tree: the batch journal (support/Journal), the structured findings
+/// emitters (support/FindingsOutput), and the metrics summaries
+/// (support/Metrics). Emission only covers what those formats need —
+/// strings, non-negative integers, and fixed-point milliseconds — and is
+/// locale-independent by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_SUPPORT_JSON_H
+#define MEMLINT_SUPPORT_JSON_H
+
+#include <string>
+
+namespace memlint {
+
+/// Escapes \p S for inclusion inside a JSON string literal (control chars,
+/// quote, backslash; everything else passes through byte-for-byte).
+std::string jsonEscape(const std::string &S);
+
+/// Renders \p S as a quoted, escaped JSON string.
+std::string jsonString(const std::string &S);
+
+/// Renders a millisecond quantity with two decimals (locale-independent;
+/// negative inputs clamp to 0). Two decimals is plenty for wall-clock
+/// timings and keeps lines short.
+std::string jsonMs(double Ms);
+
+} // namespace memlint
+
+#endif // MEMLINT_SUPPORT_JSON_H

@@ -129,6 +129,9 @@ public:
     return limitExhausted(Tokens, Budget.MaxTokens);
   }
 
+  /// Tokens charged so far (observability; see support/Metrics.h).
+  unsigned long tokensUsed() const { return Tokens; }
+
   /// Records that a limit was exceeded and checking degraded. \p Reason is
   /// the limit's flag name. Deduplicated; order of first occurrence kept.
   void noteDegradation(const std::string &Reason) {

@@ -1,0 +1,43 @@
+//===--- Metrics.cpp - Phase metrics for check runs -----------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "support/Json.h"
+
+using namespace memlint;
+
+void MetricsSnapshot::merge(const MetricsSnapshot &Other) {
+  for (const auto &[Name, Value] : Other.Counters)
+    Counters[Name] += Value;
+  for (const auto &[Name, Ms] : Other.TimersMs)
+    TimersMs[Name] += Ms;
+}
+
+std::string MetricsSnapshot::json(const std::string &Indent,
+                                  bool SkipTimers) const {
+  std::string Out = "{\n";
+  Out += Indent + "  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : Counters) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += Indent + "    " + jsonString(Name) + ": " + std::to_string(Value);
+  }
+  Out += First ? "}" : "\n" + Indent + "  }";
+  if (!SkipTimers) {
+    Out += ",\n" + Indent + "  \"timers_ms\": {";
+    First = true;
+    for (const auto &[Name, Ms] : TimersMs) {
+      Out += First ? "\n" : ",\n";
+      First = false;
+      Out += Indent + "    " + jsonString(Name) + ": " + jsonMs(Ms);
+    }
+    Out += First ? "}" : "\n" + Indent + "  }";
+  }
+  Out += "\n" + Indent + "}";
+  return Out;
+}

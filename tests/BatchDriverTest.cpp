@@ -327,6 +327,26 @@ TEST(BatchDriverTest, HalveLimitsTightensEveryBoundButKeepsFloors) {
   EXPECT_EQ(Flags.limits().MaxEnvSplitsPerFunction, 3u);
 }
 
+//===--- watchdog tick ---------------------------------------------------------===//
+
+TEST(BatchDriverTest, WatchdogTickClampedToSaneRange) {
+  // The watchdog sleeps DeadlineMs/8 between polls, but the tick must
+  // never be zero (a 0 or tiny deadline would busy-spin) and never so
+  // large that a timeout is noticed long after the deadline.
+  const unsigned Deadlines[] = {0,   1,    2,    7,         8,
+                                100, 4000, 60000, 4294967295u};
+  for (unsigned D : Deadlines) {
+    double Tick = watchdogTickMs(D);
+    EXPECT_GE(Tick, 1.0) << "deadline " << D;
+    EXPECT_LE(Tick, 50.0) << "deadline " << D;
+  }
+  EXPECT_DOUBLE_EQ(watchdogTickMs(0), 1.0);
+  EXPECT_DOUBLE_EQ(watchdogTickMs(8), 1.0);
+  EXPECT_DOUBLE_EQ(watchdogTickMs(100), 12.5);
+  EXPECT_DOUBLE_EQ(watchdogTickMs(400), 50.0);
+  EXPECT_DOUBLE_EQ(watchdogTickMs(4000), 50.0);
+}
+
 //===--- journal format --------------------------------------------------------===//
 
 TEST(BatchDriverTest, JournalEntryRoundTripsThroughEscaping) {

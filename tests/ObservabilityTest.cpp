@@ -1,0 +1,489 @@
+//===--- ObservabilityTest.cpp - Metrics, findings output, tracing --------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the observability layer: the metrics registry wired through
+/// the pipeline, SARIF/JSONL findings emitters, the analysis trace, and
+/// journal persistence of per-file metrics. Counters must be deterministic
+/// (same input, same flags, same counts — across runs and job counts);
+/// timers are wall clock and only their key set is asserted.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchDriver.h"
+#include "support/FindingsOutput.h"
+#include "support/Journal.h"
+#include "support/Metrics.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace memlint;
+using namespace memlint::test;
+
+namespace {
+
+/// The running example used throughout: a leak and a possible null deref,
+/// so every phase has work to do and diagnostics exist to render.
+const char *LeakySource = "extern /*@null@*/ /*@only@*/ void *malloc(int n);\n"
+                          "void leak(void) {\n"
+                          "  char *p = (char *) malloc(10);\n"
+                          "  *p = 'x';\n"
+                          "}\n";
+
+CheckResult checkWithMetrics(const std::string &Source,
+                             bool Stats = false) {
+  CheckOptions Options;
+  Options.CollectMetrics = true;
+  if (Stats)
+    Options.Flags.set("stats", true);
+  return Checker::checkSource(Source, Options, "test.c");
+}
+
+unsigned long long counter(const MetricsSnapshot &M, const std::string &K) {
+  auto It = M.Counters.find(K);
+  return It == M.Counters.end() ? 0ull : It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics collection
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, OffByDefault) {
+  CheckResult R = check(LeakySource);
+  EXPECT_TRUE(R.Metrics.empty());
+  EXPECT_TRUE(R.Metrics.Counters.empty());
+  EXPECT_TRUE(R.Metrics.TimersMs.empty());
+}
+
+TEST(MetricsTest, PhaseTimersAndCountersCollected) {
+  CheckResult R = checkWithMetrics(LeakySource);
+  ASSERT_FALSE(R.Metrics.empty());
+  for (const char *Phase : {"phase.lex", "phase.pp", "phase.parse",
+                            "phase.sema", "phase.check", "check.function"})
+    EXPECT_TRUE(R.Metrics.TimersMs.count(Phase)) << Phase;
+  EXPECT_EQ(counter(R.Metrics, "check.functions"), 1u);
+  EXPECT_GT(counter(R.Metrics, "check.stmts"), 0u);
+  EXPECT_GT(counter(R.Metrics, "lex.tokens"), 0u);
+  EXPECT_GT(counter(R.Metrics, "pp.tokens"), 0u);
+  EXPECT_GT(counter(R.Metrics, "budget.tokens"), 0u);
+  EXPECT_EQ(counter(R.Metrics, "diags.stored"), R.Diagnostics.size());
+}
+
+TEST(MetricsTest, CountersDeterministicAcrossRuns) {
+  CheckResult A = checkWithMetrics(LeakySource);
+  CheckResult B = checkWithMetrics(LeakySource);
+  EXPECT_EQ(A.Metrics.Counters, B.Metrics.Counters);
+  // Timer *keys* are deterministic even though values are wall clock.
+  ASSERT_EQ(A.Metrics.TimersMs.size(), B.Metrics.TimersMs.size());
+  auto It = B.Metrics.TimersMs.begin();
+  for (const auto &KV : A.Metrics.TimersMs)
+    EXPECT_EQ(KV.first, (It++)->first);
+}
+
+TEST(MetricsTest, EnvStatsFoldedOnlyUnderStatsFlag) {
+  CheckResult Plain = checkWithMetrics(LeakySource, /*Stats=*/false);
+  for (const auto &KV : Plain.Metrics.Counters)
+    EXPECT_NE(KV.first.rfind("env.", 0), 0u)
+        << "unexpected env counter without +stats: " << KV.first;
+
+  CheckResult Stats = checkWithMetrics(LeakySource, /*Stats=*/true);
+  EXPECT_TRUE(Stats.Metrics.Counters.count("env.writes"));
+  EXPECT_TRUE(Stats.Metrics.Counters.count("env.lookups"));
+}
+
+TEST(MetricsTest, SnapshotMergeAndJson) {
+  MetricsSnapshot A, B;
+  A.Counters["x"] = 2;
+  A.TimersMs["t"] = 1.25;
+  B.Counters["x"] = 3;
+  B.Counters["y"] = 1;
+  B.TimersMs["t"] = 0.25;
+  A.merge(B);
+  EXPECT_EQ(A.Counters["x"], 5u);
+  EXPECT_EQ(A.Counters["y"], 1u);
+  EXPECT_DOUBLE_EQ(A.TimersMs["t"], 1.5);
+
+  std::string J = A.json();
+  EXPECT_NE(J.find("\"counters\""), std::string::npos);
+  EXPECT_NE(J.find("\"timers_ms\""), std::string::npos);
+  EXPECT_NE(J.find("\"x\": 5"), std::string::npos);
+}
+
+TEST(MetricsTest, ScopedTimerInertWithoutRegistry) {
+  // Must not crash or record anywhere; the disabled path is a no-op.
+  { ScopedTimer T(nullptr, "phase.test"); }
+  MetricsRegistry Reg;
+  { ScopedTimer T(&Reg, "phase.test"); }
+  EXPECT_TRUE(Reg.snapshot().TimersMs.count("phase.test"));
+}
+
+//===----------------------------------------------------------------------===//
+// SARIF output
+//===----------------------------------------------------------------------===//
+
+TEST(SarifTest, MinimalDocumentShape) {
+  CheckResult R = check(LeakySource);
+  ASSERT_FALSE(R.Diagnostics.empty());
+  std::string S = renderSarif(R.Diagnostics);
+
+  EXPECT_NE(S.find("\"$schema\""), std::string::npos);
+  EXPECT_NE(S.find("sarif-2.1.0"), std::string::npos);
+  EXPECT_NE(S.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(S.find("\"name\": \"memlint\""), std::string::npos);
+  // Rules are emitted for the classes that fired, and results refer to
+  // them by stable flag name.
+  EXPECT_NE(S.find("\"id\": \"mustfree\""), std::string::npos);
+  EXPECT_NE(S.find("\"ruleId\": \"mustfree\""), std::string::npos);
+  EXPECT_NE(S.find("\"uri\": \"test.c\""), std::string::npos);
+  // Anomalies map to SARIF "warning".
+  EXPECT_NE(S.find("\"level\": \"warning\""), std::string::npos);
+  // Document ends with a newline and is brace-balanced.
+  ASSERT_FALSE(S.empty());
+  EXPECT_EQ(S.back(), '\n');
+  long Depth = 0;
+  for (char C : S)
+    Depth += C == '{' ? 1 : C == '}' ? -1 : 0;
+  EXPECT_EQ(Depth, 0);
+}
+
+TEST(SarifTest, EmptyDiagnosticsStillValidDocument) {
+  std::string S = renderSarif({});
+  EXPECT_NE(S.find("\"results\": []"), std::string::npos);
+  EXPECT_NE(S.find("\"rules\": []"), std::string::npos);
+  EXPECT_EQ(S.find("\"ruleId\""), std::string::npos);
+}
+
+TEST(SarifTest, NotesBecomeRelatedLocationsAndEscaping) {
+  Diagnostic D;
+  D.Id = CheckId::NullDeref;
+  D.Sev = Severity::Anomaly;
+  D.Loc = SourceLocation("a \"b\"\\c.c", 3, 7);
+  D.Message = "deref of \"p\"\\here";
+  D.Notes.push_back({SourceLocation("a \"b\"\\c.c", 2, 1),
+                     "Storage p may become null"});
+  std::string S = renderSarif({D});
+
+  EXPECT_NE(S.find("\"relatedLocations\""), std::string::npos);
+  EXPECT_NE(S.find("Storage p may become null"), std::string::npos);
+  // Quotes and backslashes in file names and messages are escaped.
+  EXPECT_NE(S.find("a \\\"b\\\"\\\\c.c"), std::string::npos);
+  EXPECT_NE(S.find("deref of \\\"p\\\"\\\\here"), std::string::npos);
+  EXPECT_NE(S.find("\"startLine\": 3"), std::string::npos);
+  EXPECT_NE(S.find("\"startColumn\": 7"), std::string::npos);
+}
+
+TEST(SarifTest, InvalidLocationOmitsRegion) {
+  Diagnostic D;
+  D.Id = CheckId::ParseError;
+  D.Sev = Severity::Error;
+  D.Message = "driver-level trouble";
+  std::string S = renderSarif({D});
+  EXPECT_EQ(S.find("\"locations\""), std::string::npos);
+  EXPECT_NE(S.find("\"level\": \"error\""), std::string::npos);
+}
+
+TEST(SarifTest, SeverityNames) {
+  EXPECT_STREQ(severityName(Severity::Error), "error");
+  EXPECT_STREQ(severityName(Severity::Anomaly), "anomaly");
+  EXPECT_STREQ(severityName(Severity::Note), "note");
+}
+
+//===----------------------------------------------------------------------===//
+// JSONL output
+//===----------------------------------------------------------------------===//
+
+TEST(JsonlTest, OneCompleteObjectPerLine) {
+  CheckResult R = check(LeakySource);
+  ASSERT_FALSE(R.Diagnostics.empty());
+  std::string J = renderJsonl(R.Diagnostics);
+
+  ASSERT_FALSE(J.empty());
+  EXPECT_EQ(J.back(), '\n');
+  size_t Lines = 0, Pos = 0;
+  while (Pos < J.size()) {
+    size_t End = J.find('\n', Pos);
+    ASSERT_NE(End, std::string::npos);
+    std::string Line = J.substr(Pos, End - Pos);
+    EXPECT_EQ(Line.front(), '{');
+    EXPECT_EQ(Line.back(), '}');
+    EXPECT_NE(Line.find("\"file\":\"test.c\""), std::string::npos);
+    EXPECT_NE(Line.find("\"check\":"), std::string::npos);
+    EXPECT_NE(Line.find("\"severity\":"), std::string::npos);
+    EXPECT_NE(Line.find("\"message\":"), std::string::npos);
+    ++Lines;
+    Pos = End + 1;
+  }
+  EXPECT_EQ(Lines, R.Diagnostics.size());
+}
+
+TEST(JsonlTest, NotesAndSeverityRendered) {
+  Diagnostic D;
+  D.Id = CheckId::NullReturn;
+  D.Sev = Severity::Anomaly;
+  D.Loc = SourceLocation("f.c", 6, 0);
+  D.Message = "returns null";
+  D.Notes.push_back({SourceLocation("f.c", 5, 2), "may become null"});
+  std::string J = renderJsonl({D});
+
+  EXPECT_NE(J.find("\"check\":\"nullret\""), std::string::npos);
+  EXPECT_NE(J.find("\"severity\":\"anomaly\""), std::string::npos);
+  EXPECT_NE(J.find("\"line\":6"), std::string::npos);
+  EXPECT_NE(J.find("\"notes\":[{"), std::string::npos);
+  EXPECT_NE(J.find("may become null"), std::string::npos);
+  // One diagnostic, one line.
+  EXPECT_EQ(std::count(J.begin(), J.end(), '\n'), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis trace
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> traceOf(const std::string &Source,
+                                 const std::string &Fn) {
+  std::vector<std::string> Events;
+  CheckOptions Options;
+  Options.TraceFunction = Fn;
+  Options.TraceSink = [&Events](const std::string &E) {
+    Events.push_back(E);
+  };
+  Checker::checkSource(Source, Options, "test.c");
+  return Events;
+}
+
+TEST(TraceTest, GoldenEventSequence) {
+  // A branch over a possibly-null parameter: one split, two null-state
+  // refinements, one strong write, one merge.
+  const char *Source = "void f(/*@null@*/ char *p) {\n"
+                       "  if (p) { *p = 'x'; }\n"
+                       "}\n";
+  std::vector<std::string> Events = traceOf(Source, "f");
+  ASSERT_FALSE(Events.empty());
+
+  // Every event names the traced function and an event kind.
+  for (const std::string &E : Events) {
+    EXPECT_EQ(E.rfind("fn=f ", 0), 0u) << E;
+    EXPECT_NE(E.find(" ev="), std::string::npos) << E;
+  }
+  EXPECT_EQ(Events.front().rfind("fn=f ev=enter loc=test.c:1", 0), 0u)
+      << Events.front();
+  EXPECT_EQ(Events.back().rfind("fn=f ev=exit ", 0), 0u) << Events.back();
+
+  auto CountOf = [&Events](const std::string &Needle) {
+    size_t N = 0;
+    for (const std::string &E : Events)
+      if (E.find(Needle) != std::string::npos)
+        ++N;
+    return N;
+  };
+  EXPECT_EQ(CountOf("ev=split kind=if"), 1u);
+  EXPECT_EQ(CountOf("ev=merge kind=if"), 1u);
+  EXPECT_EQ(CountOf("ev=null ref=p"), 2u);
+  EXPECT_EQ(CountOf("ev=write ref=*p"), 1u);
+  // The trace is deterministic: a second run produces identical lines.
+  EXPECT_EQ(Events, traceOf(Source, "f"));
+}
+
+TEST(TraceTest, OnlyNamedFunctionTraced) {
+  const char *Source = "void a(char *p) { *p = 'x'; }\n"
+                       "void b(char *q) { *q = 'y'; }\n";
+  std::vector<std::string> Events = traceOf(Source, "b");
+  ASSERT_FALSE(Events.empty());
+  for (const std::string &E : Events)
+    EXPECT_EQ(E.rfind("fn=b ", 0), 0u) << E;
+  EXPECT_TRUE(traceOf(Source, "no_such_function").empty());
+}
+
+TEST(TraceTest, TraceDoesNotChangeDiagnostics) {
+  CheckResult Plain = check(LeakySource);
+  CheckOptions Options;
+  Options.TraceFunction = "leak";
+  Options.TraceSink = [](const std::string &) {};
+  CheckResult Traced = Checker::checkSource(LeakySource, Options, "test.c");
+  EXPECT_EQ(Plain.render(), Traced.render());
+  EXPECT_EQ(Plain.Status, Traced.Status);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch metrics + journal round-trip
+//===----------------------------------------------------------------------===//
+
+/// Writes N synthetic files (a cycle of clean / leak / null-deref bodies)
+/// into the VFS. Mirrors BatchDriverTest's corpus shape.
+void buildMetricsCorpus(VFS &Files, std::vector<std::string> &Names,
+                        unsigned N) {
+  for (unsigned I = 0; I < N; ++I) {
+    std::string Name = "m" + std::to_string(I) + ".c";
+    std::string Src;
+    switch (I % 3) {
+    case 0:
+      Src = "int ok" + std::to_string(I) + "(int x) { return x + 1; }\n";
+      break;
+    case 1:
+      Src = "extern /*@only@*/ /*@null@*/ void *malloc(int n);\n"
+            "void leak" + std::to_string(I) + "(void) {\n"
+            "  char *p = (char *) malloc(8);\n"
+            "  if (p) { *p = 'x'; }\n"
+            "}\n";
+      break;
+    default:
+      Src = "void nd" + std::to_string(I) +
+            "(/*@null@*/ char *p) { *p = 'x'; }\n";
+      break;
+    }
+    Files.add(Name, Src);
+    Names.push_back(Name);
+  }
+}
+
+BatchResult runBatchWithMetrics(unsigned Jobs, const std::string &Journal =
+                                                   std::string()) {
+  VFS Files;
+  std::vector<std::string> Names;
+  buildMetricsCorpus(Files, Names, 24);
+  BatchOptions Options;
+  Options.Jobs = Jobs;
+  Options.CollectMetrics = true;
+  Options.JournalPath = Journal;
+  Options.Resume = !Journal.empty();
+  return BatchDriver(Options).run(Files, Names);
+}
+
+TEST(BatchMetricsTest, CountersIdenticalAcrossJobCounts) {
+  BatchResult R1 = runBatchWithMetrics(1);
+  BatchResult R8 = runBatchWithMetrics(8);
+  ASSERT_FALSE(R1.Metrics.Counters.empty());
+  EXPECT_EQ(R1.Metrics.Counters, R8.Metrics.Counters);
+  EXPECT_EQ(counter(R1.Metrics, "batch.files"), 24u);
+  EXPECT_EQ(counter(R1.Metrics, "batch.ok") +
+                counter(R1.Metrics, "batch.degraded"),
+            24u);
+  // Per-file fold really happened: the corpus defines one function per
+  // file, and check.functions is the sum over all files.
+  EXPECT_EQ(counter(R1.Metrics, "check.functions"), 24u);
+}
+
+TEST(BatchMetricsTest, OffByDefault) {
+  VFS Files;
+  std::vector<std::string> Names;
+  buildMetricsCorpus(Files, Names, 3);
+  BatchOptions Options;
+  BatchResult R = BatchDriver(Options).run(Files, Names);
+  EXPECT_TRUE(R.Metrics.empty());
+  for (const FileOutcome &O : R.Outcomes)
+    EXPECT_TRUE(O.Metrics.empty());
+}
+
+TEST(BatchMetricsTest, JournalEntryMetricsRoundTrip) {
+  JournalEntry E;
+  E.File = "m1.c";
+  E.Status = "ok";
+  E.Attempts = 1;
+  E.Anomalies = 2;
+  E.WallMs = 1.5;
+  E.Diagnostics = "m1.c:3: leak\n";
+  E.Metrics.Counters["check.functions"] = 1;
+  E.Metrics.Counters["lex.tokens"] = 435;
+  E.Metrics.TimersMs["phase.check"] = 1.25;
+
+  std::string Text = journalHeaderLine("deadbeefdeadbeef", 1) + "\n" +
+                     journalEntryLine(E) + "\n";
+  JournalContents C = parseJournal(Text);
+  ASSERT_TRUE(C.HeaderValid);
+  EXPECT_EQ(C.CorruptLines, 0u);
+  ASSERT_EQ(C.Entries.size(), 1u);
+  EXPECT_EQ(C.Entries[0].Metrics.Counters, E.Metrics.Counters);
+  EXPECT_EQ(C.Entries[0].Metrics.TimersMs, E.Metrics.TimersMs);
+}
+
+TEST(BatchMetricsTest, ResumedRunKeepsAggregateCounters) {
+  std::string Journal =
+      ::testing::TempDir() + "obs_metrics_journal.jsonl";
+  std::remove(Journal.c_str());
+
+  BatchResult First = runBatchWithMetrics(2, Journal);
+  ASSERT_EQ(First.ResumedCount, 0u);
+  BatchResult Second = runBatchWithMetrics(2, Journal);
+  EXPECT_EQ(Second.ResumedCount, 24u);
+  // Resumed outcomes carry their journaled metrics, so the aggregate
+  // counter fold is complete even when nothing was re-checked.
+  EXPECT_EQ(First.Metrics.Counters.count("check.functions"), 1u);
+  auto FirstCounters = First.Metrics.Counters;
+  auto SecondCounters = Second.Metrics.Counters;
+  // batch.resumed legitimately differs; compare everything else.
+  FirstCounters.erase("batch.resumed");
+  SecondCounters.erase("batch.resumed");
+  EXPECT_EQ(FirstCounters, SecondCounters);
+  std::remove(Journal.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Flood control: notes are exempt
+//===----------------------------------------------------------------------===//
+
+TEST(FloodControlTest, NotesExemptFromCaps) {
+  DiagnosticEngine Diags;
+  Diags.setFloodControl(/*PerClass=*/2, /*Total=*/3);
+  for (int I = 0; I < 5; ++I)
+    Diags.report(CheckId::MustFree, SourceLocation("f.c", I + 1, 0),
+                 "leak " + std::to_string(I));
+  for (int I = 0; I < 4; ++I)
+    Diags.report(CheckId::MustFree, SourceLocation("f.c", I + 1, 0),
+                 "notice " + std::to_string(I), Severity::Note);
+
+  // Anomalies hit the per-class cap of 2; every note is stored anyway.
+  EXPECT_EQ(Diags.cappedStoredCount(), 2u);
+  EXPECT_EQ(Diags.diagnostics().size(), 6u);
+  unsigned Notes = 0;
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Sev == Severity::Note)
+      ++Notes;
+  EXPECT_EQ(Notes, 4u);
+  ASSERT_TRUE(Diags.overflowCounts().count(CheckId::MustFree));
+  EXPECT_EQ(Diags.overflowCounts().at(CheckId::MustFree), 3u);
+}
+
+TEST(FloodControlTest, NotesDoNotConsumeTotalCap) {
+  DiagnosticEngine Diags;
+  Diags.setFloodControl(/*PerClass=*/0, /*Total=*/2);
+  // Interleave notes with anomalies: the notes must not eat the total
+  // budget ahead of real findings.
+  for (int I = 0; I < 3; ++I) {
+    Diags.report(CheckId::NullDeref, SourceLocation("f.c", I + 1, 0),
+                 "note " + std::to_string(I), Severity::Note);
+    Diags.report(CheckId::NullDeref, SourceLocation("f.c", I + 1, 0),
+                 "deref " + std::to_string(I));
+  }
+  EXPECT_EQ(Diags.cappedStoredCount(), 2u);
+  EXPECT_EQ(Diags.diagnostics().size(), 5u); // 3 notes + 2 anomalies
+  EXPECT_EQ(Diags.overflowCounts().at(CheckId::NullDeref), 1u);
+}
+
+TEST(FloodControlTest, BudgetNoticeSurvivesCappedRun) {
+  // End-to-end: a capped run still reports its budget notice (a Note)
+  // even when the overall message cap is exhausted by real findings.
+  std::string Source = "extern /*@only@*/ /*@null@*/ void *malloc(int n);\n";
+  for (int I = 0; I < 12; ++I)
+    Source += "void leak" + std::to_string(I) +
+              "(void) { char *p = (char *) malloc(8); if (p) { *p = 'x'; } }\n";
+  CheckOptions Options;
+  Options.Flags.limits().MaxDiagsTotal = 3;
+  Options.Flags.limits().MaxTokens = 120; // forces a budget degradation
+  CheckResult R = Checker::checkSource(Source, Options, "test.c");
+  EXPECT_EQ(R.Status, CheckStatus::Degraded);
+  bool SawNote = false;
+  for (const Diagnostic &D : R.Diagnostics)
+    SawNote = SawNote || D.Sev == Severity::Note;
+  EXPECT_TRUE(SawNote) << R.render();
+}
+
+} // namespace

@@ -308,4 +308,48 @@ TEST(ParserTest, CompoundEndLocTracked) {
   EXPECT_EQ(FD->body()->endLoc().line(), 4u);
 }
 
+//===--- integer-literal evaluation -------------------------------------------===//
+
+TEST(ParserTest, SuffixedIntegerLiteralsAccepted) {
+  auto P = parse("int f(void) { return 10L + 0x1fUL + 07u + 2147483647; }");
+  EXPECT_TRUE(P->FE.diags().empty()) << P->FE.diags().str();
+}
+
+TEST(ParserTest, OverflowingIntegerLiteralDiagnosed) {
+  // Pre-fix, strtol's errno was never checked: the clamped LONG_MAX went
+  // silently into the AST. Now the literal is diagnosed and parsing
+  // continues.
+  auto P = parse("int f(void) { return 99999999999999999999999; }");
+  EXPECT_NE(P->FE.diags().str().find("out of range"), std::string::npos)
+      << P->FE.diags().str();
+  EXPECT_NE(P->TU->findFunction("f"), nullptr);
+}
+
+TEST(ParserTest, OverflowingEnumeratorDiagnosed) {
+  auto P = parse("enum e { BIG = 99999999999999999999999, NEXT };");
+  EXPECT_NE(P->FE.diags().str().find("out of range"), std::string::npos)
+      << P->FE.diags().str();
+}
+
+TEST(ParserTest, OverflowingArraySizeFallsBackToUnknown) {
+  // An overflowed size must not become a bogus concrete bound; the array
+  // keeps an unknown size, like an unsized declarator.
+  auto P = parse("char big[99999999999999999999999];");
+  EXPECT_NE(P->FE.diags().str().find("out of range"), std::string::npos)
+      << P->FE.diags().str();
+  ASSERT_EQ(P->TU->globals().size(), 1u);
+  const auto *AT =
+      cast<ArrayType>(P->TU->globals()[0]->type().canonical().type());
+  EXPECT_FALSE(AT->size().has_value());
+}
+
+TEST(ParserTest, MalformedIntegerLiteralDiagnosed) {
+  // Hex prefix with no digits reaches the parser as one pp-number token.
+  auto P = parse("int f(void) { return 0x; }");
+  EXPECT_NE(P->FE.diags().str().find("malformed integer literal"),
+            std::string::npos)
+      << P->FE.diags().str();
+  EXPECT_NE(P->TU->findFunction("f"), nullptr);
+}
+
 } // namespace
