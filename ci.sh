@@ -111,6 +111,42 @@ grep -q '"batch.files": 12' "$SMOKE/m1.counters" || \
   { echo "obs smoke: metrics lack batch.files count"; exit 1; }
 echo "observability smoke ok"
 
+echo "== differential fuzz smoke =="
+# A fixed-seed 500-program campaign at -j4 with fault injection armed on
+# every fourth program. Gates: the campaign must exit 0 (no detectability
+# misclassification, no crash-freedom violation, no containment escape),
+# the ratchet JSON must be well-formed with both safety rates at exactly
+# 1.0, and a program regenerated from its seed alone must be byte-identical
+# run to run (the --fuzz-repro guarantee).
+st=0
+(cd "$SMOKE" && "$MEMLINT" --fuzz -fuzz-count=500 -fuzz-seed=1 -j4 \
+  -fuzz-out=fuzz.json > fuzz.out 2> /dev/null) || st=$?
+[ "$st" -eq 0 ] || { echo "fuzz smoke: campaign expected exit 0, got $st"; exit 1; }
+for needle in '"memlint_bench": "differential"' '"campaign_seed": 1' \
+  '"programs": 500' '"crash_freedom": 1.0' '"containment": 1.0' \
+  '"misclassified": 0' '"crash_freedom_violations": 0' \
+  '"containment_violations": 0' '"per_kind"' '"precision"'; do
+  grep -q "$needle" "$SMOKE/fuzz.json" || \
+    { echo "fuzz smoke: ratchet JSON lacks $needle"; exit 1; }
+done
+grep -q '^}$' "$SMOKE/fuzz.json" || \
+  { echo "fuzz smoke: ratchet JSON is truncated (no closing brace)"; exit 1; }
+opens=$(tr -cd '{' < "$SMOKE/fuzz.json" | wc -c)
+closes=$(tr -cd '}' < "$SMOKE/fuzz.json" | wc -c)
+[ "$opens" -eq "$closes" ] || \
+  { echo "fuzz smoke: ratchet JSON braces unbalanced ($opens vs $closes)"; exit 1; }
+
+# Seed-addressable repro: two regenerations of the same program must agree
+# byte for byte (source, static verdict, and oracle verdict).
+(cd "$SMOKE" && "$MEMLINT" --fuzz-repro=0x1172fcfadbb5e516 > repro1.out \
+  2> /dev/null) || { echo "fuzz smoke: repro run failed"; exit 1; }
+(cd "$SMOKE" && "$MEMLINT" --fuzz-repro=0x1172fcfadbb5e516 > repro2.out \
+  2> /dev/null) || { echo "fuzz smoke: repro rerun failed"; exit 1; }
+[ -s "$SMOKE/repro1.out" ] || { echo "fuzz smoke: repro output empty"; exit 1; }
+cmp -s "$SMOKE/repro1.out" "$SMOKE/repro2.out" || \
+  { echo "fuzz smoke: repro is not byte-identical across runs"; exit 1; }
+echo "differential fuzz smoke ok"
+
 rm -rf "$SMOKE"
 trap - EXIT
 

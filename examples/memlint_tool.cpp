@@ -27,12 +27,28 @@
 //   memlint -trace-states=fn file.c     trace fn's state transitions (stderr)
 //   memlint --metrics-out=m.json ...    phase timings + counters to a file
 //
+// Differential fuzzing (memlint-fuzz mode, see DESIGN.md §6e):
+//
+//   memlint --fuzz -fuzz-count=10000 -fuzz-seed=1 -j8
+//       run a seed-addressable generator fleet through the checker and the
+//       interpreter oracle; write BENCH_differential.json (via -fuzz-out)
+//   memlint --fuzz ... -fuzz-faults=4 -fuzz-regress-dir=DIR
+//       arm deterministic faults in ~1/4 of the fleet; write minimized
+//       regression seeds for any violation
+//   memlint --fuzz-repro=SEEDHEX
+//       regenerate one program from its seed (byte-identical) and show
+//       both tools' verdicts
+//
 // Diagnostics are flushed in input order, so batch output is byte-identical
 // across -jN; timing goes to stderr to keep stdout deterministic.
 //
 // Exit status is the number of anomalies (capped at 125), mirroring lint
 // conventions; in batch mode timeouts and contained crashes do not count —
-// only real check findings do.
+// only real check findings do. -fail-on=degraded|internal turns a clean-
+// findings run that degraded (or contained an internal error) into exit
+// 123, for CI policies that treat partial analysis as failure. Fuzz
+// campaigns exit 0 when clean, 2 on any crash-freedom/containment/
+// misclassification violation.
 //
 //===----------------------------------------------------------------------===//
 
@@ -40,11 +56,13 @@
 #include "checker/Checker.h"
 #include "checker/Frontend.h"
 #include "driver/BatchDriver.h"
+#include "fuzz/Fuzzer.h"
 #include "interp/Interpreter.h"
 #include "support/FindingsOutput.h"
 #include "support/Journal.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -70,6 +88,20 @@ bool parseCount(const std::string &Text, unsigned &Out) {
   return true;
 }
 
+/// Parses a campaign/program seed: decimal, or hex with an 0x prefix (the
+/// form --fuzz-repro prints). \returns false on malformed text.
+bool parseSeed(const std::string &Text, std::uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  const char *Begin = Text.c_str();
+  char *End = nullptr;
+  unsigned long long Value = std::strtoull(Begin, &End, 0);
+  if (End != Begin + Text.size())
+    return false;
+  Out = Value;
+  return true;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -81,6 +113,12 @@ int main(int argc, char **argv) {
   BatchOptions Batch;
   std::string Format = "text";
   std::string MetricsOut;
+  bool FuzzMode = false;
+  fuzz::FuzzOptions Fuzz;
+  std::string FuzzOut;
+  bool HaveRepro = false;
+  std::uint64_t ReproSeed = 0;
+  std::string FailOn;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -101,6 +139,89 @@ int main(int argc, char **argv) {
     }
     if (Arg == "--run") {
       RunProgram = true;
+      continue;
+    }
+    if (Arg == "--fuzz") {
+      FuzzMode = true;
+      continue;
+    }
+    if (Arg == "--fuzz-repro" || Arg.compare(0, 13, "--fuzz-repro=") == 0) {
+      std::string Value;
+      size_t Eq = Arg.find('=');
+      if (Eq != std::string::npos)
+        Value = Arg.substr(Eq + 1);
+      else if (I + 1 < argc)
+        Value = argv[++I];
+      if (!parseSeed(Value, ReproSeed)) {
+        fprintf(stderr, "memlint: --fuzz-repro needs a program seed "
+                        "(decimal or 0xHEX)\n");
+        return 126;
+      }
+      HaveRepro = true;
+      continue;
+    }
+    if (Arg.compare(0, 12, "-fuzz-count=") == 0) {
+      if (!parseCount(Arg.substr(12), Fuzz.Count) || Fuzz.Count == 0) {
+        fprintf(stderr, "memlint: malformed value in '%s': expected "
+                        "-fuzz-count=N with N >= 1\n",
+                Arg.c_str());
+        return 126;
+      }
+      continue;
+    }
+    if (Arg.compare(0, 11, "-fuzz-seed=") == 0) {
+      if (!parseSeed(Arg.substr(11), Fuzz.Seed)) {
+        fprintf(stderr, "memlint: malformed value in '%s': expected "
+                        "-fuzz-seed=N\n",
+                Arg.c_str());
+        return 126;
+      }
+      continue;
+    }
+    if (Arg.compare(0, 13, "-fuzz-faults=") == 0) {
+      if (!parseCount(Arg.substr(13), Fuzz.FaultEvery)) {
+        fprintf(stderr, "memlint: malformed value in '%s': expected "
+                        "-fuzz-faults=N (inject in ~1/N programs; 0 "
+                        "disables)\n",
+                Arg.c_str());
+        return 126;
+      }
+      continue;
+    }
+    if (Arg.compare(0, 13, "-fuzz-mutate=") == 0) {
+      if (!parseCount(Arg.substr(13), Fuzz.MutatedPercent) ||
+          Fuzz.MutatedPercent > 100) {
+        fprintf(stderr, "memlint: malformed value in '%s': expected "
+                        "-fuzz-mutate=PERCENT (0..100)\n",
+                Arg.c_str());
+        return 126;
+      }
+      continue;
+    }
+    if (Arg.compare(0, 10, "-fuzz-out=") == 0) {
+      FuzzOut = Arg.substr(10);
+      if (FuzzOut.empty()) {
+        fprintf(stderr, "memlint: -fuzz-out= needs an output path\n");
+        return 126;
+      }
+      continue;
+    }
+    if (Arg.compare(0, 18, "-fuzz-regress-dir=") == 0) {
+      Fuzz.RegressDir = Arg.substr(18);
+      if (Fuzz.RegressDir.empty()) {
+        fprintf(stderr, "memlint: -fuzz-regress-dir= needs a directory\n");
+        return 126;
+      }
+      continue;
+    }
+    if (Arg.compare(0, 9, "-fail-on=") == 0) {
+      FailOn = Arg.substr(9);
+      if (FailOn != "degraded" && FailOn != "internal") {
+        fprintf(stderr, "memlint: unknown policy '%s': expected "
+                        "-fail-on=degraded|internal\n",
+                FailOn.c_str());
+        return 126;
+      }
       continue;
     }
     if (Arg.size() > 2 && Arg.compare(0, 2, "-j") == 0) {
@@ -185,11 +306,102 @@ int main(int argc, char **argv) {
     Files.push_back(Arg);
   }
 
+  //===--- fuzz modes (no input files) ------------------------------------===//
+
+  if (FuzzMode || HaveRepro) {
+    if (!Files.empty() || PrintCfg || RunProgram || Format != "text" ||
+        !MetricsOut.empty() || !Options.TraceFunction.empty() ||
+        !FailOn.empty()) {
+      fprintf(stderr, "memlint: --fuzz/--fuzz-repro run a generated fleet; "
+                      "they cannot be combined with input files, --cfg, "
+                      "--run, -format, -trace-states, --metrics-out, or "
+                      "-fail-on\n");
+      return 126;
+    }
+  }
+
+  if (HaveRepro) {
+    // Regenerate the program from its seed (byte-identical to the
+    // campaign's copy) and show both tools' verdicts.
+    fuzz::FuzzProgram P = fuzz::generateFuzzProgram(ReproSeed, 0, Fuzz);
+    printf("-- fuzz repro seed 0x%016llx\n",
+           static_cast<unsigned long long>(P.Seed));
+    printf("-- base: %s%s\n",
+           P.HasExpectedBug ? corpus::bugKindName(P.ExpectedBug)
+                            : "clean-synthetic",
+           P.Mutated ? (std::string(", mutated: ") +
+                        fuzz::mutationKindName(P.Mutation))
+                           .c_str()
+                     : "");
+    if (P.Injected)
+      printf("-- fault: %s at checkpoint %lu\n", faultKindName(P.Fault),
+             P.FireAt);
+    printf("---- source ----\n%s---- end source ----\n", P.Source.c_str());
+
+    FaultInjector Injector(P.Fault, P.FireAt);
+    CheckOptions Repro;
+    if (P.Injected)
+      Repro.Faults = &Injector;
+    CheckResult CR = Checker::checkSource(P.Source, Repro, P.Name);
+    printf("%s", CR.render().c_str());
+    std::string Reasons;
+    for (const std::string &Reason : CR.DegradationReasons)
+      Reasons += (Reasons.empty() ? "" : ", ") + Reason;
+    printf("-- static: %s%s%s, %u anomaly(ies)\n",
+           checkStatusName(CR.Status), Reasons.empty() ? "" : " — ",
+           Reasons.c_str(), CR.anomalyCount());
+
+    Frontend FE;
+    TranslationUnit *TU = FE.parseSource(P.Source, P.Name);
+    Interpreter Interp(*TU, frontendDegraded(FE.diags()));
+    RunResult RR = Interp.run("main", Fuzz.MaxOracleSteps);
+    printf("-- oracle: %s, exit code %ld\n",
+           RR.NotExecutable ? "refused (degraded parse)"
+           : RR.Completed   ? "completed"
+                            : "aborted",
+           RR.ExitCode);
+    for (const RuntimeError &E : RR.Errors)
+      printf("%s\n", E.str().c_str());
+    return 0;
+  }
+
+  if (FuzzMode) {
+    if (BatchMode)
+      Fuzz.Jobs = Batch.Jobs;
+    if (Batch.FileDeadlineMs != 0)
+      Fuzz.FileDeadlineMs = Batch.FileDeadlineMs;
+    Fuzz.JournalPath = Batch.JournalPath;
+    Fuzz.Resume = Batch.Resume;
+    fuzz::FuzzResult R = fuzz::runFuzzCampaign(Fuzz);
+    printf("-- fuzz: %s\n", R.summary().c_str());
+    for (const std::string &Note : R.ViolationNotes)
+      printf("-- violation: %s\n", Note.c_str());
+    for (const fuzz::Regression &Reg : R.Regressions)
+      printf("-- regression: %s (%s), repro seed 0x%016llx\n",
+             Reg.Name.c_str(), Reg.Why.c_str(),
+             static_cast<unsigned long long>(Reg.Seed));
+    const std::string Json = fuzz::renderBenchDifferentialJson(R, Fuzz);
+    if (FuzzOut.empty()) {
+      printf("%s", Json.c_str());
+    } else if (!writeFileText(FuzzOut, Json)) {
+      fprintf(stderr, "memlint: cannot write '%s'\n", FuzzOut.c_str());
+      return 126;
+    }
+    fprintf(stderr, "-- fuzz wall clock: %.1f ms at -j%u\n", R.WallMs,
+            Fuzz.Jobs);
+    return R.clean() ? 0 : 2;
+  }
+
   if (Files.empty()) {
     fprintf(stderr, "usage: memlint [+flag|-flag]... [--cfg] [--run] [-jN] "
                     "[-file-deadline-ms=N] [--journal FILE] [--resume FILE] "
                     "[-format=text|sarif|jsonl] [-trace-states=FN] "
-                    "[--metrics-out FILE] file.c...\n");
+                    "[--metrics-out FILE] [-fail-on=degraded|internal] "
+                    "file.c...\n"
+                    "       memlint --fuzz [-fuzz-count=N] [-fuzz-seed=N] "
+                    "[-fuzz-faults=N] [-fuzz-mutate=PCT] [-fuzz-out=FILE] "
+                    "[-fuzz-regress-dir=DIR] [-jN]\n"
+                    "       memlint --fuzz-repro=SEED\n");
     return 126;
   }
   if (BatchMode && (PrintCfg || RunProgram)) {
@@ -270,6 +482,17 @@ int main(int argc, char **argv) {
       return 126;
     }
     unsigned Count = R.TotalAnomalies;
+    if (Count == 0 && !FailOn.empty()) {
+      // CI exit-status policy: a batch with no findings still fails when
+      // any file fell short of full analysis (-fail-on=degraded) or hit a
+      // contained internal error (-fail-on=internal). 123 is distinct from
+      // both the anomaly-count range (0..125) and usage errors (126).
+      const bool Internal = R.CrashCount != 0;
+      const bool Partial =
+          Internal || R.DegradedCount != 0 || R.TimeoutCount != 0;
+      if (FailOn == "internal" ? Internal : Partial)
+        return 123;
+    }
     return Count > 125 ? 125 : static_cast<int>(Count);
   }
 
@@ -284,11 +507,14 @@ int main(int argc, char **argv) {
           printf("%s\n", G->print().c_str());
     }
     if (RunProgram) {
-      Interpreter Interp(*TU);
+      Interpreter Interp(*TU, frontendDegraded(FE.diags()));
       RunResult R = Interp.run();
       printf("%s", R.Output.c_str());
       printf("-- run %s, exit code %ld, %lu steps\n",
-             R.Completed ? "completed" : "aborted", R.ExitCode, R.Steps);
+             R.NotExecutable ? "refused (degraded parse)"
+             : R.Completed   ? "completed"
+                             : "aborted",
+             R.ExitCode, R.Steps);
       for (const RuntimeError &E : R.Errors)
         printf("%s\n", E.str().c_str());
       return R.Errors.empty() ? 0 : 1;
@@ -326,5 +552,11 @@ int main(int argc, char **argv) {
     return 126;
   }
   unsigned Count = R.anomalyCount();
+  if (Count == 0 && !FailOn.empty()) {
+    const bool Internal = R.Status == CheckStatus::InternalError;
+    const bool Partial = Internal || R.Status == CheckStatus::Degraded;
+    if (FailOn == "internal" ? Internal : Partial)
+      return 123;
+  }
   return Count > 125 ? 125 : static_cast<int>(Count);
 }

@@ -388,7 +388,8 @@ bool FunctionChecker::takeStmt(const Stmt *St, Env &S) {
   if (Budget)
     Budget->checkCancelled();
   unsigned Max = Budget ? Budget->budget().MaxStmtsPerFunction : 0;
-  if (limitExhausted(StmtCount, Max)) {
+  if ((Budget && Budget->budgetForcedExhausted()) ||
+      limitExhausted(StmtCount, Max)) {
     noteBudget("limitstmts", Max, St->loc(),
                "statement budget exceeded in function '" +
                    (CurFn ? CurFn->name() : std::string("?")) +
@@ -406,7 +407,8 @@ bool FunctionChecker::takeSplits(unsigned N, const SourceLocation &Loc,
   if (Budget)
     Budget->checkCancelled();
   unsigned Max = Budget ? Budget->budget().MaxEnvSplitsPerFunction : 0;
-  if (Max != 0 && SplitCount + N > Max) {
+  if ((Budget && Budget->budgetForcedExhausted()) ||
+      (Max != 0 && SplitCount + N > Max)) {
     noteBudget("limitsplits", Max, Loc,
                "environment split budget exceeded in function '" +
                    (CurFn ? CurFn->name() : std::string("?")) +

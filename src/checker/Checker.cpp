@@ -140,6 +140,7 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
   const ResourceBudget &Limits = Options.Flags.limits();
   BudgetState Budget(Limits);
   Budget.setCancelToken(Options.Cancel);
+  Budget.setFaultInjector(Options.Faults);
   DiagnosticEngine Diags;
   Diags.setFloodControl(Limits.MaxDiagsPerClass, Limits.MaxDiagsTotal);
   // One registry per run: batch workers each run their own check, so no

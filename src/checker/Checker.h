@@ -41,6 +41,11 @@ struct CheckOptions {
   /// reason ("deadline", "cancelled", ...). Diagnostics produced before
   /// the cut-off are kept. Null means not cancellable (no overhead).
   CancelToken *Cancel = nullptr;
+  /// Deterministic fault injection (see support/FaultInjector.h): when set,
+  /// the run's budget checkpoints feed this injector and its armed fault
+  /// fires mid-pipeline. Used by the fuzzing harness to prove containment;
+  /// null (the default) adds one pointer test per checkpoint.
+  FaultInjector *Faults = nullptr;
   /// Collect phase timings ("phase.lex" ... "phase.check") and counters
   /// into CheckResult::Metrics. Off by default: the disabled path performs
   /// no clock reads and no counter updates (see support/Metrics.h).

@@ -6,6 +6,8 @@
 
 #include "corpus/Corpus.h"
 
+#include "support/Rand.h"
+
 #include <cassert>
 #include <cctype>
 
@@ -160,29 +162,14 @@ unsigned corpus::totalLines(const Program &P) {
 // Synthetic scaling programs
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// Tiny deterministic PRNG (xorshift) so generated programs are stable
-/// across platforms.
-struct Rng {
-  unsigned State;
-  explicit Rng(unsigned Seed) : State(Seed ? Seed : 1) {}
-  unsigned next() {
-    State ^= State << 13;
-    State ^= State >> 17;
-    State ^= State << 5;
-    return State;
-  }
-  unsigned below(unsigned N) { return N ? next() % N : 0; }
-};
-
-} // namespace
-
 Program corpus::syntheticProgram(const GenOptions &Options) {
   Program P;
   P.Name = "synthetic_m" + std::to_string(Options.Modules) + "_f" +
            std::to_string(Options.FunctionsPerModule);
-  Rng R(Options.Seed);
+  // The shared seeded engine (support/Rand.h): the only source of
+  // randomness in corpus generation, so one Seed yields byte-identical
+  // programs on every platform and the fuzzer's seeds stay addressable.
+  SplitMix64 R(Options.Seed);
 
   // A shared header with a couple of record types.
   std::string Header = R"(#ifndef GEN_H
@@ -321,6 +308,181 @@ bool corpus::dynamicallyDetectable(BugKind Kind) {
   return true;
 }
 
+unsigned corpus::seededBugVariants() { return 3; }
+
+namespace {
+
+/// Structurally distinct second shapes for each defect class (variant 2).
+/// Each preserves the kind's detectability contract: the statically
+/// detectable kinds still trip the checker (on a different program shape),
+/// and the 1996-missed kinds still check cleanly while failing at run time.
+std::string seededBugAltSource(BugKind Kind) {
+  switch (Kind) {
+  case BugKind::NullDeref:
+    // Conditional null return instead of a search miss.
+    return R"(/*@null@*/ cell *pick(/*@temp@*/ cell *a, int want)
+{
+  if (want > 0)
+    {
+      return a;
+    }
+  return NULL;
+}
+
+int main(void)
+{
+  cell *c = (cell *) malloc(sizeof(cell));
+  cell *got;
+  if (c == NULL)
+    {
+      return 1;
+    }
+  c->datum = 3;
+  c->next = NULL;
+  got = pick(c, 0);
+  got->datum = 4; /* BUG */
+  free((void *) c);
+  return 0;
+}
+)";
+  case BugKind::Leak:
+    // The only reference comes back from a helper and is overwritten.
+    return R"(/*@only@*/ cell *fresh(int d)
+{
+  cell *c = (cell *) malloc(sizeof(cell));
+  if (c == NULL)
+    {
+      exit(1);
+    }
+  c->datum = d;
+  c->next = NULL;
+  return c;
+}
+
+int main(void)
+{
+  cell *keep = fresh(1);
+  keep = fresh(2); /* BUG */
+  free((void *) keep);
+  return 0;
+}
+)";
+  case BugKind::UseAfterFree:
+    // Ownership handed to a consuming helper, then the caller reads it.
+    return R"(void consume(/*@only@*/ cell *c)
+{
+  free((void *) c);
+}
+
+int main(void)
+{
+  int v;
+  cell *c = (cell *) malloc(sizeof(cell));
+  if (c == NULL)
+    {
+      return 1;
+    }
+  c->datum = 11;
+  c->next = NULL;
+  consume(c);
+  v = c->datum; /* BUG */
+  return v - 11;
+}
+)";
+  case BugKind::DoubleFree:
+    // The second free goes through an alias, not the original name.
+    return R"(int main(void)
+{
+  cell *a = (cell *) malloc(sizeof(cell));
+  cell *b;
+  if (a == NULL)
+    {
+      return 1;
+    }
+  a->datum = 2;
+  a->next = NULL;
+  b = a;
+  free((void *) a);
+  free((void *) b); /* BUG */
+  return 0;
+}
+)";
+  case BugKind::UndefRead:
+    // The helper returns storage with an undefined field; the checker
+    // reports the incomplete definition at the return, the interpreter
+    // reports the undefined read in main.
+    return R"(/*@only@*/ cell *blank(void)
+{
+  cell *c = (cell *) malloc(sizeof(cell));
+  if (c == NULL)
+    {
+      exit(1);
+    }
+  c->next = NULL;
+  return c; /* BUG */
+}
+
+int main(void)
+{
+  int v;
+  cell *c = blank();
+  v = c->datum;
+  free((void *) c);
+  return v;
+}
+)";
+  case BugKind::OffsetFree:
+    // The offset pointer is a named alias rather than an in-place bump.
+    return R"(int main(void)
+{
+  char *buf = (char *) malloc(8);
+  char *mid;
+  if (buf == NULL)
+    {
+      return 1;
+    }
+  buf[0] = 'x';
+  mid = buf;
+  mid += 2;
+  free((void *) mid); /* BUG */
+  return 0;
+}
+)";
+  case BugKind::StaticFree:
+    // Freed directly in main via address-of, no helper indirection.
+    return R"(static int table;
+
+int main(void)
+{
+  int *entry = &table;
+  table = 3;
+  free((void *) entry); /* BUG */
+  return 0;
+}
+)";
+  case BugKind::GlobalLeakAtExit:
+    // The global cache is populated from main itself.
+    return R"(/*@null@*/ /*@only@*/ cell *cache = NULL;
+
+int main(void)
+{
+  cell *c = (cell *) malloc(sizeof(cell));
+  if (c == NULL)
+    {
+      return 1;
+    }
+  c->datum = 8;
+  c->next = NULL;
+  cache = c; /* BUG: cache still live at exit */
+  return 0;
+}
+)";
+  }
+  return "";
+}
+
+} // namespace
+
 Program corpus::seededBug(BugKind Kind, unsigned Variant) {
   Program P;
   P.Name = std::string("bug_") + bugKindName(Kind) + "_v" +
@@ -331,6 +493,13 @@ Program corpus::seededBug(BugKind Kind, unsigned Variant) {
 } cell;
 
 )";
+
+  if (Variant >= 2) {
+    Src += seededBugAltSource(Kind);
+    P.Files.add("bug.c", Src);
+    P.MainFiles = {"bug.c"};
+    return P;
+  }
 
   // A couple of shape variants per kind keep the fleet diverse; the bug is
   // always on the line tagged /* BUG */.
@@ -523,7 +692,8 @@ int main(void)
     size_t I = 0;
     while (I < Src.size()) {
       if (Src.compare(I, 4, "cell") == 0 &&
-          (I + 4 >= Src.size() || !isalnum(Src[I + 4]))) {
+          (I + 4 >= Src.size() ||
+           !std::isalnum(static_cast<unsigned char>(Src[I + 4])))) {
         Renamed += "unit";
         I += 4;
         continue;

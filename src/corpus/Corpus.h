@@ -120,8 +120,15 @@ bool dynamicallyDetectable(BugKind Kind);
 
 /// A small annotated program containing exactly one bug of the given kind,
 /// with a main() that exercises the buggy path (for the interpreter).
-/// \p Variant selects among several instantiations per kind.
+/// \p Variant selects among seededBugVariants() instantiations per kind:
+/// variant 0 is the canonical shape, variant 1 renames its entities, and
+/// variant 2 is a structurally different program with the same defect
+/// class. Every variant preserves the kind's detectability contract
+/// (staticallyDetectable / dynamicallyDetectable).
 Program seededBug(BugKind Kind, unsigned Variant = 0);
+
+/// Number of distinct seeded-bug variants available per kind.
+unsigned seededBugVariants();
 
 } // namespace corpus
 } // namespace memlint

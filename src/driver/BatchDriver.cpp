@@ -142,6 +142,7 @@ JournalEntry entryFromOutcome(const FileOutcome &O) {
   E.Suppressed = O.Suppressed;
   E.WallMs = O.WallMs;
   E.Diagnostics = O.Diagnostics;
+  E.Classes = O.Classes;
   E.Metrics = O.Metrics;
   return E;
 }
@@ -165,6 +166,7 @@ std::optional<FileOutcome> outcomeFromEntry(const JournalEntry &E) {
   O.Suppressed = E.Suppressed;
   O.WallMs = E.WallMs;
   O.Diagnostics = E.Diagnostics;
+  O.Classes = E.Classes;
   O.Metrics = E.Metrics;
   O.Resumed = true;
   return O;
@@ -301,6 +303,8 @@ BatchResult BatchDriver::run(const VFS &Files,
       }
       CheckOptions PerAttempt = Tightened;
       PerAttempt.Cancel = &Token;
+      if (Opts.OnBeforeAttempt)
+        Opts.OnBeforeAttempt(Name, Attempt, PerAttempt);
       CheckResult R = Checker::checkFiles(Files, {Name}, PerAttempt);
       Dog.disarm(Slot);
       SpentMs += monotonicNowMs() - AttemptStartMs;
@@ -323,6 +327,9 @@ BatchResult BatchDriver::run(const VFS &Files,
       Outcome.Suppressed = R.SuppressedCount;
       Outcome.WallMs = SpentMs;
       Outcome.Diagnostics = R.render();
+      for (const Diagnostic &D : R.Diagnostics)
+        if (D.Sev == Severity::Anomaly)
+          ++Outcome.Classes[checkIdFlagName(D.Id)];
       // Final attempt only: a retried file's metrics describe the run that
       // produced its recorded diagnostics, not the abandoned attempts.
       Outcome.Metrics = std::move(R.Metrics);

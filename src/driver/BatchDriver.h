@@ -38,6 +38,7 @@
 #include "support/VFS.h"
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,10 @@ struct FileOutcome {
   /// The file's rendered diagnostics, exactly as a sequential run would
   /// print them. Buffered so the driver can flush in input order.
   std::string Diagnostics;
+  /// Anomaly counts by check-class flag name ("mustfree", ...), from the
+  /// final attempt. Journaled, so resumed differential runs classify
+  /// findings per class without re-checking or parsing rendered text.
+  std::map<std::string, unsigned> Classes;
   /// Per-file phase timings and counters (the final attempt's); empty
   /// unless BatchOptions::CollectMetrics was set. Journaled, so resumed
   /// outcomes keep their metrics and aggregation stays complete.
@@ -103,6 +108,14 @@ struct BatchOptions {
   /// Collect per-file metrics (each worker run gets its own registry) and
   /// aggregate them into BatchResult::Metrics. Off by default.
   bool CollectMetrics = false;
+  /// Called right before each per-file check attempt with the attempt's
+  /// options (cancel token already attached, limits already tightened by
+  /// the retry ladder). The fuzz harness uses it to arm per-file fault
+  /// injectors; the installed injector must outlive the attempt. Called
+  /// from worker threads — must be thread-safe.
+  std::function<void(const std::string &File, unsigned Attempt,
+                     CheckOptions &Options)>
+      OnBeforeAttempt;
   /// Called once per file in input order as results become flushable;
   /// runs under the driver's flush lock (keep it cheap). Used by the CLI
   /// to stream output while preserving sequential byte-identity.

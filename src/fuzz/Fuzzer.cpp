@@ -1,0 +1,628 @@
+//===--- Fuzzer.cpp - Differential fuzzing harness ------------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "checker/Checker.h"
+#include "checker/Frontend.h"
+#include "driver/BatchDriver.h"
+#include "fuzz/Minimizer.h"
+#include "interp/Interpreter.h"
+#include "support/Journal.h"
+#include "support/Json.h"
+#include "support/MonotonicTime.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <set>
+#include <thread>
+#include <unordered_map>
+
+using namespace memlint;
+using namespace memlint::fuzz;
+using corpus::BugKind;
+
+//===----------------------------------------------------------------------===//
+// Classification maps
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Maps a static check-class flag name onto the set of defect classes it
+/// witnesses. Classes with no run-time observable (annotation consistency,
+/// branch state, ...) map to nothing and stay out of the differential score.
+/// "usereleased" witnesses both use-after-free and double-free: the checker
+/// reports the second free of dead storage as a use of released storage, so
+/// a usereleased report legitimately covers either runtime observation.
+std::set<BugKind> staticClassWitnesses(const std::string &Flag) {
+  if (Flag == "nullderef" || Flag == "nullpass" || Flag == "nullret")
+    return {BugKind::NullDeref};
+  if (Flag == "mustfree")
+    return {BugKind::Leak};
+  if (Flag == "usereleased")
+    return {BugKind::UseAfterFree, BugKind::DoubleFree};
+  if (Flag == "doublefree")
+    return {BugKind::DoubleFree};
+  if (Flag == "usedef" || Flag == "compdef")
+    return {BugKind::UndefRead};
+  return {};
+}
+
+/// The oracle's verdict for one program.
+struct OracleOutcome {
+  bool Refused = false;      ///< degraded parse; run was refused
+  bool FrontEndThrew = false;///< front end raised (harness-contained)
+  bool InternalTrap = false; ///< interpreter contained an internal error
+  bool Completed = false;
+  std::set<BugKind> Kinds;   ///< observed defect classes
+};
+
+/// Parses and executes \p Source, folding RuntimeErrors into BugKinds.
+/// \p ExpectGlobalLeak resolves the LeakAtExit ambiguity (a heap leak and
+/// an unreleased global look identical at exit).
+OracleOutcome runOracle(const std::string &Source, bool ExpectGlobalLeak,
+                        unsigned long MaxSteps) {
+  OracleOutcome Out;
+  try {
+    Frontend FE;
+    TranslationUnit *TU = FE.parseSource(Source, "fuzz.c");
+    const bool Degraded = frontendDegraded(FE.diags());
+    Interpreter I(*TU, Degraded);
+    RunResult R = I.run("main", MaxSteps);
+    Out.Refused = R.NotExecutable;
+    Out.Completed = R.Completed;
+    bool SawUseAfterFree = false;
+    for (const RuntimeError &E : R.Errors)
+      if (E.K == RuntimeError::Kind::UseAfterFree)
+        SawUseAfterFree = true;
+    for (const RuntimeError &E : R.Errors) {
+      switch (E.K) {
+      case RuntimeError::Kind::NullDeref:
+        Out.Kinds.insert(BugKind::NullDeref);
+        break;
+      case RuntimeError::Kind::UseAfterFree:
+        Out.Kinds.insert(BugKind::UseAfterFree);
+        break;
+      case RuntimeError::Kind::UndefRead:
+        // A read of released storage reports as use-after-free, not as an
+        // undefined read — the freed cells are "undefined" only as a
+        // side effect of the free.
+        if (!SawUseAfterFree)
+          Out.Kinds.insert(BugKind::UndefRead);
+        break;
+      case RuntimeError::Kind::DoubleFree:
+        Out.Kinds.insert(BugKind::DoubleFree);
+        break;
+      case RuntimeError::Kind::OffsetFree:
+        Out.Kinds.insert(BugKind::OffsetFree);
+        break;
+      case RuntimeError::Kind::BadFree:
+        Out.Kinds.insert(BugKind::StaticFree);
+        break;
+      case RuntimeError::Kind::LeakAtExit:
+        // Leaks are only meaningful when the program reached its exit; a
+        // run aborted by a crash-class error never executed its frees.
+        if (R.Completed)
+          Out.Kinds.insert(ExpectGlobalLeak ? BugKind::GlobalLeakAtExit
+                                            : BugKind::Leak);
+        break;
+      case RuntimeError::Kind::Trap:
+        if (E.Message.compare(0, 34,
+                              "interpreter internal error contained") == 0)
+          Out.InternalTrap = true;
+        break;
+      case RuntimeError::Kind::OutOfBounds:
+      case RuntimeError::Kind::AssertFailed:
+        break; // observable, but not a differential defect class
+      }
+    }
+  } catch (const std::exception &) {
+    Out.FrontEndThrew = true;
+  }
+  return Out;
+}
+
+/// Inlines local #include directives so every fuzz program is one file
+/// (each batch run checks exactly one name). Headers are included once.
+std::string flattenProgram(const corpus::Program &P) {
+  std::string Out;
+  std::set<std::string> Included;
+  for (const std::string &Name : P.MainFiles) {
+    const std::optional<std::string> Text = P.Files.read(Name);
+    if (!Text)
+      continue;
+    size_t Start = 0;
+    while (Start <= Text->size()) {
+      size_t End = Text->find('\n', Start);
+      std::string Line = Text->substr(
+          Start, End == std::string::npos ? std::string::npos : End - Start);
+      Start = End == std::string::npos ? Text->size() + 1 : End + 1;
+      if (Line.compare(0, 10, "#include \"") == 0) {
+        size_t Close = Line.find('"', 10);
+        std::string Header =
+            Close == std::string::npos ? "" : Line.substr(10, Close - 10);
+        if (std::optional<std::string> H = P.Files.read(Header)) {
+          if (Included.insert(Header).second)
+            Out += *H;
+          continue; // drop the directive either way
+        }
+      }
+      Out += Line;
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+std::string hex16(std::uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+/// Ratio formatting for the ratchet file: exact "1.0"/"0.0" at the
+/// endpoints (so jq gates compare cleanly), six decimals in between.
+std::string fmtRate(double Rate) {
+  if (Rate >= 1.0)
+    return "1.0";
+  if (Rate <= 0.0)
+    return "0.0";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", Rate);
+  return Buf;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Generation
+//===----------------------------------------------------------------------===//
+
+FuzzProgram fuzz::generateFuzzProgram(std::uint64_t ProgramSeed,
+                                      unsigned Index,
+                                      const FuzzOptions &Options) {
+  FuzzProgram P;
+  P.Seed = ProgramSeed;
+  {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "fuzz_%06u_%s.c", Index,
+                  hex16(ProgramSeed).c_str());
+    P.Name = Buf;
+  }
+  // Every content decision below consumes only this stream, so the program
+  // is a pure function of its seed — the repro contract.
+  SplitMix64 R(ProgramSeed);
+
+  if (R.below(100) < 25) {
+    // Clean synthetic module + trivial main: ground truth "no defects".
+    corpus::GenOptions G;
+    G.Modules = 1;
+    G.FunctionsPerModule = 1 + static_cast<unsigned>(R.below(6));
+    G.Seed = static_cast<unsigned>(R.next());
+    P.Source = flattenProgram(corpus::syntheticProgram(G));
+    P.Source += "\nint main(void)\n{\n  return 0;\n}\n";
+  } else {
+    const std::vector<BugKind> Kinds = corpus::allBugKinds();
+    P.HasExpectedBug = true;
+    P.ExpectedBug = Kinds[R.below(Kinds.size())];
+    const unsigned Variant =
+        static_cast<unsigned>(R.below(corpus::seededBugVariants()));
+    P.Source = flattenProgram(corpus::seededBug(P.ExpectedBug, Variant));
+  }
+
+  if (R.chance(Options.MutatedPercent)) {
+    P.Mutated = true;
+    P.Mutation = pickMutation(R);
+    P.Source = applyMutation(P.Source, P.Mutation, R);
+  }
+
+  if (Options.FaultEvery != 0 && ProgramSeed % Options.FaultEvery == 0) {
+    P.Injected = true;
+    const std::uint64_t Pick = R.below(3);
+    P.Fault = Pick == 0   ? FaultKind::Alloc
+              : Pick == 1 ? FaultKind::Budget
+                          : FaultKind::Cancel;
+    // Checkpoints tick roughly once per token, so this range spreads fire
+    // points from the first prelude tokens deep into analysis.
+    P.FireAt = 1 + R.below(3000);
+  }
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Result accessors
+//===----------------------------------------------------------------------===//
+
+double FuzzResult::precision() const {
+  unsigned TP = 0, FP = 0;
+  for (const auto &[Name, S] : PerKind) {
+    TP += S.TP;
+    FP += S.FP;
+  }
+  return TP + FP == 0 ? 1.0 : static_cast<double>(TP) / (TP + FP);
+}
+
+double FuzzResult::crashFreedomRate() const {
+  const unsigned NonInjected = Programs - Injected;
+  if (NonInjected == 0)
+    return 1.0;
+  return 1.0 -
+         static_cast<double>(CrashFreedomViolations) / NonInjected;
+}
+
+double FuzzResult::containmentRate() const {
+  if (Fired == 0)
+    return 1.0;
+  return 1.0 - static_cast<double>(ContainmentViolations) / Fired;
+}
+
+std::string FuzzResult::summary() const {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "%u program(s): %u scored, %u mutated, %u injected (%u "
+                "fired); precision %.3f, crash-freedom %.3f, containment "
+                "%.3f; %s",
+                Programs, Scored, Mutated, Injected, Fired, precision(),
+                crashFreedomRate(), containmentRate(),
+                clean() ? "clean"
+                        : (std::to_string(Misclassified +
+                                          CrashFreedomViolations +
+                                          ContainmentViolations) +
+                           " violation(s)")
+                              .c_str());
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Campaign
+//===----------------------------------------------------------------------===//
+
+FuzzResult fuzz::runFuzzCampaign(const FuzzOptions &Options) {
+  const double StartMs = monotonicNowMs();
+  FuzzResult Result;
+  Result.Programs = Options.Count;
+
+  //===--- fleet generation ------------------------------------------------===//
+
+  std::vector<FuzzProgram> Fleet;
+  Fleet.reserve(Options.Count);
+  VFS Files;
+  std::vector<std::string> Names;
+  Names.reserve(Options.Count);
+  for (unsigned I = 0; I < Options.Count; ++I) {
+    Fleet.push_back(
+        generateFuzzProgram(mixSeed(Options.Seed, I), I, Options));
+    Files.add(Fleet.back().Name, Fleet.back().Source);
+    Names.push_back(Fleet.back().Name);
+    if (Fleet.back().Mutated)
+      ++Result.Mutated;
+    if (Fleet.back().Injected)
+      ++Result.Injected;
+  }
+
+  //===--- static side: BatchDriver with fault injection -------------------===//
+
+  std::unordered_map<std::string, std::unique_ptr<FaultInjector>> Injectors;
+  for (const FuzzProgram &P : Fleet)
+    if (P.Injected)
+      Injectors.emplace(P.Name,
+                        std::make_unique<FaultInjector>(P.Fault, P.FireAt));
+
+  BatchOptions Batch;
+  Batch.Jobs = Options.Jobs;
+  Batch.FileDeadlineMs = Options.FileDeadlineMs;
+  Batch.JournalPath = Options.JournalPath;
+  Batch.Resume = Options.Resume;
+  // Attempt 1 runs with the fault armed; the retry (if the fault crashed
+  // the attempt) runs clean, so the ladder's healing is itself under test.
+  Batch.OnBeforeAttempt = [&Injectors](const std::string &File,
+                                       unsigned Attempt,
+                                       CheckOptions &Check) {
+    auto It = Injectors.find(File);
+    Check.Faults =
+        (It != Injectors.end() && Attempt == 1) ? It->second.get() : nullptr;
+  };
+
+  BatchDriver Driver(Batch);
+  BatchResult Static = Driver.run(Files, Names);
+  Result.ResumedCount = Static.ResumedCount;
+
+  //===--- dynamic side: the interpreter oracle ----------------------------===//
+
+  std::vector<OracleOutcome> Oracle(Options.Count);
+  {
+    std::atomic<size_t> Next{0};
+    auto Worker = [&] {
+      for (;;) {
+        const size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+        if (I >= Fleet.size())
+          return;
+        Oracle[I] = runOracle(
+            Fleet[I].Source,
+            Fleet[I].HasExpectedBug &&
+                Fleet[I].ExpectedBug == BugKind::GlobalLeakAtExit,
+            Options.MaxOracleSteps);
+      }
+    };
+    const unsigned Threads = std::max(1u, Options.Jobs);
+    std::vector<std::thread> Pool;
+    Pool.reserve(Threads);
+    for (unsigned T = 0; T < Threads; ++T)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  //===--- classification ---------------------------------------------------===//
+
+  struct PendingRegression {
+    size_t Index;
+    std::string Why;
+  };
+  std::vector<PendingRegression> Pending;
+
+  for (size_t I = 0; I < Fleet.size(); ++I) {
+    const FuzzProgram &P = Fleet[I];
+    const FileOutcome &O = Static.Outcomes[I];
+    const OracleOutcome &D = Oracle[I];
+
+    switch (O.Kind) {
+    case FileOutcomeKind::Ok:
+      ++Result.StaticOk;
+      break;
+    case FileOutcomeKind::Degraded:
+      ++Result.StaticDegraded;
+      break;
+    case FileOutcomeKind::Timeout:
+      ++Result.StaticTimeout;
+      break;
+    case FileOutcomeKind::Crash:
+      ++Result.StaticCrash;
+      break;
+    }
+    if (D.Refused || D.FrontEndThrew)
+      ++Result.OracleRefused;
+    else if (D.InternalTrap)
+      ++Result.OracleTrapped;
+    else
+      ++Result.OracleRan;
+
+    //===--- containment: every fired fault ends contained ---------------===//
+
+    if (P.Injected) {
+      bool Fired;
+      if (O.Resumed) {
+        // The injector never ran for resumed entries; infer from the
+        // journaled record — a fired fault leaves a non-ok status, a
+        // retry, or a fault-reason marker.
+        Fired = O.Kind != FileOutcomeKind::Ok || O.Attempts > 1 ||
+                std::find(O.Reasons.begin(), O.Reasons.end(),
+                          "fault-budget") != O.Reasons.end() ||
+                std::find(O.Reasons.begin(), O.Reasons.end(),
+                          "fault-cancel") != O.Reasons.end();
+      } else {
+        auto It = Injectors.find(P.Name);
+        Fired = It != Injectors.end() && It->second->fired();
+      }
+      if (Fired) {
+        ++Result.Fired;
+        // Containment: the faulted first attempt must not have produced a
+        // clean Ok. (Ok after a retry means the ladder healed the fault —
+        // that is the designed behaviour, not an escape.)
+        if (O.Kind == FileOutcomeKind::Ok && O.Attempts == 1) {
+          ++Result.ContainmentViolations;
+          Result.ViolationNotes.push_back(
+              P.Name + ": " + std::string(faultKindName(P.Fault)) +
+              " fault fired at checkpoint " + std::to_string(P.FireAt) +
+              " but the run reported first-attempt ok");
+          Pending.push_back({I, "containment"});
+        }
+      }
+      continue; // injected programs never enter the differential score
+    }
+
+    //===--- crash freedom: no tool may crash on any input ----------------===//
+
+    if (O.Kind == FileOutcomeKind::Crash) {
+      ++Result.CrashFreedomViolations;
+      Result.ViolationNotes.push_back(
+          P.Name + ": checker reported a contained internal error on both "
+                   "attempts (" +
+          O.Diagnostics.substr(0, 120) + ")");
+      Pending.push_back({I, "checker-crash"});
+    }
+    if (D.InternalTrap) {
+      ++Result.CrashFreedomViolations;
+      Result.ViolationNotes.push_back(
+          P.Name + ": interpreter contained an internal error");
+      Pending.push_back({I, "oracle-crash"});
+    }
+    if (D.FrontEndThrew) {
+      ++Result.CrashFreedomViolations;
+      Result.ViolationNotes.push_back(
+          P.Name + ": front end raised an exception outside the checker "
+                   "facade");
+      Pending.push_back({I, "frontend-crash"});
+    }
+
+    //===--- differential score (pristine programs only) -------------------===//
+
+    if (P.Mutated || O.Kind != FileOutcomeKind::Ok || D.Refused ||
+        D.FrontEndThrew)
+      continue;
+    ++Result.Scored;
+
+    std::set<BugKind> StaticKinds; // union of witnessed kinds (TP coverage)
+    std::vector<std::set<BugKind>> FlagWitnesses; // per-flag, for FP charging
+    for (const auto &[Flag, N] : O.Classes) {
+      std::set<BugKind> W = staticClassWitnesses(Flag);
+      if (W.empty())
+        continue;
+      StaticKinds.insert(W.begin(), W.end());
+      FlagWitnesses.push_back(std::move(W));
+    }
+
+    for (BugKind K : D.Kinds) {
+      KindScore &S = Result.PerKind[corpus::bugKindName(K)];
+      if (StaticKinds.count(K)) {
+        ++S.TP;
+      } else {
+        ++S.FN;
+        if (corpus::staticallyDetectable(K)) {
+          ++Result.Misclassified;
+          Result.ViolationNotes.push_back(
+              P.Name + ": oracle observed " + corpus::bugKindName(K) +
+              " but the checker (full analysis, ok status) missed it");
+          Pending.push_back(
+              {I, std::string("missed-") + corpus::bugKindName(K)});
+        }
+      }
+    }
+    // A report is spurious only when none of the kinds it witnesses were
+    // observed; charge the false positive to its canonical (first) kind.
+    for (const std::set<BugKind> &W : FlagWitnesses) {
+      bool Covered = false;
+      for (BugKind K : W)
+        if (D.Kinds.count(K)) {
+          Covered = true;
+          break;
+        }
+      if (!Covered)
+        ++Result.PerKind[corpus::bugKindName(*W.begin())].FP;
+    }
+  }
+
+  //===--- regressions: minimize and write -------------------------------===//
+
+  for (const PendingRegression &PR : Pending) {
+    if (Result.Regressions.size() >= Options.MaxRegressions)
+      break;
+    const FuzzProgram &P = Fleet[PR.Index];
+    Regression R;
+    R.Name = P.Name;
+    R.Seed = P.Seed;
+    R.Why = PR.Why;
+    // Containment findings are properties of the harness/fault pair, not
+    // of the source text; record them unminimized.
+    if (PR.Why == "checker-crash") {
+      R.Minimized = minimizeSource(
+          P.Source,
+          [](const std::string &Src) {
+            return Checker::checkSource(Src).Status ==
+                   CheckStatus::InternalError;
+          },
+          /*MaxProbes=*/300);
+    } else if (PR.Why == "oracle-crash") {
+      R.Minimized = minimizeSource(
+          P.Source,
+          [&](const std::string &Src) {
+            return runOracle(Src, false, Options.MaxOracleSteps)
+                .InternalTrap;
+          },
+          /*MaxProbes=*/300);
+    } else if (PR.Why.compare(0, 7, "missed-") == 0) {
+      const std::string KindName = PR.Why.substr(7);
+      R.Minimized = minimizeSource(
+          P.Source,
+          [&](const std::string &Src) {
+            OracleOutcome D = runOracle(
+                Src, KindName == corpus::bugKindName(
+                                     BugKind::GlobalLeakAtExit),
+                Options.MaxOracleSteps);
+            if (D.Refused || D.FrontEndThrew)
+              return false;
+            bool OracleSees = false;
+            for (BugKind K : D.Kinds)
+              if (KindName == corpus::bugKindName(K))
+                OracleSees = true;
+            if (!OracleSees)
+              return false;
+            CheckResult C = Checker::checkSource(Src);
+            if (C.Status != CheckStatus::Ok)
+              return false;
+            for (const Diagnostic &Diag : C.Diagnostics)
+              if (Diag.Sev == Severity::Anomaly)
+                for (BugKind K :
+                     staticClassWitnesses(checkIdFlagName(Diag.Id)))
+                  if (KindName == corpus::bugKindName(K))
+                    return false; // checker sees it: not the bug anymore
+            return true;
+          },
+          /*MaxProbes=*/300);
+    } else {
+      R.Minimized = P.Source;
+    }
+    if (!Options.RegressDir.empty()) {
+      std::string Base = P.Name;
+      if (Base.size() > 2 && Base.compare(Base.size() - 2, 2, ".c") == 0)
+        Base.resize(Base.size() - 2);
+      const std::string Path =
+          Options.RegressDir + "/" + Base + "_" + PR.Why + ".c";
+      std::string Text = "/* fuzz regression: " + PR.Why + "\n   seed 0x" +
+                         hex16(P.Seed) +
+                         " (regenerate with --fuzz-repro)\n*/\n" +
+                         R.Minimized;
+      writeFileText(Path, Text);
+    }
+    Result.Regressions.push_back(std::move(R));
+  }
+
+  Result.WallMs = monotonicNowMs() - StartMs;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// The ratchet file
+//===----------------------------------------------------------------------===//
+
+std::string fuzz::renderBenchDifferentialJson(const FuzzResult &Result,
+                                              const FuzzOptions &Options) {
+  std::string Out = "{\n";
+  Out += "  \"memlint_bench\": \"differential\",\n";
+  Out += "  \"campaign_seed\": " + std::to_string(Options.Seed) + ",\n";
+  Out += "  \"programs\": " + std::to_string(Result.Programs) + ",\n";
+  Out += "  \"scored\": " + std::to_string(Result.Scored) + ",\n";
+  Out += "  \"mutated\": " + std::to_string(Result.Mutated) + ",\n";
+  Out += "  \"injected\": " + std::to_string(Result.Injected) + ",\n";
+  Out += "  \"fired\": " + std::to_string(Result.Fired) + ",\n";
+  Out += "  \"resumed\": " + std::to_string(Result.ResumedCount) + ",\n";
+  Out += "  \"static\": {\"ok\": " + std::to_string(Result.StaticOk) +
+         ", \"degraded\": " + std::to_string(Result.StaticDegraded) +
+         ", \"timeout\": " + std::to_string(Result.StaticTimeout) +
+         ", \"crash\": " + std::to_string(Result.StaticCrash) + "},\n";
+  Out += "  \"oracle\": {\"ran\": " + std::to_string(Result.OracleRan) +
+         ", \"refused\": " + std::to_string(Result.OracleRefused) +
+         ", \"trapped\": " + std::to_string(Result.OracleTrapped) + "},\n";
+  Out += "  \"precision\": " + fmtRate(Result.precision()) + ",\n";
+  Out += "  \"per_kind\": {\n";
+  bool First = true;
+  for (const auto &[Name, S] : Result.PerKind) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    Out += "    " + jsonString(Name) + ": {\"tp\": " + std::to_string(S.TP) +
+           ", \"fn\": " + std::to_string(S.FN) +
+           ", \"fp\": " + std::to_string(S.FP) +
+           ", \"recall\": " + fmtRate(S.recall()) + "}";
+  }
+  Out += "\n  },\n";
+  Out += "  \"misclassified\": " + std::to_string(Result.Misclassified) +
+         ",\n";
+  Out += "  \"crash_freedom\": " + fmtRate(Result.crashFreedomRate()) +
+         ",\n";
+  Out += "  \"crash_freedom_violations\": " +
+         std::to_string(Result.CrashFreedomViolations) + ",\n";
+  Out += "  \"containment\": " + fmtRate(Result.containmentRate()) + ",\n";
+  Out += "  \"containment_violations\": " +
+         std::to_string(Result.ContainmentViolations) + ",\n";
+  Out += "  \"wall_ms\": " + jsonMs(Result.WallMs) + "\n";
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,165 @@
+//===--- Fuzzer.h - Differential fuzzing harness ----------------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential fuzzing harness: a generator fleet produces tens of
+/// thousands of deterministic, seed-addressable programs (clean synthetic
+/// modules, seeded-bug programs, and mutants of both), pushes every program
+/// through the static checker (on the resilient BatchDriver, inheriting its
+/// deadlines, retry ladder, and resumable journal) and through the
+/// interpreter oracle, and classifies each (program, BugKind) pair:
+///
+/// * TP — the oracle observed the class at run time and the checker
+///   reported it statically.
+/// * FN — the oracle observed it, the checker stayed silent. Expected for
+///   the paper's 1996-missed classes (offset free, static free, global
+///   storage unfreed at exit); a *misclassification* for every class the
+///   detectability table says is statically detectable.
+/// * FP — the checker reported a class the oracle did not observe on the
+///   executed path.
+///
+/// Precision/recall are scored only over pristine programs (no mutation,
+/// no injected fault) whose static run completed Ok and whose oracle run
+/// actually executed — mutants have unknown ground truth and still count
+/// toward crash-freedom only.
+///
+/// A deterministic slice of the fleet additionally runs with a fault
+/// injector armed (support/FaultInjector.h): an allocation failure, a
+/// forced budget exhaustion, or a cancellation fires mid-pipeline at a
+/// seeded checkpoint. The harness verifies containment — every fired fault
+/// must end in a Degraded/Timeout/contained-InternalError outcome or be
+/// healed by the retry ladder, never reported as a clean first-attempt Ok
+/// (and never an abort or hang, which would take the campaign down with
+/// it).
+///
+/// The campaign's aggregate — precision, per-kind recall, crash-freedom
+/// rate, containment rate — is rendered as BENCH_differential.json and
+/// ratcheted in CI; violating programs are greedily minimized
+/// (fuzz/Minimizer.h) and written out as regression seeds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_FUZZ_FUZZER_H
+#define MEMLINT_FUZZ_FUZZER_H
+
+#include "corpus/Corpus.h"
+#include "fuzz/Mutator.h"
+#include "support/FaultInjector.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace memlint {
+namespace fuzz {
+
+/// Campaign configuration.
+struct FuzzOptions {
+  unsigned Count = 1000;        ///< fleet size (programs)
+  std::uint64_t Seed = 1;       ///< campaign seed; everything derives from it
+  unsigned Jobs = 1;            ///< worker threads (checker and oracle)
+  unsigned MutatedPercent = 40; ///< share of programs that get one mutation
+  /// Arm a deterministic fault in roughly one of FaultEvery programs;
+  /// 0 disables injection entirely.
+  unsigned FaultEvery = 4;
+  unsigned FileDeadlineMs = 5000; ///< per-program static-check deadline
+  unsigned long MaxOracleSteps = 200000; ///< interpreter step budget
+  std::string JournalPath;      ///< batch journal; empty disables
+  bool Resume = false;          ///< resume from JournalPath
+  /// Directory for minimized regression seeds; empty disables writing.
+  std::string RegressDir;
+  /// Upper bound on regressions minimized+written per campaign (the
+  /// minimizer re-runs the checker; unbounded minimization of a broken
+  /// build would dominate the campaign).
+  unsigned MaxRegressions = 10;
+};
+
+/// One generated program, reproducible from its seed alone.
+struct FuzzProgram {
+  std::string Name;        ///< corpus file name ("fuzz_<idx>_<seed>.c")
+  std::uint64_t Seed = 0;  ///< per-program seed (mixSeed(campaign, index))
+  std::string Source;      ///< the single flattened source file
+  bool HasExpectedBug = false;      ///< seeded-bug base (not clean synthetic)
+  corpus::BugKind ExpectedBug = corpus::BugKind::NullDeref;
+  bool Mutated = false;
+  MutationKind Mutation = MutationKind::AnnotationFlip;
+  bool Injected = false;   ///< a fault is armed for attempt 1
+  FaultKind Fault = FaultKind::Alloc;
+  unsigned long FireAt = 0; ///< checkpoint ordinal the fault fires at
+};
+
+/// Deterministically generates the program for \p ProgramSeed. \p Index
+/// only names the file; every content decision derives from the seed, so
+/// a program can be regenerated (byte-identical) from its seed alone —
+/// the repro path behind --fuzz-repro.
+FuzzProgram generateFuzzProgram(std::uint64_t ProgramSeed, unsigned Index,
+                                const FuzzOptions &Options);
+
+/// Per-BugKind differential tallies over the scored population.
+struct KindScore {
+  unsigned TP = 0, FN = 0, FP = 0;
+  double recall() const {
+    return TP + FN == 0 ? 1.0 : static_cast<double>(TP) / (TP + FN);
+  }
+};
+
+/// One finding worth keeping: a violation or misclassification, with its
+/// minimized reproducer.
+struct Regression {
+  std::string Name;      ///< offending program's corpus name
+  std::uint64_t Seed;    ///< its seed (regenerate with --fuzz-repro)
+  std::string Why;       ///< "crash", "containment", "missed-<kind>", ...
+  std::string Minimized; ///< minimized source (empty if minimization off)
+};
+
+/// Aggregate campaign outcome.
+struct FuzzResult {
+  unsigned Programs = 0;
+  unsigned Scored = 0;   ///< pristine programs entering precision/recall
+  unsigned Mutated = 0;
+  unsigned Injected = 0;
+  unsigned Fired = 0;    ///< injected faults that actually fired
+  unsigned StaticOk = 0, StaticDegraded = 0, StaticTimeout = 0,
+           StaticCrash = 0;
+  unsigned OracleRan = 0, OracleRefused = 0, OracleTrapped = 0;
+  std::map<std::string, KindScore> PerKind; ///< by bugKindName
+  unsigned Misclassified = 0; ///< unexpected FNs (detectability violated)
+  unsigned CrashFreedomViolations = 0; ///< non-injected Crash outcomes
+  unsigned ContainmentViolations = 0;  ///< fired fault escaped containment
+  std::vector<std::string> ViolationNotes; ///< one human line each
+  std::vector<Regression> Regressions;
+  unsigned ResumedCount = 0;
+  double WallMs = 0;
+
+  double precision() const;
+  /// 1.0 when no non-injected program crashed either tool.
+  double crashFreedomRate() const;
+  /// 1.0 when every fired fault was contained.
+  double containmentRate() const;
+  /// Campaign-level pass/fail: no crash-freedom, containment, or
+  /// misclassification violations.
+  bool clean() const {
+    return Misclassified == 0 && CrashFreedomViolations == 0 &&
+           ContainmentViolations == 0;
+  }
+  /// One-line human summary.
+  std::string summary() const;
+};
+
+/// Runs a campaign. Never throws; infrastructure trouble surfaces as
+/// violations/notes.
+FuzzResult runFuzzCampaign(const FuzzOptions &Options);
+
+/// Renders the ratchet file (BENCH_differential.json): stable key order,
+/// newline-terminated.
+std::string renderBenchDifferentialJson(const FuzzResult &Result,
+                                        const FuzzOptions &Options);
+
+} // namespace fuzz
+} // namespace memlint
+
+#endif // MEMLINT_FUZZ_FUZZER_H

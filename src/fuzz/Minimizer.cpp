@@ -1,0 +1,91 @@
+//===--- Minimizer.cpp - Greedy test-case minimizer -----------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Minimizer.h"
+
+#include <vector>
+
+using namespace memlint;
+using namespace memlint::fuzz;
+
+namespace {
+
+std::vector<std::string> toLines(const std::string &Src) {
+  std::vector<std::string> Lines;
+  size_t Start = 0;
+  while (Start < Src.size()) {
+    size_t End = Src.find('\n', Start);
+    if (End == std::string::npos) {
+      Lines.push_back(Src.substr(Start));
+      break;
+    }
+    Lines.push_back(Src.substr(Start, End - Start));
+    Start = End + 1;
+  }
+  return Lines;
+}
+
+std::string joinWithout(const std::vector<std::string> &Lines, size_t Begin,
+                        size_t End) {
+  std::string Out;
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    if (I >= Begin && I < End)
+      continue;
+    Out += Lines[I];
+    Out += '\n';
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string fuzz::minimizeSource(const std::string &Source,
+                                 const MinimizePredicate &StillInteresting,
+                                 unsigned MaxProbes) {
+  unsigned Probes = 0;
+  auto Probe = [&](const std::string &Candidate) {
+    if (Probes >= MaxProbes)
+      return false;
+    ++Probes;
+    return StillInteresting(Candidate);
+  };
+
+  if (!Probe(Source))
+    return Source;
+
+  std::vector<std::string> Lines = toLines(Source);
+  bool Shrunk = true;
+  while (Shrunk && Probes < MaxProbes) {
+    Shrunk = false;
+    // Chunk sizes from half the file down to single lines; front-to-back
+    // within each size. Greedy: any successful deletion restarts the size
+    // ladder on the smaller file.
+    for (size_t Chunk = Lines.size() / 2; Chunk >= 1; Chunk /= 2) {
+      for (size_t Begin = 0; Begin + Chunk <= Lines.size();) {
+        std::string Candidate = joinWithout(Lines, Begin, Begin + Chunk);
+        if (Probe(Candidate)) {
+          Lines.erase(Lines.begin() + static_cast<long>(Begin),
+                      Lines.begin() + static_cast<long>(Begin + Chunk));
+          Shrunk = true;
+          // Keep Begin: the next chunk slid into this position.
+        } else {
+          Begin += Chunk;
+        }
+        if (Probes >= MaxProbes)
+          break;
+      }
+      if (Chunk == 1 || Probes >= MaxProbes)
+        break;
+    }
+  }
+
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}

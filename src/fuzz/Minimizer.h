@@ -1,0 +1,45 @@
+//===--- Minimizer.h - Greedy test-case minimizer ---------------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A greedy delta-debugging minimizer for fuzz findings. Given a source
+/// text and an "is this still interesting?" predicate (still crashes,
+/// still misclassified, ...), it repeatedly deletes line chunks — halves
+/// first, then ever smaller runs, then single lines — keeping any deletion
+/// that preserves the predicate, until a fixpoint. The result is a locally
+/// minimal reproducer suitable for checking into tests/ as a regression
+/// seed.
+///
+/// The minimizer is deterministic (no randomness: chunk order is fixed)
+/// and bounded: the predicate is invoked at most MaxProbes times, so a
+/// pathological predicate cannot stall a campaign.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_FUZZ_MINIMIZER_H
+#define MEMLINT_FUZZ_MINIMIZER_H
+
+#include <functional>
+#include <string>
+
+namespace memlint {
+namespace fuzz {
+
+/// \returns true if the candidate source still reproduces the finding.
+/// Must be pure (same answer for same text) for minimization to converge.
+using MinimizePredicate = std::function<bool(const std::string &)>;
+
+/// Greedily minimizes \p Source under \p StillInteresting, which must hold
+/// for \p Source itself (otherwise \p Source is returned unchanged). At
+/// most \p MaxProbes predicate evaluations are spent.
+std::string minimizeSource(const std::string &Source,
+                           const MinimizePredicate &StillInteresting,
+                           unsigned MaxProbes = 2000);
+
+} // namespace fuzz
+} // namespace memlint
+
+#endif // MEMLINT_FUZZ_MINIMIZER_H

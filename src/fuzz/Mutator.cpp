@@ -1,0 +1,259 @@
+//===--- Mutator.cpp - Deterministic source mutation engine ---------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Mutator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <vector>
+
+using namespace memlint;
+using namespace memlint::fuzz;
+
+const char *fuzz::mutationKindName(MutationKind Kind) {
+  switch (Kind) {
+  case MutationKind::AnnotationFlip:
+    return "annotation-flip";
+  case MutationKind::StatementSplice:
+    return "statement-splice";
+  case MutationKind::AliasPerturb:
+    return "alias-perturb";
+  case MutationKind::Truncate:
+    return "truncate";
+  case MutationKind::Corrupt:
+    return "corrupt";
+  }
+  return "unknown";
+}
+
+MutationKind fuzz::pickMutation(SplitMix64 &R) {
+  // 30/30/20/10/10: most mutants keep a parseable shape so the analysis
+  // (not just the front end) stays under test.
+  const unsigned Roll = static_cast<unsigned>(R.below(100));
+  if (Roll < 30)
+    return MutationKind::AnnotationFlip;
+  if (Roll < 60)
+    return MutationKind::StatementSplice;
+  if (Roll < 80)
+    return MutationKind::AliasPerturb;
+  if (Roll < 90)
+    return MutationKind::Truncate;
+  return MutationKind::Corrupt;
+}
+
+namespace {
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+/// [Begin, End) byte ranges of every /*@word@*/ annotation, with the word.
+struct AnnotationSite {
+  size_t Begin, End;
+  std::string Word;
+};
+
+std::vector<AnnotationSite> findAnnotations(const std::string &Src) {
+  std::vector<AnnotationSite> Out;
+  size_t Pos = 0;
+  while ((Pos = Src.find("/*@", Pos)) != std::string::npos) {
+    size_t Close = Src.find("@*/", Pos + 3);
+    if (Close == std::string::npos)
+      break;
+    std::string Word = Src.substr(Pos + 3, Close - Pos - 3);
+    // Only plain one-word annotations; control comments (/*@-...@*/ etc.)
+    // stay untouched so suppression semantics are not silently toggled.
+    bool Plain = !Word.empty();
+    for (char C : Word)
+      if (!isIdentChar(C))
+        Plain = false;
+    if (Plain)
+      Out.push_back({Pos, Close + 3, std::move(Word)});
+    Pos = Close + 3;
+  }
+  return Out;
+}
+
+std::string flipAnnotation(const std::string &Src, SplitMix64 &R) {
+  std::vector<AnnotationSite> Sites = findAnnotations(Src);
+  if (Sites.empty())
+    return Src;
+  const AnnotationSite &S = Sites[R.below(Sites.size())];
+  // Either delete the annotation outright or swap in a different word —
+  // both make the declared contract lie about the code.
+  static const char *const Words[] = {"null",     "only",  "temp",
+                                      "observer", "unique"};
+  std::string Replacement;
+  if (!R.chance(30)) {
+    std::string Word = Words[R.below(5)];
+    if (Word == S.Word) // ensure a real flip, deterministically
+      Word = Word == "null" ? "only" : "null";
+    Replacement = "/*@" + Word + "@*/";
+  }
+  std::string Out = Src.substr(0, S.Begin);
+  Out += Replacement;
+  Out += Src.substr(S.End);
+  return Out;
+}
+
+/// Indexes of lines that look like simple statements inside a body: they
+/// end in ';' and start indented.
+std::vector<size_t> statementLines(const std::vector<std::string> &Lines) {
+  std::vector<size_t> Out;
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    const std::string &L = Lines[I];
+    if (L.size() < 4 || L[0] != ' ')
+      continue;
+    size_t LastNonWs = L.find_last_not_of(" \t");
+    if (LastNonWs == std::string::npos || L[LastNonWs] != ';')
+      continue;
+    // Declarations splice badly (redefinition noise); prefer executable
+    // statements, recognizable by not starting with a type keyword.
+    size_t FirstNonWs = L.find_first_not_of(" \t");
+    if (L.compare(FirstNonWs, 4, "int ") == 0 ||
+        L.compare(FirstNonWs, 5, "char ") == 0 ||
+        L.compare(FirstNonWs, 5, "cell ") == 0 ||
+        L.compare(FirstNonWs, 5, "node ") == 0 ||
+        L.compare(FirstNonWs, 7, "return ") == 0)
+      continue;
+    Out.push_back(I);
+  }
+  return Out;
+}
+
+std::vector<std::string> splitLines(const std::string &Src) {
+  std::vector<std::string> Lines;
+  size_t Start = 0;
+  while (Start <= Src.size()) {
+    size_t End = Src.find('\n', Start);
+    if (End == std::string::npos) {
+      if (Start < Src.size())
+        Lines.push_back(Src.substr(Start));
+      break;
+    }
+    Lines.push_back(Src.substr(Start, End - Start));
+    Start = End + 1;
+  }
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string spliceStatement(const std::string &Src, SplitMix64 &R) {
+  std::vector<std::string> Lines = splitLines(Src);
+  std::vector<size_t> Stmts = statementLines(Lines);
+  if (Stmts.empty())
+    return Src;
+  const size_t Line = Stmts[R.below(Stmts.size())];
+  if (R.chance(50))
+    Lines.insert(Lines.begin() + static_cast<long>(Line) + 1, Lines[Line]);
+  else
+    Lines.erase(Lines.begin() + static_cast<long>(Line));
+  return joinLines(Lines);
+}
+
+bool isCKeyword(const std::string &Word) {
+  static const char *const Keywords[] = {
+      "int",    "char",   "void",   "if",     "else",   "while", "for",
+      "return", "struct", "typedef", "static", "sizeof", "NULL",  "free",
+      "malloc", "calloc", "exit",   "do",     "break",  "continue"};
+  for (const char *K : Keywords)
+    if (Word == K)
+      return true;
+  return false;
+}
+
+/// Occurrence positions of short variable-like identifiers, keyed by name.
+std::map<std::string, std::vector<size_t>>
+identifierSites(const std::string &Src) {
+  std::map<std::string, std::vector<size_t>> Out;
+  size_t I = 0;
+  while (I < Src.size()) {
+    if (!std::isalpha(static_cast<unsigned char>(Src[I])) && Src[I] != '_') {
+      ++I;
+      continue;
+    }
+    size_t Begin = I;
+    while (I < Src.size() && isIdentChar(Src[I]))
+      ++I;
+    std::string Word = Src.substr(Begin, I - Begin);
+    // Variable-ish heuristic: short lowercase names, not keywords, not
+    // type/struct names from the generators.
+    if (Word.size() <= 4 && !isCKeyword(Word) && Word != "cell" &&
+        Word != "unit" && Word != "node" && Word != "box" && Word != "main" &&
+        std::islower(static_cast<unsigned char>(Word[0])))
+      Out[Word].push_back(Begin);
+  }
+  return Out;
+}
+
+std::string perturbAlias(const std::string &Src, SplitMix64 &R) {
+  std::map<std::string, std::vector<size_t>> Sites = identifierSites(Src);
+  std::vector<std::string> Names;
+  for (const auto &[Name, Positions] : Sites)
+    if (Positions.size() >= 2)
+      Names.push_back(Name);
+  if (Names.size() < 2)
+    return Src;
+  // Replace one occurrence of A (never its first, which is usually the
+  // declaration) with B: a read, write, or free now lands on other storage.
+  const std::string &A = Names[R.below(Names.size())];
+  std::string B = Names[R.below(Names.size())];
+  if (B == A)
+    B = Names[(std::find(Names.begin(), Names.end(), A) - Names.begin() + 1) %
+              Names.size()];
+  const std::vector<size_t> &APos = Sites[A];
+  size_t Pos = APos[1 + R.below(APos.size() - 1)];
+  std::string Out = Src.substr(0, Pos);
+  Out += B;
+  Out += Src.substr(Pos + A.size());
+  return Out;
+}
+
+std::string truncateSource(const std::string &Src, SplitMix64 &R) {
+  if (Src.size() < 2)
+    return Src;
+  return Src.substr(0, 1 + R.below(Src.size() - 1));
+}
+
+std::string corruptSource(const std::string &Src, SplitMix64 &R) {
+  if (Src.empty())
+    return Src;
+  std::string Out = Src;
+  static const char Garbage[] = "{}()@*;\"\'\\\x01\x7f";
+  const unsigned Hits = 1 + static_cast<unsigned>(R.below(4));
+  for (unsigned I = 0; I < Hits; ++I)
+    Out[R.below(Out.size())] =
+        Garbage[R.below(sizeof(Garbage) - 1)];
+  return Out;
+}
+
+} // namespace
+
+std::string fuzz::applyMutation(const std::string &Source, MutationKind Kind,
+                                SplitMix64 &R) {
+  switch (Kind) {
+  case MutationKind::AnnotationFlip:
+    return flipAnnotation(Source, R);
+  case MutationKind::StatementSplice:
+    return spliceStatement(Source, R);
+  case MutationKind::AliasPerturb:
+    return perturbAlias(Source, R);
+  case MutationKind::Truncate:
+    return truncateSource(Source, R);
+  case MutationKind::Corrupt:
+    return corruptSource(Source, R);
+  }
+  return Source;
+}

@@ -1,0 +1,68 @@
+//===--- Mutator.h - Deterministic source mutation engine -------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzing fleet's mutation engine. Each mutation is a small,
+/// deterministic source-to-source transform driven entirely by a seeded
+/// SplitMix64 stream, so a mutated program is reproducible from its seed
+/// alone on every platform. Mutations deliberately span the interesting
+/// failure surface:
+///
+/// * AnnotationFlip — rewrites or deletes one /*@...@*/ annotation, so the
+///   checker's assumptions diverge from the program's behaviour.
+/// * StatementSplice — duplicates or deletes one statement line (a spliced
+///   free() becomes a double free; a deleted free becomes a leak; a deleted
+///   initializer becomes an undefined read).
+/// * AliasPerturb — substitutes one identifier occurrence with another
+///   identifier from the same source, perturbing the alias/def-use graph.
+/// * Truncate — cuts the source at an arbitrary byte (torn input).
+/// * Corrupt — overwrites a few bytes with garbage (bit-rot input).
+///
+/// A mutation may be an identity transform on sources that lack its target
+/// construct (e.g. AnnotationFlip on an unannotated file); callers must not
+/// assume the result differs from the input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_FUZZ_MUTATOR_H
+#define MEMLINT_FUZZ_MUTATOR_H
+
+#include "support/Rand.h"
+
+#include <string>
+
+namespace memlint {
+namespace fuzz {
+
+/// The mutation operators, in pick order.
+enum class MutationKind {
+  AnnotationFlip,
+  StatementSplice,
+  AliasPerturb,
+  Truncate,
+  Corrupt,
+};
+
+/// \returns a stable lower-case name ("annotation-flip", ...).
+const char *mutationKindName(MutationKind Kind);
+
+/// All mutation kinds, in declaration order.
+constexpr unsigned NumMutationKinds = 5;
+
+/// Picks a mutation kind from \p R. Parse-destroying mutations (Truncate,
+/// Corrupt) are chosen less often than the semantics-preserving-shape ones,
+/// so most mutants still exercise the analysis rather than the lexer.
+MutationKind pickMutation(SplitMix64 &R);
+
+/// Applies \p Kind to \p Source deterministically, consuming randomness
+/// from \p R. Never throws; returns the (possibly identical) mutated text.
+std::string applyMutation(const std::string &Source, MutationKind Kind,
+                          SplitMix64 &R);
+
+} // namespace fuzz
+} // namespace memlint
+
+#endif // MEMLINT_FUZZ_MUTATOR_H

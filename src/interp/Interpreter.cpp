@@ -1528,11 +1528,44 @@ void Interpreter::Impl::scanLeaks() {
   }
 }
 
+bool memlint::frontendDegraded(const DiagnosticEngine &Diags) {
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Sev == Severity::Error)
+      return true;
+  return false;
+}
+
 RunResult Interpreter::run(const std::string &Entry,
                            unsigned long MaxSteps) {
   RunResult Result;
+  if (ParseDegraded) {
+    // A degraded parse can legally hand us statements with missing
+    // children or declarations cut off mid-recovery; executing those would
+    // read nodes that were never fully built. Refuse with structure
+    // instead: exactly one Trap error, Completed false, nothing executed.
+    Result.NotExecutable = true;
+    RuntimeError E;
+    E.K = RuntimeError::Kind::Trap;
+    E.Message = "program not executable: parse was degraded "
+                "(partial AST); run refused";
+    Result.Errors.push_back(std::move(E));
+    return Result;
+  }
   Impl I(TU, Result, MaxSteps);
-  I.run(Entry);
-  I.scanLeaks();
+  // Last-resort containment: the walker's own guards (null-child checks,
+  // the step limit, the abort flag) should make this unreachable, but a
+  // fuzzer-built AST that slips past them must surface as a structured
+  // Trap, never an escaping exception or a process abort.
+  try {
+    I.run(Entry);
+    I.scanLeaks();
+  } catch (const std::exception &E) {
+    RuntimeError Err;
+    Err.K = RuntimeError::Kind::Trap;
+    Err.Message = std::string("interpreter internal error contained: ") +
+                  E.what();
+    Result.Errors.push_back(std::move(Err));
+    Result.Completed = false;
+  }
   return Result;
 }

@@ -61,6 +61,13 @@ struct RunResult {
   std::string Output;   ///< captured stdout (printf/puts/putchar)
   long ExitCode = 0;
   bool Completed = false; ///< ran to completion (possibly via exit())
+  /// True when the program was never executed at all: its parse was
+  /// degraded (torn input, contained front-end failure), so the AST may be
+  /// structurally incomplete and running it would mean interpreting nodes
+  /// that were never fully built. The run carries exactly one Trap error
+  /// explaining why, Completed stays false, and no cells were touched —
+  /// a structured refusal, not a crash.
+  bool NotExecutable = false;
   unsigned long Steps = 0;
 
   bool hasError(RuntimeError::Kind Kind) const {
@@ -74,19 +81,33 @@ struct RunResult {
 /// Executes a translation unit starting from an entry function.
 class Interpreter {
 public:
-  explicit Interpreter(const TranslationUnit &TU) : TU(TU) {}
+  /// \p ParseDegraded declares that the front end did not finish cleanly
+  /// for this unit (parse errors, contained internal errors, budget
+  /// exhaustion mid-parse). The interpreter then refuses to execute —
+  /// run() returns a structured not-executable result instead of walking a
+  /// possibly-incomplete AST. Callers that parse via Frontend should pass
+  /// frontendDegraded(FE.diags()).
+  explicit Interpreter(const TranslationUnit &TU, bool ParseDegraded = false)
+      : TU(TU), ParseDegraded(ParseDegraded) {}
 
   /// Runs \p Entry (default "main"). Execution stops at the first
   /// crash-class error; undefined reads are recorded and execution
   /// continues (like Purify). After the run, live heap blocks are reported
-  /// as leaks.
+  /// as leaks. Never throws and never asserts on malformed input: a
+  /// degraded parse yields a not-executable result, and any internal error
+  /// escaping the tree walk is contained as a Trap error.
   RunResult run(const std::string &Entry = "main",
                 unsigned long MaxSteps = 2'000'000);
 
 private:
   class Impl;
   const TranslationUnit &TU;
+  bool ParseDegraded;
 };
+
+/// \returns true if \p Diags contains an error-severity diagnostic — the
+/// Frontend's signal that its AST may be partial and must not be executed.
+bool frontendDegraded(const DiagnosticEngine &Diags);
 
 } // namespace memlint
 

@@ -1,0 +1,69 @@
+//===--- FaultInjector.cpp - Deterministic fault injection ----------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include "support/Limits.h"
+
+using namespace memlint;
+
+const char *memlint::faultKindName(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::Alloc:
+    return "alloc";
+  case FaultKind::Budget:
+    return "budget";
+  case FaultKind::Cancel:
+    return "cancel";
+  }
+  return "unknown";
+}
+
+const char *memlint::faultReason(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::Alloc:
+    return "internal-error";
+  case FaultKind::Budget:
+    return "fault-budget";
+  case FaultKind::Cancel:
+    return "fault-cancel";
+  }
+  return "unknown";
+}
+
+void FaultInjector::onCheckpoint(BudgetState &S) {
+  const unsigned long long At = Seen.fetch_add(1, std::memory_order_relaxed);
+  if (Fired.load(std::memory_order_relaxed) || At < FireAt)
+    return;
+  Fired.store(true, std::memory_order_release);
+  switch (Kind) {
+  case FaultKind::Alloc:
+    // Simulated allocation failure at this exact checkpoint. The pipeline's
+    // std::exception containment must turn this into a contained internal
+    // error; throwing from here proves it can happen anywhere a budget is
+    // charged.
+    throw InjectedAllocFailure();
+  case FaultKind::Budget:
+    // Simulated exhaustion of every remaining budget: the run continues,
+    // but each later budget query reports empty, driving the ordinary
+    // graceful-degradation paths (skipped statements, stopped token
+    // consumption). The "fault-budget" reason marks the run Degraded even
+    // if no later charge point happens to ask.
+    S.forceBudgetExhausted("fault-budget");
+    return;
+  case FaultKind::Cancel: {
+    // Simulated watchdog expiry. Raising the attached token lets the very
+    // next token poll (typically this same checkpoint) take the standard
+    // cancellation exit; runs without a token take it directly.
+    if (CancelToken *Token = S.cancelToken()) {
+      Token->cancel("fault-cancel");
+      return;
+    }
+    S.noteDegradation("fault-cancel");
+    throw CancelledError{"fault-cancel"};
+  }
+  }
+}

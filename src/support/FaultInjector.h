@@ -1,0 +1,110 @@
+//===--- FaultInjector.h - Deterministic fault injection --------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for resilience testing. A FaultInjector is
+/// armed with one fault (kind + checkpoint index) and attached to a check
+/// run's BudgetState; every budget/cancellation checkpoint the pipeline
+/// passes (each preprocessed token, parsed token, abstractly executed
+/// statement, environment split) counts toward the trigger, and at exactly
+/// the armed checkpoint the fault fires. Because checkpoints are the same
+/// on every platform for a given input, the same (input, fault) pair fails
+/// at the same pipeline instruction everywhere — the fuzzer's containment
+/// findings are seed-addressable just like its generated programs.
+///
+/// The fault taxonomy covers the three ways the real world interrupts a
+/// check run:
+///
+/// * Alloc — a simulated allocation failure: throws an exception derived
+///   from std::bad_alloc. The containment layer must convert it into a
+///   contained internal error (CheckStatus::InternalError), never an abort.
+/// * Budget — simulated resource exhaustion: every remaining budget
+///   dimension reports itself exhausted from this checkpoint on, driving
+///   the run down the graceful-degradation path (CheckStatus::Degraded
+///   with the ordinary "limit*" reasons plus "fault-budget").
+/// * Cancel — the CancelToken fires as if a watchdog hit its deadline:
+///   the run must end Degraded with reason "fault-cancel".
+///
+/// The injector records whether it fired so a harness can verify the
+/// contract: fired fault => Degraded or InternalError, never Ok and never
+/// an escape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_SUPPORT_FAULTINJECTOR_H
+#define MEMLINT_SUPPORT_FAULTINJECTOR_H
+
+#include <atomic>
+#include <new>
+
+namespace memlint {
+
+class BudgetState;
+
+/// The classes of failure the injector can simulate.
+enum class FaultKind {
+  Alloc,  ///< allocation failure (throws InjectedAllocFailure)
+  Budget, ///< resource exhaustion (forces every budget to report empty)
+  Cancel, ///< deadline/cancellation (raises the run's CancelToken)
+};
+
+/// \returns a stable lower-case name ("alloc", "budget", "cancel").
+const char *faultKindName(FaultKind Kind);
+
+/// The degradation reason an injected fault of the given kind must leave in
+/// the run's reason list ("fault-budget", "fault-cancel"); Alloc faults are
+/// reported through the internal-error channel instead and return
+/// "internal-error".
+const char *faultReason(FaultKind Kind);
+
+/// The exception an Alloc fault throws. Derives from std::bad_alloc so the
+/// pipeline's containment layer treats it exactly like a real allocation
+/// failure, but carries a recognizable message for harness assertions.
+struct InjectedAllocFailure : std::bad_alloc {
+  const char *what() const noexcept override {
+    return "injected allocation failure";
+  }
+};
+
+/// One armed fault. Thread-compatible with the batch driver: a single check
+/// run (one worker thread) drives onCheckpoint(); fired() may be read from
+/// another thread after the run completes.
+class FaultInjector {
+public:
+  /// Arms a fault of \p Kind to fire at the \p FireAtCheckpoint-th
+  /// checkpoint (0 fires at the very first one).
+  FaultInjector(FaultKind Kind, unsigned long FireAtCheckpoint)
+      : Kind(Kind), FireAt(FireAtCheckpoint) {}
+
+  FaultInjector(const FaultInjector &) = delete;
+  FaultInjector &operator=(const FaultInjector &) = delete;
+
+  /// Called by BudgetState at every checkpoint. Fires at most once; after
+  /// firing, Budget faults keep the budget-exhausted flag raised via \p S
+  /// while Alloc/Cancel faults are spent.
+  void onCheckpoint(BudgetState &S);
+
+  FaultKind kind() const { return Kind; }
+  unsigned long fireAt() const { return FireAt; }
+
+  /// True once the armed checkpoint was reached and the fault fired.
+  bool fired() const { return Fired.load(std::memory_order_acquire); }
+
+  /// Checkpoints observed so far (harness introspection).
+  unsigned long long seen() const {
+    return Seen.load(std::memory_order_relaxed);
+  }
+
+private:
+  const FaultKind Kind;
+  const unsigned long FireAt;
+  std::atomic<unsigned long long> Seen{0};
+  std::atomic<bool> Fired{false};
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_SUPPORT_FAULTINJECTOR_H

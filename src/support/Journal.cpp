@@ -59,6 +59,17 @@ std::string memlint::journalEntryLine(const JournalEntry &Entry) {
                     ",\"wall_ms\":" + jsonMs(Entry.WallMs) +
                     ",\"reasons\":" + Reasons +
                     ",\"diags\":" + jsonString(Entry.Diagnostics);
+  // Classes are emitted only when present (differential runs), so plain
+  // batch journals keep the historical byte format.
+  if (!Entry.Classes.empty()) {
+    Out += ",\"classes\":{";
+    bool First = true;
+    for (const auto &[Name, N] : Entry.Classes) {
+      Out += (First ? "" : ",") + jsonString(Name) + ":" + std::to_string(N);
+      First = false;
+    }
+    Out += "}";
+  }
   // Metrics are emitted only when collected, so journals from runs without
   // --metrics-out keep the historical byte format.
   if (!Entry.Metrics.empty()) {
@@ -400,6 +411,11 @@ JournalContents memlint::parseJournal(const std::string &Text) {
             Entry.Reasons = V.Array;
           } else if (Key == "diags") {
             Entry.Diagnostics = V.Str;
+          } else if (Key == "classes") {
+            if (V.K == LineParser::ValueT::Object)
+              for (const auto &[Name, Sub] : V.Fields)
+                if (Sub.K == LineParser::ValueT::Number && Sub.Num >= 0)
+                  Entry.Classes[Name] = static_cast<unsigned>(Sub.Num);
           } else if (Key == "metrics") {
             readMetricsValue(V, Entry.Metrics);
           }

@@ -25,6 +25,7 @@
 ///   {"memlint_journal":1,"corpus":"<fnv1a64 hex>","files":12}
 ///   {"file":"a.c","status":"ok","attempts":1,"anomalies":2,
 ///    "suppressed":0,"wall_ms":1.25,"reasons":[],"diags":"a.c:3: ...\n",
+///    "classes":{"mustfree":1,"nullderef":1},
 ///    "metrics":{"counters":{"check.functions":3},"timers_ms":{...}}}
 ///
 /// "status" is one of "ok", "degraded", "timeout", "crash" (see
@@ -41,6 +42,7 @@
 
 #include "support/Metrics.h"
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -57,6 +59,11 @@ struct JournalEntry {
   unsigned Suppressed = 0;
   double WallMs = 0;
   std::string Diagnostics;  ///< rendered diagnostic text
+  /// Anomaly counts by check-class flag name ("mustfree", "usereleased",
+  /// ...). Journaled so a resumed differential run can still classify each
+  /// file's findings per class without re-parsing rendered text. Emitted
+  /// only when non-empty, preserving the historical byte format.
+  std::map<std::string, unsigned> Classes;
   MetricsSnapshot Metrics;  ///< per-file metrics; empty when not collected
 };
 

@@ -6,6 +6,8 @@
 
 #include "support/Limits.h"
 
+#include "support/FaultInjector.h"
+
 using namespace memlint;
 
 const std::vector<LimitSpec> &memlint::limitSpecs() {
@@ -34,3 +36,5 @@ const LimitSpec *memlint::findLimitSpec(const std::string &Name) {
       return &Spec;
   return nullptr;
 }
+
+void BudgetState::pollFaults() { Faults->onCheckpoint(*this); }

@@ -34,6 +34,8 @@
 
 namespace memlint {
 
+class FaultInjector;
+
 /// Hard bounds on one check run. A value of 0 means "unlimited" for that
 /// dimension. Defaults are far above anything a legitimate translation unit
 /// needs, but low enough that hostile input cannot hang the tool or smash
@@ -104,20 +106,45 @@ public:
   void setCancelToken(CancelToken *Token) { Cancel = Token; }
   CancelToken *cancelToken() const { return Cancel; }
 
+  /// Attaches a deterministic fault injector (see support/FaultInjector.h).
+  /// Every checkpoint is then also a potential fault site; the injector
+  /// fires its armed fault at exactly one of them. Null (the default) costs
+  /// a single pointer test per checkpoint.
+  void setFaultInjector(FaultInjector *Injector) { Faults = Injector; }
+  FaultInjector *faultInjector() const { return Faults; }
+
   /// Cancellation checkpoint: throws CancelledError if the attached token
   /// has been raised. Call sites are exactly the budget charge points, so
-  /// cancellation latency is bounded by the work between two charges.
+  /// cancellation latency is bounded by the work between two charges. An
+  /// attached FaultInjector observes every checkpoint first, so an injected
+  /// cancellation is taken on the same poll that would notice a watchdog.
   void checkCancelled() {
+    if (Faults)
+      pollFaults();
     if (Cancel && Cancel->check())
       throw CancelledError{Cancel->reason()};
   }
+
+  /// Marks every budget dimension exhausted from now on (fault injection's
+  /// Budget fault): later takeToken/exhaustion queries report empty and the
+  /// run degrades through its ordinary partial-result paths. \p Reason is
+  /// recorded so the run is Degraded even if no later query runs.
+  void forceBudgetExhausted(const std::string &Reason) {
+    ForcedExhausted = true;
+    noteDegradation(Reason);
+  }
+
+  /// True once forceBudgetExhausted() ran; budget charge points outside
+  /// this class (statement/split counters) consult it alongside their own
+  /// limits.
+  bool budgetForcedExhausted() const { return ForcedExhausted; }
 
   /// Charges one preprocessed token. \returns false once the token budget
   /// is exhausted; callers should stop consuming input. Doubles as a
   /// cancellation checkpoint (throws CancelledError when cancelled).
   bool takeToken() {
     checkCancelled();
-    if (limitExhausted(Tokens, Budget.MaxTokens)) {
+    if (ForcedExhausted || limitExhausted(Tokens, Budget.MaxTokens)) {
       noteDegradation("limittokens");
       return false;
     }
@@ -126,7 +153,7 @@ public:
   }
 
   bool tokensExhausted() const {
-    return limitExhausted(Tokens, Budget.MaxTokens);
+    return ForcedExhausted || limitExhausted(Tokens, Budget.MaxTokens);
   }
 
   /// Tokens charged so far (observability; see support/Metrics.h).
@@ -152,11 +179,17 @@ public:
   }
 
 private:
+  /// Out-of-line so this header does not depend on FaultInjector.h (which
+  /// includes it back); simply forwards to Faults->onCheckpoint(*this).
+  void pollFaults();
+
   ResourceBudget Budget;
   unsigned long Tokens = 0;
   std::vector<std::string> Reasons;
   bool InternalErrors = false;
+  bool ForcedExhausted = false;
   CancelToken *Cancel = nullptr;
+  FaultInjector *Faults = nullptr;
 };
 
 } // namespace memlint

@@ -1,0 +1,60 @@
+//===--- Rand.h - Deterministic seeded random engine ------------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The repository's one random engine. Everything that needs randomness —
+/// the corpus generators, the fuzzing mutation engine, the fault-injection
+/// planner — draws from SplitMix64 seeded explicitly, never from rand(),
+/// std::random_device, or address-dependent state. The same Seed therefore
+/// yields byte-identical output on every platform, which is what makes
+/// fuzzing seeds addressable: a failure reported as seed N can be
+/// regenerated exactly, anywhere, forever.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_SUPPORT_RAND_H
+#define MEMLINT_SUPPORT_RAND_H
+
+#include <cstdint>
+
+namespace memlint {
+
+/// SplitMix64 (Steele/Lea/Flood): tiny, fast, and passes BigCrush for this
+/// use. Unlike xorshift it has no weak all-zero state and decorrelates
+/// consecutive seeds, so seed N and seed N+1 produce unrelated programs.
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t Seed) : State(Seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform-ish value in [0, N); 0 for N == 0. Modulo bias is irrelevant
+  /// at the N (< 2^16) this codebase uses.
+  std::uint64_t below(std::uint64_t N) { return N ? next() % N : 0; }
+
+  /// True with probability Percent/100.
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+
+private:
+  std::uint64_t State;
+};
+
+/// One-shot mix of two seeds into a new stream seed (used to derive the
+/// per-program seed from a campaign base seed and a program index without
+/// correlating neighbouring programs).
+inline std::uint64_t mixSeed(std::uint64_t A, std::uint64_t B) {
+  SplitMix64 R(A ^ (B * 0x9e3779b97f4a7c15ull + 0x632be59bd9b4e019ull));
+  return R.next();
+}
+
+} // namespace memlint
+
+#endif // MEMLINT_SUPPORT_RAND_H

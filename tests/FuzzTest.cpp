@@ -1,0 +1,383 @@
+//===--- FuzzTest.cpp - Differential fuzzing harness ----------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+// The fuzzing harness's contract: generated programs are pure functions of
+// their seed (byte-identical regeneration, the --fuzz-repro guarantee),
+// mutations are deterministic, every injected fault is contained by the
+// pipeline (Degraded or InternalError, never an escape or a clean Ok), the
+// minimizer shrinks to a locally minimal reproducer within its probe
+// budget, per-class anomaly counts survive a journal round trip, and a
+// whole small campaign is clean and reproducible.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Minimizer.h"
+#include "fuzz/Mutator.h"
+
+#include "checker/Checker.h"
+#include "driver/BatchDriver.h"
+#include "support/FaultInjector.h"
+#include "support/Journal.h"
+#include "support/Rand.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace memlint;
+using namespace memlint::fuzz;
+
+namespace {
+
+/// A leaky program with enough tokens and statements to pass any
+/// checkpoint ordinal a test arms a fault at.
+const char *LeakSource = "#include <stdlib.h>\n"
+                         "int work(int n)\n"
+                         "{\n"
+                         "  char *p = (char *) malloc(16);\n"
+                         "  int acc = n;\n"
+                         "  acc = acc + 1;\n"
+                         "  acc = acc + 2;\n"
+                         "  acc = acc + 3;\n"
+                         "  return acc;\n"
+                         "}\n";
+
+//===----------------------------------------------------------------------===//
+// Generator fleet determinism
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzGeneration, ByteIdenticalRegenerationFromSeed) {
+  FuzzOptions Opts;
+  Opts.MutatedPercent = 40;
+  Opts.FaultEvery = 4;
+  for (unsigned I = 0; I < 64; ++I) {
+    const std::uint64_t Seed = mixSeed(9001, I);
+    FuzzProgram A = generateFuzzProgram(Seed, I, Opts);
+    FuzzProgram B = generateFuzzProgram(Seed, I, Opts);
+    EXPECT_EQ(A.Name, B.Name);
+    EXPECT_EQ(A.Source, B.Source) << "seed " << Seed;
+    EXPECT_EQ(A.Seed, B.Seed);
+    EXPECT_EQ(A.HasExpectedBug, B.HasExpectedBug);
+    EXPECT_EQ(A.Mutated, B.Mutated);
+    EXPECT_EQ(A.Injected, B.Injected);
+    if (A.Injected) {
+      EXPECT_EQ(A.Fault, B.Fault);
+      EXPECT_EQ(A.FireAt, B.FireAt);
+    }
+  }
+}
+
+TEST(FuzzGeneration, FleetIsDiverse) {
+  FuzzOptions Opts;
+  std::set<std::string> Sources;
+  bool SawClean = false, SawBug = false, SawMutant = false;
+  for (unsigned I = 0; I < 64; ++I) {
+    FuzzProgram P = generateFuzzProgram(mixSeed(Opts.Seed, I), I, Opts);
+    Sources.insert(P.Source);
+    SawClean |= !P.HasExpectedBug;
+    SawBug |= P.HasExpectedBug;
+    SawMutant |= P.Mutated;
+  }
+  // Distinct seeds overwhelmingly produce distinct programs.
+  EXPECT_GT(Sources.size(), 48u);
+  EXPECT_TRUE(SawClean);
+  EXPECT_TRUE(SawBug);
+  EXPECT_TRUE(SawMutant);
+}
+
+TEST(FuzzGeneration, InjectionFollowsFaultEvery) {
+  FuzzOptions Opts;
+  Opts.FaultEvery = 4;
+  unsigned Injected = 0;
+  for (unsigned I = 0; I < 40; ++I) {
+    FuzzProgram P = generateFuzzProgram(mixSeed(Opts.Seed, I), I, Opts);
+    if (P.Injected)
+      ++Injected;
+  }
+  EXPECT_GT(Injected, 0u);
+
+  Opts.FaultEvery = 0; // injection disabled entirely
+  for (unsigned I = 0; I < 40; ++I)
+    EXPECT_FALSE(
+        generateFuzzProgram(mixSeed(Opts.Seed, I), I, Opts).Injected);
+}
+
+//===----------------------------------------------------------------------===//
+// Mutation engine
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzMutation, DeterministicPerSeed) {
+  const std::string Base = "#include <stdlib.h>\n"
+                           "int take(/*@only@*/ int *p)\n"
+                           "{\n"
+                           "  int v = *p;\n"
+                           "  free((void *) p);\n"
+                           "  return v;\n"
+                           "}\n";
+  for (unsigned K = 0; K < NumMutationKinds; ++K) {
+    const MutationKind Kind = static_cast<MutationKind>(K);
+    SplitMix64 R1(42), R2(42);
+    EXPECT_EQ(applyMutation(Base, Kind, R1), applyMutation(Base, Kind, R2))
+        << mutationKindName(Kind);
+  }
+}
+
+TEST(FuzzMutation, EveryKindHasAName) {
+  std::set<std::string> Names;
+  for (unsigned K = 0; K < NumMutationKinds; ++K)
+    Names.insert(mutationKindName(static_cast<MutationKind>(K)));
+  EXPECT_EQ(Names.size(), NumMutationKinds);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection containment (the harness's core safety property)
+//===----------------------------------------------------------------------===//
+
+/// Every fault kind, fired at the very first checkpoint, must end in its
+/// documented contained outcome — never an abort, never a clean Ok.
+TEST(FuzzContainment, AllFaultKindsContainedAtFirstCheckpoint) {
+  struct Case {
+    FaultKind Kind;
+    CheckStatus Expected;
+    const char *Reason;
+  } Cases[] = {
+      {FaultKind::Alloc, CheckStatus::InternalError, "internal-error"},
+      {FaultKind::Budget, CheckStatus::Degraded, "fault-budget"},
+      {FaultKind::Cancel, CheckStatus::Degraded, "fault-cancel"},
+  };
+  for (const Case &C : Cases) {
+    FaultInjector Injector(C.Kind, /*FireAtCheckpoint=*/0);
+    CheckOptions Opts;
+    Opts.Faults = &Injector;
+    CheckResult R = Checker::checkSource(LeakSource, Opts);
+    EXPECT_TRUE(Injector.fired()) << faultKindName(C.Kind);
+    EXPECT_EQ(R.Status, C.Expected) << faultKindName(C.Kind);
+    EXPECT_NE(std::find(R.DegradationReasons.begin(),
+                        R.DegradationReasons.end(), C.Reason),
+              R.DegradationReasons.end())
+        << faultKindName(C.Kind) << " reasons missing " << C.Reason;
+  }
+}
+
+/// The same (input, fault) pair fires at the same checkpoint count on every
+/// run — containment findings are as seed-addressable as the programs.
+TEST(FuzzContainment, CheckpointCountsAreDeterministic) {
+  unsigned long long First = 0;
+  for (int Run = 0; Run < 3; ++Run) {
+    FaultInjector Injector(FaultKind::Budget, /*FireAtCheckpoint=*/25);
+    CheckOptions Opts;
+    Opts.Faults = &Injector;
+    Checker::checkSource(LeakSource, Opts);
+    ASSERT_TRUE(Injector.fired());
+    if (Run == 0)
+      First = Injector.seen();
+    else
+      EXPECT_EQ(Injector.seen(), First);
+  }
+}
+
+/// A fault armed past the last checkpoint never fires and the run is a
+/// normal full analysis.
+TEST(FuzzContainment, UnfiredFaultLeavesRunUntouched) {
+  FaultInjector Injector(FaultKind::Alloc, /*FireAtCheckpoint=*/100000000UL);
+  CheckOptions Opts;
+  Opts.Faults = &Injector;
+  CheckResult R = Checker::checkSource(LeakSource, Opts);
+  EXPECT_FALSE(Injector.fired());
+  EXPECT_EQ(R.Status, CheckStatus::Ok);
+  EXPECT_EQ(R.anomalyCount(), 1u); // the leak is still found
+}
+
+/// OnBeforeAttempt lets the harness arm per-file injectors inside the
+/// batch driver; a Budget fault on attempt 1 surfaces as a Degraded
+/// outcome with the injector's reason, without touching other files.
+TEST(FuzzContainment, BatchDriverArmsInjectorPerFile) {
+  VFS Files;
+  Files.add("clean.c", "int id(int x) { return x; }\n");
+  Files.add("victim.c", LeakSource);
+
+  FaultInjector Injector(FaultKind::Budget, /*FireAtCheckpoint=*/0);
+  BatchOptions Opts;
+  Opts.OnBeforeAttempt = [&](const std::string &File, unsigned Attempt,
+                             CheckOptions &Check) {
+    if (File == "victim.c" && Attempt == 1)
+      Check.Faults = &Injector;
+  };
+  BatchResult R = BatchDriver(Opts).run(Files, {"clean.c", "victim.c"});
+
+  ASSERT_EQ(R.Outcomes.size(), 2u);
+  EXPECT_EQ(R.Outcomes[0].Kind, FileOutcomeKind::Ok);
+  EXPECT_EQ(R.Outcomes[1].Kind, FileOutcomeKind::Degraded);
+  EXPECT_EQ(R.Outcomes[1].Attempts, 1u); // Degraded is terminal, no retry
+  EXPECT_NE(std::find(R.Outcomes[1].Reasons.begin(),
+                      R.Outcomes[1].Reasons.end(), "fault-budget"),
+            R.Outcomes[1].Reasons.end());
+  EXPECT_TRUE(Injector.fired());
+}
+
+//===----------------------------------------------------------------------===//
+// Minimizer
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzMinimizer, ShrinksToThePredicateCore) {
+  std::string Source;
+  for (int I = 0; I < 40; ++I)
+    Source += "int filler" + std::to_string(I) + ";\n";
+  Source += "int MARKER;\n";
+  for (int I = 40; I < 80; ++I)
+    Source += "int filler" + std::to_string(I) + ";\n";
+
+  std::string Min = minimizeSource(Source, [](const std::string &S) {
+    return S.find("MARKER") != std::string::npos;
+  });
+  EXPECT_EQ(Min, "int MARKER;\n");
+}
+
+TEST(FuzzMinimizer, UninterestingInputReturnedUnchanged) {
+  const std::string Source = "line one\nline two\n";
+  EXPECT_EQ(minimizeSource(Source,
+                           [](const std::string &) { return false; }),
+            Source);
+}
+
+TEST(FuzzMinimizer, ProbeBudgetIsRespected) {
+  std::string Source;
+  for (int I = 0; I < 200; ++I)
+    Source += "int v" + std::to_string(I) + ";\n";
+  unsigned Probes = 0;
+  minimizeSource(
+      Source,
+      [&](const std::string &S) {
+        ++Probes;
+        return S.find("v0;") != std::string::npos;
+      },
+      /*MaxProbes=*/25);
+  EXPECT_LE(Probes, 25u);
+}
+
+TEST(FuzzMinimizer, DeterministicResult) {
+  std::string Source;
+  for (int I = 0; I < 30; ++I)
+    Source += (I % 7 == 0 ? "int keep" : "int drop") + std::to_string(I) +
+              ";\n";
+  auto Pred = [](const std::string &S) {
+    return S.find("keep0;") != std::string::npos &&
+           S.find("keep7;") != std::string::npos;
+  };
+  EXPECT_EQ(minimizeSource(Source, Pred), minimizeSource(Source, Pred));
+}
+
+//===----------------------------------------------------------------------===//
+// Journal round trip for per-class counts
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzJournal, ClassesSurviveRoundTrip) {
+  JournalEntry E;
+  E.File = "fuzz_000001_00000000deadbeef.c";
+  E.Status = "ok";
+  E.Anomalies = 3;
+  E.Classes["mustfree"] = 2;
+  E.Classes["usereleased"] = 1;
+
+  const std::string Line = journalEntryLine(E);
+  EXPECT_NE(Line.find("\"classes\":{"), std::string::npos);
+
+  JournalContents C =
+      parseJournal(journalHeaderLine("0123456789abcdef", 1) + "\n" + Line +
+                   "\n");
+  ASSERT_EQ(C.Entries.size(), 1u);
+  EXPECT_EQ(C.Entries[0].Classes, E.Classes);
+}
+
+TEST(FuzzJournal, EmptyClassesKeepHistoricalByteFormat) {
+  JournalEntry E;
+  E.File = "plain.c";
+  E.Status = "ok";
+  EXPECT_EQ(journalEntryLine(E).find("classes"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-campaign behavior
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzCampaign, SmallCampaignIsCleanAndReproducible) {
+  FuzzOptions Opts;
+  Opts.Count = 48;
+  Opts.Seed = 7;
+  Opts.Jobs = 2;
+  Opts.FaultEvery = 4;
+
+  FuzzResult A = runFuzzCampaign(Opts);
+  EXPECT_TRUE(A.clean()) << A.summary();
+  EXPECT_EQ(A.Programs, 48u);
+  EXPECT_GT(A.Scored, 0u);
+  EXPECT_GT(A.Fired, 0u);
+  EXPECT_EQ(A.ContainmentViolations, 0u);
+  EXPECT_EQ(A.CrashFreedomViolations, 0u);
+  EXPECT_DOUBLE_EQ(A.crashFreedomRate(), 1.0);
+  EXPECT_DOUBLE_EQ(A.containmentRate(), 1.0);
+
+  // Same seed, different job count: identical classification.
+  FuzzOptions Opts1 = Opts;
+  Opts1.Jobs = 1;
+  FuzzResult B = runFuzzCampaign(Opts1);
+  EXPECT_EQ(A.summary(), B.summary());
+  EXPECT_EQ(A.PerKind.size(), B.PerKind.size());
+  for (const auto &[Kind, S] : A.PerKind) {
+    const KindScore &T = B.PerKind.at(Kind);
+    EXPECT_EQ(S.TP, T.TP) << Kind;
+    EXPECT_EQ(S.FN, T.FN) << Kind;
+    EXPECT_EQ(S.FP, T.FP) << Kind;
+  }
+}
+
+TEST(FuzzCampaign, BenchJsonHasTheRatchetShape) {
+  FuzzOptions Opts;
+  Opts.Count = 16;
+  Opts.Seed = 3;
+  Opts.Jobs = 2;
+  FuzzResult R = runFuzzCampaign(Opts);
+  const std::string Json = renderBenchDifferentialJson(R, Opts);
+
+  for (const char *Key :
+       {"\"memlint_bench\": \"differential\"", "\"campaign_seed\": 3",
+        "\"programs\": 16", "\"precision\":", "\"per_kind\":",
+        "\"crash_freedom\":", "\"containment\":", "\"misclassified\":",
+        "\"static\":", "\"oracle\":"})
+    EXPECT_NE(Json.find(Key), std::string::npos) << Key;
+  EXPECT_FALSE(Json.empty());
+  EXPECT_EQ(Json.back(), '\n');
+}
+
+/// The statically detectable classes score perfect recall on the pristine
+/// fleet; the paper's 1996-missed classes score zero — and both facts come
+/// out of the campaign, not the table.
+TEST(FuzzCampaign, RecallMatchesDetectabilityTable) {
+  FuzzOptions Opts;
+  Opts.Count = 120;
+  Opts.Seed = 11;
+  Opts.Jobs = 2;
+  Opts.MutatedPercent = 0; // pristine fleet: every program is scored
+  Opts.FaultEvery = 0;
+  FuzzResult R = runFuzzCampaign(Opts);
+  EXPECT_TRUE(R.clean()) << R.summary();
+
+  for (corpus::BugKind K : corpus::allBugKinds()) {
+    auto It = R.PerKind.find(corpus::bugKindName(K));
+    if (It == R.PerKind.end())
+      continue; // kind not drawn in this fleet
+    const KindScore &S = It->second;
+    if (corpus::staticallyDetectable(K))
+      EXPECT_DOUBLE_EQ(S.recall(), 1.0) << corpus::bugKindName(K);
+    else
+      EXPECT_DOUBLE_EQ(S.recall(), 0.0) << corpus::bugKindName(K);
+    EXPECT_EQ(S.FP, 0u) << corpus::bugKindName(K);
+  }
+}
+
+} // namespace
