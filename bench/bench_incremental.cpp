@@ -1,0 +1,168 @@
+//===--- bench_incremental.cpp - Warm vs cold check service -------------------===//
+//
+// Part of memlint. See DESIGN.md §6f.
+//
+// The check service's incremental-reuse acceptance: over a Section 7
+// synthetic corpus of 400 modules, a warm re-check after editing ONE
+// module must be more than 50x faster than the cold run — and every
+// served answer must be byte-identical to what a cold check of the same
+// content produces. Exactly one module may recompute; the other 399 must
+// be cache hits.
+//
+// Writes BENCH_incremental.json (cold_ms, warm_ms, speedup, hit counts,
+// byte_identical, acceptance_pass) for the CI gate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "service/CheckService.h"
+#include "support/MonotonicTime.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace memlint;
+
+namespace {
+
+constexpr unsigned Modules = 400;
+constexpr unsigned FunctionsPerModule = 25;
+constexpr double AcceptanceMinSpeedup = 50.0;
+
+struct Outcome {
+  double ColdMs = 0;
+  double WarmMs = 0;
+  unsigned CacheHits = 0;
+  unsigned Recomputed = 0;
+  bool ByteIdentical = true;
+  bool StatusesSettled = true; // every check ended ok/degraded
+  unsigned Loc = 0;
+  size_t Files = 0;
+
+  double speedup() const { return WarmMs > 0 ? ColdMs / WarmMs : 0; }
+  bool pass() const {
+    return ByteIdentical && StatusesSettled && Recomputed == 1 &&
+           speedup() > AcceptanceMinSpeedup;
+  }
+};
+
+Outcome runScenario() {
+  corpus::GenOptions Gen;
+  Gen.Modules = Modules;
+  Gen.FunctionsPerModule = FunctionsPerModule;
+  corpus::Program P = corpus::syntheticProgram(Gen);
+
+  // The editable "disk" the service reads through.
+  std::map<std::string, std::string> Disk;
+  for (const std::string &Name : P.Files.names())
+    Disk[Name] = *P.Files.read(Name);
+
+  Outcome Out;
+  Out.Loc = corpus::totalLines(P);
+  Out.Files = Disk.size();
+
+  ServiceOptions O;
+  O.FileSource = [&Disk](const std::string &Name)
+      -> std::optional<std::string> {
+    auto It = Disk.find(Name);
+    if (It == Disk.end())
+      return std::nullopt;
+    return It->second;
+  };
+  CheckService Service(O);
+
+  auto CheckAll = [&] {
+    std::vector<ServiceReply> Replies;
+    Replies.reserve(P.MainFiles.size());
+    for (const std::string &File : P.MainFiles) {
+      ServiceRequest Req;
+      Req.Kind = ServiceRequestKind::Check;
+      Req.File = File;
+      Replies.push_back(Service.handle(Req));
+    }
+    return Replies;
+  };
+
+  double Start = monotonicNowMs();
+  std::vector<ServiceReply> Cold = CheckAll();
+  Out.ColdMs = monotonicNowMs() - Start;
+
+  // Edit exactly one module (appending a declaration changes its content
+  // hash and its diagnostics line numbers stay put).
+  const std::string Edited = P.MainFiles[Modules / 2];
+  Disk[Edited] += "\nint bench_incremental_edit(int x) { return x; }\n";
+
+  Start = monotonicNowMs();
+  std::vector<ServiceReply> Warm = CheckAll();
+  Out.WarmMs = monotonicNowMs() - Start;
+
+  for (size_t I = 0; I < P.MainFiles.size(); ++I) {
+    const ServiceReply &C = Cold[I];
+    const ServiceReply &W = Warm[I];
+    if (C.Status != "ok" && C.Status != "degraded")
+      Out.StatusesSettled = false;
+    if (W.CacheHit) {
+      ++Out.CacheHits;
+      // A warm answer must replay the cold answer byte for byte.
+      if (W.Diagnostics != C.Diagnostics || W.Status != C.Status ||
+          W.Anomalies != C.Anomalies || W.Suppressed != C.Suppressed)
+        Out.ByteIdentical = false;
+    } else {
+      ++Out.Recomputed;
+      if (P.MainFiles[I] != Edited)
+        Out.ByteIdentical = false; // an unedited file recomputed: stale drop
+    }
+  }
+  return Out;
+}
+
+void writeJson(const Outcome &Out) {
+  FILE *F = fopen("BENCH_incremental.json", "w");
+  if (!F) {
+    fprintf(stderr, "cannot write BENCH_incremental.json\n");
+    return;
+  }
+  fprintf(F, "{\n");
+  fprintf(F, "  \"bench\": \"incremental\",\n");
+  fprintf(F, "  \"unit\": \"ms\",\n");
+  fprintf(F, "  \"modules\": %u,\n", Modules);
+  fprintf(F, "  \"functions_per_module\": %u,\n", FunctionsPerModule);
+  fprintf(F, "  \"files\": %zu,\n", Out.Files);
+  fprintf(F, "  \"loc\": %u,\n", Out.Loc);
+  fprintf(F, "  \"cold_ms\": %.1f,\n", Out.ColdMs);
+  fprintf(F, "  \"warm_ms\": %.1f,\n", Out.WarmMs);
+  fprintf(F, "  \"cache_hits\": %u,\n", Out.CacheHits);
+  fprintf(F, "  \"recomputed\": %u,\n", Out.Recomputed);
+  fprintf(F, "  \"speedup\": %.1f,\n", Out.speedup());
+  fprintf(F, "  \"byte_identical\": %s,\n",
+          Out.ByteIdentical ? "true" : "false");
+  fprintf(F, "  \"acceptance_min_speedup\": %.1f,\n", AcceptanceMinSpeedup);
+  fprintf(F, "  \"acceptance_pass\": %s\n", Out.pass() ? "true" : "false");
+  fprintf(F, "}\n");
+  fclose(F);
+  printf("wrote BENCH_incremental.json\n");
+}
+
+} // namespace
+
+int main() {
+  printf("=============================================================\n");
+  printf(" Incremental reuse: warm service re-check after a 1-module\n");
+  printf(" edit vs a cold check of the full %u-module corpus\n", Modules);
+  printf("=============================================================\n");
+
+  Outcome Out = runScenario();
+
+  printf("corpus: %u modules, %zu files, %u lines\n", Modules, Out.Files,
+         Out.Loc);
+  printf("cold:   %.1f ms (%u checks)\n", Out.ColdMs, Modules);
+  printf("warm:   %.1f ms (%u hits, %u recomputed)\n", Out.WarmMs,
+         Out.CacheHits, Out.Recomputed);
+  printf("\nincremental speedup: %.1fx (acceptance: > %.0fx, byte-identical "
+         "replay, exactly 1 recompute) => %s\n",
+         Out.speedup(), AcceptanceMinSpeedup, Out.pass() ? "PASS" : "FAIL");
+  writeJson(Out);
+  return Out.pass() ? 0 : 1;
+}

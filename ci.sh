@@ -125,10 +125,17 @@ st=0
 for needle in '"memlint_bench": "differential"' '"campaign_seed": 1' \
   '"programs": 500' '"crash_freedom": 1.0' '"containment": 1.0' \
   '"misclassified": 0' '"crash_freedom_violations": 0' \
-  '"containment_violations": 0' '"per_kind"' '"precision"'; do
+  '"containment_violations": 0' '"per_kind"' '"precision"' \
+  '"cache_checked": 500' '"warm_cold_divergence": 0'; do
   grep -q "$needle" "$SMOKE/fuzz.json" || \
     { echo "fuzz smoke: ratchet JSON lacks $needle"; exit 1; }
 done
+# The rotation must actually exercise the cache fault kinds (CacheCorrupt,
+# CacheTornWrite, StaleEntry); a zero count means the warm-vs-cold gate
+# above was vacuous.
+if grep -q '"cache_injected": 0,' "$SMOKE/fuzz.json"; then
+  echo "fuzz smoke: no cache faults were injected"; exit 1
+fi
 grep -q '^}$' "$SMOKE/fuzz.json" || \
   { echo "fuzz smoke: ratchet JSON is truncated (no closing brace)"; exit 1; }
 opens=$(tr -cd '{' < "$SMOKE/fuzz.json" | wc -c)
@@ -147,6 +154,95 @@ cmp -s "$SMOKE/repro1.out" "$SMOKE/repro2.out" || \
   { echo "fuzz smoke: repro is not byte-identical across runs"; exit 1; }
 echo "differential fuzz smoke ok"
 
+echo "== check service smoke =="
+# The persistent service end to end: generate a Section 7 corpus, start a
+# --serve daemon, check every module cold, re-check warm (all cache hits,
+# byte-identical), kill -9 the daemon, tear the persisted cache's tail the
+# way an interrupted append would, restart on the same cache file, and
+# verify recovery: the torn entry is dropped and counted, intact entries
+# still hit, and every answer stays byte-identical to the cold run.
+"$MEMLINT" --gen-sec7="$SMOKE/svc" -gen-modules=8 > /dev/null 2>&1
+printf '#include <stdlib.h>\nvoid leak(void) { char *p = (char *)malloc(8); }\n' \
+  > "$SMOKE/svc/leak.c"
+echo leak.c >> "$SMOKE/svc/MANIFEST"
+SOCK=$SMOKE/ml.sock
+
+svc_start() {
+  (cd "$SMOKE/svc" && exec "$MEMLINT" --serve --socket="$SOCK" \
+    --cache="$SMOKE/cache.jsonl" 2> "$1") &
+  SRV=$!
+  n=0
+  while [ ! -S "$SOCK" ] && [ "$n" -lt 100 ]; do sleep 0.1; n=$((n + 1)); done
+  [ -S "$SOCK" ] || { echo "service smoke: daemon never bound $SOCK"; exit 1; }
+}
+svc_check_all() { # $1 = stdout capture, $2 = stderr capture
+  : > "$1"
+  : > "$2"
+  while read -r f; do
+    "$MEMLINT" --request --socket="$SOCK" check "$f" >> "$1" 2>> "$2" || true
+  done < "$SMOKE/svc/MANIFEST"
+}
+
+svc_start "$SMOKE/serve1.log"
+svc_check_all "$SMOKE/svc_cold.out" "$SMOKE/svc_cold.log"
+grep -q 'Fresh storage' "$SMOKE/svc_cold.out" || \
+  { echo "service smoke: leak diagnostic missing from cold pass"; exit 1; }
+if grep -q 'cache hit' "$SMOKE/svc_cold.log"; then
+  echo "service smoke: cold pass reported cache hits"; exit 1
+fi
+
+svc_check_all "$SMOKE/svc_warm.out" "$SMOKE/svc_warm.log"
+cmp -s "$SMOKE/svc_cold.out" "$SMOKE/svc_warm.out" || \
+  { echo "service smoke: warm answers differ from cold"; exit 1; }
+hits=$(grep -c 'cache hit' "$SMOKE/svc_warm.log" || true)
+[ "$hits" -eq 9 ] || \
+  { echo "service smoke: expected 9 warm hits, got $hits"; exit 1; }
+
+# Crash containment: kill -9 skips the drain and the compacting flush; the
+# torn append is what a crash mid-write leaves behind.
+kill -9 "$SRV" 2> /dev/null || true
+wait "$SRV" 2> /dev/null || true
+rm -f "$SOCK"
+printf '{"file":"torn.c","content":"12' >> "$SMOKE/cache.jsonl"
+
+svc_start "$SMOKE/serve2.log"
+svc_check_all "$SMOKE/svc_warm2.out" "$SMOKE/svc_warm2.log"
+cmp -s "$SMOKE/svc_cold.out" "$SMOKE/svc_warm2.out" || \
+  { echo "service smoke: post-crash answers differ from cold"; exit 1; }
+hits=$(grep -c 'cache hit' "$SMOKE/svc_warm2.log" || true)
+[ "$hits" -eq 9 ] || \
+  { echo "service smoke: expected 9 hits after restart, got $hits"; exit 1; }
+"$MEMLINT" --request --socket="$SOCK" stats > "$SMOKE/svc_stats.out" \
+  2> /dev/null
+grep -q '"cache.corrupt_recovered":1' "$SMOKE/svc_stats.out" || \
+  { echo "service smoke: torn tail was not counted as recovered"; exit 1; }
+
+"$MEMLINT" --request --socket="$SOCK" shutdown > /dev/null 2>&1 || true
+n=0
+while kill -0 "$SRV" 2> /dev/null && [ "$n" -lt 100 ]; do
+  sleep 0.1; n=$((n + 1))
+done
+if kill -0 "$SRV" 2> /dev/null; then
+  echo "service smoke: daemon did not drain after shutdown"
+  kill -9 "$SRV"; exit 1
+fi
+if grep -q 'torn.c' "$SMOKE/cache.jsonl"; then
+  echo "service smoke: torn tail survived the shutdown compaction"; exit 1
+fi
+
+# Resuming a journal under a different checking policy must be rejected
+# with a precise message, never silently mis-replayed.
+(cd "$SMOKE/svc" && "$MEMLINT" --journal j.jsonl mod0.c mod1.c \
+  > /dev/null 2>&1) || true
+st=0
+(cd "$SMOKE/svc" && "$MEMLINT" --resume j.jsonl -annot mod0.c mod1.c \
+  > /dev/null 2> policy.err) || st=$?
+[ "$st" -eq 126 ] || \
+  { echo "service smoke: policy-mismatch resume expected 126, got $st"; exit 1; }
+grep -q 'rejected: journal' "$SMOKE/svc/policy.err" || \
+  { echo "service smoke: rejection message missing"; exit 1; }
+echo "check service smoke ok"
+
 rm -rf "$SMOKE"
 trap - EXIT
 
@@ -156,7 +252,8 @@ echo "== bench smoke (release-lto) =="
 # perf record checked into the repo). Malformed or missing output fails CI.
 cmake --preset release-lto
 cmake --build --preset release-lto -j "$JOBS" \
-  --target bench_env_scaling bench_sec7_scaling bench_observability_overhead
+  --target bench_env_scaling bench_sec7_scaling bench_observability_overhead \
+  bench_incremental
 
 BENCHDIR=$PWD/build-lto/bench
 # Benchmarks write BENCH_*.json into the working directory; run them there.
@@ -188,6 +285,17 @@ check_json "$BENCHDIR/BENCH_observability_overhead.json" \
 grep -q '"acceptance_pass": true' \
   "$BENCHDIR/BENCH_observability_overhead.json" || \
   { echo "bench smoke: metrics disabled-path overhead exceeds 2%"; exit 1; }
+
+# The incremental-reuse gate: a warm service re-check of the 400-module
+# Section 7 corpus after a 1-module edit must beat the cold run by > 50x
+# with byte-identical replay and exactly one recompute (the bench exits
+# nonzero on its own when the acceptance fails).
+(cd "$BENCHDIR" && ./bench_incremental > /dev/null)
+check_json "$BENCHDIR/BENCH_incremental.json" \
+  bench cold_ms warm_ms speedup cache_hits recomputed byte_identical \
+  acceptance_min_speedup acceptance_pass
+grep -q '"acceptance_pass": true' "$BENCHDIR/BENCH_incremental.json" || \
+  { echo "bench smoke: incremental warm-reuse acceptance failed"; exit 1; }
 echo "bench smoke ok"
 
 echo "== asan+ubsan build =="

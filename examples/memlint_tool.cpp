@@ -27,6 +27,25 @@
 //   memlint -trace-states=fn file.c     trace fn's state transitions (stderr)
 //   memlint --metrics-out=m.json ...    phase timings + counters to a file
 //
+// The persistent check service (see DESIGN.md §6f):
+//
+//   memlint --serve --socket=/tmp/ml.sock --cache=ml.cache.jsonl
+//       daemon: accept check/invalidate/stats/shutdown requests over a
+//       Unix socket, reusing cached results keyed by content hash; SIGTERM
+//       drains the queue and flushes the cache compacted
+//   memlint --serve ... -serve-deadline-ms=5000 -serve-queue=64 -cache-max=0
+//       per-request deadline, pending-queue bound (beyond it requests are
+//       shed with an "overloaded" reply), cache entry bound (LRU)
+//   memlint --request --socket=/tmp/ml.sock check file.c
+//   memlint --request --socket=/tmp/ml.sock invalidate file.c
+//   memlint --request --socket=/tmp/ml.sock stats
+//   memlint --request --socket=/tmp/ml.sock shutdown
+//       one-shot client; a check prints its diagnostics verbatim on stdout
+//       (byte-identical whether served warm or cold)
+//   memlint --gen-sec7=DIR -gen-modules=400
+//       write a Section 7 synthetic corpus to DIR (plus a MANIFEST listing
+//       the main files in order) for service/bench smoke tests
+//
 // Differential fuzzing (memlint-fuzz mode, see DESIGN.md §6e):
 //
 //   memlint --fuzz -fuzz-count=10000 -fuzz-seed=1 -j8
@@ -55,17 +74,24 @@
 #include "cfg/CFG.h"
 #include "checker/Checker.h"
 #include "checker/Frontend.h"
+#include "corpus/Corpus.h"
 #include "driver/BatchDriver.h"
 #include "fuzz/Fuzzer.h"
 #include "interp/Interpreter.h"
+#include "service/CheckService.h"
+#include "service/ServiceSocket.h"
 #include "support/FindingsOutput.h"
 #include "support/Journal.h"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include <sys/stat.h>
 
 using namespace memlint;
 
@@ -102,6 +128,12 @@ bool parseSeed(const std::string &Text, std::uint64_t &Out) {
   return true;
 }
 
+/// SIGTERM/SIGINT flip this; the serve accept loop polls it every tick, so
+/// the daemon drains and flushes within ~100ms of the signal.
+std::atomic<bool> GServiceStop{false};
+
+void serviceStopSignal(int) { GServiceStop.store(true); }
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -119,6 +151,12 @@ int main(int argc, char **argv) {
   bool HaveRepro = false;
   std::uint64_t ReproSeed = 0;
   std::string FailOn;
+  bool ServeMode = false;
+  bool RequestMode = false;
+  std::string SocketPath;
+  ServiceOptions Serve;
+  std::string GenDir;
+  unsigned GenModules = 3;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -143,6 +181,88 @@ int main(int argc, char **argv) {
     }
     if (Arg == "--fuzz") {
       FuzzMode = true;
+      continue;
+    }
+    if (Arg == "--serve") {
+      ServeMode = true;
+      continue;
+    }
+    if (Arg == "--request") {
+      RequestMode = true;
+      continue;
+    }
+    if (Arg == "--socket" || Arg.compare(0, 9, "--socket=") == 0 ||
+        Arg == "--cache" || Arg.compare(0, 8, "--cache=") == 0) {
+      const bool IsSocket = Arg.compare(0, 8, "--socket") == 0;
+      std::string Path;
+      size_t Eq = Arg.find('=');
+      if (Eq != std::string::npos)
+        Path = Arg.substr(Eq + 1);
+      else if (I + 1 < argc)
+        Path = argv[++I];
+      if (Path.empty()) {
+        fprintf(stderr, "memlint: %s needs a path\n",
+                Arg.substr(0, Arg.find('=')).c_str());
+        return 126;
+      }
+      (IsSocket ? SocketPath : Serve.CachePath) = Path;
+      continue;
+    }
+    if (Arg.compare(0, 18, "-serve-deadline-ms") == 0 &&
+        (Arg.size() == 18 || Arg[18] == '=')) {
+      if (Arg.size() < 20 || !parseCount(Arg.substr(19),
+                                         Serve.RequestDeadlineMs)) {
+        fprintf(stderr, "memlint: malformed value in '%s': expected "
+                        "-serve-deadline-ms=N (0 disables the deadline)\n",
+                Arg.c_str());
+        return 126;
+      }
+      continue;
+    }
+    if (Arg.compare(0, 12, "-serve-queue") == 0 &&
+        (Arg.size() == 12 || Arg[12] == '=')) {
+      unsigned Limit = 0;
+      if (Arg.size() < 14 || !parseCount(Arg.substr(13), Limit) ||
+          Limit == 0) {
+        fprintf(stderr, "memlint: malformed value in '%s': expected "
+                        "-serve-queue=N with N >= 1\n",
+                Arg.c_str());
+        return 126;
+      }
+      Serve.QueueLimit = Limit;
+      continue;
+    }
+    if (Arg.compare(0, 10, "-cache-max") == 0 &&
+        (Arg.size() == 10 || Arg[10] == '=')) {
+      unsigned Max = 0;
+      if (Arg.size() < 12 || !parseCount(Arg.substr(11), Max)) {
+        fprintf(stderr, "memlint: malformed value in '%s': expected "
+                        "-cache-max=N (0 = unbounded)\n",
+                Arg.c_str());
+        return 126;
+      }
+      Serve.CacheMaxEntries = Max;
+      continue;
+    }
+    if (Arg == "--gen-sec7" || Arg.compare(0, 11, "--gen-sec7=") == 0) {
+      size_t Eq = Arg.find('=');
+      if (Eq != std::string::npos)
+        GenDir = Arg.substr(Eq + 1);
+      else if (I + 1 < argc)
+        GenDir = argv[++I];
+      if (GenDir.empty()) {
+        fprintf(stderr, "memlint: --gen-sec7 needs a directory\n");
+        return 126;
+      }
+      continue;
+    }
+    if (Arg.compare(0, 13, "-gen-modules=") == 0) {
+      if (!parseCount(Arg.substr(13), GenModules) || GenModules == 0) {
+        fprintf(stderr, "memlint: malformed value in '%s': expected "
+                        "-gen-modules=N with N >= 1\n",
+                Arg.c_str());
+        return 126;
+      }
       continue;
     }
     if (Arg == "--fuzz-repro" || Arg.compare(0, 13, "--fuzz-repro=") == 0) {
@@ -306,6 +426,151 @@ int main(int argc, char **argv) {
     Files.push_back(Arg);
   }
 
+  //===--- corpus generation (service/bench smoke input) ------------------===//
+
+  if (!GenDir.empty()) {
+    corpus::GenOptions Gen;
+    Gen.Modules = GenModules;
+    corpus::Program P = corpus::syntheticProgram(Gen);
+    ::mkdir(GenDir.c_str(), 0755); // fine if it already exists
+    for (const std::string &Name : P.Files.names()) {
+      if (!writeFileText(GenDir + "/" + Name, *P.Files.read(Name))) {
+        fprintf(stderr, "memlint: cannot write '%s/%s'\n", GenDir.c_str(),
+                Name.c_str());
+        return 126;
+      }
+    }
+    // The MANIFEST preserves main-file order so scripts check the corpus
+    // in the same sequence every time (deterministic diffable output).
+    std::string Manifest;
+    for (const std::string &Main : P.MainFiles)
+      Manifest += Main + "\n";
+    if (!writeFileText(GenDir + "/MANIFEST", Manifest)) {
+      fprintf(stderr, "memlint: cannot write '%s/MANIFEST'\n", GenDir.c_str());
+      return 126;
+    }
+    printf("-- gen: %u module(s), %zu file(s), %u line(s) -> %s\n",
+           GenModules, P.Files.names().size(), corpus::totalLines(P),
+           GenDir.c_str());
+    return 0;
+  }
+
+  //===--- service daemon and client --------------------------------------===//
+
+  if (ServeMode || RequestMode) {
+    if (SocketPath.empty()) {
+      fprintf(stderr, "memlint: %s needs --socket=PATH\n",
+              ServeMode ? "--serve" : "--request");
+      return 126;
+    }
+    if (ServeMode && RequestMode) {
+      fprintf(stderr, "memlint: --serve and --request are mutually "
+                      "exclusive\n");
+      return 126;
+    }
+    if (PrintCfg || RunProgram || FuzzMode || Format != "text" ||
+        !Options.TraceFunction.empty() || !FailOn.empty() || BatchMode) {
+      fprintf(stderr, "memlint: --serve/--request cannot be combined with "
+                      "--cfg, --run, --fuzz, batch options, -format, "
+                      "-trace-states, or -fail-on\n");
+      return 126;
+    }
+  }
+
+  if (ServeMode) {
+    if (!Files.empty()) {
+      fprintf(stderr, "memlint: --serve takes no input files; clients name "
+                      "them per request\n");
+      return 126;
+    }
+    Serve.Check = Options;
+    Serve.CollectMetrics = !MetricsOut.empty();
+    std::signal(SIGTERM, serviceStopSignal);
+    std::signal(SIGINT, serviceStopSignal);
+    CheckService Service(Serve);
+    if (!Service.cacheLoadedClean())
+      fprintf(stderr, "-- cache: '%s' discarded (format or policy "
+                      "mismatch); starting cold\n",
+              Serve.CachePath.c_str());
+    ServiceSocket Socket;
+    std::string Error;
+    if (!Socket.listenOn(SocketPath, Error)) {
+      fprintf(stderr, "memlint: %s\n", Error.c_str());
+      return 126;
+    }
+    fprintf(stderr, "-- serve: listening on %s (policy %s)\n",
+            SocketPath.c_str(), checkOptionsFingerprint(Options).c_str());
+    unsigned long Served = Socket.serve(Service, GServiceStop);
+    Socket.close();
+    Service.stop(); // graceful drain + compacted cache flush
+    if (!MetricsOut.empty() &&
+        !writeFileText(MetricsOut, Service.metrics().json() + "\n")) {
+      fprintf(stderr, "memlint: cannot write metrics to '%s'\n",
+              MetricsOut.c_str());
+      return 126;
+    }
+    fprintf(stderr, "-- serve: drained after %lu connection(s)\n", Served);
+    return 0;
+  }
+
+  if (RequestMode) {
+    ServiceRequest Req;
+    bool Usage = Files.empty();
+    if (!Usage) {
+      const std::string &Op = Files[0];
+      if ((Op == "check" || Op == "invalidate") && Files.size() == 2) {
+        Req.Kind = Op == "check" ? ServiceRequestKind::Check
+                                 : ServiceRequestKind::Invalidate;
+        Req.File = Files[1];
+      } else if (Op == "stats" && Files.size() == 1) {
+        Req.Kind = ServiceRequestKind::Stats;
+      } else if (Op == "shutdown" && Files.size() == 1) {
+        Req.Kind = ServiceRequestKind::Shutdown;
+      } else {
+        Usage = true;
+      }
+    }
+    if (Usage) {
+      fprintf(stderr, "memlint: --request needs one of: check FILE | "
+                      "invalidate FILE | stats | shutdown\n");
+      return 126;
+    }
+    std::string Error;
+    std::optional<std::string> ReplyLine =
+        serviceRoundTrip(SocketPath, serviceRequestLine(Req), Error);
+    if (!ReplyLine) {
+      fprintf(stderr, "memlint: %s\n", Error.c_str());
+      return 126;
+    }
+    ServiceReply Reply;
+    if (!parseServiceReplyLine(*ReplyLine, Reply)) {
+      fprintf(stderr, "memlint: malformed reply from service: %s\n",
+              ReplyLine->c_str());
+      return 126;
+    }
+    // Diagnostics verbatim on stdout so a warm reply can be byte-compared
+    // against a cold one; service health goes to stderr.
+    printf("%s", Reply.Diagnostics.c_str());
+    if (Req.Kind == ServiceRequestKind::Check &&
+        (Reply.Status == "ok" || Reply.Status == "degraded"))
+      printf("-- %u anomaly(ies), %u suppressed\n", Reply.Anomalies,
+             Reply.Suppressed);
+    if (Req.Kind == ServiceRequestKind::Stats)
+      printf("%s\n", Reply.Note.c_str());
+    fprintf(stderr, "-- service: %s%s\n", Reply.Status.c_str(),
+            Reply.CacheHit ? " (cache hit)" : "");
+    if (!Reply.Note.empty() && Req.Kind != ServiceRequestKind::Stats)
+      fprintf(stderr, "-- note: %s\n", Reply.Note.c_str());
+    if (Reply.Status == "error" || Reply.Status == "overloaded" ||
+        Reply.Status == "stopping")
+      return 126;
+    if (Reply.Status == "timeout" || Reply.Status == "crash")
+      return 123; // partial analysis, as with -fail-on
+    if (Req.Kind == ServiceRequestKind::Check)
+      return Reply.Anomalies > 125 ? 125 : static_cast<int>(Reply.Anomalies);
+    return 0;
+  }
+
   //===--- fuzz modes (no input files) ------------------------------------===//
 
   if (FuzzMode || HaveRepro) {
@@ -401,7 +666,13 @@ int main(int argc, char **argv) {
                     "       memlint --fuzz [-fuzz-count=N] [-fuzz-seed=N] "
                     "[-fuzz-faults=N] [-fuzz-mutate=PCT] [-fuzz-out=FILE] "
                     "[-fuzz-regress-dir=DIR] [-jN]\n"
-                    "       memlint --fuzz-repro=SEED\n");
+                    "       memlint --fuzz-repro=SEED\n"
+                    "       memlint --serve --socket=PATH [--cache=FILE] "
+                    "[-serve-deadline-ms=N] [-serve-queue=N] [-cache-max=N] "
+                    "[--metrics-out FILE]\n"
+                    "       memlint --request --socket=PATH "
+                    "check FILE|invalidate FILE|stats|shutdown\n"
+                    "       memlint --gen-sec7=DIR [-gen-modules=N]\n");
     return 126;
   }
   if (BatchMode && (PrintCfg || RunProgram)) {
@@ -475,6 +746,11 @@ int main(int argc, char **argv) {
     if (R.JournalCorruptLines != 0)
       fprintf(stderr, "-- journal: %u corrupt line(s) discarded on resume\n",
               R.JournalCorruptLines);
+    if (R.JournalRejected)
+      // Nothing was checked: the journal records a different corpus or
+      // checking policy (the precise mismatch went to stderr above). 126
+      // groups this with usage errors — the invocation itself is wrong.
+      return 126;
     if (!MetricsOut.empty() &&
         !writeFileText(MetricsOut, R.Metrics.json() + "\n")) {
       fprintf(stderr, "memlint: cannot write metrics to '%s'\n",

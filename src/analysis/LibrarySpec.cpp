@@ -6,9 +6,16 @@
 
 #include "analysis/LibrarySpec.h"
 
+#include "support/Journal.h"
+
 using namespace memlint;
 
 const char *memlint::libraryPreludeName() { return "<stdlib>"; }
+
+const std::string &memlint::librarySpecVersion() {
+  static const std::string Version = fnv1aHex({libraryPreludeSource()});
+  return Version;
+}
 
 const std::string &memlint::libraryPreludeSource() {
   static const std::string Prelude = R"c(

@@ -35,6 +35,12 @@ const std::string &libraryPreludeSource();
 /// \returns the virtual file name of the prelude ("<stdlib>").
 const char *libraryPreludeName();
 
+/// A 16-hex-digit content fingerprint of the prelude source — the
+/// LibrarySpec version. Any edit to the annotated standard library changes
+/// it, so the check service's cached results (whose key includes this
+/// version) can never survive a library-spec change.
+const std::string &librarySpecVersion();
+
 } // namespace memlint
 
 #endif // MEMLINT_ANALYSIS_LIBRARYSPEC_H

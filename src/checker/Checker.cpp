@@ -13,6 +13,7 @@
 #include "parse/Parser.h"
 #include "pp/Preprocessor.h"
 #include "sema/Sema.h"
+#include "support/Journal.h"
 #include "support/MonotonicTime.h"
 
 #include <algorithm>
@@ -21,6 +22,12 @@
 #include <set>
 
 using namespace memlint;
+
+std::string memlint::checkOptionsFingerprint(const CheckOptions &Options) {
+  return fnv1aHex({Options.Flags.fingerprint(),
+                   Options.IncludePrelude ? "prelude" : "no-prelude",
+                   librarySpecVersion()});
+}
 
 const char *memlint::checkStatusName(CheckStatus S) {
   switch (S) {

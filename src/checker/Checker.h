@@ -105,6 +105,18 @@ struct CheckResult {
   std::string render() const;
 };
 
+/// A 16-hex-digit fingerprint of everything in \p Options that can change
+/// a check run's output for a fixed input text: the FlagSet (policy flags
+/// and resource limits), prelude inclusion, and the LibrarySpec version.
+/// This is the policy half of the check service's cache key — two runs
+/// over identical content produce byte-identical diagnostics whenever
+/// their option fingerprints match — and the value the batch journal
+/// records so --resume can refuse to replay results onto a different
+/// invocation. Run-scoped plumbing (cancel tokens, fault injectors,
+/// metrics collection, tracing) deliberately does not contribute: it
+/// never alters the diagnostics of a completed Ok run.
+std::string checkOptionsFingerprint(const CheckOptions &Options);
+
 /// Stateless checking entry points.
 class Checker {
 public:

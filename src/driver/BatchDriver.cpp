@@ -206,34 +206,66 @@ BatchResult BatchDriver::run(const VFS &Files,
   //===--- journal: recover, verify, compact ------------------------------===//
 
   const std::string Checksum = fnv1aHex(Names);
+  const std::string PolicyFingerprint = checkOptionsFingerprint(Opts.Check);
   std::map<std::string, JournalEntry> Recovered;
   bool JournalOn = !Opts.JournalPath.empty();
   if (JournalOn && Opts.Resume) {
     if (std::optional<std::string> Text = readFileText(Opts.JournalPath)) {
       JournalContents Journal = parseJournal(*Text);
       Result.JournalCorruptLines = Journal.CorruptLines;
-      if (Journal.HeaderValid && Journal.Checksum == Checksum) {
+      if (!Journal.HeaderValid) {
+        // A torn or garbage header is what a kill during the very first
+        // write leaves behind: recoverable damage, so degrade to a cold
+        // run rather than refusing.
+        Result.JournalNote =
+            "journal header unreadable; checking from scratch";
+      } else if (Journal.Checksum != Checksum) {
+        Result.JournalRejected = true;
+        Result.JournalNote =
+            "--resume rejected: journal '" + Opts.JournalPath +
+            "' records corpus " + Journal.Checksum +
+            " but this invocation checks corpus " + Checksum +
+            "; rerun without --resume to overwrite it";
+      } else if (Journal.FlagsFingerprint.empty()) {
+        Result.JournalRejected = true;
+        Result.JournalNote =
+            "--resume rejected: journal '" + Opts.JournalPath +
+            "' records no checking-policy fingerprint, so its results "
+            "cannot be verified against this invocation's flags; rerun "
+            "without --resume to overwrite it";
+      } else if (Journal.FlagsFingerprint != PolicyFingerprint) {
+        Result.JournalRejected = true;
+        Result.JournalNote =
+            "--resume rejected: journal '" + Opts.JournalPath +
+            "' was written under checking policy " +
+            Journal.FlagsFingerprint + " but this invocation uses " +
+            PolicyFingerprint +
+            "; rerun without --resume to overwrite it";
+      } else {
         // Later entries win: a retried file's final record supersedes any
         // earlier one.
         for (JournalEntry &E : Journal.Entries)
           Recovered[E.File] = std::move(E);
-      } else {
-        Result.JournalNote = Journal.HeaderValid
-                                 ? "journal was written for a different "
-                                   "corpus; checking from scratch"
-                                 : "journal header unreadable; checking "
-                                   "from scratch";
       }
     } else {
       Result.JournalNote =
           "cannot read journal '" + Opts.JournalPath + "'; starting fresh";
+    }
+    if (Result.JournalRejected) {
+      // Replaying would be silent reuse of results from a different corpus
+      // or policy; checking anyway would clobber a journal the caller
+      // explicitly asked to resume. Refuse loudly and touch nothing.
+      Result.Outcomes.clear();
+      Result.WallMs = monotonicNowMs() - StartMs;
+      return Result;
     }
   }
   if (JournalOn) {
     // Compaction: rewrite header + surviving entries before appending, so
     // a trailing partial line left by a kill cannot merge with (and
     // corrupt) the first entry this run appends.
-    std::string Text = journalHeaderLine(Checksum, Count) + "\n";
+    std::string Text =
+        journalHeaderLine(Checksum, Count, PolicyFingerprint) + "\n";
     for (const std::string &Name : Names) {
       auto It = Recovered.find(Name);
       if (It != Recovered.end())
@@ -415,6 +447,7 @@ BatchResult BatchDriver::run(const VFS &Files,
     C["batch.retried"] += Result.RetriedCount;
     C["batch.anomalies"] += Result.TotalAnomalies;
     C["batch.suppressed"] += Result.TotalSuppressed;
+    C["journal.skipped"] += Result.JournalCorruptLines;
   }
   Result.WallMs = monotonicNowMs() - StartMs;
   return Result;

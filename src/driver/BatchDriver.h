@@ -140,10 +140,19 @@ struct BatchResult {
   unsigned TotalSuppressed = 0;
   double WallMs = 0; ///< whole batch, monotonic
   /// Journal lines discarded as corrupt while resuming (0 for clean runs).
+  /// Surfaced as the journal.skipped counter when metrics are collected.
   unsigned JournalCorruptLines = 0;
   /// Non-fatal journal trouble ("journal header mismatch; checking from
   /// scratch", "cannot write journal ..."); empty when all is well.
   std::string JournalNote;
+  /// True when --resume refused to run: the journal's header was readable
+  /// but records a different corpus checksum or a different checking-policy
+  /// fingerprint (see checkOptionsFingerprint). Nothing was checked —
+  /// Outcomes is empty — and JournalNote carries the precise mismatch.
+  /// Silent reuse of such a journal would replay results that this
+  /// invocation could never have produced; an unreadable or torn header,
+  /// by contrast, still degrades to checking from scratch.
+  bool JournalRejected = false;
   /// Per-file metrics folded in input order, plus batch.* outcome counters;
   /// empty unless BatchOptions::CollectMetrics was set. The fold order is
   /// fixed, so counters are identical across -j1 and -jN (timer values are

@@ -11,6 +11,7 @@
 #include "driver/BatchDriver.h"
 #include "fuzz/Minimizer.h"
 #include "interp/Interpreter.h"
+#include "service/ResultCache.h"
 #include "support/Journal.h"
 #include "support/Json.h"
 #include "support/MonotonicTime.h"
@@ -225,13 +226,23 @@ FuzzProgram fuzz::generateFuzzProgram(std::uint64_t ProgramSeed,
 
   if (Options.FaultEvery != 0 && ProgramSeed % Options.FaultEvery == 0) {
     P.Injected = true;
-    const std::uint64_t Pick = R.below(3);
+    const std::uint64_t Pick = R.below(6);
     P.Fault = Pick == 0   ? FaultKind::Alloc
               : Pick == 1 ? FaultKind::Budget
-                          : FaultKind::Cancel;
-    // Checkpoints tick roughly once per token, so this range spreads fire
-    // points from the first prelude tokens deep into analysis.
-    P.FireAt = 1 + R.below(3000);
+              : Pick == 2 ? FaultKind::Cancel
+              : Pick == 3 ? FaultKind::CacheCorrupt
+              : Pick == 4 ? FaultKind::CacheTornWrite
+                          : FaultKind::StaleEntry;
+    if (isCacheFaultKind(P.Fault)) {
+      // Cache kinds fire on cache-write events (the post-batch warm/cold
+      // differential stores one entry per program), not at pipeline
+      // checkpoints.
+      P.FireAt = 0;
+    } else {
+      // Checkpoints tick roughly once per token, so this range spreads
+      // fire points from the first prelude tokens deep into analysis.
+      P.FireAt = 1 + R.below(3000);
+    }
   }
   return P;
 }
@@ -264,17 +275,19 @@ double FuzzResult::containmentRate() const {
 }
 
 std::string FuzzResult::summary() const {
-  char Buf[256];
+  char Buf[320];
   std::snprintf(Buf, sizeof(Buf),
                 "%u program(s): %u scored, %u mutated, %u injected (%u "
-                "fired); precision %.3f, crash-freedom %.3f, containment "
-                "%.3f; %s",
-                Programs, Scored, Mutated, Injected, Fired, precision(),
-                crashFreedomRate(), containmentRate(),
+                "fired, %u cache); precision %.3f, crash-freedom %.3f, "
+                "containment %.3f, warm/cold divergence %u/%u; %s",
+                Programs, Scored, Mutated, Injected, Fired, CacheInjected,
+                precision(), crashFreedomRate(), containmentRate(),
+                WarmColdDivergence, CacheChecked,
                 clean() ? "clean"
                         : (std::to_string(Misclassified +
                                           CrashFreedomViolations +
-                                          ContainmentViolations) +
+                                          ContainmentViolations +
+                                          WarmColdDivergence) +
                            " violation(s)")
                               .c_str());
   return Buf;
@@ -305,6 +318,8 @@ FuzzResult fuzz::runFuzzCampaign(const FuzzOptions &Options) {
       ++Result.Mutated;
     if (Fleet.back().Injected)
       ++Result.Injected;
+    if (Fleet.back().Injected && isCacheFaultKind(Fleet.back().Fault))
+      ++Result.CacheInjected;
   }
 
   //===--- static side: BatchDriver with fault injection -------------------===//
@@ -322,17 +337,96 @@ FuzzResult fuzz::runFuzzCampaign(const FuzzOptions &Options) {
   Batch.Resume = Options.Resume;
   // Attempt 1 runs with the fault armed; the retry (if the fault crashed
   // the attempt) runs clean, so the ladder's healing is itself under test.
+  // Cache fault kinds never arm the pipeline — they fire in the post-batch
+  // warm/cold cache differential instead.
   Batch.OnBeforeAttempt = [&Injectors](const std::string &File,
                                        unsigned Attempt,
                                        CheckOptions &Check) {
     auto It = Injectors.find(File);
-    Check.Faults =
-        (It != Injectors.end() && Attempt == 1) ? It->second.get() : nullptr;
+    Check.Faults = (It != Injectors.end() && Attempt == 1 &&
+                    !isCacheFaultKind(It->second->kind()))
+                       ? It->second.get()
+                       : nullptr;
   };
 
   BatchDriver Driver(Batch);
   BatchResult Static = Driver.run(Files, Names);
   Result.ResumedCount = Static.ResumedCount;
+
+  //===--- cache differential: warm answers must equal cold answers --------===//
+
+  // Every settled outcome is round-tripped through the check service's
+  // persisted cache format, entirely in memory: serialize (with the
+  // program's cache fault injector, if any, mutating the bytes), reload,
+  // look up warm. The gate is two-sided: a fired cache fault must make the
+  // lookup miss (cold fallback), and any entry that IS served must be
+  // byte-identical to the cold outcome.
+  {
+    const std::string PolicyKey = checkOptionsFingerprint(Batch.Check);
+    auto HashOf =
+        [&Files](const std::string &Name) -> std::optional<std::string> {
+      std::optional<std::string> Text = Files.read(Name);
+      if (!Text)
+        return std::nullopt;
+      return fnv1aHex({*Text});
+    };
+    for (size_t I = 0; I < Fleet.size(); ++I) {
+      const FuzzProgram &P = Fleet[I];
+      const FileOutcome &O = Static.Outcomes[I];
+      if (O.Kind != FileOutcomeKind::Ok &&
+          O.Kind != FileOutcomeKind::Degraded)
+        continue; // the service never caches unsettled outcomes
+
+      CacheEntry E;
+      E.File = P.Name;
+      E.ContentHash = fnv1aHex({P.Source});
+      E.Deps[P.Name] = E.ContentHash;
+      E.Status = fileOutcomeName(O.Kind);
+      E.Reasons = O.Reasons;
+      E.Anomalies = O.Anomalies;
+      E.Suppressed = O.Suppressed;
+      E.Diagnostics = O.Diagnostics;
+      E.Classes = O.Classes;
+
+      FaultInjector *Inj = nullptr;
+      if (P.Injected && isCacheFaultKind(P.Fault)) {
+        auto It = Injectors.find(P.Name);
+        Inj = It != Injectors.end() ? It->second.get() : nullptr;
+      }
+      const std::string Text = ResultCache::headerLine(PolicyKey) + "\n" +
+                               ResultCache::entryLineFaulted(E, Inj) + "\n";
+      ResultCache Warm(PolicyKey);
+      Warm.loadFromText(Text);
+      const CacheEntry *Hit = Warm.lookup(P.Name, HashOf);
+      ++Result.CacheChecked;
+
+      const bool CacheFaultFired = Inj && Inj->fired();
+      if (CacheFaultFired && Hit) {
+        ++Result.ContainmentViolations;
+        Result.ViolationNotes.push_back(
+            P.Name + ": " + std::string(faultKindName(P.Fault)) +
+            " cache fault fired but the warm lookup still served the "
+            "entry");
+      }
+      if (Hit) {
+        if (Hit->Diagnostics != O.Diagnostics ||
+            Hit->Status != fileOutcomeName(O.Kind) ||
+            Hit->Anomalies != O.Anomalies ||
+            Hit->Suppressed != O.Suppressed) {
+          ++Result.WarmColdDivergence;
+          Result.ViolationNotes.push_back(
+              P.Name + ": warm cache answer diverges from the cold answer");
+        }
+      } else if (!CacheFaultFired) {
+        // No fault, yet the round trip lost the entry: the warm path
+        // would silently re-check everything — correct answers, broken
+        // reuse. That is a persistence bug, so it fails the gate too.
+        ++Result.WarmColdDivergence;
+        Result.ViolationNotes.push_back(
+            P.Name + ": cache round trip dropped a clean entry");
+      }
+    }
+  }
 
   //===--- dynamic side: the interpreter oracle ----------------------------===//
 
@@ -397,6 +491,16 @@ FuzzResult fuzz::runFuzzCampaign(const FuzzOptions &Options) {
     //===--- containment: every fired fault ends contained ---------------===//
 
     if (P.Injected) {
+      if (isCacheFaultKind(P.Fault)) {
+        // Cache faults fire in the warm/cold differential above (which
+        // runs live even for resumed outcomes); its gate already charged
+        // any violation. Here they only count as fired and stay out of
+        // the differential score like every injected program.
+        auto It = Injectors.find(P.Name);
+        if (It != Injectors.end() && It->second->fired())
+          ++Result.Fired;
+        continue;
+      }
       bool Fired;
       if (O.Resumed) {
         // The injector never ran for resumed entries; infer from the
@@ -622,6 +726,12 @@ std::string fuzz::renderBenchDifferentialJson(const FuzzResult &Result,
   Out += "  \"containment\": " + fmtRate(Result.containmentRate()) + ",\n";
   Out += "  \"containment_violations\": " +
          std::to_string(Result.ContainmentViolations) + ",\n";
+  Out += "  \"cache_injected\": " + std::to_string(Result.CacheInjected) +
+         ",\n";
+  Out += "  \"cache_checked\": " + std::to_string(Result.CacheChecked) +
+         ",\n";
+  Out += "  \"warm_cold_divergence\": " +
+         std::to_string(Result.WarmColdDivergence) + ",\n";
   Out += "  \"wall_ms\": " + jsonMs(Result.WallMs) + "\n";
   Out += "}\n";
   return Out;

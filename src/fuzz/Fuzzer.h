@@ -35,6 +35,16 @@
 /// (and never an abort or hang, which would take the campaign down with
 /// it).
 ///
+/// The injected slice also rotates through the cache-write fault kinds
+/// (CacheCorrupt, CacheTornWrite, StaleEntry). Those fire during a
+/// post-batch warm/cold cache differential: every completed program's
+/// outcome is round-tripped through the check service's persisted cache
+/// format (service/ResultCache.h) in memory, and the warm answer must be
+/// byte-identical to the cold one. A corrupted, torn, or stale entry must
+/// be dropped by the load/lookup path (cold fallback) — a fired cache
+/// fault whose entry is still served, or any warm/cold byte divergence,
+/// is a containment violation.
+///
 /// The campaign's aggregate — precision, per-kind recall, crash-freedom
 /// rate, containment rate — is rendered as BENCH_differential.json and
 /// ratcheted in CI; violating programs are greedily minimized
@@ -123,6 +133,9 @@ struct FuzzResult {
   unsigned Mutated = 0;
   unsigned Injected = 0;
   unsigned Fired = 0;    ///< injected faults that actually fired
+  unsigned CacheInjected = 0;  ///< injected programs with a cache fault kind
+  unsigned CacheChecked = 0;   ///< programs through the warm/cold differential
+  unsigned WarmColdDivergence = 0; ///< warm answers not byte-identical to cold
   unsigned StaticOk = 0, StaticDegraded = 0, StaticTimeout = 0,
            StaticCrash = 0;
   unsigned OracleRan = 0, OracleRefused = 0, OracleTrapped = 0;
@@ -140,11 +153,11 @@ struct FuzzResult {
   double crashFreedomRate() const;
   /// 1.0 when every fired fault was contained.
   double containmentRate() const;
-  /// Campaign-level pass/fail: no crash-freedom, containment, or
-  /// misclassification violations.
+  /// Campaign-level pass/fail: no crash-freedom, containment,
+  /// warm/cold-divergence, or misclassification violations.
   bool clean() const {
     return Misclassified == 0 && CrashFreedomViolations == 0 &&
-           ContainmentViolations == 0;
+           ContainmentViolations == 0 && WarmColdDivergence == 0;
   }
   /// One-line human summary.
   std::string summary() const;

@@ -1,0 +1,361 @@
+//===--- CheckService.cpp - Long-lived check service ----------------------===//
+//
+// Part of memlint. See DESIGN.md §6f.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CheckService.h"
+
+#include "driver/BatchDriver.h"
+#include "support/Journal.h"
+#include "support/Json.h"
+
+#include <set>
+
+using namespace memlint;
+
+//===----------------------------------------------------------------------===//
+// Wire codec
+//===----------------------------------------------------------------------===//
+
+static const char *requestOpName(ServiceRequestKind Kind) {
+  switch (Kind) {
+  case ServiceRequestKind::Check:
+    return "check";
+  case ServiceRequestKind::Invalidate:
+    return "invalidate";
+  case ServiceRequestKind::Stats:
+    return "stats";
+  case ServiceRequestKind::Shutdown:
+    return "shutdown";
+  }
+  return "unknown";
+}
+
+std::string memlint::serviceRequestLine(const ServiceRequest &Request) {
+  std::string Out =
+      "{\"op\":" + jsonString(requestOpName(Request.Kind));
+  if (!Request.File.empty())
+    Out += ",\"file\":" + jsonString(Request.File);
+  return Out + "}";
+}
+
+bool memlint::parseServiceRequestLine(const std::string &Line,
+                                      ServiceRequest &Out) {
+  ServiceRequest R;
+  bool SawOp = false;
+  JsonLineParser P(Line);
+  bool Parsed = P.parseObject(
+      [&](const std::string &Key, const JsonLineParser::Value &V) {
+        if (Key == "op") {
+          SawOp = true;
+          if (V.Str == "check")
+            R.Kind = ServiceRequestKind::Check;
+          else if (V.Str == "invalidate")
+            R.Kind = ServiceRequestKind::Invalidate;
+          else if (V.Str == "stats")
+            R.Kind = ServiceRequestKind::Stats;
+          else if (V.Str == "shutdown")
+            R.Kind = ServiceRequestKind::Shutdown;
+          else
+            SawOp = false;
+        } else if (Key == "file") {
+          R.File = V.Str;
+        }
+      });
+  if (!Parsed || !SawOp)
+    return false;
+  Out = std::move(R);
+  return true;
+}
+
+std::string memlint::serviceReplyLine(const ServiceReply &Reply) {
+  return "{\"status\":" + jsonString(Reply.Status) +
+         ",\"cache_hit\":" + (Reply.CacheHit ? std::string("1") : "0") +
+         ",\"anomalies\":" + std::to_string(Reply.Anomalies) +
+         ",\"suppressed\":" + std::to_string(Reply.Suppressed) +
+         ",\"diags\":" + jsonString(Reply.Diagnostics) +
+         ",\"note\":" + jsonString(Reply.Note) + "}";
+}
+
+bool memlint::parseServiceReplyLine(const std::string &Line,
+                                    ServiceReply &Out) {
+  ServiceReply R;
+  bool SawStatus = false;
+  JsonLineParser P(Line);
+  bool Parsed = P.parseObject(
+      [&](const std::string &Key, const JsonLineParser::Value &V) {
+        if (Key == "status") {
+          R.Status = V.Str;
+          SawStatus = !V.Str.empty();
+        } else if (Key == "cache_hit") {
+          R.CacheHit = V.Num == 1;
+        } else if (Key == "anomalies") {
+          R.Anomalies = static_cast<unsigned>(V.Num);
+        } else if (Key == "suppressed") {
+          R.Suppressed = static_cast<unsigned>(V.Num);
+        } else if (Key == "diags") {
+          R.Diagnostics = V.Str;
+        } else if (Key == "note") {
+          R.Note = V.Str;
+        }
+      });
+  if (!Parsed || !SawStatus)
+    return false;
+  Out = std::move(R);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Service
+//===----------------------------------------------------------------------===//
+
+CheckService::CheckService(ServiceOptions Options)
+    : Opts(std::move(Options)),
+      Cache(checkOptionsFingerprint(Opts.Check), Opts.CacheMaxEntries) {
+  if (!Opts.FileSource)
+    Opts.FileSource = [](const std::string &Name) {
+      return readFileText(Name);
+    };
+  if (!Opts.CachePath.empty())
+    CacheClean = Cache.attachFile(Opts.CachePath);
+  Worker = std::thread([this] {
+    for (;;) {
+      Pending P;
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        Cv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+        if (Queue.empty())
+          return; // Stopping and drained
+        P = std::move(Queue.front());
+        Queue.pop_front();
+      }
+      // Processing happens outside the lock: a slow cold check must not
+      // block submit() (and with it the socket accept loop) — intake stays
+      // responsive and the queue can actually fill up to its shedding
+      // bound while a check is in flight.
+      ServiceReply Reply = process(P.Request);
+      if (P.Done)
+        P.Done(Reply);
+    }
+  });
+}
+
+bool CheckService::submit(ServiceRequest Request,
+                          std::function<void(const ServiceReply &)> Done) {
+  ServiceReply Shed;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    const size_t Limit = std::max<size_t>(1, Opts.QueueLimit);
+    if (Stopping) {
+      ++ShedRequests;
+      Shed.Status = "stopping";
+      Shed.Note = "service is draining; request not accepted";
+    } else if (Queue.size() >= Limit) {
+      ++ShedRequests;
+      Shed.Status = "overloaded";
+      Shed.Note = "request shed: queue holds " + std::to_string(Limit) +
+                  " pending requests; retry later";
+    } else {
+      Queue.push_back({std::move(Request), std::move(Done)});
+      Cv.notify_one();
+      return true;
+    }
+  }
+  // Deterministic load shedding: the reply is immediate and explicit, in
+  // the caller's thread — an overloaded service never silently queues
+  // without bound and never hangs the client.
+  if (Done)
+    Done(Shed);
+  return false;
+}
+
+ServiceReply CheckService::handle(const ServiceRequest &Request) {
+  return process(Request);
+}
+
+ServiceReply CheckService::process(const ServiceRequest &Request) {
+  ServiceReply R;
+  switch (Request.Kind) {
+  case ServiceRequestKind::Check:
+    if (Request.File.empty()) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++Requests;
+      R.Status = "error";
+      R.Note = "check request names no file";
+      return R;
+    }
+    return checkFile(Request.File);
+  case ServiceRequestKind::Invalidate: {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Requests;
+    if (Request.File.empty()) {
+      R.Status = "error";
+      R.Note = "invalidate request names no file";
+      return R;
+    }
+    R.Status = Cache.invalidate(Request.File) ? "invalidated" : "absent";
+    R.Note = Request.File;
+    return R;
+  }
+  case ServiceRequestKind::Stats: {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Requests;
+    return statsReplyLocked();
+  }
+  case ServiceRequestKind::Shutdown: {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Requests;
+    Stopping = true;
+    Cv.notify_all();
+    R.Status = "stopping";
+    return R;
+  }
+  }
+  R.Status = "error";
+  R.Note = "unknown request";
+  return R;
+}
+
+ServiceReply CheckService::checkFile(const std::string &File) {
+  ServiceReply R;
+  auto HashOf =
+      [this](const std::string &Name) -> std::optional<std::string> {
+    std::optional<std::string> Text = Opts.FileSource(Name);
+    if (!Text)
+      return std::nullopt;
+    return fnv1aHex({*Text});
+  };
+
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Requests;
+    if (const CacheEntry *E = Cache.lookup(File, HashOf)) {
+      R.Status = E->Status;
+      R.CacheHit = true;
+      R.Anomalies = E->Anomalies;
+      R.Suppressed = E->Suppressed;
+      R.Diagnostics = E->Diagnostics;
+      if (Opts.CollectMetrics)
+        // The hit replays the producing run's metrics, so aggregate
+        // check.* counters match a cold run of the same sequence
+        // (cache.*/service.* counters are where warm and cold
+        // legitimately differ).
+        Folded.merge(E->Metrics);
+      return R;
+    }
+  }
+
+  // From here on the lock is dropped: the cold check below can take
+  // seconds, and intake must stay responsive while it runs.
+  std::optional<std::string> Main = Opts.FileSource(File);
+  if (!Main) {
+    R.Status = "error";
+    R.Note = "cannot read '" + File + "'";
+    return R;
+  }
+
+  // Cold path: a one-file batch, so the per-request deadline, watchdog,
+  // cancellation, and retry-with-halved-limits ladder are the batch
+  // driver's own, not a reimplementation.
+  VFS Files;
+  Files.add(File, *Main);
+  Files.setLoader(Opts.FileSource);
+  std::set<std::string> ReadNames;
+  Files.setReadObserver(
+      [&ReadNames](const std::string &Name) { ReadNames.insert(Name); });
+
+  BatchOptions Batch;
+  Batch.Check = Opts.Check;
+  Batch.Jobs = 1;
+  Batch.FileDeadlineMs = Opts.RequestDeadlineMs;
+  Batch.MaxAttempts = Opts.MaxAttempts;
+  Batch.CollectMetrics = Opts.CollectMetrics;
+  BatchResult Result = BatchDriver(Batch).run(Files, {File});
+  if (Result.Outcomes.size() != 1) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++ColdChecks;
+    R.Status = "error";
+    R.Note = "internal: batch produced " +
+             std::to_string(Result.Outcomes.size()) + " outcomes for 1 file";
+    return R;
+  }
+  const FileOutcome &O = Result.Outcomes[0];
+  R.Status = fileOutcomeName(O.Kind);
+  R.Anomalies = O.Anomalies;
+  R.Suppressed = O.Suppressed;
+  R.Diagnostics = O.Diagnostics;
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++ColdChecks;
+  if (Opts.CollectMetrics)
+    Folded.merge(O.Metrics);
+
+  // Cache only settled outcomes. Timeouts and crashes are wall-clock- and
+  // environment-dependent; replaying them would freeze a transient failure
+  // into a permanent answer.
+  if (O.Kind == FileOutcomeKind::Ok || O.Kind == FileOutcomeKind::Degraded) {
+    CacheEntry E;
+    E.File = File;
+    E.ContentHash = fnv1aHex({*Main});
+    ReadNames.insert(File);
+    for (const std::string &Name : ReadNames)
+      if (std::optional<std::string> Text = Files.read(Name))
+        E.Deps[Name] = fnv1aHex({*Text});
+    E.Status = R.Status;
+    E.Reasons = O.Reasons;
+    E.Anomalies = O.Anomalies;
+    E.Suppressed = O.Suppressed;
+    E.Diagnostics = O.Diagnostics;
+    E.Classes = O.Classes;
+    E.Metrics = O.Metrics;
+    Cache.store(std::move(E), Opts.Faults);
+  }
+  return R;
+}
+
+ServiceReply CheckService::statsReplyLocked() {
+  MetricsSnapshot Snap = Folded;
+  Cache.foldStats(Snap);
+  auto &C = Snap.Counters;
+  C["service.requests"] += Requests;
+  C["service.cold_checks"] += ColdChecks;
+  C["service.shed_requests"] += ShedRequests;
+  ServiceReply R;
+  R.Status = "stats";
+  R.Note = metricsJsonCompact(Snap);
+  return R;
+}
+
+void CheckService::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  Cv.notify_all();
+  if (Worker.joinable())
+    Worker.join();
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Flushed) {
+    // The graceful-shutdown flush: a compacted snapshot, so the next
+    // start loads without replaying appends or trailing damage.
+    Cache.flush();
+    Flushed = true;
+  }
+}
+
+bool CheckService::stopping() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stopping;
+}
+
+MetricsSnapshot CheckService::metrics() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  MetricsSnapshot Snap = Folded;
+  Cache.foldStats(Snap);
+  auto &C = Snap.Counters;
+  C["service.requests"] += Requests;
+  C["service.cold_checks"] += ColdChecks;
+  C["service.shed_requests"] += ShedRequests;
+  return Snap;
+}

@@ -1,0 +1,170 @@
+//===--- CheckService.h - Long-lived check service --------------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md §6f.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent check service: a long-lived front end that answers
+/// check/invalidate/stats/shutdown requests, backed by the content-hash
+/// result cache (service/ResultCache.h). The contract, in order:
+///
+/// * Warm answers are byte-identical to cold answers. A cache hit replays
+///   the rendered diagnostics the producing cold run would have printed;
+///   every doubt about an entry (CRC, staleness, policy) falls back to a
+///   cold re-check. The differential fuzz harness enforces this gate.
+/// * Cold checks reuse the batch driver's resilience machinery verbatim —
+///   per-request deadline via the watchdog/CancelToken, retry ladder with
+///   halved limits — by running each miss as a one-file batch.
+/// * Bounded intake. Requests queue up to a fixed limit; beyond it the
+///   service sheds deterministically with an "overloaded" reply, never a
+///   hang or an unbounded queue.
+/// * Graceful drain. stop() (wired to SIGTERM by the CLI) finishes queued
+///   requests, flushes the cache compacted to disk, and joins the worker.
+///   A kill -9 instead loses at most the in-flight append; the next start
+///   truncates the torn tail and re-checks cold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_SERVICE_CHECKSERVICE_H
+#define MEMLINT_SERVICE_CHECKSERVICE_H
+
+#include "checker/Checker.h"
+#include "service/ResultCache.h"
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace memlint {
+
+/// Configuration for a service instance.
+struct ServiceOptions {
+  /// Base options for every cold check (the cache policy key is derived
+  /// from these via checkOptionsFingerprint).
+  CheckOptions Check;
+  /// Per-request wall-clock deadline in milliseconds (0 = none); enforced
+  /// by the batch driver's watchdog on the cold path.
+  unsigned RequestDeadlineMs = 0;
+  /// Retry attempts per cold check (the batch driver's ladder).
+  unsigned MaxAttempts = 2;
+  /// Pending-request limit; submissions beyond it are shed. Values < 1
+  /// are treated as 1.
+  size_t QueueLimit = 64;
+  /// Result-cache entry bound (0 = unbounded), LRU-evicted.
+  size_t CacheMaxEntries = 0;
+  /// Cache persistence path; empty keeps the cache in memory only.
+  std::string CachePath;
+  /// Collect per-check metrics and fold them (plus service.*/cache.*
+  /// counters) into metrics().
+  bool CollectMetrics = false;
+  /// Cache-write fault injection (fuzz harness); must outlive the service.
+  FaultInjector *Faults = nullptr;
+  /// Resolves a file name to its contents. Requests and their #includes
+  /// are read through this on every check, so edits between requests are
+  /// always observed. Defaults to reading the real file system.
+  std::function<std::optional<std::string>(const std::string &)> FileSource;
+};
+
+/// What a client asked for.
+enum class ServiceRequestKind { Check, Invalidate, Stats, Shutdown };
+
+struct ServiceRequest {
+  ServiceRequestKind Kind = ServiceRequestKind::Check;
+  std::string File; ///< Check/Invalidate target
+};
+
+/// What the service answers. Status vocabulary: the batch outcome names
+/// ("ok", "degraded", "timeout", "crash") for checks, plus "overloaded"
+/// (shed), "invalidated"/"absent" (invalidate), "stats", "stopping", and
+/// "error" (malformed request).
+struct ServiceReply {
+  std::string Status;
+  bool CacheHit = false;
+  unsigned Anomalies = 0;
+  unsigned Suppressed = 0;
+  /// Rendered diagnostics, byte-identical whether served warm or cold.
+  std::string Diagnostics;
+  /// Human/machine-readable extra: the precise shed or error message, or
+  /// the stats JSON.
+  std::string Note;
+};
+
+/// The request/reply wire codec (one JSON object per line), shared by the
+/// socket server and the CLI client so both ends always agree.
+std::string serviceRequestLine(const ServiceRequest &Request);
+bool parseServiceRequestLine(const std::string &Line, ServiceRequest &Out);
+std::string serviceReplyLine(const ServiceReply &Reply);
+bool parseServiceReplyLine(const std::string &Line, ServiceReply &Out);
+
+/// A running check service: one worker thread draining a bounded queue.
+/// handle() is also callable directly (synchronously) for tests and
+/// single-shot embedding; direct calls bypass the queue and therefore the
+/// shedding policy, but share the cache and counters.
+class CheckService {
+public:
+  explicit CheckService(ServiceOptions Options);
+  ~CheckService() { stop(); }
+
+  CheckService(const CheckService &) = delete;
+  CheckService &operator=(const CheckService &) = delete;
+
+  /// Enqueues \p Request; \p Done receives the reply from the worker
+  /// thread. When the queue is full (or the service is stopping) the
+  /// request is shed: Done is called immediately, in the caller's thread,
+  /// with an "overloaded" ("stopping") reply. \returns false iff shed.
+  bool submit(ServiceRequest Request,
+              std::function<void(const ServiceReply &)> Done);
+
+  /// Synchronous request processing. Thread-safe: cache and counter access
+  /// is internally locked; the cold check itself runs unlocked so a slow
+  /// file never blocks submit() or the accept loop.
+  ServiceReply handle(const ServiceRequest &Request);
+
+  /// Graceful drain: completes queued requests, flushes the cache to its
+  /// backing file (compacted), joins the worker. Idempotent.
+  void stop();
+
+  /// True once Shutdown was requested (or stop() called): the socket
+  /// accept loop uses this to exit.
+  bool stopping() const;
+
+  /// Aggregate metrics: per-check metrics folded in completion order plus
+  /// service.* and cache.* counters. Counters are deterministic for a
+  /// given request sequence.
+  MetricsSnapshot metrics() const;
+
+  /// True when the persisted cache attached cleanly (always true without
+  /// a CachePath). A false value means the service started cold.
+  bool cacheLoadedClean() const { return CacheClean; }
+
+private:
+  ServiceReply process(const ServiceRequest &Request);
+  ServiceReply checkFile(const std::string &File);
+  ServiceReply statsReplyLocked(); ///< call with Mu held
+
+  ServiceOptions Opts;
+  ResultCache Cache;
+  bool CacheClean = true;
+
+  mutable std::mutex Mu; ///< guards everything below + Cache
+  std::condition_variable Cv;
+  struct Pending {
+    ServiceRequest Request;
+    std::function<void(const ServiceReply &)> Done;
+  };
+  std::deque<Pending> Queue;
+  bool Stopping = false;
+  bool Flushed = false;
+  MetricsSnapshot Folded; ///< per-check metrics, folded in completion order
+  unsigned long long Requests = 0;
+  unsigned long long ColdChecks = 0;
+  unsigned long long ShedRequests = 0;
+  std::thread Worker;
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_SERVICE_CHECKSERVICE_H

@@ -1,0 +1,323 @@
+//===--- ResultCache.cpp - Persistent per-file result cache ---------------===//
+//
+// Part of memlint. See DESIGN.md §6f.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ResultCache.h"
+
+#include "support/Journal.h"
+#include "support/Json.h"
+
+using namespace memlint;
+
+/// Bumped whenever the entry byte format changes; a persisted cache with a
+/// different stamp is discarded wholesale (cold start beats misparsing).
+static constexpr int CacheFormatVersion = 1;
+
+//===----------------------------------------------------------------------===//
+// Line format
+//===----------------------------------------------------------------------===//
+
+std::string ResultCache::headerLine(const std::string &PolicyKey) {
+  return "{\"memlint_cache\":1,\"format\":" +
+         std::to_string(CacheFormatVersion) +
+         ",\"policy\":" + jsonString(PolicyKey) + "}";
+}
+
+namespace {
+
+/// The entry's payload object — everything except the CRC stamp.
+std::string entryPayload(const CacheEntry &E) {
+  std::string Out = "{\"file\":" + jsonString(E.File) +
+                    ",\"content\":" + jsonString(E.ContentHash) + ",\"deps\":{";
+  bool First = true;
+  for (const auto &[Name, Hash] : E.Deps) {
+    Out += (First ? "" : ",") + jsonString(Name) + ":" + jsonString(Hash);
+    First = false;
+  }
+  Out += "},\"status\":" + jsonString(E.Status) + ",\"reasons\":[";
+  First = true;
+  for (const std::string &R : E.Reasons) {
+    Out += (First ? "" : ",") + jsonString(R);
+    First = false;
+  }
+  Out += "],\"anomalies\":" + std::to_string(E.Anomalies) +
+         ",\"suppressed\":" + std::to_string(E.Suppressed) +
+         ",\"diags\":" + jsonString(E.Diagnostics);
+  if (!E.Classes.empty()) {
+    Out += ",\"classes\":{";
+    First = true;
+    for (const auto &[Name, N] : E.Classes) {
+      Out += (First ? "" : ",") + jsonString(Name) + ":" + std::to_string(N);
+      First = false;
+    }
+    Out += "}";
+  }
+  if (!E.Metrics.empty())
+    Out += ",\"metrics\":" + metricsJsonCompact(E.Metrics);
+  return Out + "}";
+}
+
+/// Stamps \p Payload's CRC into the persisted line form. The CRC covers
+/// the complete payload object, so any byte flip inside it — including in
+/// escaped diagnostics text — is caught on load.
+std::string stampCrc(const std::string &Payload) {
+  std::string Line = Payload;
+  Line.pop_back(); // reopen the object for the crc field
+  return Line + ",\"crc\":\"" + crc32Hex(Payload) + "\"}";
+}
+
+} // namespace
+
+std::string ResultCache::entryLine(const CacheEntry &Entry) {
+  return stampCrc(entryPayload(Entry));
+}
+
+std::string ResultCache::entryLineFaulted(const CacheEntry &Entry,
+                                          FaultInjector *Faults) {
+  std::string Payload = entryPayload(Entry);
+  if (Faults)
+    Faults->onCachePayload(Payload);
+  std::string Line = stampCrc(Payload);
+  if (Faults)
+    Faults->onCacheLine(Line);
+  return Line;
+}
+
+bool ResultCache::parseEntryLine(const std::string &Line, CacheEntry &Out) {
+  // Split off the trailing CRC stamp and verify it against the
+  // reconstructed payload before any JSON parsing: a line whose checksum
+  // disagrees is untrusted bytes, full stop.
+  static const std::string Marker = ",\"crc\":\"";
+  const size_t At = Line.rfind(Marker);
+  if (At == std::string::npos)
+    return false;
+  const std::string Stamp = Line.substr(At + Marker.size());
+  if (Stamp.size() != 10 || Stamp.substr(8) != "\"}")
+    return false;
+  const std::string Payload = Line.substr(0, At) + "}";
+  if (crc32Hex(Payload) != Stamp.substr(0, 8))
+    return false;
+
+  CacheEntry E;
+  bool SawFile = false, SawContent = false, SawStatus = false;
+  JsonLineParser P(Payload);
+  bool Parsed = P.parseObject(
+      [&](const std::string &Key, const JsonLineParser::Value &V) {
+        if (Key == "file") {
+          E.File = V.Str;
+          SawFile = !V.Str.empty();
+        } else if (Key == "content") {
+          E.ContentHash = V.Str;
+          SawContent = !V.Str.empty();
+        } else if (Key == "deps") {
+          if (V.K == JsonLineParser::Value::Object)
+            for (const auto &[Name, Sub] : V.Fields)
+              if (Sub.K == JsonLineParser::Value::String)
+                E.Deps[Name] = Sub.Str;
+        } else if (Key == "status") {
+          E.Status = V.Str;
+          SawStatus = V.Str == "ok" || V.Str == "degraded";
+        } else if (Key == "reasons") {
+          E.Reasons = V.Array;
+        } else if (Key == "anomalies") {
+          E.Anomalies = static_cast<unsigned>(V.Num);
+        } else if (Key == "suppressed") {
+          E.Suppressed = static_cast<unsigned>(V.Num);
+        } else if (Key == "diags") {
+          E.Diagnostics = V.Str;
+        } else if (Key == "classes") {
+          if (V.K == JsonLineParser::Value::Object)
+            for (const auto &[Name, Sub] : V.Fields)
+              if (Sub.K == JsonLineParser::Value::Number && Sub.Num >= 0)
+                E.Classes[Name] = static_cast<unsigned>(Sub.Num);
+        } else if (Key == "metrics") {
+          metricsFromJsonValue(V, E.Metrics);
+        }
+      });
+  if (!Parsed || !SawFile || !SawContent || !SawStatus)
+    return false;
+  Out = std::move(E);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// In-memory LRU
+//===----------------------------------------------------------------------===//
+
+void ResultCache::touch(const std::string &File) {
+  auto It = Entries.find(File);
+  if (It != Entries.end())
+    Lru.splice(Lru.end(), Lru, It->second); // move to MRU tail
+}
+
+void ResultCache::evictIfNeeded() {
+  while (MaxEntries != 0 && Entries.size() > MaxEntries && !Lru.empty()) {
+    Entries.erase(Lru.front().File);
+    Lru.pop_front();
+    ++Stats.Evictions;
+  }
+}
+
+const CacheEntry *ResultCache::lookup(
+    const std::string &File,
+    const std::function<std::optional<std::string>(const std::string &)>
+        &HashOf) {
+  auto It = Entries.find(File);
+  if (It == Entries.end()) {
+    ++Stats.Misses;
+    return nullptr;
+  }
+  // Re-verify the recorded main-file hash and then the whole dependency
+  // closure. One changed or unreadable file anywhere in it makes the
+  // recorded diagnostics unreproducible, so the entry is dropped, not
+  // served. The explicit ContentHash check is not redundant with Deps: a
+  // stale or tampered entry can carry a self-consistent Deps map while
+  // its recorded main-file identity no longer matches reality.
+  auto Drop = [&] {
+    Lru.erase(It->second);
+    Entries.erase(It);
+    ++Stats.StaleDropped;
+    ++Stats.Misses;
+  };
+  std::optional<std::string> MainNow = HashOf(File);
+  if (!MainNow || *MainNow != It->second->ContentHash) {
+    Drop();
+    return nullptr;
+  }
+  for (const auto &[Name, Hash] : It->second->Deps) {
+    std::optional<std::string> Now = HashOf(Name);
+    if (!Now || *Now != Hash) {
+      Drop();
+      return nullptr;
+    }
+  }
+  touch(File);
+  ++Stats.Hits;
+  return &*It->second;
+}
+
+void ResultCache::store(CacheEntry Entry, FaultInjector *Faults) {
+  std::string Persisted;
+  if (!BackingPath.empty())
+    // Build the line before the in-memory insert so an injected fault
+    // mutates only the persisted bytes — the in-memory entry (and the
+    // reply built from it) stays truthful, mirroring real corruption
+    // which happens to the disk, not the process.
+    Persisted = entryLineFaulted(Entry, Faults);
+  auto It = Entries.find(Entry.File);
+  if (It != Entries.end()) {
+    Lru.erase(It->second);
+    Entries.erase(It);
+  }
+  Lru.push_back(std::move(Entry));
+  Entries[Lru.back().File] = std::prev(Lru.end());
+  evictIfNeeded();
+  if (!Persisted.empty())
+    appendJournalLine(BackingPath, Persisted);
+}
+
+bool ResultCache::invalidate(const std::string &File) {
+  auto It = Entries.find(File);
+  if (It == Entries.end())
+    return false;
+  Lru.erase(It->second);
+  Entries.erase(It);
+  ++Stats.Invalidations;
+  return true;
+}
+
+void ResultCache::foldStats(MetricsSnapshot &Out) const {
+  auto &C = Out.Counters;
+  C["cache.hits"] += Stats.Hits;
+  C["cache.misses"] += Stats.Misses;
+  C["cache.evictions"] += Stats.Evictions;
+  C["cache.corrupt_recovered"] += Stats.CorruptRecovered;
+  C["cache.stale_dropped"] += Stats.StaleDropped;
+  C["cache.invalidations"] += Stats.Invalidations;
+  C["cache.entries"] += Entries.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Persistence
+//===----------------------------------------------------------------------===//
+
+std::string ResultCache::serialize() const {
+  std::string Out = headerLine(PolicyKey) + "\n";
+  for (const CacheEntry &E : Lru)
+    Out += entryLine(E) + "\n";
+  return Out;
+}
+
+bool ResultCache::loadFromText(const std::string &Text) {
+  size_t LineStart = 0;
+  bool SawHeader = false;
+  while (LineStart <= Text.size()) {
+    size_t LineEnd = Text.find('\n', LineStart);
+    std::string Line = Text.substr(LineStart, LineEnd == std::string::npos
+                                                  ? std::string::npos
+                                                  : LineEnd - LineStart);
+    LineStart = LineEnd == std::string::npos ? Text.size() + 1 : LineEnd + 1;
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+
+    if (!SawHeader) {
+      // The header is all-or-nothing: a cache written by a different
+      // format version or under a different checking policy holds entries
+      // this invocation must never serve, so the whole file is discarded.
+      bool Magic = false;
+      double Format = 0;
+      std::string Policy;
+      JsonLineParser P(Line);
+      bool Parsed = P.parseObject(
+          [&](const std::string &Key, const JsonLineParser::Value &V) {
+            if (Key == "memlint_cache")
+              Magic = V.Num == 1;
+            else if (Key == "format")
+              Format = V.Num;
+            else if (Key == "policy")
+              Policy = V.Str;
+          });
+      if (!Parsed || !Magic || Format != CacheFormatVersion ||
+          Policy != PolicyKey)
+        return false;
+      SawHeader = true;
+      continue;
+    }
+
+    CacheEntry E;
+    if (parseEntryLine(Line, E)) {
+      // Later entries win, as with journal replay.
+      auto It = Entries.find(E.File);
+      if (It != Entries.end()) {
+        Lru.erase(It->second);
+        Entries.erase(It);
+      }
+      Lru.push_back(std::move(E));
+      Entries[Lru.back().File] = std::prev(Lru.end());
+      evictIfNeeded();
+    } else {
+      ++Stats.CorruptRecovered;
+    }
+  }
+  return SawHeader;
+}
+
+bool ResultCache::attachFile(const std::string &Path) {
+  BackingPath = Path;
+  bool LoadedClean = true;
+  if (std::optional<std::string> Text = readFileText(Path))
+    LoadedClean = loadFromText(*Text);
+  // Compact immediately: this truncates any torn tail and drops corrupt
+  // or foreign-policy bytes, so every later append lands after a clean,
+  // current-format prefix.
+  flush();
+  return LoadedClean;
+}
+
+bool ResultCache::flush() const {
+  if (BackingPath.empty())
+    return true;
+  return writeFileText(BackingPath, serialize());
+}

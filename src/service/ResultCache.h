@@ -1,0 +1,173 @@
+//===--- ResultCache.h - Persistent per-file result cache -------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md §6f.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The check service's content-addressed result cache. One entry records
+/// the complete, replayable outcome of checking one main file: its rendered
+/// diagnostics (byte-identical to what a cold run prints), finding counts,
+/// per-class totals, optional metrics, and — the key part — the content
+/// hash of every file the check actually read (the main file plus its
+/// #include closure). A lookup re-hashes those dependencies; the entry is
+/// served only when every hash still matches, so editing any file in the
+/// closure invalidates exactly the entries that consumed it.
+///
+/// An entry is valid only under the checking policy it was produced by:
+/// the cache carries a policy key (checkOptionsFingerprint — FlagSet,
+/// prelude inclusion, LibrarySpec version) and a persisted cache whose key
+/// differs is discarded wholesale on load.
+///
+/// Persistence reuses the journal's JSONL discipline (support/Journal.h):
+/// a header line with a format-version stamp, then one self-contained
+/// entry per line, appended with a flush as results are produced. On top
+/// of the journal's per-line salvage, every entry line carries a CRC-32 of
+/// its payload, stamped at write time and verified on load, so silent bit
+/// rot — not just torn tails — degrades to a cold re-check instead of
+/// replaying damaged diagnostics. The failure direction is fixed: any
+/// doubt about an entry drops the entry, never serves it.
+///
+/// The cache itself is not thread-safe; the check service serializes all
+/// access through its single worker thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_SERVICE_RESULTCACHE_H
+#define MEMLINT_SERVICE_RESULTCACHE_H
+
+#include "support/FaultInjector.h"
+#include "support/Metrics.h"
+
+#include <functional>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace memlint {
+
+/// One cached check outcome, replayable without re-checking.
+struct CacheEntry {
+  std::string File;        ///< the request's main file (the cache key)
+  std::string ContentHash; ///< fnv1aHex of the main file's contents
+  /// Content hash of every file the check read, keyed by name (includes
+  /// the main file). The entry is served only while all of them match.
+  std::map<std::string, std::string> Deps;
+  std::string Status; ///< "ok" | "degraded" (others are never cached)
+  std::vector<std::string> Reasons;
+  unsigned Anomalies = 0;
+  unsigned Suppressed = 0;
+  std::string Diagnostics; ///< rendered; byte-identical to a cold run
+  std::map<std::string, unsigned> Classes;
+  MetricsSnapshot Metrics; ///< the producing run's metrics, for S6 folds
+};
+
+/// Counters describing a cache's lifetime, surfaced as cache.* metrics.
+struct CacheStats {
+  unsigned long long Hits = 0;
+  unsigned long long Misses = 0;
+  unsigned long long Evictions = 0;
+  /// Entries dropped instead of served: CRC failures and unparsable lines
+  /// on load, plus stale entries whose dependency hashes no longer match.
+  unsigned long long CorruptRecovered = 0;
+  unsigned long long StaleDropped = 0;
+  unsigned long long Invalidations = 0;
+};
+
+/// In-memory LRU cache of check results with JSONL persistence.
+class ResultCache {
+public:
+  /// \p PolicyKey is the checkOptionsFingerprint all entries are valid
+  /// under; \p MaxEntries bounds the cache (0 = unbounded), evicting the
+  /// least recently used entry on overflow.
+  explicit ResultCache(std::string PolicyKey, size_t MaxEntries = 0)
+      : PolicyKey(std::move(PolicyKey)), MaxEntries(MaxEntries) {}
+
+  /// Looks up \p File. \p HashOf maps a dependency name to the current
+  /// content hash of that file (nullopt if it cannot be read). The entry
+  /// is returned only when every recorded dependency hash still matches;
+  /// a mismatch drops the entry (StaleDropped) and reports a miss. The
+  /// returned pointer is valid until the next mutating call.
+  const CacheEntry *
+  lookup(const std::string &File,
+         const std::function<std::optional<std::string>(const std::string &)>
+             &HashOf);
+
+  /// Inserts (or replaces) an entry, evicting the LRU entry if full. When
+  /// a backing path is attached the entry is also appended to it, with
+  /// \p Faults (may be null) given its cache-write hooks — the fuzz
+  /// harness's corruption surface.
+  void store(CacheEntry Entry, FaultInjector *Faults = nullptr);
+
+  /// Drops \p File's entry. \returns true if one was present.
+  bool invalidate(const std::string &File);
+
+  size_t size() const { return Entries.size(); }
+  const CacheStats &stats() const { return Stats; }
+  const std::string &policyKey() const { return PolicyKey; }
+
+  /// Folds the cache.* counters into \p Out.
+  void foldStats(MetricsSnapshot &Out) const;
+
+  //===--- persistence ------------------------------------------------------===//
+
+  /// Serializes header + all entries (LRU order, oldest first) as JSONL.
+  std::string serialize() const;
+
+  /// Loads entries from serialized text into an empty-or-not cache.
+  /// A missing/mismatched header (wrong magic, format version, or policy
+  /// key) discards the whole text and returns false — the caller starts
+  /// cold. Individual entries failing CRC or parse are dropped and counted
+  /// (CorruptRecovered); a torn final line is just another dropped entry.
+  bool loadFromText(const std::string &Text);
+
+  /// Attaches a backing file: loads it (tolerating damage per
+  /// loadFromText) and makes store() append to it. \returns false when the
+  /// file existed but was discarded (policy/format mismatch or unreadable
+  /// header) — the service still runs, cold.
+  bool attachFile(const std::string &Path);
+
+  /// Rewrites the backing file as a compacted snapshot (header + live
+  /// entries). The graceful-shutdown flush. No-op without a backing file;
+  /// \returns false on I/O failure.
+  bool flush() const;
+
+  /// Renders one entry as its persisted line: payload JSON plus a
+  /// trailing "crc" field over the payload. Exposed for tests.
+  static std::string entryLine(const CacheEntry &Entry);
+
+  /// entryLine with \p Faults (may be null) given its cache-write hooks:
+  /// payload mutation before the CRC is stamped (StaleEntry), line
+  /// mutation after (CacheCorrupt, CacheTornWrite). The store() path and
+  /// the fuzz harness's in-memory warm/cold differential share this, so
+  /// the corruption surface under test is exactly the persisted one.
+  static std::string entryLineFaulted(const CacheEntry &Entry,
+                                      FaultInjector *Faults);
+
+  /// Parses a persisted line, verifying its CRC. \returns false on any
+  /// damage. Exposed for tests.
+  static bool parseEntryLine(const std::string &Line, CacheEntry &Out);
+
+  /// The cache file's header line for \p PolicyKey (format-version
+  /// stamped). Exposed for tests.
+  static std::string headerLine(const std::string &PolicyKey);
+
+private:
+  void touch(const std::string &File); // move to MRU position
+  void evictIfNeeded();
+
+  std::string PolicyKey;
+  size_t MaxEntries;
+  std::string BackingPath; ///< empty = in-memory only
+
+  /// LRU list (front = oldest) + index. The list owns the entries.
+  std::list<CacheEntry> Lru;
+  std::map<std::string, std::list<CacheEntry>::iterator> Entries;
+  CacheStats Stats;
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_SERVICE_RESULTCACHE_H

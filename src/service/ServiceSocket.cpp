@@ -1,0 +1,185 @@
+//===--- ServiceSocket.cpp - Unix-socket service front end ----------------===//
+//
+// Part of memlint. See DESIGN.md §6f.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ServiceSocket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace memlint;
+
+namespace {
+
+/// Writes all of \p Text, retrying short writes. \returns false on error.
+bool writeAll(int Fd, const std::string &Text) {
+  size_t Off = 0;
+  while (Off < Text.size()) {
+    ssize_t N = ::write(Fd, Text.data() + Off, Text.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Reads until a newline (dropped) or EOF, with a hard size cap so a
+/// hostile peer cannot balloon the server. \returns false on error or cap.
+bool readLine(int Fd, std::string &Out) {
+  // Requests are one small JSON object; 1 MiB is orders of magnitude of
+  // headroom while still bounding memory per connection.
+  constexpr size_t MaxLine = 1 << 20;
+  Out.clear();
+  char C;
+  for (;;) {
+    ssize_t N = ::read(Fd, &C, 1);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return !Out.empty(); // EOF: accept an unterminated final line
+    if (C == '\n')
+      return true;
+    if (Out.size() >= MaxLine)
+      return false;
+    Out += C;
+  }
+}
+
+} // namespace
+
+bool ServiceSocket::listenOn(const std::string &Path, std::string &Error) {
+  close();
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long: '" + Path + "'";
+    return false;
+  }
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(Path.c_str()); // a stale socket file from a killed daemon
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = "bind '" + Path + "': " + std::strerror(errno);
+    ::close(Fd);
+    Fd = -1;
+    return false;
+  }
+  if (::listen(Fd, 64) < 0) {
+    Error = "listen '" + Path + "': " + std::strerror(errno);
+    ::close(Fd);
+    Fd = -1;
+    ::unlink(Path.c_str());
+    return false;
+  }
+  BoundPath = Path;
+  return true;
+}
+
+unsigned long ServiceSocket::serve(CheckService &Service,
+                                   const std::atomic<bool> &Stop) {
+  unsigned long Served = 0;
+  while (Fd >= 0 && !Stop.load(std::memory_order_relaxed) &&
+         !Service.stopping()) {
+    pollfd Pfd{Fd, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, /*timeout ms=*/100);
+    if (Ready < 0 && errno != EINTR)
+      break;
+    if (Ready <= 0)
+      continue; // tick: re-check the stop conditions
+    int Client = ::accept(Fd, nullptr, nullptr);
+    if (Client < 0)
+      continue;
+    ++Served;
+
+    std::string Line;
+    ServiceRequest Request;
+    if (!readLine(Client, Line) || !parseServiceRequestLine(Line, Request)) {
+      ServiceReply Bad;
+      Bad.Status = "error";
+      Bad.Note = "malformed request line";
+      writeAll(Client, serviceReplyLine(Bad) + "\n");
+      ::close(Client);
+      continue;
+    }
+
+    // Submit through the bounded queue so socket clients are subject to
+    // the same shedding policy as embedded callers. The reply callback
+    // owns the client fd; it runs either immediately (shed) or on the
+    // worker thread (served).
+    const bool Queued =
+        Service.submit(Request, [Client](const ServiceReply &Reply) {
+          writeAll(Client, serviceReplyLine(Reply) + "\n");
+          ::close(Client);
+        });
+    (void)Queued; // the callback replied either way
+  }
+  return Served;
+}
+
+void ServiceSocket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  if (!BoundPath.empty()) {
+    ::unlink(BoundPath.c_str());
+    BoundPath.clear();
+  }
+}
+
+std::optional<std::string>
+memlint::serviceRoundTrip(const std::string &Path,
+                          const std::string &RequestLine, std::string &Error) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long: '" + Path + "'";
+    return std::nullopt;
+  }
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return std::nullopt;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = "connect '" + Path + "': " + std::strerror(errno);
+    ::close(Fd);
+    return std::nullopt;
+  }
+  if (!writeAll(Fd, RequestLine + "\n")) {
+    Error = "write: " + std::string(std::strerror(errno));
+    ::close(Fd);
+    return std::nullopt;
+  }
+  ::shutdown(Fd, SHUT_WR);
+  std::string Reply;
+  bool Ok = readLine(Fd, Reply);
+  ::close(Fd);
+  if (!Ok) {
+    Error = "no reply from '" + Path + "'";
+    return std::nullopt;
+  }
+  return Reply;
+}

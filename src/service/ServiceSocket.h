@@ -1,0 +1,70 @@
+//===--- ServiceSocket.h - Unix-socket service front end --------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md §6f.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The check service's wire front end: a Unix domain stream socket
+/// speaking one JSON request line in, one JSON reply line out, per
+/// connection (see CheckService.h for the codec). The server loop is
+/// deliberately dumb — parse a line, submit to the service's bounded
+/// queue, write whatever reply comes back — so every robustness property
+/// (shedding, deadlines, drain) lives in CheckService where it is unit
+/// tested, not in socket plumbing.
+///
+/// The accept loop polls with a short tick so a stop flag (SIGTERM, or a
+/// client shutdown request) is honored within one tick even when no
+/// connection ever arrives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_SERVICE_SERVICESOCKET_H
+#define MEMLINT_SERVICE_SERVICESOCKET_H
+
+#include "service/CheckService.h"
+
+#include <atomic>
+#include <optional>
+#include <string>
+
+namespace memlint {
+
+/// A listening Unix-socket server bound to a filesystem path.
+class ServiceSocket {
+public:
+  ServiceSocket() = default;
+  ~ServiceSocket() { close(); }
+  ServiceSocket(const ServiceSocket &) = delete;
+  ServiceSocket &operator=(const ServiceSocket &) = delete;
+
+  /// Binds and listens on \p Path (unlinking any stale socket file first).
+  /// \returns false with \p Error set on failure.
+  bool listenOn(const std::string &Path, std::string &Error);
+
+  /// Serves until \p Stop becomes true or \p Service starts stopping.
+  /// Each connection: read one request line, submit to the service's
+  /// bounded queue (shed replies included), write the reply line, close.
+  /// Returns the number of connections served.
+  unsigned long serve(CheckService &Service, const std::atomic<bool> &Stop);
+
+  /// Closes the listening socket and removes the socket file.
+  void close();
+
+  const std::string &path() const { return BoundPath; }
+
+private:
+  int Fd = -1;
+  std::string BoundPath;
+};
+
+/// Client helper: connects to \p Path, sends \p RequestLine, reads the
+/// reply line. \returns nullopt with \p Error set on connection or I/O
+/// failure.
+std::optional<std::string> serviceRoundTrip(const std::string &Path,
+                                            const std::string &RequestLine,
+                                            std::string &Error);
+
+} // namespace memlint
+
+#endif // MEMLINT_SERVICE_SERVICESOCKET_H

@@ -18,8 +18,19 @@ const char *memlint::faultKindName(FaultKind Kind) {
     return "budget";
   case FaultKind::Cancel:
     return "cancel";
+  case FaultKind::CacheCorrupt:
+    return "cache-corrupt";
+  case FaultKind::CacheTornWrite:
+    return "cache-torn-write";
+  case FaultKind::StaleEntry:
+    return "stale-entry";
   }
   return "unknown";
+}
+
+bool memlint::isCacheFaultKind(FaultKind Kind) {
+  return Kind == FaultKind::CacheCorrupt ||
+         Kind == FaultKind::CacheTornWrite || Kind == FaultKind::StaleEntry;
 }
 
 const char *memlint::faultReason(FaultKind Kind) {
@@ -30,11 +41,17 @@ const char *memlint::faultReason(FaultKind Kind) {
     return "fault-budget";
   case FaultKind::Cancel:
     return "fault-cancel";
+  case FaultKind::CacheCorrupt:
+  case FaultKind::CacheTornWrite:
+  case FaultKind::StaleEntry:
+    return "cache-cold-fallback";
   }
   return "unknown";
 }
 
 void FaultInjector::onCheckpoint(BudgetState &S) {
+  if (isCacheFaultKind(Kind))
+    return; // cache kinds trigger on cache writes, not pipeline checkpoints
   const unsigned long long At = Seen.fetch_add(1, std::memory_order_relaxed);
   if (Fired.load(std::memory_order_relaxed) || At < FireAt)
     return;
@@ -65,5 +82,54 @@ void FaultInjector::onCheckpoint(BudgetState &S) {
     S.noteDegradation("fault-cancel");
     throw CancelledError{"fault-cancel"};
   }
+  default:
+    return; // unreachable: cache kinds filtered above
+  }
+}
+
+void FaultInjector::onCachePayload(std::string &Payload) {
+  if (!isCacheFaultKind(Kind))
+    return;
+  const unsigned long long At = Seen.fetch_add(1, std::memory_order_relaxed);
+  if (Fired.load(std::memory_order_relaxed) || At < FireAt)
+    return;
+  Fired.store(true, std::memory_order_release);
+  FiringThisWrite = true;
+  if (Kind != FaultKind::StaleEntry)
+    return;
+  // Re-key the entry to a content hash nothing hashes to. The CRC stamped
+  // after this mutation is valid for the stale bytes, so only the lookup
+  // path's key comparison can catch it — exactly the staleness contract
+  // under test.
+  const std::string Needle = "\"content\":\"";
+  size_t At2 = Payload.find(Needle);
+  if (At2 == std::string::npos)
+    return;
+  At2 += Needle.size();
+  const std::string Bogus = "0000000000000000";
+  for (size_t I = 0; I < Bogus.size() && At2 + I < Payload.size() &&
+                     Payload[At2 + I] != '"';
+       ++I)
+    Payload[At2 + I] = Bogus[I];
+}
+
+void FaultInjector::onCacheLine(std::string &Line) {
+  if (!FiringThisWrite)
+    return;
+  FiringThisWrite = false;
+  switch (Kind) {
+  case FaultKind::CacheCorrupt:
+    // One flipped payload byte after the CRC was stamped: classic bit rot.
+    // Flipping bit 5 keeps the byte printable but always changes it, so
+    // the CRC check — not JSON parsing luck — is what must catch this.
+    if (!Line.empty())
+      Line[Line.size() / 2] ^= 0x20;
+    return;
+  case FaultKind::CacheTornWrite:
+    // The write dies mid-line: keep an unparsable prefix.
+    Line.resize(Line.size() / 2);
+    return;
+  default:
+    return; // StaleEntry mutated the payload; pipeline kinds never fire here
   }
 }

@@ -6,17 +6,18 @@
 ///
 /// \file
 /// Deterministic fault injection for resilience testing. A FaultInjector is
-/// armed with one fault (kind + checkpoint index) and attached to a check
-/// run's BudgetState; every budget/cancellation checkpoint the pipeline
-/// passes (each preprocessed token, parsed token, abstractly executed
-/// statement, environment split) counts toward the trigger, and at exactly
-/// the armed checkpoint the fault fires. Because checkpoints are the same
-/// on every platform for a given input, the same (input, fault) pair fails
-/// at the same pipeline instruction everywhere — the fuzzer's containment
-/// findings are seed-addressable just like its generated programs.
+/// armed with one fault (kind + trigger index) and attached either to a
+/// check run's BudgetState or to the check service's result cache; the
+/// pipeline's budget/cancellation checkpoints (each preprocessed token,
+/// parsed token, abstractly executed statement, environment split) — or the
+/// cache's entry writes — count toward the trigger, and at exactly the
+/// armed index the fault fires. Because checkpoints are the same on every
+/// platform for a given input, the same (input, fault) pair fails at the
+/// same pipeline instruction everywhere — the fuzzer's containment findings
+/// are seed-addressable just like its generated programs.
 ///
-/// The fault taxonomy covers the three ways the real world interrupts a
-/// check run:
+/// The pipeline fault taxonomy covers the three ways the real world
+/// interrupts a check run:
 ///
 /// * Alloc — a simulated allocation failure: throws an exception derived
 ///   from std::bad_alloc. The containment layer must convert it into a
@@ -28,9 +29,23 @@
 /// * Cancel — the CancelToken fires as if a watchdog hit its deadline:
 ///   the run must end Degraded with reason "fault-cancel".
 ///
+/// The cache fault taxonomy covers the three ways a persisted result cache
+/// goes bad under crashes and bit rot (see service/ResultCache.h):
+///
+/// * CacheCorrupt — a stored entry's bytes rot after the CRC was stamped:
+///   one payload byte is flipped, so CRC validation must reject the entry
+///   on load and the service must fall back to a cold re-check.
+/// * CacheTornWrite — the process dies mid-append: the serialized line is
+///   truncated, so line-level parsing must discard the tail and every
+///   surviving entry must still load.
+/// * StaleEntry — an entry claims a content hash its payload was never
+///   computed for (CRC still valid): the key lookup must miss, never
+///   replay the stale diagnostics.
+///
 /// The injector records whether it fired so a harness can verify the
-/// contract: fired fault => Degraded or InternalError, never Ok and never
-/// an escape.
+/// contract: a fired pipeline fault => Degraded or InternalError, never Ok
+/// and never an escape; a fired cache fault => warm-path answers stay
+/// byte-identical to cold-path answers.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +54,7 @@
 
 #include <atomic>
 #include <new>
+#include <string>
 
 namespace memlint {
 
@@ -46,18 +62,28 @@ class BudgetState;
 
 /// The classes of failure the injector can simulate.
 enum class FaultKind {
-  Alloc,  ///< allocation failure (throws InjectedAllocFailure)
-  Budget, ///< resource exhaustion (forces every budget to report empty)
-  Cancel, ///< deadline/cancellation (raises the run's CancelToken)
+  Alloc,          ///< allocation failure (throws InjectedAllocFailure)
+  Budget,         ///< resource exhaustion (every budget reports empty)
+  Cancel,         ///< deadline/cancellation (raises the run's CancelToken)
+  CacheCorrupt,   ///< persisted cache entry bit-rots after CRC stamping
+  CacheTornWrite, ///< cache append truncated mid-line (kill mid-write)
+  StaleEntry,     ///< cache entry keyed to a content hash it never had
 };
 
-/// \returns a stable lower-case name ("alloc", "budget", "cancel").
+/// \returns a stable lower-case name ("alloc", "budget", "cancel",
+/// "cache-corrupt", "cache-torn-write", "stale-entry").
 const char *faultKindName(FaultKind Kind);
+
+/// True for the cache-layer kinds, which fire on result-cache writes
+/// instead of budget checkpoints.
+bool isCacheFaultKind(FaultKind Kind);
 
 /// The degradation reason an injected fault of the given kind must leave in
 /// the run's reason list ("fault-budget", "fault-cancel"); Alloc faults are
 /// reported through the internal-error channel instead and return
-/// "internal-error".
+/// "internal-error". Cache kinds leave no degradation reason — recovery is
+/// a silent cold re-check — and return "cache-cold-fallback" for harness
+/// messages only.
 const char *faultReason(FaultKind Kind);
 
 /// The exception an Alloc fault throws. Derives from std::bad_alloc so the
@@ -70,12 +96,13 @@ struct InjectedAllocFailure : std::bad_alloc {
 };
 
 /// One armed fault. Thread-compatible with the batch driver: a single check
-/// run (one worker thread) drives onCheckpoint(); fired() may be read from
-/// another thread after the run completes.
+/// run (one worker thread) drives onCheckpoint()/onCacheWrite(); fired()
+/// may be read from another thread after the run completes.
 class FaultInjector {
 public:
   /// Arms a fault of \p Kind to fire at the \p FireAtCheckpoint-th
-  /// checkpoint (0 fires at the very first one).
+  /// checkpoint — budget checkpoint for pipeline kinds, cache entry write
+  /// for cache kinds (0 fires at the very first one).
   FaultInjector(FaultKind Kind, unsigned long FireAtCheckpoint)
       : Kind(Kind), FireAt(FireAtCheckpoint) {}
 
@@ -84,16 +111,29 @@ public:
 
   /// Called by BudgetState at every checkpoint. Fires at most once; after
   /// firing, Budget faults keep the budget-exhausted flag raised via \p S
-  /// while Alloc/Cancel faults are spent.
+  /// while Alloc/Cancel faults are spent. Cache kinds never fire here.
   void onCheckpoint(BudgetState &S);
+
+  /// Called by ResultCache::store with the entry's serialized payload
+  /// before the CRC is stamped. Counts one cache-write event; a firing
+  /// StaleEntry fault rewrites the payload's content hash here (so the
+  /// stamped CRC is valid for the stale bytes — exactly the failure the
+  /// lookup path must catch by key, not checksum).
+  void onCachePayload(std::string &Payload);
+
+  /// Called by ResultCache::store with the final line after the CRC is
+  /// stamped. A CacheCorrupt fault that fired at this write flips one
+  /// payload byte (breaking the CRC); a CacheTornWrite fault truncates the
+  /// line mid-byte. Pipeline kinds never mutate cache writes.
+  void onCacheLine(std::string &Line);
 
   FaultKind kind() const { return Kind; }
   unsigned long fireAt() const { return FireAt; }
 
-  /// True once the armed checkpoint was reached and the fault fired.
+  /// True once the armed trigger was reached and the fault fired.
   bool fired() const { return Fired.load(std::memory_order_acquire); }
 
-  /// Checkpoints observed so far (harness introspection).
+  /// Trigger events observed so far (harness introspection).
   unsigned long long seen() const {
     return Seen.load(std::memory_order_relaxed);
   }
@@ -103,6 +143,9 @@ private:
   const unsigned long FireAt;
   std::atomic<unsigned long long> Seen{0};
   std::atomic<bool> Fired{false};
+  /// Set by onCachePayload when this write is the armed one, consumed by
+  /// onCacheLine (same thread, same store() call).
+  bool FiringThisWrite = false;
 };
 
 } // namespace memlint

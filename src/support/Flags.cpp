@@ -7,6 +7,7 @@
 #include "support/Flags.h"
 
 #include "support/Diagnostics.h"
+#include "support/Journal.h"
 
 #include <algorithm>
 #include <cassert>
@@ -151,6 +152,21 @@ std::vector<std::string> FlagSet::knownFlags() const {
     Names.push_back(Spec.Name);
   std::sort(Names.begin(), Names.end());
   return Names;
+}
+
+std::string FlagSet::fingerprint() const {
+  // Name=value pairs in registry (map/spec) order: any flag or limit edit
+  // — including registering a new flag with a non-default value semantics —
+  // changes the digest, so cached results can never outlive the policy
+  // that produced them.
+  std::vector<std::string> Parts;
+  Parts.reserve(Values.size() + limitSpecs().size());
+  for (const auto &[Name, Value] : Values)
+    Parts.push_back(Name + "=" + (Value ? "1" : "0"));
+  for (const LimitSpec &Spec : limitSpecs())
+    Parts.push_back(std::string(Spec.Name) + "=" +
+                    std::to_string(Limits.*(Spec.Field)));
+  return fnv1aHex(Parts);
 }
 
 bool FlagSet::isLimit(const std::string &Name) const {

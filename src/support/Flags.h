@@ -78,6 +78,14 @@ public:
   /// (for --help style listings).
   std::vector<std::string> knownFlags() const;
 
+  /// A 16-hex-digit FNV-1a fingerprint of the complete checking policy:
+  /// every boolean flag's value and every resource limit, in registry
+  /// order. Two FlagSets fingerprint equally iff a check run would behave
+  /// identically under them. This is the policy component of the check
+  /// service's cache key and the journal header's "flags" field — results
+  /// computed under one fingerprint are never replayed under another.
+  std::string fingerprint() const;
+
   //===--- resource limits (-limit* flags) --------------------------------===//
 
   /// The resource budget carried alongside the boolean flags. Checking

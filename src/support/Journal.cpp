@@ -14,7 +14,7 @@
 using namespace memlint;
 
 //===----------------------------------------------------------------------===//
-// Checksum
+// Checksums
 //===----------------------------------------------------------------------===//
 
 std::string memlint::fnv1aHex(const std::vector<std::string> &Parts) {
@@ -33,14 +33,51 @@ std::string memlint::fnv1aHex(const std::vector<std::string> &Parts) {
   return Buf;
 }
 
+std::string memlint::crc32Hex(const std::string &Text) {
+  // Bitwise CRC-32 (reflected IEEE 802.3). The cache validates a few
+  // hundred lines per load, so a table is not worth its cache footprint.
+  unsigned long Crc = 0xFFFFFFFFul;
+  for (char C : Text) {
+    Crc ^= static_cast<unsigned char>(C);
+    for (int Bit = 0; Bit < 8; ++Bit)
+      Crc = (Crc >> 1) ^ (0xEDB88320ul & (0ul - (Crc & 1ul)));
+  }
+  Crc ^= 0xFFFFFFFFul;
+  char Buf[9];
+  std::snprintf(Buf, sizeof(Buf), "%08lx", Crc & 0xFFFFFFFFul);
+  return Buf;
+}
+
 //===----------------------------------------------------------------------===//
 // Emission
 //===----------------------------------------------------------------------===//
 
 std::string memlint::journalHeaderLine(const std::string &CorpusChecksum,
-                                       unsigned long FileCount) {
-  return "{\"memlint_journal\":1,\"corpus\":" + jsonString(CorpusChecksum) +
-         ",\"files\":" + std::to_string(FileCount) + "}";
+                                       unsigned long FileCount,
+                                       const std::string &FlagsFingerprint) {
+  std::string Out = "{\"memlint_journal\":1,\"corpus\":" +
+                    jsonString(CorpusChecksum) +
+                    ",\"files\":" + std::to_string(FileCount);
+  if (!FlagsFingerprint.empty())
+    Out += ",\"flags\":" + jsonString(FlagsFingerprint);
+  return Out + "}";
+}
+
+std::string memlint::metricsJsonCompact(const MetricsSnapshot &Snapshot) {
+  std::string Out = "{\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, Value] : Snapshot.Counters) {
+    Out += (First ? "" : ",") + jsonString(Name) + ":" +
+           std::to_string(Value);
+    First = false;
+  }
+  Out += "},\"timers_ms\":{";
+  First = true;
+  for (const auto &[Name, Ms] : Snapshot.TimersMs) {
+    Out += (First ? "" : ",") + jsonString(Name) + ":" + jsonMs(Ms);
+    First = false;
+  }
+  return Out + "}}";
 }
 
 std::string memlint::journalEntryLine(const JournalEntry &Entry) {
@@ -72,68 +109,81 @@ std::string memlint::journalEntryLine(const JournalEntry &Entry) {
   }
   // Metrics are emitted only when collected, so journals from runs without
   // --metrics-out keep the historical byte format.
-  if (!Entry.Metrics.empty()) {
-    Out += ",\"metrics\":{\"counters\":{";
-    bool First = true;
-    for (const auto &[Name, Value] : Entry.Metrics.Counters) {
-      Out += (First ? "" : ",") + jsonString(Name) + ":" +
-             std::to_string(Value);
-      First = false;
-    }
-    Out += "},\"timers_ms\":{";
-    First = true;
-    for (const auto &[Name, Ms] : Entry.Metrics.TimersMs) {
-      Out += (First ? "" : ",") + jsonString(Name) + ":" + jsonMs(Ms);
-      First = false;
-    }
-    Out += "}}";
-  }
+  if (!Entry.Metrics.empty())
+    Out += ",\"metrics\":" + metricsJsonCompact(Entry.Metrics);
   return Out + "}";
 }
 
 //===----------------------------------------------------------------------===//
-// Parsing
+// Line scanning
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// A strict scanner for the JSON objects the journal emits: string keys
-/// mapping to strings, non-negative numbers, arrays of strings, or
-/// (depth-limited) nested objects of the same shape — the "metrics" field.
-/// Any deviation (truncation, garbage, excessive nesting) fails the whole
-/// line.
-class LineParser {
-public:
-  explicit LineParser(const std::string &Text) : Text(Text) {}
-
-  struct Value {
-    enum Kind { String, Number, StringArray, Object } K = Number;
-    std::string Str;
-    double Num = 0;
-    std::vector<std::string> Array;
-    /// Sub-fields in source order (K == Object). Recursion is bounded by
-    /// MaxObjectDepth, so hostile deep nesting fails instead of recursing.
-    std::vector<std::pair<std::string, Value>> Fields;
-
-    /// \returns the sub-field named \p Name, or null (Object kind only).
-    const Value *field(const std::string &Name) const {
-      for (const auto &[Key, V] : Fields)
-        if (Key == Name)
-          return &V;
-      return nullptr;
-    }
-  };
-
-  /// Parses the full line as one object; \p OnField is called per top-level
-  /// field. \returns false if the line is not a complete well-formed
-  /// object.
-  template <typename Fn> bool parseObject(Fn OnField) {
-    skipSpace();
-    if (!eat('{'))
+bool JsonLineParser::parseObject(
+    const std::function<void(const std::string &, const Value &)> &OnField) {
+  skipSpace();
+  if (!eat('{'))
+    return false;
+  skipSpace();
+  if (eat('}'))
+    return atEnd();
+  for (;;) {
+    std::string Key;
+    if (!parseString(Key))
       return false;
     skipSpace();
+    if (!eat(':'))
+      return false;
+    skipSpace();
+    Value V;
+    if (!parseValue(V, /*Depth=*/1))
+      return false;
+    OnField(Key, V);
+    skipSpace();
+    if (eat(',')) {
+      skipSpace();
+      continue;
+    }
     if (eat('}'))
       return atEnd();
+    return false;
+  }
+}
+
+bool JsonLineParser::parseValue(Value &V, unsigned Depth) {
+  if (Pos < Text.size() && Text[Pos] == '"') {
+    V.K = Value::String;
+    return parseString(V.Str);
+  }
+  if (Pos < Text.size() && Text[Pos] == '[') {
+    V.K = Value::StringArray;
+    ++Pos;
+    skipSpace();
+    if (!eat(']')) {
+      for (;;) {
+        std::string Elem;
+        if (!parseString(Elem))
+          return false;
+        V.Array.push_back(std::move(Elem));
+        skipSpace();
+        if (eat(',')) {
+          skipSpace();
+          continue;
+        }
+        if (eat(']'))
+          break;
+        return false;
+      }
+    }
+    return true;
+  }
+  if (Pos < Text.size() && Text[Pos] == '{') {
+    if (Depth >= MaxObjectDepth)
+      return false;
+    V.K = Value::Object;
+    ++Pos;
+    skipSpace();
+    if (eat('}'))
+      return true;
     for (;;) {
       std::string Key;
       if (!parseString(Key))
@@ -142,211 +192,139 @@ public:
       if (!eat(':'))
         return false;
       skipSpace();
-      Value V;
-      if (!parseValue(V, /*Depth=*/1))
+      Value Sub;
+      if (!parseValue(Sub, Depth + 1))
         return false;
-      OnField(Key, V);
+      V.Fields.emplace_back(std::move(Key), std::move(Sub));
       skipSpace();
       if (eat(',')) {
         skipSpace();
         continue;
       }
       if (eat('}'))
-        return atEnd();
-      return false;
-    }
-  }
-
-private:
-  /// Journal lines nest at most three levels ({entry} > metrics >
-  /// counters); one spare level keeps the format extensible without
-  /// admitting unbounded recursion.
-  static constexpr unsigned MaxObjectDepth = 4;
-
-  bool parseValue(Value &V, unsigned Depth) {
-    if (Pos < Text.size() && Text[Pos] == '"') {
-      V.K = Value::String;
-      return parseString(V.Str);
-    }
-    if (Pos < Text.size() && Text[Pos] == '[') {
-      V.K = Value::StringArray;
-      ++Pos;
-      skipSpace();
-      if (!eat(']')) {
-        for (;;) {
-          std::string Elem;
-          if (!parseString(Elem))
-            return false;
-          V.Array.push_back(std::move(Elem));
-          skipSpace();
-          if (eat(',')) {
-            skipSpace();
-            continue;
-          }
-          if (eat(']'))
-            break;
-          return false;
-        }
-      }
-      return true;
-    }
-    if (Pos < Text.size() && Text[Pos] == '{') {
-      if (Depth >= MaxObjectDepth)
-        return false;
-      V.K = Value::Object;
-      ++Pos;
-      skipSpace();
-      if (eat('}'))
         return true;
-      for (;;) {
-        std::string Key;
-        if (!parseString(Key))
-          return false;
-        skipSpace();
-        if (!eat(':'))
-          return false;
-        skipSpace();
-        Value Sub;
-        if (!parseValue(Sub, Depth + 1))
-          return false;
-        V.Fields.emplace_back(std::move(Key), std::move(Sub));
-        skipSpace();
-        if (eat(',')) {
-          skipSpace();
-          continue;
-        }
-        if (eat('}'))
-          return true;
-        return false;
-      }
-    }
-    V.K = Value::Number;
-    return parseNumber(V.Num);
-  }
-
-  bool parseString(std::string &Out) {
-    if (!eat('"'))
       return false;
-    Out.clear();
-    while (Pos < Text.size()) {
-      char C = Text[Pos++];
-      if (C == '"')
-        return true;
-      if (C != '\\') {
-        Out += C;
-        continue;
-      }
-      if (Pos >= Text.size())
-        return false;
-      char E = Text[Pos++];
-      switch (E) {
-      case '"':
-        Out += '"';
-        break;
-      case '\\':
-        Out += '\\';
-        break;
-      case '/':
-        Out += '/';
-        break;
-      case 'n':
-        Out += '\n';
-        break;
-      case 'r':
-        Out += '\r';
-        break;
-      case 't':
-        Out += '\t';
-        break;
-      case 'u': {
-        if (Pos + 4 > Text.size())
-          return false;
-        unsigned Code = 0;
-        for (int I = 0; I < 4; ++I) {
-          char H = Text[Pos++];
-          Code <<= 4;
-          if (H >= '0' && H <= '9')
-            Code |= static_cast<unsigned>(H - '0');
-          else if (H >= 'a' && H <= 'f')
-            Code |= static_cast<unsigned>(H - 'a' + 10);
-          else if (H >= 'A' && H <= 'F')
-            Code |= static_cast<unsigned>(H - 'A' + 10);
-          else
-            return false;
-        }
-        // We only ever emit \u00xx for control bytes; anything else is
-        // preserved as a literal '?' rather than attempting UTF-8.
-        Out += Code < 0x100 ? static_cast<char>(Code) : '?';
-        break;
-      }
-      default:
-        return false;
-      }
     }
-    return false; // unterminated
   }
+  V.K = Value::Number;
+  return parseNumber(V.Num);
+}
 
-  bool parseNumber(double &Out) {
-    size_t Start = Pos;
-    if (Pos < Text.size() && Text[Pos] == '-')
-      ++Pos;
-    while (Pos < Text.size() &&
-           ((Text[Pos] >= '0' && Text[Pos] <= '9') || Text[Pos] == '.' ||
-            Text[Pos] == 'e' || Text[Pos] == 'E' || Text[Pos] == '+' ||
-            Text[Pos] == '-'))
-      ++Pos;
-    if (Pos == Start)
-      return false;
-    std::string Num = Text.substr(Start, Pos - Start);
-    char *End = nullptr;
-    Out = std::strtod(Num.c_str(), &End);
-    return End && *End == '\0';
-  }
-
-  void skipSpace() {
-    while (Pos < Text.size() &&
-           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\r'))
-      ++Pos;
-  }
-
-  bool eat(char C) {
-    if (Pos < Text.size() && Text[Pos] == C) {
-      ++Pos;
-      return true;
-    }
+bool JsonLineParser::parseString(std::string &Out) {
+  if (!eat('"'))
     return false;
+  Out.clear();
+  while (Pos < Text.size()) {
+    char C = Text[Pos++];
+    if (C == '"')
+      return true;
+    if (C != '\\') {
+      Out += C;
+      continue;
+    }
+    if (Pos >= Text.size())
+      return false;
+    char E = Text[Pos++];
+    switch (E) {
+    case '"':
+      Out += '"';
+      break;
+    case '\\':
+      Out += '\\';
+      break;
+    case '/':
+      Out += '/';
+      break;
+    case 'n':
+      Out += '\n';
+      break;
+    case 'r':
+      Out += '\r';
+      break;
+    case 't':
+      Out += '\t';
+      break;
+    case 'u': {
+      if (Pos + 4 > Text.size())
+        return false;
+      unsigned Code = 0;
+      for (int I = 0; I < 4; ++I) {
+        char H = Text[Pos++];
+        Code <<= 4;
+        if (H >= '0' && H <= '9')
+          Code |= static_cast<unsigned>(H - '0');
+        else if (H >= 'a' && H <= 'f')
+          Code |= static_cast<unsigned>(H - 'a' + 10);
+        else if (H >= 'A' && H <= 'F')
+          Code |= static_cast<unsigned>(H - 'A' + 10);
+        else
+          return false;
+      }
+      // We only ever emit \u00xx for control bytes; anything else is
+      // preserved as a literal '?' rather than attempting UTF-8.
+      Out += Code < 0x100 ? static_cast<char>(Code) : '?';
+      break;
+    }
+    default:
+      return false;
+    }
   }
+  return false; // unterminated
+}
 
-  bool atEnd() {
-    skipSpace();
-    return Pos == Text.size();
+bool JsonLineParser::parseNumber(double &Out) {
+  size_t Start = Pos;
+  if (Pos < Text.size() && Text[Pos] == '-')
+    ++Pos;
+  while (Pos < Text.size() &&
+         ((Text[Pos] >= '0' && Text[Pos] <= '9') || Text[Pos] == '.' ||
+          Text[Pos] == 'e' || Text[Pos] == 'E' || Text[Pos] == '+' ||
+          Text[Pos] == '-'))
+    ++Pos;
+  if (Pos == Start)
+    return false;
+  std::string Num = Text.substr(Start, Pos - Start);
+  char *End = nullptr;
+  Out = std::strtod(Num.c_str(), &End);
+  return End && *End == '\0';
+}
+
+void JsonLineParser::skipSpace() {
+  while (Pos < Text.size() &&
+         (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\r'))
+    ++Pos;
+}
+
+bool JsonLineParser::eat(char C) {
+  if (Pos < Text.size() && Text[Pos] == C) {
+    ++Pos;
+    return true;
   }
+  return false;
+}
 
-  const std::string &Text;
-  size_t Pos = 0;
+bool JsonLineParser::atEnd() {
+  skipSpace();
+  return Pos == Text.size();
+}
 
-public:
-  using ValueT = Value;
-};
-
-/// Reads a journal "metrics" object ({"counters":{...},"timers_ms":{...}})
-/// into a snapshot. Unknown sub-fields are ignored; non-numeric leaves are
-/// skipped (the line already parsed, so this is shape-tolerant by design).
-void readMetricsValue(const LineParser::ValueT &V, MetricsSnapshot &Out) {
-  if (V.K != LineParser::ValueT::Object)
+void memlint::metricsFromJsonValue(const JsonLineParser::Value &V,
+                                   MetricsSnapshot &Out) {
+  if (V.K != JsonLineParser::Value::Object)
     return;
-  if (const LineParser::ValueT *Counters = V.field("counters"))
+  if (const JsonLineParser::Value *Counters = V.field("counters"))
     for (const auto &[Name, Sub] : Counters->Fields)
-      if (Sub.K == LineParser::ValueT::Number && Sub.Num >= 0)
-        Out.Counters[Name] =
-            static_cast<unsigned long long>(Sub.Num);
-  if (const LineParser::ValueT *Timers = V.field("timers_ms"))
+      if (Sub.K == JsonLineParser::Value::Number && Sub.Num >= 0)
+        Out.Counters[Name] = static_cast<unsigned long long>(Sub.Num);
+  if (const JsonLineParser::Value *Timers = V.field("timers_ms"))
     for (const auto &[Name, Sub] : Timers->Fields)
-      if (Sub.K == LineParser::ValueT::Number && Sub.Num >= 0)
+      if (Sub.K == JsonLineParser::Value::Number && Sub.Num >= 0)
         Out.TimersMs[Name] = Sub.Num;
 }
 
-} // namespace
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
 
 JournalContents memlint::parseJournal(const std::string &Text) {
   JournalContents Out;
@@ -367,19 +345,22 @@ JournalContents memlint::parseJournal(const std::string &Text) {
       First = false;
       bool SawMagic = false;
       JournalContents Header;
-      LineParser P(Line);
+      JsonLineParser P(Line);
       bool Parsed = P.parseObject(
-          [&](const std::string &Key, const LineParser::ValueT &V) {
+          [&](const std::string &Key, const JsonLineParser::Value &V) {
             if (Key == "memlint_journal")
               SawMagic = V.Num == 1;
             else if (Key == "corpus")
               Header.Checksum = V.Str;
+            else if (Key == "flags")
+              Header.FlagsFingerprint = V.Str;
             else if (Key == "files")
               Header.FileCount = static_cast<unsigned long>(V.Num);
           });
       if (Parsed && SawMagic && !Header.Checksum.empty()) {
         Out.HeaderValid = true;
         Out.Checksum = Header.Checksum;
+        Out.FlagsFingerprint = Header.FlagsFingerprint;
         Out.FileCount = Header.FileCount;
       } else {
         ++Out.CorruptLines;
@@ -389,9 +370,9 @@ JournalContents memlint::parseJournal(const std::string &Text) {
 
     JournalEntry Entry;
     bool SawFile = false, SawStatus = false;
-    LineParser P(Line);
+    JsonLineParser P(Line);
     bool Parsed = P.parseObject(
-        [&](const std::string &Key, const LineParser::ValueT &V) {
+        [&](const std::string &Key, const JsonLineParser::Value &V) {
           if (Key == "file") {
             Entry.File = V.Str;
             SawFile = !V.Str.empty();
@@ -412,12 +393,12 @@ JournalContents memlint::parseJournal(const std::string &Text) {
           } else if (Key == "diags") {
             Entry.Diagnostics = V.Str;
           } else if (Key == "classes") {
-            if (V.K == LineParser::ValueT::Object)
+            if (V.K == JsonLineParser::Value::Object)
               for (const auto &[Name, Sub] : V.Fields)
-                if (Sub.K == LineParser::ValueT::Number && Sub.Num >= 0)
+                if (Sub.K == JsonLineParser::Value::Number && Sub.Num >= 0)
                   Entry.Classes[Name] = static_cast<unsigned>(Sub.Num);
           } else if (Key == "metrics") {
-            readMetricsValue(V, Entry.Metrics);
+            metricsFromJsonValue(V, Entry.Metrics);
           }
         });
     if (Parsed && SawFile && SawStatus)

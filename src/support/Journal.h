@@ -8,9 +8,10 @@
 /// The batch driver's crash-/kill-resumable run journal: an append-only
 /// JSONL file recording one line per completed file, preceded by a header
 /// line carrying a checksum of the corpus (the ordered list of input
-/// names). A later `--resume` run re-reads the journal, verifies the
-/// checksum so results are never replayed onto a different corpus, and
-/// skips files that already have a valid entry.
+/// names) and a fingerprint of the invocation's FlagSet. A later `--resume`
+/// run re-reads the journal, verifies both so results are never replayed
+/// onto a different corpus or a different checking policy, and skips files
+/// that already have a valid entry.
 ///
 /// Robustness model: a run can be killed at any byte. Lines are written
 /// with a single flushed append each, so at most the final line can be
@@ -22,7 +23,8 @@
 ///
 /// Format (one JSON object per line, no pretty-printing):
 ///
-///   {"memlint_journal":1,"corpus":"<fnv1a64 hex>","files":12}
+///   {"memlint_journal":1,"corpus":"<fnv1a64 hex>","files":12,
+///    "flags":"<fnv1a64 hex>"}
 ///   {"file":"a.c","status":"ok","attempts":1,"anomalies":2,
 ///    "suppressed":0,"wall_ms":1.25,"reasons":[],"diags":"a.c:3: ...\n",
 ///    "classes":{"mustfree":1,"nullderef":1},
@@ -33,7 +35,13 @@
 /// so a resumed run can replay output without re-checking. "metrics" is
 /// present only when the run collected metrics (see support/Metrics.h); it
 /// carries the file's counters and phase timings so a resumed run can
-/// still aggregate a complete --metrics-out summary.
+/// still aggregate a complete --metrics-out summary. "flags" is present in
+/// headers written since the check service landed; journals without it are
+/// treated as unverifiable and rejected by --resume.
+///
+/// The single-line JSON scanner that backs the parser (JsonLineParser) is
+/// exposed here because the check service's persistent result cache
+/// (service/ResultCache.h) and the service request protocol reuse it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +50,7 @@
 
 #include "support/Metrics.h"
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -71,6 +80,10 @@ struct JournalEntry {
 struct JournalContents {
   bool HeaderValid = false; ///< first line parsed as a journal header
   std::string Checksum;     ///< the header's corpus checksum
+  /// The header's FlagSet fingerprint; empty for journals written before
+  /// the fingerprint was recorded (such journals cannot be verified
+  /// against the current invocation and are rejected by --resume).
+  std::string FlagsFingerprint;
   unsigned long FileCount = 0; ///< the header's file count
   std::vector<JournalEntry> Entries; ///< entry lines that parsed completely
   unsigned CorruptLines = 0; ///< non-empty lines discarded as unparsable
@@ -78,18 +91,29 @@ struct JournalContents {
 
 /// FNV-1a 64-bit over every string (each terminated by an NUL separator so
 /// {"ab","c"} and {"a","bc"} differ), rendered as 16 hex digits. Used to
-/// fingerprint the corpus in the journal header.
+/// fingerprint the corpus in the journal header and file contents in the
+/// result cache.
 std::string fnv1aHex(const std::vector<std::string> &Parts);
 
-/// Renders the journal header line (no trailing newline).
+/// CRC-32 (IEEE 802.3 polynomial) of \p Text, rendered as 8 hex digits.
+/// The result cache stamps every persisted entry with this so bit rot and
+/// partial overwrites are detected on load, independently of line framing.
+std::string crc32Hex(const std::string &Text);
+
+/// Renders the journal header line (no trailing newline). When
+/// \p FlagsFingerprint is non-empty it is recorded as the "flags" field;
+/// the empty default preserves the historical byte format for callers that
+/// do not carry a FlagSet (tests, tools).
 std::string journalHeaderLine(const std::string &CorpusChecksum,
-                              unsigned long FileCount);
+                              unsigned long FileCount,
+                              const std::string &FlagsFingerprint = "");
 
 /// Renders one entry line (no trailing newline).
 std::string journalEntryLine(const JournalEntry &Entry);
 
 /// Parses journal text, salvaging every intact line. Never throws; damage
-/// is reported via HeaderValid/CorruptLines.
+/// (truncated tails, garbage bytes, malformed lines anywhere in the file)
+/// is skipped and reported via HeaderValid/CorruptLines, never fatal.
 JournalContents parseJournal(const std::string &Text);
 
 /// Reads a whole file. \returns nullopt if it cannot be opened.
@@ -102,6 +126,74 @@ bool writeFileText(const std::string &Path, const std::string &Text);
 /// loses at most in-flight lines of other writers. \returns false on I/O
 /// failure.
 bool appendJournalLine(const std::string &Path, const std::string &Line);
+
+//===--- single-line JSON scanning -----------------------------------------===//
+
+/// A strict scanner for the JSON objects the journal-format files emit:
+/// string keys mapping to strings, numbers, arrays of strings, or
+/// (depth-limited) nested objects of the same shape. Any deviation —
+/// truncation, garbage, excessive nesting, trailing bytes — fails the
+/// whole line, which is what makes per-line salvage sound: a line either
+/// parses completely or is discarded.
+///
+/// Shared by the batch journal, the check service's result cache, and the
+/// service request protocol.
+class JsonLineParser {
+public:
+  explicit JsonLineParser(const std::string &Text) : Text(Text) {}
+
+  struct Value {
+    enum Kind { String, Number, StringArray, Object } K = Number;
+    std::string Str;
+    double Num = 0;
+    std::vector<std::string> Array;
+    /// Sub-fields in source order (K == Object). Recursion is bounded by
+    /// MaxObjectDepth, so hostile deep nesting fails instead of recursing.
+    std::vector<std::pair<std::string, Value>> Fields;
+
+    /// \returns the sub-field named \p Name, or null (Object kind only).
+    const Value *field(const std::string &Name) const {
+      for (const auto &[Key, V] : Fields)
+        if (Key == Name)
+          return &V;
+      return nullptr;
+    }
+  };
+
+  /// Parses the full line as one object; \p OnField is called per
+  /// top-level field. \returns false if the line is not a complete
+  /// well-formed object.
+  bool
+  parseObject(const std::function<void(const std::string &, const Value &)>
+                  &OnField);
+
+private:
+  /// Lines nest at most three levels ({entry} > metrics > counters); one
+  /// spare level keeps the format extensible without admitting unbounded
+  /// recursion.
+  static constexpr unsigned MaxObjectDepth = 4;
+
+  bool parseValue(Value &V, unsigned Depth);
+  bool parseString(std::string &Out);
+  bool parseNumber(double &Out);
+  void skipSpace();
+  bool eat(char C);
+  bool atEnd();
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+/// Renders a MetricsSnapshot as the journal's compact "metrics" object
+/// ({"counters":{...},"timers_ms":{...}}) — the byte format journal entry
+/// lines and cache entry lines embed.
+std::string metricsJsonCompact(const MetricsSnapshot &Snapshot);
+
+/// Reads a journal-format "metrics" object back into a snapshot. Unknown
+/// sub-fields are ignored; non-numeric leaves are skipped (the line
+/// already parsed, so this is shape-tolerant by design).
+void metricsFromJsonValue(const JsonLineParser::Value &V,
+                          MetricsSnapshot &Out);
 
 } // namespace memlint
 

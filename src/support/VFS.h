@@ -15,6 +15,7 @@
 #ifndef MEMLINT_SUPPORT_VFS_H
 #define MEMLINT_SUPPORT_VFS_H
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -24,6 +25,15 @@ namespace memlint {
 
 /// A flat name -> contents mapping used by the preprocessor for #include
 /// resolution and by the checker driver for main files.
+///
+/// Two optional hooks serve the check service (service/CheckService.h):
+/// a Loader consulted on read() misses (so a long-lived daemon can resolve
+/// request files and their #includes from disk on demand), and a read
+/// observer (so the service's result cache can record exactly which files
+/// a check consumed — its dependency set for content-hash invalidation).
+/// A VFS with a Loader installed mutates on read and is therefore NOT
+/// safe for concurrent readers; plain map-backed VFSes (no Loader) remain
+/// freely shareable across batch-driver workers.
 class VFS {
 public:
   /// Adds (or replaces) a file.
@@ -31,15 +41,52 @@ public:
     Files[std::move(Name)] = std::move(Contents);
   }
 
-  /// \returns the contents of \p Name, or nullopt if absent.
+  /// Drops \p Name from the in-memory map (a Loader may re-materialize it
+  /// on the next read). \returns true if the file was present.
+  bool drop(const std::string &Name) { return Files.erase(Name) != 0; }
+
+  /// \returns the contents of \p Name, or nullopt if absent. On a miss
+  /// with a Loader installed, the loader is consulted and a hit is cached
+  /// in the map. Every successful read reports \p Name to the observer.
   std::optional<std::string> read(const std::string &Name) const {
     auto It = Files.find(Name);
-    if (It == Files.end())
-      return std::nullopt;
+    if (It == Files.end()) {
+      if (!Loader)
+        return std::nullopt;
+      std::optional<std::string> Loaded = Loader(Name);
+      if (!Loaded)
+        return std::nullopt;
+      It = Files.emplace(Name, std::move(*Loaded)).first;
+    }
+    if (OnRead)
+      OnRead(Name);
     return It->second;
   }
 
-  bool exists(const std::string &Name) const { return Files.count(Name) != 0; }
+  bool exists(const std::string &Name) const {
+    if (Files.count(Name) != 0)
+      return true;
+    // Loader-backed existence materializes the file, so a later read
+    // cannot disagree with this answer.
+    if (!Loader)
+      return false;
+    std::optional<std::string> Loaded = Loader(Name);
+    if (!Loaded)
+      return false;
+    Files.emplace(Name, std::move(*Loaded));
+    return true;
+  }
+
+  /// Installs the read-miss fallback (empty function disables).
+  void setLoader(
+      std::function<std::optional<std::string>(const std::string &)> Fn) {
+    Loader = std::move(Fn);
+  }
+
+  /// Installs the successful-read observer (empty function disables).
+  void setReadObserver(std::function<void(const std::string &)> Fn) {
+    OnRead = std::move(Fn);
+  }
 
   /// All file names, sorted.
   std::vector<std::string> names() const {
@@ -55,7 +102,12 @@ public:
   bool addFromDisk(const std::string &Path);
 
 private:
-  std::map<std::string, std::string> Files;
+  /// Mutable so Loader hits materialize through the const read()/exists()
+  /// paths the preprocessor uses.
+  mutable std::map<std::string, std::string> Files;
+  mutable std::function<std::optional<std::string>(const std::string &)>
+      Loader;
+  std::function<void(const std::string &)> OnRead;
 };
 
 } // namespace memlint

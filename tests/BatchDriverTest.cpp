@@ -290,7 +290,7 @@ TEST(BatchDriverTest, ResumeSkipsCompletedFilesAndReplaysOutput) {
   EXPECT_EQ(C.Entries.size(), Names.size());
 }
 
-TEST(BatchDriverTest, JournalForDifferentCorpusIsNotReplayed) {
+TEST(BatchDriverTest, JournalForDifferentCorpusIsRejected) {
   VFS Files;
   std::vector<std::string> Names;
   buildCorpus(Files, Names, 4);
@@ -299,17 +299,79 @@ TEST(BatchDriverTest, JournalForDifferentCorpusIsNotReplayed) {
   BatchOptions Options;
   Options.JournalPath = Journal.str();
   BatchDriver(Options).run(Files, Names);
+  std::optional<std::string> Before = readFileText(Journal.str());
+  ASSERT_TRUE(Before.has_value());
 
-  // Same journal, different corpus: entries must not be replayed onto it.
+  // Same journal, different corpus: --resume must refuse outright, not
+  // silently re-check (which would clobber the journal being resumed).
   VFS OtherFiles;
   std::vector<std::string> OtherNames;
   buildCorpus(OtherFiles, OtherNames, 5);
   Options.Resume = true;
   BatchResult R = BatchDriver(Options).run(OtherFiles, OtherNames);
 
+  EXPECT_TRUE(R.JournalRejected);
   EXPECT_EQ(R.ResumedCount, 0u);
-  EXPECT_FALSE(R.JournalNote.empty());
-  EXPECT_EQ(R.Outcomes.size(), OtherNames.size());
+  EXPECT_TRUE(R.Outcomes.empty());
+  EXPECT_NE(R.JournalNote.find("--resume rejected"), std::string::npos)
+      << R.JournalNote;
+  EXPECT_NE(R.JournalNote.find(fnv1aHex(OtherNames)), std::string::npos)
+      << "note should name both checksums: " << R.JournalNote;
+  // The mismatched journal is left untouched for postmortem.
+  std::optional<std::string> After = readFileText(Journal.str());
+  ASSERT_TRUE(After.has_value());
+  EXPECT_EQ(*After, *Before);
+}
+
+TEST(BatchDriverTest, JournalForDifferentFlagsIsRejected) {
+  VFS Files;
+  std::vector<std::string> Names;
+  buildCorpus(Files, Names, 3);
+
+  TempPath Journal("batch_flags_mismatch.jsonl");
+  BatchOptions Options;
+  Options.JournalPath = Journal.str();
+  BatchDriver(Options).run(Files, Names);
+
+  // Same corpus, different checking policy: entries were produced under
+  // other flags, so replaying them would report diagnostics this
+  // invocation could never emit.
+  BatchOptions Changed = Options;
+  Changed.Check.Flags.limits().MaxTokens = 123;
+  Changed.Resume = true;
+  BatchResult R = BatchDriver(Changed).run(Files, Names);
+
+  EXPECT_TRUE(R.JournalRejected);
+  EXPECT_TRUE(R.Outcomes.empty());
+  EXPECT_NE(R.JournalNote.find("checking policy"), std::string::npos)
+      << R.JournalNote;
+
+  // Unchanged policy still resumes cleanly.
+  Options.Resume = true;
+  BatchResult Same = BatchDriver(Options).run(Files, Names);
+  EXPECT_FALSE(Same.JournalRejected);
+  EXPECT_EQ(Same.ResumedCount, Names.size());
+}
+
+TEST(BatchDriverTest, JournalWithoutPolicyFingerprintIsRejected) {
+  VFS Files;
+  std::vector<std::string> Names;
+  buildCorpus(Files, Names, 2);
+
+  // A legacy journal: valid header for this exact corpus, but no "flags"
+  // field. Its results cannot be verified against any invocation.
+  TempPath Journal("batch_legacy.jsonl");
+  ASSERT_TRUE(writeFileText(
+      Journal.str(), journalHeaderLine(fnv1aHex(Names), Names.size()) + "\n"));
+
+  BatchOptions Options;
+  Options.JournalPath = Journal.str();
+  Options.Resume = true;
+  BatchResult R = BatchDriver(Options).run(Files, Names);
+  EXPECT_TRUE(R.JournalRejected);
+  EXPECT_TRUE(R.Outcomes.empty());
+  EXPECT_NE(R.JournalNote.find("fingerprint"), std::string::npos)
+      << R.JournalNote;
 }
 
 //===--- retry ladder ----------------------------------------------------------===//

@@ -1,0 +1,615 @@
+//===--- ServiceTest.cpp - Persistent check service ----------------------------===//
+//
+// Part of memlint. See DESIGN.md §6f.
+//
+// The check service's contract: warm answers are byte-identical to cold
+// answers; editing one file invalidates exactly the entries that read it;
+// a policy change (flags, library version) discards the whole cache; any
+// damaged entry (CRC, torn write, stale key) degrades to a cold re-check,
+// never to wrong or missing diagnostics; and an overloaded service sheds
+// deterministically instead of hanging.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CheckService.h"
+#include "service/ResultCache.h"
+#include "service/ServiceSocket.h"
+#include "support/Journal.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+
+using namespace memlint;
+
+namespace {
+
+/// A unique temp path per test; removed on destruction.
+class TempPath {
+public:
+  explicit TempPath(const std::string &Stem) {
+    Path = ::testing::TempDir() + "/" + Stem;
+    std::remove(Path.c_str());
+  }
+  ~TempPath() { std::remove(Path.c_str()); }
+  const std::string &str() const { return Path; }
+
+private:
+  std::string Path;
+};
+
+/// An in-memory "disk" the service reads through, so tests can edit files
+/// between requests.
+using Disk = std::map<std::string, std::string>;
+
+ServiceOptions optionsOver(Disk &Files) {
+  ServiceOptions O;
+  O.FileSource = [&Files](const std::string &Name)
+      -> std::optional<std::string> {
+    auto It = Files.find(Name);
+    if (It == Files.end())
+      return std::nullopt;
+    return It->second;
+  };
+  return O;
+}
+
+/// Three modules, each a .c including its own .h; m1.c leaks.
+Disk threeModules() {
+  Disk D;
+  D["m0.h"] = "int f0(int x);\n";
+  D["m0.c"] = "#include \"m0.h\"\nint f0(int x) { return x + 1; }\n";
+  D["m1.h"] = "#include <stdlib.h>\nvoid f1(void);\n";
+  D["m1.c"] = "#include \"m1.h\"\n"
+              "void f1(void) { char *p = (char *)malloc(10); }\n";
+  D["m2.h"] = "int f2(int x);\n";
+  D["m2.c"] = "#include \"m2.h\"\nint f2(int x) { return x * 2; }\n";
+  return D;
+}
+
+ServiceRequest checkReq(const std::string &File) {
+  ServiceRequest R;
+  R.Kind = ServiceRequestKind::Check;
+  R.File = File;
+  return R;
+}
+
+unsigned long long counter(const MetricsSnapshot &S, const std::string &K) {
+  auto It = S.Counters.find(K);
+  return It == S.Counters.end() ? 0 : It->second;
+}
+
+CacheEntry sampleEntry() {
+  CacheEntry E;
+  E.File = "a.c";
+  E.ContentHash = fnv1aHex({"int f(void) { return 0; }\n"});
+  E.Deps["a.c"] = E.ContentHash;
+  E.Status = "ok";
+  E.Anomalies = 1;
+  E.Suppressed = 2;
+  E.Diagnostics = "a.c:1: warning: \"quoted\" text\n";
+  E.Classes["mustfree"] = 1;
+  E.Metrics.Counters["check.functions"] = 1;
+  return E;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Wire codec
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceCodec, RequestRoundTripAllKinds) {
+  for (ServiceRequestKind Kind :
+       {ServiceRequestKind::Check, ServiceRequestKind::Invalidate,
+        ServiceRequestKind::Stats, ServiceRequestKind::Shutdown}) {
+    ServiceRequest In;
+    In.Kind = Kind;
+    if (Kind == ServiceRequestKind::Check ||
+        Kind == ServiceRequestKind::Invalidate)
+      In.File = "dir/weird \"name\".c";
+    ServiceRequest Out;
+    ASSERT_TRUE(parseServiceRequestLine(serviceRequestLine(In), Out));
+    EXPECT_EQ(Out.Kind, In.Kind);
+    EXPECT_EQ(Out.File, In.File);
+  }
+}
+
+TEST(ServiceCodec, ReplyRoundTripPreservesDiagnosticsBytes) {
+  ServiceReply In;
+  In.Status = "degraded";
+  In.CacheHit = true;
+  In.Anomalies = 7;
+  In.Suppressed = 3;
+  In.Diagnostics = "a.c:1: null deref\n\twith \"tab\" and \\ backslash\n";
+  In.Note = "limittokens";
+  ServiceReply Out;
+  ASSERT_TRUE(parseServiceReplyLine(serviceReplyLine(In), Out));
+  EXPECT_EQ(Out.Status, In.Status);
+  EXPECT_TRUE(Out.CacheHit);
+  EXPECT_EQ(Out.Anomalies, In.Anomalies);
+  EXPECT_EQ(Out.Suppressed, In.Suppressed);
+  EXPECT_EQ(Out.Diagnostics, In.Diagnostics);
+  EXPECT_EQ(Out.Note, In.Note);
+}
+
+TEST(ServiceCodec, MalformedLinesRejected) {
+  ServiceRequest Req;
+  EXPECT_FALSE(parseServiceRequestLine("", Req));
+  EXPECT_FALSE(parseServiceRequestLine("not json", Req));
+  EXPECT_FALSE(parseServiceRequestLine("{\"op\":\"fry\"}", Req));
+  EXPECT_FALSE(parseServiceRequestLine("{\"file\":\"a.c\"}", Req));
+  ServiceReply Reply;
+  EXPECT_FALSE(parseServiceReplyLine("{\"cache_hit\":1}", Reply));
+  EXPECT_FALSE(parseServiceReplyLine("{\"status\":\"ok\"", Reply));
+}
+
+//===----------------------------------------------------------------------===//
+// Cache entry format: CRC, torn writes, stale keys
+//===----------------------------------------------------------------------===//
+
+TEST(ResultCacheFormat, EntryLineRoundTrips) {
+  CacheEntry E = sampleEntry();
+  CacheEntry Out;
+  ASSERT_TRUE(ResultCache::parseEntryLine(ResultCache::entryLine(E), Out));
+  EXPECT_EQ(Out.File, E.File);
+  EXPECT_EQ(Out.ContentHash, E.ContentHash);
+  EXPECT_EQ(Out.Deps, E.Deps);
+  EXPECT_EQ(Out.Status, E.Status);
+  EXPECT_EQ(Out.Anomalies, E.Anomalies);
+  EXPECT_EQ(Out.Suppressed, E.Suppressed);
+  EXPECT_EQ(Out.Diagnostics, E.Diagnostics);
+  EXPECT_EQ(Out.Classes, E.Classes);
+  EXPECT_EQ(Out.Metrics.Counters, E.Metrics.Counters);
+}
+
+TEST(ResultCacheFormat, EveryByteFlipIsCaught) {
+  // The CRC covers the whole payload: flipping any single byte of the
+  // line must make the entry unparsable (or, in the crc field itself,
+  // fail verification). No flip may yield a *different* parsed entry.
+  CacheEntry E = sampleEntry();
+  const std::string Line = ResultCache::entryLine(E);
+  for (size_t I = 0; I < Line.size(); ++I) {
+    std::string Bad = Line;
+    Bad[I] ^= 0x20;
+    CacheEntry Out;
+    EXPECT_FALSE(ResultCache::parseEntryLine(Bad, Out))
+        << "flip at " << I << " survived: " << Bad;
+  }
+}
+
+TEST(ResultCacheFormat, CacheCorruptFaultBreaksCrc) {
+  FaultInjector F(FaultKind::CacheCorrupt, 0);
+  const std::string Line =
+      ResultCache::entryLineFaulted(sampleEntry(), &F);
+  EXPECT_TRUE(F.fired());
+  CacheEntry Out;
+  EXPECT_FALSE(ResultCache::parseEntryLine(Line, Out));
+}
+
+TEST(ResultCacheFormat, CacheTornWriteFaultTruncates) {
+  FaultInjector F(FaultKind::CacheTornWrite, 0);
+  const std::string Whole = ResultCache::entryLine(sampleEntry());
+  const std::string Line =
+      ResultCache::entryLineFaulted(sampleEntry(), &F);
+  EXPECT_TRUE(F.fired());
+  EXPECT_LT(Line.size(), Whole.size());
+  CacheEntry Out;
+  EXPECT_FALSE(ResultCache::parseEntryLine(Line, Out));
+}
+
+TEST(ResultCacheFormat, StaleEntryFaultSurvivesCrcButMissesLookup) {
+  // StaleEntry rewrites the content hash *before* the CRC is stamped: the
+  // line is formally valid, so only the lookup's key check can catch it.
+  CacheEntry E = sampleEntry();
+  FaultInjector F(FaultKind::StaleEntry, 0);
+  const std::string Line = ResultCache::entryLineFaulted(E, &F);
+  EXPECT_TRUE(F.fired());
+  CacheEntry Out;
+  ASSERT_TRUE(ResultCache::parseEntryLine(Line, Out));
+  EXPECT_NE(Out.ContentHash, E.ContentHash);
+
+  ResultCache Cache("policy");
+  ASSERT_TRUE(Cache.loadFromText(ResultCache::headerLine("policy") + "\n" +
+                                 Line + "\n"));
+  ASSERT_EQ(Cache.size(), 1u);
+  const CacheEntry *Hit = Cache.lookup(
+      E.File, [&E](const std::string &) -> std::optional<std::string> {
+        return E.ContentHash; // the real, current hash
+      });
+  EXPECT_EQ(Hit, nullptr);
+  EXPECT_EQ(Cache.stats().StaleDropped, 1u);
+  EXPECT_EQ(Cache.size(), 0u);
+}
+
+TEST(ResultCacheFormat, WrongPolicyOrFormatDiscardsWholeFile) {
+  const std::string Entry = ResultCache::entryLine(sampleEntry());
+  ResultCache Wrong("other-policy");
+  EXPECT_FALSE(Wrong.loadFromText(ResultCache::headerLine("policy") + "\n" +
+                                  Entry + "\n"));
+  EXPECT_EQ(Wrong.size(), 0u);
+  ResultCache NoHeader("policy");
+  EXPECT_FALSE(NoHeader.loadFromText(Entry + "\n"));
+  EXPECT_EQ(NoHeader.size(), 0u);
+}
+
+TEST(ResultCacheFormat, LruEvictionIsBounded) {
+  ResultCache Cache("policy", 2);
+  for (int I = 0; I < 4; ++I) {
+    CacheEntry E = sampleEntry();
+    E.File = "f" + std::to_string(I) + ".c";
+    Cache.store(std::move(E));
+  }
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.stats().Evictions, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// The service: incremental reuse and invalidation (S3)
+//===----------------------------------------------------------------------===//
+
+TEST(CheckService, EditingOneModuleRecomputesOnlyThatModule) {
+  Disk D = threeModules();
+  CheckService Service(optionsOver(D));
+
+  // Cold pass: everything misses.
+  std::map<std::string, ServiceReply> Cold;
+  for (const char *F : {"m0.c", "m1.c", "m2.c"}) {
+    Cold[F] = Service.handle(checkReq(F));
+    EXPECT_FALSE(Cold[F].CacheHit) << F;
+  }
+  EXPECT_EQ(Cold["m1.c"].Anomalies, 1u); // the leak
+  EXPECT_EQ(Cold["m0.c"].Anomalies, 0u);
+
+  // Warm pass: everything hits, byte-identical.
+  for (const char *F : {"m0.c", "m1.c", "m2.c"}) {
+    ServiceReply Warm = Service.handle(checkReq(F));
+    EXPECT_TRUE(Warm.CacheHit) << F;
+    EXPECT_EQ(Warm.Diagnostics, Cold[F].Diagnostics) << F;
+    EXPECT_EQ(Warm.Status, Cold[F].Status) << F;
+    EXPECT_EQ(Warm.Anomalies, Cold[F].Anomalies) << F;
+  }
+
+  // Fix m1's leak; only m1.c may recompute.
+  D["m1.c"] = "#include \"m1.h\"\n"
+              "void f1(void) { char *p = (char *)malloc(10); free(p); }\n";
+  ServiceReply M1 = Service.handle(checkReq("m1.c"));
+  EXPECT_FALSE(M1.CacheHit);
+  EXPECT_EQ(M1.Anomalies, 0u);
+  EXPECT_TRUE(Service.handle(checkReq("m0.c")).CacheHit);
+  EXPECT_TRUE(Service.handle(checkReq("m2.c")).CacheHit);
+
+  MetricsSnapshot M = Service.metrics();
+  EXPECT_EQ(counter(M, "service.cold_checks"), 4u); // 3 cold + 1 re-check
+  EXPECT_EQ(counter(M, "cache.stale_dropped"), 1u);
+  EXPECT_EQ(counter(M, "service.requests"), 9u);
+}
+
+TEST(CheckService, EditingASharedHeaderInvalidatesItsIncluder) {
+  Disk D = threeModules();
+  CheckService Service(optionsOver(D));
+  Service.handle(checkReq("m0.c"));
+  Service.handle(checkReq("m2.c"));
+
+  // m0.h is in m0.c's include closure, not m2.c's.
+  D["m0.h"] = "int f0(int x); /* edited */\n";
+  EXPECT_FALSE(Service.handle(checkReq("m0.c")).CacheHit);
+  EXPECT_TRUE(Service.handle(checkReq("m2.c")).CacheHit);
+}
+
+TEST(CheckService, InvalidateDropsExactlyThatEntry) {
+  Disk D = threeModules();
+  CheckService Service(optionsOver(D));
+  Service.handle(checkReq("m0.c"));
+  Service.handle(checkReq("m2.c"));
+
+  ServiceRequest Inv;
+  Inv.Kind = ServiceRequestKind::Invalidate;
+  Inv.File = "m0.c";
+  EXPECT_EQ(Service.handle(Inv).Status, "invalidated");
+  EXPECT_EQ(Service.handle(Inv).Status, "absent"); // second time: gone
+
+  EXPECT_FALSE(Service.handle(checkReq("m0.c")).CacheHit);
+  EXPECT_TRUE(Service.handle(checkReq("m2.c")).CacheHit);
+}
+
+TEST(CheckService, MissingFileIsAnErrorNotACrash) {
+  Disk D;
+  CheckService Service(optionsOver(D));
+  ServiceReply R = Service.handle(checkReq("ghost.c"));
+  EXPECT_EQ(R.Status, "error");
+  EXPECT_NE(R.Note.find("ghost.c"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Persistence: restart, policy change, corruption recovery (S3)
+//===----------------------------------------------------------------------===//
+
+TEST(CheckService, RestartServesPersistedResultsByteIdentical) {
+  Disk D = threeModules();
+  TempPath Cache("svc_restart.cache.jsonl");
+  ServiceOptions O = optionsOver(D);
+  O.CachePath = Cache.str();
+
+  ServiceReply Cold;
+  {
+    CheckService Service(O);
+    EXPECT_TRUE(Service.cacheLoadedClean());
+    Cold = Service.handle(checkReq("m1.c"));
+    EXPECT_FALSE(Cold.CacheHit);
+    Service.stop(); // graceful: compacted flush
+  }
+  {
+    CheckService Service(O);
+    EXPECT_TRUE(Service.cacheLoadedClean());
+    ServiceReply Warm = Service.handle(checkReq("m1.c"));
+    EXPECT_TRUE(Warm.CacheHit);
+    EXPECT_EQ(Warm.Diagnostics, Cold.Diagnostics);
+    EXPECT_EQ(Warm.Status, Cold.Status);
+    EXPECT_EQ(Warm.Anomalies, Cold.Anomalies);
+    EXPECT_EQ(Warm.Suppressed, Cold.Suppressed);
+  }
+}
+
+TEST(CheckService, PolicyChangeDiscardsThePersistedCache) {
+  Disk D = threeModules();
+  TempPath Cache("svc_policy.cache.jsonl");
+  ServiceOptions O = optionsOver(D);
+  O.CachePath = Cache.str();
+  {
+    CheckService Service(O);
+    Service.handle(checkReq("m0.c"));
+    Service.stop();
+  }
+  // Same cache file, different checking policy: the persisted entries
+  // were computed under other flags and must not be served.
+  ServiceOptions Changed = optionsOver(D);
+  Changed.CachePath = Cache.str();
+  Changed.Check.Flags.limits().MaxTokens = 123;
+  {
+    CheckService Service(Changed);
+    EXPECT_FALSE(Service.cacheLoadedClean());
+    EXPECT_FALSE(Service.handle(checkReq("m0.c")).CacheHit);
+    Service.stop();
+  }
+  // And back under the original policy: the file now records the changed
+  // policy, so the original must also start cold — never serve across.
+  {
+    CheckService Service(O);
+    EXPECT_FALSE(Service.cacheLoadedClean());
+    EXPECT_FALSE(Service.handle(checkReq("m0.c")).CacheHit);
+  }
+}
+
+TEST(CheckService, CorruptEntryFallsBackColdWithIdenticalDiagnostics) {
+  Disk D = threeModules();
+  TempPath Cache("svc_corrupt.cache.jsonl");
+  ServiceOptions O = optionsOver(D);
+  O.CachePath = Cache.str();
+
+  ServiceReply Cold;
+  {
+    CheckService Service(O);
+    Cold = Service.handle(checkReq("m1.c"));
+    Service.handle(checkReq("m2.c"));
+    Service.stop();
+  }
+
+  // Rot one byte inside m1.c's persisted entry (past the CRC stamp time).
+  std::optional<std::string> Text = readFileText(Cache.str());
+  ASSERT_TRUE(Text);
+  size_t At = Text->find("m1.c");
+  ASSERT_NE(At, std::string::npos);
+  (*Text)[At] = 'X';
+  ASSERT_TRUE(writeFileText(Cache.str(), *Text));
+
+  {
+    CheckService Service(O);
+    EXPECT_TRUE(Service.cacheLoadedClean()); // header fine; entry dropped
+    ServiceReply Re = Service.handle(checkReq("m1.c"));
+    EXPECT_FALSE(Re.CacheHit); // cold fallback, not a wrong answer
+    EXPECT_EQ(Re.Diagnostics, Cold.Diagnostics);
+    EXPECT_EQ(Re.Anomalies, Cold.Anomalies);
+    EXPECT_TRUE(Service.handle(checkReq("m2.c")).CacheHit); // undamaged
+    MetricsSnapshot M = Service.metrics();
+    EXPECT_GE(counter(M, "cache.corrupt_recovered"), 1u);
+  }
+}
+
+TEST(CheckService, TornTailIsTruncatedOnAttach) {
+  Disk D = threeModules();
+  TempPath Cache("svc_torn.cache.jsonl");
+  ServiceOptions O = optionsOver(D);
+  O.CachePath = Cache.str();
+  {
+    CheckService Service(O);
+    Service.handle(checkReq("m0.c"));
+    Service.stop();
+  }
+  // Simulate kill -9 mid-append: a half-written line at the tail.
+  std::optional<std::string> Text = readFileText(Cache.str());
+  ASSERT_TRUE(Text);
+  ASSERT_TRUE(writeFileText(Cache.str(),
+                            *Text + "{\"file\":\"m9.c\",\"content\":\"12"));
+  {
+    CheckService Service(O);
+    EXPECT_TRUE(Service.cacheLoadedClean());
+    EXPECT_TRUE(Service.handle(checkReq("m0.c")).CacheHit);
+  }
+  // attachFile compacts immediately: the torn bytes are gone from disk.
+  Text = readFileText(Cache.str());
+  ASSERT_TRUE(Text);
+  EXPECT_EQ(Text->find("m9.c"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Queueing: deterministic shedding, graceful drain
+//===----------------------------------------------------------------------===//
+
+TEST(CheckService, OverloadShedsDeterministically) {
+  // Gate the first cold check inside FileSource (called without the
+  // service lock) so the worker is provably busy while we fill the queue.
+  std::mutex GateMu;
+  std::condition_variable GateCv;
+  bool InCheck = false, Release = false;
+
+  ServiceOptions O;
+  O.QueueLimit = 1;
+  O.FileSource =
+      [&](const std::string &) -> std::optional<std::string> {
+    {
+      std::unique_lock<std::mutex> Lock(GateMu);
+      InCheck = true;
+      GateCv.notify_all();
+      GateCv.wait(Lock, [&] { return Release; });
+    }
+    return "int f(void) { return 0; }\n";
+  };
+
+  CheckService Service(O);
+  std::atomic<unsigned> Completed{0};
+  auto Count = [&Completed](const ServiceReply &) { ++Completed; };
+
+  ASSERT_TRUE(Service.submit(checkReq("a.c"), Count));
+  {
+    std::unique_lock<std::mutex> Lock(GateMu);
+    GateCv.wait(Lock, [&] { return InCheck; }); // worker holds a.c now
+  }
+  ASSERT_TRUE(Service.submit(checkReq("b.c"), Count)); // fills the queue
+
+  ServiceReply Shed;
+  EXPECT_FALSE(Service.submit(checkReq("c.c"),
+                              [&Shed](const ServiceReply &R) { Shed = R; }));
+  EXPECT_EQ(Shed.Status, "overloaded");
+  EXPECT_NE(Shed.Note.find("retry later"), std::string::npos);
+
+  {
+    std::lock_guard<std::mutex> Lock(GateMu);
+    Release = true;
+  }
+  GateCv.notify_all();
+  Service.stop(); // graceful drain: a.c and b.c still complete
+  EXPECT_EQ(Completed.load(), 2u);
+  EXPECT_EQ(counter(Service.metrics(), "service.shed_requests"), 1u);
+}
+
+TEST(CheckService, SubmitAfterStopIsShedAsStopping) {
+  Disk D = threeModules();
+  CheckService Service(optionsOver(D));
+  Service.stop();
+  ServiceReply Shed;
+  EXPECT_FALSE(Service.submit(checkReq("m0.c"),
+                              [&Shed](const ServiceReply &R) { Shed = R; }));
+  EXPECT_EQ(Shed.Status, "stopping");
+}
+
+//===----------------------------------------------------------------------===//
+// Counter identity across cold and warm runs (S6)
+//===----------------------------------------------------------------------===//
+
+TEST(CheckService, WarmRunFoldsIdenticalCheckCountersToColdRun) {
+  Disk D = threeModules();
+  TempPath Cache("svc_counters.cache.jsonl");
+  ServiceOptions O = optionsOver(D);
+  O.CachePath = Cache.str();
+  O.CollectMetrics = true;
+
+  MetricsSnapshot Cold, Warm;
+  {
+    CheckService Service(O);
+    for (const char *F : {"m0.c", "m1.c", "m2.c"})
+      Service.handle(checkReq(F));
+    Service.stop();
+    Cold = Service.metrics();
+  }
+  {
+    CheckService Service(O);
+    for (const char *F : {"m0.c", "m1.c", "m2.c"})
+      EXPECT_TRUE(Service.handle(checkReq(F)).CacheHit) << F;
+    Service.stop();
+    Warm = Service.metrics();
+  }
+
+  EXPECT_EQ(counter(Cold, "service.cold_checks"), 3u);
+  EXPECT_EQ(counter(Warm, "service.cold_checks"), 0u);
+  EXPECT_EQ(counter(Warm, "cache.hits"), 3u);
+  EXPECT_EQ(counter(Cold, "service.requests"),
+            counter(Warm, "service.requests"));
+
+  // Identity: a hit folds the producing run's metrics, so everything that
+  // is not a service./cache. counter — the per-check work accounting —
+  // must be *equal*, not merely close, between the two runs.
+  auto IsServiceSide = [](const std::string &Key) {
+    return Key.compare(0, 8, "service.") == 0 ||
+           Key.compare(0, 6, "cache.") == 0;
+  };
+  for (const auto &[Key, Value] : Cold.Counters)
+    if (!IsServiceSide(Key))
+      EXPECT_EQ(counter(Warm, Key), Value) << Key;
+  for (const auto &[Key, Value] : Warm.Counters)
+    if (!IsServiceSide(Key))
+      EXPECT_EQ(counter(Cold, Key), Value) << Key;
+  // The stored snapshots carry the producing run's timers too; the JSON
+  // round trip renders ms at two decimals, so the replay matches to
+  // rounding (3 folded entries => at most 3 * 0.005 drift per timer).
+  ASSERT_EQ(Cold.TimersMs.size(), Warm.TimersMs.size());
+  for (const auto &[Key, Ms] : Cold.TimersMs) {
+    ASSERT_TRUE(Warm.TimersMs.count(Key)) << Key;
+    EXPECT_NEAR(Warm.TimersMs.at(Key), Ms, 0.02) << Key;
+  }
+  EXPECT_GT(Cold.Counters.size(), 3u); // per-check metrics actually folded
+}
+
+//===----------------------------------------------------------------------===//
+// Socket front end
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceSocket, RoundTripWarmAndColdThenShutdown) {
+  Disk D = threeModules();
+  CheckService Service(optionsOver(D));
+  ServiceSocket Socket;
+  TempPath Sock("svc_rt.sock");
+  std::string Error;
+  ASSERT_TRUE(Socket.listenOn(Sock.str(), Error)) << Error;
+
+  std::atomic<bool> Stop{false};
+  std::thread Server([&] { Socket.serve(Service, Stop); });
+
+  auto RoundTrip = [&](const ServiceRequest &Req) {
+    std::string Err;
+    std::optional<std::string> Line =
+        serviceRoundTrip(Sock.str(), serviceRequestLine(Req), Err);
+    EXPECT_TRUE(Line) << Err;
+    ServiceReply R;
+    EXPECT_TRUE(parseServiceReplyLine(Line ? *Line : "", R));
+    return R;
+  };
+
+  ServiceReply Cold = RoundTrip(checkReq("m1.c"));
+  EXPECT_EQ(Cold.Status, "ok");
+  EXPECT_EQ(Cold.Anomalies, 1u); // the leak
+  EXPECT_FALSE(Cold.CacheHit);
+  ServiceReply Warm = RoundTrip(checkReq("m1.c"));
+  EXPECT_TRUE(Warm.CacheHit);
+  EXPECT_EQ(Warm.Diagnostics, Cold.Diagnostics);
+
+  // A malformed request line gets an explicit error reply, not a hang.
+  std::string Err;
+  std::optional<std::string> Bad =
+      serviceRoundTrip(Sock.str(), "this is not json", Err);
+  ASSERT_TRUE(Bad) << Err;
+  ServiceReply BadReply;
+  ASSERT_TRUE(parseServiceReplyLine(*Bad, BadReply));
+  EXPECT_EQ(BadReply.Status, "error");
+
+  ServiceRequest Down;
+  Down.Kind = ServiceRequestKind::Shutdown;
+  EXPECT_EQ(RoundTrip(Down).Status, "stopping");
+  Server.join(); // serve() exits once the service reports stopping
+  Socket.close();
+}
