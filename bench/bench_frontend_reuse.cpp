@@ -1,0 +1,173 @@
+//===--- bench_frontend_reuse.cpp - Shared front-end speedup ----------------===//
+//
+// Part of memlint. See DESIGN.md §5c.
+//
+// A batch run re-lexes and re-preprocesses the same text over and over: the
+// annotated-library prelude plus every common header, once per translation
+// unit. The shared front end memoizes those expansions during a warmup pass
+// and replays them in every worker. This bench measures exactly that axis —
+// front-end (lex + pp) milliseconds across a shared-header corpus, cache on
+// vs off — and verifies the contract while at it: byte-identical
+// diagnostics and a cache that actually hits.
+//
+// ci.sh gates on the JSON this writes: speedup >= 2x under release-lto.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "driver/BatchDriver.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace memlint;
+using namespace memlint::corpus;
+
+namespace {
+
+Program frontEndCorpus() {
+  GenOptions O;
+  O.Modules = 48;
+  O.FunctionsPerModule = 6;
+  O.SharedHeaders = 8;
+  O.Seed = 7;
+  return syntheticProgram(O);
+}
+
+struct FrontendRun {
+  double FrontendMs = 0; ///< phase.lex + phase.pp, warmup included
+  unsigned long long CacheHits = 0;
+  unsigned long long BytesSaved = 0;
+  unsigned long long InternHits = 0;
+  std::string Rendered;
+  unsigned Anomalies = 0;
+};
+
+double timer(const MetricsSnapshot &M, const std::string &K) {
+  auto It = M.TimersMs.find(K);
+  return It == M.TimersMs.end() ? 0 : It->second;
+}
+
+unsigned long long counter(const MetricsSnapshot &M, const std::string &K) {
+  auto It = M.Counters.find(K);
+  return It == M.Counters.end() ? 0 : It->second;
+}
+
+FrontendRun runOnce(const Program &P, bool Shared) {
+  BatchOptions Opts;
+  Opts.Jobs = 1; // single-threaded: timers sum cleanly, no scheduler noise
+  Opts.SharedFrontend = Shared;
+  Opts.Check.FrontendCache = Shared;
+  Opts.CollectMetrics = true;
+  BatchDriver Driver(Opts);
+  BatchResult R = Driver.run(P.Files, P.MainFiles);
+  FrontendRun Out;
+  Out.FrontendMs = timer(R.Metrics, "phase.lex") +
+                   timer(R.Metrics, "phase.pp") +
+                   timer(R.Metrics, "warmup.phase.lex") +
+                   timer(R.Metrics, "warmup.phase.pp");
+  Out.CacheHits = counter(R.Metrics, "pp.include_cache.hit");
+  Out.BytesSaved = counter(R.Metrics, "pp.include_cache.bytes_saved");
+  Out.InternHits = counter(R.Metrics, "lex.intern.hit");
+  Out.Rendered = R.render();
+  Out.Anomalies = R.TotalAnomalies;
+  return Out;
+}
+
+void writeJson(double OffMs, double OnMs, double Speedup,
+               const FrontendRun &On, bool ByteIdentical, unsigned Files,
+               unsigned Lines) {
+  FILE *F = fopen("BENCH_frontend_reuse.json", "w");
+  if (!F) {
+    fprintf(stderr, "cannot write BENCH_frontend_reuse.json\n");
+    return;
+  }
+  fprintf(F, "{\n");
+  fprintf(F, "  \"bench\": \"frontend_reuse\",\n");
+  fprintf(F, "  \"unit\": \"ms\",\n");
+  fprintf(F, "  \"corpus\": {\"files\": %u, \"lines\": %u},\n", Files, Lines);
+  fprintf(F, "  \"frontend_ms_off\": %.2f,\n", OffMs);
+  fprintf(F, "  \"frontend_ms_on\": %.2f,\n", OnMs);
+  fprintf(F, "  \"speedup\": %.2f,\n", Speedup);
+  fprintf(F, "  \"include_cache_hits\": %llu,\n", On.CacheHits);
+  fprintf(F, "  \"include_cache_bytes_saved\": %llu,\n", On.BytesSaved);
+  fprintf(F, "  \"intern_hits\": %llu,\n", On.InternHits);
+  fprintf(F, "  \"byte_identical\": %s,\n", ByteIdentical ? "true" : "false");
+  fprintf(F, "  \"reproduced\": %s\n",
+          (Speedup >= 2.0 && ByteIdentical) ? "true" : "false");
+  fprintf(F, "}\n");
+  fclose(F);
+  printf("wrote BENCH_frontend_reuse.json\n\n");
+}
+
+void printReproduction() {
+  Program P = frontEndCorpus();
+  const unsigned Lines = totalLines(P);
+  printf("=============================================================\n");
+  printf(" Front-end reuse: memoized #include expansion (DESIGN §5c)\n");
+  printf(" corpus: %zu files, %u lines (%u shared headers per module)\n",
+         P.Files.names().size(), Lines, 8u);
+  printf("=============================================================\n");
+
+  // Best-of-N on each side: front-end time is small, so take the minimum
+  // over repeats to shed scheduler noise before forming the ratio.
+  const int Reps = 5;
+  FrontendRun Off, On;
+  double OffMs = 0, OnMs = 0;
+  for (int I = 0; I < Reps; ++I) {
+    FrontendRun R = runOnce(P, false);
+    if (I == 0 || R.FrontendMs < OffMs) {
+      OffMs = R.FrontendMs;
+      Off = R;
+    }
+  }
+  for (int I = 0; I < Reps; ++I) {
+    FrontendRun R = runOnce(P, true);
+    if (I == 0 || R.FrontendMs < OnMs) {
+      OnMs = R.FrontendMs;
+      On = R;
+    }
+  }
+
+  const bool ByteIdentical = Off.Rendered == On.Rendered;
+  const double Speedup = OnMs > 0 ? OffMs / OnMs : 0;
+  printf("front-end (lex+pp, warmup incl.):  off %.2f ms   on %.2f ms\n",
+         OffMs, OnMs);
+  printf("speedup: %.2fx   include-cache hits: %llu (%.1f KB of header "
+         "text replayed)\n",
+         Speedup, On.CacheHits, On.BytesSaved / 1024.0);
+  printf("interned spelling hits: %llu\n", On.InternHits);
+  printf("diagnostics byte-identical: %s (off: %u anomalies, on: %u)\n",
+         ByteIdentical ? "yes" : "NO", Off.Anomalies, On.Anomalies);
+  if (On.CacheHits == 0)
+    printf("!! cache never hit — the shared front end is not engaging\n");
+  printf("verdict: %s\n\n",
+         (Speedup >= 2.0 && ByteIdentical && On.CacheHits > 0)
+             ? "REPRODUCED (>= 2x)"
+             : "MISMATCH");
+
+  writeJson(OffMs, OnMs, Speedup, On, ByteIdentical,
+            static_cast<unsigned>(P.Files.names().size()), Lines);
+}
+
+void BM_BatchFrontend(benchmark::State &State) {
+  Program P = frontEndCorpus();
+  const bool Shared = State.range(0) != 0;
+  for (auto _ : State) {
+    FrontendRun R = runOnce(P, Shared);
+    benchmark::DoNotOptimize(R.Rendered.size());
+  }
+  State.SetLabel(Shared ? "shared-frontend" : "cold-frontend");
+}
+BENCHMARK(BM_BatchFrontend)->Arg(0)->Arg(1);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -73,12 +73,21 @@ void writeJson(const std::vector<SeriesPoint> &Series, double Ratio,
 }
 
 double checkMillis(const Program &P) {
-  auto T0 = std::chrono::steady_clock::now();
-  CheckResult R = Checker::checkFiles(P.Files, P.MainFiles);
-  auto T1 = std::chrono::steady_clock::now();
-  if (R.anomalyCount() != 0)
-    printf("  !! unexpected anomalies: %u\n", R.anomalyCount());
-  return std::chrono::duration<double, std::milli>(T1 - T0).count();
+  // Best-of-3: single samples at the 100 kLOC point swing by 30% or more
+  // on a loaded machine, and both the checked-in record and the ci.sh
+  // ms/kLOC gate read this number.
+  double Best = 0;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    auto T0 = std::chrono::steady_clock::now();
+    CheckResult R = Checker::checkFiles(P.Files, P.MainFiles);
+    auto T1 = std::chrono::steady_clock::now();
+    if (R.anomalyCount() != 0)
+      printf("  !! unexpected anomalies: %u\n", R.anomalyCount());
+    double Ms = std::chrono::duration<double, std::milli>(T1 - T0).count();
+    if (Rep == 0 || Ms < Best)
+      Best = Ms;
+  }
+  return Best;
 }
 
 void printReproduction() {

@@ -109,6 +109,11 @@ cmp -s "$SMOKE/m1.counters" "$SMOKE/m4.counters" || \
   { echo "obs smoke: metrics counters differ between -j1 and -j4"; exit 1; }
 grep -q '"batch.files": 12' "$SMOKE/m1.counters" || \
   { echo "obs smoke: metrics lack batch.files count"; exit 1; }
+# The shared front end must engage on a multi-file batch: every worker
+# after the warmup replays the memoized prelude expansion at least.
+if ! grep -q '"pp.include_cache.hit": [1-9]' "$SMOKE/m1.counters"; then
+  echo "obs smoke: shared front end never hit (pp.include_cache.hit)"; exit 1
+fi
 echo "observability smoke ok"
 
 echo "== differential fuzz smoke =="
@@ -253,7 +258,7 @@ echo "== bench smoke (release-lto) =="
 cmake --preset release-lto
 cmake --build --preset release-lto -j "$JOBS" \
   --target bench_env_scaling bench_sec7_scaling bench_observability_overhead \
-  bench_incremental
+  bench_incremental bench_frontend_reuse
 
 BENCHDIR=$PWD/build-lto/bench
 # Benchmarks write BENCH_*.json into the working directory; run them there.
@@ -278,6 +283,17 @@ check_json "$BENCHDIR/BENCH_env_scaling.json" \
   bench workloads speedup split_speedup_min acceptance_pass
 check_json "$BENCHDIR/BENCH_sec7_scaling.json" \
   bench series linearity_ratio modular_speedup
+# Per-run include memoization keeps the big-corpus point under 4.5 ms/kLOC
+# (it was 4.55 before the front-end cache).
+awk '/"modules": 400/ {
+       if (match($0, /"ms_per_kloc": [0-9.]+/)) {
+         v = substr($0, RSTART + 15, RLENGTH - 15) + 0
+         if (v >= 4.5) exit 1
+         found = 1
+       }
+     }
+     END { exit found ? 0 : 1 }' "$BENCHDIR/BENCH_sec7_scaling.json" || \
+  { echo "bench smoke: 400-module point missing or >= 4.5 ms/kLOC"; exit 1; }
 grep -q '"acceptance_pass": true' "$BENCHDIR/BENCH_env_scaling.json" || \
   { echo "bench smoke: env split-throughput acceptance failed"; exit 1; }
 check_json "$BENCHDIR/BENCH_observability_overhead.json" \
@@ -285,6 +301,19 @@ check_json "$BENCHDIR/BENCH_observability_overhead.json" \
 grep -q '"acceptance_pass": true' \
   "$BENCHDIR/BENCH_observability_overhead.json" || \
   { echo "bench smoke: metrics disabled-path overhead exceeds 2%"; exit 1; }
+
+# The shared front-end gate: on a shared-header corpus the memoized
+# #include expansion must cut front-end (lex+pp) time by at least 2x with
+# byte-identical diagnostics and a cache that actually hits ("reproduced"
+# covers all three).
+(cd "$BENCHDIR" && ./bench_frontend_reuse --benchmark_list_tests > /dev/null)
+check_json "$BENCHDIR/BENCH_frontend_reuse.json" \
+  bench frontend_ms_off frontend_ms_on speedup include_cache_hits \
+  byte_identical reproduced
+grep -q '"byte_identical": true' "$BENCHDIR/BENCH_frontend_reuse.json" || \
+  { echo "bench smoke: shared front end changed diagnostics"; exit 1; }
+grep -q '"reproduced": true' "$BENCHDIR/BENCH_frontend_reuse.json" || \
+  { echo "bench smoke: front-end reuse speedup below 2x"; exit 1; }
 
 # The incremental-reuse gate: a warm service re-check of the 400-module
 # Section 7 corpus after a 1-module edit must beat the cold run by > 50x

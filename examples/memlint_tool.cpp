@@ -157,6 +157,7 @@ int main(int argc, char **argv) {
   ServiceOptions Serve;
   std::string GenDir;
   unsigned GenModules = 3;
+  unsigned GenSharedHeaders = 0;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -263,6 +264,28 @@ int main(int argc, char **argv) {
                 Arg.c_str());
         return 126;
       }
+      continue;
+    }
+    if (Arg.compare(0, 20, "-gen-shared-headers=") == 0) {
+      if (!parseCount(Arg.substr(20), GenSharedHeaders)) {
+        fprintf(stderr, "memlint: malformed value in '%s': expected "
+                        "-gen-shared-headers=N (headers every module "
+                        "includes; 0 disables)\n",
+                Arg.c_str());
+        return 126;
+      }
+      continue;
+    }
+    if (Arg.compare(0, 16, "-frontend-cache=") == 0) {
+      std::string Value = Arg.substr(16);
+      if (Value != "on" && Value != "off") {
+        fprintf(stderr, "memlint: malformed value in '%s': expected "
+                        "-frontend-cache=on|off\n",
+                Arg.c_str());
+        return 126;
+      }
+      Options.FrontendCache = Value == "on";
+      Batch.SharedFrontend = Options.FrontendCache;
       continue;
     }
     if (Arg == "--fuzz-repro" || Arg.compare(0, 13, "--fuzz-repro=") == 0) {
@@ -431,6 +454,7 @@ int main(int argc, char **argv) {
   if (!GenDir.empty()) {
     corpus::GenOptions Gen;
     Gen.Modules = GenModules;
+    Gen.SharedHeaders = GenSharedHeaders;
     corpus::Program P = corpus::syntheticProgram(Gen);
     ::mkdir(GenDir.c_str(), 0755); // fine if it already exists
     for (const std::string &Name : P.Files.names()) {
@@ -662,7 +686,7 @@ int main(int argc, char **argv) {
                     "[-file-deadline-ms=N] [--journal FILE] [--resume FILE] "
                     "[-format=text|sarif|jsonl] [-trace-states=FN] "
                     "[--metrics-out FILE] [-fail-on=degraded|internal] "
-                    "file.c...\n"
+                    "[-frontend-cache=on|off] file.c...\n"
                     "       memlint --fuzz [-fuzz-count=N] [-fuzz-seed=N] "
                     "[-fuzz-faults=N] [-fuzz-mutate=PCT] [-fuzz-out=FILE] "
                     "[-fuzz-regress-dir=DIR] [-jN]\n"
@@ -672,7 +696,8 @@ int main(int argc, char **argv) {
                     "[--metrics-out FILE]\n"
                     "       memlint --request --socket=PATH "
                     "check FILE|invalidate FILE|stats|shutdown\n"
-                    "       memlint --gen-sec7=DIR [-gen-modules=N]\n");
+                    "       memlint --gen-sec7=DIR [-gen-modules=N] "
+                    "[-gen-shared-headers=N]\n");
     return 126;
   }
   if (BatchMode && (PrintCfg || RunProgram)) {
@@ -716,6 +741,47 @@ int main(int argc, char **argv) {
     if (!Vfs.addFromDisk(File)) {
       fprintf(stderr, "memlint: cannot read '%s'\n", File.c_str());
       return 126;
+    }
+  }
+  // Pre-materialize quoted #include dependencies from disk (as-is, then
+  // next to the includer), transitively. Doing it up front keeps the VFS a
+  // plain map — no loader — so batch workers can share it without locking.
+  // Names that resolve nowhere are left to the preprocessor, which
+  // tolerates unknown headers (the standard library specs are built in).
+  {
+    std::vector<std::string> Work = Files;
+    while (!Work.empty()) {
+      std::string Name = Work.back();
+      Work.pop_back();
+      std::optional<std::string> Text = Vfs.read(Name);
+      if (!Text)
+        continue;
+      size_t Pos = 0;
+      while ((Pos = Text->find("#include", Pos)) != std::string::npos) {
+        size_t Open = Text->find('"', Pos + 8);
+        size_t Line = Text->find('\n', Pos + 8);
+        Pos += 8;
+        if (Open == std::string::npos || (Line != std::string::npos &&
+                                          Open > Line))
+          continue;
+        size_t Close = Text->find('"', Open + 1);
+        if (Close == std::string::npos || (Line != std::string::npos &&
+                                           Close > Line))
+          continue;
+        std::string Inc = Text->substr(Open + 1, Close - Open - 1);
+        if (Inc.empty() || Vfs.exists(Inc))
+          continue;
+        std::optional<std::string> OnDisk = readFileText(Inc);
+        if (!OnDisk) {
+          size_t Slash = Name.rfind('/');
+          if (Slash != std::string::npos)
+            OnDisk = readFileText(Name.substr(0, Slash + 1) + Inc);
+        }
+        if (OnDisk) {
+          Vfs.add(Inc, std::move(*OnDisk));
+          Work.push_back(Inc);
+        }
+      }
     }
   }
 

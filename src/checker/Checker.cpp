@@ -24,9 +24,14 @@
 using namespace memlint;
 
 std::string memlint::checkOptionsFingerprint(const CheckOptions &Options) {
+  // frontendCacheVersion() ties journals and persisted service caches to
+  // the front-end cache generation: a semantic change to memoization bumps
+  // the version, and stale warm results are refused instead of replayed.
+  // The FrontendCache/Frontend fields themselves stay out of the
+  // fingerprint — cache on/off never changes diagnostics.
   return fnv1aHex({Options.Flags.fingerprint(),
                    Options.IncludePrelude ? "prelude" : "no-prelude",
-                   librarySpecVersion()});
+                   librarySpecVersion(), frontendCacheVersion()});
 }
 
 const char *memlint::checkStatusName(CheckStatus S) {
@@ -155,8 +160,23 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
   // point is then a single pointer test.
   MetricsRegistry Registry;
   MetricsRegistry *Metrics = Options.CollectMetrics ? &Registry : nullptr;
+  // Token spellings live in this arena for the duration of the run (the
+  // AST copies the strings it keeps). With a published shared context the
+  // arena resolves spellings against the batch interner lock-free and only
+  // interns misses privately; declared before the preprocessor so macro
+  // bodies and memo entries never outlive their storage.
+  TokenArena Arena;
+  if (Options.Frontend) {
+    if (Options.Frontend->published())
+      Arena.SharedRead = &Options.Frontend->Interner;
+    else
+      Arena.SharedBuild = &Options.Frontend->Interner;
+  }
   Preprocessor PP(Files, Diags, &Budget);
   PP.setMetrics(Metrics);
+  PP.setTokenArena(&Arena);
+  PP.setFrontend(Options.Frontend);
+  PP.setMemoEnabled(Options.FrontendCache);
 
   // Converts an exception escaping one pipeline stage into a diagnostic so
   // the rest of the run can proceed with partial results.
@@ -315,6 +335,8 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
 
   if (Metrics) {
     Metrics->addCounter("budget.tokens", Budget.tokensUsed());
+    Metrics->addCounter("lex.intern.hit", Arena.SharedHits);
+    Metrics->addCounter("lex.intern.miss", Arena.PrivateInterned);
     Metrics->addCounter("diags.stored", Result.Diagnostics.size());
     Metrics->addCounter("diags.suppressed", Result.SuppressedCount);
     unsigned long long Overflow = 0;
@@ -327,6 +349,53 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
 }
 
 } // namespace
+
+MetricsSnapshot memlint::warmFrontendContext(FrontendContext &Ctx,
+                                             const VFS &Files,
+                                             const std::string &Name,
+                                             const CheckOptions &Options) {
+  MetricsRegistry Registry;
+  MetricsRegistry *Metrics = Options.CollectMetrics ? &Registry : nullptr;
+  // A private budget copy: warmup charges tokens exactly like a worker run
+  // would, so the shared cache only ever contains entries a within-budget
+  // run could have produced, but no worker's budget is consumed here.
+  // Cancellation and fault injection stay detached — faulted runs never
+  // replay from the cache anyway (see Preprocessor::canReplay).
+  BudgetState Budget(Options.Flags.limits());
+  DiagnosticEngine Scratch;
+  Scratch.setFloodControl(Options.Flags.limits().MaxDiagsPerClass,
+                          Options.Flags.limits().MaxDiagsTotal);
+  TokenArena Arena;
+  Arena.SharedBuild = &Ctx.Interner;
+  Preprocessor PP(Files, Scratch, &Budget);
+  PP.setMetrics(Metrics);
+  PP.setTokenArena(&Arena);
+  PP.setFrontend(&Ctx);
+  try {
+    if (Options.IncludePrelude)
+      PP.processSource(libraryPreludeName(), libraryPreludeSource());
+    if (Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".lcl") == 0) {
+      std::optional<std::string> Spec = Files.read(Name);
+      if (Spec)
+        PP.processSource(Name, translateLclToC(*Spec, Name, Scratch));
+    } else if (!Name.empty()) {
+      PP.process(Name);
+    }
+  } catch (...) {
+    // Best-effort: a contained crash or cancellation mid-warmup leaves a
+    // partial cache and workers simply take more live paths.
+  }
+  if (Metrics) {
+    // The warmup interns straight into the shared pool (build role), so
+    // every distinct spelling is a "miss" seeding the batch; hits begin
+    // with the workers.
+    Metrics->addCounter("lex.intern.hit", Arena.SharedHits);
+    Metrics->addCounter("lex.intern.miss",
+                        Arena.PrivateInterned + Ctx.Interner.size());
+    return Registry.takeSnapshot();
+  }
+  return MetricsSnapshot();
+}
 
 CheckResult Checker::checkSource(const std::string &Source,
                                  const CheckOptions &Options,

@@ -30,11 +30,24 @@
 
 namespace memlint {
 
+struct FrontendContext;
+
 /// Options controlling a check run.
 struct CheckOptions {
   FlagSet Flags;
   /// Parse the annotated standard library ahead of user code.
   bool IncludePrelude = true;
+  /// Front-end reuse (DESIGN.md §5c): memoize #include expansions and
+  /// whole-file preprocessing within this run (and read from/record into
+  /// \c Frontend when attached). Cached and uncached runs produce
+  /// byte-identical diagnostics; this is purely a speed toggle, so it is
+  /// deliberately not a FlagSet flag and does not contribute to
+  /// checkOptionsFingerprint.
+  bool FrontendCache = true;
+  /// Batch-shared front end built by the driver's warmup pass (expansion
+  /// memo, spelling interner, read cache; see pp/FrontendCache.h). Must
+  /// outlive the run. Null runs fully self-contained.
+  FrontendContext *Frontend = nullptr;
   /// Cooperative cancellation: when set, the run polls this token at every
   /// budget checkpoint and, once it is raised, stops with a Degraded
   /// result whose degradation reasons include the token's cancellation
@@ -116,6 +129,19 @@ struct CheckResult {
 /// metrics collection, tracing) deliberately does not contribute: it
 /// never alters the diagnostics of a completed Ok run.
 std::string checkOptionsFingerprint(const CheckOptions &Options);
+
+/// The batch driver's single-threaded warmup pass: preprocesses the prelude
+/// and the first input \p Name into \p Ctx, populating the expansion memo,
+/// spelling interner, and read cache that every worker will share once the
+/// driver publishes the context. Diagnostics go to a scratch engine (the
+/// worker runs re-produce them; memoized entries are diagnostic-free by
+/// construction) and exceptions are contained — warmup is best-effort, a
+/// partial cache only means more live fallbacks. \returns the warmup's own
+/// metrics when Options.CollectMetrics is set (the driver folds them under
+/// a "warmup." prefix), an empty snapshot otherwise.
+MetricsSnapshot warmFrontendContext(FrontendContext &Ctx, const VFS &Files,
+                                    const std::string &Name,
+                                    const CheckOptions &Options);
 
 /// Stateless checking entry points.
 class Checker {

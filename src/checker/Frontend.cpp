@@ -16,7 +16,11 @@ using namespace memlint;
 TranslationUnit *Frontend::parseProgram(const VFS &Files,
                                         const std::vector<std::string> &Names,
                                         bool IncludePrelude) {
+  // Spellings die with this call (the AST copies every string it keeps);
+  // a local arena avoids contending on the process-global interner lock.
+  TokenArena Arena;
   Preprocessor PP(Files, Diags);
+  PP.setTokenArena(&Arena);
   std::vector<Token> Program;
   auto append = [&Program](std::vector<Token> Toks) {
     if (!Toks.empty() && Toks.back().isEof())

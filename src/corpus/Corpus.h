@@ -79,6 +79,12 @@ struct GenOptions {
   unsigned FunctionsPerModule = 25;///< functions in each module
   unsigned Seed = 42;              ///< deterministic seed
   bool WithAnnotations = true;     ///< emit annotated interfaces
+  /// Number of extra common headers ("shared0.h" ...) included by every
+  /// module, each with macros, record types, and annotated extern
+  /// declarations. Models real corpora, where most preprocessed text is
+  /// headers repeated per translation unit — the workload the batch
+  /// driver's shared front end (DESIGN.md §5c) reuses across files.
+  unsigned SharedHeaders = 0;
 };
 
 /// Generates a well-formed annotated program of roughly

@@ -6,6 +6,7 @@
 
 #include "driver/BatchDriver.h"
 
+#include "pp/FrontendCache.h"
 #include "support/Journal.h"
 #include "support/MonotonicTime.h"
 
@@ -13,6 +14,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -278,6 +280,26 @@ BatchResult BatchDriver::run(const VFS &Files,
     }
   }
 
+  //===--- shared front end (DESIGN.md §5c) --------------------------------===//
+
+  // One single-threaded warmup pass populates the batch-shared expansion
+  // memo, spelling interner, and read cache; publish() then freezes the
+  // context and workers read it lock-free for the rest of the batch. The
+  // warmup runs unconditionally when enabled — even on resume with the
+  // first file already recovered — so collected counters are identical
+  // across cold, resumed, and -jN runs. Batches of fewer than two files
+  // (the check service's shape) have nothing to share and skip it.
+  std::unique_ptr<FrontendContext> Shared;
+  MetricsSnapshot WarmupMetrics;
+  if (Opts.SharedFrontend && Opts.Check.FrontendCache && Count >= 2) {
+    Shared = std::make_unique<FrontendContext>();
+    CheckOptions WarmOpts = Opts.Check;
+    WarmOpts.CollectMetrics = Opts.CollectMetrics;
+    WarmupMetrics =
+        warmFrontendContext(*Shared, Files, Names.front(), WarmOpts);
+    Shared->publish();
+  }
+
   //===--- shared worker state --------------------------------------------===//
 
   // Outcomes/Filled/NextFlush are guarded by FlushMu; the journal file by
@@ -321,6 +343,7 @@ BatchResult BatchDriver::run(const VFS &Files,
     FileOutcome Outcome;
     Outcome.File = Name;
     CheckOptions Tightened = Opts.Check; // copy; halved on each retry
+    Tightened.Frontend = Shared.get();   // null when no shared front end
     if (Opts.CollectMetrics)
       Tightened.CollectMetrics = true;
     const unsigned MaxAttempts = std::max(1u, Opts.MaxAttempts);
@@ -438,6 +461,13 @@ BatchResult BatchDriver::run(const VFS &Files,
     for (const FileOutcome &O : Result.Outcomes)
       Result.Metrics.merge(O.Metrics);
     auto &C = Result.Metrics.Counters;
+    // The warmup pass's metrics are kept apart under a "warmup." prefix:
+    // per-file counters stay comparable with and without a shared front
+    // end, and the warmup's cost stays visible.
+    for (const auto &[Key, Value] : WarmupMetrics.Counters)
+      C["warmup." + Key] += Value;
+    for (const auto &[Key, Value] : WarmupMetrics.TimersMs)
+      Result.Metrics.TimersMs["warmup." + Key] += Value;
     C["batch.files"] += Count;
     C["batch.ok"] += Result.OkCount;
     C["batch.degraded"] += Result.DegradedCount;

@@ -92,6 +92,15 @@ struct BatchOptions {
   CheckOptions Check;
   /// Worker threads. Values < 1 are treated as 1.
   unsigned Jobs = 1;
+  /// Build a batch-shared front end (pp/FrontendCache.h): one
+  /// single-threaded warmup pass preprocesses the prelude and the first
+  /// input, then every worker reuses its memoized #include expansions,
+  /// interned spellings, and cached reads lock-free. Requires
+  /// Check.FrontendCache; batches of fewer than two files never build one
+  /// (nothing to share). Purely a speed toggle — diagnostics and counters
+  /// are byte-identical either way except for the warmup.* metrics block
+  /// and the cache/interner counters themselves.
+  bool SharedFrontend = true;
   /// Per-file wall-clock deadline in milliseconds; 0 disables the
   /// watchdog entirely.
   unsigned FileDeadlineMs = 0;

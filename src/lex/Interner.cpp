@@ -1,0 +1,41 @@
+//===--- Interner.cpp - Token spelling interning ----------------------------===//
+//
+// Part of memlint. See DESIGN.md §5c.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lex/Interner.h"
+
+#include <mutex>
+
+using namespace memlint;
+
+const std::string &Spelling::emptyString() {
+  static const std::string Empty;
+  return Empty;
+}
+
+const std::string *StringInterner::intern(std::string_view S) {
+  auto It = Index.find(S);
+  if (It != Index.end())
+    return It->second;
+  Arena.emplace_back(S);
+  const std::string *Stored = &Arena.back();
+  Index.emplace(std::string_view(*Stored), Stored);
+  Bytes += Stored->size();
+  return Stored;
+}
+
+const std::string *StringInterner::lookup(std::string_view S) const {
+  auto It = Index.find(S);
+  return It == Index.end() ? nullptr : It->second;
+}
+
+const std::string *memlint::internGlobalSpelling(std::string_view S) {
+  // Immortal on purpose: tokens interned here (bare Lexer uses in tests,
+  // predefined macros) must never dangle, whatever their lifetime.
+  static std::mutex Mu;
+  static StringInterner *Global = new StringInterner();
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Global->intern(S);
+}

@@ -1,0 +1,199 @@
+//===--- Interner.h - Token spelling interning ------------------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md §5c.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arena-backed token spellings. A Token no longer owns its text: it holds a
+/// Spelling — a pointer into an interning arena — so copying tokens (the
+/// preprocessor's dominant operation: raw stream -> expansion -> program
+/// stream -> parser) copies one pointer instead of a std::string, and every
+/// occurrence of an identifier in a batch shares one allocation.
+///
+/// Three arena scopes compose (see TokenArena):
+///
+/// * SharedInterner — one per batch, populated single-threaded during the
+///   driver's warmup pass and then frozen by publish(). After the publish
+///   barrier it is read-only, so worker threads look spellings up without
+///   any lock.
+/// * a private StringInterner — one per check run; catches everything the
+///   shared pool does not contain. Tokens interned here die with the run.
+/// * a process-global fallback (internGlobalSpelling) — used by clients
+///   that construct a bare Lexer without an arena (tests, predefines).
+///   Mutex-guarded and immortal, so such tokens can never dangle.
+///
+/// Correctness never depends on which arena served a spelling: lookups
+/// compare by content, and a miss in the shared pool simply falls through
+/// to private interning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_LEX_INTERNER_H
+#define MEMLINT_LEX_INTERNER_H
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace memlint {
+
+/// An interned token spelling: a pointer to a string owned by some arena
+/// that outlives every token referencing it. Converts implicitly to
+/// const std::string& so existing call sites (map lookups, concatenation
+/// into diagnostics, copies into the AST) keep working; the explicit
+/// operator overloads below exist because std::string's own operators are
+/// templates and would not consider the implicit conversion.
+class Spelling {
+public:
+  Spelling() : S(&emptyString()) {}
+  explicit Spelling(const std::string *Interned)
+      : S(Interned ? Interned : &emptyString()) {}
+
+  const std::string &str() const { return *S; }
+  operator const std::string &() const { return *S; }
+
+  const char *c_str() const { return S->c_str(); }
+  std::size_t size() const { return S->size(); }
+  bool empty() const { return S->empty(); }
+
+private:
+  static const std::string &emptyString();
+  const std::string *S;
+};
+
+inline bool operator==(const Spelling &A, const Spelling &B) {
+  return &A.str() == &B.str() || A.str() == B.str();
+}
+inline bool operator==(const Spelling &A, const std::string &B) {
+  return A.str() == B;
+}
+inline bool operator==(const std::string &A, const Spelling &B) {
+  return A == B.str();
+}
+inline bool operator==(const Spelling &A, const char *B) {
+  return A.str() == B;
+}
+inline bool operator==(const char *A, const Spelling &B) {
+  return B.str() == A;
+}
+template <typename T> bool operator!=(const Spelling &A, const T &B) {
+  return !(A == B);
+}
+inline bool operator!=(const std::string &A, const Spelling &B) {
+  return !(A == B);
+}
+inline bool operator!=(const char *A, const Spelling &B) { return !(A == B); }
+
+inline std::string operator+(const char *A, const Spelling &B) {
+  return A + B.str();
+}
+inline std::string operator+(const Spelling &A, const char *B) {
+  return A.str() + B;
+}
+inline std::string operator+(const std::string &A, const Spelling &B) {
+  return A + B.str();
+}
+inline std::string operator+(const Spelling &A, const std::string &B) {
+  return A.str() + B;
+}
+inline std::string operator+(std::string &&A, const Spelling &B) {
+  return std::move(A) + B.str();
+}
+
+inline std::ostream &operator<<(std::ostream &OS, const Spelling &S) {
+  return OS << S.str();
+}
+
+/// A deduplicating string arena. Strings live in a deque (stable addresses
+/// under growth) with an unordered index over them. Not thread-safe; each
+/// scope above wraps it appropriately.
+class StringInterner {
+public:
+  /// \returns a pointer, stable for this interner's lifetime, to a string
+  /// equal to \p S.
+  const std::string *intern(std::string_view S);
+
+  /// \returns the interned string equal to \p S, or null if absent. Safe
+  /// for concurrent callers only while no intern() can run (the published
+  /// state).
+  const std::string *lookup(std::string_view S) const;
+
+  std::size_t size() const { return Arena.size(); }
+  std::size_t bytes() const { return Bytes; }
+
+private:
+  std::deque<std::string> Arena;
+  std::unordered_map<std::string_view, const std::string *> Index;
+  std::size_t Bytes = 0;
+};
+
+/// The batch-wide spelling pool: build single-threaded, publish once, then
+/// read from any number of workers without locking. publish() is a release
+/// barrier paired with the acquire in published(); in practice the driver
+/// also publishes before spawning workers, so thread creation itself
+/// orders the memory.
+class SharedInterner {
+public:
+  /// Pre-publish only (single-threaded build phase).
+  const std::string *intern(std::string_view S) {
+    return Pool.intern(S);
+  }
+
+  /// Lock-free content lookup; valid only after publish().
+  const std::string *lookup(std::string_view S) const {
+    return Pool.lookup(S);
+  }
+
+  void publish() { Published.store(true, std::memory_order_release); }
+  bool published() const {
+    return Published.load(std::memory_order_acquire);
+  }
+
+  std::size_t size() const { return Pool.size(); }
+  std::size_t bytes() const { return Pool.bytes(); }
+
+private:
+  StringInterner Pool;
+  std::atomic<bool> Published{false};
+};
+
+/// Interns into the process-global fallback arena (mutex-guarded,
+/// immortal). For Lexer clients without an arena of their own.
+const std::string *internGlobalSpelling(std::string_view S);
+
+/// One check run's interning view: a shared pool in exactly one of two
+/// roles, plus a private overflow arena.
+///
+/// * Build role (warmup): SharedBuild set — everything interns straight
+///   into the shared pool, growing it.
+/// * Read role (worker): SharedRead set — lock-free lookup first, misses
+///   intern privately. The counters record the split for metrics.
+struct TokenArena {
+  SharedInterner *SharedBuild = nullptr;
+  const SharedInterner *SharedRead = nullptr;
+  StringInterner Private;
+  unsigned long long SharedHits = 0;
+  unsigned long long PrivateInterned = 0;
+
+  const std::string *intern(std::string_view S) {
+    if (SharedBuild)
+      return SharedBuild->intern(S);
+    if (SharedRead) {
+      if (const std::string *Hit = SharedRead->lookup(S)) {
+        ++SharedHits;
+        return Hit;
+      }
+    }
+    ++PrivateInterned;
+    return Private.intern(S);
+  }
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_LEX_INTERNER_H

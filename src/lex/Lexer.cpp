@@ -146,7 +146,7 @@ Token Lexer::make(TokenKind Kind, SourceLocation Loc, std::string Text) {
   Token Tok;
   Tok.Kind = Kind;
   Tok.Loc = std::move(Loc);
-  Tok.Text = std::move(Text);
+  Tok.Text = Spelling(Arena ? Arena->intern(Text) : internGlobalSpelling(Text));
   return Tok;
 }
 
@@ -475,10 +475,6 @@ Token Lexer::lexPunctuation(SourceLocation Start) {
     Diags.report(CheckId::ParseError, Start,
                  std::string("unexpected character '") + C + "'",
                  Severity::Error);
-    Token Err;
-    Err.Kind = TokenKind::Eof;
-    Err.Text = "<error>";
-    Err.Loc = Start;
-    return Err;
+    return make(TokenKind::Eof, Start, "<error>");
   }
 }

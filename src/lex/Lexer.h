@@ -7,6 +7,7 @@
 #ifndef MEMLINT_LEX_LEXER_H
 #define MEMLINT_LEX_LEXER_H
 
+#include "lex/Interner.h"
 #include "lex/Token.h"
 #include "support/Diagnostics.h"
 
@@ -24,9 +25,14 @@ namespace memlint {
 /// them.
 class Lexer {
 public:
-  Lexer(std::string FileName, std::string Buffer, DiagnosticEngine &Diags)
-      : FileName(std::move(FileName)), Buffer(std::move(Buffer)),
-        Diags(Diags) {}
+  /// \p Arena, when given, receives every token spelling (shared-pool
+  /// lookup with private fallback; see lex/Interner.h) and must outlive the
+  /// returned tokens. Null falls back to the immortal process-global
+  /// arena, so bare Lexer uses stay safe without ceremony.
+  Lexer(const std::string &FileName, std::string Buffer,
+        DiagnosticEngine &Diags, TokenArena *Arena = nullptr)
+      : FileName(internSourceFileName(FileName)), Buffer(std::move(Buffer)),
+        Diags(Diags), Arena(Arena) {}
 
   /// Lexes the whole buffer. Always returns a vector ending with Eof; lexical
   /// errors are reported to the diagnostic engine and skipped.
@@ -42,6 +48,8 @@ private:
   }
   char advance();
   bool match(char Expected);
+  // FileName is interned once at construction, so stamping a location on
+  // every token is a three-word copy.
   SourceLocation here() const { return {FileName, Line, Column}; }
 
   void lexLineComment();
@@ -55,9 +63,10 @@ private:
 
   Token make(TokenKind Kind, SourceLocation Loc, std::string Text);
 
-  std::string FileName;
+  const std::string *FileName;
   std::string Buffer;
   DiagnosticEngine &Diags;
+  TokenArena *Arena = nullptr;
   size_t Pos = 0;
   unsigned Line = 1;
   unsigned Column = 1;

@@ -18,6 +18,7 @@
 #ifndef MEMLINT_LEX_TOKEN_H
 #define MEMLINT_LEX_TOKEN_H
 
+#include "lex/Interner.h"
 #include "support/SourceLocation.h"
 
 #include <string>
@@ -56,10 +57,13 @@ enum class TokenKind {
 /// \returns a human-readable spelling for diagnostics ("';'", "identifier").
 const char *tokenKindName(TokenKind Kind);
 
-/// A single lexed token.
+/// A single lexed token. Copying a token is cheap: the spelling is a
+/// pointer into an interning arena (see lex/Interner.h), so the batch-wide
+/// front-end cache can replay token ranges by value without duplicating
+/// text.
 struct Token {
   TokenKind Kind = TokenKind::Eof;
-  std::string Text;    ///< Raw spelling (identifier name, literal text, ...).
+  Spelling Text;       ///< Raw spelling (identifier name, literal text, ...).
   SourceLocation Loc;
   bool StartOfLine = false; ///< True for the first token on a physical line
                             ///< (used for preprocessor directive detection).

@@ -1,0 +1,55 @@
+//===--- FrontendCache.cpp - Batch-shared front-end reuse -----------------===//
+//
+// Part of memlint. See DESIGN.md §5c.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pp/FrontendCache.h"
+
+using namespace memlint;
+
+std::uint64_t MacroTable::defHash(const std::string &Name,
+                                  const MacroDef &Def) {
+  std::uint64_t H = fnvInit64();
+  H = fnvStep64(H, Name);
+  H = fnvStepInt64(H, Def.FunctionLike ? 1 : 0);
+  H = fnvStepInt64(H, Def.Params.size());
+  for (const std::string &P : Def.Params)
+    H = fnvStep64(H, P);
+  H = fnvStepInt64(H, Def.Body.size());
+  for (const Token &T : Def.Body) {
+    H = fnvStepInt64(H, static_cast<std::uint64_t>(T.Kind));
+    H = fnvStep64(H, T.Text.str());
+    // Body tokens keep definition-site locations through expansion, and
+    // those locations appear verbatim in diagnostics — two textually
+    // identical defines at different locations are distinct macro states.
+    H = fnvStep64(H, T.Loc.file());
+    H = fnvStepInt64(H, T.Loc.line());
+    H = fnvStepInt64(H, T.Loc.column());
+    H = fnvStepInt64(H, T.StartOfLine ? 1 : 0);
+  }
+  return mix64(H);
+}
+
+void MacroTable::define(const std::string &Name, MacroDef Def) {
+  auto It = Table.find(Name);
+  if (It != Table.end()) {
+    FpXor ^= It->second.second; // retract the old definition's contribution
+    It->second.first = std::move(Def);
+    It->second.second = defHash(Name, It->second.first);
+    FpXor ^= It->second.second;
+    return;
+  }
+  std::uint64_t H = defHash(Name, Def);
+  Table.emplace(Name, std::make_pair(std::move(Def), H));
+  FpXor ^= H;
+}
+
+bool MacroTable::undef(const std::string &Name) {
+  auto It = Table.find(Name);
+  if (It == Table.end())
+    return false;
+  FpXor ^= It->second.second;
+  Table.erase(It);
+  return true;
+}

@@ -1,0 +1,284 @@
+//===--- FrontendCache.h - Batch-shared front-end reuse ---------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md §5c.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared front end. The paper's modular checking model re-lexes and
+/// re-preprocesses every header once per translation unit, so batch cost
+/// scales with total text instead of unique text. This file holds the data
+/// model that breaks that: a memo of #include expansions keyed by
+///
+///   (file name, content hash, incoming macro-state fingerprint)
+///
+/// An ExpansionEntry records everything one expansion did to the
+/// preprocessor — the tokens it emitted, plus every macro definition,
+/// #undef, and control comment at its exact position in the emitted
+/// stream — so replaying the entry is state-for-state identical to
+/// reprocessing the text, including diagnostics (entries with any
+/// diagnostic activity are never recorded) and budget charging (replay
+/// emits token by token through the same budget checkpoints).
+///
+/// MacroTable wraps the preprocessor's macro map and maintains an
+/// incremental order-independent fingerprint of the complete macro state —
+/// names, bodies, parameter lists, and the body tokens' source locations
+/// (macro-expanded tokens keep definition-site locations, so two textually
+/// identical defines at different locations are different states).
+///
+/// FrontendContext bundles the batch-scoped pieces: the expansion memo,
+/// the spelling interner (lex/Interner.h), and a read cache of file
+/// contents with precomputed hashes. The batch driver populates it on a
+/// single-threaded warmup pass over the first input, calls publish(), and
+/// every worker then reads it without locks; post-publish misses fall back
+/// to per-run private state, so correctness never depends on what the
+/// warmup happened to cover.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_PP_FRONTENDCACHE_H
+#define MEMLINT_PP_FRONTENDCACHE_H
+
+#include "lex/Interner.h"
+#include "lex/Token.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+namespace memlint {
+
+/// A control comment extracted from the stream, in source order.
+struct ControlDirective {
+  SourceLocation Loc;
+  std::string Text; ///< e.g. "-mustfree", "=mustfree", "ignore", "end".
+};
+
+//===--- hashing ----------------------------------------------------------===//
+
+inline std::uint64_t fnvInit64() { return 1469598103934665603ull; }
+
+inline std::uint64_t fnvStep64(std::uint64_t H, std::string_view S) {
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+inline std::uint64_t fnvStepInt64(std::uint64_t H, std::uint64_t V) {
+  for (int I = 0; I < 8; ++I) {
+    H ^= static_cast<unsigned char>(V >> (I * 8));
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+/// SplitMix64 finalizer: spreads FNV output so the macro fingerprint's
+/// XOR accumulation cannot cancel structured inputs.
+inline std::uint64_t mix64(std::uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// Content hash used for memo keys and the read cache.
+inline std::uint64_t hashContents(std::string_view S) {
+  return mix64(fnvStep64(fnvInit64(), S));
+}
+
+//===--- macro state ------------------------------------------------------===//
+
+/// One macro definition (object- or function-like).
+struct MacroDef {
+  bool FunctionLike = false;
+  std::vector<std::string> Params;
+  std::vector<Token> Body;
+};
+
+/// The preprocessor's macro map, wrapped to maintain an incremental
+/// fingerprint of the complete macro state. define/undef cost O(definition
+/// size) extra; fingerprint() is O(1). The fingerprint is an XOR of mixed
+/// per-definition hashes (order-independent, matching map semantics) folded
+/// with the table size.
+class MacroTable {
+public:
+  const MacroDef *lookup(const std::string &Name) const {
+    auto It = Table.find(Name);
+    return It == Table.end() ? nullptr : &It->second.first;
+  }
+  bool contains(const std::string &Name) const {
+    return Table.count(Name) != 0;
+  }
+
+  void define(const std::string &Name, MacroDef Def);
+  /// \returns true if \p Name was defined (and is now removed).
+  bool undef(const std::string &Name);
+
+  std::uint64_t fingerprint() const {
+    return mix64(FpXor ^ (Table.size() * 0x9e3779b97f4a7c15ull));
+  }
+  std::size_t size() const { return Table.size(); }
+
+private:
+  static std::uint64_t defHash(const std::string &Name, const MacroDef &Def);
+
+  std::map<std::string, std::pair<MacroDef, std::uint64_t>> Table;
+  std::uint64_t FpXor = 0;
+};
+
+//===--- expansion memo ---------------------------------------------------===//
+
+/// One replayable side effect of an expansion, positioned in its emitted
+/// token stream: \c At tokens were emitted before this op took effect, so
+/// replay applies it at exactly that point. This keeps mixed streams
+/// (tokens / #define / tokens / #undef) state-identical under replay even
+/// though replay never re-scans directives.
+struct ReplayOp {
+  enum class Kind { Control, Define, Undef };
+  Kind K = Kind::Control;
+  std::size_t At = 0;
+  SourceLocation Loc; ///< Control only
+  std::string Text;   ///< Control text, or the macro name for Define/Undef
+  MacroDef Def;       ///< Define only
+};
+
+/// A memoized expansion: the complete effect of preprocessing one file's
+/// text under one macro state. Recorded only for side-effect-clean
+/// expansions (no diagnostics, no budget truncation, no include-cycle
+/// break, balanced conditionals), so replay is byte-identical by
+/// construction.
+struct ExpansionEntry {
+  std::string File;
+  std::uint64_t ContentHash = 0;
+  std::uint64_t MacroFp = 0; ///< macro-state fingerprint on entry
+  std::vector<Token> Tokens; ///< emitted stream (no Eof)
+  std::vector<ReplayOp> Ops; ///< positioned side effects
+  /// Every file name #included (directly or transitively) while recording.
+  /// Replay requires none of them on the current include stack — a name on
+  /// the stack would have cycle-broken the live expansion into different
+  /// tokens.
+  std::vector<std::string> IncludedNames;
+  /// Deepest nested include depth reached, relative to the entry's own
+  /// processing depth. Replay at base B requires B + MaxRelDepth within
+  /// the nesting limit.
+  unsigned MaxRelDepth = 0;
+  /// Source bytes (this file plus nested includes) a replay avoids
+  /// re-lexing; feeds pp.include_cache.bytes_saved.
+  std::size_t SourceBytes = 0;
+  /// Top-level entries only: the location the caller stamps on the
+  /// terminating Eof token (the last raw token's location live).
+  SourceLocation EofLoc;
+};
+
+/// The expansion memo. Mutated only before publish() (the driver's
+/// single-threaded warmup); afterwards the map is frozen and lookups are
+/// lock-free from any thread.
+class FrontendCache {
+public:
+  const ExpansionEntry *lookup(const std::string &File,
+                               std::uint64_t ContentHash,
+                               std::uint64_t MacroFp) const {
+    auto It = Entries.find(Key(File, ContentHash, MacroFp));
+    return It == Entries.end() ? nullptr : &It->second;
+  }
+
+  /// Pre-publish only; inserts after publish() are ignored (the caller
+  /// falls back to its private memo instead).
+  void insert(ExpansionEntry Entry) {
+    if (published())
+      return;
+    Key K(Entry.File, Entry.ContentHash, Entry.MacroFp);
+    Entries.emplace(std::move(K), std::move(Entry));
+  }
+
+  void publish() { Published.store(true, std::memory_order_release); }
+  bool published() const {
+    return Published.load(std::memory_order_acquire);
+  }
+  std::size_t size() const { return Entries.size(); }
+
+private:
+  using Key = std::tuple<std::string, std::uint64_t, std::uint64_t>;
+  std::map<Key, ExpansionEntry> Entries;
+  std::atomic<bool> Published{false};
+};
+
+//===--- read cache -------------------------------------------------------===//
+
+/// A file's contents with its precomputed content hash.
+struct CachedFile {
+  std::string Text;
+  std::uint64_t Hash = 0;
+};
+
+/// Batch-scoped cache of VFS reads by path: the same header is read (and
+/// hashed) once per batch instead of once per translation unit. Same
+/// publish discipline as FrontendCache. Note that reads served from this
+/// cache bypass the VFS's read observer — the check service, whose result
+/// cache depends on that observer for dependency tracking, runs one-file
+/// batches and never attaches a shared context.
+class ReadCache {
+public:
+  const CachedFile *lookup(const std::string &Name) const {
+    auto It = Files.find(Name);
+    return It == Files.end() ? nullptr : &It->second;
+  }
+
+  /// Pre-publish only. \returns the stored file (or null after publish).
+  const CachedFile *insert(const std::string &Name, std::string Text,
+                           std::uint64_t Hash) {
+    if (published())
+      return nullptr;
+    CachedFile &Slot = Files[Name];
+    Slot.Text = std::move(Text);
+    Slot.Hash = Hash;
+    return &Slot;
+  }
+
+  void publish() { Published.store(true, std::memory_order_release); }
+  bool published() const {
+    return Published.load(std::memory_order_acquire);
+  }
+  std::size_t size() const { return Files.size(); }
+
+private:
+  std::map<std::string, CachedFile> Files;
+  std::atomic<bool> Published{false};
+};
+
+//===--- the batch-scoped bundle ------------------------------------------===//
+
+/// Everything one batch shares across its workers. Lifetime: created by
+/// the driver, populated by the warmup pass, published before the worker
+/// pool starts, destroyed after every worker has joined — so tokens
+/// pointing into Interner and entries in Cache outlive every run that can
+/// observe them.
+struct FrontendContext {
+  FrontendCache Cache;
+  SharedInterner Interner;
+  ReadCache Reads;
+
+  void publish() {
+    Cache.publish();
+    Reads.publish();
+    Interner.publish();
+  }
+  bool published() const { return Interner.published(); }
+};
+
+/// Version stamp of the front-end cache's semantics, folded into
+/// checkOptionsFingerprint: journals and persisted service caches written
+/// under a different pp-cache generation are refused/discarded instead of
+/// replayed, so warm results always come from the same front-end
+/// semantics that a cold run would use.
+inline const char *frontendCacheVersion() { return "pp-cache-v1"; }
+
+} // namespace memlint
+
+#endif // MEMLINT_PP_FRONTENDCACHE_H

@@ -7,28 +7,82 @@
 #include "pp/Preprocessor.h"
 
 #include "lex/Lexer.h"
+#include "support/MonotonicTime.h"
 
 #include <cassert>
 #include <stdexcept>
 
 using namespace memlint;
 
+namespace {
+/// Exception-safe include-stack entry: a thrown containment error (e.g.
+/// "#pragma memlint crash") must not leave the file marked as in-progress
+/// for later process calls on the same preprocessor.
+struct IncludeStackGuard {
+  std::set<std::string> &Stack;
+  std::string Name;
+  bool Inserted;
+  IncludeStackGuard(std::set<std::string> &Stack, std::string Name)
+      : Stack(Stack), Name(std::move(Name)) {
+    Inserted = this->Stack.insert(this->Name).second;
+  }
+  ~IncludeStackGuard() {
+    if (Inserted)
+      Stack.erase(Name);
+  }
+};
+} // namespace
+
+/// RAII bracket around one expansion recording. The destructor always pops
+/// the recording; only a recording whose scope reached commit() — i.e.
+/// returned normally — may be stored, so an exception anywhere inside the
+/// expansion (deliberate crash pragma, injected fault, cancellation)
+/// discards the candidate instead of memoizing a half-recorded entry.
+class Preprocessor::RecordScope {
+public:
+  RecordScope(Preprocessor &PP, bool Enable, const std::string &Name,
+              std::uint64_t Hash, std::uint64_t Fp, unsigned Base,
+              std::size_t OwnBytes)
+      : PP(PP), Active(Enable) {
+    if (Active)
+      PP.beginRecording(Name, Hash, Fp, Base, OwnBytes);
+  }
+  RecordScope(const RecordScope &) = delete;
+  RecordScope &operator=(const RecordScope &) = delete;
+  ~RecordScope() {
+    if (Active)
+      PP.finishRecording(Committed);
+  }
+
+  /// Top-level entries carry the Eof location the caller will stamp.
+  void setEofLoc(SourceLocation Loc) {
+    if (Active)
+      PP.Recordings.back().Entry.EofLoc = std::move(Loc);
+  }
+  void commit() { Committed = true; }
+
+private:
+  Preprocessor &PP;
+  bool Active;
+  bool Committed = false;
+};
+
 void Preprocessor::predefine(const std::string &Name,
                              const std::string &Value) {
   DiagnosticEngine Scratch;
-  Lexer Lex("<predefined>", Value, Scratch);
+  Lexer Lex("<predefined>", Value, Scratch, Arena);
   std::vector<Token> Body = Lex.lex();
   assert(!Body.empty());
   Body.pop_back(); // drop Eof
-  Macro M;
+  MacroDef M;
   M.FunctionLike = false;
   M.Body = std::move(Body);
-  Macros[Name] = std::move(M);
+  defineMacro(Name, std::move(M));
 }
 
 std::vector<Token> Preprocessor::process(const std::string &MainFile) {
-  std::optional<std::string> Contents = Files.read(MainFile);
-  if (!Contents) {
+  std::optional<FileRef> FR = readFile(MainFile);
+  if (!FR) {
     Diags.report(CheckId::ParseError, SourceLocation(MainFile, 1, 1),
                  "cannot open file '" + MainFile + "'", Severity::Error);
     std::vector<Token> Out;
@@ -37,36 +91,308 @@ std::vector<Token> Preprocessor::process(const std::string &MainFile) {
     Out.push_back(Eof);
     return Out;
   }
-  return processSource(MainFile, *Contents);
+  return processSource(MainFile, *FR->Text);
 }
 
 std::vector<Token> Preprocessor::processSource(const std::string &Name,
                                                const std::string &Source) {
-  Lexer Lex(Name, Source, Diags);
+  std::vector<Token> Out;
+  RecOut = &Out;
+  NestedLexMs = 0;
+
+  // Top-level memo: in a batch with shared headers the dominant repeated
+  // text is the prelude itself, processed once per translation unit.
+  std::uint64_t Hash = 0;
+  std::uint64_t Fp = 0;
+  if (MemoOn) {
+    Hash = hashContents(Source);
+    Fp = Macros.fingerprint();
+    if (const ExpansionEntry *E = lookupEntry(Name, Hash, Fp)) {
+      if (canReplay(*E, /*Base=*/0)) {
+        countMemo(true, E->SourceBytes);
+        {
+          ScopedTimer T(Metrics, "phase.pp");
+          replayEntry(*E, Out);
+        }
+        if (Metrics)
+          Metrics->addCounter("pp.tokens", Out.size());
+        if (Out.empty() || !Out.back().isEof()) {
+          Token Eof;
+          Eof.Kind = TokenKind::Eof;
+          Eof.Loc = E->EofLoc.isValid() ? E->EofLoc : SourceLocation(Name, 1, 1);
+          Out.push_back(Eof);
+        }
+        RecOut = nullptr;
+        return Out;
+      }
+    }
+    countMemo(false, 0);
+  }
+
+  // Record the top-level expansion only into the shared cache (the driver's
+  // warmup pass); a private top-level entry could never hit again within
+  // one run.
+  const bool RecordTop =
+      MemoOn && Ctx && !Ctx->published() && Arena && Arena->SharedBuild;
+
+  const double LexStart = Metrics ? monotonicNowMs() : 0;
+  double PpStart = 0;
   std::vector<Token> Raw;
   {
-    ScopedTimer T(Metrics, "phase.lex");
+    RecordScope Rec(*this, RecordTop, Name, Hash, Fp, /*Base=*/0,
+                    Source.size());
+    Lexer Lex(Name, Source, Diags, Arena);
     Raw = Lex.lex();
-  }
-  if (Metrics)
-    Metrics->addCounter("lex.tokens", Raw.size());
-  std::vector<Token> Out;
-  IncludeStack.insert(Name);
-  {
-    ScopedTimer T(Metrics, "phase.pp");
+    if (Metrics) {
+      PpStart = monotonicNowMs();
+      Metrics->addCounter("lex.tokens", Raw.size());
+    }
+    IncludeStackGuard G(IncludeStack, Name);
     processTokens(Raw, Out, /*Depth=*/0);
+    Rec.setEofLoc(Raw.empty() ? SourceLocation(Name, 1, 1) : Raw.back().Loc);
+    Rec.commit();
   }
-  if (Metrics)
+  if (Metrics) {
+    const double End = monotonicNowMs();
+    // Nested include lexing happens inside processTokens but is lexing:
+    // re-attribute it from phase.pp to phase.lex (addTimeMs clamps at 0).
+    Metrics->addTimeMs("phase.lex", (PpStart - LexStart) + NestedLexMs);
+    Metrics->addTimeMs("phase.pp", (End - PpStart) - NestedLexMs);
     Metrics->addCounter("pp.tokens", Out.size());
-  IncludeStack.erase(Name);
+  }
   if (Out.empty() || !Out.back().isEof()) {
     Token Eof;
     Eof.Kind = TokenKind::Eof;
     Eof.Loc = Raw.empty() ? SourceLocation(Name, 1, 1) : Raw.back().Loc;
     Out.push_back(Eof);
   }
+  RecOut = nullptr;
   return Out;
 }
+
+//===--- front-end reuse (DESIGN.md §5c) ----------------------------------===//
+
+std::optional<Preprocessor::FileRef>
+Preprocessor::readFile(const std::string &Name) {
+  if (Ctx) {
+    if (const CachedFile *C = Ctx->Reads.lookup(Name)) {
+      if (Metrics)
+        Metrics->addCounter("vfs.read.hit");
+      return FileRef{&C->Text, C->Hash};
+    }
+  }
+  auto It = PrivateReads.find(Name);
+  if (It != PrivateReads.end()) {
+    if (Metrics)
+      Metrics->addCounter("vfs.read.hit");
+    return FileRef{&It->second.Text, It->second.Hash};
+  }
+  // First real read: the VFS's OnRead observer fires here (and only here),
+  // once per unique path per run — dependency tracking keys on the set of
+  // paths, so collapsing repeat reads preserves it.
+  std::optional<std::string> Contents = Files.read(Name);
+  if (Metrics)
+    Metrics->addCounter("vfs.read.miss");
+  if (!Contents)
+    return std::nullopt;
+  const std::uint64_t Hash = hashContents(*Contents);
+  if (Ctx && !Ctx->published())
+    if (const CachedFile *C =
+            Ctx->Reads.insert(Name, std::move(*Contents), Hash))
+      return FileRef{&C->Text, C->Hash};
+  CachedFile &Slot = PrivateReads[Name];
+  Slot.Text = std::move(*Contents);
+  Slot.Hash = Hash;
+  return FileRef{&Slot.Text, Slot.Hash};
+}
+
+const ExpansionEntry *Preprocessor::lookupEntry(const std::string &Name,
+                                                std::uint64_t Hash,
+                                                std::uint64_t Fp) {
+  if (Ctx)
+    if (const ExpansionEntry *E = Ctx->Cache.lookup(Name, Hash, Fp))
+      return E;
+  auto It = PrivateMemo.find(std::make_tuple(Name, Hash, Fp));
+  return It == PrivateMemo.end() ? nullptr : &It->second;
+}
+
+bool Preprocessor::canReplay(const ExpansionEntry &E, unsigned Base) const {
+  if (Budget) {
+    // A fault injector counts checkpoints deterministically and may stop
+    // the stream at any token; keep every checkpoint on the live path.
+    if (Budget->faultInjector())
+      return false;
+    // Replay only when every token fits: budget truncation then always
+    // happens live, with its exact mid-stream notice and partial output.
+    if (Budget->tokensRemaining() < E.Tokens.size())
+      return false;
+  }
+  if (Base + E.MaxRelDepth > 32)
+    return false;
+  // A dependency already being included would have cycle-broken the live
+  // expansion into different tokens.
+  for (const std::string &N : E.IncludedNames)
+    if (IncludeStack.count(N))
+      return false;
+  return true;
+}
+
+void Preprocessor::replayEntry(const ExpansionEntry &E,
+                               std::vector<Token> &Out) {
+  std::size_t Op = 0;
+  const std::size_t N = E.Tokens.size();
+  for (std::size_t I = 0; I <= N; ++I) {
+    // Ops recorded after I emitted tokens apply before token I.
+    while (Op < E.Ops.size() && E.Ops[Op].At <= I)
+      applyOp(E.Ops[Op++]);
+    if (I == N)
+      break;
+    if (!emit(E.Tokens[I], Out))
+      return; // unreachable given canReplay's pre-checks; defensive
+  }
+}
+
+void Preprocessor::applyOp(const ReplayOp &Op) {
+  // Route through the mutation funnels so a replay nested inside an outer
+  // recording is captured by that recording too.
+  switch (Op.K) {
+  case ReplayOp::Kind::Control:
+    addControl(Op.Loc, Op.Text);
+    break;
+  case ReplayOp::Kind::Define:
+    defineMacro(Op.Text, Op.Def);
+    break;
+  case ReplayOp::Kind::Undef:
+    undefMacro(Op.Text);
+    break;
+  }
+}
+
+void Preprocessor::defineMacro(const std::string &Name, MacroDef Def) {
+  for (Recording &R : Recordings) {
+    ReplayOp Op;
+    Op.K = ReplayOp::Kind::Define;
+    Op.At = RecOut->size() - R.OutStart;
+    Op.Text = Name;
+    Op.Def = Def;
+    R.Entry.Ops.push_back(std::move(Op));
+  }
+  Macros.define(Name, std::move(Def));
+}
+
+void Preprocessor::undefMacro(const std::string &Name) {
+  Macros.undef(Name); // absent names are a no-op, live and replayed alike
+  for (Recording &R : Recordings) {
+    ReplayOp Op;
+    Op.K = ReplayOp::Kind::Undef;
+    Op.At = RecOut->size() - R.OutStart;
+    Op.Text = Name;
+    R.Entry.Ops.push_back(std::move(Op));
+  }
+}
+
+void Preprocessor::addControl(SourceLocation Loc, const std::string &Text) {
+  for (Recording &R : Recordings) {
+    ReplayOp Op;
+    Op.K = ReplayOp::Kind::Control;
+    Op.At = RecOut->size() - R.OutStart;
+    Op.Loc = Loc;
+    Op.Text = Text;
+    R.Entry.Ops.push_back(std::move(Op));
+  }
+  Controls.push_back({std::move(Loc), Text});
+}
+
+void Preprocessor::notePoison() {
+  for (Recording &R : Recordings)
+    R.Poisoned = true;
+}
+
+void Preprocessor::noteLiveInclude(const std::string &Name, unsigned Base,
+                                   std::size_t Bytes) {
+  for (Recording &R : Recordings) {
+    R.Entry.IncludedNames.push_back(Name);
+    const unsigned Rel = Base - R.BaseDepth;
+    if (Rel > R.Entry.MaxRelDepth)
+      R.Entry.MaxRelDepth = Rel;
+    R.Entry.SourceBytes += Bytes;
+  }
+}
+
+void Preprocessor::noteReplayedInclude(const ExpansionEntry &E,
+                                       unsigned Base) {
+  for (Recording &R : Recordings) {
+    R.Entry.IncludedNames.push_back(E.File);
+    R.Entry.IncludedNames.insert(R.Entry.IncludedNames.end(),
+                                 E.IncludedNames.begin(),
+                                 E.IncludedNames.end());
+    const unsigned Rel = Base - R.BaseDepth + E.MaxRelDepth;
+    if (Rel > R.Entry.MaxRelDepth)
+      R.Entry.MaxRelDepth = Rel;
+    R.Entry.SourceBytes += E.SourceBytes;
+  }
+}
+
+void Preprocessor::beginRecording(const std::string &Name, std::uint64_t Hash,
+                                  std::uint64_t Fp, unsigned Base,
+                                  std::size_t OwnBytes) {
+  Recording R;
+  R.Entry.File = Name;
+  R.Entry.ContentHash = Hash;
+  R.Entry.MacroFp = Fp;
+  R.Entry.SourceBytes = OwnBytes;
+  R.OutStart = RecOut->size();
+  R.DiagsStart = Diags.reportedCount();
+  R.CondBase = Conds.size();
+  R.BaseDepth = Base;
+  Recordings.push_back(std::move(R));
+}
+
+void Preprocessor::finishRecording(bool Commit) {
+  Recording R = std::move(Recordings.back());
+  Recordings.pop_back();
+  if (!Commit || R.Poisoned)
+    return;
+  // Any reporting activity — even a filtered or flood-dropped diagnostic,
+  // even from the nested lexer — makes the expansion context-dependent:
+  // replaying it elsewhere would swallow the report.
+  if (Diags.reportedCount() != R.DiagsStart)
+    return;
+  // A truncated stream is not the expansion of this file.
+  if (overBudget())
+    return;
+  // Conditionals must balance exactly: a surplus is caught above via the
+  // "unterminated conditional" diagnostic, and pops below the base poison
+  // eagerly — this catches a pop/push pair that nets to zero.
+  if (Conds.size() != R.CondBase)
+    return;
+  R.Entry.Tokens.assign(RecOut->begin() +
+                            static_cast<std::ptrdiff_t>(R.OutStart),
+                        RecOut->end());
+  const bool Shared = Ctx && !Ctx->published() && Arena && Arena->SharedBuild;
+  if (Shared) {
+    // Warmup: spellings were interned into the shared arena, so the entry
+    // is safe to hand to any worker.
+    Ctx->Cache.insert(std::move(R.Entry));
+    return;
+  }
+  std::tuple<std::string, std::uint64_t, std::uint64_t> Key(
+      R.Entry.File, R.Entry.ContentHash, R.Entry.MacroFp);
+  PrivateMemo.emplace(std::move(Key), std::move(R.Entry));
+}
+
+void Preprocessor::countMemo(bool Hit, std::size_t Bytes) {
+  if (!Metrics)
+    return;
+  if (Hit) {
+    Metrics->addCounter("pp.include_cache.hit");
+    Metrics->addCounter("pp.include_cache.bytes_saved", Bytes);
+  } else {
+    Metrics->addCounter("pp.include_cache.miss");
+  }
+}
+
+//===--- token emission and directive processing --------------------------===//
 
 bool Preprocessor::emit(const Token &Tok, std::vector<Token> &Out) {
   if (Budget && !Budget->takeToken()) {
@@ -119,11 +445,11 @@ void Preprocessor::processTokens(const std::vector<Token> &Toks,
       continue;
     }
     if (Tok.is(TokenKind::ControlComment)) {
-      Controls.push_back({Tok.Loc, Tok.Text});
+      addControl(Tok.Loc, Tok.Text);
       ++I;
       continue;
     }
-    if (Tok.is(TokenKind::Identifier) && Macros.count(Tok.Text)) {
+    if (Tok.is(TokenKind::Identifier) && Macros.contains(Tok.Text)) {
       I = expandMacro(Toks, I, Out, Active);
       if (overBudget())
         break;
@@ -154,13 +480,22 @@ size_t Preprocessor::handleDirective(const std::vector<Token> &Toks, size_t I,
   ++J;
 
   auto lineHas = [&](size_t K) { return K < End; };
+  // A conditional touched below a recording's base belongs to an enclosing
+  // file; replay would not reproduce the change, so the candidate dies.
+  auto poisonOuterCondTouch = [&] {
+    for (Recording &R : Recordings)
+      if (Conds.size() <= R.CondBase)
+        R.Poisoned = true;
+  };
 
   if (Directive == "endif") {
     if (Conds.empty())
       Diags.report(CheckId::ParseError, Name.Loc, "#endif without #if",
                    Severity::Error);
-    else
+    else {
+      poisonOuterCondTouch();
       Conds.pop_back();
+    }
     return End;
   }
   if (Directive == "else") {
@@ -169,13 +504,14 @@ size_t Preprocessor::handleDirective(const std::vector<Token> &Toks, size_t I,
                    Severity::Error);
       return End;
     }
+    poisonOuterCondTouch();
     CondState &C = Conds.back();
     C.Taking = !C.TakenAnyBranch;
     C.TakenAnyBranch = true;
     return End;
   }
   if (Directive == "ifdef" || Directive == "ifndef") {
-    bool Defined = lineHas(J) && Macros.count(Toks[J].Text) != 0;
+    bool Defined = lineHas(J) && Macros.contains(Toks[J].Text);
     bool Take = (Directive == "ifdef") ? Defined : !Defined;
     if (!taking())
       Take = false; // nested in a skipped region: never take
@@ -199,7 +535,7 @@ size_t Preprocessor::handleDirective(const std::vector<Token> &Toks, size_t I,
         if (lineHas(L) && Toks[L].is(TokenKind::LParen))
           ++L;
         if (lineHas(L) && Toks[L].is(TokenKind::Identifier))
-          Value = Macros.count(Toks[L].Text) != 0;
+          Value = Macros.contains(Toks[L].Text);
       } else {
         Diags.report(CheckId::ParseError, Name.Loc,
                      "unsupported #if expression", Severity::Error);
@@ -224,7 +560,7 @@ size_t Preprocessor::handleDirective(const std::vector<Token> &Toks, size_t I,
     }
     const Token &MacroName = Toks[J];
     ++J;
-    Macro M;
+    MacroDef M;
     // Function-like iff '(' immediately follows the name (no whitespace).
     if (lineHas(J) && Toks[J].is(TokenKind::LParen) &&
         Toks[J].Loc.line() == MacroName.Loc.line() &&
@@ -242,17 +578,17 @@ size_t Preprocessor::handleDirective(const std::vector<Token> &Toks, size_t I,
     }
     for (; J < End; ++J) {
       if (Toks[J].is(TokenKind::ControlComment)) {
-        Controls.push_back({Toks[J].Loc, Toks[J].Text});
+        addControl(Toks[J].Loc, Toks[J].Text);
         continue;
       }
       M.Body.push_back(Toks[J]);
     }
-    Macros[MacroName.Text] = std::move(M);
+    defineMacro(MacroName.Text, std::move(M));
     return End;
   }
   if (Directive == "undef") {
     if (lineHas(J))
-      Macros.erase(Toks[J].Text);
+      undefMacro(Toks[J].Text);
     return End;
   }
   if (Directive == "include") {
@@ -268,19 +604,46 @@ size_t Preprocessor::handleDirective(const std::vector<Token> &Toks, size_t I,
                    Severity::Error);
       return End;
     }
-    if (IncludeStack.count(IncludeName))
-      return End; // already being included; break the cycle silently
-    std::optional<std::string> Contents = Files.read(IncludeName);
-    if (!Contents) {
+    if (IncludeStack.count(IncludeName)) {
+      // Already being included; break the cycle silently. The tokens any
+      // enclosing expansion emits now depend on the active stack, so it
+      // must not be memoized.
+      notePoison();
+      return End;
+    }
+    std::optional<FileRef> FR = readFile(IncludeName);
+    if (!FR) {
       // Unknown headers (e.g. <stdio.h>) are tolerated: the annotated
       // standard library specs are built in (analysis/LibrarySpec).
       return End;
     }
-    Lexer Lex(IncludeName, *Contents, Diags);
+    const unsigned Base = Depth + 1;
+    std::uint64_t Fp = 0;
+    if (MemoOn) {
+      Fp = Macros.fingerprint();
+      if (const ExpansionEntry *E = lookupEntry(IncludeName, FR->Hash, Fp)) {
+        if (canReplay(*E, Base)) {
+          countMemo(true, E->SourceBytes);
+          noteReplayedInclude(*E, Base);
+          replayEntry(*E, Out);
+          return End;
+        }
+      }
+      countMemo(false, 0);
+    }
+    noteLiveInclude(IncludeName, Base, FR->Text->size());
+    RecordScope Rec(*this, MemoOn, IncludeName, FR->Hash, Fp, Base,
+                    FR->Text->size());
+    const double LexStart = Metrics ? monotonicNowMs() : 0;
+    Lexer Lex(IncludeName, *FR->Text, Diags, Arena);
     std::vector<Token> Raw = Lex.lex();
-    IncludeStack.insert(IncludeName);
-    processTokens(Raw, Out, Depth + 1);
-    IncludeStack.erase(IncludeName);
+    if (Metrics) {
+      NestedLexMs += monotonicNowMs() - LexStart;
+      Metrics->addCounter("lex.tokens", Raw.size());
+    }
+    IncludeStackGuard G(IncludeStack, IncludeName);
+    processTokens(Raw, Out, Base);
+    Rec.commit();
     return End;
   }
   if (Directive == "pragma" || Directive == "error" || Directive == "line") {
@@ -305,12 +668,12 @@ size_t Preprocessor::expandMacro(const std::vector<Token> &Toks, size_t I,
                                  std::vector<Token> &Out,
                                  std::set<std::string> &Active) {
   const Token &Name = Toks[I];
-  assert(Macros.count(Name.Text));
+  assert(Macros.contains(Name.Text));
   if (Active.count(Name.Text)) {
     emit(Name, Out);
     return I + 1;
   }
-  const Macro &M = Macros[Name.Text];
+  const MacroDef &M = *Macros.lookup(Name.Text);
 
   if (!M.FunctionLike) {
     Active.insert(Name.Text);
@@ -393,11 +756,11 @@ void Preprocessor::expandTokenList(const std::vector<Token> &Toks,
   while (I < Toks.size()) {
     const Token &Tok = Toks[I];
     if (Tok.is(TokenKind::ControlComment)) {
-      Controls.push_back({Tok.Loc, Tok.Text});
+      addControl(Tok.Loc, Tok.Text);
       ++I;
       continue;
     }
-    if (Tok.is(TokenKind::Identifier) && Macros.count(Tok.Text) &&
+    if (Tok.is(TokenKind::Identifier) && Macros.contains(Tok.Text) &&
         !Active.count(Tok.Text)) {
       I = expandMacro(Toks, I, Out, Active);
       if (overBudget())

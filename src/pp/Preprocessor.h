@@ -16,12 +16,28 @@
 /// Control comments (/*@-flag@*/ etc.) are pulled out of the token stream
 /// into an ordered side list consumed by the checker's suppression machinery.
 ///
+/// Front-end reuse (DESIGN.md §5c): every #include expansion — and the
+/// top-level expansion of a whole source — can be memoized under the key
+/// (file name, content hash, incoming macro-state fingerprint) and replayed
+/// as a recorded token stream plus positioned macro/control side effects.
+/// Recording poisons itself on anything that makes an expansion
+/// non-replayable (diagnostics, budget truncation, include-cycle breaks,
+/// unbalanced conditionals, exceptions), and replay falls back to the live
+/// path whenever the current run could diverge mid-stream (token budget too
+/// low for the whole entry, fault injector armed, nesting too deep, an
+/// entry dependency already on the include stack). Together these keep
+/// cached output byte-identical to uncached processing. Entries live either
+/// in a batch-shared FrontendContext (written during the driver's warmup,
+/// read lock-free after publish) or in this preprocessor's private memo.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MEMLINT_PP_PREPROCESSOR_H
 #define MEMLINT_PP_PREPROCESSOR_H
 
+#include "lex/Interner.h"
 #include "lex/Token.h"
+#include "pp/FrontendCache.h"
 #include "support/Diagnostics.h"
 #include "support/Limits.h"
 #include "support/Metrics.h"
@@ -33,12 +49,6 @@
 #include <vector>
 
 namespace memlint {
-
-/// A control comment extracted from the stream, in source order.
-struct ControlDirective {
-  SourceLocation Loc;
-  std::string Text; ///< e.g. "-mustfree", "=mustfree", "ignore", "end".
-};
 
 /// Expands one main file into a flat token stream.
 class Preprocessor {
@@ -69,15 +79,49 @@ public:
   void predefine(const std::string &Name, const std::string &Value);
 
   /// Attaches a metrics registry: processSource then records "phase.lex" /
-  /// "phase.pp" timings and "lex.tokens" / "pp.tokens" counters. Null (the
-  /// default) keeps the hot path free of clock reads.
+  /// "phase.pp" timings (nested include lexing is charged to phase.lex, not
+  /// phase.pp), "lex.tokens" / "pp.tokens" counters, and the front-end
+  /// reuse counters "pp.include_cache.{hit,miss,bytes_saved}" and
+  /// "vfs.read.{hit,miss}". Null (the default) keeps the hot path free of
+  /// clock reads.
   void setMetrics(MetricsRegistry *M) { Metrics = M; }
 
+  /// Attaches the batch-shared front end (expansion memo + interner + read
+  /// cache). Pre-publish (single-threaded warmup) this preprocessor records
+  /// into it; post-publish it only reads, falling back to private state on
+  /// miss. The context must outlive this preprocessor.
+  void setFrontend(FrontendContext *C) { Ctx = C; }
+
+  /// Attaches the token arena spellings are interned into. Must outlive
+  /// this preprocessor (macro bodies and memo entries hold interned
+  /// spellings). Null falls back to the process-global interner.
+  void setTokenArena(TokenArena *A) { Arena = A; }
+
+  /// Turns expansion memoization on or off (on by default). Off disables
+  /// both lookup and recording; the read cache and interner still work.
+  void setMemoEnabled(bool On) { MemoOn = On; }
+
 private:
-  struct Macro {
-    bool FunctionLike = false;
-    std::vector<std::string> Params;
-    std::vector<Token> Body;
+  class RecordScope;
+  friend class RecordScope;
+
+  /// A file's contents as served by the read caches (stable storage).
+  struct FileRef {
+    const std::string *Text = nullptr;
+    std::uint64_t Hash = 0;
+  };
+
+  /// One in-progress expansion recording. Recordings nest (a recorded
+  /// header that includes another header records both entries); every
+  /// mutation funnel appends to all active recordings with positions
+  /// relative to each one's own start.
+  struct Recording {
+    ExpansionEntry Entry;
+    std::size_t OutStart = 0;            ///< RecOut->size() at start
+    unsigned long long DiagsStart = 0;   ///< Diags.reportedCount() at start
+    std::size_t CondBase = 0;            ///< Conds.size() at start
+    unsigned BaseDepth = 0;              ///< processing depth of the entry
+    bool Poisoned = false;
   };
 
   void processTokens(const std::vector<Token> &Toks, std::vector<Token> &Out,
@@ -103,12 +147,57 @@ private:
   /// True when the token budget is exhausted (processing should stop).
   bool overBudget() const { return Budget && Budget->tokensExhausted(); }
 
+  //===--- front-end reuse (DESIGN.md §5c) --------------------------------===//
+
+  /// Reads \p Name through the batch read cache, then the private one, then
+  /// the VFS (counting vfs.read.{hit,miss}). \returns nullopt if the VFS
+  /// has no such file. The referenced text is stable for this
+  /// preprocessor's lifetime.
+  std::optional<FileRef> readFile(const std::string &Name);
+
+  /// Finds a memo entry in the shared cache, then the private memo.
+  const ExpansionEntry *lookupEntry(const std::string &Name,
+                                    std::uint64_t Hash, std::uint64_t Fp);
+  /// True when replaying \p E at processing depth \p Base is guaranteed to
+  /// run to completion exactly like the live expansion would.
+  bool canReplay(const ExpansionEntry &E, unsigned Base) const;
+  /// Emits \p E's tokens through emit() (same budget checkpoints as live),
+  /// applying its positioned side effects through the mutation funnels.
+  void replayEntry(const ExpansionEntry &E, std::vector<Token> &Out);
+  void applyOp(const ReplayOp &Op);
+
+  /// Mutation funnels: every macro-table and control-list change goes
+  /// through these so (a) the table fingerprint stays incremental and
+  /// (b) all active recordings capture the op at its emitted-stream
+  /// position — including ops produced by replaying a nested entry.
+  void defineMacro(const std::string &Name, MacroDef Def);
+  void undefMacro(const std::string &Name);
+  void addControl(SourceLocation Loc, const std::string &Text);
+  /// Marks every active recording non-memoizable.
+  void notePoison();
+  /// Bookkeeping on entering a live nested include at depth \p Base:
+  /// active recordings gain the dependency name, depth reach, and bytes.
+  void noteLiveInclude(const std::string &Name, unsigned Base,
+                       std::size_t Bytes);
+  /// Same, for a nested include satisfied by replaying \p E at \p Base.
+  void noteReplayedInclude(const ExpansionEntry &E, unsigned Base);
+
+  void beginRecording(const std::string &Name, std::uint64_t Hash,
+                      std::uint64_t Fp, unsigned Base, std::size_t OwnBytes);
+  /// Pops the innermost recording; when \p Commit is set and the recording
+  /// stayed clean (no diagnostics, budget truncation, or conditional
+  /// imbalance), stores it in the shared cache (pre-publish) or the
+  /// private memo.
+  void finishRecording(bool Commit);
+
+  void countMemo(bool Hit, std::size_t Bytes);
+
   const VFS &Files;
   DiagnosticEngine &Diags;
   BudgetState *Budget = nullptr;
   MetricsRegistry *Metrics = nullptr;
   bool BudgetNoticed = false;
-  std::map<std::string, Macro> Macros;
+  MacroTable Macros;
   std::vector<ControlDirective> Controls;
   std::set<std::string> IncludeStack; ///< cycle protection
   /// Conditional-inclusion state: each entry is "currently taking this
@@ -125,6 +214,24 @@ private:
         return false;
     return true;
   }
+
+  FrontendContext *Ctx = nullptr;
+  TokenArena *Arena = nullptr;
+  bool MemoOn = true;
+  /// Per-preprocessor fallback memo and read cache for misses against the
+  /// published shared context (or when no context is attached). std::map:
+  /// node stability keeps FileRef/entry pointers valid across inserts.
+  std::map<std::tuple<std::string, std::uint64_t, std::uint64_t>,
+           ExpansionEntry>
+      PrivateMemo;
+  std::map<std::string, CachedFile> PrivateReads;
+  std::vector<Recording> Recordings;
+  /// The output vector all active recordings index into (one processSource
+  /// tree writes a single Out, threaded through every nesting level).
+  std::vector<Token> *RecOut = nullptr;
+  /// Wall-clock spent lexing nested includes during the current
+  /// processSource, re-attributed from phase.pp to phase.lex.
+  double NestedLexMs = 0;
 };
 
 } // namespace memlint

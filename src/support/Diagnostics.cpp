@@ -56,6 +56,7 @@ std::string Diagnostic::str() const {
 }
 
 void DiagnosticEngine::commit(Diagnostic Diag) {
+  ++Reported;
   if (Filt && !Filt(Diag)) {
     ++Suppressed;
     return;

@@ -151,6 +151,13 @@ public:
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
   unsigned suppressedCount() const { return Suppressed; }
 
+  /// Monotonic count of every report() commit, including diagnostics later
+  /// dropped by the filter or flood control. Never reset by clear(). The
+  /// front-end cache compares this across an #include expansion to decide
+  /// whether the expansion is side-effect-free enough to memoize: any
+  /// reporting activity at all poisons the candidate entry.
+  unsigned long long reportedCount() const { return Reported; }
+
   /// Number of stored diagnostics of the given class.
   unsigned count(CheckId Id) const;
 
@@ -172,6 +179,7 @@ private:
 
   std::vector<Diagnostic> Diags;
   Filter Filt;
+  unsigned long long Reported = 0;
   unsigned Suppressed = 0;
   unsigned PerClassCap = 0; ///< 0 = unlimited
   unsigned TotalCap = 0;    ///< 0 = unlimited

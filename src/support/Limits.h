@@ -156,6 +156,19 @@ public:
     return ForcedExhausted || limitExhausted(Tokens, Budget.MaxTokens);
   }
 
+  /// Tokens still chargeable before the budget exhausts; ULONG_MAX when
+  /// the dimension is unlimited. The front-end cache's replay pre-check:
+  /// a memoized expansion is only replayed when every one of its tokens
+  /// fits, so budget truncation always takes the live path and keeps its
+  /// exact mid-stream semantics.
+  unsigned long tokensRemaining() const {
+    if (ForcedExhausted)
+      return 0;
+    if (Budget.MaxTokens == 0)
+      return static_cast<unsigned long>(-1);
+    return Tokens >= Budget.MaxTokens ? 0 : Budget.MaxTokens - Tokens;
+  }
+
   /// Tokens charged so far (observability; see support/Metrics.h).
   unsigned long tokensUsed() const { return Tokens; }
 

@@ -33,6 +33,9 @@
 ///   check.function      accumulated per-function check time (timer)
 ///   check.functions / check.stmts / check.splits           counters
 ///   lex.tokens / pp.tokens                                 counters
+///   pp.include_cache.hit/.miss/.bytes_saved   front-end memo (DESIGN §5c)
+///   vfs.read.hit / vfs.read.miss              batch read-cache counters
+///   lex.intern.hit / lex.intern.miss          shared spelling interner
 ///   diags.stored / diags.suppressed / diags.overflow       counters
 ///   env.*   copy-on-write environment counters (folded from +stats)
 ///

@@ -1,0 +1,31 @@
+//===--- SourceLocation.cpp - Interned source file names --------------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceLocation.h"
+
+#include <mutex>
+#include <unordered_set>
+
+using namespace memlint;
+
+const std::string &SourceLocation::emptyFile() {
+  static const std::string Empty;
+  return Empty;
+}
+
+// Process-global and immortal, so a SourceLocation can never dangle — it
+// may be copied into caches (the batch front-end memo, the service result
+// cache) that outlive the run that created it. The set is tiny (one entry
+// per distinct file name ever seen) and node-based, so element addresses
+// are stable under growth. The mutex is cold: hot paths (the lexer
+// stamping every token) intern once per file and then construct locations
+// from the pointer.
+const std::string *memlint::internSourceFileName(const std::string &Name) {
+  static std::mutex Mu;
+  static std::unordered_set<std::string> Names;
+  std::lock_guard<std::mutex> Lock(Mu);
+  return &*Names.insert(Name).first;
+}

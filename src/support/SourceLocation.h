@@ -20,19 +20,30 @@
 
 namespace memlint {
 
+/// Interns \p Name into the process-global, immortal file-name pool and
+/// returns its stable address. Hot producers (the lexer) intern once per
+/// file and stamp every token from the pointer.
+const std::string *internSourceFileName(const std::string &Name);
+
 /// A position in a named source file. Files are identified by name rather
 /// than by an opaque id: the preprocessor can splice many (virtual) files
-/// into one token stream and names keep diagnostics self-describing.
+/// into one token stream and names keep diagnostics self-describing. The
+/// name is an interned pointer (see internSourceFileName), so copying a
+/// location — done for every token copy in the pipeline — is trivial.
 class SourceLocation {
 public:
   SourceLocation() = default;
-  SourceLocation(std::string File, unsigned Line, unsigned Column)
-      : File(std::move(File)), Line(Line), Column(Column) {}
+  SourceLocation(const std::string &File, unsigned Line, unsigned Column)
+      : File(internSourceFileName(File)), Line(Line), Column(Column) {}
+  /// Hot-path form: \p File must come from internSourceFileName (or be
+  /// null for "no file").
+  SourceLocation(const std::string *File, unsigned Line, unsigned Column)
+      : File(File), Line(Line), Column(Column) {}
 
   /// True if this location refers to a real position in some file.
   bool isValid() const { return Line != 0; }
 
-  const std::string &file() const { return File; }
+  const std::string &file() const { return File ? *File : emptyFile(); }
   unsigned line() const { return Line; }
   unsigned column() const { return Column; }
 
@@ -41,18 +52,21 @@ public:
   std::string str() const {
     if (!isValid())
       return "<unknown>";
-    return File + ":" + std::to_string(Line);
+    return file() + ":" + std::to_string(Line);
   }
 
   friend bool operator==(const SourceLocation &A, const SourceLocation &B) {
-    return A.Line == B.Line && A.Column == B.Column && A.File == B.File;
+    return A.Line == B.Line && A.Column == B.Column &&
+           (A.File == B.File || A.file() == B.file());
   }
   friend bool operator!=(const SourceLocation &A, const SourceLocation &B) {
     return !(A == B);
   }
 
 private:
-  std::string File;
+  static const std::string &emptyFile();
+
+  const std::string *File = nullptr;
   unsigned Line = 0;
   unsigned Column = 0;
 };

@@ -1,0 +1,315 @@
+//===--- FrontendReuseTest.cpp - Shared front-end reuse tests ---------------===//
+//
+// Part of memlint. See DESIGN.md §5c.
+//
+// The memoized-#include / interned-spelling layer has one contract: it is
+// invisible. Diagnostics, token streams, and deterministic counters must be
+// byte-identical with the cache on or off, across job counts, and under
+// truncating budgets. These tests pin the contract and the cache-key
+// machinery (macro-state fingerprints) that upholds it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "driver/BatchDriver.h"
+#include "pp/Preprocessor.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlint;
+
+namespace {
+
+std::vector<std::string> spellings(const std::vector<Token> &Toks) {
+  std::vector<std::string> Out;
+  for (const Token &T : Toks)
+    if (!T.isEof())
+      Out.push_back(T.Text);
+  return Out;
+}
+
+/// One preprocessor run against \p Ctx (build role while unpublished, read
+/// role after), with metrics collected.
+struct PpRun {
+  std::vector<std::string> Spellings;
+  MetricsSnapshot Metrics;
+  unsigned Diags = 0;
+};
+
+PpRun runPp(const VFS &Files, const std::string &Main,
+            FrontendContext *Ctx = nullptr) {
+  MetricsRegistry Registry;
+  DiagnosticEngine Diags;
+  TokenArena Arena;
+  if (Ctx) {
+    if (Ctx->published())
+      Arena.SharedRead = &Ctx->Interner;
+    else
+      Arena.SharedBuild = &Ctx->Interner;
+  }
+  Preprocessor PP(Files, Diags);
+  PP.setMetrics(&Registry);
+  PP.setTokenArena(&Arena);
+  PP.setFrontend(Ctx);
+  PpRun R;
+  R.Spellings = spellings(PP.process(Main));
+  R.Metrics = Registry.takeSnapshot();
+  R.Diags = static_cast<unsigned>(Diags.diagnostics().size());
+  return R;
+}
+
+unsigned long long counter(const MetricsSnapshot &M, const std::string &K) {
+  auto It = M.Counters.find(K);
+  return It == M.Counters.end() ? 0 : It->second;
+}
+
+//===--- macro-state fingerprints ------------------------------------------===//
+
+TEST(MacroFingerprintTest, DefineChangesAndUndefRestores) {
+  MacroTable T;
+  const std::uint64_t Empty = T.fingerprint();
+  MacroDef D;
+  Token B;
+  B.Kind = TokenKind::IntegerLiteral;
+  B.Text = Spelling(internGlobalSpelling("42"));
+  D.Body.push_back(B);
+  T.define("N", D);
+  const std::uint64_t WithN = T.fingerprint();
+  EXPECT_NE(Empty, WithN);
+  T.undef("N");
+  EXPECT_EQ(Empty, T.fingerprint());
+}
+
+TEST(MacroFingerprintTest, OrderIndependent) {
+  MacroDef A, B;
+  MacroTable T1, T2;
+  T1.define("A", A);
+  T1.define("B", B);
+  T2.define("B", B);
+  T2.define("A", A);
+  EXPECT_EQ(T1.fingerprint(), T2.fingerprint());
+}
+
+TEST(MacroFingerprintTest, BodyAndLocationSensitive) {
+  Token One, Two;
+  One.Kind = Two.Kind = TokenKind::IntegerLiteral;
+  One.Text = Spelling(internGlobalSpelling("1"));
+  Two.Text = Spelling(internGlobalSpelling("2"));
+  MacroDef D1, D2;
+  D1.Body.push_back(One);
+  D2.Body.push_back(Two);
+  MacroTable T1, T2;
+  T1.define("M", D1);
+  T2.define("M", D2);
+  EXPECT_NE(T1.fingerprint(), T2.fingerprint());
+
+  // Same body text at a different source location is still a different
+  // definition: expanded tokens carry locations into diagnostics.
+  MacroDef D3 = D1;
+  D3.Body[0].Loc = SourceLocation("other.h", 7, 3);
+  MacroTable T3;
+  T3.define("M", D3);
+  EXPECT_NE(T1.fingerprint(), T3.fingerprint());
+}
+
+TEST(MacroFingerprintTest, RedefineRetractsOldDefinition) {
+  Token One;
+  One.Kind = TokenKind::IntegerLiteral;
+  One.Text = Spelling(internGlobalSpelling("1"));
+  MacroDef D1;
+  D1.Body.push_back(One);
+  MacroTable T1, T2;
+  T1.define("M", MacroDef());
+  T1.define("M", D1); // redefine: the empty definition must not linger
+  T2.define("M", D1);
+  EXPECT_EQ(T1.fingerprint(), T2.fingerprint());
+}
+
+//===--- include memoization ------------------------------------------------===//
+
+// The macro-state fingerprint is definition-location sensitive, so for two
+// translation units to share a cached expansion of size.h their LIMIT
+// definitions must come from the same place — a context header, as in real
+// corpora. A #define written directly in each .c file keys differently on
+// purpose (its body tokens carry that file's locations).
+VFS headerCorpus() {
+  VFS Files;
+  Files.add("size.h", "int buf[LIMIT];\n");
+  Files.add("ctx4.h", "#define LIMIT 4\n");
+  Files.add("ctx8.h", "#define LIMIT 8\n");
+  Files.add("a.c", "#include \"ctx4.h\"\n#include \"size.h\"\n");
+  Files.add("b.c", "#include \"ctx8.h\"\n#include \"size.h\"\n");
+  Files.add("a2.c", "#include \"ctx4.h\"\n#include \"size.h\"\n");
+  return Files;
+}
+
+TEST(IncludeMemoTest, ReplayMatchesLiveExpansion) {
+  VFS Files = headerCorpus();
+  PpRun Plain = runPp(Files, "a.c");
+
+  FrontendContext Ctx;
+  PpRun Warm = runPp(Files, "a.c", &Ctx);
+  Ctx.publish();
+  PpRun Replayed = runPp(Files, "a2.c", &Ctx); // same macro context
+  EXPECT_EQ(Plain.Spellings, Warm.Spellings);
+  EXPECT_EQ(Plain.Spellings, Replayed.Spellings);
+  EXPECT_GE(counter(Replayed.Metrics, "pp.include_cache.hit"), 1u);
+  EXPECT_GT(counter(Replayed.Metrics, "pp.include_cache.bytes_saved"), 0u);
+}
+
+TEST(IncludeMemoTest, DifferentMacroContextMisses) {
+  VFS Files = headerCorpus();
+  FrontendContext Ctx;
+  runPp(Files, "a.c", &Ctx); // caches size.h under LIMIT=4
+  Ctx.publish();
+  PpRun B = runPp(Files, "b.c", &Ctx); // LIMIT=8: the key must differ
+  EXPECT_EQ(counter(B.Metrics, "pp.include_cache.hit"), 0u);
+  EXPECT_GE(counter(B.Metrics, "pp.include_cache.miss"), 1u);
+  // And the expansion really reflects this file's macro context.
+  std::vector<std::string> Expected = {"int", "buf", "[", "8", "]", ";"};
+  EXPECT_EQ(B.Spellings, Expected);
+}
+
+// Regression: a header that redefines a macro mid-file must replay its
+// #define/#undef side effects, or text after a cached #include would expand
+// under stale macro state.
+TEST(IncludeMemoTest, ReplayAppliesMacroMutations) {
+  VFS Files;
+  Files.add("stage.h", "#define STAGE 1\n");
+  Files.add("redef.h", "int before = STAGE;\n"
+                       "#undef STAGE\n"
+                       "#define STAGE 2\n"
+                       "int inside = STAGE;\n");
+  Files.add("u1.c", "#include \"stage.h\"\n#include \"redef.h\"\n"
+                    "int after = STAGE;\n");
+  Files.add("u2.c", "#include \"stage.h\"\n#include \"redef.h\"\n"
+                    "int after = STAGE;\n");
+  PpRun Plain = runPp(Files, "u1.c");
+
+  FrontendContext Ctx;
+  runPp(Files, "u1.c", &Ctx);
+  Ctx.publish();
+  PpRun Replayed = runPp(Files, "u2.c", &Ctx);
+  EXPECT_GE(counter(Replayed.Metrics, "pp.include_cache.hit"), 1u);
+  EXPECT_EQ(Plain.Spellings, Replayed.Spellings);
+  // The post-include use saw the header's redefinition, not the stale 1.
+  ASSERT_GE(Plain.Spellings.size(), 2u);
+  EXPECT_EQ(Plain.Spellings[Plain.Spellings.size() - 2], "2");
+}
+
+TEST(IncludeMemoTest, VfsReadCacheCounters) {
+  VFS Files = headerCorpus();
+  FrontendContext Ctx;
+  PpRun Warm = runPp(Files, "a.c", &Ctx);
+  EXPECT_GE(counter(Warm.Metrics, "vfs.read.miss"), 2u); // a.c + size.h
+  EXPECT_EQ(counter(Warm.Metrics, "vfs.read.hit"), 0u);
+  Ctx.publish();
+  PpRun Hit = runPp(Files, "a2.c", &Ctx);
+  EXPECT_GE(counter(Hit.Metrics, "vfs.read.hit"), 1u); // size.h (cached)
+  EXPECT_GE(counter(Hit.Metrics, "vfs.read.miss"), 1u); // a2.c itself
+}
+
+//===--- interner roles -----------------------------------------------------===//
+
+TEST(SharedInternerTest, PublishThenLockFreeLookup) {
+  SharedInterner Pool;
+  const std::string *Foo = Pool.intern("foo");
+  ASSERT_NE(Foo, nullptr);
+  EXPECT_FALSE(Pool.published());
+  Pool.publish();
+  EXPECT_TRUE(Pool.published());
+  EXPECT_EQ(Pool.lookup("foo"), Foo);
+  EXPECT_EQ(Pool.lookup("bar"), nullptr);
+}
+
+TEST(SharedInternerTest, ReadRoleFallsBackPrivately) {
+  SharedInterner Pool;
+  const std::string *Foo = Pool.intern("foo");
+  Pool.publish();
+  TokenArena Arena;
+  Arena.SharedRead = &Pool;
+  EXPECT_EQ(Arena.intern("foo"), Foo); // shared hit: same allocation
+  const std::string *Bar = Arena.intern("bar");
+  ASSERT_NE(Bar, nullptr);
+  EXPECT_EQ(*Bar, "bar");
+  EXPECT_EQ(Arena.SharedHits, 1u);
+  EXPECT_EQ(Arena.PrivateInterned, 1u);
+}
+
+//===--- whole-pipeline byte-identity ---------------------------------------===//
+
+corpus::Program sharedHeaderProgram() {
+  corpus::GenOptions O;
+  O.Modules = 4;
+  O.FunctionsPerModule = 6;
+  O.SharedHeaders = 2;
+  O.Seed = 1234;
+  return corpus::syntheticProgram(O);
+}
+
+BatchResult runBatch(const corpus::Program &P, bool Shared, unsigned Jobs,
+                     unsigned MaxTokens = 0) {
+  BatchOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.SharedFrontend = Shared;
+  Opts.Check.FrontendCache = Shared;
+  Opts.CollectMetrics = true;
+  if (MaxTokens != 0)
+    Opts.Check.Flags.limits().MaxTokens = MaxTokens;
+  BatchDriver Driver(Opts);
+  return Driver.run(P.Files, P.MainFiles);
+}
+
+TEST(FrontendReuseBatchTest, SharedHeaderCorpusShape) {
+  corpus::Program P = sharedHeaderProgram();
+  EXPECT_TRUE(P.Files.exists("shared0.h"));
+  EXPECT_TRUE(P.Files.exists("shared1.h"));
+  for (const std::string &Main : P.MainFiles) {
+    std::optional<std::string> Src = P.Files.read(Main);
+    ASSERT_TRUE(Src.has_value());
+    EXPECT_NE(Src->find("#include \"shared0.h\""), std::string::npos);
+    EXPECT_NE(Src->find("#include \"shared1.h\""), std::string::npos);
+  }
+}
+
+TEST(FrontendReuseBatchTest, ByteIdenticalAcrossCacheAndJobs) {
+  corpus::Program P = sharedHeaderProgram();
+  BatchResult Off = runBatch(P, false, 1);
+  BatchResult On1 = runBatch(P, true, 1);
+  BatchResult On8 = runBatch(P, true, 8);
+  EXPECT_EQ(Off.render(), On1.render());
+  EXPECT_EQ(On1.render(), On8.render());
+  EXPECT_EQ(Off.TotalAnomalies, On1.TotalAnomalies);
+  EXPECT_GT(counter(On1.Metrics, "pp.include_cache.hit"), 0u);
+  EXPECT_EQ(counter(Off.Metrics, "pp.include_cache.hit"), 0u);
+  // Deterministic worker counters (everything except wall-clock timers and
+  // the cache/interner/warmup blocks) are unaffected by job count.
+  EXPECT_EQ(counter(On1.Metrics, "pp.tokens"), counter(On8.Metrics,
+                                                       "pp.tokens"));
+  EXPECT_EQ(counter(On1.Metrics, "pp.include_cache.hit"),
+            counter(On8.Metrics, "pp.include_cache.hit"));
+}
+
+// The replay path refuses entries larger than the remaining token budget
+// (truncation must happen live, mid-include, exactly where an uncached run
+// stops). A budget small enough to truncate must still yield byte-identical
+// output with the cache on.
+TEST(FrontendReuseBatchTest, ByteIdenticalUnderTruncatingBudget) {
+  corpus::Program P = sharedHeaderProgram();
+  for (unsigned MaxTokens : {40u, 200u, 1000u}) {
+    BatchResult Off = runBatch(P, false, 1, MaxTokens);
+    BatchResult On = runBatch(P, true, 1, MaxTokens);
+    EXPECT_EQ(Off.render(), On.render()) << "MaxTokens=" << MaxTokens;
+    EXPECT_EQ(Off.DegradedCount, On.DegradedCount)
+        << "MaxTokens=" << MaxTokens;
+  }
+}
+
+TEST(FrontendReuseBatchTest, GeneratedSharedHeadersCheckCleanly) {
+  corpus::Program P = sharedHeaderProgram();
+  BatchResult R = runBatch(P, true, 2);
+  EXPECT_EQ(R.TotalAnomalies, 0u) << R.render();
+  EXPECT_EQ(R.CrashCount, 0u);
+}
+
+} // namespace
