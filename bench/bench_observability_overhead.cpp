@@ -7,15 +7,21 @@
 // updates, so shipping the instrumentation must not tax the Section 7
 // workload. This bench measures three things on the synthetic corpus:
 //
-//   1. disabled-path overhead — checking with the metrics-instrumented
-//      pipeline and CollectMetrics off, against itself, interleaved
-//      min-of-runs; the acceptance gate is < 2% overhead versus the
-//      enabled path being the only one allowed to cost anything;
-//   2. enabled cost — the same workload with CollectMetrics on, reported
-//      for the trajectory but not gated (collection is opt-in);
+//   1. disabled-path overhead — checking with the fully-instrumented
+//      pipeline (metrics counters/timers, latency histograms, and trace
+//      spans all present as null-guarded sites) and every collector off,
+//      against itself, interleaved min-of-runs; the acceptance gate is
+//      < 2% overhead versus the enabled paths being the only ones allowed
+//      to cost anything;
+//   2. enabled cost — the same workload with CollectMetrics on (which now
+//      includes histogram recording), reported for the trajectory but not
+//      gated (collection is opt-in);
 //   3. trace cost — tracing one function out of hundreds, which must stay
 //      close to the enabled-metrics cost (all other functions take only a
-//      name comparison).
+//      name comparison);
+//   4. span-timeline cost — a TraceRecorder attached (--trace-out), so
+//      every phase and per-function span plus front-end instants are
+//      recorded in memory.
 //
 // Besides the human-readable report it emits machine-readable JSON to
 // BENCH_observability_overhead.json (current directory); ci.sh validates
@@ -25,6 +31,7 @@
 
 #include "checker/Checker.h"
 #include "corpus/Corpus.h"
+#include "support/Trace.h"
 
 #include <benchmark/benchmark.h>
 
@@ -53,6 +60,10 @@ double nowMs() {
 }
 
 double checkOnceMs(const Program &P, const CheckOptions &Options) {
+  // A run with a recorder attached measures per-run recording cost, not
+  // the accumulation of every previous round's events.
+  if (Options.Trace)
+    Options.Trace->clear();
   double T0 = nowMs();
   CheckResult R = Checker::checkFiles(P.Files, P.MainFiles, Options);
   double Ms = nowMs() - T0;
@@ -132,9 +143,19 @@ void printReproduction() {
   };
   Comparison Traced = compare(P, Off, Trace, Rounds);
 
+  // 4. Span-timeline recording (--trace-out): phase/function spans and
+  // front-end instants into an in-memory recorder; the cost measured is
+  // event construction, not rendering or I/O.
+  TraceRecorder Recorder;
+  CheckOptions Spans;
+  Spans.Trace = &Recorder;
+  Comparison SpanTrace = compare(P, Off, Spans, Rounds);
+  benchmark::DoNotOptimize(Recorder.events().size());
+
   double DisabledPct = Disabled.overheadPct();
   double EnabledPct = Enabled.overheadPct();
   double TracePct = Traced.overheadPct();
+  double SpanPct = SpanTrace.overheadPct();
   bool Pass = DisabledPct < 2.0;
 
   printf("%-22s %-14s %-14s %s\n", "configuration", "baseline(ms)",
@@ -145,6 +166,8 @@ void printReproduction() {
          Enabled.BaselineMs, Enabled.CandidateMs, EnabledPct);
   printf("%-22s %-14.2f %-14.2f %+.2f%%\n", "trace one function",
          Traced.BaselineMs, Traced.CandidateMs, TracePct);
+  printf("%-22s %-14.2f %-14.2f %+.2f%%\n", "trace spans recorded",
+         SpanTrace.BaselineMs, SpanTrace.CandidateMs, SpanPct);
   printf("\ndisabled-path overhead %.2f%% (acceptance: < 2%%) => %s\n\n",
          DisabledPct, Pass ? "PASS" : "FAIL");
 
@@ -167,6 +190,9 @@ void printReproduction() {
   fprintf(F, "  \"trace\": {\"baseline_ms\": %.3f, \"candidate_ms\": %.3f, "
              "\"overhead_pct\": %.2f},\n",
           Traced.BaselineMs, Traced.CandidateMs, TracePct);
+  fprintf(F, "  \"trace_spans\": {\"baseline_ms\": %.3f, \"candidate_ms\": "
+             "%.3f, \"overhead_pct\": %.2f},\n",
+          SpanTrace.BaselineMs, SpanTrace.CandidateMs, SpanPct);
   fprintf(F, "  \"overhead_pct\": %.2f,\n", DisabledPct);
   fprintf(F, "  \"acceptance_max_overhead_pct\": 2.0,\n");
   fprintf(F, "  \"acceptance_pass\": %s\n", Pass ? "true" : "false");

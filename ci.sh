@@ -114,6 +114,45 @@ grep -q '"batch.files": 12' "$SMOKE/m1.counters" || \
 if ! grep -q '"pp.include_cache.hit": [1-9]' "$SMOKE/m1.counters"; then
   echo "obs smoke: shared front end never hit (pp.include_cache.hit)"; exit 1
 fi
+# Latency histograms ride in the metrics summary with exact bucket counts;
+# the distribution keys and observation counts must be present.
+for needle in '"hist.batch.file"' '"hist.check.function"' '"count":' \
+  '"p50_ms":' '"buckets":'; do
+  grep -q "$needle" "$SMOKE/m1.json" || \
+    { echo "obs smoke: metrics lack histogram field $needle"; exit 1; }
+done
+
+# Trace timeline: --trace-out must emit Chrome trace-event JSON with the
+# pid/tid/ts/ph spine and the batch/frontend/check categories, and the
+# (cat, name, args) span set must be identical across -j1 and -j4 once
+# the wall-clock/scheduling fields (tid, ts, dur) are normalized away.
+(cd "$SMOKE" && "$MEMLINT" -j1 --trace-out=t1.json $CORPUS \
+  > /dev/null 2>&1) || true
+(cd "$SMOKE" && "$MEMLINT" -j4 --trace-out=t4.json $CORPUS \
+  > /dev/null 2>&1) || true
+for f in t1.json t4.json; do
+  [ -s "$SMOKE/$f" ] || { echo "obs smoke: $f missing or empty"; exit 1; }
+done
+for needle in '"traceEvents"' '"pid": 1' '"tid": ' '"ts": ' '"ph": "X"' \
+  '"cat": "batch"' '"cat": "frontend"' '"cat": "check"' \
+  '"name": "file"' '"outcome"'; do
+  grep -q "$needle" "$SMOKE/t1.json" || \
+    { echo "obs smoke: trace lacks $needle"; exit 1; }
+done
+opens=$(tr -cd '{' < "$SMOKE/t1.json" | wc -c)
+closes=$(tr -cd '}' < "$SMOKE/t1.json" | wc -c)
+[ "$opens" -eq "$closes" ] || \
+  { echo "obs smoke: trace braces unbalanced ($opens vs $closes)"; exit 1; }
+for f in t1 t4; do
+  sed -e 's/"tid": [0-9]*/"tid": T/' -e 's/"ts": [0-9]*/"ts": T/' \
+      -e 's/"dur": [0-9]*/"dur": D/' "$SMOKE/$f.json" | \
+    grep '"ph"' | sort > "$SMOKE/$f.norm"
+done
+cmp -s "$SMOKE/t1.norm" "$SMOKE/t4.norm" || \
+  { echo "obs smoke: trace span set differs between -j1 and -j4"; exit 1; }
+spans=$(grep -c '"name": "file"' "$SMOKE/t1.json" || true)
+[ "$spans" -eq 12 ] || \
+  { echo "obs smoke: expected 12 per-file spans, got $spans"; exit 1; }
 echo "observability smoke ok"
 
 echo "== differential fuzz smoke =="
@@ -173,8 +212,11 @@ echo leak.c >> "$SMOKE/svc/MANIFEST"
 SOCK=$SMOKE/ml.sock
 
 svc_start() {
+  # --metrics-out turns on collection, so stats replies expose the latency
+  # histograms and gauges asserted below.
   (cd "$SMOKE/svc" && exec "$MEMLINT" --serve --socket="$SOCK" \
-    --cache="$SMOKE/cache.jsonl" 2> "$1") &
+    --cache="$SMOKE/cache.jsonl" \
+    --metrics-out="$SMOKE/svc_metrics.json" 2> "$1") &
   SRV=$!
   n=0
   while [ ! -S "$SOCK" ] && [ "$n" -lt 100 ]; do sleep 0.1; n=$((n + 1)); done
@@ -221,6 +263,16 @@ hits=$(grep -c 'cache hit' "$SMOKE/svc_warm2.log" || true)
   2> /dev/null
 grep -q '"cache.corrupt_recovered":1' "$SMOKE/svc_stats.out" || \
   { echo "service smoke: torn tail was not counted as recovered"; exit 1; }
+# After the warm pass (9 queued checks through the socket) the stats
+# exposition must carry the full observability surface: queue-depth and
+# uptime/RSS gauges plus the queue-wait and check-latency distributions
+# with derived quantiles.
+for needle in '"service.queue_depth":' '"service.uptime_ms":' \
+  '"mem.peak_rss_kb":' '"hist.service.queue_wait":' \
+  '"hist.service.check":' '"p50_ms":' '"p99_ms":'; do
+  grep -q "$needle" "$SMOKE/svc_stats.out" || \
+    { echo "service smoke: stats lack $needle"; exit 1; }
+done
 
 "$MEMLINT" --request --socket="$SOCK" shutdown > /dev/null 2>&1 || true
 n=0
@@ -297,7 +349,7 @@ awk '/"modules": 400/ {
 grep -q '"acceptance_pass": true' "$BENCHDIR/BENCH_env_scaling.json" || \
   { echo "bench smoke: env split-throughput acceptance failed"; exit 1; }
 check_json "$BENCHDIR/BENCH_observability_overhead.json" \
-  bench disabled enabled trace overhead_pct acceptance_pass
+  bench disabled enabled trace trace_spans overhead_pct acceptance_pass
 grep -q '"acceptance_pass": true' \
   "$BENCHDIR/BENCH_observability_overhead.json" || \
   { echo "bench smoke: metrics disabled-path overhead exceeds 2%"; exit 1; }

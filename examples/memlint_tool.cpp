@@ -25,7 +25,10 @@
 //   memlint -format=sarif file.c        findings as a SARIF 2.1.0 document
 //   memlint -format=jsonl file.c        findings as JSON Lines
 //   memlint -trace-states=fn file.c     trace fn's state transitions (stderr)
-//   memlint --metrics-out=m.json ...    phase timings + counters to a file
+//   memlint --metrics-out=m.json ...    phase timings + counters + latency
+//                                       histograms to a file
+//   memlint --trace-out=t.json ...      span timeline as Chrome trace-event
+//                                       JSON (chrome://tracing, Perfetto)
 //
 // The persistent check service (see DESIGN.md §6f):
 //
@@ -82,6 +85,7 @@
 #include "service/ServiceSocket.h"
 #include "support/FindingsOutput.h"
 #include "support/Journal.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <csignal>
@@ -145,6 +149,7 @@ int main(int argc, char **argv) {
   BatchOptions Batch;
   std::string Format = "text";
   std::string MetricsOut;
+  std::string TraceOut;
   bool FuzzMode = false;
   fuzz::FuzzOptions Fuzz;
   std::string FuzzOut;
@@ -438,6 +443,19 @@ int main(int argc, char **argv) {
       }
       continue;
     }
+    if (Arg == "--trace-out" || Arg.compare(0, 12, "--trace-out=") == 0) {
+      size_t Eq = Arg.find('=');
+      if (Eq != std::string::npos) {
+        TraceOut = Arg.substr(Eq + 1);
+      } else if (I + 1 < argc) {
+        TraceOut = argv[++I];
+      }
+      if (TraceOut.empty()) {
+        fprintf(stderr, "memlint: --trace-out needs an output path\n");
+        return 126;
+      }
+      continue;
+    }
     if (!Arg.empty() && (Arg[0] == '+' || Arg[0] == '-')) {
       std::string Error;
       if (!Options.Flags.parse(Arg, Error)) {
@@ -509,6 +527,7 @@ int main(int argc, char **argv) {
     }
     Serve.Check = Options;
     Serve.CollectMetrics = !MetricsOut.empty();
+    Serve.CollectTrace = !TraceOut.empty();
     std::signal(SIGTERM, serviceStopSignal);
     std::signal(SIGINT, serviceStopSignal);
     CheckService Service(Serve);
@@ -528,9 +547,15 @@ int main(int argc, char **argv) {
     Socket.close();
     Service.stop(); // graceful drain + compacted cache flush
     if (!MetricsOut.empty() &&
-        !writeFileText(MetricsOut, Service.metrics().json() + "\n")) {
+        !writeFileTextAtomic(MetricsOut, Service.metrics().json() + "\n")) {
       fprintf(stderr, "memlint: cannot write metrics to '%s'\n",
               MetricsOut.c_str());
+      return 126;
+    }
+    if (!TraceOut.empty() &&
+        !writeFileTextAtomic(TraceOut, renderChromeTrace(Service.trace()))) {
+      fprintf(stderr, "memlint: cannot write trace to '%s'\n",
+              TraceOut.c_str());
       return 126;
     }
     fprintf(stderr, "-- serve: drained after %lu connection(s)\n", Served);
@@ -539,24 +564,42 @@ int main(int argc, char **argv) {
 
   if (RequestMode) {
     ServiceRequest Req;
-    bool Usage = Files.empty();
-    if (!Usage) {
-      const std::string &Op = Files[0];
-      if ((Op == "check" || Op == "invalidate") && Files.size() == 2) {
-        Req.Kind = Op == "check" ? ServiceRequestKind::Check
-                                 : ServiceRequestKind::Invalidate;
-        Req.File = Files[1];
-      } else if (Op == "stats" && Files.size() == 1) {
-        Req.Kind = ServiceRequestKind::Stats;
-      } else if (Op == "shutdown" && Files.size() == 1) {
-        Req.Kind = ServiceRequestKind::Shutdown;
-      } else {
-        Usage = true;
-      }
-    }
-    if (Usage) {
-      fprintf(stderr, "memlint: --request needs one of: check FILE | "
+    if (Files.empty()) {
+      fprintf(stderr, "memlint: --request needs an operation: check FILE | "
                       "invalidate FILE | stats | shutdown\n");
+      return 126;
+    }
+    const std::string &Op = Files[0];
+    if (Op == "check" || Op == "invalidate") {
+      // Exactly one file operand: a missing target and a stray extra one
+      // get distinct messages so scripted callers see what went wrong.
+      if (Files.size() < 2) {
+        fprintf(stderr, "memlint: --request %s needs a FILE operand\n",
+                Op.c_str());
+        return 126;
+      }
+      if (Files.size() > 2) {
+        fprintf(stderr, "memlint: --request %s takes exactly one FILE "
+                        "operand (unexpected '%s')\n",
+                Op.c_str(), Files[2].c_str());
+        return 126;
+      }
+      Req.Kind = Op == "check" ? ServiceRequestKind::Check
+                               : ServiceRequestKind::Invalidate;
+      Req.File = Files[1];
+    } else if (Op == "stats" || Op == "shutdown") {
+      if (Files.size() != 1) {
+        fprintf(stderr, "memlint: --request %s takes no file operand "
+                        "(unexpected '%s')\n",
+                Op.c_str(), Files[1].c_str());
+        return 126;
+      }
+      Req.Kind = Op == "stats" ? ServiceRequestKind::Stats
+                               : ServiceRequestKind::Shutdown;
+    } else {
+      fprintf(stderr, "memlint: --request operation '%s' is not one of: "
+                      "check FILE | invalidate FILE | stats | shutdown\n",
+              Op.c_str());
       return 126;
     }
     std::string Error;
@@ -599,12 +642,12 @@ int main(int argc, char **argv) {
 
   if (FuzzMode || HaveRepro) {
     if (!Files.empty() || PrintCfg || RunProgram || Format != "text" ||
-        !MetricsOut.empty() || !Options.TraceFunction.empty() ||
-        !FailOn.empty()) {
+        !MetricsOut.empty() || !TraceOut.empty() ||
+        !Options.TraceFunction.empty() || !FailOn.empty()) {
       fprintf(stderr, "memlint: --fuzz/--fuzz-repro run a generated fleet; "
                       "they cannot be combined with input files, --cfg, "
-                      "--run, -format, -trace-states, --metrics-out, or "
-                      "-fail-on\n");
+                      "--run, -format, -trace-states, --metrics-out, "
+                      "--trace-out, or -fail-on\n");
       return 126;
     }
   }
@@ -685,7 +728,8 @@ int main(int argc, char **argv) {
     fprintf(stderr, "usage: memlint [+flag|-flag]... [--cfg] [--run] [-jN] "
                     "[-file-deadline-ms=N] [--journal FILE] [--resume FILE] "
                     "[-format=text|sarif|jsonl] [-trace-states=FN] "
-                    "[--metrics-out FILE] [-fail-on=degraded|internal] "
+                    "[--metrics-out FILE] [--trace-out FILE] "
+                    "[-fail-on=degraded|internal] "
                     "[-frontend-cache=on|off] file.c...\n"
                     "       memlint --fuzz [-fuzz-count=N] [-fuzz-seed=N] "
                     "[-fuzz-faults=N] [-fuzz-mutate=PCT] [-fuzz-out=FILE] "
@@ -693,9 +737,11 @@ int main(int argc, char **argv) {
                     "       memlint --fuzz-repro=SEED\n"
                     "       memlint --serve --socket=PATH [--cache=FILE] "
                     "[-serve-deadline-ms=N] [-serve-queue=N] [-cache-max=N] "
-                    "[--metrics-out FILE]\n"
-                    "       memlint --request --socket=PATH "
-                    "check FILE|invalidate FILE|stats|shutdown\n"
+                    "[--metrics-out FILE] [--trace-out FILE]\n"
+                    "       memlint --request --socket=PATH check FILE\n"
+                    "       memlint --request --socket=PATH invalidate FILE\n"
+                    "       memlint --request --socket=PATH stats\n"
+                    "       memlint --request --socket=PATH shutdown\n"
                     "       memlint --gen-sec7=DIR [-gen-modules=N] "
                     "[-gen-shared-headers=N]\n");
     return 126;
@@ -721,7 +767,7 @@ int main(int argc, char **argv) {
     return 126;
   }
   if ((PrintCfg || RunProgram) &&
-      (Format != "text" || !MetricsOut.empty() ||
+      (Format != "text" || !MetricsOut.empty() || !TraceOut.empty() ||
        !Options.TraceFunction.empty())) {
     fprintf(stderr, "memlint: observability options apply to checking, not "
                     "--cfg or --run\n");
@@ -731,6 +777,8 @@ int main(int argc, char **argv) {
     Options.CollectMetrics = true;
     Batch.CollectMetrics = true;
   }
+  if (!TraceOut.empty())
+    Batch.CollectTrace = true;
   if (!Options.TraceFunction.empty())
     Options.TraceSink = [](const std::string &Event) {
       fprintf(stderr, "-- trace %s\n", Event.c_str());
@@ -818,9 +866,15 @@ int main(int argc, char **argv) {
       // groups this with usage errors — the invocation itself is wrong.
       return 126;
     if (!MetricsOut.empty() &&
-        !writeFileText(MetricsOut, R.Metrics.json() + "\n")) {
+        !writeFileTextAtomic(MetricsOut, R.Metrics.json() + "\n")) {
       fprintf(stderr, "memlint: cannot write metrics to '%s'\n",
               MetricsOut.c_str());
+      return 126;
+    }
+    if (!TraceOut.empty() &&
+        !writeFileTextAtomic(TraceOut, renderChromeTrace(R.Trace))) {
+      fprintf(stderr, "memlint: cannot write trace to '%s'\n",
+              TraceOut.c_str());
       return 126;
     }
     unsigned Count = R.TotalAnomalies;
@@ -864,6 +918,9 @@ int main(int argc, char **argv) {
     return 0;
   }
 
+  TraceRecorder SingleRunTrace;
+  if (!TraceOut.empty())
+    Options.Trace = &SingleRunTrace;
   CheckResult R = Checker::checkFiles(Vfs, Files, Options);
   std::string DegradedNote;
   if (R.Status != CheckStatus::Ok) {
@@ -888,9 +945,16 @@ int main(int argc, char **argv) {
     printf("%s", DegradedNote.c_str());
   }
   if (!MetricsOut.empty() &&
-      !writeFileText(MetricsOut, R.Metrics.json() + "\n")) {
+      !writeFileTextAtomic(MetricsOut, R.Metrics.json() + "\n")) {
     fprintf(stderr, "memlint: cannot write metrics to '%s'\n",
             MetricsOut.c_str());
+    return 126;
+  }
+  if (!TraceOut.empty() &&
+      !writeFileTextAtomic(TraceOut,
+                           renderChromeTrace(SingleRunTrace.events()))) {
+    fprintf(stderr, "memlint: cannot write trace to '%s'\n",
+            TraceOut.c_str());
     return 126;
   }
   unsigned Count = R.anomalyCount();

@@ -440,8 +440,11 @@ void FunctionChecker::checkFunction(const FunctionDecl *FD) {
   CurFn = FD;
   TraceActive = TraceSink && !TraceFn.empty() && FD->name() == TraceFn;
   // Records even when the body below throws: the containment path in
-  // checkAll still charges this function's time to "check.function".
-  ScopedTimer FnTimer(Metrics, "check.function");
+  // checkAll still charges this function's time to "check.function" (both
+  // the aggregate timer and the latency distribution) and its span.
+  ScopedLatency FnTimer(Metrics, "check.function", "hist.check.function");
+  ScopedTraceSpan FnSpan(Trace, "check", "check.function");
+  FnSpan.arg("fn", FD->name());
   GlobalsUsed.clear();
   LocalScopes.clear();
   Loops.clear();

@@ -33,6 +33,7 @@
 #include "support/Flags.h"
 #include "support/Limits.h"
 #include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <functional>
 #include <optional>
@@ -66,10 +67,16 @@ public:
   void checkAll();
 
   /// Attaches a metrics registry: checkFunction then times each function
-  /// ("check.function") and counts functions / statements / splits; under
-  /// +stats the environment counters are folded in as "env.*". Null (the
-  /// default) keeps the analysis free of clock reads.
+  /// ("check.function" timer + "hist.check.function" latency histogram)
+  /// and counts functions / statements / splits; under +stats the
+  /// environment counters are folded in as "env.*". Null (the default)
+  /// keeps the analysis free of clock reads.
   void setMetrics(MetricsRegistry *M) { Metrics = M; }
+
+  /// Attaches a span recorder: checkFunction then records one
+  /// "check.function" span per function with the function name as an arg.
+  /// Null (the default) is fully inert.
+  void setTraceRecorder(TraceRecorder *R) { Trace = R; }
 
   /// Enables state-transition tracing for the function named \p Fn. While
   /// that function is being checked, every definition/null/allocation state
@@ -206,6 +213,7 @@ private:
   DiagnosticEngine &Diags;
   BudgetState *Budget = nullptr;
   MetricsRegistry *Metrics = nullptr;
+  TraceRecorder *Trace = nullptr;
   std::string TraceFn; ///< function name selected for tracing; "" = none
   std::function<void(const std::string &)> TraceSink;
   bool TraceActive = false; ///< tracing the function currently checked

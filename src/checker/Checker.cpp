@@ -177,6 +177,7 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
   PP.setTokenArena(&Arena);
   PP.setFrontend(Options.Frontend);
   PP.setMemoEnabled(Options.FrontendCache);
+  PP.setTraceRecorder(Options.Trace);
 
   // Converts an exception escaping one pipeline stage into a diagnostic so
   // the rest of the run can proceed with partial results.
@@ -254,6 +255,7 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
     TranslationUnit *TU = nullptr;
     try {
       ScopedTimer T(Metrics, "phase.parse");
+      ScopedTraceSpan Span(Options.Trace, "check", "phase.parse");
       Parser P(std::move(Program), Ctx, Diags, &Budget);
       TU = P.parse(MainName);
     } catch (const std::exception &E) {
@@ -263,6 +265,7 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
     if (TU) {
       try {
         ScopedTimer T(Metrics, "phase.sema");
+        ScopedTraceSpan Span(Options.Trace, "check", "phase.sema");
         Sema S(Diags);
         S.check(*TU);
       } catch (const std::exception &E) {
@@ -273,8 +276,10 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
       // is the last resort for errors escaping the loop machinery.
       try {
         ScopedTimer T(Metrics, "phase.check");
+        ScopedTraceSpan Span(Options.Trace, "check", "phase.check");
         FunctionChecker FC(*TU, Options.Flags, Diags, &Budget);
         FC.setMetrics(Metrics);
+        FC.setTraceRecorder(Options.Trace);
         if (!Options.TraceFunction.empty())
           FC.setTrace(Options.TraceFunction, Options.TraceSink);
         FC.checkAll();

@@ -22,6 +22,7 @@
 #include "support/Diagnostics.h"
 #include "support/Flags.h"
 #include "support/Metrics.h"
+#include "support/Trace.h"
 #include "support/VFS.h"
 
 #include <functional>
@@ -63,6 +64,13 @@ struct CheckOptions {
   /// into CheckResult::Metrics. Off by default: the disabled path performs
   /// no clock reads and no counter updates (see support/Metrics.h).
   bool CollectMetrics = false;
+  /// Structured span timeline (see support/Trace.h): when set, the run
+  /// records phase spans, per-function check spans, and front-end cache
+  /// decision instants into this recorder. Null (the default) is fully
+  /// inert — one pointer test per site, no clock reads. Run-scoped
+  /// plumbing like CollectMetrics: deliberately not part of
+  /// checkOptionsFingerprint.
+  TraceRecorder *Trace = nullptr;
   /// When non-empty, the analysis of the function with this name is traced:
   /// every state transition, split, and merge is reported to TraceSink as
   /// one structured event line. Other functions are unaffected.

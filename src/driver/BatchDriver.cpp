@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -339,19 +340,32 @@ BatchResult BatchDriver::run(const VFS &Files,
 
   //===--- the retry ladder for one file ----------------------------------===//
 
-  auto checkOne = [&](const std::string &Name) {
+  auto checkOne = [&](const std::string &Name, unsigned WorkerId) {
     FileOutcome Outcome;
     Outcome.File = Name;
+    // One recorder per file attempt (tagged with the worker id); the
+    // driver flushes per-file buffers in input order, see tallies below.
+    TraceRecorder Recorder;
+    Recorder.setTid(WorkerId);
+    TraceRecorder *Trace = Opts.CollectTrace ? &Recorder : nullptr;
     CheckOptions Tightened = Opts.Check; // copy; halved on each retry
     Tightened.Frontend = Shared.get();   // null when no shared front end
     if (Opts.CollectMetrics)
       Tightened.CollectMetrics = true;
+    Tightened.Trace = Trace;
     const unsigned MaxAttempts = std::max(1u, Opts.MaxAttempts);
     double SpentMs = 0;
+    double FirstStartMs = 0;
     for (unsigned Attempt = 1;; ++Attempt) {
+      // Final attempt only, mirroring the metrics discipline below: a
+      // retried file's trace describes the run that produced its recorded
+      // diagnostics, not the abandoned attempts.
+      Recorder.clear();
       CancelToken Token;
       const unsigned long Slot = Dog.arm(&Token);
       const double AttemptStartMs = monotonicNowMs();
+      if (Attempt == 1)
+        FirstStartMs = AttemptStartMs;
       if (Opts.TestStallMs) {
         if (unsigned StallMs = Opts.TestStallMs(Name))
           std::this_thread::sleep_for(std::chrono::milliseconds(StallMs));
@@ -388,13 +402,38 @@ BatchResult BatchDriver::run(const VFS &Files,
       // Final attempt only: a retried file's metrics describe the run that
       // produced its recorded diagnostics, not the abandoned attempts.
       Outcome.Metrics = std::move(R.Metrics);
+      // Per-file batch latency, retries included. Lives on the outcome's
+      // snapshot so it is journaled and survives --resume aggregation.
+      if (Opts.CollectMetrics)
+        Outcome.Metrics.Histograms["hist.batch.file"].record(SpentMs);
+      if (Trace) {
+        TraceEvent Span;
+        Span.Ph = 'X';
+        Span.Cat = "batch";
+        Span.Name = "file";
+        Span.TsMs = FirstStartMs;
+        Span.DurMs = SpentMs;
+        Span.Args.emplace_back("file", Name);
+        Span.Args.emplace_back("outcome", fileOutcomeName(Outcome.Kind));
+        Span.Args.emplace_back("attempts", std::to_string(Attempt));
+        std::string Reasons;
+        for (const std::string &Reason : Outcome.Reasons) {
+          if (!Reasons.empty())
+            Reasons += ",";
+          Reasons += Reason;
+        }
+        if (!Reasons.empty())
+          Span.Args.emplace_back("reasons", Reasons);
+        Recorder.record(std::move(Span));
+        Outcome.Trace = Recorder.take();
+      }
       return Outcome;
     }
   };
 
   //===--- worker pool -----------------------------------------------------===//
 
-  auto worker = [&] {
+  auto worker = [&](unsigned WorkerId) {
     for (;;) {
       const size_t I = NextIndex.fetch_add(1, std::memory_order_relaxed);
       if (I >= Count)
@@ -404,7 +443,7 @@ BatchResult BatchDriver::run(const VFS &Files,
         if (Filled[I])
           continue; // recovered from the journal
       }
-      FileOutcome Outcome = checkOne(Names[I]);
+      FileOutcome Outcome = checkOne(Names[I], WorkerId);
       if (JournalOn) {
         const std::string Line = journalEntryLine(entryFromOutcome(Outcome));
         std::lock_guard<std::mutex> Lock(JournalMu);
@@ -423,7 +462,7 @@ BatchResult BatchDriver::run(const VFS &Files,
   std::vector<std::thread> Pool;
   Pool.reserve(ThreadCount);
   for (size_t I = 0; I < ThreadCount; ++I)
-    Pool.emplace_back(worker);
+    Pool.emplace_back(worker, static_cast<unsigned>(I));
   for (std::thread &T : Pool)
     T.join();
   Dog.stop();
@@ -478,6 +517,17 @@ BatchResult BatchDriver::run(const VFS &Files,
     C["batch.anomalies"] += Result.TotalAnomalies;
     C["batch.suppressed"] += Result.TotalSuppressed;
     C["journal.skipped"] += Result.JournalCorruptLines;
+  }
+  if (Opts.CollectTrace) {
+    // Same input-order flush as the metrics fold: the merged event
+    // sequence is independent of completion order, so a -jN trace carries
+    // the same (category, name, args) sequence as -j1.
+    for (FileOutcome &O : Result.Outcomes) {
+      Result.Trace.insert(Result.Trace.end(),
+                          std::make_move_iterator(O.Trace.begin()),
+                          std::make_move_iterator(O.Trace.end()));
+      O.Trace.clear();
+    }
   }
   Result.WallMs = monotonicNowMs() - StartMs;
   return Result;

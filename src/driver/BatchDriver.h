@@ -80,6 +80,12 @@ struct FileOutcome {
   /// unless BatchOptions::CollectMetrics was set. Journaled, so resumed
   /// outcomes keep their metrics and aggregation stays complete.
   MetricsSnapshot Metrics;
+  /// The final attempt's trace events (the check pipeline's spans and
+  /// instants plus one closing "file" span), tagged with the recording
+  /// worker's id; populated only under BatchOptions::CollectTrace, and
+  /// moved into BatchResult::Trace when run() returns. Not journaled —
+  /// resumed outcomes carry no trace.
+  std::vector<TraceEvent> Trace;
   /// True if this outcome was recovered from a resumed journal instead of
   /// being re-checked.
   bool Resumed = false;
@@ -117,6 +123,12 @@ struct BatchOptions {
   /// Collect per-file metrics (each worker run gets its own registry) and
   /// aggregate them into BatchResult::Metrics. Off by default.
   bool CollectMetrics = false;
+  /// Collect a span timeline (each worker's file attempt records into its
+  /// own TraceRecorder; per-file buffers are flushed into
+  /// BatchResult::Trace in input order, so the event sequence modulo
+  /// timestamps/tids is identical across -jN). Off by default: the
+  /// disabled path is the same null-pointer guard as metrics.
+  bool CollectTrace = false;
   /// Called right before each per-file check attempt with the attempt's
   /// options (cancel token already attached, limits already tightened by
   /// the retry ladder). The fuzz harness uses it to arm per-file fault
@@ -167,6 +179,11 @@ struct BatchResult {
   /// fixed, so counters are identical across -j1 and -jN (timer values are
   /// wall clock and vary run to run).
   MetricsSnapshot Metrics;
+  /// Per-file trace events concatenated in input order; empty unless
+  /// BatchOptions::CollectTrace was set. The (category, name, args)
+  /// sequence is identical across -j1 and -jN; timestamps, durations, and
+  /// worker ids (tid) vary. Render with renderChromeTrace.
+  std::vector<TraceEvent> Trace;
 
   /// Every file's diagnostics concatenated in input order — byte-identical
   /// across job counts.

@@ -99,6 +99,8 @@ std::vector<Token> Preprocessor::processSource(const std::string &Name,
   std::vector<Token> Out;
   RecOut = &Out;
   NestedLexMs = 0;
+  ScopedTraceSpan PpSpan(Trace, "frontend", "phase.pp");
+  PpSpan.arg("file", Name);
 
   // Top-level memo: in a batch with shared headers the dominant repeated
   // text is the prelude itself, processed once per translation unit.
@@ -107,26 +109,30 @@ std::vector<Token> Preprocessor::processSource(const std::string &Name,
   if (MemoOn) {
     Hash = hashContents(Source);
     Fp = Macros.fingerprint();
-    if (const ExpansionEntry *E = lookupEntry(Name, Hash, Fp)) {
-      if (canReplay(*E, /*Base=*/0)) {
-        countMemo(true, E->SourceBytes);
-        {
-          ScopedTimer T(Metrics, "phase.pp");
-          replayEntry(*E, Out);
-        }
-        if (Metrics)
-          Metrics->addCounter("pp.tokens", Out.size());
-        if (Out.empty() || !Out.back().isEof()) {
-          Token Eof;
-          Eof.Kind = TokenKind::Eof;
-          Eof.Loc = E->EofLoc.isValid() ? E->EofLoc : SourceLocation(Name, 1, 1);
-          Out.push_back(Eof);
-        }
-        RecOut = nullptr;
-        return Out;
-      }
+    const ExpansionEntry *E = nullptr;
+    {
+      ScopedLatency L(Metrics, "pp.include_cache.lookup",
+                      "hist.pp.include_cache.lookup");
+      E = lookupEntry(Name, Hash, Fp);
     }
-    countMemo(false, 0);
+    if (E && canReplay(*E, /*Base=*/0)) {
+      countMemo(true, E->SourceBytes, Name);
+      {
+        ScopedTimer T(Metrics, "phase.pp");
+        replayEntry(*E, Out);
+      }
+      if (Metrics)
+        Metrics->addCounter("pp.tokens", Out.size());
+      if (Out.empty() || !Out.back().isEof()) {
+        Token Eof;
+        Eof.Kind = TokenKind::Eof;
+        Eof.Loc = E->EofLoc.isValid() ? E->EofLoc : SourceLocation(Name, 1, 1);
+        Out.push_back(Eof);
+      }
+      RecOut = nullptr;
+      return Out;
+    }
+    countMemo(false, 0, Name);
   }
 
   // Record the top-level expansion only into the shared cache (the driver's
@@ -304,6 +310,10 @@ void Preprocessor::addControl(SourceLocation Loc, const std::string &Text) {
 }
 
 void Preprocessor::notePoison() {
+  // The instant marks a real memoization loss: something replay-hostile
+  // happened while at least one expansion was being recorded.
+  if (Trace && !Recordings.empty())
+    Trace->instant("frontend", "pp.include_cache.poison");
   for (Recording &R : Recordings)
     R.Poisoned = true;
 }
@@ -381,7 +391,12 @@ void Preprocessor::finishRecording(bool Commit) {
   PrivateMemo.emplace(std::move(Key), std::move(R.Entry));
 }
 
-void Preprocessor::countMemo(bool Hit, std::size_t Bytes) {
+void Preprocessor::countMemo(bool Hit, std::size_t Bytes,
+                             const std::string &Name) {
+  if (Trace)
+    Trace->instant("frontend",
+                   Hit ? "pp.include_cache.hit" : "pp.include_cache.miss",
+                   {{"file", Name}});
   if (!Metrics)
     return;
   if (Hit) {
@@ -621,15 +636,19 @@ size_t Preprocessor::handleDirective(const std::vector<Token> &Toks, size_t I,
     std::uint64_t Fp = 0;
     if (MemoOn) {
       Fp = Macros.fingerprint();
-      if (const ExpansionEntry *E = lookupEntry(IncludeName, FR->Hash, Fp)) {
-        if (canReplay(*E, Base)) {
-          countMemo(true, E->SourceBytes);
-          noteReplayedInclude(*E, Base);
-          replayEntry(*E, Out);
-          return End;
-        }
+      const ExpansionEntry *E = nullptr;
+      {
+        ScopedLatency L(Metrics, "pp.include_cache.lookup",
+                        "hist.pp.include_cache.lookup");
+        E = lookupEntry(IncludeName, FR->Hash, Fp);
       }
-      countMemo(false, 0);
+      if (E && canReplay(*E, Base)) {
+        countMemo(true, E->SourceBytes, IncludeName);
+        noteReplayedInclude(*E, Base);
+        replayEntry(*E, Out);
+        return End;
+      }
+      countMemo(false, 0, IncludeName);
     }
     noteLiveInclude(IncludeName, Base, FR->Text->size());
     RecordScope Rec(*this, MemoOn, IncludeName, FR->Hash, Fp, Base,

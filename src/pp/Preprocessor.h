@@ -41,6 +41,7 @@
 #include "support/Diagnostics.h"
 #include "support/Limits.h"
 #include "support/Metrics.h"
+#include "support/Trace.h"
 #include "support/VFS.h"
 
 #include <map>
@@ -100,6 +101,12 @@ public:
   /// Turns expansion memoization on or off (on by default). Off disables
   /// both lookup and recording; the read cache and interner still work.
   void setMemoEnabled(bool On) { MemoOn = On; }
+
+  /// Attaches a span recorder (see support/Trace.h): preprocessing then
+  /// records one "phase.pp" span per processed source and instant events
+  /// for front-end memo decisions ("pp.include_cache.hit" / ".miss" /
+  /// ".poison"). Null (the default) is fully inert.
+  void setTraceRecorder(TraceRecorder *R) { Trace = R; }
 
 private:
   class RecordScope;
@@ -190,12 +197,13 @@ private:
   /// private memo.
   void finishRecording(bool Commit);
 
-  void countMemo(bool Hit, std::size_t Bytes);
+  void countMemo(bool Hit, std::size_t Bytes, const std::string &Name);
 
   const VFS &Files;
   DiagnosticEngine &Diags;
   BudgetState *Budget = nullptr;
   MetricsRegistry *Metrics = nullptr;
+  TraceRecorder *Trace = nullptr;
   bool BudgetNoticed = false;
   MacroTable Macros;
   std::vector<ControlDirective> Controls;

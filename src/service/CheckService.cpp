@@ -119,7 +119,9 @@ CheckService::CheckService(ServiceOptions Options)
     };
   if (!Opts.CachePath.empty())
     CacheClean = Cache.attachFile(Opts.CachePath);
+  StartMs = monotonicNowMs();
   Worker = std::thread([this] {
+    const bool Observing = Opts.CollectMetrics || Opts.CollectTrace;
     for (;;) {
       Pending P;
       {
@@ -134,7 +136,45 @@ CheckService::CheckService(ServiceOptions Options)
       // block submit() (and with it the socket accept loop) — intake stays
       // responsive and the queue can actually fill up to its shedding
       // bound while a check is in flight.
+      const double DequeuedMs = Observing ? monotonicNowMs() : 0;
       ServiceReply Reply = process(P.Request);
+      if (Observing) {
+        // The request lifecycle, split where the ISSUE's evaluation needs
+        // it: time spent waiting in the queue vs. time spent checking.
+        const double DoneMs = monotonicNowMs();
+        const char *Op = requestOpName(P.Request.Kind);
+        std::lock_guard<std::mutex> Lock(Mu);
+        if (Opts.CollectMetrics) {
+          Folded.Histograms["hist.service.queue_wait"].record(DequeuedMs -
+                                                              P.EnqueuedMs);
+          if (P.Request.Kind == ServiceRequestKind::Check)
+            Folded.Histograms["hist.service.check"].record(DoneMs -
+                                                           DequeuedMs);
+        }
+        if (Opts.CollectTrace) {
+          TraceEvent Wait;
+          Wait.Ph = 'X';
+          Wait.Cat = "service";
+          Wait.Name = "service.queue_wait";
+          Wait.TsMs = P.EnqueuedMs;
+          Wait.DurMs = DequeuedMs - P.EnqueuedMs;
+          Wait.Args.emplace_back("op", Op);
+          Recorder.record(std::move(Wait));
+          TraceEvent Span;
+          Span.Ph = 'X';
+          Span.Cat = "service";
+          Span.Name = "service.request";
+          Span.TsMs = DequeuedMs;
+          Span.DurMs = DoneMs - DequeuedMs;
+          Span.Args.emplace_back("op", Op);
+          if (!P.Request.File.empty())
+            Span.Args.emplace_back("file", P.Request.File);
+          Span.Args.emplace_back("status", Reply.Status);
+          if (P.Request.Kind == ServiceRequestKind::Check)
+            Span.Args.emplace_back("source", Reply.CacheHit ? "warm" : "cold");
+          Recorder.record(std::move(Span));
+        }
+      }
       if (P.Done)
         P.Done(Reply);
     }
@@ -157,10 +197,23 @@ bool CheckService::submit(ServiceRequest Request,
       Shed.Note = "request shed: queue holds " + std::to_string(Limit) +
                   " pending requests; retry later";
     } else {
-      Queue.push_back({std::move(Request), std::move(Done)});
+      Pending P;
+      P.EnqueuedMs = Opts.CollectMetrics || Opts.CollectTrace
+                         ? monotonicNowMs()
+                         : 0;
+      P.Request = std::move(Request);
+      P.Done = std::move(Done);
+      if (Opts.CollectTrace)
+        Recorder.instant("service", "service.enqueue",
+                         {{"op", requestOpName(P.Request.Kind)}});
+      Queue.push_back(std::move(P));
       Cv.notify_one();
       return true;
     }
+    if (Opts.CollectTrace)
+      Recorder.instant("service", "service.shed",
+                       {{"op", requestOpName(Request.Kind)},
+                        {"status", Shed.Status}});
   }
   // Deterministic load shedding: the reply is immediate and explicit, in
   // the caller's thread — an overloaded service never silently queues
@@ -171,7 +224,18 @@ bool CheckService::submit(ServiceRequest Request,
 }
 
 ServiceReply CheckService::handle(const ServiceRequest &Request) {
-  return process(Request);
+  // Direct calls bypass the queue, so there is no queue-wait to observe;
+  // check time still feeds the distribution.
+  const bool Observe =
+      Opts.CollectMetrics && Request.Kind == ServiceRequestKind::Check;
+  const double T0 = Observe ? monotonicNowMs() : 0;
+  ServiceReply R = process(Request);
+  if (Observe) {
+    const double Ms = monotonicNowMs() - T0;
+    std::lock_guard<std::mutex> Lock(Mu);
+    Folded.Histograms["hist.service.check"].record(Ms);
+  }
+  return R;
 }
 
 ServiceReply CheckService::process(const ServiceRequest &Request) {
@@ -314,6 +378,37 @@ ServiceReply CheckService::checkFile(const std::string &File) {
   return R;
 }
 
+namespace {
+
+/// The stats exposition: one line, compact counters (same rendering as
+/// metricsJsonCompact so existing consumers keep matching), histograms in
+/// full (exact buckets + derived quantiles), then timers.
+std::string statsJson(const MetricsSnapshot &Snap) {
+  std::string Out = "{\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, Value] : Snap.Counters) {
+    Out += (First ? "" : ",") + jsonString(Name) + ":" +
+           std::to_string(Value);
+    First = false;
+  }
+  Out += "},\"histograms\":{";
+  First = true;
+  for (const auto &[Name, Hist] : Snap.Histograms) {
+    Out += (First ? "" : ",") + jsonString(Name) + ":" +
+           histogramStatsJson(Hist);
+    First = false;
+  }
+  Out += "},\"timers_ms\":{";
+  First = true;
+  for (const auto &[Name, Ms] : Snap.TimersMs) {
+    Out += (First ? "" : ",") + jsonString(Name) + ":" + jsonMs(Ms);
+    First = false;
+  }
+  return Out + "}}";
+}
+
+} // namespace
+
 ServiceReply CheckService::statsReplyLocked() {
   MetricsSnapshot Snap = Folded;
   Cache.foldStats(Snap);
@@ -321,9 +416,16 @@ ServiceReply CheckService::statsReplyLocked() {
   C["service.requests"] += Requests;
   C["service.cold_checks"] += ColdChecks;
   C["service.shed_requests"] += ShedRequests;
+  // Point-in-time gauges, folded in as counters so the exposition stays
+  // one flat, sorted section. These are deliberately stats-only: the
+  // metrics() fold stays deterministic for a given request sequence.
+  C["service.queue_depth"] += Queue.size();
+  C["service.uptime_ms"] +=
+      static_cast<unsigned long long>(monotonicNowMs() - StartMs);
+  C["mem.peak_rss_kb"] += peakRssKb();
   ServiceReply R;
   R.Status = "stats";
-  R.Note = metricsJsonCompact(Snap);
+  R.Note = statsJson(Snap);
   return R;
 }
 
@@ -358,4 +460,9 @@ MetricsSnapshot CheckService::metrics() const {
   C["service.cold_checks"] += ColdChecks;
   C["service.shed_requests"] += ShedRequests;
   return Snap;
+}
+
+std::vector<TraceEvent> CheckService::trace() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Recorder.events();
 }

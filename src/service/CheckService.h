@@ -58,8 +58,14 @@ struct ServiceOptions {
   /// Cache persistence path; empty keeps the cache in memory only.
   std::string CachePath;
   /// Collect per-check metrics and fold them (plus service.*/cache.*
-  /// counters) into metrics().
+  /// counters) into metrics(). Also records the service latency
+  /// distributions ("hist.service.queue_wait" enqueue->dequeue,
+  /// "hist.service.check" per check request) exposed by stats replies.
   bool CollectMetrics = false;
+  /// Record the request lifecycle (enqueue instant, queue-wait span,
+  /// request span with warm/cold + status args) into trace(). Off by
+  /// default; same near-zero disabled cost as CollectMetrics.
+  bool CollectTrace = false;
   /// Cache-write fault injection (fuzz harness); must outlive the service.
   FaultInjector *Faults = nullptr;
   /// Resolves a file name to its contents. Requests and their #includes
@@ -136,6 +142,11 @@ public:
   /// given request sequence.
   MetricsSnapshot metrics() const;
 
+  /// The request-lifecycle trace recorded so far (ServiceOptions::
+  /// CollectTrace); events are in completion order. Render with
+  /// renderChromeTrace.
+  std::vector<TraceEvent> trace() const;
+
   /// True when the persisted cache attached cleanly (always true without
   /// a CachePath). A false value means the service started cold.
   bool cacheLoadedClean() const { return CacheClean; }
@@ -154,14 +165,17 @@ private:
   struct Pending {
     ServiceRequest Request;
     std::function<void(const ServiceReply &)> Done;
+    double EnqueuedMs = 0; ///< stamped by submit() when observability is on
   };
   std::deque<Pending> Queue;
   bool Stopping = false;
   bool Flushed = false;
   MetricsSnapshot Folded; ///< per-check metrics, folded in completion order
+  TraceRecorder Recorder; ///< request-lifecycle events (CollectTrace)
   unsigned long long Requests = 0;
   unsigned long long ColdChecks = 0;
   unsigned long long ShedRequests = 0;
+  double StartMs = 0; ///< construction time, for the uptime gauge
   std::thread Worker;
 };
 

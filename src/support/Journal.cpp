@@ -11,6 +11,10 @@
 #include <cstdio>
 #include <cstdlib>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 using namespace memlint;
 
 //===----------------------------------------------------------------------===//
@@ -70,6 +74,18 @@ std::string memlint::metricsJsonCompact(const MetricsSnapshot &Snapshot) {
     Out += (First ? "" : ",") + jsonString(Name) + ":" +
            std::to_string(Value);
     First = false;
+  }
+  // Histograms ride as one wire string per name (histogramToWire) so the
+  // object stays within JsonLineParser's nesting budget; omitted when
+  // empty to preserve the historical byte format.
+  if (!Snapshot.Histograms.empty()) {
+    Out += "},\"histograms\":{";
+    First = true;
+    for (const auto &[Name, Hist] : Snapshot.Histograms) {
+      Out += (First ? "" : ",") + jsonString(Name) + ":" +
+             jsonString(histogramToWire(Hist));
+      First = false;
+    }
   }
   Out += "},\"timers_ms\":{";
   First = true;
@@ -320,6 +336,15 @@ void memlint::metricsFromJsonValue(const JsonLineParser::Value &V,
     for (const auto &[Name, Sub] : Timers->Fields)
       if (Sub.K == JsonLineParser::Value::Number && Sub.Num >= 0)
         Out.TimersMs[Name] = Sub.Num;
+  if (const JsonLineParser::Value *Hists = V.field("histograms"))
+    for (const auto &[Name, Sub] : Hists->Fields) {
+      MetricsHistogram H;
+      // A malformed wire string drops just that histogram (shape-tolerant,
+      // like the numeric leaves above).
+      if (Sub.K == JsonLineParser::Value::String &&
+          histogramFromWire(Sub.Str, H))
+        Out.Histograms[Name] = H;
+    }
 }
 
 //===----------------------------------------------------------------------===//
@@ -438,6 +463,22 @@ bool memlint::writeFileText(const std::string &Path,
   Ok = std::fflush(F) == 0 && Ok;
   std::fclose(F);
   return Ok;
+}
+
+bool memlint::writeFileTextAtomic(const std::string &Path,
+                                  const std::string &Text) {
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
+#else
+  const std::string Tmp = Path + ".tmp";
+#endif
+  if (!writeFileText(Tmp, Text))
+    return false;
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 bool memlint::appendJournalLine(const std::string &Path,

@@ -122,6 +122,14 @@ std::optional<std::string> readFileText(const std::string &Path);
 /// Replaces a file's contents. \returns false on I/O failure.
 bool writeFileText(const std::string &Path, const std::string &Text);
 
+/// Replaces a file's contents atomically: writes to a sibling temp file
+/// (\p Path + ".tmp.<pid>"), flushes, then renames over \p Path. A run
+/// killed mid-write can leave a stale temp file behind but never a torn
+/// \p Path — readers see the old contents or the new, nothing in between.
+/// Used for --metrics-out / --trace-out. \returns false on I/O failure
+/// (the temp file is removed on the failure paths that reach it).
+bool writeFileTextAtomic(const std::string &Path, const std::string &Text);
+
 /// Appends \p Line plus a newline and flushes, so a kill after the call
 /// loses at most in-flight lines of other writers. \returns false on I/O
 /// failure.
@@ -186,7 +194,11 @@ private:
 
 /// Renders a MetricsSnapshot as the journal's compact "metrics" object
 /// ({"counters":{...},"timers_ms":{...}}) — the byte format journal entry
-/// lines and cache entry lines embed.
+/// lines and cache entry lines embed. Histograms, when present, are
+/// encoded as one wire string per name ("histograms":{"name":"c|b:n ..."},
+/// see histogramToWire) so the object stays within JsonLineParser's
+/// nesting budget; the section is omitted when empty, preserving the
+/// historical byte format.
 std::string metricsJsonCompact(const MetricsSnapshot &Snapshot);
 
 /// Reads a journal-format "metrics" object back into a snapshot. Unknown

@@ -8,13 +8,113 @@
 
 #include "support/Json.h"
 
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 using namespace memlint;
+
+unsigned memlint::metricsHistogramBucket(double Ms) {
+  if (!(Ms > 0))
+    return 0;
+  const double Micros = Ms * 1000.0;
+  if (Micros < 1.0)
+    return 0;
+  // Guard the double->integer conversion before the bit scan: anything at
+  // or beyond 2^MaxBucket us clamps into the top bucket.
+  if (Micros >= static_cast<double>(1ULL << MetricsHistogram::MaxBucket))
+    return MetricsHistogram::MaxBucket;
+  unsigned long long U = static_cast<unsigned long long>(Micros);
+  unsigned Bucket = 0; // bit_width(U): U in [2^(k-1), 2^k) maps to k
+  while (U) {
+    ++Bucket;
+    U >>= 1;
+  }
+  return Bucket;
+}
+
+double memlint::metricsHistogramBucketUpperMs(unsigned Bucket) {
+  if (Bucket > MetricsHistogram::MaxBucket)
+    Bucket = MetricsHistogram::MaxBucket;
+  const unsigned long long UpperMicros = Bucket == 0 ? 1 : (1ULL << Bucket);
+  return static_cast<double>(UpperMicros) / 1000.0;
+}
+
+void MetricsHistogram::merge(const MetricsHistogram &Other) {
+  Count += Other.Count;
+  for (const auto &[Bucket, N] : Other.Buckets)
+    Buckets[Bucket] += N;
+}
+
+double MetricsHistogram::quantileUpperMs(double Q) const {
+  if (Count == 0)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  // Rank of the target observation, 1-based: ceil(Q * Count) without
+  // floating ceil (Count * Q can exceed double's integer range only far
+  // past any realistic observation count).
+  unsigned long long Rank = static_cast<unsigned long long>(Q * Count);
+  if (static_cast<double>(Rank) < Q * Count)
+    ++Rank;
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > Count)
+    Rank = Count;
+  unsigned long long Seen = 0;
+  unsigned Last = 0;
+  for (const auto &[Bucket, N] : Buckets) {
+    Last = Bucket;
+    Seen += N;
+    if (Seen >= Rank)
+      return metricsHistogramBucketUpperMs(Bucket);
+  }
+  return metricsHistogramBucketUpperMs(Last);
+}
 
 void MetricsSnapshot::merge(const MetricsSnapshot &Other) {
   for (const auto &[Name, Value] : Other.Counters)
     Counters[Name] += Value;
   for (const auto &[Name, Ms] : Other.TimersMs)
     TimersMs[Name] += Ms;
+  for (const auto &[Name, Hist] : Other.Histograms)
+    Histograms[Name].merge(Hist);
+}
+
+namespace {
+
+/// Quantile boundaries need a third decimal (1 us == 0.001 ms); jsonMs's
+/// two decimals would round the whole low end to 0.00.
+std::string jsonMs3(double Ms) {
+  if (Ms < 0)
+    Ms = 0;
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", Ms);
+  return Buf;
+}
+
+} // namespace
+
+std::string memlint::histogramStatsJson(const MetricsHistogram &H) {
+  std::string Out = "{\"count\":" + std::to_string(H.Count);
+  Out += ",\"p50_ms\":" + jsonMs3(H.quantileUpperMs(0.50));
+  Out += ",\"p90_ms\":" + jsonMs3(H.quantileUpperMs(0.90));
+  Out += ",\"p99_ms\":" + jsonMs3(H.quantileUpperMs(0.99));
+  Out += ",\"buckets\":{";
+  bool First = true;
+  for (const auto &[Bucket, N] : H.Buckets) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\"" + std::to_string(Bucket) + "\":" + std::to_string(N);
+  }
+  Out += "}}";
+  return Out;
 }
 
 std::string MetricsSnapshot::json(const std::string &Indent,
@@ -28,6 +128,17 @@ std::string MetricsSnapshot::json(const std::string &Indent,
     Out += Indent + "    " + jsonString(Name) + ": " + std::to_string(Value);
   }
   Out += First ? "}" : "\n" + Indent + "  }";
+  if (!SkipTimers && !Histograms.empty()) {
+    Out += ",\n" + Indent + "  \"histograms\": {";
+    First = true;
+    for (const auto &[Name, Hist] : Histograms) {
+      Out += First ? "\n" : ",\n";
+      First = false;
+      Out += Indent + "    " + jsonString(Name) + ": " +
+             histogramStatsJson(Hist);
+    }
+    Out += First ? "}" : "\n" + Indent + "  }";
+  }
   if (!SkipTimers) {
     Out += ",\n" + Indent + "  \"timers_ms\": {";
     First = true;
@@ -40,4 +151,87 @@ std::string MetricsSnapshot::json(const std::string &Indent,
   }
   Out += "\n" + Indent + "}";
   return Out;
+}
+
+std::string memlint::histogramToWire(const MetricsHistogram &H) {
+  std::string Out = std::to_string(H.Count) + "|";
+  bool First = true;
+  for (const auto &[Bucket, N] : H.Buckets) {
+    if (!First)
+      Out += " ";
+    First = false;
+    Out += std::to_string(Bucket) + ":" + std::to_string(N);
+  }
+  return Out;
+}
+
+bool memlint::histogramFromWire(const std::string &Wire, MetricsHistogram &H) {
+  H = MetricsHistogram();
+  const size_t Bar = Wire.find('|');
+  if (Bar == std::string::npos)
+    return false;
+
+  // Strict unsigned decimal parse; rejects empty fields, signs, and junk.
+  auto ParseULL = [](const std::string &S, size_t Begin, size_t End,
+                     unsigned long long &Out) {
+    if (Begin >= End)
+      return false;
+    Out = 0;
+    for (size_t I = Begin; I < End; ++I) {
+      const char C = S[I];
+      if (C < '0' || C > '9')
+        return false;
+      if (Out > (~0ULL - (C - '0')) / 10)
+        return false; // overflow
+      Out = Out * 10 + static_cast<unsigned long long>(C - '0');
+    }
+    return true;
+  };
+
+  unsigned long long Count = 0;
+  if (!ParseULL(Wire, 0, Bar, Count)) {
+    H = MetricsHistogram();
+    return false;
+  }
+  unsigned long long Sum = 0;
+  size_t Pos = Bar + 1;
+  while (Pos < Wire.size()) {
+    size_t End = Wire.find(' ', Pos);
+    if (End == std::string::npos)
+      End = Wire.size();
+    const size_t Colon = Wire.find(':', Pos);
+    unsigned long long Bucket = 0, N = 0;
+    if (Colon == std::string::npos || Colon >= End ||
+        !ParseULL(Wire, Pos, Colon, Bucket) ||
+        !ParseULL(Wire, Colon + 1, End, N) ||
+        Bucket > MetricsHistogram::MaxBucket || N == 0 ||
+        H.Buckets.count(static_cast<unsigned>(Bucket))) {
+      H = MetricsHistogram();
+      return false;
+    }
+    H.Buckets[static_cast<unsigned>(Bucket)] = N;
+    Sum += N;
+    Pos = End + 1;
+  }
+  if (Sum != Count) { // torn or hand-edited line: refuse, don't guess
+    H = MetricsHistogram();
+    return false;
+  }
+  H.Count = Count;
+  return true;
+}
+
+unsigned long long memlint::peakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) != 0)
+    return 0;
+#if defined(__APPLE__)
+  return static_cast<unsigned long long>(Usage.ru_maxrss) / 1024; // bytes
+#else
+  return static_cast<unsigned long long>(Usage.ru_maxrss); // KiB
+#endif
+#else
+  return 0;
+#endif
 }

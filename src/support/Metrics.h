@@ -38,6 +38,13 @@
 ///   lex.intern.hit / lex.intern.miss          shared spelling interner
 ///   diags.stored / diags.suppressed / diags.overflow       counters
 ///   env.*   copy-on-write environment counters (folded from +stats)
+///   hist.check.function          latency histogram, one function's check
+///   hist.batch.file              latency histogram, one file incl. retries
+///   hist.pp.include_cache.lookup latency histogram, front-end memo lookup
+///   hist.service.queue_wait      latency histogram, enqueue -> dequeue
+///   hist.service.check           latency histogram, service check requests
+///   service.queue_depth / service.uptime_ms   point-in-time stats gauges
+///   mem.peak_rss_kb              peak resident set size (stats gauge)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,29 +58,98 @@
 
 namespace memlint {
 
-/// An immutable-ish bag of named counters and timer totals: the result of
-/// one run's collection, or the deterministic fold of many.
+/// Maps a latency in milliseconds to its fixed log2 histogram bucket.
+/// Bucket 0 holds sub-microsecond observations; bucket i (i >= 1) holds
+/// [2^(i-1), 2^i) microseconds; values past ~2^40 us (== 2^40 clamps, about
+/// 12 days) land in the top bucket. Pure integer bit math after the
+/// us conversion, so the mapping is exact and platform-independent.
+unsigned metricsHistogramBucket(double Ms);
+
+/// Inclusive upper boundary of \p Bucket in milliseconds: 1 us for bucket
+/// 0, 2^Bucket us otherwise. Quantile estimates report this boundary so
+/// they are conservative (never under-report a latency).
+double metricsHistogramBucketUpperMs(unsigned Bucket);
+
+/// A fixed-boundary log2 latency histogram. Bucket counts are exact
+/// integers keyed by bucket index in an ordered map, so merging two
+/// histograms (per-bucket addition) is associative, commutative, and
+/// deterministic: folding per-file snapshots in any order yields identical
+/// counts, and j1 == jN holds whenever the per-file observations match.
+struct MetricsHistogram {
+  /// Top bucket index; observations past its lower bound clamp into it.
+  static constexpr unsigned MaxBucket = 40;
+
+  unsigned long long Count = 0;
+  std::map<unsigned, unsigned long long> Buckets;
+
+  void record(double Ms) {
+    ++Count;
+    ++Buckets[metricsHistogramBucket(Ms)];
+  }
+
+  /// Folds \p Other into this histogram (exact per-bucket addition).
+  void merge(const MetricsHistogram &Other);
+
+  /// Upper-boundary estimate of the \p Q quantile (0 < Q <= 1) in
+  /// milliseconds: the boundary of the bucket containing the ceil(Q*Count)
+  /// ranked observation. Returns 0 for an empty histogram.
+  double quantileUpperMs(double Q) const;
+};
+
+/// An immutable-ish bag of named counters, timer totals, and latency
+/// histograms: the result of one run's collection, or the deterministic
+/// fold of many.
 struct MetricsSnapshot {
   std::map<std::string, unsigned long long> Counters;
   std::map<std::string, double> TimersMs;
+  std::map<std::string, MetricsHistogram> Histograms;
 
-  bool empty() const { return Counters.empty() && TimersMs.empty(); }
+  bool empty() const {
+    return Counters.empty() && TimersMs.empty() && Histograms.empty();
+  }
 
-  /// Folds \p Other into this snapshot: counters and timer totals add.
-  /// Folding a sequence of snapshots in a fixed order is deterministic
-  /// (identical inputs give bit-identical sums).
+  /// Folds \p Other into this snapshot: counters, timer totals, and
+  /// histogram buckets add. Folding a sequence of snapshots in a fixed
+  /// order is deterministic (identical inputs give bit-identical sums);
+  /// counters and histogram buckets are exact integers, so their fold is
+  /// order-independent as well.
   void merge(const MetricsSnapshot &Other);
 
-  /// Renders the snapshot as a two-section JSON object:
-  ///   {"counters":{...},"timers_ms":{...}}
-  /// Keys are sorted (map order). Counter values are exact and
-  /// deterministic; timer values are wall clock and vary run to run, so
-  /// consumers comparing runs should compare the "counters" section.
-  /// \p Indent prefixes every line for embedding in a larger document;
-  /// pass SkipTimers to get a fully deterministic rendering.
+  /// Renders the snapshot as JSON:
+  ///   {"counters":{...},"histograms":{...},"timers_ms":{...}}
+  /// Keys are sorted (map order). The "histograms" section appears only
+  /// when at least one histogram exists (older outputs stay byte-stable);
+  /// each histogram renders its exact bucket counts plus derived
+  /// p50/p90/p99 upper-bound estimates in milliseconds. Counter values and
+  /// bucket counts are exact and deterministic; timer values and quantiles
+  /// are wall clock and vary run to run, so consumers comparing runs
+  /// should compare the "counters" section. \p Indent prefixes every line
+  /// for embedding in a larger document; pass SkipTimers to get a fully
+  /// deterministic rendering (drops timers and histograms).
   std::string json(const std::string &Indent = "",
                    bool SkipTimers = false) const;
 };
+
+/// One histogram as a single-line JSON object — exact bucket counts plus
+/// derived upper-bound quantiles:
+///   {"count":12,"p50_ms":0.128,"p90_ms":0.512,"p99_ms":0.512,
+///    "buckets":{"7":4,"8":8}}
+/// Shared by MetricsSnapshot::json and the service's stats exposition.
+std::string histogramStatsJson(const MetricsHistogram &H);
+
+/// Compact single-string wire encoding of a histogram for line-oriented
+/// formats (journal entries, cache metrics) whose parser caps object
+/// nesting: "<count>|<bucket>:<n> <bucket>:<n> ...", buckets ascending.
+std::string histogramToWire(const MetricsHistogram &H);
+
+/// Parses histogramToWire output. \returns false (leaving \p H empty) on
+/// any malformed input — callers degrade by dropping the histogram, the
+/// same policy journal recovery applies to unparseable metric fields.
+bool histogramFromWire(const std::string &Wire, MetricsHistogram &H);
+
+/// Peak resident set size of this process in KiB (getrusage ru_maxrss),
+/// or 0 where unsupported. A point-in-time gauge for service stats.
+unsigned long long peakRssKb();
 
 /// The collection point one check run writes into. Instrumentation sites
 /// hold a MetricsRegistry* that is null when collection is off; the
@@ -88,6 +164,11 @@ public:
   /// Adds \p Ms to timer \p Name's accumulated total.
   void addTimeMs(const std::string &Name, double Ms) {
     Snap.TimersMs[Name] += Ms < 0 ? 0 : Ms;
+  }
+
+  /// Records one observation into latency histogram \p Name.
+  void recordLatencyMs(const std::string &Name, double Ms) {
+    Snap.Histograms[Name].record(Ms);
   }
 
   const MetricsSnapshot &snapshot() const { return Snap; }
@@ -115,6 +196,32 @@ public:
 private:
   MetricsRegistry *Registry;
   const char *Name;
+  double StartMs;
+};
+
+/// RAII latency probe: one clock-read pair charges the elapsed time to an
+/// accumulated timer (aggregate view) AND records it into a histogram
+/// (distribution view). Same null-registry inertness as ScopedTimer.
+class ScopedLatency {
+public:
+  ScopedLatency(MetricsRegistry *Registry, const char *TimerName,
+                const char *HistName)
+      : Registry(Registry), TimerName(TimerName), HistName(HistName),
+        StartMs(Registry ? monotonicNowMs() : 0) {}
+  ~ScopedLatency() {
+    if (!Registry)
+      return;
+    const double Ms = monotonicNowMs() - StartMs;
+    Registry->addTimeMs(TimerName, Ms);
+    Registry->recordLatencyMs(HistName, Ms);
+  }
+  ScopedLatency(const ScopedLatency &) = delete;
+  ScopedLatency &operator=(const ScopedLatency &) = delete;
+
+private:
+  MetricsRegistry *Registry;
+  const char *TimerName;
+  const char *HistName;
   double StartMs;
 };
 

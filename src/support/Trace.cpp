@@ -1,0 +1,54 @@
+//===--- Trace.cpp - Structured span timeline for check runs --------------===//
+//
+// Part of memlint. See DESIGN.md §6g.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/Json.h"
+
+using namespace memlint;
+
+namespace {
+
+/// Integer microseconds for the trace-event "ts"/"dur" fields. Clamps
+/// negatives (a clock hiccup must not produce invalid JSON).
+long long toMicros(double Ms) {
+  if (Ms <= 0)
+    return 0;
+  return static_cast<long long>(Ms * 1000.0);
+}
+
+} // namespace
+
+std::string memlint::renderChromeTrace(const std::vector<TraceEvent> &Events) {
+  std::string Out = "{\"traceEvents\": [";
+  bool First = true;
+  for (const TraceEvent &E : Events) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "{\"pid\": 1, \"tid\": " + std::to_string(E.Tid) + ", \"ph\": \"";
+    Out += E.Ph;
+    Out += "\", \"ts\": " + std::to_string(toMicros(E.TsMs));
+    if (E.Ph == 'X')
+      Out += ", \"dur\": " + std::to_string(toMicros(E.DurMs));
+    Out += ", \"cat\": " + jsonString(E.Cat) +
+           ", \"name\": " + jsonString(E.Name);
+    if (!E.Args.empty()) {
+      Out += ", \"args\": {";
+      bool FirstArg = true;
+      for (const auto &[Key, Value] : E.Args) {
+        if (!FirstArg)
+          Out += ", ";
+        FirstArg = false;
+        Out += jsonString(Key) + ": " + jsonString(Value);
+      }
+      Out += "}";
+    }
+    Out += "}";
+  }
+  Out += First ? "]" : "\n]";
+  Out += ", \"displayTimeUnit\": \"ms\"}\n";
+  return Out;
+}

@@ -1,0 +1,146 @@
+//===--- Trace.h - Structured span timeline for check runs ------*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md §6g.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracing half of the observability layer: a recorder of timestamped
+/// spans and instant events that renders as Chrome trace-event JSON
+/// (loadable in Perfetto or chrome://tracing). Where support/Metrics
+/// answers "how much, in aggregate", a trace answers "where did the time
+/// go within this run" — per file, per phase, per function.
+///
+/// Design constraints mirror MetricsRegistry exactly:
+///
+/// * Near-zero cost when disabled. Instrumentation sites hold a
+///   TraceRecorder* that is null when tracing is off; ScopedTraceSpan never
+///   reads the clock with a null recorder, so the disabled path is one
+///   predictable branch (covered by bench_observability_overhead).
+/// * Deterministic aggregation. Each batch worker records into a private
+///   per-file recorder; the driver flushes the per-file event vectors in
+///   input order, so the sequence of (category, name, args) tuples is
+///   identical across -jN. Timestamps, durations, and worker ids (tid)
+///   legitimately vary and are excluded from identity comparisons.
+/// * Trivial well-formedness. Only two phase kinds are emitted: 'X'
+///   (complete span, with duration) and 'i' (instant). There are no
+///   begin/end pairs to balance, so a rendered trace can never be torn by
+///   an abandoned span.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_SUPPORT_TRACE_H
+#define MEMLINT_SUPPORT_TRACE_H
+
+#include "support/MonotonicTime.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace memlint {
+
+/// One trace event. Spans ('X') carry a duration; instants ('i') do not.
+/// Args is an ordered list (not a map) so rendering preserves the
+/// insertion order chosen at the instrumentation site.
+struct TraceEvent {
+  char Ph = 'X';        ///< 'X' complete span, 'i' instant event.
+  std::string Cat;      ///< Category: "batch", "frontend", "check", "service".
+  std::string Name;     ///< Span/event name (stable, see DESIGN §6g).
+  double TsMs = 0;      ///< Start timestamp, monotonic milliseconds.
+  double DurMs = 0;     ///< Duration in milliseconds ('X' only).
+  unsigned Tid = 0;     ///< Worker id (0 for single-run / service worker).
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+/// The collection point one traced run writes into. Same discipline as
+/// MetricsRegistry: instrumentation sites hold a TraceRecorder* that is
+/// null when tracing is off and guard every use with that null check.
+/// Not thread-safe by design — one recorder belongs to one worker's file
+/// attempt (the batch driver merges per-file buffers in input order).
+class TraceRecorder {
+public:
+  /// Default worker id stamped on events recorded through this recorder.
+  void setTid(unsigned T) { Tid = T; }
+  unsigned tid() const { return Tid; }
+
+  void record(TraceEvent E) {
+    E.Tid = Tid;
+    Events.push_back(std::move(E));
+  }
+
+  /// Records an instant event stamped with the current monotonic time.
+  void instant(const char *Cat, const char *Name,
+               std::vector<std::pair<std::string, std::string>> Args = {}) {
+    TraceEvent E;
+    E.Ph = 'i';
+    E.Cat = Cat;
+    E.Name = Name;
+    E.TsMs = monotonicNowMs();
+    E.Args = std::move(Args);
+    record(std::move(E));
+  }
+
+  const std::vector<TraceEvent> &events() const { return Events; }
+
+  /// Moves the buffered events out (the recorder is reusable afterwards).
+  std::vector<TraceEvent> take() { return std::move(Events); }
+
+  /// Discards buffered events (used when a file attempt is retried: the
+  /// trace mirrors the metrics discipline and keeps the final attempt).
+  void clear() { Events.clear(); }
+
+private:
+  unsigned Tid = 0;
+  std::vector<TraceEvent> Events;
+};
+
+/// RAII complete-span recorder: captures the start time at construction and
+/// records one 'X' event at destruction. With a null recorder it is fully
+/// inert — the clock is never read — so instrumentation sites can be
+/// written unconditionally.
+class ScopedTraceSpan {
+public:
+  ScopedTraceSpan(TraceRecorder *Recorder, const char *Cat, const char *Name)
+      : Recorder(Recorder), Cat(Cat), Name(Name),
+        StartMs(Recorder ? monotonicNowMs() : 0) {}
+  ~ScopedTraceSpan() {
+    if (!Recorder)
+      return;
+    TraceEvent E;
+    E.Ph = 'X';
+    E.Cat = Cat;
+    E.Name = Name;
+    E.TsMs = StartMs;
+    E.DurMs = monotonicNowMs() - StartMs;
+    E.Args = std::move(Args);
+    Recorder->record(std::move(E));
+  }
+  ScopedTraceSpan(const ScopedTraceSpan &) = delete;
+  ScopedTraceSpan &operator=(const ScopedTraceSpan &) = delete;
+
+  /// Attaches an argument to the span-to-be (no-op when tracing is off).
+  void arg(const char *Key, std::string Value) {
+    if (Recorder)
+      Args.emplace_back(Key, std::move(Value));
+  }
+
+private:
+  TraceRecorder *Recorder;
+  const char *Cat;
+  const char *Name;
+  double StartMs;
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+/// Renders \p Events as a Chrome trace-event JSON document:
+///   {"traceEvents": [ {...}, ... ], "displayTimeUnit": "ms"}
+/// One event per line so text tools (and ci.sh) can normalize and compare
+/// traces line-wise. Timestamps and durations are emitted as integer
+/// microseconds per the trace-event spec; args values are emitted as JSON
+/// strings. The result is directly loadable in Perfetto/chrome://tracing.
+std::string renderChromeTrace(const std::vector<TraceEvent> &Events);
+
+} // namespace memlint
+
+#endif // MEMLINT_SUPPORT_TRACE_H

@@ -14,9 +14,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/BatchDriver.h"
+#include "service/CheckService.h"
 #include "support/FindingsOutput.h"
 #include "support/Journal.h"
 #include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include "TestUtil.h"
 
@@ -424,6 +426,391 @@ TEST(BatchMetricsTest, ResumedRunKeepsAggregateCounters) {
   SecondCounters.erase("batch.resumed");
   EXPECT_EQ(FirstCounters, SecondCounters);
   std::remove(Journal.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Latency histograms
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramTest, BucketBoundaryMath) {
+  // Bucket 0: non-positive and sub-microsecond observations.
+  EXPECT_EQ(metricsHistogramBucket(0.0), 0u);
+  EXPECT_EQ(metricsHistogramBucket(-1.0), 0u);
+  EXPECT_EQ(metricsHistogramBucket(0.0005), 0u); // 0.5 us
+  // Bucket i holds [2^(i-1), 2^i) microseconds.
+  EXPECT_EQ(metricsHistogramBucket(0.001), 1u);    // 1 us
+  EXPECT_EQ(metricsHistogramBucket(0.001999), 1u); // just under 2 us
+  EXPECT_EQ(metricsHistogramBucket(0.002), 2u);    // 2 us
+  EXPECT_EQ(metricsHistogramBucket(0.004), 3u);    // 4 us
+  EXPECT_EQ(metricsHistogramBucket(1.0), 10u);     // 1 ms = 1000 us < 1024
+  EXPECT_EQ(metricsHistogramBucket(1.024), 11u);   // exactly 1024 us
+  // Far past the top boundary clamps into the top bucket.
+  EXPECT_EQ(metricsHistogramBucket(1e12), MetricsHistogram::MaxBucket);
+
+  EXPECT_DOUBLE_EQ(metricsHistogramBucketUpperMs(0), 0.001);
+  EXPECT_DOUBLE_EQ(metricsHistogramBucketUpperMs(1), 0.002);
+  EXPECT_DOUBLE_EQ(metricsHistogramBucketUpperMs(10), 1.024);
+}
+
+TEST(HistogramTest, QuantilesReportBucketUpperBounds) {
+  MetricsHistogram H;
+  // 8 obs in bucket 7 ([64,128) us), 2 in bucket 10 ([512,1024) us).
+  for (int I = 0; I < 8; ++I)
+    H.record(0.100); // 100 us -> bucket 7
+  H.record(0.600);   // 600 us -> bucket 10
+  H.record(0.700);
+  EXPECT_EQ(H.Count, 10u);
+  EXPECT_EQ(H.Buckets.at(7), 8u);
+  EXPECT_EQ(H.Buckets.at(10), 2u);
+  // Rank ceil(0.5*10)=5 lands in bucket 7; ceil(0.9*10)=9 in bucket 10.
+  EXPECT_DOUBLE_EQ(H.quantileUpperMs(0.50), 0.128);
+  EXPECT_DOUBLE_EQ(H.quantileUpperMs(0.90), 1.024);
+  EXPECT_DOUBLE_EQ(H.quantileUpperMs(0.99), 1.024);
+  MetricsHistogram Empty;
+  EXPECT_DOUBLE_EQ(Empty.quantileUpperMs(0.50), 0.0);
+}
+
+TEST(HistogramTest, MergeIsExactAndFoldOrderIndependent) {
+  // Three "per-file" histograms folded in both orders give identical
+  // bucket maps: the merge is exact per-bucket integer addition.
+  MetricsHistogram A, B, C;
+  A.record(0.001);
+  A.record(0.100);
+  B.record(0.100);
+  B.record(3.0);
+  C.record(0.0);
+  MetricsHistogram Fwd, Rev;
+  for (const MetricsHistogram *H : {&A, &B, &C})
+    Fwd.merge(*H);
+  for (const MetricsHistogram *H : {&C, &B, &A})
+    Rev.merge(*H);
+  EXPECT_EQ(Fwd.Count, 5u);
+  EXPECT_EQ(Fwd.Count, Rev.Count);
+  EXPECT_EQ(Fwd.Buckets, Rev.Buckets);
+
+  MetricsSnapshot S1, S2;
+  S1.Histograms["hist.x"] = A;
+  S2.Histograms["hist.x"] = B;
+  S2.Histograms["hist.y"] = C;
+  S1.merge(S2);
+  EXPECT_EQ(S1.Histograms["hist.x"].Count, 4u);
+  EXPECT_EQ(S1.Histograms["hist.y"].Count, 1u);
+}
+
+TEST(HistogramTest, JsonRenderingAndEmptySection) {
+  // Without histograms the rendering is byte-stable with older output: no
+  // "histograms" section at all.
+  MetricsSnapshot Plain;
+  Plain.Counters["x"] = 1;
+  Plain.TimersMs["t"] = 0.5;
+  EXPECT_EQ(Plain.json().find("\"histograms\""), std::string::npos);
+
+  MetricsSnapshot S = Plain;
+  S.Histograms["hist.x"].record(0.100);
+  std::string J = S.json();
+  EXPECT_NE(J.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(J.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(J.find("\"p50_ms\":0.128"), std::string::npos);
+  EXPECT_NE(J.find("\"buckets\":{\"7\":1}"), std::string::npos);
+  // SkipTimers drops the wall-clock sections (timers AND histograms).
+  std::string Det = S.json("", /*SkipTimers=*/true);
+  EXPECT_EQ(Det.find("\"histograms\""), std::string::npos);
+  EXPECT_EQ(Det.find("\"timers_ms\""), std::string::npos);
+}
+
+TEST(HistogramTest, WireRoundTripAndMalformedRejected) {
+  MetricsHistogram H;
+  H.record(0.100);
+  H.record(0.100);
+  H.record(3.0);
+  std::string Wire = histogramToWire(H);
+  EXPECT_EQ(Wire, "3|7:2 12:1");
+
+  MetricsHistogram Back;
+  ASSERT_TRUE(histogramFromWire(Wire, Back));
+  EXPECT_EQ(Back.Count, H.Count);
+  EXPECT_EQ(Back.Buckets, H.Buckets);
+
+  MetricsHistogram Empty;
+  ASSERT_TRUE(histogramFromWire(histogramToWire(Empty), Empty));
+  EXPECT_EQ(Empty.Count, 0u);
+
+  for (const char *Bad :
+       {"", "3", "x|7:3", "3|7:2", "3|7:2 7:1", "3|7:0 12:3", "3|99:3",
+        "3|7:two 12:1", "-3|7:3", "3|7:2 12:1 trailing"}) {
+    MetricsHistogram M;
+    EXPECT_FALSE(histogramFromWire(Bad, M)) << Bad;
+    EXPECT_EQ(M.Count, 0u) << Bad;
+    EXPECT_TRUE(M.Buckets.empty()) << Bad;
+  }
+}
+
+TEST(HistogramTest, JournalEntryHistogramRoundTrip) {
+  JournalEntry E;
+  E.File = "m1.c";
+  E.Status = "ok";
+  E.Attempts = 1;
+  E.Metrics.Counters["check.functions"] = 1;
+  E.Metrics.Histograms["hist.batch.file"].record(0.100);
+  E.Metrics.Histograms["hist.batch.file"].record(3.0);
+
+  std::string Text = journalHeaderLine("deadbeefdeadbeef", 1) + "\n" +
+                     journalEntryLine(E) + "\n";
+  JournalContents C = parseJournal(Text);
+  ASSERT_TRUE(C.HeaderValid);
+  EXPECT_EQ(C.CorruptLines, 0u);
+  ASSERT_EQ(C.Entries.size(), 1u);
+  const MetricsHistogram &Back =
+      C.Entries[0].Metrics.Histograms.at("hist.batch.file");
+  EXPECT_EQ(Back.Count, 2u);
+  EXPECT_EQ(Back.Buckets, E.Metrics.Histograms["hist.batch.file"].Buckets);
+}
+
+TEST(HistogramTest, ScopedLatencyFeedsTimerAndHistogram) {
+  { ScopedLatency L(nullptr, "t", "hist.t"); } // inert without a registry
+  MetricsRegistry Reg;
+  { ScopedLatency L(&Reg, "t", "hist.t"); }
+  EXPECT_TRUE(Reg.snapshot().TimersMs.count("t"));
+  ASSERT_TRUE(Reg.snapshot().Histograms.count("hist.t"));
+  EXPECT_EQ(Reg.snapshot().Histograms.at("hist.t").Count, 1u);
+}
+
+TEST(BatchMetricsTest, HistogramsIdenticalAcrossJobCounts) {
+  BatchResult R1 = runBatchWithMetrics(1);
+  BatchResult R8 = runBatchWithMetrics(8);
+  ASSERT_FALSE(R1.Metrics.Histograms.empty());
+  // Key sets and observation counts are deterministic; bucket contents
+  // are wall clock, so only the exact-count dimensions gate here.
+  ASSERT_EQ(R1.Metrics.Histograms.size(), R8.Metrics.Histograms.size());
+  auto It8 = R8.Metrics.Histograms.begin();
+  for (const auto &[Name, Hist] : R1.Metrics.Histograms) {
+    EXPECT_EQ(Name, It8->first);
+    EXPECT_EQ(Hist.Count, It8->second.Count) << Name;
+    ++It8;
+  }
+  EXPECT_EQ(R1.Metrics.Histograms.at("hist.batch.file").Count, 24u);
+  EXPECT_EQ(R1.Metrics.Histograms.at("hist.check.function").Count,
+            counter(R1.Metrics, "check.functions"));
+}
+
+//===----------------------------------------------------------------------===//
+// Trace timeline
+//===----------------------------------------------------------------------===//
+
+TEST(TraceTimelineTest, ScopedSpanInertWithoutRecorder) {
+  {
+    ScopedTraceSpan S(nullptr, "check", "phase.test");
+    S.arg("k", "v"); // must not crash
+  }
+  TraceRecorder R;
+  {
+    ScopedTraceSpan S(&R, "check", "phase.test");
+    S.arg("k", "v");
+  }
+  ASSERT_EQ(R.events().size(), 1u);
+  const TraceEvent &E = R.events()[0];
+  EXPECT_EQ(E.Ph, 'X');
+  EXPECT_EQ(E.Cat, "check");
+  EXPECT_EQ(E.Name, "phase.test");
+  ASSERT_EQ(E.Args.size(), 1u);
+  EXPECT_EQ(E.Args[0].first, "k");
+  EXPECT_EQ(E.Args[0].second, "v");
+  EXPECT_GE(E.DurMs, 0.0);
+}
+
+TEST(TraceTimelineTest, ChromeTraceJsonWellFormed) {
+  TraceRecorder R;
+  R.setTid(3);
+  { ScopedTraceSpan S(&R, "check", "phase.parse"); }
+  R.instant("frontend", "pp.include_cache.hit", {{"file", "a \"b\".c"}});
+  std::string J = renderChromeTrace(R.events());
+
+  ASSERT_FALSE(J.empty());
+  EXPECT_EQ(J.back(), '\n');
+  EXPECT_NE(J.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(J.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(J.find("\"pid\": 1"), std::string::npos);
+  EXPECT_NE(J.find("\"tid\": 3"), std::string::npos);
+  EXPECT_NE(J.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(J.find("\"ph\": \"i\""), std::string::npos);
+  // The 'X' span carries a duration; the instant does not.
+  EXPECT_NE(J.find("\"dur\": "), std::string::npos);
+  // Args are escaped JSON strings.
+  EXPECT_NE(J.find("a \\\"b\\\".c"), std::string::npos);
+  long Depth = 0;
+  for (char C : J)
+    Depth += C == '{' ? 1 : C == '}' ? -1 : 0;
+  EXPECT_EQ(Depth, 0);
+  // Only the two trivially well-formed phases are ever emitted.
+  size_t Pos = 0;
+  while ((Pos = J.find("\"ph\": \"", Pos)) != std::string::npos) {
+    const char Ph = J[Pos + 7];
+    EXPECT_TRUE(Ph == 'X' || Ph == 'i') << Ph;
+    ++Pos;
+  }
+  // An empty trace still renders a loadable document.
+  EXPECT_EQ(renderChromeTrace({}),
+            "{\"traceEvents\": [], \"displayTimeUnit\": \"ms\"}\n");
+}
+
+/// Projects a trace down to its deterministic dimensions: the (phase,
+/// category, name, args) sequence. Timestamps, durations, and worker ids
+/// are wall clock / scheduling and excluded by contract.
+std::vector<std::string> traceShape(const std::vector<TraceEvent> &Events) {
+  std::vector<std::string> Shape;
+  for (const TraceEvent &E : Events) {
+    std::string Line;
+    Line += E.Ph;
+    Line += "|" + E.Cat + "|" + E.Name;
+    for (const auto &[K, V] : E.Args)
+      Line += "|" + K + "=" + V;
+    Shape.push_back(Line);
+  }
+  return Shape;
+}
+
+BatchResult runBatchWithTrace(unsigned Jobs) {
+  VFS Files;
+  std::vector<std::string> Names;
+  buildMetricsCorpus(Files, Names, 12);
+  BatchOptions Options;
+  Options.Jobs = Jobs;
+  Options.CollectTrace = true;
+  return BatchDriver(Options).run(Files, Names);
+}
+
+TEST(TraceTimelineTest, BatchSpanSequenceIdenticalAcrossJobCounts) {
+  BatchResult R1 = runBatchWithTrace(1);
+  BatchResult R4 = runBatchWithTrace(4);
+  ASSERT_FALSE(R1.Trace.empty());
+  EXPECT_EQ(traceShape(R1.Trace), traceShape(R4.Trace));
+
+  // Every file contributes exactly one closing "file" span with outcome
+  // and attempt-count args, in input order.
+  unsigned FileSpans = 0;
+  for (const TraceEvent &E : R1.Trace)
+    if (E.Cat == "batch" && E.Name == "file")
+      ++FileSpans;
+  EXPECT_EQ(FileSpans, 12u);
+  EXPECT_EQ(R1.Trace.back().Cat, "batch");
+  EXPECT_EQ(R1.Trace.back().Name, "file");
+  bool SawOutcome = false, SawAttempts = false;
+  for (const auto &[K, V] : R1.Trace.back().Args) {
+    SawOutcome = SawOutcome || (K == "outcome" && !V.empty());
+    SawAttempts = SawAttempts || (K == "attempts" && V == "1");
+  }
+  EXPECT_TRUE(SawOutcome);
+  EXPECT_TRUE(SawAttempts);
+}
+
+TEST(TraceTimelineTest, BatchTraceOffByDefault) {
+  VFS Files;
+  std::vector<std::string> Names;
+  buildMetricsCorpus(Files, Names, 3);
+  BatchOptions Options;
+  BatchResult R = BatchDriver(Options).run(Files, Names);
+  EXPECT_TRUE(R.Trace.empty());
+  for (const FileOutcome &O : R.Outcomes)
+    EXPECT_TRUE(O.Trace.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Service stats exposition
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceStatsTest, StatsExposesHistogramsAndGauges) {
+  VFS Files;
+  Files.add("svc.c", LeakySource);
+  ServiceOptions Options;
+  Options.CollectMetrics = true;
+  Options.FileSource = [&Files](const std::string &Name) {
+    return Files.read(Name);
+  };
+  CheckService Service(Options);
+
+  ServiceRequest Check;
+  Check.Kind = ServiceRequestKind::Check;
+  Check.File = "svc.c";
+  ServiceReply Cold = Service.handle(Check);
+  EXPECT_FALSE(Cold.CacheHit);
+  ServiceReply Warm = Service.handle(Check);
+  EXPECT_TRUE(Warm.CacheHit);
+  EXPECT_EQ(Cold.Diagnostics, Warm.Diagnostics);
+
+  ServiceRequest Stats;
+  Stats.Kind = ServiceRequestKind::Stats;
+  ServiceReply Reply = Service.handle(Stats);
+  EXPECT_EQ(Reply.Status, "stats");
+  const std::string &Note = Reply.Note;
+  // Counters render compact (metricsJsonCompact-style), histograms with
+  // exact buckets plus derived quantiles, and the point-in-time gauges.
+  EXPECT_NE(Note.find("\"service.requests\":3"), std::string::npos) << Note;
+  EXPECT_NE(Note.find("\"hist.service.check\""), std::string::npos) << Note;
+  EXPECT_NE(Note.find("\"p50_ms\""), std::string::npos) << Note;
+  EXPECT_NE(Note.find("\"service.queue_depth\":0"), std::string::npos)
+      << Note;
+  EXPECT_NE(Note.find("\"service.uptime_ms\""), std::string::npos) << Note;
+  EXPECT_NE(Note.find("\"mem.peak_rss_kb\""), std::string::npos) << Note;
+
+  // The direct path records the check-latency distribution for every
+  // check request — warm replays included, so the histogram shows what
+  // clients actually wait, not just cold-check cost.
+  MetricsSnapshot M = Service.metrics();
+  ASSERT_TRUE(M.Histograms.count("hist.service.check"));
+  EXPECT_EQ(M.Histograms.at("hist.service.check").Count, 2u);
+  // metrics() stays deterministic: the stats gauges live only in the
+  // stats reply, never in the folded snapshot.
+  EXPECT_FALSE(M.Counters.count("service.uptime_ms"));
+  EXPECT_FALSE(M.Counters.count("mem.peak_rss_kb"));
+}
+
+TEST(ServiceStatsTest, QueuePathRecordsQueueWait) {
+  VFS Files;
+  Files.add("svc.c", "int f(int x) { return x; }\n");
+  ServiceOptions Options;
+  Options.CollectMetrics = true;
+  Options.CollectTrace = true;
+  Options.FileSource = [&Files](const std::string &Name) {
+    return Files.read(Name);
+  };
+  CheckService Service(Options);
+
+  ServiceRequest Check;
+  Check.Kind = ServiceRequestKind::Check;
+  Check.File = "svc.c";
+  std::mutex Mu;
+  std::condition_variable Cv;
+  unsigned Done = 0;
+  for (int I = 0; I < 2; ++I)
+    ASSERT_TRUE(Service.submit(Check, [&](const ServiceReply &) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++Done;
+      Cv.notify_all();
+    }));
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Cv.wait(Lock, [&] { return Done == 2; });
+  }
+
+  MetricsSnapshot M = Service.metrics();
+  ASSERT_TRUE(M.Histograms.count("hist.service.queue_wait"));
+  EXPECT_EQ(M.Histograms.at("hist.service.queue_wait").Count, 2u);
+
+  // The request lifecycle was traced: enqueue instants plus queue-wait
+  // and request spans, with warm/cold provenance on the request span.
+  std::vector<std::string> Shape = traceShape(Service.trace());
+  unsigned Enqueues = 0, Requests = 0;
+  bool SawCold = false, SawWarm = false;
+  for (const std::string &Line : Shape) {
+    Enqueues += Line.find("service.enqueue") != std::string::npos;
+    Requests += Line.find("|service.request|") != std::string::npos;
+    SawCold = SawCold || Line.find("source=cold") != std::string::npos;
+    SawWarm = SawWarm || Line.find("source=warm") != std::string::npos;
+  }
+  EXPECT_EQ(Enqueues, 2u);
+  EXPECT_EQ(Requests, 2u);
+  EXPECT_TRUE(SawCold);
+  EXPECT_TRUE(SawWarm);
 }
 
 //===----------------------------------------------------------------------===//
