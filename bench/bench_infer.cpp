@@ -1,0 +1,204 @@
+//===--- bench_infer.cpp - Inferred vs hand-annotated parity ------------------===//
+//
+// Part of memlint. See DESIGN.md §6h.
+//
+// The annotation-inference acceptance: strip every annotation from the
+// module sources of a Section 7 synthetic corpus, run the checker with
+// -infer, and compare the findings against the hand-annotated baseline.
+// The inferred interfaces must reproduce at least 95% of the baseline's
+// findings (the annotated corpus checks clean, so parity means the
+// inferred run is clean too), introduce ZERO findings the baseline does
+// not have, and render byte-identically whether inferred at -j1 or -j8.
+//
+// Writes BENCH_infer.json (parity, new false positives, suppressed bare
+// anomalies, annotations added, timings, byte_identical, acceptance_pass)
+// for the CI gate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "corpus/Corpus.h"
+#include "driver/BatchDriver.h"
+#include "support/MonotonicTime.h"
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace memlint;
+
+namespace {
+
+constexpr unsigned Modules = 40;
+constexpr unsigned FunctionsPerModule = 25;
+constexpr double AcceptanceMinParity = 95.0;
+
+struct Outcome {
+  unsigned BaselineFindings = 0;  ///< hand-annotated anomalies (expect 0)
+  unsigned BareFindings = 0;      ///< anomalies with annotations stripped
+  unsigned InferredFindings = 0;  ///< anomalies after -infer recovery
+  unsigned NewFalsePositives = 0; ///< inferred findings absent from baseline
+  unsigned MissedFindings = 0;    ///< baseline findings absent from inferred
+  unsigned long long AnnotationsAdded = 0;
+  unsigned long long Rejected = 0;
+  double BaselineMs = 0;
+  double InferMs = 0;
+  bool ByteIdentical = true; ///< -j1 vs -j8 combined header bytes
+  unsigned Loc = 0;
+  size_t Files = 0;
+
+  double parity() const {
+    if (BaselineFindings == 0)
+      return MissedFindings == 0 && InferredFindings == NewFalsePositives
+                 ? 100.0
+                 : 0.0;
+    return 100.0 *
+           static_cast<double>(BaselineFindings - MissedFindings) /
+           static_cast<double>(BaselineFindings);
+  }
+  bool pass() const {
+    return parity() >= AcceptanceMinParity && NewFalsePositives == 0 &&
+           ByteIdentical && BareFindings > InferredFindings;
+  }
+};
+
+std::set<std::string> findingKeys(const CheckResult &R) {
+  std::set<std::string> Keys;
+  for (const Diagnostic &D : R.Diagnostics)
+    if (D.Sev == Severity::Anomaly)
+      Keys.insert(D.str());
+  return Keys;
+}
+
+std::string batchHeader(const corpus::Program &P, unsigned Jobs) {
+  BatchOptions Options;
+  Options.Check.Infer = true;
+  Options.Jobs = Jobs;
+  BatchDriver Driver(Options);
+  BatchResult R = Driver.run(P.Files, P.MainFiles);
+  std::string Header;
+  for (const FileOutcome &O : R.Outcomes)
+    Header += O.Inferred;
+  return Header;
+}
+
+Outcome runScenario() {
+  corpus::GenOptions Gen;
+  Gen.Modules = Modules;
+  Gen.FunctionsPerModule = FunctionsPerModule;
+  corpus::Program Annotated = corpus::syntheticProgram(Gen);
+  Gen.UnannotatedModules = true;
+  corpus::Program Stripped = corpus::syntheticProgram(Gen);
+
+  Outcome Out;
+  Out.Loc = corpus::totalLines(Stripped);
+  Out.Files = Stripped.Files.names().size();
+
+  CheckOptions Plain;
+  CheckOptions Infer;
+  Infer.Infer = true;
+  Infer.CollectMetrics = true;
+
+  std::set<std::string> Baseline, Inferred;
+  double Start = monotonicNowMs();
+  for (const std::string &Main : Annotated.MainFiles) {
+    CheckResult R = Checker::checkFiles(Annotated.Files, {Main}, Plain);
+    Out.BaselineFindings += R.anomalyCount();
+    for (const std::string &Key : findingKeys(R))
+      Baseline.insert(Key);
+  }
+  Out.BaselineMs = monotonicNowMs() - Start;
+
+  for (const std::string &Main : Stripped.MainFiles)
+    Out.BareFindings +=
+        Checker::checkFiles(Stripped.Files, {Main}, Plain).anomalyCount();
+
+  Start = monotonicNowMs();
+  for (const std::string &Main : Stripped.MainFiles) {
+    CheckResult R = Checker::checkFiles(Stripped.Files, {Main}, Infer);
+    Out.InferredFindings += R.anomalyCount();
+    for (const std::string &Key : findingKeys(R))
+      Inferred.insert(Key);
+    auto It = R.Metrics.Counters.find("infer.annotations");
+    if (It != R.Metrics.Counters.end())
+      Out.AnnotationsAdded += It->second;
+    It = R.Metrics.Counters.find("infer.rejected");
+    if (It != R.Metrics.Counters.end())
+      Out.Rejected += It->second;
+  }
+  Out.InferMs = monotonicNowMs() - Start;
+
+  for (const std::string &Key : Inferred)
+    if (!Baseline.count(Key))
+      ++Out.NewFalsePositives;
+  for (const std::string &Key : Baseline)
+    if (!Inferred.count(Key))
+      ++Out.MissedFindings;
+
+  Out.ByteIdentical = batchHeader(Stripped, 1) == batchHeader(Stripped, 8);
+  return Out;
+}
+
+void writeJson(const Outcome &Out) {
+  FILE *F = fopen("BENCH_infer.json", "w");
+  if (!F) {
+    fprintf(stderr, "cannot write BENCH_infer.json\n");
+    return;
+  }
+  fprintf(F, "{\n");
+  fprintf(F, "  \"bench\": \"infer\",\n");
+  fprintf(F, "  \"unit\": \"ms\",\n");
+  fprintf(F, "  \"modules\": %u,\n", Modules);
+  fprintf(F, "  \"functions_per_module\": %u,\n", FunctionsPerModule);
+  fprintf(F, "  \"files\": %zu,\n", Out.Files);
+  fprintf(F, "  \"loc\": %u,\n", Out.Loc);
+  fprintf(F, "  \"baseline_findings\": %u,\n", Out.BaselineFindings);
+  fprintf(F, "  \"bare_findings\": %u,\n", Out.BareFindings);
+  fprintf(F, "  \"inferred_findings\": %u,\n", Out.InferredFindings);
+  fprintf(F, "  \"new_false_positives\": %u,\n", Out.NewFalsePositives);
+  fprintf(F, "  \"missed_findings\": %u,\n", Out.MissedFindings);
+  fprintf(F, "  \"annotations_added\": %llu,\n", Out.AnnotationsAdded);
+  fprintf(F, "  \"annotations_rejected\": %llu,\n", Out.Rejected);
+  fprintf(F, "  \"baseline_ms\": %.1f,\n", Out.BaselineMs);
+  fprintf(F, "  \"infer_ms\": %.1f,\n", Out.InferMs);
+  fprintf(F, "  \"parity_pct\": %.1f,\n", Out.parity());
+  fprintf(F, "  \"byte_identical\": %s,\n",
+          Out.ByteIdentical ? "true" : "false");
+  fprintf(F, "  \"acceptance_min_parity_pct\": %.1f,\n", AcceptanceMinParity);
+  fprintf(F, "  \"acceptance_pass\": %s\n", Out.pass() ? "true" : "false");
+  fprintf(F, "}\n");
+  fclose(F);
+  printf("wrote BENCH_infer.json\n");
+}
+
+} // namespace
+
+int main() {
+  printf("=============================================================\n");
+  printf(" Annotation inference: stripped %u-module corpus re-checked\n",
+         Modules);
+  printf(" with -infer vs the hand-annotated baseline\n");
+  printf("=============================================================\n");
+
+  Outcome Out = runScenario();
+
+  printf("corpus: %u modules, %zu files, %u lines\n", Modules, Out.Files,
+         Out.Loc);
+  printf("baseline (hand-annotated): %u findings in %.1f ms\n",
+         Out.BaselineFindings, Out.BaselineMs);
+  printf("bare (annotations stripped): %u findings\n", Out.BareFindings);
+  printf("inferred (-infer): %u findings in %.1f ms "
+         "(%llu annotations added, %llu rejected)\n",
+         Out.InferredFindings, Out.InferMs, Out.AnnotationsAdded,
+         Out.Rejected);
+  printf("new false positives: %u, missed findings: %u\n",
+         Out.NewFalsePositives, Out.MissedFindings);
+  printf("-j1 vs -j8 header: %s\n",
+         Out.ByteIdentical ? "byte-identical" : "DIFFER");
+  printf("\nfinding parity: %.1f%% (acceptance: >= %.0f%%, zero new false "
+         "positives, byte-identical headers) => %s\n",
+         Out.parity(), AcceptanceMinParity, Out.pass() ? "PASS" : "FAIL");
+  writeJson(Out);
+  return Out.pass() ? 0 : 1;
+}

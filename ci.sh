@@ -300,6 +300,43 @@ grep -q 'rejected: journal' "$SMOKE/svc/policy.err" || \
   { echo "service smoke: rejection message missing"; exit 1; }
 echo "check service smoke ok"
 
+echo "== inference smoke =="
+# The -infer acceptance end to end: strip every annotation from a Section 7
+# corpus's module sources, infer them back, and re-check each module against
+# the inferred interface. The hand-annotated corpus checks clean, so the
+# ">= 95% finding parity with zero new false positives" gate reduces to the
+# inferred runs being clean too; the combined header must be byte-identical
+# at -j1 and -j4; and an unwritable --infer-out must be rejected with a
+# precise per-flag message before any checking starts.
+"$MEMLINT" --gen-sec7="$SMOKE/inf" -gen-modules=6 -gen-unannotated \
+  > /dev/null 2>&1
+st=0
+(cd "$SMOKE/inf" && "$MEMLINT" mod0.c > /dev/null 2>&1) || st=$?
+[ "$st" -gt 0 ] || \
+  { echo "inference smoke: stripped module unexpectedly clean"; exit 1; }
+(cd "$SMOKE/inf" && "$MEMLINT" -j1 -infer --infer-out=inferred1.h \
+  $(cat MANIFEST) > /dev/null 2>&1) || \
+  { echo "inference smoke: -j1 infer run reported findings"; exit 1; }
+(cd "$SMOKE/inf" && "$MEMLINT" -j4 -infer --infer-out=inferred4.h \
+  $(cat MANIFEST) > /dev/null 2>&1) || \
+  { echo "inference smoke: -j4 infer run reported findings"; exit 1; }
+cmp -s "$SMOKE/inf/inferred1.h" "$SMOKE/inf/inferred4.h" || \
+  { echo "inference smoke: -j1 vs -j4 headers differ"; exit 1; }
+[ -s "$SMOKE/inf/inferred1.h" ] || \
+  { echo "inference smoke: inferred header is empty"; exit 1; }
+while read -r f; do
+  (cd "$SMOKE/inf" && "$MEMLINT" "$f" inferred1.h > /dev/null 2>&1) || \
+    { echo "inference smoke: $f not clean under inferred header"; exit 1; }
+done < "$SMOKE/inf/MANIFEST"
+st=0
+(cd "$SMOKE/inf" && "$MEMLINT" -infer --infer-out=/nonexistent-dir/x.h \
+  mod0.c > /dev/null 2> preflight.err) || st=$?
+[ "$st" -eq 126 ] || \
+  { echo "inference smoke: bad --infer-out expected 126, got $st"; exit 1; }
+grep -q -- "--infer-out" "$SMOKE/inf/preflight.err" || \
+  { echo "inference smoke: preflight error does not name the flag"; exit 1; }
+echo "inference smoke ok"
+
 rm -rf "$SMOKE"
 trap - EXIT
 
@@ -310,7 +347,7 @@ echo "== bench smoke (release-lto) =="
 cmake --preset release-lto
 cmake --build --preset release-lto -j "$JOBS" \
   --target bench_env_scaling bench_sec7_scaling bench_observability_overhead \
-  bench_incremental bench_frontend_reuse
+  bench_incremental bench_frontend_reuse bench_infer
 
 BENCHDIR=$PWD/build-lto/bench
 # Benchmarks write BENCH_*.json into the working directory; run them there.
@@ -377,6 +414,18 @@ check_json "$BENCHDIR/BENCH_incremental.json" \
   acceptance_min_speedup acceptance_pass
 grep -q '"acceptance_pass": true' "$BENCHDIR/BENCH_incremental.json" || \
   { echo "bench smoke: incremental warm-reuse acceptance failed"; exit 1; }
+
+# The annotation-inference gate: inferred interfaces on the stripped
+# Section 7 corpus must reproduce >= 95% of the hand-annotated findings
+# with zero new false positives and a -j1/-j8-identical header (the bench
+# exits nonzero on its own when the acceptance fails).
+(cd "$BENCHDIR" && ./bench_infer > /dev/null)
+check_json "$BENCHDIR/BENCH_infer.json" \
+  bench baseline_findings bare_findings inferred_findings \
+  new_false_positives parity_pct byte_identical acceptance_min_parity_pct \
+  acceptance_pass
+grep -q '"acceptance_pass": true' "$BENCHDIR/BENCH_infer.json" || \
+  { echo "bench smoke: inference parity acceptance failed"; exit 1; }
 echo "bench smoke ok"
 
 echo "== asan+ubsan build =="

@@ -30,6 +30,20 @@
 //   memlint --trace-out=t.json ...      span timeline as Chrome trace-event
 //                                       JSON (chrome://tracing, Perfetto)
 //
+// Annotation inference (see DESIGN.md §6h):
+//
+//   memlint -infer file.c               derive candidate annotations
+//                                       bottom-up over the call graph and
+//                                       print the inferred header
+//   memlint -infer --infer-out=i.h ...  write the header atomically instead;
+//                                       composes with batch mode (-jN,
+//                                       --journal/--resume) — the combined
+//                                       header is byte-identical across job
+//                                       counts and resumes
+//   memlint --gen-sec7=DIR -gen-unannotated
+//                                       inference workload: module sources
+//                                       stripped of annotations, headers kept
+//
 // The persistent check service (see DESIGN.md §6f):
 //
 //   memlint --serve --socket=/tmp/ml.sock --cache=ml.cache.jsonl
@@ -163,6 +177,8 @@ int main(int argc, char **argv) {
   std::string GenDir;
   unsigned GenModules = 3;
   unsigned GenSharedHeaders = 0;
+  bool GenUnannotated = false;
+  std::string InferOut;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -279,6 +295,27 @@ int main(int argc, char **argv) {
                 Arg.c_str());
         return 126;
       }
+      continue;
+    }
+    if (Arg == "-gen-unannotated") {
+      GenUnannotated = true;
+      continue;
+    }
+    if (Arg == "-infer") {
+      Options.Infer = true;
+      continue;
+    }
+    if (Arg == "--infer-out" || Arg.compare(0, 12, "--infer-out=") == 0) {
+      size_t Eq = Arg.find('=');
+      if (Eq != std::string::npos)
+        InferOut = Arg.substr(Eq + 1);
+      else if (I + 1 < argc)
+        InferOut = argv[++I];
+      if (InferOut.empty()) {
+        fprintf(stderr, "memlint: --infer-out needs an output path\n");
+        return 126;
+      }
+      Options.Infer = true; // --infer-out implies -infer
       continue;
     }
     if (Arg.compare(0, 16, "-frontend-cache=") == 0) {
@@ -467,12 +504,41 @@ int main(int argc, char **argv) {
     Files.push_back(Arg);
   }
 
+  //===--- output-path preflight -------------------------------------------===//
+
+  // Fail fast on unwritable output destinations: probe each output flag's
+  // path before anything is checked, so a long run cannot complete only to
+  // lose its report at the final write. The probe creates and removes a
+  // sibling temp file exactly where the later atomic write will place its
+  // own, without touching existing contents (a --resume journal survives).
+  {
+    const struct {
+      const char *Flag;
+      const std::string &Path;
+    } Outs[] = {
+        {"--metrics-out", MetricsOut},
+        {"--trace-out", TraceOut},
+        {"--infer-out", InferOut},
+        {"-fuzz-out", FuzzOut},
+        {Batch.Resume ? "--resume" : "--journal", Batch.JournalPath},
+    };
+    for (const auto &O : Outs)
+      if (!O.Path.empty() && !preflightWritePath(O.Path)) {
+        fprintf(stderr,
+                "memlint: cannot write to '%s' (from %s): directory missing "
+                "or not writable\n",
+                O.Path.c_str(), O.Flag);
+        return 126;
+      }
+  }
+
   //===--- corpus generation (service/bench smoke input) ------------------===//
 
   if (!GenDir.empty()) {
     corpus::GenOptions Gen;
     Gen.Modules = GenModules;
     Gen.SharedHeaders = GenSharedHeaders;
+    Gen.UnannotatedModules = GenUnannotated;
     corpus::Program P = corpus::syntheticProgram(Gen);
     ::mkdir(GenDir.c_str(), 0755); // fine if it already exists
     for (const std::string &Name : P.Files.names()) {
@@ -511,10 +577,11 @@ int main(int argc, char **argv) {
       return 126;
     }
     if (PrintCfg || RunProgram || FuzzMode || Format != "text" ||
-        !Options.TraceFunction.empty() || !FailOn.empty() || BatchMode) {
+        !Options.TraceFunction.empty() || !FailOn.empty() || BatchMode ||
+        Options.Infer) {
       fprintf(stderr, "memlint: --serve/--request cannot be combined with "
                       "--cfg, --run, --fuzz, batch options, -format, "
-                      "-trace-states, or -fail-on\n");
+                      "-trace-states, -fail-on, or -infer\n");
       return 126;
     }
   }
@@ -643,11 +710,11 @@ int main(int argc, char **argv) {
   if (FuzzMode || HaveRepro) {
     if (!Files.empty() || PrintCfg || RunProgram || Format != "text" ||
         !MetricsOut.empty() || !TraceOut.empty() ||
-        !Options.TraceFunction.empty() || !FailOn.empty()) {
+        !Options.TraceFunction.empty() || !FailOn.empty() || Options.Infer) {
       fprintf(stderr, "memlint: --fuzz/--fuzz-repro run a generated fleet; "
                       "they cannot be combined with input files, --cfg, "
                       "--run, -format, -trace-states, --metrics-out, "
-                      "--trace-out, or -fail-on\n");
+                      "--trace-out, -fail-on, or -infer\n");
       return 126;
     }
   }
@@ -730,7 +797,8 @@ int main(int argc, char **argv) {
                     "[-format=text|sarif|jsonl] [-trace-states=FN] "
                     "[--metrics-out FILE] [--trace-out FILE] "
                     "[-fail-on=degraded|internal] "
-                    "[-frontend-cache=on|off] file.c...\n"
+                    "[-frontend-cache=on|off] [-infer] [--infer-out FILE] "
+                    "file.c...\n"
                     "       memlint --fuzz [-fuzz-count=N] [-fuzz-seed=N] "
                     "[-fuzz-faults=N] [-fuzz-mutate=PCT] [-fuzz-out=FILE] "
                     "[-fuzz-regress-dir=DIR] [-jN]\n"
@@ -743,7 +811,7 @@ int main(int argc, char **argv) {
                     "       memlint --request --socket=PATH stats\n"
                     "       memlint --request --socket=PATH shutdown\n"
                     "       memlint --gen-sec7=DIR [-gen-modules=N] "
-                    "[-gen-shared-headers=N]\n");
+                    "[-gen-shared-headers=N] [-gen-unannotated]\n");
     return 126;
   }
   if (BatchMode && (PrintCfg || RunProgram)) {
@@ -768,9 +836,17 @@ int main(int argc, char **argv) {
   }
   if ((PrintCfg || RunProgram) &&
       (Format != "text" || !MetricsOut.empty() || !TraceOut.empty() ||
-       !Options.TraceFunction.empty())) {
+       !Options.TraceFunction.empty() || Options.Infer)) {
     fprintf(stderr, "memlint: observability options apply to checking, not "
                     "--cfg or --run\n");
+    return 126;
+  }
+  if (Options.Infer && Format != "text" && InferOut.empty()) {
+    // Structured stdout must stay machine-parsable; route the header to a
+    // file instead of interleaving it with the findings document.
+    fprintf(stderr, "memlint: -infer with -format=%s needs --infer-out "
+                    "FILE (stdout carries the findings document)\n",
+            Format.c_str());
     return 126;
   }
   if (!MetricsOut.empty()) {
@@ -877,6 +953,22 @@ int main(int argc, char **argv) {
               TraceOut.c_str());
       return 126;
     }
+    if (Options.Infer) {
+      // Per-file fragments concatenate in input order, so the combined
+      // header is byte-identical across -jN and under --resume.
+      std::string Header;
+      for (const FileOutcome &O : R.Outcomes)
+        Header += O.Inferred;
+      if (!InferOut.empty()) {
+        if (!writeFileTextAtomic(InferOut, Header)) {
+          fprintf(stderr, "memlint: cannot write inferred header to '%s'\n",
+                  InferOut.c_str());
+          return 126;
+        }
+      } else {
+        printf("-- inferred interface:\n%s", Header.c_str());
+      }
+    }
     unsigned Count = R.TotalAnomalies;
     if (Count == 0 && !FailOn.empty()) {
       // CI exit-status policy: a batch with no findings still fails when
@@ -956,6 +1048,17 @@ int main(int argc, char **argv) {
     fprintf(stderr, "memlint: cannot write trace to '%s'\n",
             TraceOut.c_str());
     return 126;
+  }
+  if (Options.Infer) {
+    if (!InferOut.empty()) {
+      if (!writeFileTextAtomic(InferOut, R.InferredHeader)) {
+        fprintf(stderr, "memlint: cannot write inferred header to '%s'\n",
+                InferOut.c_str());
+        return 126;
+      }
+    } else {
+      printf("-- inferred interface:\n%s", R.InferredHeader.c_str());
+    }
   }
   unsigned Count = R.anomalyCount();
   if (Count == 0 && !FailOn.empty()) {

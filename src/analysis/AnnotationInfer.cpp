@@ -1,0 +1,420 @@
+//===--- AnnotationInfer.cpp - Bottom-up annotation inference --------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnnotationInfer.h"
+
+#include "analysis/CallGraph.h"
+#include "support/Casting.h"
+#include "support/MonotonicTime.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace memlint;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Observation
+//===----------------------------------------------------------------------===//
+
+/// Collects the per-parameter and per-return facts of one function check.
+class InferObserver : public CheckObserver {
+public:
+  std::set<unsigned> Consumed;   ///< param indices passed as only/keep
+  std::set<unsigned> NullTested; ///< param indices tested against null
+  std::set<unsigned> Derefed;    ///< param indices dereferenced
+  std::set<unsigned> Returned;   ///< param indices the result may alias
+  bool RetHoldsObligation = false;
+  bool RetMayBeNull = false;
+  bool RetNullConst = false;
+
+  void observeParamConsumed(const ParmVarDecl *P) override {
+    Consumed.insert(P->index());
+  }
+  void observeParamNullTested(const ParmVarDecl *P) override {
+    NullTested.insert(P->index());
+  }
+  void observeParamDeref(const ParmVarDecl *P) override {
+    Derefed.insert(P->index());
+  }
+  void observeReturn(const ReturnFact &Fact) override {
+    RetHoldsObligation |= Fact.HoldsObligation;
+    RetMayBeNull |= Fact.MayBeNull;
+    RetNullConst |= Fact.IsNullConst;
+    if (Fact.ReturnedParam)
+      Returned.insert(Fact.ReturnedParam->index());
+  }
+};
+
+/// One proposed annotation word; Slot is a parameter index or -1 for the
+/// return value.
+struct Candidate {
+  int Slot;
+  const char *Word;
+};
+
+/// Saved annotation state of one function, for revert.
+struct Saved {
+  Annotations Return;
+  std::vector<Annotations> Params;
+};
+
+Saved snapshot(const FunctionDecl *FD) {
+  Saved S;
+  S.Return = FD->returnAnnotations();
+  for (const ParmVarDecl *P : FD->params())
+    S.Params.push_back(P->declAnnotations());
+  return S;
+}
+
+void restore(const FunctionDecl *FD, const Saved &S) {
+  const_cast<FunctionDecl *>(FD)->setReturnAnnotations(S.Return);
+  for (size_t I = 0; I < FD->params().size(); ++I)
+    FD->params()[I]->setAnnotations(S.Params[I]);
+}
+
+/// Applies one candidate word; returns false if it cannot be added (the
+/// category filled up since derivation — only possible mid-fallback).
+bool applyCandidate(const FunctionDecl *FD, const Candidate &C) {
+  if (C.Slot < 0) {
+    Annotations A = FD->returnAnnotations();
+    if (!A.addWord(C.Word))
+      return false;
+    const_cast<FunctionDecl *>(FD)->setReturnAnnotations(A);
+    return true;
+  }
+  ParmVarDecl *P = FD->params()[static_cast<size_t>(C.Slot)];
+  Annotations A = P->declAnnotations();
+  if (!A.addWord(C.Word))
+    return false;
+  P->setAnnotations(A);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Syntactic truenull/falsenull matching
+//===----------------------------------------------------------------------===//
+
+const Expr *stripParensCasts(const Expr *E) {
+  while (true) {
+    E = E->ignoreParens();
+    if (const auto *CE = dyn_cast<CastExpr>(E)) {
+      E = CE->sub();
+      continue;
+    }
+    return E;
+  }
+}
+
+bool isNullConstExpr(const Expr *E) {
+  E = stripParensCasts(E);
+  const auto *IL = dyn_cast<IntegerLiteralExpr>(E);
+  return IL && IL->value() == 0;
+}
+
+/// +1: E is "P is null" (p == NULL, !p). -1: E is "P is non-null"
+/// (p != NULL, bare p). 0: neither.
+int nullTestPolarity(const Expr *E, const ParmVarDecl *P) {
+  E = stripParensCasts(E);
+  auto refersToParam = [&](const Expr *X) {
+    const auto *DR = dyn_cast<DeclRefExpr>(stripParensCasts(X));
+    return DR && DR->decl() == P;
+  };
+  if (const auto *UE = dyn_cast<UnaryExpr>(E)) {
+    if (UE->op() == UnaryOp::Not && refersToParam(UE->sub()))
+      return +1;
+    return 0;
+  }
+  if (const auto *BE = dyn_cast<BinaryExpr>(E)) {
+    if (!isEqualityOp(BE->op()))
+      return 0;
+    const Expr *Tested = nullptr;
+    if (isNullConstExpr(BE->rhs()))
+      Tested = BE->lhs();
+    else if (isNullConstExpr(BE->lhs()))
+      Tested = BE->rhs();
+    if (!Tested || !refersToParam(Tested))
+      return 0;
+    return BE->op() == BinaryOp::EQ ? +1 : -1;
+  }
+  return 0;
+}
+
+void collectReturns(const Stmt *S, std::vector<const ReturnStmt *> &Out) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::StmtKind::Compound:
+    for (const Stmt *Sub : cast<CompoundStmt>(S)->body())
+      collectReturns(Sub, Out);
+    return;
+  case Stmt::StmtKind::If: {
+    const auto *IS = cast<IfStmt>(S);
+    collectReturns(IS->thenStmt(), Out);
+    collectReturns(IS->elseStmt(), Out);
+    return;
+  }
+  case Stmt::StmtKind::While:
+    collectReturns(cast<WhileStmt>(S)->body(), Out);
+    return;
+  case Stmt::StmtKind::Do:
+    collectReturns(cast<DoStmt>(S)->body(), Out);
+    return;
+  case Stmt::StmtKind::For:
+    collectReturns(cast<ForStmt>(S)->body(), Out);
+    return;
+  case Stmt::StmtKind::Switch:
+    for (const SwitchStmt::CaseSection &Sec :
+         cast<SwitchStmt>(S)->sections())
+      for (const Stmt *Sub : Sec.Body)
+        collectReturns(Sub, Out);
+    return;
+  case Stmt::StmtKind::Return:
+    Out.push_back(cast<ReturnStmt>(S));
+    return;
+  default:
+    return;
+  }
+}
+
+/// Detects a null-test predicate: an int-returning function with exactly
+/// one pointer parameter whose every return value is the same-polarity
+/// syntactic null test of that parameter. \returns "truenull", "falsenull",
+/// or null.
+const char *detectNullPredicate(const FunctionDecl *FD) {
+  if (FD->returnType().isPointer() || FD->returnType().isVoid())
+    return nullptr;
+  const ParmVarDecl *PtrParam = nullptr;
+  for (const ParmVarDecl *P : FD->params()) {
+    if (!P->type().isPointer())
+      continue;
+    if (PtrParam)
+      return nullptr; // more than one pointer parameter: ambiguous
+    PtrParam = P;
+  }
+  if (!PtrParam)
+    return nullptr;
+  std::vector<const ReturnStmt *> Returns;
+  collectReturns(FD->body(), Returns);
+  if (Returns.empty())
+    return nullptr;
+  int Polarity = 0;
+  for (const ReturnStmt *RS : Returns) {
+    if (!RS->value())
+      return nullptr;
+    int P = nullTestPolarity(RS->value(), PtrParam);
+    if (P == 0 || (Polarity != 0 && P != Polarity))
+      return nullptr;
+    Polarity = P;
+  }
+  return Polarity > 0 ? "truenull" : "falsenull";
+}
+
+//===----------------------------------------------------------------------===//
+// Anomaly keys
+//===----------------------------------------------------------------------===//
+
+std::set<std::string> anomalyKeys(const DiagnosticEngine &Diags) {
+  std::set<std::string> Keys;
+  for (const Diagnostic &D : Diags.diagnostics())
+    Keys.insert(std::string(checkIdFlagName(D.Id)) + "|" + D.Loc.str() +
+                "|" + D.Message);
+  return Keys;
+}
+
+bool introducesNewKey(const std::set<std::string> &After,
+                      const std::set<std::string> &Baseline) {
+  for (const std::string &K : After)
+    if (!Baseline.count(K))
+      return true;
+  return false;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Derivation and verification
+//===----------------------------------------------------------------------===//
+
+bool AnnotationInfer::inferFunction(const FunctionDecl *FD,
+                                    InferStats &Stats) {
+  // Observe the function's transfer behavior under its current annotations
+  // (callees already carry inferred interfaces, bottom-up). The same run
+  // yields the anomaly baseline the verification step compares against.
+  InferObserver Obs;
+  DiagnosticEngine BaseDiags;
+  std::set<std::string> Baseline;
+  try {
+    FunctionChecker FC(TU, Flags, BaseDiags, Budget);
+    FC.setObserver(&Obs);
+    FC.checkFunction(FD);
+    Baseline = anomalyKeys(BaseDiags);
+  } catch (const std::exception &) {
+    ++Stats.Errors;
+    return false;
+  }
+
+  // Derive candidates for categories the user (or an earlier inference
+  // pass) left unspecified.
+  std::vector<Candidate> Candidates;
+  for (const ParmVarDecl *P : FD->params()) {
+    if (!P->type().isPointer())
+      continue;
+    const unsigned I = P->index();
+    Annotations Eff = P->effectiveAnnotations();
+    if (Eff.Alloc == AllocAnn::Unspecified) {
+      if (Obs.Consumed.count(I))
+        Candidates.push_back({static_cast<int>(I), "only"});
+      else
+        Candidates.push_back({static_cast<int>(I), "temp"});
+    }
+    if (Eff.Null == NullAnn::Unspecified) {
+      if (Obs.NullTested.count(I))
+        Candidates.push_back({static_cast<int>(I), "null"});
+      else if (Obs.Derefed.count(I))
+        Candidates.push_back({static_cast<int>(I), "notnull"});
+    }
+    if (!Eff.Returned && Obs.Returned.count(I))
+      Candidates.push_back({static_cast<int>(I), "returned"});
+  }
+  if (FD->returnType().isPointer()) {
+    Annotations REff = FD->effectiveReturnAnnotations();
+    if (REff.Alloc == AllocAnn::Unspecified && Obs.RetHoldsObligation)
+      Candidates.push_back({-1, "only"});
+    if (REff.Null == NullAnn::Unspecified &&
+        (Obs.RetNullConst || Obs.RetMayBeNull))
+      Candidates.push_back({-1, "null"});
+  } else {
+    Annotations REff = FD->effectiveReturnAnnotations();
+    if (!REff.TrueNull && !REff.FalseNull)
+      if (const char *Word = detectNullPredicate(FD))
+        Candidates.push_back({-1, Word});
+  }
+  if (Candidates.empty())
+    return false;
+
+  // Verify: re-check with the candidates applied; any anomaly the plain
+  // function did not produce rejects them (then retry one word at a time,
+  // keeping the subset that stays anomaly-free).
+  Saved Before = snapshot(FD);
+  auto verifies = [&]() {
+    DiagnosticEngine After;
+    FunctionChecker FC(TU, Flags, After, Budget);
+    FC.checkFunction(FD);
+    return !introducesNewKey(anomalyKeys(After), Baseline);
+  };
+
+  try {
+    for (const Candidate &C : Candidates)
+      applyCandidate(FD, C);
+    if (verifies()) {
+      Stats.AnnotationsAdded += static_cast<unsigned>(Candidates.size());
+      return true;
+    }
+    restore(FD, Before);
+    bool Any = false;
+    for (const Candidate &C : Candidates) {
+      Saved Step = snapshot(FD);
+      if (!applyCandidate(FD, C))
+        continue;
+      if (verifies()) {
+        ++Stats.AnnotationsAdded;
+        Any = true;
+      } else {
+        restore(FD, Step);
+        ++Stats.Rejected;
+      }
+    }
+    return Any;
+  } catch (const std::exception &) {
+    restore(FD, Before);
+    ++Stats.Errors;
+    return false;
+  }
+}
+
+InferStats AnnotationInfer::run() {
+  InferStats Stats;
+  CallGraph CG(TU);
+  Stats.SCCs = static_cast<unsigned>(CG.bottomUpSCCs().size());
+  for (const auto &SCC : CG.bottomUpSCCs()) {
+    Stats.MaxSCCSize =
+        std::max(Stats.MaxSCCSize, static_cast<unsigned>(SCC.size()));
+    Stats.Functions += static_cast<unsigned>(SCC.size());
+    // Recursive SCCs iterate to a fixpoint: a member's inferred interface
+    // changes what its co-members observe. The derivation is monotone
+    // (only unspecified categories are ever filled), so the iteration
+    // count is bounded by the number of annotation slots; the cap is a
+    // safety net.
+    const bool Recursive = SCC.size() > 1 || CG.isRecursive(SCC.front());
+    const unsigned MaxIterations = Recursive ? 4 : 1;
+    for (unsigned Iter = 0; Iter < MaxIterations; ++Iter) {
+      ++Stats.Iterations;
+      bool Changed = false;
+      for (const FunctionDecl *FD : SCC) {
+        const double StartMs = Metrics ? monotonicNowMs() : 0;
+        Changed = inferFunction(FD, Stats) || Changed;
+        if (Metrics) {
+          const double Ms = monotonicNowMs() - StartMs;
+          Metrics->addTimeMs("infer.function", Ms);
+          Metrics->recordLatencyMs("hist.infer.function", Ms);
+        }
+      }
+      if (!Changed)
+        break;
+    }
+  }
+  return Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Header rendering
+//===----------------------------------------------------------------------===//
+
+std::string AnnotationInfer::renderDecl(const FunctionDecl *FD) {
+  std::string Out =
+      FD->storageClass() == StorageClass::Static ? "static " : "extern ";
+  const std::string RA = FD->returnAnnotations().str();
+  if (!RA.empty())
+    Out += RA + " ";
+  const std::string RT = FD->returnType().str();
+  Out += RT;
+  if (!RT.empty() && RT.back() != '*')
+    Out += " ";
+  Out += FD->name() + "(";
+  if (FD->params().empty() && !FD->isVariadic())
+    Out += "void";
+  for (size_t I = 0; I < FD->params().size(); ++I) {
+    if (I)
+      Out += ", ";
+    const ParmVarDecl *P = FD->params()[I];
+    const std::string PA = P->declAnnotations().str();
+    if (!PA.empty())
+      Out += PA + " ";
+    const std::string PT = P->type().str();
+    Out += PT;
+    if (!P->name().empty()) {
+      if (!PT.empty() && PT.back() != '*')
+        Out += " ";
+      Out += P->name();
+    }
+  }
+  if (FD->isVariadic())
+    Out += FD->params().empty() ? "..." : ", ...";
+  Out += ");";
+  return Out;
+}
+
+std::string AnnotationInfer::renderHeader() const {
+  std::string Out;
+  for (const FunctionDecl *FD : TU.definedFunctions()) {
+    Out += renderDecl(FD);
+    Out += "\n";
+  }
+  return Out;
+}

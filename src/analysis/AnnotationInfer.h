@@ -1,0 +1,107 @@
+//===--- AnnotationInfer.h - Bottom-up annotation inference -----*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bottom-up inference of interface annotations (DESIGN.md §6h). The paper's
+/// adoption cost is hand-writing /*@only@*/, /*@null@*/ etc.; this pass
+/// recovers candidate parameter and return annotations from each function's
+/// observed transfer behavior in the storage model:
+///
+///   param only      — storage rooted in the parameter was passed as an
+///                     only/keep parameter of a callee (obligation left)
+///   param null      — the parameter was tested against null
+///   param notnull   — dereferenced and never null-tested (explicit default)
+///   param temp      — pointer parameter neither consumed nor annotated
+///                     (explicit default)
+///   param returned  — the result may alias the parameter
+///   return only     — a returned value carried a release obligation
+///   return null     — a null constant (or possibly-null value) is returned
+///   truenull /      — an int-returning one-pointer-parameter function whose
+///   falsenull         every return is the syntactic null test of that param
+///
+/// The worklist runs in bottom-up SCC order over the call graph (callees
+/// first) with fixpoint iteration inside recursive SCCs, so callers are
+/// observed after their callees already carry inferred interfaces.
+///
+/// Every candidate set is verified before it sticks: the function is
+/// re-checked with the candidates applied, and if any anomaly appears that
+/// the un-inferred function did not produce, the candidates are rejected
+/// (falling back to accepting the largest per-word subset that stays
+/// anomaly-free). Inference therefore never introduces a new false
+/// positive on the code it ran on. Only annotation categories the user
+/// left unspecified are ever filled in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_ANALYSIS_ANNOTATIONINFER_H
+#define MEMLINT_ANALYSIS_ANNOTATIONINFER_H
+
+#include "analysis/FunctionChecker.h"
+#include "ast/AST.h"
+#include "support/Diagnostics.h"
+#include "support/Flags.h"
+#include "support/Limits.h"
+
+#include <string>
+
+namespace memlint {
+
+/// Counters describing one inference run (folded into metrics as infer.*).
+struct InferStats {
+  unsigned Functions = 0;        ///< defined functions visited
+  unsigned SCCs = 0;             ///< strongly connected components
+  unsigned MaxSCCSize = 0;       ///< largest SCC
+  unsigned Iterations = 0;       ///< total worklist passes over SCCs
+  unsigned AnnotationsAdded = 0; ///< annotation words accepted
+  unsigned Rejected = 0;         ///< candidate words rejected by verification
+  unsigned Errors = 0;           ///< functions skipped on internal error
+};
+
+/// Runs bottom-up annotation inference over a parsed translation unit,
+/// mutating parameter/return annotations of defined functions in place so a
+/// subsequent FunctionChecker::checkAll sees them as if user-written.
+class AnnotationInfer {
+public:
+  AnnotationInfer(const TranslationUnit &TU, const FlagSet &Flags,
+                  BudgetState *Budget = nullptr)
+      : TU(TU), Flags(Flags), Budget(Budget) {}
+
+  /// Attaches a metrics registry: run() then accumulates the per-function
+  /// inference time into the "infer.function" timer and the
+  /// "hist.infer.function" latency histogram. Null (the default) keeps the
+  /// pass free of clock reads.
+  void setMetrics(MetricsRegistry *M) { Metrics = M; }
+
+  /// Runs inference to fixpoint. Safe to call once per instance.
+  InferStats run();
+
+  /// Renders the inferred interface of every defined function as an
+  /// annotated header (one extern declaration per function, source order).
+  /// Deterministic: depends only on the post-run AST. Intended to be
+  /// re-checked together with (after) the sources that produced it, so
+  /// typedef names are already in scope.
+  std::string renderHeader() const;
+
+  /// Renders one function's declaration line (no trailing newline).
+  static std::string renderDecl(const FunctionDecl *FD);
+
+  /// Version tag mixed into the check-options fingerprint so cached results
+  /// can never mix inferred and plain runs. Bump on any change to the
+  /// derivation rules or header rendering.
+  static const char *version() { return "infer-v1"; }
+
+private:
+  bool inferFunction(const FunctionDecl *FD, InferStats &Stats);
+
+  const TranslationUnit &TU;
+  const FlagSet &Flags;
+  BudgetState *Budget;
+  MetricsRegistry *Metrics = nullptr;
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_ANALYSIS_ANNOTATIONINFER_H

@@ -1,0 +1,260 @@
+//===--- CallGraph.cpp - Inter-procedural call graph and SCCs --------------===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+
+using namespace memlint;
+
+CallGraph::CallGraph(const TranslationUnit &TU) {
+  for (const FunctionDecl *FD : TU.definedFunctions()) {
+    Nodes.push_back(FD);
+    Callees[FD]; // materialize so callees() is total over nodes
+  }
+  for (const FunctionDecl *FD : Nodes)
+    collectCalls(FD, FD->body());
+  computeSCCs();
+}
+
+const std::vector<const FunctionDecl *> &
+CallGraph::callees(const FunctionDecl *FD) const {
+  static const std::vector<const FunctionDecl *> Empty;
+  auto It = Callees.find(FD);
+  return It == Callees.end() ? Empty : It->second;
+}
+
+const std::vector<const FunctionDecl *> &
+CallGraph::callers(const FunctionDecl *FD) const {
+  static const std::vector<const FunctionDecl *> Empty;
+  auto It = Callers.find(FD);
+  return It == Callers.end() ? Empty : It->second;
+}
+
+bool CallGraph::isRecursive(const FunctionDecl *FD) const {
+  auto It = SCCIndex.find(FD);
+  if (It == SCCIndex.end())
+    return false;
+  if (SCCs[It->second].size() > 1)
+    return true;
+  const auto &Out = callees(FD);
+  return std::find(Out.begin(), Out.end(), FD) != Out.end();
+}
+
+void CallGraph::addEdge(const FunctionDecl *Caller,
+                        const FunctionDecl *Callee) {
+  std::vector<const FunctionDecl *> &Out = Callees[Caller];
+  if (std::find(Out.begin(), Out.end(), Callee) != Out.end())
+    return;
+  Out.push_back(Callee);
+  Callers[Callee].push_back(Caller);
+}
+
+void CallGraph::collectCallsExpr(const FunctionDecl *Caller, const Expr *E) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case Expr::ExprKind::Paren:
+    collectCallsExpr(Caller, cast<ParenExpr>(E)->sub());
+    return;
+  case Expr::ExprKind::Unary:
+    collectCallsExpr(Caller, cast<UnaryExpr>(E)->sub());
+    return;
+  case Expr::ExprKind::Binary: {
+    const auto *BE = cast<BinaryExpr>(E);
+    collectCallsExpr(Caller, BE->lhs());
+    collectCallsExpr(Caller, BE->rhs());
+    return;
+  }
+  case Expr::ExprKind::Call: {
+    const auto *CE = cast<CallExpr>(E);
+    if (const FunctionDecl *Callee = CE->directCallee())
+      addEdge(Caller, Callee);
+    else
+      collectCallsExpr(Caller, CE->callee());
+    for (const Expr *A : CE->args())
+      collectCallsExpr(Caller, A);
+    return;
+  }
+  case Expr::ExprKind::Member:
+    collectCallsExpr(Caller, cast<MemberExpr>(E)->base());
+    return;
+  case Expr::ExprKind::ArraySubscript: {
+    const auto *AE = cast<ArraySubscriptExpr>(E);
+    collectCallsExpr(Caller, AE->base());
+    collectCallsExpr(Caller, AE->index());
+    return;
+  }
+  case Expr::ExprKind::Cast:
+    collectCallsExpr(Caller, cast<CastExpr>(E)->sub());
+    return;
+  case Expr::ExprKind::Sizeof:
+    collectCallsExpr(Caller, cast<SizeofExpr>(E)->argExpr());
+    return;
+  case Expr::ExprKind::Conditional: {
+    const auto *CE = cast<ConditionalExpr>(E);
+    collectCallsExpr(Caller, CE->cond());
+    collectCallsExpr(Caller, CE->trueExpr());
+    collectCallsExpr(Caller, CE->falseExpr());
+    return;
+  }
+  case Expr::ExprKind::InitList:
+    for (const Expr *I : cast<InitListExpr>(E)->inits())
+      collectCallsExpr(Caller, I);
+    return;
+  default:
+    return; // leaves: literals, DeclRef
+  }
+}
+
+void CallGraph::collectCalls(const FunctionDecl *Caller, const Stmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::StmtKind::Compound:
+    for (const Stmt *Sub : cast<CompoundStmt>(S)->body())
+      collectCalls(Caller, Sub);
+    return;
+  case Stmt::StmtKind::Decl:
+    for (const VarDecl *VD : cast<DeclStmt>(S)->decls())
+      collectCallsExpr(Caller, VD->init());
+    return;
+  case Stmt::StmtKind::Expr:
+    collectCallsExpr(Caller, cast<ExprStmt>(S)->expr());
+    return;
+  case Stmt::StmtKind::If: {
+    const auto *IS = cast<IfStmt>(S);
+    collectCallsExpr(Caller, IS->cond());
+    collectCalls(Caller, IS->thenStmt());
+    collectCalls(Caller, IS->elseStmt());
+    return;
+  }
+  case Stmt::StmtKind::While: {
+    const auto *WS = cast<WhileStmt>(S);
+    collectCallsExpr(Caller, WS->cond());
+    collectCalls(Caller, WS->body());
+    return;
+  }
+  case Stmt::StmtKind::Do: {
+    const auto *DS = cast<DoStmt>(S);
+    collectCalls(Caller, DS->body());
+    collectCallsExpr(Caller, DS->cond());
+    return;
+  }
+  case Stmt::StmtKind::For: {
+    const auto *FS = cast<ForStmt>(S);
+    collectCalls(Caller, FS->init());
+    collectCallsExpr(Caller, FS->cond());
+    collectCallsExpr(Caller, FS->inc());
+    collectCalls(Caller, FS->body());
+    return;
+  }
+  case Stmt::StmtKind::Return:
+    collectCallsExpr(Caller, cast<ReturnStmt>(S)->value());
+    return;
+  case Stmt::StmtKind::Switch: {
+    const auto *SS = cast<SwitchStmt>(S);
+    collectCallsExpr(Caller, SS->cond());
+    for (const SwitchStmt::CaseSection &Sec : SS->sections()) {
+      for (const Expr *L : Sec.Labels)
+        collectCallsExpr(Caller, L);
+      for (const Stmt *Sub : Sec.Body)
+        collectCalls(Caller, Sub);
+    }
+    return;
+  }
+  case Stmt::StmtKind::Break:
+  case Stmt::StmtKind::Continue:
+  case Stmt::StmtKind::Null:
+    return;
+  }
+}
+
+void CallGraph::computeSCCs() {
+  // Iterative Tarjan over the defined-function subgraph; edges to callees
+  // without a body are skipped (they cannot be on a cycle we can observe).
+  struct NodeState {
+    unsigned Index = 0;
+    unsigned LowLink = 0;
+    bool Visited = false;
+    bool OnStack = false;
+  };
+  std::map<const FunctionDecl *, NodeState> State;
+  std::vector<const FunctionDecl *> Stack;
+  unsigned NextIndex = 0;
+  std::map<const FunctionDecl *, size_t> SourceOrder;
+  for (size_t I = 0; I < Nodes.size(); ++I)
+    SourceOrder[Nodes[I]] = I;
+
+  struct Frame {
+    const FunctionDecl *Node;
+    size_t ChildIdx;
+  };
+
+  for (const FunctionDecl *Root : Nodes) {
+    if (State[Root].Visited)
+      continue;
+    std::vector<Frame> Frames;
+    Frames.push_back({Root, 0});
+    while (!Frames.empty()) {
+      Frame &F = Frames.back();
+      NodeState &NS = State[F.Node];
+      if (!NS.Visited) {
+        NS.Visited = true;
+        NS.Index = NS.LowLink = NextIndex++;
+        NS.OnStack = true;
+        Stack.push_back(F.Node);
+      }
+      const auto &Out = callees(F.Node);
+      bool Descended = false;
+      while (F.ChildIdx < Out.size()) {
+        const FunctionDecl *Child = Out[F.ChildIdx];
+        ++F.ChildIdx;
+        if (!Child->isDefinition())
+          continue;
+        NodeState &CS = State[Child];
+        if (!CS.Visited) {
+          Frames.push_back({Child, 0});
+          Descended = true;
+          break;
+        }
+        if (CS.OnStack)
+          NS.LowLink = std::min(NS.LowLink, CS.Index);
+      }
+      if (Descended)
+        continue;
+      // All children done: pop an SCC if this is its root, then propagate
+      // the lowlink to the parent frame.
+      if (NS.LowLink == NS.Index) {
+        std::vector<const FunctionDecl *> SCC;
+        while (true) {
+          const FunctionDecl *Member = Stack.back();
+          Stack.pop_back();
+          State[Member].OnStack = false;
+          SCC.push_back(Member);
+          if (Member == F.Node)
+            break;
+        }
+        // Keep members in source order for deterministic worklists.
+        std::sort(SCC.begin(), SCC.end(),
+                  [&](const FunctionDecl *A, const FunctionDecl *B) {
+                    return SourceOrder[A] < SourceOrder[B];
+                  });
+        for (const FunctionDecl *Member : SCC)
+          SCCIndex[Member] = static_cast<unsigned>(SCCs.size());
+        SCCs.push_back(std::move(SCC));
+      }
+      const FunctionDecl *Done = F.Node;
+      Frames.pop_back();
+      if (!Frames.empty()) {
+        NodeState &PS = State[Frames.back().Node];
+        PS.LowLink = std::min(PS.LowLink, State[Done].LowLink);
+      }
+    }
+  }
+}

@@ -1,0 +1,76 @@
+//===--- CallGraph.h - Inter-procedural call graph and SCCs -----*- C++ -*-===//
+//
+// Part of memlint. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inter-procedural call graph over a translation unit's function
+/// definitions, with Tarjan strongly-connected components and a bottom-up
+/// (callee-first) worklist order. Annotation inference (DESIGN.md §6h)
+/// drives its funcQueue in this order so a function's callees carry their
+/// inferred interfaces before the function itself is observed.
+///
+/// Edges point from caller to callee and only direct calls are recorded
+/// (calls through function pointers have no static callee). Callees without
+/// a body (library functions, externs defined elsewhere) appear in callee
+/// lists but not in the SCC order — they have no observable body, so the
+/// worklist has nothing to infer from them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLINT_ANALYSIS_CALLGRAPH_H
+#define MEMLINT_ANALYSIS_CALLGRAPH_H
+
+#include "ast/AST.h"
+
+#include <map>
+#include <vector>
+
+namespace memlint {
+
+class CallGraph {
+public:
+  /// Builds the graph from every function definition in \p TU by walking
+  /// bodies for direct calls.
+  explicit CallGraph(const TranslationUnit &TU);
+
+  /// Direct callees of \p FD, in first-call source order, deduplicated.
+  const std::vector<const FunctionDecl *> &
+  callees(const FunctionDecl *FD) const;
+
+  /// Direct callers of \p FD, in discovery order, deduplicated.
+  const std::vector<const FunctionDecl *> &
+  callers(const FunctionDecl *FD) const;
+
+  /// Strongly connected components in bottom-up order: every SCC appears
+  /// after all SCCs it calls into (Tarjan emits components in reverse
+  /// topological order of the caller→callee edges, which is exactly the
+  /// callee-first worklist order). Members within an SCC keep source
+  /// order. Only defined functions are included.
+  const std::vector<std::vector<const FunctionDecl *>> &bottomUpSCCs() const {
+    return SCCs;
+  }
+
+  /// True if \p FD is in an SCC with more than one member or calls itself
+  /// (fixpoint iteration is then required).
+  bool isRecursive(const FunctionDecl *FD) const;
+
+  unsigned nodeCount() const { return static_cast<unsigned>(Nodes.size()); }
+
+private:
+  void addEdge(const FunctionDecl *Caller, const FunctionDecl *Callee);
+  void collectCalls(const FunctionDecl *Caller, const Stmt *S);
+  void collectCallsExpr(const FunctionDecl *Caller, const Expr *E);
+  void computeSCCs();
+
+  std::vector<const FunctionDecl *> Nodes; ///< defined functions, source order
+  std::map<const FunctionDecl *, std::vector<const FunctionDecl *>> Callees;
+  std::map<const FunctionDecl *, std::vector<const FunctionDecl *>> Callers;
+  std::map<const FunctionDecl *, unsigned> SCCIndex; ///< node → SCC position
+  std::vector<std::vector<const FunctionDecl *>> SCCs;
+};
+
+} // namespace memlint
+
+#endif // MEMLINT_ANALYSIS_CALLGRAPH_H

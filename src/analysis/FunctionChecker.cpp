@@ -867,6 +867,19 @@ void FunctionChecker::execReturn(const ReturnStmt *RS, Env &S) {
     EvalResult R = evalExpr(Value, S, /*AsRValue=*/true);
     std::string ValueText = exprToString(Value);
 
+    if (Observer && ReturnsPointer) {
+      CheckObserver::ReturnFact Fact;
+      Fact.HoldsObligation = holdsObligation(R.Val.Alloc);
+      Fact.MayBeNull = R.Val.mayBeNull();
+      Fact.IsNullConst = R.IsNullConst;
+      if (R.Ref && R.Ref->isRoot())
+        Fact.ReturnedParam = dyn_cast<ParmVarDecl>(R.Ref->root());
+      for (const RefPath &Alias : R.ResultAliases)
+        if (!Fact.ReturnedParam && Alias.isRoot())
+          Fact.ReturnedParam = dyn_cast<ParmVarDecl>(Alias.root());
+      Observer->observeReturn(Fact);
+    }
+
     // Null state of the returned value.
     if (ReturnsPointer && RA.Null == NullAnn::Unspecified &&
         !R.IsNullConst && R.Val.mayBeNull() &&
@@ -1239,6 +1252,9 @@ void FunctionChecker::checkRValueUse(Env &S, EvalResult &R, const Expr *E) {
 
 bool FunctionChecker::checkDeref(Env &S, EvalResult &Base, const Expr *Whole,
                                  const char *AccessKind) {
+  if (Observer && Base.Ref && Base.Ref->isRoot())
+    if (const auto *P = dyn_cast<ParmVarDecl>(Base.Ref->root()))
+      Observer->observeParamDeref(P);
   if (Base.IsNullConst) {
     if (checkEnabled(CheckId::NullDeref))
       Diags.report(CheckId::NullDeref, Whole->loc(),
@@ -2008,8 +2024,12 @@ void FunctionChecker::checkCallArg(Env &S, EvalResult &Arg,
     }
     // After the call: obligation satisfied. For only, the reference is
     // dead; for keep, the caller may still use it.
-    if (Arg.Ref)
+    if (Arg.Ref) {
+      if (Observer && Arg.Ref->isRoot())
+        if (const auto *P = dyn_cast<ParmVarDecl>(Arg.Ref->root()))
+          Observer->observeParamConsumed(P);
       consumeObligation(S, *Arg.Ref, /*MakeDead=*/!IsKeep, ArgExpr->loc());
+    }
     break;
   }
   case AllocAnn::Owned: {
@@ -2278,11 +2298,15 @@ void FunctionChecker::refine(Env &S, const Expr *Cond, bool Value) {
       // Locate the reference without side effects: a refinement-only eval.
       Env Scratch = S;
       EvalResult R = evalExpr(Tested, Scratch, /*AsRValue=*/false);
-      if (R.Ref)
+      if (R.Ref) {
+        if (Observer && R.Ref->isRoot())
+          if (const auto *P = dyn_cast<ParmVarDecl>(R.Ref->root()))
+            Observer->observeParamNullTested(P);
         setNullState(S, *R.Ref,
                      IsNullWhen ? NullState::DefinitelyNull
                                 : NullState::NotNull,
                      Cond->loc());
+      }
       return;
     }
     // p = e used as a condition: refine p.
@@ -2320,6 +2344,9 @@ void FunctionChecker::refine(Env &S, const Expr *Cond, bool Value) {
     EvalResult R = evalExpr(Tested, Scratch, /*AsRValue=*/false);
     if (!R.Ref)
       return;
+    if (Observer && R.Ref->isRoot())
+      if (const auto *P = dyn_cast<ParmVarDecl>(R.Ref->root()))
+        Observer->observeParamNullTested(P);
     bool IsNull = TrueNull ? Value : !Value;
     setNullState(S, *R.Ref,
                  IsNull ? NullState::DefinitelyNull : NullState::NotNull,
@@ -2331,9 +2358,13 @@ void FunctionChecker::refine(Env &S, const Expr *Cond, bool Value) {
   {
     Env Scratch = S;
     EvalResult R = evalExpr(E, Scratch, /*AsRValue=*/false);
-    if (R.Ref && E->type().isPointer())
+    if (R.Ref && E->type().isPointer()) {
+      if (Observer && R.Ref->isRoot())
+        if (const auto *P = dyn_cast<ParmVarDecl>(R.Ref->root()))
+          Observer->observeParamNullTested(P);
       setNullState(S, *R.Ref,
                    Value ? NullState::NotNull : NullState::DefinitelyNull,
                    Cond->loc());
+    }
   }
 }

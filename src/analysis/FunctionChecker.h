@@ -42,6 +42,39 @@
 
 namespace memlint {
 
+/// Observation hooks for annotation inference (DESIGN.md §6h): while a
+/// function is being checked, the attached observer is told about the
+/// interface-relevant transfer behavior the storage model sees. All hooks
+/// fire only for references rooted in a parameter of the function under
+/// check (the local parameter or its caller-visible arg mirror). A null
+/// observer (the default) costs one pointer test per hook site.
+class CheckObserver {
+public:
+  virtual ~CheckObserver() = default;
+
+  /// Storage rooted in parameter \p P was passed as an only/keep parameter
+  /// of a callee: its release obligation transferred out of the function.
+  virtual void observeParamConsumed(const ParmVarDecl *P) {}
+
+  /// Parameter \p P was tested against null (branch refinement: an
+  /// equality test with NULL, a truenull/falsenull predicate call, or a
+  /// bare pointer condition).
+  virtual void observeParamNullTested(const ParmVarDecl *P) {}
+
+  /// Parameter \p P was dereferenced (arrow/index/star access).
+  virtual void observeParamDeref(const ParmVarDecl *P) {}
+
+  /// Facts about one analyzed return of a pointer-returning function.
+  struct ReturnFact {
+    bool HoldsObligation = false; ///< value carries a release obligation
+    bool MayBeNull = false;       ///< abstract value may be null
+    bool IsNullConst = false;     ///< a literal null constant is returned
+    const ParmVarDecl *ReturnedParam = nullptr; ///< parameter returned (or
+                                                ///< aliased by the result)
+  };
+  virtual void observeReturn(const ReturnFact &Fact) {}
+};
+
 /// Checks function bodies against their interface annotations.
 class FunctionChecker {
 public:
@@ -72,6 +105,10 @@ public:
   /// environment counters are folded in as "env.*". Null (the default)
   /// keeps the analysis free of clock reads.
   void setMetrics(MetricsRegistry *M) { Metrics = M; }
+
+  /// Attaches an observer whose hooks fire on interface-relevant transfer
+  /// behavior (see CheckObserver). Null (the default) disables observation.
+  void setObserver(CheckObserver *O) { Observer = O; }
 
   /// Attaches a span recorder: checkFunction then records one
   /// "check.function" span per function with the function name as an arg.
@@ -212,6 +249,7 @@ private:
   const FlagSet &Flags;
   DiagnosticEngine &Diags;
   BudgetState *Budget = nullptr;
+  CheckObserver *Observer = nullptr;
   MetricsRegistry *Metrics = nullptr;
   TraceRecorder *Trace = nullptr;
   std::string TraceFn; ///< function name selected for tracing; "" = none

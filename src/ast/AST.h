@@ -96,6 +96,10 @@ public:
     Annots = Annotations::overrideWith(Annots, Other);
   }
 
+  /// Replaces the declaration annotations wholesale. Annotation inference
+  /// uses this to apply a candidate set and to revert a rejected one.
+  void setAnnotations(const Annotations &A) { Annots = A; }
+
   Expr *init() const { return Init; }
   void setInit(Expr *E) { Init = E; }
 
@@ -167,6 +171,10 @@ public:
   void mergeReturnAnnotations(const Annotations &Other) {
     ReturnAnnots = Annotations::overrideWith(ReturnAnnots, Other);
   }
+
+  /// Replaces the return annotations wholesale (annotation inference
+  /// apply/revert; see VarDecl::setAnnotations).
+  void setReturnAnnotations(const Annotations &A) { ReturnAnnots = A; }
 
   /// True for a null-test function (paper: truenull/falsenull).
   bool isTrueNull() const { return ReturnAnnots.TrueNull; }

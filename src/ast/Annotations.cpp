@@ -8,28 +8,80 @@
 
 using namespace memlint;
 
-bool Annotations::addWord(const std::string &Word) {
+namespace {
+
+const char *nullWord(NullAnn V) {
+  switch (V) {
+  case NullAnn::Unspecified: return "";
+  case NullAnn::Null: return "null";
+  case NullAnn::NotNull: return "notnull";
+  case NullAnn::RelNull: return "relnull";
+  }
+  return "";
+}
+
+const char *defWord(DefAnn V) {
+  switch (V) {
+  case DefAnn::Unspecified: return "";
+  case DefAnn::Out: return "out";
+  case DefAnn::In: return "in";
+  case DefAnn::Partial: return "partial";
+  case DefAnn::RelDef: return "reldef";
+  }
+  return "";
+}
+
+const char *allocWord(AllocAnn V) {
+  switch (V) {
+  case AllocAnn::Unspecified: return "";
+  case AllocAnn::Only: return "only";
+  case AllocAnn::Keep: return "keep";
+  case AllocAnn::Temp: return "temp";
+  case AllocAnn::Owned: return "owned";
+  case AllocAnn::Dependent: return "dependent";
+  case AllocAnn::Shared: return "shared";
+  }
+  return "";
+}
+
+const char *exposureWord(ExposureAnn V) {
+  switch (V) {
+  case ExposureAnn::Unspecified: return "";
+  case ExposureAnn::Observer: return "observer";
+  case ExposureAnn::Exposed: return "exposed";
+  }
+  return "";
+}
+
+} // namespace
+
+bool Annotations::addWord(const std::string &Word, std::string *Existing) {
+  auto reject = [&](const char *Occupant) {
+    if (Existing)
+      *Existing = Occupant;
+    return false;
+  };
   auto setNull = [&](NullAnn V) {
     if (Null != NullAnn::Unspecified && Null != V)
-      return false;
+      return reject(nullWord(Null));
     Null = V;
     return true;
   };
   auto setDef = [&](DefAnn V) {
     if (Def != DefAnn::Unspecified && Def != V)
-      return false;
+      return reject(defWord(Def));
     Def = V;
     return true;
   };
   auto setAlloc = [&](AllocAnn V) {
     if (Alloc != AllocAnn::Unspecified && Alloc != V)
-      return false;
+      return reject(allocWord(Alloc));
     Alloc = V;
     return true;
   };
   auto setExposure = [&](ExposureAnn V) {
     if (Exposure != ExposureAnn::Unspecified && Exposure != V)
-      return false;
+      return reject(exposureWord(Exposure));
     Exposure = V;
     return true;
   };
@@ -74,13 +126,13 @@ bool Annotations::addWord(const std::string &Word) {
   }
   if (Word == "truenull") {
     if (FalseNull)
-      return false;
+      return reject("falsenull");
     TrueNull = true;
     return true;
   }
   if (Word == "falsenull") {
     if (TrueNull)
-      return false;
+      return reject("truenull");
     FalseNull = true;
     return true;
   }
@@ -110,19 +162,19 @@ bool Annotations::addWord(const std::string &Word) {
   }
   if (Word == "newref") {
     if (KillRef || TempRef)
-      return false;
+      return reject(KillRef ? "killref" : "tempref");
     NewRef = true;
     return true;
   }
   if (Word == "killref") {
     if (NewRef || TempRef)
-      return false;
+      return reject(NewRef ? "newref" : "tempref");
     KillRef = true;
     return true;
   }
   if (Word == "tempref") {
     if (NewRef || KillRef)
-      return false;
+      return reject(NewRef ? "newref" : "killref");
     TempRef = true;
     return true;
   }
@@ -131,6 +183,39 @@ bool Annotations::addWord(const std::string &Word) {
     return true;
   }
   return false; // unknown word; lexer normally filters these out
+}
+
+std::vector<std::pair<std::string, std::string>>
+Annotations::conflictsBetween(const Annotations &A, const Annotations &B) {
+  std::vector<std::pair<std::string, std::string>> Out;
+  if (A.Null != NullAnn::Unspecified && B.Null != NullAnn::Unspecified &&
+      A.Null != B.Null)
+    Out.emplace_back(nullWord(A.Null), nullWord(B.Null));
+  if (A.Def != DefAnn::Unspecified && B.Def != DefAnn::Unspecified &&
+      A.Def != B.Def)
+    Out.emplace_back(defWord(A.Def), defWord(B.Def));
+  if (A.Alloc != AllocAnn::Unspecified && B.Alloc != AllocAnn::Unspecified &&
+      A.Alloc != B.Alloc)
+    Out.emplace_back(allocWord(A.Alloc), allocWord(B.Alloc));
+  if (A.Exposure != ExposureAnn::Unspecified &&
+      B.Exposure != ExposureAnn::Unspecified && A.Exposure != B.Exposure)
+    Out.emplace_back(exposureWord(A.Exposure), exposureWord(B.Exposure));
+  // The mutually exclusive booleans: a conflict needs one side to set one
+  // word and the other side the incompatible one.
+  if ((A.TrueNull && B.FalseNull))
+    Out.emplace_back("truenull", "falsenull");
+  if ((A.FalseNull && B.TrueNull))
+    Out.emplace_back("falsenull", "truenull");
+  auto refWord = [](const Annotations &X) -> const char * {
+    if (X.NewRef) return "newref";
+    if (X.KillRef) return "killref";
+    if (X.TempRef) return "tempref";
+    return "";
+  };
+  const char *RA = refWord(A), *RB = refWord(B);
+  if (RA[0] != '\0' && RB[0] != '\0' && std::string(RA) != RB)
+    Out.emplace_back(RA, RB);
+  return Out;
 }
 
 Annotations Annotations::overrideWith(const Annotations &FromType,

@@ -25,6 +25,8 @@
 #define MEMLINT_AST_ANNOTATIONS_H
 
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace memlint {
 
@@ -99,8 +101,18 @@ struct Annotations {
 
   /// Applies one annotation word ("null", "only", ...).
   /// \returns false if the word conflicts with an already-set annotation in
-  /// the same category (the caller reports the error).
-  bool addWord(const std::string &Word);
+  /// the same category (the caller reports the error). When it does, and
+  /// \p Existing is non-null, *Existing receives the word already occupying
+  /// the category (e.g. "only" when "temp" is rejected) so the diagnostic
+  /// can name both words and the winner.
+  bool addWord(const std::string &Word, std::string *Existing = nullptr);
+
+  /// Per-category disagreements between two annotation sets: each pair is
+  /// (word in \p A, word in \p B) where both specify the category but
+  /// differ (null vs notnull, only vs temp, truenull vs falsenull, ...).
+  /// Used to diagnose declaration/definition annotation mismatches.
+  static std::vector<std::pair<std::string, std::string>>
+  conflictsBetween(const Annotations &A, const Annotations &B);
 
   /// Combines typedef-supplied annotations with declaration-level ones;
   /// declaration annotations win within each category (paper: notnull "may

@@ -6,6 +6,7 @@
 
 #include "checker/Checker.h"
 
+#include "analysis/AnnotationInfer.h"
 #include "analysis/FunctionChecker.h"
 #include "analysis/LibrarySpec.h"
 #include "lcl/LclReader.h"
@@ -29,9 +30,13 @@ std::string memlint::checkOptionsFingerprint(const CheckOptions &Options) {
   // the version, and stale warm results are refused instead of replayed.
   // The FrontendCache/Frontend fields themselves stay out of the
   // fingerprint — cache on/off never changes diagnostics.
+  // Inference changes diagnostics (and adds the inferred header to the
+  // result), so inferred and plain runs must never share cache entries;
+  // the inference version also invalidates caches across rule changes.
   return fnv1aHex({Options.Flags.fingerprint(),
                    Options.IncludePrelude ? "prelude" : "no-prelude",
-                   librarySpecVersion(), frontendCacheVersion()});
+                   librarySpecVersion(), frontendCacheVersion(),
+                   Options.Infer ? AnnotationInfer::version() : "no-infer"});
 }
 
 const char *memlint::checkStatusName(CheckStatus S) {
@@ -193,6 +198,7 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
 
   const std::string MainName = Names.empty() ? "program" : Names.front();
   ASTContext Ctx;
+  std::string InferredHeader;
   // Owns the suppression state for the Diags filter; lives until results
   // are collected, even when cancellation aborts the pipeline early.
   std::optional<SuppressionMap> Suppression;
@@ -272,6 +278,28 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
         containError(MainName, "validating annotations in", &E);
       }
 
+      if (Options.Infer) {
+        try {
+          ScopedTimer T(Metrics, "phase.infer");
+          ScopedTraceSpan Span(Options.Trace, "check", "phase.infer");
+          AnnotationInfer Infer(*TU, Options.Flags, &Budget);
+          Infer.setMetrics(Metrics);
+          InferStats Stats = Infer.run();
+          InferredHeader = Infer.renderHeader();
+          if (Metrics) {
+            Metrics->addCounter("infer.functions", Stats.Functions);
+            Metrics->addCounter("infer.sccs", Stats.SCCs);
+            Metrics->addCounter("infer.scc.max", Stats.MaxSCCSize);
+            Metrics->addCounter("infer.iterations", Stats.Iterations);
+            Metrics->addCounter("infer.annotations", Stats.AnnotationsAdded);
+            Metrics->addCounter("infer.rejected", Stats.Rejected);
+            Metrics->addCounter("infer.errors", Stats.Errors);
+          }
+        } catch (const std::exception &E) {
+          containError(MainName, "inferring annotations in", &E);
+        }
+      }
+
       // checkAll contains per-function internal errors itself; this catch
       // is the last resort for errors escaping the loop machinery.
       try {
@@ -307,6 +335,7 @@ CheckResult runCheck(const VFS &Files, const std::vector<std::string> &Names,
     Result.Diagnostics.push_back(D);
   }
   Result.SuppressedCount = Diags.suppressedCount();
+  Result.InferredHeader = std::move(InferredHeader);
 
   // Flood control: one summary line per capped class, in CheckId order
   // (overflowCounts is an ordered map, so this is deterministic).

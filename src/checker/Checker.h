@@ -78,6 +78,12 @@ struct CheckOptions {
   /// Receives trace event lines (no trailing newline). Must outlive the
   /// check call. Null discards events even when TraceFunction is set.
   std::function<void(const std::string &)> TraceSink;
+  /// Bottom-up annotation inference (DESIGN.md §6h): after Sema and before
+  /// checking, infer parameter/return annotations from observed transfer
+  /// behavior and treat them as if user-written. The inferred interface is
+  /// returned in CheckResult::InferredHeader. Changes diagnostics, so it
+  /// contributes to checkOptionsFingerprint (via the inference version).
+  bool Infer = false;
 };
 
 /// How a check run completed. Ordered by severity: a run that both hit a
@@ -115,6 +121,10 @@ struct CheckResult {
   /// was set. Counters are deterministic for a given input and flag set;
   /// timer values are wall-clock and vary run to run.
   MetricsSnapshot Metrics;
+  /// The inferred annotated interface (one extern declaration per defined
+  /// function); empty unless CheckOptions::Infer was set. Deterministic for
+  /// a given input and flag set.
+  std::string InferredHeader;
 
   /// Number of anomalies of a given check class.
   unsigned count(CheckId Id) const;

@@ -294,7 +294,7 @@ typedef struct {
         break;
       }
     }
-    if (!Options.WithAnnotations)
+    if (!Options.WithAnnotations || Options.UnannotatedModules)
       Src = stripAnnotations(Src);
     P.Files.add(ModName + ".c", Src);
     P.MainFiles.push_back(ModName + ".c");

@@ -85,6 +85,13 @@ struct GenOptions {
   /// headers repeated per translation unit — the workload the batch
   /// driver's shared front end (DESIGN.md §5c) reuses across files.
   unsigned SharedHeaders = 0;
+  /// Strip the /*@...@*/ annotations from the generated module .c files
+  /// only, keeping gen.h and the shared headers annotated. This is the
+  /// annotation-inference workload (`-gen-unannotated`): field and extern
+  /// annotations — outside parameter/return inference's scope — stay, while
+  /// every function interface must be recovered by `-infer`. Ignored when
+  /// WithAnnotations is false (everything is already stripped).
+  bool UnannotatedModules = false;
 };
 
 /// Generates a well-formed annotated program of roughly

@@ -638,7 +638,7 @@ static eref db_lookup(int ssNum)
   return db_lookupIn(femaleNonMgrs, ssNum);
 }
 
-void db_uncheckedHire(employee *e)
+void db_uncheckedHire(/*@temp@*/ employee *e)
 {
   eref er;
 

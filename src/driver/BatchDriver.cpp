@@ -147,6 +147,7 @@ JournalEntry entryFromOutcome(const FileOutcome &O) {
   E.Diagnostics = O.Diagnostics;
   E.Classes = O.Classes;
   E.Metrics = O.Metrics;
+  E.Inferred = O.Inferred;
   return E;
 }
 
@@ -171,6 +172,7 @@ std::optional<FileOutcome> outcomeFromEntry(const JournalEntry &E) {
   O.Diagnostics = E.Diagnostics;
   O.Classes = E.Classes;
   O.Metrics = E.Metrics;
+  O.Inferred = E.Inferred;
   O.Resumed = true;
   return O;
 }
@@ -399,6 +401,7 @@ BatchResult BatchDriver::run(const VFS &Files,
       for (const Diagnostic &D : R.Diagnostics)
         if (D.Sev == Severity::Anomaly)
           ++Outcome.Classes[checkIdFlagName(D.Id)];
+      Outcome.Inferred = std::move(R.InferredHeader);
       // Final attempt only: a retried file's metrics describe the run that
       // produced its recorded diagnostics, not the abandoned attempts.
       Outcome.Metrics = std::move(R.Metrics);

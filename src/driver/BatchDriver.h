@@ -80,6 +80,10 @@ struct FileOutcome {
   /// unless BatchOptions::CollectMetrics was set. Journaled, so resumed
   /// outcomes keep their metrics and aggregation stays complete.
   MetricsSnapshot Metrics;
+  /// The file's inferred annotated interface (CheckResult::InferredHeader);
+  /// empty unless CheckOptions::Infer was set. Journaled, so a resumed
+  /// `-infer` batch reassembles a byte-identical combined header.
+  std::string Inferred;
   /// The final attempt's trace events (the check pipeline's spans and
   /// instants plus one closing "file" span), tagged with the recording
   /// worker's id; populated only under BatchOptions::CollectTrace, and

@@ -218,11 +218,13 @@ Parser::DeclSpec Parser::parseDeclSpecs() {
       take();
       continue;
     case TokenKind::Annotation: {
-      if (!DS.Annots.addWord(Tok.Text))
+      std::string Existing;
+      if (!DS.Annots.addWord(Tok.Text, &Existing))
         Diags.report(CheckId::AnnotationError, Tok.Loc,
                      "annotation '" + Tok.Text +
-                         "' conflicts with an earlier annotation in the same "
-                         "category");
+                         "' conflicts with earlier annotation '" + Existing +
+                         "' in the same category; keeping '" + Existing +
+                         "'");
       DS.Valid = true;
       take();
       continue;
@@ -494,9 +496,13 @@ Parser::Declarator Parser::parseDeclarator(const DeclSpec &DS, bool Abstract) {
       continue;
     }
     if (at(TokenKind::Annotation)) {
-      if (!D.Annots.addWord(cur().Text))
+      std::string Existing;
+      if (!D.Annots.addWord(cur().Text, &Existing))
         Diags.report(CheckId::AnnotationError, cur().Loc,
-                     "conflicting annotation '" + cur().Text + "'");
+                     "annotation '" + cur().Text +
+                         "' conflicts with earlier annotation '" + Existing +
+                         "' in the same category; keeping '" + Existing +
+                         "'");
       take();
       continue;
     }
@@ -749,11 +755,31 @@ FunctionDecl *Parser::actOnFunction(const DeclSpec &DS, Declarator &D) {
   auto It = Functions.find(D.Name);
   if (It != Functions.end()) {
     FunctionDecl *Canonical = It->second;
-    Canonical->mergeReturnAnnotations(ReturnAnnots);
+    // A redeclaration may not silently change the established interface: a
+    // per-category disagreement is diagnosed and the first-seen annotation
+    // wins (uniform for return, parameters, and globals).
+    for (const auto &C : Annotations::conflictsBetween(
+             Canonical->returnAnnotations(), ReturnAnnots))
+      Diags.report(CheckId::AnnotationError, D.Loc,
+                   "return annotation '" + C.second +
+                       "' on redeclaration of '" + D.Name +
+                       "' conflicts with earlier '" + C.first +
+                       "'; keeping '" + C.first + "'");
+    Canonical->mergeReturnAnnotations(Annotations::overrideWith(
+        ReturnAnnots, Canonical->returnAnnotations()));
     // Merge parameter annotations positionally.
     if (Canonical->params().size() == D.Params.size()) {
       for (size_t I = 0; I < D.Params.size(); ++I) {
-        // New decls inherit annotations already established and vice versa.
+        for (const auto &C : Annotations::conflictsBetween(
+                 Canonical->params()[I]->declAnnotations(),
+                 D.Params[I]->declAnnotations()))
+          Diags.report(CheckId::AnnotationError, D.Params[I]->loc(),
+                       "annotation '" + C.second + "' on parameter " +
+                           std::to_string(I + 1) + " of '" + D.Name +
+                           "' conflicts with an earlier declaration's '" +
+                           C.first + "'; keeping '" + C.first + "'");
+        // New decls inherit annotations already established and vice versa
+        // (in this order, the earlier declaration wins disagreements).
         D.Params[I]->mergeAnnotations(
             Canonical->params()[I]->declAnnotations());
         Canonical->params()[I]->mergeAnnotations(
@@ -779,7 +805,14 @@ VarDecl *Parser::actOnGlobalVar(const DeclSpec &DS, const Declarator &D) {
   Annotations All = Annotations::overrideWith(DS.Annots, D.Annots);
   auto It = GlobalVars.find(D.Name);
   if (It != GlobalVars.end()) {
-    It->second->mergeAnnotations(All);
+    for (const auto &C : Annotations::conflictsBetween(
+             It->second->declAnnotations(), All))
+      Diags.report(CheckId::AnnotationError, D.Loc,
+                   "annotation '" + C.second + "' on redeclaration of '" +
+                       D.Name + "' conflicts with earlier '" + C.first +
+                       "'; keeping '" + C.first + "'");
+    It->second->mergeAnnotations(
+        Annotations::overrideWith(All, It->second->declAnnotations()));
     return It->second;
   }
   auto *VD = Ctx.create<VarDecl>(D.Name, D.Loc, D.Ty, All, DS.SC,

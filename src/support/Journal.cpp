@@ -127,6 +127,9 @@ std::string memlint::journalEntryLine(const JournalEntry &Entry) {
   // --metrics-out keep the historical byte format.
   if (!Entry.Metrics.empty())
     Out += ",\"metrics\":" + metricsJsonCompact(Entry.Metrics);
+  // Likewise the inferred interface rides only on -infer runs.
+  if (!Entry.Inferred.empty())
+    Out += ",\"inferred\":" + jsonString(Entry.Inferred);
   return Out + "}";
 }
 
@@ -424,6 +427,8 @@ JournalContents memlint::parseJournal(const std::string &Text) {
                   Entry.Classes[Name] = static_cast<unsigned>(Sub.Num);
           } else if (Key == "metrics") {
             metricsFromJsonValue(V, Entry.Metrics);
+          } else if (Key == "inferred") {
+            Entry.Inferred = V.Str;
           }
         });
     if (Parsed && SawFile && SawStatus)
@@ -478,6 +483,20 @@ bool memlint::writeFileTextAtomic(const std::string &Path,
     std::remove(Tmp.c_str());
     return false;
   }
+  return true;
+}
+
+bool memlint::preflightWritePath(const std::string &Path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string Probe = Path + ".preflight." + std::to_string(::getpid());
+#else
+  const std::string Probe = Path + ".preflight";
+#endif
+  std::FILE *F = std::fopen(Probe.c_str(), "wb");
+  if (!F)
+    return false;
+  std::fclose(F);
+  std::remove(Probe.c_str());
   return true;
 }
 

@@ -74,6 +74,11 @@ struct JournalEntry {
   /// only when non-empty, preserving the historical byte format.
   std::map<std::string, unsigned> Classes;
   MetricsSnapshot Metrics;  ///< per-file metrics; empty when not collected
+  /// The file's inferred annotated interface (CheckResult::InferredHeader).
+  /// Journaled so a resumed `-infer` run reassembles a byte-identical
+  /// combined header without re-checking. Emitted only when non-empty,
+  /// preserving the historical byte format.
+  std::string Inferred;
 };
 
 /// Everything recovered from a journal file, however damaged.
@@ -129,6 +134,14 @@ bool writeFileText(const std::string &Path, const std::string &Text);
 /// Used for --metrics-out / --trace-out. \returns false on I/O failure
 /// (the temp file is removed on the failure paths that reach it).
 bool writeFileTextAtomic(const std::string &Path, const std::string &Text);
+
+/// Probes that \p Path will be writable later without disturbing existing
+/// contents: creates and removes a sibling temp file
+/// (\p Path + ".preflight.<pid>") in the same directory, exactly where
+/// writeFileTextAtomic will later place its temp file. Used by the tool to
+/// fail fast on unwritable --*-out destinations before any checking
+/// starts. \returns false when the directory is missing or unwritable.
+bool preflightWritePath(const std::string &Path);
 
 /// Appends \p Line plus a newline and flushes, so a kill after the call
 /// loses at most in-flight lines of other writers. \returns false on I/O

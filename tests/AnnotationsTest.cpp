@@ -111,6 +111,73 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(CategoryCase{"observer", "exposed", false},
                       CategoryCase{"observer", "observer", true}));
 
+// Exhaustive sweep of every conflicting pair, in both orders: the earlier
+// word must win, the later one must be rejected, and the rejection must
+// name the occupant so the parser's warning can name both words and the
+// winner deterministically.
+TEST(AnnotationsTest, EveryConflictingPairNamesTheWinner) {
+  const std::vector<std::vector<const char *>> Categories = {
+      {"null", "notnull", "relnull"},
+      {"out", "in", "partial", "reldef"},
+      {"only", "keep", "temp", "owned", "dependent", "shared"},
+      {"observer", "exposed"},
+      {"truenull", "falsenull"},
+      {"newref", "killref", "tempref"},
+  };
+  for (const auto &Words : Categories)
+    for (const char *First : Words)
+      for (const char *Second : Words) {
+        if (std::string(First) == Second)
+          continue;
+        Annotations A;
+        ASSERT_TRUE(A.addWord(First));
+        std::string Existing;
+        EXPECT_FALSE(A.addWord(Second, &Existing))
+            << First << " then " << Second;
+        EXPECT_EQ(Existing, First) << First << " then " << Second;
+        // The earlier word stays in force after the rejection.
+        Annotations Only;
+        Only.addWord(First);
+        EXPECT_EQ(A, Only) << First << " then " << Second;
+      }
+}
+
+TEST(AnnotationsTest, ConflictsBetweenReportsPerCategoryPairs) {
+  Annotations A, B;
+  A.addWord("null");
+  A.addWord("only");
+  B.addWord("notnull");
+  B.addWord("temp");
+  auto Conflicts = Annotations::conflictsBetween(A, B);
+  ASSERT_EQ(Conflicts.size(), 2u);
+  EXPECT_EQ(Conflicts[0], (std::pair<std::string, std::string>("null",
+                                                               "notnull")));
+  EXPECT_EQ(Conflicts[1], (std::pair<std::string, std::string>("only",
+                                                               "temp")));
+}
+
+TEST(AnnotationsTest, ConflictsBetweenIgnoresAgreementAndGaps) {
+  Annotations A, B;
+  A.addWord("null");
+  B.addWord("null");
+  B.addWord("only"); // A leaves Alloc unspecified: not a conflict
+  EXPECT_TRUE(Annotations::conflictsBetween(A, B).empty());
+}
+
+TEST(AnnotationsTest, ConflictsBetweenCoversBooleanFamilies) {
+  Annotations A, B;
+  A.addWord("truenull");
+  B.addWord("falsenull");
+  A.addWord("newref");
+  B.addWord("killref");
+  auto Conflicts = Annotations::conflictsBetween(A, B);
+  ASSERT_EQ(Conflicts.size(), 2u);
+  EXPECT_EQ(Conflicts[0].first, "truenull");
+  EXPECT_EQ(Conflicts[0].second, "falsenull");
+  EXPECT_EQ(Conflicts[1].first, "newref");
+  EXPECT_EQ(Conflicts[1].second, "killref");
+}
+
 //===--- type system ----------------------------------------------------------===//
 
 TEST(TypeTest, BuiltinsCanonical) {

@@ -1,0 +1,416 @@
+//===--- InferTest.cpp - Call graph and annotation inference tests -------------===//
+//
+// Part of memlint. See DESIGN.md §6h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnnotationInfer.h"
+#include "analysis/CallGraph.h"
+#include "checker/Checker.h"
+#include "checker/Frontend.h"
+#include "corpus/Corpus.h"
+#include "driver/BatchDriver.h"
+#include "support/Flags.h"
+#include "support/Journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+using namespace memlint;
+
+namespace {
+
+//===--- call graph ------------------------------------------------------------===//
+
+TEST(CallGraphTest, EdgesAndBottomUpOrder) {
+  Frontend FE;
+  TranslationUnit *TU = FE.parseSource("void leaf(void) { }\n"
+                                       "void mid(void) { leaf(); }\n"
+                                       "void top(void) { mid(); leaf(); }\n",
+                                       "cg.c", /*IncludePrelude=*/false);
+  CallGraph CG(*TU);
+  EXPECT_EQ(CG.nodeCount(), 3u);
+  const FunctionDecl *Leaf = TU->findFunction("leaf");
+  const FunctionDecl *Mid = TU->findFunction("mid");
+  const FunctionDecl *Top = TU->findFunction("top");
+  ASSERT_EQ(CG.callees(Top).size(), 2u);
+  EXPECT_EQ(CG.callees(Mid).size(), 1u);
+  EXPECT_EQ(CG.callees(Mid)[0], Leaf);
+  ASSERT_EQ(CG.callers(Leaf).size(), 2u);
+  // Bottom-up (callee-first): leaf before mid before top.
+  const auto &SCCs = CG.bottomUpSCCs();
+  ASSERT_EQ(SCCs.size(), 3u);
+  size_t LeafAt = 0, MidAt = 0, TopAt = 0;
+  for (size_t I = 0; I < SCCs.size(); ++I) {
+    if (SCCs[I][0] == Leaf)
+      LeafAt = I;
+    else if (SCCs[I][0] == Mid)
+      MidAt = I;
+    else if (SCCs[I][0] == Top)
+      TopAt = I;
+  }
+  EXPECT_LT(LeafAt, MidAt);
+  EXPECT_LT(MidAt, TopAt);
+  EXPECT_FALSE(CG.isRecursive(Top));
+}
+
+TEST(CallGraphTest, MutualRecursionFormsOneSCC) {
+  Frontend FE;
+  TranslationUnit *TU = FE.parseSource(
+      "int odd(int n);\n"
+      "int even(int n) { if (n == 0) return 1; return odd(n - 1); }\n"
+      "int odd(int n) { if (n == 0) return 0; return even(n - 1); }\n"
+      "int use(int n) { return even(n); }\n",
+      "rec.c", /*IncludePrelude=*/false);
+  CallGraph CG(*TU);
+  const FunctionDecl *Even = TU->findFunction("even");
+  const FunctionDecl *Odd = TU->findFunction("odd");
+  const auto &SCCs = CG.bottomUpSCCs();
+  ASSERT_EQ(SCCs.size(), 2u);
+  // The cycle collapses to one SCC, before its caller. Members sort by
+  // first-declaration source order: odd's forward declaration comes first.
+  ASSERT_EQ(SCCs[0].size(), 2u);
+  EXPECT_EQ(SCCs[0][0], Odd);
+  EXPECT_EQ(SCCs[0][1], Even);
+  EXPECT_EQ(SCCs[1][0], TU->findFunction("use"));
+  EXPECT_TRUE(CG.isRecursive(Even));
+  EXPECT_TRUE(CG.isRecursive(Odd));
+  EXPECT_FALSE(CG.isRecursive(TU->findFunction("use")));
+}
+
+TEST(CallGraphTest, SelfRecursionDetected) {
+  Frontend FE;
+  TranslationUnit *TU = FE.parseSource(
+      "int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }\n",
+      "self.c", /*IncludePrelude=*/false);
+  CallGraph CG(*TU);
+  EXPECT_TRUE(CG.isRecursive(TU->findFunction("fact")));
+  EXPECT_EQ(CG.bottomUpSCCs().size(), 1u);
+}
+
+TEST(CallGraphTest, UndefinedCalleesStayOutOfSCCOrder) {
+  Frontend FE;
+  TranslationUnit *TU = FE.parseSource("extern void ext(void);\n"
+                                       "void f(void) { ext(); }\n",
+                                       "und.c", /*IncludePrelude=*/false);
+  CallGraph CG(*TU);
+  EXPECT_EQ(CG.nodeCount(), 1u);
+  EXPECT_EQ(CG.bottomUpSCCs().size(), 1u);
+  // The edge itself is still visible.
+  ASSERT_EQ(CG.callees(TU->findFunction("f")).size(), 1u);
+}
+
+//===--- derivation rules ------------------------------------------------------===//
+
+/// Runs inference over one source and returns the frontend (owning the TU)
+/// plus the rendered header.
+std::string inferHeader(const std::string &Source, InferStats *Stats = nullptr) {
+  Frontend FE;
+  TranslationUnit *TU = FE.parseSource(Source, "infer.c");
+  EXPECT_TRUE(FE.diags().empty()) << FE.diags().str();
+  FlagSet Flags;
+  AnnotationInfer Infer(*TU, Flags);
+  InferStats S = Infer.run();
+  if (Stats)
+    *Stats = S;
+  return Infer.renderHeader();
+}
+
+TEST(AnnotationInferTest, AllocatorGetsOnlyNullReturn) {
+  std::string H = inferHeader(
+      "char *mk(int n) {\n"
+      "  char *p = (char *) malloc(n);\n"
+      "  if (p == NULL) return NULL;\n"
+      "  *p = 0;\n"
+      "  return p;\n"
+      "}\n");
+  EXPECT_EQ(H, "extern /*@null@*/ /*@only@*/ char *mk(int n);\n");
+}
+
+TEST(AnnotationInferTest, ConsumerGetsOnlyNullParam) {
+  std::string H = inferHeader(
+      "void drop(char *p) { if (p != NULL) { free((void *) p); } }\n");
+  EXPECT_EQ(H, "extern void drop(/*@null@*/ /*@only@*/ char *p);\n");
+}
+
+TEST(AnnotationInferTest, ReaderGetsTempParam) {
+  std::string H = inferHeader(
+      "int peek(char *p) { if (p == NULL) return 0; return *p; }\n");
+  EXPECT_EQ(H, "extern int peek(/*@null@*/ /*@temp@*/ char *p);\n");
+}
+
+TEST(AnnotationInferTest, UnguardedDerefGetsNotnull) {
+  std::string H = inferHeader("int get(int *p) { return *p; }\n");
+  EXPECT_EQ(H, "extern int get(/*@notnull@*/ /*@temp@*/ int *p);\n");
+}
+
+TEST(AnnotationInferTest, NullPredicateGetsTruenull) {
+  // The body only tests p against NULL (no deref), so the parameter keeps
+  // the implied temp without null; the predicate itself becomes truenull.
+  InferStats Stats;
+  std::string H = inferHeader(
+      "int isnil(char *p) { return p == NULL; }\n", &Stats);
+  EXPECT_EQ(H, "extern /*@truenull@*/ int isnil(/*@temp@*/ char *p);\n");
+  EXPECT_GT(Stats.AnnotationsAdded, 0u);
+}
+
+TEST(AnnotationInferTest, UserAnnotationsAreNeverOverwritten) {
+  // The user wrote keep; inference must leave the category alone even
+  // though the body consumes the parameter's obligation elsewhere.
+  std::string H = inferHeader(
+      "void hold(/*@keep@*/ char *p) { if (p != NULL) free((void *) p); }\n");
+  EXPECT_NE(H.find("/*@keep@*/"), std::string::npos) << H;
+  EXPECT_EQ(H.find("/*@only@*/"), std::string::npos) << H;
+}
+
+TEST(AnnotationInferTest, BottomUpPropagationThroughWrapper) {
+  // wrapper() forwards to drop(); once drop's parameter is inferred only,
+  // the caller's parameter is observed as consumed and becomes only too.
+  // Nullability does not propagate — wrapper's body never tests p.
+  std::string H = inferHeader(
+      "void drop(char *p) { if (p != NULL) { free((void *) p); } }\n"
+      "void wrapper(char *p) { drop(p); }\n");
+  EXPECT_EQ(H,
+            "extern void drop(/*@null@*/ /*@only@*/ char *p);\n"
+            "extern void wrapper(/*@only@*/ char *p);\n");
+}
+
+TEST(AnnotationInferTest, MutuallyRecursiveSCCReachesFixpoint) {
+  // walk/step release the list across a two-function cycle; the fixpoint
+  // iterations inside the SCC must converge on only for both parameters.
+  InferStats Stats;
+  std::string H = inferHeader(
+      "typedef struct _cell { int v; /*@null@*/ /*@only@*/ struct _cell *next; } cell;\n"
+      "void step(cell *c);\n"
+      "void walk(cell *c) {\n"
+      "  if (c != NULL) { step(c); }\n"
+      "}\n"
+      "void step(cell *c) {\n"
+      "  cell *n = c->next;\n"
+      "  c->next = NULL;\n"
+      "  free((void *) c);\n"
+      "  walk(n);\n"
+      "}\n",
+      &Stats);
+  EXPECT_NE(H.find("void walk(/*@null@*/ /*@only@*/ cell *c);"),
+            std::string::npos)
+      << H;
+  EXPECT_NE(H.find("void step("), std::string::npos) << H;
+  EXPECT_GE(Stats.MaxSCCSize, 2u);
+  // The recursive SCC iterated more than once to reach its fixpoint.
+  EXPECT_GT(Stats.Iterations, Stats.SCCs);
+}
+
+TEST(AnnotationInferTest, InferenceIsIdempotent) {
+  const std::string Source =
+      "char *mk(int n) {\n"
+      "  char *p = (char *) malloc(n);\n"
+      "  if (p == NULL) return NULL;\n"
+      "  *p = 0;\n"
+      "  return p;\n"
+      "}\n"
+      "void drop(char *p) { if (p != NULL) { free((void *) p); } }\n";
+  CheckOptions Options;
+  Options.Infer = true;
+  CheckResult First = Checker::checkSource(Source, Options, "idem.c");
+  ASSERT_FALSE(First.InferredHeader.empty());
+  EXPECT_EQ(First.anomalyCount(), 0u);
+  // Re-check the sources together with the inferred header: the header is
+  // its own fixed point, byte for byte.
+  VFS Files;
+  Files.add("idem.c", Source);
+  Files.add("inferred.h", First.InferredHeader);
+  CheckResult Second =
+      Checker::checkFiles(Files, {"idem.c", "inferred.h"}, Options);
+  EXPECT_EQ(Second.InferredHeader, First.InferredHeader);
+  EXPECT_EQ(Second.anomalyCount(), 0u);
+}
+
+TEST(AnnotationInferTest, NoNewFalsePositives) {
+  // A function the verifier cannot annotate cleanly: inference must leave
+  // the run's findings no worse than the plain run's.
+  const std::string Source =
+      "void half(char *p, int b) {\n"
+      "  if (b) { free((void *) p); }\n"
+      "}\n"
+      "int main(void) { half((char *) malloc(4), 1); return 0; }\n";
+  CheckResult Plain = Checker::checkSource(Source, CheckOptions(), "fp.c");
+  CheckOptions Options;
+  Options.Infer = true;
+  CheckResult Inferred = Checker::checkSource(Source, Options, "fp.c");
+  EXPECT_LE(Inferred.anomalyCount(), Plain.anomalyCount())
+      << Inferred.render();
+}
+
+TEST(AnnotationInferTest, CrossFileCalleesResolveInOneProgram) {
+  // The callee lives in another file of the same program; the call graph
+  // spans the concatenated translation unit, so the caller still observes
+  // the inferred interface.
+  VFS Files;
+  Files.add("a.c", "void drop(char *p) { if (p != NULL) free((void *) p); }\n");
+  Files.add("b.c", "void drop(char *p);\n"
+                   "void fwd(char *p) { drop(p); }\n");
+  CheckOptions Options;
+  Options.Infer = true;
+  CheckResult R = Checker::checkFiles(Files, {"a.c", "b.c"}, Options);
+  EXPECT_NE(R.InferredHeader.find("extern void fwd(/*@only@*/ char *p);"),
+            std::string::npos)
+      << R.InferredHeader;
+}
+
+TEST(AnnotationInferTest, FingerprintSeparatesInferredRuns) {
+  CheckOptions Plain;
+  CheckOptions Inferring;
+  Inferring.Infer = true;
+  EXPECT_NE(checkOptionsFingerprint(Plain),
+            checkOptionsFingerprint(Inferring));
+}
+
+TEST(AnnotationInferTest, MetricsCountersEmitted) {
+  CheckOptions Options;
+  Options.Infer = true;
+  Options.CollectMetrics = true;
+  CheckResult R = Checker::checkSource(
+      "void drop(char *p) { if (p != NULL) free((void *) p); }\n", Options,
+      "m.c");
+  EXPECT_EQ(R.Metrics.Counters.at("infer.functions"), 1u);
+  EXPECT_GT(R.Metrics.Counters.at("infer.annotations"), 0u);
+  EXPECT_EQ(R.Metrics.Counters.count("infer.errors"), 1u);
+  EXPECT_TRUE(R.Metrics.TimersMs.count("phase.infer"));
+}
+
+//===--- sec7 parity -----------------------------------------------------------===//
+
+TEST(AnnotationInferTest, Sec7UnannotatedCorpusRecoversCleanInterfaces) {
+  // The acceptance gate in miniature: the hand-annotated corpus checks
+  // clean; stripping the module annotations and inferring them back must
+  // also check clean (>= 95% finding parity with zero new false positives
+  // reduces to exactly this when the annotated baseline has no findings).
+  corpus::GenOptions Gen;
+  Gen.Modules = 2;
+  Gen.FunctionsPerModule = 10;
+  corpus::Program Annotated = corpus::syntheticProgram(Gen);
+  Gen.UnannotatedModules = true;
+  corpus::Program Stripped = corpus::syntheticProgram(Gen);
+
+  CheckOptions Plain;
+  for (const std::string &Main : Annotated.MainFiles) {
+    CheckResult R = Checker::checkFiles(Annotated.Files, {Main}, Plain);
+    EXPECT_EQ(R.anomalyCount(), 0u) << Main << ":\n" << R.render();
+  }
+  CheckOptions Infer;
+  Infer.Infer = true;
+  for (const std::string &Main : Stripped.MainFiles) {
+    CheckResult Bare = Checker::checkFiles(Stripped.Files, {Main}, Plain);
+    EXPECT_GT(Bare.anomalyCount(), 0u) << Main; // stripping really hurts
+    CheckResult R = Checker::checkFiles(Stripped.Files, {Main}, Infer);
+    EXPECT_EQ(R.anomalyCount(), 0u) << Main << ":\n" << R.render();
+    EXPECT_FALSE(R.InferredHeader.empty());
+  }
+}
+
+TEST(CorpusTest, UnannotatedModulesKeepHeaderAnnotations) {
+  corpus::GenOptions Gen;
+  Gen.Modules = 1;
+  Gen.FunctionsPerModule = 4;
+  Gen.SharedHeaders = 1;
+  Gen.UnannotatedModules = true;
+  corpus::Program P = corpus::syntheticProgram(Gen);
+  // Field annotations in gen.h (outside inference's scope) survive; the
+  // module sources carry none.
+  EXPECT_NE(P.Files.read("gen.h")->find("/*@"), std::string::npos);
+  EXPECT_NE(P.Files.read("shared0.h")->find("/*@"), std::string::npos);
+  EXPECT_EQ(P.Files.read("mod0.c")->find("/*@"), std::string::npos);
+}
+
+//===--- batch, journal, and resume --------------------------------------------===//
+
+/// Runs an inferring batch over the sec7 corpus at the given job count and
+/// returns the combined header (outcome fragments in input order).
+std::string batchHeader(const corpus::Program &P, unsigned Jobs,
+                        const std::string &JournalPath = "",
+                        bool Resume = false) {
+  BatchOptions Options;
+  Options.Check.Infer = true;
+  Options.Jobs = Jobs;
+  Options.JournalPath = JournalPath;
+  Options.Resume = Resume;
+  BatchDriver Driver(Options);
+  BatchResult R = Driver.run(P.Files, P.MainFiles);
+  std::string Header;
+  for (const FileOutcome &O : R.Outcomes)
+    Header += O.Inferred;
+  return Header;
+}
+
+TEST(AnnotationInferTest, BatchHeaderByteIdenticalAcrossJobCounts) {
+  corpus::GenOptions Gen;
+  Gen.Modules = 4;
+  Gen.FunctionsPerModule = 6;
+  Gen.UnannotatedModules = true;
+  corpus::Program P = corpus::syntheticProgram(Gen);
+  const std::string J1 = batchHeader(P, 1);
+  const std::string J8 = batchHeader(P, 8);
+  EXPECT_FALSE(J1.empty());
+  EXPECT_EQ(J1, J8);
+}
+
+TEST(AnnotationInferTest, ResumedBatchReplaysInferredHeader) {
+  corpus::GenOptions Gen;
+  Gen.Modules = 3;
+  Gen.FunctionsPerModule = 5;
+  Gen.UnannotatedModules = true;
+  corpus::Program P = corpus::syntheticProgram(Gen);
+  const std::string Path = "infer_resume_test.jsonl";
+  std::remove(Path.c_str());
+  const std::string Fresh = batchHeader(P, 2, Path);
+  // Resume with everything journaled: nothing is re-checked, yet the
+  // combined header is byte-identical.
+  const std::string Resumed = batchHeader(P, 2, Path, /*Resume=*/true);
+  EXPECT_FALSE(Fresh.empty());
+  EXPECT_EQ(Fresh, Resumed);
+  std::remove(Path.c_str());
+}
+
+TEST(JournalTest, InferredFieldRoundTrips) {
+  JournalEntry E;
+  E.File = "a.c";
+  E.Status = "ok";
+  E.Inferred = "extern void f(/*@only@*/ char *p);\n";
+  const std::string Line = journalEntryLine(E);
+  EXPECT_NE(Line.find("\"inferred\""), std::string::npos);
+  JournalContents C = parseJournal(journalHeaderLine("0123", 1) + "\n" +
+                                   Line + "\n");
+  ASSERT_EQ(C.Entries.size(), 1u);
+  EXPECT_EQ(C.Entries[0].Inferred, E.Inferred);
+}
+
+TEST(JournalTest, InferredFieldOmittedWhenEmpty) {
+  JournalEntry E;
+  E.File = "a.c";
+  E.Status = "ok";
+  EXPECT_EQ(journalEntryLine(E).find("inferred"), std::string::npos);
+}
+
+//===--- output-path preflight -------------------------------------------------===//
+
+TEST(JournalTest, PreflightAcceptsWritableAndRejectsMissingDir) {
+  EXPECT_TRUE(preflightWritePath("preflight_probe_target.json"));
+  // The probe must not create the target itself.
+  EXPECT_EQ(readFileText("preflight_probe_target.json"), std::nullopt);
+  EXPECT_FALSE(
+      preflightWritePath("no/such/directory/anywhere/out.json"));
+}
+
+TEST(JournalTest, PreflightLeavesExistingContentsAlone) {
+  const std::string Path = "preflight_existing.json";
+  ASSERT_TRUE(writeFileText(Path, "keep me"));
+  EXPECT_TRUE(preflightWritePath(Path));
+  EXPECT_EQ(readFileText(Path), std::optional<std::string>("keep me"));
+  std::remove(Path.c_str());
+}
+
+} // namespace

@@ -352,4 +352,84 @@ TEST(ParserTest, MalformedIntegerLiteralDiagnosed) {
   EXPECT_NE(P->TU->findFunction("f"), nullptr);
 }
 
+//===--- conflicting annotation words ------------------------------------------===//
+
+TEST(ParserTest, ConflictingWordsOnOneDeclaratorDiagnosed) {
+  // Two words of the same category on one declarator: the warning names
+  // both words and the winner, and the earlier word stays in force.
+  auto P = parse("void f(/*@only@*/ /*@temp@*/ char *p) { }");
+  EXPECT_NE(P->FE.diags().str().find(
+                "annotation 'temp' conflicts with earlier annotation 'only' "
+                "in the same category; keeping 'only'"),
+            std::string::npos)
+      << P->FE.diags().str();
+  FunctionDecl *FD = P->TU->findFunction("f");
+  ASSERT_NE(FD, nullptr);
+  EXPECT_EQ(FD->params()[0]->declAnnotations().Alloc, AllocAnn::Only);
+}
+
+TEST(ParserTest, ConflictingWordsInDeclSpecifiersDiagnosed) {
+  // Return-position annotations ride the declaration specifiers; the same
+  // first-wins rule and message shape apply there.
+  auto P = parse("extern /*@null@*/ /*@notnull@*/ char *g(void);");
+  EXPECT_NE(P->FE.diags().str().find(
+                "annotation 'notnull' conflicts with earlier annotation "
+                "'null' in the same category; keeping 'null'"),
+            std::string::npos)
+      << P->FE.diags().str();
+  FunctionDecl *FD = P->TU->findFunction("g");
+  ASSERT_NE(FD, nullptr);
+  EXPECT_EQ(FD->returnAnnotations().Null, NullAnn::Null);
+}
+
+TEST(ParserTest, DeclDefParamAnnotationMismatchDiagnosed) {
+  // A definition whose parameter annotation contradicts the earlier
+  // declaration is diagnosed (not silently last-parse-wins), and the
+  // declaration's word is kept.
+  auto P = parse("extern void h(/*@temp@*/ char *p);\n"
+                 "void h(/*@only@*/ char *p) { }\n");
+  EXPECT_NE(P->FE.diags().str().find(
+                "annotation 'only' on parameter 1 of 'h' conflicts with an "
+                "earlier declaration's 'temp'; keeping 'temp'"),
+            std::string::npos)
+      << P->FE.diags().str();
+  FunctionDecl *FD = P->TU->findFunction("h");
+  ASSERT_NE(FD, nullptr);
+  EXPECT_EQ(FD->params()[0]->declAnnotations().Alloc, AllocAnn::Temp);
+}
+
+TEST(ParserTest, DeclDefReturnAnnotationMismatchDiagnosed) {
+  auto P = parse("extern /*@only@*/ char *mk(void);\n"
+                 "/*@temp@*/ char *mk(void) { return 0; }\n");
+  EXPECT_NE(P->FE.diags().str().find(
+                "return annotation 'temp' on redeclaration of 'mk' conflicts "
+                "with earlier 'only'; keeping 'only'"),
+            std::string::npos)
+      << P->FE.diags().str();
+  FunctionDecl *FD = P->TU->findFunction("mk");
+  ASSERT_NE(FD, nullptr);
+  EXPECT_EQ(FD->returnAnnotations().Alloc, AllocAnn::Only);
+}
+
+TEST(ParserTest, GlobalRedeclarationAnnotationMismatchDiagnosed) {
+  auto P = parse("extern /*@null@*/ char *gptr;\n"
+                 "extern /*@notnull@*/ char *gptr;\n");
+  EXPECT_NE(P->FE.diags().str().find(
+                "annotation 'notnull' on redeclaration of 'gptr' conflicts "
+                "with earlier 'null'; keeping 'null'"),
+            std::string::npos)
+      << P->FE.diags().str();
+  ASSERT_EQ(P->TU->globals().size(), 1u);
+  EXPECT_EQ(P->TU->globals()[0]->declAnnotations().Null, NullAnn::Null);
+}
+
+TEST(ParserTest, AgreeingRedeclarationAnnotationsAreQuiet) {
+  // Identical annotations across declaration and definition: no warning.
+  auto P = parse("extern void k(/*@only@*/ char *p);\n"
+                 "void k(/*@only@*/ char *p) { free(p); }\n",
+                 /*Prelude=*/true);
+  EXPECT_EQ(P->FE.diags().str().find("conflicts"), std::string::npos)
+      << P->FE.diags().str();
+}
+
 } // namespace
